@@ -1,0 +1,48 @@
+//! Ablations of Algorithm 1's design choices (DESIGN.md §7): morphing,
+//! n-best acceleration (Remark 1.1), unused-index pruning (Remark 1.2) and
+//! pair steps (Remark 1.4). Each variant reports its runtime; quality
+//! deltas are covered by integration tests and the figure binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isel_core::{algorithm1, budget};
+use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
+use isel_workload::synthetic::{self, SyntheticConfig};
+
+fn workload() -> isel_workload::Workload {
+    synthetic::generate(&SyntheticConfig {
+        tables: 4,
+        attrs_per_table: 40,
+        queries_per_table: 60,
+        ..SyntheticConfig::default()
+    })
+}
+
+fn run_with(w: &isel_workload::Workload, f: impl Fn(algorithm1::Options) -> algorithm1::Options) {
+    let est = CachingWhatIf::new(AnalyticalWhatIf::new(w));
+    let a = budget::relative_budget(&est, 0.2);
+    let opts = f(algorithm1::Options::new(a));
+    let _ = algorithm1::run(&est, &opts);
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("algorithm1_ablations");
+    g.sample_size(10);
+    g.bench_function("baseline", |b| b.iter(|| run_with(&w, |o| o)));
+    g.bench_function("no_morphing", |b| {
+        b.iter(|| run_with(&w, |o| algorithm1::Options { morphing: false, ..o }))
+    });
+    g.bench_function("n_best_10", |b| {
+        b.iter(|| run_with(&w, |o| algorithm1::Options { n_best_single: Some(10), ..o }))
+    });
+    g.bench_function("prune_unused", |b| {
+        b.iter(|| run_with(&w, |o| algorithm1::Options { prune_unused: true, ..o }))
+    });
+    g.bench_function("pair_steps", |b| {
+        b.iter(|| run_with(&w, |o| algorithm1::Options { pair_steps: true, ..o }))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! H6 runtime scaling (the Table-I claim: near-linear in Q, seconds even
+//! for large instances).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isel_core::{algorithm1, budget};
+use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
+use isel_workload::synthetic::{self, SyntheticConfig};
+
+fn bench_h6_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("h6_queries");
+    g.sample_size(10);
+    for qpt in [25usize, 50, 100] {
+        let workload = synthetic::generate(&SyntheticConfig {
+            queries_per_table: qpt,
+            ..SyntheticConfig::default()
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(qpt * 10), &workload, |b, w| {
+            b.iter(|| {
+                let est = CachingWhatIf::new(AnalyticalWhatIf::new(w));
+                let a = budget::relative_budget(&est, 0.2);
+                algorithm1::run(&est, &algorithm1::Options::new(a))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_h6_budget(c: &mut Criterion) {
+    let workload = synthetic::generate(&SyntheticConfig::default());
+    let mut g = c.benchmark_group("h6_budget");
+    g.sample_size(10);
+    for w_share in [0.1f64, 0.2, 0.4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(w_share),
+            &w_share,
+            |b, &share| {
+                b.iter(|| {
+                    let est = CachingWhatIf::new(AnalyticalWhatIf::new(&workload));
+                    let a = budget::relative_budget(&est, share);
+                    algorithm1::run(&est, &algorithm1::Options::new(a))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_h6_scaling, bench_h6_budget);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! CoPhy solver scaling: branch-and-bound time vs candidate-set size (the
+//! other half of Table I).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isel_core::{budget, candidates, cophy};
+use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
+use isel_solver::cophy::CophyOptions;
+use isel_workload::synthetic::{self, SyntheticConfig};
+use std::time::Duration;
+
+fn bench_cophy_candidates(c: &mut Criterion) {
+    let workload = synthetic::generate(&SyntheticConfig::default());
+    let est = CachingWhatIf::new(AnalyticalWhatIf::new(&workload));
+    let pool = candidates::enumerate_imax(&workload, 4);
+    let a = budget::relative_budget(&est, 0.2);
+    // Pre-build instances so only solve time is measured (the paper's
+    // Table I also excludes what-if time).
+    // Tight gap-or-timeout regime so each sample stays bounded even when
+    // the instance would DNF under the paper's 5% gap.
+    let opts = CophyOptions {
+        mip_gap: 0.05,
+        time_limit: Duration::from_secs(2),
+        max_nodes: usize::MAX,
+    };
+
+    let mut g = c.benchmark_group("cophy_candidates");
+    g.sample_size(10);
+    for size in [50usize, 200] {
+        let cands = candidates::select_candidates(
+            &pool,
+            size,
+            4,
+            candidates::CandidateRanking::Frequency,
+        );
+        let inst = cophy::build_instance(&est, &cands, a);
+        g.bench_with_input(BenchmarkId::from_parameter(size), &inst, |b, inst| {
+            b.iter(|| isel_solver::cophy::solve(inst, &opts))
+        });
+    }
+    g.finish();
+}
+
+fn bench_instance_build(c: &mut Criterion) {
+    // Cost-coefficient collection: ≈ Q·q̄·|I|/N what-if calls (Eq. 9).
+    let workload = synthetic::generate(&SyntheticConfig::default());
+    let pool = candidates::enumerate_imax(&workload, 4);
+    let cands = candidates::select_candidates(
+        &pool,
+        500,
+        4,
+        candidates::CandidateRanking::Frequency,
+    );
+    c.bench_function("cophy_build_500", |b| {
+        b.iter(|| {
+            let est = CachingWhatIf::new(AnalyticalWhatIf::new(&workload));
+            let a = budget::relative_budget(&est, 0.2);
+            cophy::build_instance(&est, &cands, a)
+        })
+    });
+}
+
+criterion_group!(benches, bench_cophy_candidates, bench_instance_build);
+criterion_main!(benches);

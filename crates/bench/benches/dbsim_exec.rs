@@ -1,0 +1,49 @@
+//! Columnar-engine micro-benchmarks: full scan vs index probe vs composite
+//! probe, and index build time (the substrate behind Figure 5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isel_dbsim::exec::BoundQuery;
+use isel_dbsim::Database;
+use isel_workload::{AttrId, Index, SchemaBuilder, TableId};
+
+fn database(rows: u64) -> Database {
+    let mut b = SchemaBuilder::new();
+    let t = b.table("t", rows);
+    b.attribute(t, "hi", rows / 2, 4);
+    b.attribute(t, "mid", 1_000, 4);
+    b.attribute(t, "lo", 16, 4);
+    Database::populate(&b.finish(), 0xBE7C)
+}
+
+fn bench_access_paths(c: &mut Criterion) {
+    let mut db = database(200_000);
+    let q = BoundQuery {
+        table: TableId(0),
+        predicates: vec![(AttrId(1), 7), (AttrId(2), 3)],
+    };
+    c.bench_function("full_scan", |b| b.iter(|| db.execute(&q)));
+
+    db.create_index(&Index::single(AttrId(1)));
+    c.bench_function("single_probe", |b| b.iter(|| db.execute(&q)));
+
+    db.create_index(&Index::new(vec![AttrId(1), AttrId(2)]));
+    c.bench_function("composite_probe", |b| b.iter(|| db.execute(&q)));
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_build");
+    g.sample_size(10);
+    for rows in [50_000u64, 200_000] {
+        g.bench_function(format!("rows_{rows}"), |b| {
+            b.iter_batched(
+                || database(rows),
+                |mut db| db.create_index(&Index::new(vec![AttrId(0), AttrId(1)])),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_access_paths, bench_index_build);
+criterion_main!(benches);

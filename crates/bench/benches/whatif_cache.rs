@@ -1,0 +1,63 @@
+//! What-if caching ablation: the paper's claim that caching keeps the
+//! number of (expensive) optimizer calls small. We benchmark repeated
+//! benefit evaluations with and without the caching decorator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isel_core::heuristics;
+use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf, PrefixAwareWhatIf, WhatIfOptimizer};
+use isel_workload::synthetic::{self, SyntheticConfig};
+use isel_workload::{AttrId, Index};
+
+fn workload_small() -> isel_workload::Workload {
+    synthetic::generate(&SyntheticConfig {
+        tables: 2,
+        attrs_per_table: 30,
+        queries_per_table: 50,
+        ..SyntheticConfig::default()
+    })
+}
+
+fn bench_repeated_benefits(c: &mut Criterion) {
+    let w = workload_small();
+    let singles: Vec<Index> = (0..60u32).map(|i| Index::single(AttrId(i))).collect();
+
+    c.bench_function("benefits_cached", |b| {
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        b.iter(|| {
+            singles
+                .iter()
+                .map(|k| heuristics::individual_benefit(&est, k))
+                .sum::<f64>()
+        })
+    });
+    c.bench_function("benefits_prefix_aware", |b| {
+        let est = PrefixAwareWhatIf::new(AnalyticalWhatIf::new(&w));
+        b.iter(|| {
+            singles
+                .iter()
+                .map(|k| heuristics::individual_benefit(&est, k))
+                .sum::<f64>()
+        })
+    });
+    c.bench_function("benefits_uncached", |b| {
+        let est = AnalyticalWhatIf::new(&w);
+        b.iter(|| {
+            singles
+                .iter()
+                .map(|k| heuristics::individual_benefit(&est, k))
+                .sum::<f64>()
+        })
+    });
+}
+
+fn bench_cache_hit_rate(c: &mut Criterion) {
+    let w = workload_small();
+    c.bench_function("workload_cost_under_config", |b| {
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let config: Vec<Index> = (0..10u32).map(|i| Index::single(AttrId(i))).collect();
+        b.iter(|| est.workload_cost(&config))
+    });
+}
+
+criterion_group!(benches, bench_repeated_benefits, bench_cache_hit_rate);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! **Figure 2** — scan performance vs memory budget: H6 against CoPhy with
+//! candidate sets from different heuristics.
+//!
+//! Paper setting: N = 500, Q = 1 000, budgets `A(w)` for `w ∈ [0, 0.4]`;
+//! CoPhy with |I| = 500 candidates selected by H1-M, H2-M and H3-M, plus
+//! the exhaustive set `I_max` (optimal reference). One H6 run traces the
+//! whole frontier.
+//!
+//! Expected shape: H6 ≈ CoPhy(I_max) for every budget; CoPhy with reduced
+//! candidate sets is strictly worse, and how much worse depends on the
+//! candidate heuristic.
+
+use isel_bench::{cophy_budget_sweep, h6_frontier, header, report_written, ResultSink};
+use isel_core::{budget, candidates};
+use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf, WhatIfOptimizer};
+use isel_solver::cophy::CophyOptions;
+use isel_workload::synthetic::{self, SyntheticConfig};
+use serde::Serialize;
+use std::time::Duration;
+
+#[derive(Serialize)]
+struct Row {
+    series: String,
+    w: f64,
+    cost: f64,
+    relative_cost: f64,
+    status: String,
+}
+
+fn main() {
+    let cfg = SyntheticConfig {
+        queries_per_table: 100, // Q = 1 000 over 10 tables
+        ..SyntheticConfig::default()
+    };
+    let workload = synthetic::generate(&cfg);
+    let est = CachingWhatIf::new(AnalyticalWhatIf::new(&workload));
+    let base_cost = est.workload_cost(&[]);
+    let ws: Vec<f64> = (0..=8).map(|i| i as f64 * 0.05).collect();
+    let opts = CophyOptions {
+        mip_gap: 0.05,
+        time_limit: Duration::from_secs(20),
+        max_nodes: usize::MAX,
+    };
+
+    let mut sink = ResultSink::new("fig2");
+    header(
+        "Figure 2: cost vs A(w), H6 vs CoPhy with candidate heuristics",
+        &["series", "w", "cost", "relative"],
+    );
+    let emit = |sink: &mut ResultSink, series: &str, w: f64, cost: f64, status: &str| {
+        println!("{series}\t{w:.2}\t{cost:.3e}\t{:.4}", cost / base_cost);
+        sink.emit(&Row {
+            series: series.to_owned(),
+            w,
+            cost,
+            relative_cost: cost / base_cost,
+            status: status.to_owned(),
+        });
+    };
+
+    // H6: a single run covers every budget.
+    let max_budget = budget::relative_budget(&est, *ws.last().unwrap());
+    let (frontier, h6_time) = h6_frontier(&est, max_budget);
+    for &w in &ws {
+        let a = budget::relative_budget(&est, w);
+        let cost = frontier.cost_at(a).unwrap_or(base_cost);
+        emit(&mut sink, "H6", w, cost, "Frontier");
+    }
+    println!("(H6 single-run time: {:.3}s)", h6_time.as_secs_f64());
+
+    let pool = candidates::enumerate_imax(&workload, 4);
+    println!("(|I_max| = {})", pool.len());
+
+    for (name, ranking) in [
+        ("CoPhy-H1M-500", candidates::CandidateRanking::Frequency),
+        ("CoPhy-H2M-500", candidates::CandidateRanking::Selectivity),
+        ("CoPhy-H3M-500", candidates::CandidateRanking::Ratio),
+    ] {
+        let cands = candidates::select_candidates(&pool, 500, 4, ranking);
+        for (w, cost, status) in cophy_budget_sweep(&est, &cands, &ws, &opts) {
+            emit(&mut sink, name, w, cost, &status);
+        }
+    }
+
+    let all = pool.indexes();
+    for (w, cost, status) in cophy_budget_sweep(&est, &all, &ws, &opts) {
+        emit(&mut sink, "CoPhy-Imax", w, cost, &status);
+    }
+
+    report_written(&sink.finish());
+}

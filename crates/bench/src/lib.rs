@@ -1,0 +1,121 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Every binary regenerates one table or figure of the paper (see
+//! DESIGN.md §5 for the mapping) and emits two artifacts:
+//!
+//! * a human-readable table on stdout, and
+//! * machine-readable JSON-lines under `results/` so EXPERIMENTS.md can be
+//!   cross-checked.
+
+use isel_core::{algorithm1, Frontier};
+use isel_costmodel::WhatIfOptimizer;
+use serde::Serialize;
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Where result JSONL files land (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("ISEL_RESULTS_DIR").unwrap_or_else(|_| "results".to_owned());
+    let p = PathBuf::from(dir);
+    fs::create_dir_all(&p).expect("create results dir");
+    p
+}
+
+/// JSONL sink for one experiment.
+pub struct ResultSink {
+    out: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl ResultSink {
+    /// Open (truncate) `results/<name>.jsonl`.
+    pub fn new(name: &str) -> Self {
+        let path = results_dir().join(format!("{name}.jsonl"));
+        let out = BufWriter::new(File::create(&path).expect("create result file"));
+        Self { out, path }
+    }
+
+    /// Append one row.
+    pub fn emit<T: Serialize>(&mut self, row: &T) {
+        serde_json::to_writer(&mut self.out, row).expect("serialize row");
+        self.out.write_all(b"\n").expect("write row");
+    }
+
+    /// Flush and report the path.
+    pub fn finish(mut self) -> PathBuf {
+        self.out.flush().expect("flush results");
+        self.path
+    }
+}
+
+/// Wall-time of a closure.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let v = f();
+    (v, start.elapsed())
+}
+
+/// Run Algorithm 1 once with the maximum budget of a sweep and return its
+/// frontier — one H6 run serves every budget (the paper's "excellent
+/// results for *any* budget").
+pub fn h6_frontier(est: &impl WhatIfOptimizer, max_budget: u64) -> (Frontier, Duration) {
+    let (run, t) = timed(|| algorithm1::run(est, &algorithm1::Options::new(max_budget)));
+    (run.frontier, t)
+}
+
+/// Solve CoPhy for every budget share in `ws`, returning
+/// `(w, objective, status)` triples.
+///
+/// The cost coefficients do not depend on the budget, so the instance is
+/// built **once** per candidate set and only the budget field varies —
+/// mirroring how the paper amortizes what-if collection across a sweep.
+pub fn cophy_budget_sweep(
+    est: &impl WhatIfOptimizer,
+    cands: &[isel_workload::Index],
+    ws: &[f64],
+    opts: &isel_solver::cophy::CophyOptions,
+) -> Vec<(f64, f64, String)> {
+    let mut seen = std::collections::HashSet::new();
+    let deduped: Vec<isel_workload::Index> = cands
+        .iter()
+        .filter(|k| seen.insert(k.attrs().to_vec()))
+        .cloned()
+        .collect();
+    let mut instance = isel_core::cophy::build_instance(est, &deduped, 0);
+    ws.iter()
+        .map(|&w| {
+            instance.budget = isel_core::budget::relative_budget(est, w);
+            let sol = isel_solver::cophy::solve(&instance, opts);
+            (w, sol.objective, format!("{:?}", sol.status))
+        })
+        .collect()
+}
+
+/// Pretty seconds.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Quick flag lookup: `--full` style booleans.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// `--key=value` style argument.
+pub fn arg_value(key: &str) -> Option<String> {
+    let prefix = format!("{key}=");
+    std::env::args().find_map(|a| a.strip_prefix(&prefix).map(str::to_owned))
+}
+
+/// Write the header line of a stdout table.
+pub fn header(title: &str, columns: &[&str]) {
+    println!("\n== {title} ==");
+    println!("{}", columns.join("\t"));
+}
+
+/// Ensure a results path prints at the end of a run.
+pub fn report_written(path: &Path) {
+    println!("\nresults written to {}", path.display());
+}

@@ -1,0 +1,298 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use isel_core::{algorithm1, budget, interaction, Advisor, Strategy};
+use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
+use isel_workload::erp::{self, ErpConfig};
+use isel_workload::synthetic::{self, SyntheticConfig};
+use isel_workload::{io, tpcc, Workload};
+
+fn load_workload(args: &Args) -> Result<Workload, String> {
+    let path = args
+        .get("workload")
+        .ok_or("missing --workload FILE")?;
+    io::load(path).map_err(|e| format!("cannot load workload: {e}"))
+}
+
+/// `isel generate`
+pub fn generate(args: &Args) -> Result<(), String> {
+    let kind = args.get("kind").unwrap_or("synthetic");
+    let out = args.get("out").ok_or("missing --out FILE")?;
+    let seed = args.get_parsed("seed", 0x15E1u64)?;
+    let workload = match kind {
+        "synthetic" => {
+            let tables = args.get_parsed("tables", 10usize)?;
+            let cfg = SyntheticConfig {
+                tables,
+                attrs_per_table: args.get_parsed("attrs", 50usize)?,
+                queries_per_table: args.get_parsed("queries", 50usize)?,
+                rows_base: args.get_parsed("rows", 1_000_000u64)?,
+                update_fraction: args.get_parsed("updates", 0.0f64)?,
+                seed,
+                ..SyntheticConfig::default()
+            };
+            synthetic::generate(&cfg)
+        }
+        "erp" => erp::generate(&ErpConfig { seed, ..ErpConfig::default() }),
+        "tpcc" => tpcc::generate(args.get_parsed("warehouses", 100u64)?).0,
+        other => return Err(format!("unknown workload kind {other:?}")),
+    };
+    io::save(&workload, out).map_err(|e| format!("cannot save workload: {e}"))?;
+    println!(
+        "wrote {kind} workload: {} tables, {} attributes, {} templates -> {out}",
+        workload.schema().tables().len(),
+        workload.schema().attr_count(),
+        workload.query_count()
+    );
+    Ok(())
+}
+
+fn parse_strategy(name: &str) -> Result<Strategy, String> {
+    Ok(match name {
+        "h1" => Strategy::H1,
+        "h2" => Strategy::H2,
+        "h3" => Strategy::H3,
+        "h4" => Strategy::H4 { skyline: false },
+        "h4s" => Strategy::H4 { skyline: true },
+        "h5" => Strategy::H5,
+        "h6" => Strategy::H6,
+        "cophy" => Strategy::CoPhy { mip_gap: 0.05, time_limit_secs: 60 },
+        other => return Err(format!("unknown strategy {other:?}")),
+    })
+}
+
+/// `isel recommend`
+pub fn recommend(args: &Args) -> Result<(), String> {
+    let workload = load_workload(args)?;
+    let strategy = parse_strategy(args.get("strategy").unwrap_or("h6"))?;
+    let share = args.get_parsed("budget", 0.2f64)?;
+    let est = CachingWhatIf::new(AnalyticalWhatIf::new(&workload));
+    let advisor = Advisor::new(&est);
+    let rec = advisor.recommend_relative(strategy, share);
+
+    if args.flag("json") {
+        let row = serde_json::json!({
+            "strategy": format!("{:?}", rec.strategy),
+            "budget_bytes": rec.budget,
+            "memory_bytes": rec.memory,
+            "cost": rec.cost,
+            "base_cost": rec.base_cost,
+            "relative_cost": rec.relative_cost(),
+            "what_if_calls": rec.what_if_calls,
+            "elapsed_secs": rec.elapsed.as_secs_f64(),
+            "indexes": rec
+                .selection
+                .indexes()
+                .iter()
+                .map(|k| k.attrs().iter().map(|a| a.0).collect::<Vec<_>>())
+                .collect::<Vec<_>>(),
+        });
+        println!("{row}");
+        return Ok(());
+    }
+
+    println!(
+        "strategy {:?}: {} indexes, {:.1} MiB of {:.1} MiB budget",
+        rec.strategy,
+        rec.selection.len(),
+        rec.memory as f64 / (1024.0 * 1024.0),
+        rec.budget as f64 / (1024.0 * 1024.0),
+    );
+    println!(
+        "workload cost {:.3e} -> {:.3e} ({:.1}%), {} what-if calls, {:.3}s",
+        rec.base_cost,
+        rec.cost,
+        100.0 * rec.relative_cost(),
+        rec.what_if_calls,
+        rec.elapsed.as_secs_f64(),
+    );
+    for k in rec.selection.indexes() {
+        let names: Vec<&str> = k
+            .attrs()
+            .iter()
+            .map(|&a| workload.schema().attribute(a).name.as_str())
+            .collect();
+        let table = workload.schema().attribute(k.leading()).table;
+        println!("  {}({})", workload.schema().table(table).name, names.join(", "));
+    }
+    Ok(())
+}
+
+/// `isel compare`
+pub fn compare(args: &Args) -> Result<(), String> {
+    let workload = load_workload(args)?;
+    let share = args.get_parsed("budget", 0.2f64)?;
+    let est = CachingWhatIf::new(AnalyticalWhatIf::new(&workload));
+    let advisor = Advisor::new(&est);
+    let a = budget::relative_budget(&est, share);
+    println!("strategy\trel.cost\t|I*|\tMiB\tseconds");
+    for rec in advisor.compare(a) {
+        println!(
+            "{:?}\t{:.4}\t{}\t{:.1}\t{:.3}",
+            rec.strategy,
+            rec.relative_cost(),
+            rec.selection.len(),
+            rec.memory as f64 / (1024.0 * 1024.0),
+            rec.elapsed.as_secs_f64(),
+        );
+    }
+    Ok(())
+}
+
+/// `isel frontier`
+pub fn frontier(args: &Args) -> Result<(), String> {
+    let workload = load_workload(args)?;
+    let share = args.get_parsed("max-budget", 0.5f64)?;
+    let est = CachingWhatIf::new(AnalyticalWhatIf::new(&workload));
+    let a = budget::relative_budget(&est, share);
+    let run = algorithm1::run(&est, &algorithm1::Options::new(a));
+    println!("memory_bytes\tcost\trelative");
+    println!("0\t{:.6e}\t1.0", run.initial_cost);
+    for p in run.frontier.points() {
+        println!(
+            "{}\t{:.6e}\t{:.4}",
+            p.memory,
+            p.cost,
+            p.cost / run.initial_cost
+        );
+    }
+    Ok(())
+}
+
+/// `isel stats`
+pub fn stats(args: &Args) -> Result<(), String> {
+    let workload = load_workload(args)?;
+    let stats = isel_workload::WorkloadStats::compute(&workload);
+    let schema = workload.schema();
+    let updates: u64 = workload
+        .queries()
+        .iter()
+        .filter(|q| q.is_update())
+        .map(|q| q.frequency())
+        .sum();
+    let total = workload.total_frequency();
+    println!(
+        "tables: {}   attributes: {}   templates: {}   executions: {}",
+        schema.tables().len(),
+        schema.attr_count(),
+        workload.query_count(),
+        total
+    );
+    println!(
+        "avg query width: {:.2}   update volume: {:.1}%",
+        stats.avg_query_width(),
+        100.0 * updates as f64 / total.max(1) as f64
+    );
+    let mut by_rows: Vec<_> = schema.tables().iter().collect();
+    by_rows.sort_by_key(|t| std::cmp::Reverse(t.rows));
+    println!("largest tables:");
+    for t in by_rows.into_iter().take(5) {
+        println!("  {:<12} {:>12} rows, {} attributes", t.name, t.rows, t.attr_count);
+    }
+    println!("hottest attributes (g_i):");
+    for a in stats.attrs_by_occurrences().into_iter().take(10) {
+        let attr = schema.attribute(a);
+        println!(
+            "  {:<16} g={:<10} d={:<10} {}B",
+            attr.name,
+            stats.occurrences(a),
+            attr.distinct_values,
+            attr.value_size
+        );
+    }
+    Ok(())
+}
+
+/// `isel interactions`
+pub fn interactions(args: &Args) -> Result<(), String> {
+    let workload = load_workload(args)?;
+    let top = args.get_parsed("top", 10usize)?;
+    let est = CachingWhatIf::new(AnalyticalWhatIf::new(&workload));
+    // Candidate indexes: the single attributes of the hottest queries.
+    let stats = isel_workload::WorkloadStats::compute(&workload);
+    let hot: Vec<isel_workload::Index> = stats
+        .attrs_by_occurrences()
+        .into_iter()
+        .take(24)
+        .map(isel_workload::Index::single)
+        .collect();
+    let pairs = interaction::interaction_matrix(&est, &hot, 0.01);
+    println!("index_a\tindex_b\tdegree");
+    for p in pairs.into_iter().take(top) {
+        println!("{}\t{}\t{:.4}", hot[p.a], hot[p.b], p.degree);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn argv(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(str::to_owned))
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("isel_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn strategies_parse_and_reject() {
+        assert!(parse_strategy("h6").is_ok());
+        assert!(parse_strategy("h4s").is_ok());
+        assert!(parse_strategy("cophy").is_ok());
+        assert!(parse_strategy("nope").is_err());
+    }
+
+    #[test]
+    fn generate_then_recommend_round_trip() {
+        let out = tmp("w1.json");
+        generate(&argv(&format!(
+            "generate --kind synthetic --tables 2 --attrs 8 --queries 8 --rows 50000 --out {out}"
+        )))
+        .unwrap();
+        recommend(&argv(&format!(
+            "recommend --workload {out} --strategy h6 --budget 0.3"
+        )))
+        .unwrap();
+        compare(&argv(&format!("compare --workload {out} --budget 0.2"))).unwrap();
+        frontier(&argv(&format!("frontier --workload {out} --max-budget 0.4"))).unwrap();
+        interactions(&argv(&format!("interactions --workload {out} --top 3"))).unwrap();
+    }
+
+    #[test]
+    fn tpcc_generation_works() {
+        let out = tmp("w2.json");
+        generate(&argv(&format!("generate --kind tpcc --warehouses 3 --out {out}"))).unwrap();
+        let w = isel_workload::io::load(&out).unwrap();
+        assert_eq!(w.query_count(), 10);
+    }
+
+    #[test]
+    fn missing_arguments_are_reported() {
+        assert!(generate(&argv("generate --kind synthetic")).is_err());
+        assert!(recommend(&argv("recommend")).is_err());
+        assert!(generate(&argv("generate --kind weird --out /tmp/x.json")).is_err());
+    }
+
+    #[test]
+    fn stats_runs_on_generated_workloads() {
+        let out = tmp("w3.json");
+        generate(&argv(&format!(
+            "generate --kind synthetic --tables 2 --attrs 6 --queries 6 --rows 10000 --updates 0.3 --out {out}"
+        )))
+        .unwrap();
+        stats(&argv(&format!("stats --workload {out}"))).unwrap();
+    }
+
+    #[test]
+    fn broken_workload_files_error_cleanly() {
+        let out = tmp("broken.json");
+        std::fs::write(&out, "not json").unwrap();
+        let err = recommend(&argv(&format!("recommend --workload {out}"))).unwrap_err();
+        assert!(err.contains("cannot load"));
+    }
+}

@@ -1,0 +1,56 @@
+//! `isel` — command-line index advisor.
+//!
+//! ```text
+//! isel generate  --kind synthetic|erp|tpcc --out w.json [--seed N] [--tables N]
+//!                [--attrs N] [--queries N] [--rows N] [--updates FRAC]
+//! isel recommend --workload w.json --strategy h1|h2|h3|h4|h4s|h5|h6|cophy
+//!                [--budget 0.2] [--json]
+//! isel compare   --workload w.json [--budget 0.2]
+//! isel frontier  --workload w.json [--max-budget 0.5]
+//! isel interactions --workload w.json [--top 10]
+//! ```
+//!
+//! All costs come from the analytical Appendix-B model; budgets are
+//! relative shares of the all-single-attribute-indexes footprint (Eq. 10).
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+isel — multi-attribute index advisor
+
+USAGE:
+  isel generate      --kind synthetic|erp|tpcc --out FILE [--seed N]
+                     [--tables N] [--attrs N] [--queries N] [--rows N]
+                     [--updates FRACTION] [--warehouses N]
+  isel recommend     --workload FILE --strategy h1|h2|h3|h4|h4s|h5|h6|cophy
+                     [--budget SHARE] [--json]
+  isel compare       --workload FILE [--budget SHARE]
+  isel frontier      --workload FILE [--max-budget SHARE]
+  isel interactions  --workload FILE [--top N]
+  isel stats         --workload FILE
+";
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1));
+    let result = match args.command.as_deref() {
+        Some("generate") => commands::generate(&args),
+        Some("recommend") => commands::recommend(&args),
+        Some("compare") => commands::compare(&args),
+        Some("frontier") => commands::frontier(&args),
+        Some("interactions") => commands::interactions(&args),
+        Some("stats") => commands::stats(&args),
+        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+        None => Err(USAGE.to_owned()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! High-level advisor facade: Definition 1's strategies behind one call.
+//!
+//! Downstream users mostly want "give me a selection for this budget with
+//! strategy X". [`Advisor`] wires the candidate generators, the baseline
+//! heuristics, CoPhy and Algorithm 1 together and reports a uniform
+//! [`Recommendation`].
+
+use crate::selection::Selection;
+use crate::{algorithm1, budget, candidates, cophy, heuristics};
+use isel_costmodel::WhatIfOptimizer;
+use isel_solver::cophy::CophyOptions;
+use isel_workload::Index;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// A selection strategy of Definition 1.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// H1 — most used attribute combinations.
+    H1,
+    /// H2 — smallest combined selectivity.
+    H2,
+    /// H3 — selectivity/occurrences ratio.
+    H3,
+    /// H4 — best individual performance; optionally skyline-filtered.
+    H4 {
+        /// Apply the skyline (per-query Pareto) filter first.
+        skyline: bool,
+    },
+    /// H5 — best performance-per-size ratio.
+    H5,
+    /// H6 — Algorithm 1 (the paper's contribution).
+    H6,
+    /// The full DB2-advisor concept [9]: H5 start plus randomized swaps.
+    Db2 {
+        /// Number of random swap proposals.
+        swap_rounds: usize,
+    },
+    /// CoPhy's LP approach with the given mip gap and time limit.
+    CoPhy {
+        /// Relative optimality gap (paper: 0.05).
+        mip_gap: f64,
+        /// Solver wall-clock limit in seconds.
+        time_limit_secs: u64,
+    },
+}
+
+/// What the advisor returns.
+#[derive(Clone, Debug)]
+pub struct Recommendation {
+    /// Strategy that produced the selection.
+    pub strategy: Strategy,
+    /// The selected indexes.
+    pub selection: Selection,
+    /// Memory used by the selection.
+    pub memory: u64,
+    /// Budget it was computed for.
+    pub budget: u64,
+    /// Workload cost under the selection.
+    pub cost: f64,
+    /// Workload cost without any index, for reference.
+    pub base_cost: f64,
+    /// Wall time of the strategy (excluding candidate enumeration).
+    pub elapsed: Duration,
+    /// What-if calls issued during the run.
+    pub what_if_calls: u64,
+}
+
+impl Recommendation {
+    /// Cost relative to the unindexed workload (1.0 = no improvement).
+    pub fn relative_cost(&self) -> f64 {
+        if self.base_cost == 0.0 {
+            1.0
+        } else {
+            self.cost / self.base_cost
+        }
+    }
+}
+
+/// High-level advisor over a what-if oracle.
+pub struct Advisor<'a, W> {
+    est: &'a W,
+    candidates: Vec<Index>,
+}
+
+impl<'a, W: WhatIfOptimizer> Advisor<'a, W> {
+    /// Advisor with the exhaustive candidate pool `I_max` (width ≤ 4) for
+    /// the candidate-set strategies; H6 ignores the pool by design.
+    pub fn new(est: &'a W) -> Self {
+        let pool = candidates::enumerate_imax(est.workload(), 4);
+        Self { est, candidates: pool.indexes() }
+    }
+
+    /// Advisor with an explicit candidate set.
+    pub fn with_candidates(est: &'a W, candidates: Vec<Index>) -> Self {
+        Self { est, candidates }
+    }
+
+    /// The candidate set used by H1–H5 and CoPhy.
+    pub fn candidates(&self) -> &[Index] {
+        &self.candidates
+    }
+
+    /// Recommend a selection for a relative budget share `w` (Eq. 10).
+    pub fn recommend_relative(&self, strategy: Strategy, w: f64) -> Recommendation {
+        self.recommend(strategy, budget::relative_budget(self.est, w))
+    }
+
+    /// Recommend a selection for an absolute byte budget.
+    pub fn recommend(&self, strategy: Strategy, budget: u64) -> Recommendation {
+        let calls_before = self.est.stats().calls_issued;
+        let start = Instant::now();
+        let selection = match &strategy {
+            Strategy::H1 => heuristics::h1(&self.candidates, self.est, budget),
+            Strategy::H2 => heuristics::h2(&self.candidates, self.est, budget),
+            Strategy::H3 => heuristics::h3(&self.candidates, self.est, budget),
+            Strategy::H4 { skyline } => {
+                heuristics::h4(&self.candidates, self.est, budget, *skyline)
+            }
+            Strategy::H5 => heuristics::h5(&self.candidates, self.est, budget),
+            Strategy::H6 => {
+                algorithm1::run(self.est, &algorithm1::Options::new(budget)).selection
+            }
+            Strategy::Db2 { swap_rounds } => {
+                crate::db2::run(
+                    &self.candidates,
+                    self.est,
+                    &crate::db2::Db2Options { budget, swap_rounds: *swap_rounds, seed: 0xDB2 },
+                )
+                .selection
+            }
+            Strategy::CoPhy { mip_gap, time_limit_secs } => {
+                cophy::solve(
+                    self.est,
+                    &self.candidates,
+                    budget,
+                    &CophyOptions {
+                        mip_gap: *mip_gap,
+                        time_limit: Duration::from_secs(*time_limit_secs),
+                        max_nodes: usize::MAX,
+                    },
+                )
+                .selection
+            }
+        };
+        let elapsed = start.elapsed();
+        Recommendation {
+            memory: selection.memory(self.est),
+            cost: selection.cost(self.est),
+            base_cost: self.est.workload_cost(&[]),
+            what_if_calls: self.est.stats().calls_issued - calls_before,
+            strategy,
+            selection,
+            budget,
+            elapsed,
+        }
+    }
+
+    /// Compare all strategies at one budget, sorted best-first.
+    pub fn compare(&self, budget: u64) -> Vec<Recommendation> {
+        let mut recs: Vec<Recommendation> = [
+            Strategy::H1,
+            Strategy::H2,
+            Strategy::H3,
+            Strategy::H4 { skyline: false },
+            Strategy::H4 { skyline: true },
+            Strategy::H5,
+            Strategy::H6,
+            Strategy::Db2 { swap_rounds: 100 },
+            Strategy::CoPhy { mip_gap: 0.05, time_limit_secs: 30 },
+        ]
+        .into_iter()
+        .map(|s| self.recommend(s, budget))
+        .collect();
+        recs.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"));
+        recs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
+    use isel_workload::synthetic::{self, SyntheticConfig};
+
+    fn workload() -> isel_workload::Workload {
+        synthetic::generate(&SyntheticConfig {
+            tables: 1,
+            attrs_per_table: 12,
+            queries_per_table: 15,
+            rows_base: 200_000,
+            max_query_width: 4,
+            update_fraction: 0.0,
+            seed: 31,
+        })
+    }
+
+    #[test]
+    fn recommendations_fit_budget_and_report_consistent_numbers() {
+        let w = workload();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let advisor = Advisor::new(&est);
+        let rec = advisor.recommend_relative(Strategy::H6, 0.3);
+        assert!(rec.memory <= rec.budget);
+        assert!(rec.cost <= rec.base_cost);
+        assert_eq!(rec.memory, rec.selection.memory(&est));
+        assert!(rec.relative_cost() <= 1.0);
+    }
+
+    #[test]
+    fn compare_ranks_h6_at_or_near_the_top() {
+        let w = workload();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let advisor = Advisor::new(&est);
+        let a = budget::relative_budget(&est, 0.3);
+        let recs = advisor.compare(a);
+        assert_eq!(recs.len(), 9);
+        let h6_rank = recs
+            .iter()
+            .position(|r| r.strategy == Strategy::H6)
+            .expect("H6 present");
+        assert!(h6_rank <= 2, "H6 ranked {h6_rank}: {:?}", recs[0].strategy);
+        // Best-first ordering holds.
+        for pair in recs.windows(2) {
+            assert!(pair[0].cost <= pair[1].cost);
+        }
+    }
+
+    #[test]
+    fn explicit_candidate_sets_are_respected() {
+        let w = workload();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let only = vec![Index::single(isel_workload::AttrId(0))];
+        let advisor = Advisor::with_candidates(&est, only.clone());
+        let a = budget::relative_budget(&est, 1.0);
+        let rec = advisor.recommend(Strategy::H5, a);
+        assert!(rec.selection.len() <= 1);
+        if let Some(k) = rec.selection.indexes().first() {
+            assert_eq!(k, &only[0]);
+        }
+    }
+
+    #[test]
+    fn zero_budget_recommendation_is_empty_for_every_strategy() {
+        let w = workload();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let advisor = Advisor::new(&est);
+        for rec in advisor.compare(0) {
+            assert!(rec.selection.is_empty(), "{:?}", rec.strategy);
+            assert_eq!(rec.cost, rec.base_cost);
+        }
+    }
+}

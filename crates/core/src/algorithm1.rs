@@ -1,0 +1,1050 @@
+//! Algorithm 1 — the recursive index-selection strategy (heuristic H6).
+//!
+//! Starting from the empty selection, every construction step either
+//!
+//! * (3a) adds a new single-attribute index `{i}`, or
+//! * (3b) appends one attribute to the end of an existing index
+//!   ("morphing"),
+//!
+//! always taking the step with the best ratio of cost reduction
+//! `F(I) + R(I, Ī) − F(Ĩ) − R(Ĩ, Ī)` to additional memory `P(Ĩ) − P(I)`
+//! until the budget is exhausted, a step limit is hit, or no step improves
+//! the workload.
+//!
+//! Index interaction is handled *by construction*: each step's benefit is
+//! measured against the current per-query costs, i.e. in the presence of
+//! everything selected earlier.
+//!
+//! What-if discipline (Section III-A): only queries that can *fully* use a
+//! potential index are re-costed — under prefix semantics every other
+//! query's cost is unchanged — and per-move benefits are cached between
+//! steps and invalidated only for queries whose current cost changed
+//! ("required what-if calls from previous steps can be cached, except for
+//! calls related to indexes built in the previous step", Fig. 1).
+//!
+//! Remark-1 extensions, all switchable via [`Options`]:
+//!
+//! 1. `n_best_single` — consider only the n best single attributes,
+//! 2. `prune_unused` — drop indexes no query uses anymore,
+//! 3. `pair_steps` — also consider attribute *pairs* for new indexes and
+//!    extensions (Remark 1.4),
+//! 4. `morphing = false` — ablation: disable (3b) entirely.
+//!
+//! Update templates are handled natively: every step's net benefit
+//! subtracts the frequency-weighted maintenance cost the new or extended
+//! index adds for the update executions on its table, so write-heavy
+//! tables naturally receive fewer and narrower indexes.
+
+use crate::reconfig::ReconfigCosts;
+use crate::selection::{Frontier, FrontierPoint, Selection};
+use isel_costmodel::WhatIfOptimizer;
+use isel_workload::{AttrId, Index, QueryId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Options of a run.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Memory budget `A` in bytes; steps never exceed it.
+    pub budget: u64,
+    /// Maximum number of construction steps (`None` = unlimited).
+    pub max_steps: Option<usize>,
+    /// Remark 1.1: consider only the n best single attributes (ranked by
+    /// initial benefit density) for new-index steps.
+    pub n_best_single: Option<usize>,
+    /// Remark 1.2: drop indexes that no query uses anymore.
+    pub prune_unused: bool,
+    /// Remark 1.4: also consider attribute pairs (new two-attribute
+    /// indexes and two-attribute extensions).
+    pub pair_steps: bool,
+    /// Allow extension steps (3b). Disabling degenerates the algorithm
+    /// into a single-attribute greedy — the morphing ablation.
+    pub morphing: bool,
+    /// Remark 1.3: record the runner-up construction step of every round
+    /// (the best "missed opportunity") in the step log.
+    pub track_missed: bool,
+    /// Reconfiguration cost model `R(·, Ī*)`.
+    pub reconfig: ReconfigCosts,
+}
+
+impl Options {
+    /// Defaults matching the paper's base configuration: unlimited steps,
+    /// all extensions off, free reconfiguration.
+    pub fn new(budget: u64) -> Self {
+        Self {
+            budget,
+            max_steps: None,
+            n_best_single: None,
+            prune_unused: false,
+            pair_steps: false,
+            morphing: true,
+            track_missed: false,
+            reconfig: ReconfigCosts::free(),
+        }
+    }
+}
+
+/// What a construction step did.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum StepAction {
+    /// (3a) — a new index was created (single attribute, or a pair with
+    /// Remark 1.4).
+    NewIndex(Index),
+    /// (3b) — `from` was morphed into `to` by appending trailing
+    /// attributes.
+    Extend {
+        /// The index that was extended.
+        from: Index,
+        /// The resulting index.
+        to: Index,
+    },
+    /// Remark 1.2 — unused indexes were dropped.
+    Prune(Vec<Index>),
+}
+
+/// A construction step that was evaluated but not taken (Remark 1.3):
+/// storing the impact of missed (second-best) opportunities lets later
+/// analysis identify alternative indexes with the same leading attributes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MissedOpportunity {
+    /// The runner-up action.
+    pub action: StepAction,
+    /// Its net benefit at the time.
+    pub benefit: f64,
+    /// Its benefit-per-byte ratio at the time.
+    pub ratio: f64,
+}
+
+/// Log record of one construction step.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// The action taken.
+    pub action: StepAction,
+    /// Workload-cost reduction of the step (incl. reconfiguration delta).
+    pub benefit: f64,
+    /// Memory change in bytes (negative for prune steps).
+    pub memory_delta: i64,
+    /// `benefit / memory_delta` — the selection criterion.
+    pub ratio: f64,
+    /// Total memory `P(I)` after the step.
+    pub total_memory: u64,
+    /// Total cost `F(I) + R(I, Ī)` after the step.
+    pub total_cost: f64,
+    /// Remark 1.3: the runner-up step of this round, when tracking is on.
+    pub runner_up: Option<MissedOpportunity>,
+}
+
+/// Result of a run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Final selection.
+    pub selection: Selection,
+    /// Every construction step, in order.
+    pub steps: Vec<StepRecord>,
+    /// The performance/memory frontier traced by the construction.
+    pub frontier: Frontier,
+    /// `F(∅) + R(∅, Ī)` — cost before any step.
+    pub initial_cost: f64,
+    /// Cost after the last step.
+    pub final_cost: f64,
+}
+
+/// Reconstruct the selection Algorithm 1 had reached at a given memory
+/// budget by replaying the step log — one run serves every budget of a
+/// sweep.
+pub fn selection_at(steps: &[StepRecord], budget: u64) -> Selection {
+    let mut sel = Selection::empty();
+    for s in steps {
+        if s.total_memory > budget {
+            break;
+        }
+        match &s.action {
+            StepAction::NewIndex(k) => {
+                sel.insert(k.clone());
+            }
+            StepAction::Extend { from, to } => {
+                sel.replace(from, to.clone());
+            }
+            StepAction::Prune(dropped) => {
+                for k in dropped {
+                    sel.remove(k);
+                }
+            }
+        }
+    }
+    sel
+}
+
+/// A candidate move considered in one step.
+#[derive(Clone, Debug)]
+enum Move {
+    New(Vec<AttrId>),
+    Extend { slot: usize, attrs: Vec<AttrId> },
+}
+
+struct Slot {
+    index: Index,
+    /// Queries containing *all* attributes of `index` (sorted ids) — the
+    /// only queries an extension can affect.
+    covering: Vec<u32>,
+    /// Cached extension benefits per appended attribute (and pairs, keyed
+    /// by the appended attribute list).
+    ext_ben: HashMap<Vec<AttrId>, f64>,
+    /// Whether `ext_ben` must be recomputed.
+    dirty: bool,
+    /// Number of queries currently served by this index (tracked for
+    /// Remark 1.2).
+    served: u32,
+}
+
+/// Run Algorithm 1 against a what-if oracle.
+///
+/// ```
+/// use isel_core::algorithm1::{self, Options, StepAction};
+/// use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
+/// use isel_workload::{Query, SchemaBuilder, Workload};
+///
+/// let mut b = SchemaBuilder::new();
+/// let t = b.table("orders", 1_000_000);
+/// let customer = b.attribute(t, "customer_id", 50_000, 4);
+/// let status = b.attribute(t, "status", 8, 1);
+/// let w = Workload::new(b.finish(), vec![Query::new(t, vec![customer, status], 100)]);
+///
+/// let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+/// let budget = isel_core::budget::relative_budget(&est, 1.0);
+/// let result = algorithm1::run(&est, &Options::new(budget));
+///
+/// assert!(result.final_cost < result.initial_cost);
+/// assert!(matches!(result.steps[0].action, StepAction::NewIndex(_)));
+/// ```
+pub fn run<W: WhatIfOptimizer>(est: &W, options: &Options) -> RunResult {
+    Engine::new(est, options).run()
+}
+
+struct Engine<'a, W> {
+    est: &'a W,
+    options: &'a Options,
+    /// Per-query frequency `b_j`.
+    freq: Vec<f64>,
+    /// Per-query current cost (F part).
+    cur: Vec<f64>,
+    /// Slot currently serving each query (`usize::MAX` = table scan).
+    server: Vec<usize>,
+    /// Queries containing each attribute.
+    attr_queries: Vec<Vec<u32>>,
+    slots: Vec<Option<Slot>>,
+    single_ben: Vec<Option<f64>>,
+    /// Remark 1.4 cache: benefits of new pair indexes.
+    pair_ben: HashMap<(AttrId, AttrId), Option<f64>>,
+    /// Attributes allowed in new-single steps (Remark 1.1), `None` = all.
+    allowed_singles: Option<Vec<bool>>,
+    total_memory: u64,
+    /// Frequency-weighted update executions per table: selecting an index
+    /// on table `t` charges `upd_weight[t] · maintenance_cost(k)`.
+    upd_weight: Vec<f64>,
+    /// Total weighted maintenance cost of the current selection.
+    maint_total: f64,
+}
+
+impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
+    fn new(est: &'a W, options: &'a Options) -> Self {
+        let workload = est.workload();
+        let n_attrs = workload.schema().attr_count();
+        let mut attr_queries = vec![Vec::new(); n_attrs];
+        let mut freq = Vec::with_capacity(workload.query_count());
+        let mut upd_weight = vec![0.0f64; workload.schema().tables().len()];
+        for (j, q) in workload.iter() {
+            freq.push(q.frequency() as f64);
+            if q.is_update() {
+                upd_weight[q.table().idx()] += q.frequency() as f64;
+            }
+            for &a in q.attrs() {
+                attr_queries[a.idx()].push(j.0);
+            }
+        }
+        let cur = workload
+            .iter()
+            .map(|(j, _)| est.unindexed_cost(j))
+            .collect::<Vec<_>>();
+        let server = vec![usize::MAX; workload.query_count()];
+        let mut pair_ben = HashMap::new();
+        if options.pair_steps {
+            // Seed the pair cache with every co-occurring attribute pair.
+            for (_, q) in workload.iter() {
+                let attrs = q.attrs();
+                for (x, &a) in attrs.iter().enumerate() {
+                    for &b in &attrs[x + 1..] {
+                        pair_ben.insert((a, b), None);
+                    }
+                }
+            }
+        }
+        Self {
+            est,
+            options,
+            freq,
+            cur,
+            server,
+            attr_queries,
+            slots: Vec::new(),
+            single_ben: vec![None; n_attrs],
+            pair_ben,
+            allowed_singles: None,
+            total_memory: 0,
+            upd_weight,
+            maint_total: 0.0,
+        }
+    }
+
+    /// Frequency-weighted maintenance cost an index adds to the selection.
+    fn weighted_maint(&self, index: &Index) -> f64 {
+        let table = self.est.workload().schema().attribute(index.leading()).table;
+        let w = self.upd_weight[table.idx()];
+        if w == 0.0 {
+            0.0
+        } else {
+            w * self.est.maintenance_cost(index)
+        }
+    }
+
+    /// Maintenance delta a move would cause.
+    fn maintenance_delta(&self, mv: &Move) -> f64 {
+        match mv {
+            Move::New(attrs) => self.weighted_maint(&Index::new(attrs.clone())),
+            Move::Extend { slot, attrs } => {
+                let from = &self.slots[*slot].as_ref().expect("live slot").index;
+                let mut to = from.clone();
+                for &a in attrs {
+                    to = to.extended(a);
+                }
+                self.weighted_maint(&to) - self.weighted_maint(from)
+            }
+        }
+    }
+
+    fn total_f(&self) -> f64 {
+        self.cur.iter().zip(&self.freq).map(|(c, b)| c * b).sum()
+    }
+
+    fn current_selection(&self) -> Selection {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|s| s.index.clone())
+            .collect()
+    }
+
+    fn reconfig_cost(&self, sel: &Selection) -> f64 {
+        self.options.reconfig.cost(sel, self.est)
+    }
+
+    /// Benefit of a brand-new index over the queries containing all its
+    /// attributes.
+    fn new_index_benefit(&self, attrs: &[AttrId]) -> f64 {
+        let index = Index::new(attrs.to_vec());
+        let mut ben = 0.0;
+        for &j in &self.attr_queries[attrs[0].idx()] {
+            let q = self.est.workload().query(QueryId(j));
+            if !attrs[1..].iter().all(|a| q.accesses(*a)) {
+                continue;
+            }
+            if let Some(f) = self.est.index_cost(QueryId(j), &index) {
+                let cur = self.cur[j as usize];
+                if f < cur {
+                    ben += self.freq[j as usize] * (cur - f);
+                }
+            }
+        }
+        ben
+    }
+
+    /// Recompute the extension-benefit cache of a slot.
+    fn refresh_slot(&mut self, slot_id: usize) {
+        let Some(slot) = self.slots[slot_id].take() else { return };
+        let mut ext_ben: HashMap<Vec<AttrId>, f64> = HashMap::new();
+        let workload = self.est.workload();
+        for &j in &slot.covering {
+            let q = workload.query(QueryId(j));
+            let cur = self.cur[j as usize];
+            let remaining: Vec<AttrId> = q
+                .attrs()
+                .iter()
+                .copied()
+                .filter(|a| !slot.index.contains(*a))
+                .collect();
+            for (x, &a) in remaining.iter().enumerate() {
+                let ext = slot.index.extended(a);
+                if let Some(f) = self.est.index_cost(QueryId(j), &ext) {
+                    if f < cur {
+                        *ext_ben.entry(vec![a]).or_insert(0.0) +=
+                            self.freq[j as usize] * (cur - f);
+                    }
+                }
+                if self.options.pair_steps {
+                    for &b in &remaining[x + 1..] {
+                        let ext2 = ext.extended(b);
+                        if let Some(f) = self.est.index_cost(QueryId(j), &ext2) {
+                            if f < cur {
+                                *ext_ben.entry(vec![a, b]).or_insert(0.0) +=
+                                    self.freq[j as usize] * (cur - f);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.slots[slot_id] = Some(Slot { ext_ben, dirty: false, ..slot });
+    }
+
+    /// Reconfiguration delta of a move (new R minus current R).
+    fn reconfig_delta(&self, mv: &Move) -> f64 {
+        let r = &self.options.reconfig;
+        if r.create_cost_per_byte == 0.0 && r.drop_cost == 0.0 {
+            return 0.0;
+        }
+        match mv {
+            Move::New(attrs) => {
+                let k = Index::new(attrs.clone());
+                if r.current.contains(&k) {
+                    0.0
+                } else {
+                    self.est.index_memory(&k) as f64 * r.create_cost_per_byte
+                }
+            }
+            Move::Extend { slot, attrs } => {
+                let from = &self.slots[*slot].as_ref().expect("live slot").index;
+                let mut to = from.clone();
+                for &a in attrs {
+                    to = to.extended(a);
+                }
+                let mut delta = 0.0;
+                if !r.current.contains(&to) {
+                    delta += self.est.index_memory(&to) as f64 * r.create_cost_per_byte;
+                }
+                if r.current.contains(from) {
+                    delta += r.drop_cost;
+                } else {
+                    delta -= self.est.index_memory(from) as f64 * r.create_cost_per_byte;
+                }
+                delta
+            }
+        }
+    }
+
+    fn memory_delta(&self, mv: &Move) -> u64 {
+        match mv {
+            Move::New(attrs) => self.est.index_memory(&Index::new(attrs.clone())),
+            Move::Extend { slot, attrs } => {
+                let from = &self.slots[*slot].as_ref().expect("live slot").index;
+                let mut to = from.clone();
+                for &a in attrs {
+                    to = to.extended(a);
+                }
+                self.est.index_memory(&to) - self.est.index_memory(from)
+            }
+        }
+    }
+
+    /// Refresh caches and pick the best move of this step.
+    /// Materialize the [`StepAction`] a move would take, without applying.
+    fn action_of(&self, mv: &Move) -> StepAction {
+        match mv {
+            Move::New(attrs) => StepAction::NewIndex(Index::new(attrs.clone())),
+            Move::Extend { slot, attrs } => {
+                let from = self.slots[*slot].as_ref().expect("live slot").index.clone();
+                let mut to = from.clone();
+                for &a in attrs {
+                    to = to.extended(a);
+                }
+                StepAction::Extend { from, to }
+            }
+        }
+    }
+
+    fn best_move(&mut self) -> Option<(Move, f64, u64, f64, Option<MissedOpportunity>)> {
+        let n_attrs = self.single_ben.len();
+        // Refresh single-attribute benefits.
+        for i in 0..n_attrs {
+            if let Some(allowed) = &self.allowed_singles {
+                if !allowed[i] {
+                    continue;
+                }
+            }
+            if self.single_ben[i].is_none() {
+                self.single_ben[i] = Some(self.new_index_benefit(&[AttrId(i as u32)]));
+            }
+        }
+        // Refresh pair benefits (Remark 1.4).
+        if self.options.pair_steps {
+            let stale: Vec<(AttrId, AttrId)> = self
+                .pair_ben
+                .iter()
+                .filter(|(_, v)| v.is_none())
+                .map(|(k, _)| *k)
+                .collect();
+            for key in stale {
+                let ben = self
+                    .new_index_benefit(&[key.0, key.1])
+                    .max(self.new_index_benefit(&[key.1, key.0]));
+                self.pair_ben.insert(key, Some(ben));
+            }
+        }
+        // Refresh dirty slots.
+        if self.options.morphing {
+            let dirty: Vec<usize> = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.as_ref().is_some_and(|s| s.dirty))
+                .map(|(i, _)| i)
+                .collect();
+            for id in dirty {
+                self.refresh_slot(id);
+            }
+        }
+
+        let existing: Selection = self.current_selection();
+        let mut best: Option<(Move, f64, u64, f64)> = None;
+        let mut second: Option<(Move, f64, u64, f64)> = None;
+        let track = self.options.track_missed;
+        let mut consider = |mv: Move, workload_ben: f64, this: &Self| {
+            if workload_ben <= 0.0 {
+                return;
+            }
+            let net = workload_ben - this.reconfig_delta(&mv) - this.maintenance_delta(&mv);
+            if net <= 0.0 {
+                return;
+            }
+            let dm = this.memory_delta(&mv);
+            if dm == 0 || this.total_memory + dm > this.options.budget {
+                return;
+            }
+            let ratio = net / dm as f64;
+            let beats = |incumbent: &Option<(Move, f64, u64, f64)>| match incumbent {
+                None => true,
+                Some((_, bnet, _, bratio)) => {
+                    ratio > *bratio + 1e-12
+                        || ((ratio - *bratio).abs() <= 1e-12 && net > *bnet)
+                }
+            };
+            if beats(&best) {
+                if track {
+                    second = best.take();
+                }
+                best = Some((mv, net, dm, ratio));
+            } else if track && beats(&second) {
+                second = Some((mv, net, dm, ratio));
+            }
+        };
+
+        for i in 0..n_attrs {
+            if let Some(allowed) = &self.allowed_singles {
+                if !allowed[i] {
+                    continue;
+                }
+            }
+            let Some(ben) = self.single_ben[i] else { continue };
+            let k = Index::single(AttrId(i as u32));
+            if existing.contains(&k) {
+                continue; // step (3a) requires I ∩ {i} = ∅
+            }
+            consider(Move::New(vec![AttrId(i as u32)]), ben, self);
+        }
+        if self.options.pair_steps {
+            for (&(a, b), ben) in &self.pair_ben {
+                let Some(ben) = *ben else { continue };
+                // Orientation: more selective attribute last gives the
+                // higher benefit of the two; re-evaluate both cheaply via
+                // the cached what-if and pick the better.
+                let fwd = self.new_index_benefit(&[a, b]);
+                let (attrs, ben) = if (fwd - ben).abs() < 1e-9 {
+                    (vec![a, b], fwd)
+                } else {
+                    (vec![b, a], ben)
+                };
+                if existing.contains(&Index::new(attrs.clone())) {
+                    continue;
+                }
+                consider(Move::New(attrs), ben, self);
+            }
+        }
+        if self.options.morphing {
+            for (slot_id, slot) in self.slots.iter().enumerate() {
+                let Some(slot) = slot else { continue };
+                for (attrs, &ben) in &slot.ext_ben {
+                    let target = {
+                        let mut t = slot.index.clone();
+                        for &a in attrs {
+                            t = t.extended(a);
+                        }
+                        t
+                    };
+                    if existing.contains(&target) {
+                        continue;
+                    }
+                    consider(
+                        Move::Extend { slot: slot_id, attrs: attrs.clone() },
+                        ben,
+                        self,
+                    );
+                }
+            }
+        }
+        let runner_up = second.map(|(mv, net, _, ratio)| MissedOpportunity {
+            action: self.action_of(&mv),
+            benefit: net,
+            ratio,
+        });
+        best.map(|(mv, net, dm, ratio)| (mv, net, dm, ratio, runner_up))
+    }
+
+    /// Apply a chosen move; returns (action, queries whose cost changed).
+    fn apply(&mut self, mv: &Move) -> (StepAction, Vec<u32>) {
+        match mv {
+            Move::New(attrs) => {
+                let index = Index::new(attrs.clone());
+                let covering: Vec<u32> = self.attr_queries[attrs[0].idx()]
+                    .iter()
+                    .copied()
+                    .filter(|&j| {
+                        let q = self.est.workload().query(QueryId(j));
+                        attrs[1..].iter().all(|a| q.accesses(*a))
+                    })
+                    .collect();
+                let slot_id = self.slots.len();
+                let mut changed = Vec::new();
+                let mut served = 0;
+                for &j in &covering {
+                    if let Some(f) = self.est.index_cost(QueryId(j), &index) {
+                        if f < self.cur[j as usize] {
+                            self.cur[j as usize] = f;
+                            self.reassign_server(j, slot_id);
+                            served += 1;
+                            changed.push(j);
+                        }
+                    }
+                }
+                self.total_memory += self.est.index_memory(&index);
+                self.maint_total += self.weighted_maint(&index);
+                self.slots.push(Some(Slot {
+                    index: index.clone(),
+                    covering,
+                    ext_ben: HashMap::new(),
+                    dirty: true,
+                    served,
+                }));
+                (StepAction::NewIndex(index), changed)
+            }
+            Move::Extend { slot: slot_id, attrs } => {
+                let slot = self.slots[*slot_id].take().expect("live slot");
+                let from = slot.index.clone();
+                let mut to = from.clone();
+                for &a in attrs {
+                    to = to.extended(a);
+                }
+                let covering: Vec<u32> = slot
+                    .covering
+                    .iter()
+                    .copied()
+                    .filter(|&j| {
+                        let q = self.est.workload().query(QueryId(j));
+                        attrs.iter().all(|a| q.accesses(*a))
+                    })
+                    .collect();
+                let mut changed = Vec::new();
+                let mut served = slot.served;
+                for &j in &covering {
+                    if let Some(f) = self.est.index_cost(QueryId(j), &to) {
+                        if f < self.cur[j as usize] {
+                            self.cur[j as usize] = f;
+                            if self.server[j as usize] != *slot_id {
+                                self.reassign_server(j, *slot_id);
+                                served += 1;
+                            }
+                            changed.push(j);
+                        }
+                    }
+                }
+                self.total_memory += self.est.index_memory(&to) - self.est.index_memory(&from);
+                self.maint_total += self.weighted_maint(&to) - self.weighted_maint(&from);
+                self.slots[*slot_id] = Some(Slot {
+                    index: to.clone(),
+                    covering,
+                    ext_ben: HashMap::new(),
+                    dirty: true,
+                    served,
+                });
+                (StepAction::Extend { from, to }, changed)
+            }
+        }
+    }
+
+    /// Point `server[j]` at `slot_id`, maintaining serve counts.
+    fn reassign_server(&mut self, j: u32, slot_id: usize) {
+        let old = self.server[j as usize];
+        if old != usize::MAX {
+            if let Some(s) = self.slots[old].as_mut() {
+                s.served = s.served.saturating_sub(1);
+            }
+        }
+        self.server[j as usize] = slot_id;
+    }
+
+    /// Invalidate benefit caches touched by cost changes in `changed`.
+    fn invalidate(&mut self, changed: &[u32]) {
+        for &j in changed {
+            let q = self.est.workload().query(QueryId(j));
+            for &a in q.attrs() {
+                self.single_ben[a.idx()] = None;
+            }
+            if self.options.pair_steps {
+                let attrs = q.attrs();
+                for (x, &a) in attrs.iter().enumerate() {
+                    for &b in &attrs[x + 1..] {
+                        if let Some(v) = self.pair_ben.get_mut(&(a, b)) {
+                            *v = None;
+                        }
+                    }
+                }
+            }
+        }
+        for slot in self.slots.iter_mut().flatten() {
+            if slot.dirty {
+                continue;
+            }
+            if changed
+                .iter()
+                .any(|j| slot.covering.binary_search(j).is_ok())
+            {
+                slot.dirty = true;
+            }
+        }
+    }
+
+    /// Remark 1.2: drop indexes that serve no query.
+    fn prune_unused(&mut self) -> Option<(Vec<Index>, u64)> {
+        let mut dropped = Vec::new();
+        let mut freed = 0u64;
+        for pos in 0..self.slots.len() {
+            let drop_it = self.slots[pos].as_ref().is_some_and(|s| s.served == 0);
+            if drop_it {
+                let s = self.slots[pos].take().expect("checked above");
+                freed += self.est.index_memory(&s.index);
+                self.maint_total -= self.weighted_maint(&s.index);
+                dropped.push(s.index);
+            }
+        }
+        if dropped.is_empty() {
+            None
+        } else {
+            self.total_memory -= freed;
+            Some((dropped, freed))
+        }
+    }
+
+    fn run(mut self) -> RunResult {
+        // Remark 1.1: rank single attributes by initial benefit density
+        // and keep only the n best.
+        if let Some(n) = self.options.n_best_single {
+            let n_attrs = self.single_ben.len();
+            let mut density: Vec<(usize, f64)> = (0..n_attrs)
+                .map(|i| {
+                    let ben = self.new_index_benefit(&[AttrId(i as u32)]);
+                    let p = self.est.index_memory(&Index::single(AttrId(i as u32)));
+                    (i, ben / p.max(1) as f64)
+                })
+                .collect();
+            density.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+            let mut allowed = vec![false; n_attrs];
+            for &(i, _) in density.iter().take(n) {
+                allowed[i] = true;
+            }
+            self.allowed_singles = Some(allowed);
+        }
+
+        let initial_cost = self.total_f() + self.reconfig_cost(&Selection::empty());
+        let mut steps = Vec::new();
+        let mut frontier_points = vec![FrontierPoint { memory: 0, cost: initial_cost }];
+
+        loop {
+            if let Some(max) = self.options.max_steps {
+                if steps.len() >= max {
+                    break;
+                }
+            }
+            let Some((mv, net_ben, dmem, ratio, runner_up)) = self.best_move() else { break };
+            let (action, changed) = self.apply(&mv);
+            self.invalidate(&changed);
+
+            let total_cost =
+                self.total_f() + self.maint_total + self.reconfig_cost(&self.current_selection());
+            steps.push(StepRecord {
+                action,
+                benefit: net_ben,
+                memory_delta: dmem as i64,
+                ratio,
+                total_memory: self.total_memory,
+                total_cost,
+                runner_up,
+            });
+            frontier_points.push(FrontierPoint { memory: self.total_memory, cost: total_cost });
+
+            if self.options.prune_unused {
+                if let Some((dropped, freed)) = self.prune_unused() {
+                    let total_cost = self.total_f()
+                        + self.maint_total
+                        + self.reconfig_cost(&self.current_selection());
+                    steps.push(StepRecord {
+                        action: StepAction::Prune(dropped),
+                        benefit: 0.0,
+                        memory_delta: -(freed as i64),
+                        ratio: 0.0,
+                        total_memory: self.total_memory,
+                        total_cost,
+                        runner_up: None,
+                    });
+                    frontier_points
+                        .push(FrontierPoint { memory: self.total_memory, cost: total_cost });
+                }
+            }
+        }
+
+        let final_cost = steps.last().map_or(initial_cost, |s| s.total_cost);
+        RunResult {
+            selection: self.current_selection(),
+            steps,
+            frontier: Frontier::new(frontier_points),
+            initial_cost,
+            final_cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
+    use isel_workload::{Query, SchemaBuilder, TableId, Workload};
+
+    /// Three attributes: `a0` unique (hot), `a1` medium, `a2` coarse.
+    fn fixture() -> Workload {
+        let mut b = SchemaBuilder::new();
+        let t = b.table("t", 100_000);
+        let a0 = b.attribute(t, "a0", 100_000, 4);
+        let a1 = b.attribute(t, "a1", 1_000, 4);
+        let a2 = b.attribute(t, "a2", 10, 4);
+        Workload::new(
+            b.finish(),
+            vec![
+                Query::new(TableId(0), vec![a0], 100),
+                Query::new(TableId(0), vec![a1, a2], 50),
+                Query::new(TableId(0), vec![a2], 10),
+            ],
+        )
+    }
+
+    fn est(w: &Workload) -> CachingWhatIf<AnalyticalWhatIf<'_>> {
+        CachingWhatIf::new(AnalyticalWhatIf::new(w))
+    }
+
+    #[test]
+    fn zero_budget_selects_nothing() {
+        let w = fixture();
+        let e = est(&w);
+        let r = run(&e, &Options::new(0));
+        assert!(r.selection.is_empty());
+        assert_eq!(r.initial_cost, r.final_cost);
+    }
+
+    #[test]
+    fn selects_and_improves_under_generous_budget() {
+        let w = fixture();
+        let e = est(&w);
+        let r = run(&e, &Options::new(u64::MAX / 2));
+        assert!(!r.selection.is_empty());
+        assert!(r.final_cost < r.initial_cost);
+        // Validate the logged final cost against a fresh evaluation.
+        let actual = r.selection.cost(&e);
+        assert!((actual - r.final_cost).abs() < 1e-6 * r.initial_cost.max(1.0));
+    }
+
+    #[test]
+    fn never_exceeds_budget() {
+        let w = fixture();
+        let e = est(&w);
+        for share in [0.1, 0.3, 0.7] {
+            let budget = crate::budget::relative_budget(&e, share);
+            let r = run(&e, &Options::new(budget));
+            assert!(r.selection.memory(&e) <= budget);
+        }
+    }
+
+    #[test]
+    fn morphing_builds_multi_attribute_indexes() {
+        let w = fixture();
+        let e = est(&w);
+        let r = run(&e, &Options::new(u64::MAX / 2));
+        // Query on (a1, a2) makes the (a1) index worth extending.
+        let has_multi = r.selection.indexes().iter().any(|k| k.width() >= 2);
+        let extended = r
+            .steps
+            .iter()
+            .any(|s| matches!(s.action, StepAction::Extend { .. }));
+        assert_eq!(has_multi, extended);
+        assert!(has_multi, "expected a morphing step; steps: {:?}", r.steps);
+    }
+
+    #[test]
+    fn morphing_off_yields_single_attribute_indexes_only() {
+        let w = fixture();
+        let e = est(&w);
+        let r = run(&e, &Options { morphing: false, ..Options::new(u64::MAX / 2) });
+        assert!(r.selection.indexes().iter().all(|k| k.width() == 1));
+    }
+
+    #[test]
+    fn costs_decrease_monotonically_along_steps() {
+        let w = fixture();
+        let e = est(&w);
+        let r = run(&e, &Options::new(u64::MAX / 2));
+        let mut last = r.initial_cost;
+        for s in &r.steps {
+            assert!(s.total_cost <= last + 1e-9, "step increased cost: {s:?}");
+            last = s.total_cost;
+        }
+    }
+
+    #[test]
+    fn frontier_points_match_steps() {
+        let w = fixture();
+        let e = est(&w);
+        let r = run(&e, &Options::new(u64::MAX / 2));
+        // The frontier's best point equals the final cost.
+        let best = r.frontier.cost_at(u64::MAX).expect("non-empty frontier");
+        assert!((best - r.final_cost).abs() < 1e-9 * r.initial_cost.max(1.0));
+    }
+
+    #[test]
+    fn max_steps_limits_construction() {
+        let w = fixture();
+        let e = est(&w);
+        let r = run(&e, &Options { max_steps: Some(1), ..Options::new(u64::MAX / 2) });
+        assert_eq!(r.steps.len(), 1);
+        assert_eq!(r.selection.len(), 1);
+    }
+
+    #[test]
+    fn first_step_picks_best_density_single() {
+        let w = fixture();
+        let e = est(&w);
+        let r = run(&e, &Options { max_steps: Some(1), ..Options::new(u64::MAX / 2) });
+        // Manually compute the best-density single attribute.
+        let mut best = (f64::MIN, usize::MAX);
+        for i in 0..3u32 {
+            let k = Index::single(AttrId(i));
+            let ben = crate::heuristics::individual_benefit(&e, &k);
+            let d = ben / e.index_memory(&k) as f64;
+            if d > best.0 {
+                best = (d, i as usize);
+            }
+        }
+        match &r.steps[0].action {
+            StepAction::NewIndex(k) => assert_eq!(k.leading().idx(), best.1),
+            other => panic!("expected NewIndex, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn n_best_restricts_single_candidates() {
+        let w = fixture();
+        let e = est(&w);
+        let r = run(
+            &e,
+            &Options { n_best_single: Some(1), ..Options::new(u64::MAX / 2) },
+        );
+        // Only one distinct leading attribute can ever be introduced.
+        let mut leads: Vec<_> = r
+            .selection
+            .indexes()
+            .iter()
+            .map(|k| k.leading())
+            .collect();
+        leads.sort_unstable();
+        leads.dedup();
+        assert_eq!(leads.len(), 1);
+    }
+
+    #[test]
+    fn runner_up_tracking_records_missed_opportunities() {
+        let w = fixture();
+        let e = est(&w);
+        let r = run(
+            &e,
+            &Options { track_missed: true, ..Options::new(u64::MAX / 2) },
+        );
+        // Three competing attributes: the first step must have seen a
+        // second-best alternative, and it cannot outrank the chosen step.
+        let ru = r.steps[0].runner_up.as_ref().expect("runner-up recorded");
+        assert!(ru.ratio <= r.steps[0].ratio + 1e-12);
+        assert!(ru.benefit > 0.0);
+        // Tracking does not change the chosen construction.
+        let plain = run(&e, &Options::new(u64::MAX / 2));
+        assert_eq!(plain.selection, r.selection);
+        assert!(plain.steps.iter().all(|s| s.runner_up.is_none()));
+    }
+
+    #[test]
+    fn reconfig_costs_discourage_tiny_gains() {
+        let w = fixture();
+        let e = est(&w);
+        let free = run(&e, &Options::new(u64::MAX / 2));
+        let costly = run(
+            &e,
+            &Options {
+                reconfig: ReconfigCosts {
+                    current: Selection::empty(),
+                    create_cost_per_byte: 1e12,
+                    drop_cost: 0.0,
+                },
+                ..Options::new(u64::MAX / 2)
+            },
+        );
+        assert!(!free.selection.is_empty());
+        assert!(costly.selection.is_empty(), "prohibitive build costs must stop construction");
+    }
+
+    #[test]
+    fn pair_steps_can_only_help() {
+        let w = fixture();
+        let e = est(&w);
+        let plain = run(&e, &Options::new(u64::MAX / 2));
+        let pairs = run(&e, &Options { pair_steps: true, ..Options::new(u64::MAX / 2) });
+        assert!(pairs.final_cost <= plain.final_cost + 1e-9);
+    }
+
+    #[test]
+    fn what_if_calls_stay_near_two_q_qbar() {
+        // Section III-A: ≈ 2·Q·q̄ what-if calls (cached repeats excluded).
+        let w = isel_workload::synthetic::generate(&isel_workload::SyntheticConfig {
+            tables: 2,
+            attrs_per_table: 20,
+            queries_per_table: 30,
+            rows_base: 100_000,
+            max_query_width: 6,
+            update_fraction: 0.0,
+            seed: 5,
+        });
+        let e = est(&w);
+        let budget = crate::budget::relative_budget(&e, 0.2);
+        let _ = run(&e, &Options::new(budget));
+        let stats = e.stats();
+        let q_qbar: f64 = w.iter().map(|(_, q)| q.width() as f64).sum();
+        // Issued calls bounded by a small multiple of Q·q̄ (unindexed costs
+        // + first-step singles + extension probes).
+        assert!(
+            (stats.calls_issued as f64) < 6.0 * q_qbar + w.query_count() as f64,
+            "calls_issued={} Q·q̄={q_qbar}",
+            stats.calls_issued
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Memory budgets.
+//!
+//! The paper expresses budgets relative to the memory all single-attribute
+//! indexes would consume together (Eq. 10):
+//! `A(w) = w · Σ_{k ∈ {{1}, …, {N}}} p_k`, `0 ≤ w ≤ 1`.
+
+use isel_costmodel::WhatIfOptimizer;
+use isel_workload::{AttrId, Index};
+
+/// `Σ_{i=1..N} p_{{i}}`: total memory of all single-attribute indexes.
+pub fn single_attr_total_memory(est: &impl WhatIfOptimizer) -> u64 {
+    (0..est.workload().schema().attr_count() as u32)
+        .map(|i| est.index_memory(&Index::single(AttrId(i))))
+        .sum()
+}
+
+/// The budget `A(w)` of Eq. (10).
+///
+/// # Panics
+///
+/// Panics if `w` is negative or not finite. Values above 1 are allowed —
+/// multi-attribute selections can meaningfully use more memory than all
+/// single-attribute indexes (Figure 5 sweeps `w ∈ [0, 1]`).
+pub fn relative_budget(est: &impl WhatIfOptimizer, w: f64) -> u64 {
+    assert!(w.is_finite() && w >= 0.0, "budget share must be finite and non-negative");
+    (w * single_attr_total_memory(est) as f64).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isel_costmodel::AnalyticalWhatIf;
+    use isel_workload::{Query, SchemaBuilder, TableId, Workload};
+
+    fn fixture() -> Workload {
+        let mut b = SchemaBuilder::new();
+        let t = b.table("t", 1_024);
+        let a0 = b.attribute(t, "a0", 64, 4);
+        b.attribute(t, "a1", 8, 8);
+        Workload::new(b.finish(), vec![Query::new(TableId(0), vec![a0], 1)])
+    }
+
+    #[test]
+    fn total_is_sum_of_single_indexes() {
+        let w = fixture();
+        let est = AnalyticalWhatIf::new(&w);
+        let expect = est.index_memory(&Index::single(AttrId(0)))
+            + est.index_memory(&Index::single(AttrId(1)));
+        assert_eq!(single_attr_total_memory(&est), expect);
+    }
+
+    #[test]
+    fn relative_budget_scales_linearly() {
+        let w = fixture();
+        let est = AnalyticalWhatIf::new(&w);
+        let total = single_attr_total_memory(&est);
+        assert_eq!(relative_budget(&est, 0.0), 0);
+        assert_eq!(relative_budget(&est, 1.0), total);
+        assert_eq!(relative_budget(&est, 0.5), (total as f64 * 0.5).round() as u64);
+    }
+
+    #[test]
+    fn budgets_above_one_are_allowed() {
+        let w = fixture();
+        let est = AnalyticalWhatIf::new(&w);
+        assert!(relative_budget(&est, 2.0) > single_attr_total_memory(&est));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_budget_rejected() {
+        let w = fixture();
+        let est = AnalyticalWhatIf::new(&w);
+        relative_budget(&est, -0.1);
+    }
+}

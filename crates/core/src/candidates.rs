@@ -1,0 +1,286 @@
+//! Index-candidate enumeration and the scalable candidate-set heuristics.
+//!
+//! Two-step approaches need a candidate set `I` before they can select.
+//! This module provides:
+//!
+//! * [`enumerate_imax`] — the exhaustive pool `I_max`: every attribute
+//!   combination of width ≤ `max_width` that occurs inside at least one
+//!   query, each represented by one permutation (attributes ordered by
+//!   descending workload occurrence `g_i`, the "presumably best
+//!   representative" of Section IV-B),
+//! * [`select_candidates`] — the paper's scalable reductions **H1-M**
+//!   (most frequent combinations), **H2-M** (smallest combined
+//!   selectivity) and **H3-M** (best selectivity/frequency ratio), taking
+//!   `h = M/4` candidates per width `m = 1..4` (Example 1 (iv)).
+
+use isel_workload::{AttrId, Index, Workload, WorkloadStats};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One enumerated candidate: the unordered attribute set, its workload
+/// statistics, and the representative ordered index.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CandidateEntry {
+    /// Sorted attribute set.
+    pub set: Vec<AttrId>,
+    /// Frequency-weighted number of queries containing the set
+    /// (`Σ_{j: set ⊆ q_j} b_j`, the H1-M metric).
+    pub occurrences: u64,
+    /// Combined selectivity `Π_{i ∈ set} s_i` (the H2-M metric).
+    pub selectivity: f64,
+    /// Representative ordered index.
+    pub index: Index,
+}
+
+/// The exhaustive candidate pool `I_max`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CandidatePool {
+    entries: Vec<CandidateEntry>,
+}
+
+impl CandidatePool {
+    /// All entries, in deterministic order.
+    pub fn entries(&self) -> &[CandidateEntry] {
+        &self.entries
+    }
+
+    /// Number of candidates `|I_max|`.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The representative indexes of all candidates.
+    pub fn indexes(&self) -> Vec<Index> {
+        self.entries.iter().map(|e| e.index.clone()).collect()
+    }
+}
+
+/// Ranking used by [`select_candidates`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CandidateRanking {
+    /// H1-M: most frequent attribute combinations first.
+    Frequency,
+    /// H2-M: smallest combined selectivity first.
+    Selectivity,
+    /// H3-M: smallest selectivity-per-occurrence ratio first.
+    Ratio,
+}
+
+/// Enumerate `I_max`: every attribute combination of width `1..=max_width`
+/// occurring inside at least one query. The paper uses widths up to 4.
+pub fn enumerate_imax(workload: &Workload, max_width: usize) -> CandidatePool {
+    enumerate_imax_capped(workload, max_width, usize::MAX)
+}
+
+/// [`enumerate_imax`] with a per-query attribute cap: combinations are
+/// drawn only from each query's `per_query_attr_cap` most frequently used
+/// attributes. Keeps the pool tractable for wide analytical queries (the
+/// ERP workload of Figure 4) without dropping the combinations other
+/// queries share.
+pub fn enumerate_imax_capped(
+    workload: &Workload,
+    max_width: usize,
+    per_query_attr_cap: usize,
+) -> CandidatePool {
+    assert!(max_width >= 1, "need at least width-1 candidates");
+    assert!(per_query_attr_cap >= 1, "cap must keep at least one attribute");
+    let stats = WorkloadStats::compute(workload);
+    let mut counts: HashMap<Vec<AttrId>, u64> = HashMap::new();
+    let mut combo = Vec::with_capacity(max_width);
+    for (_, q) in workload.iter() {
+        if q.width() <= per_query_attr_cap {
+            subsets(q.attrs(), max_width, &mut combo, 0, &mut |set| {
+                *counts.entry(set.to_vec()).or_insert(0) += q.frequency();
+            });
+        } else {
+            let mut attrs: Vec<AttrId> = q.attrs().to_vec();
+            attrs.sort_by(|&a, &b| {
+                stats
+                    .occurrences(b)
+                    .cmp(&stats.occurrences(a))
+                    .then(a.cmp(&b))
+            });
+            attrs.truncate(per_query_attr_cap);
+            attrs.sort_unstable();
+            subsets(&attrs, max_width, &mut combo, 0, &mut |set| {
+                *counts.entry(set.to_vec()).or_insert(0) += q.frequency();
+            });
+        }
+    }
+
+    let schema = workload.schema();
+    let mut entries: Vec<CandidateEntry> = counts
+        .into_iter()
+        .map(|(set, occurrences)| {
+            let selectivity = set.iter().map(|&a| schema.selectivity(a)).product();
+            // Representative permutation: most-used attribute first so the
+            // prefix serves as many other queries as possible.
+            let mut order = set.clone();
+            order.sort_by(|&a, &b| {
+                stats
+                    .occurrences(b)
+                    .cmp(&stats.occurrences(a))
+                    .then(a.cmp(&b))
+            });
+            CandidateEntry { set, occurrences, selectivity, index: Index::new(order) }
+        })
+        .collect();
+    entries.sort_by(|a, b| a.set.cmp(&b.set));
+    CandidatePool { entries }
+}
+
+fn subsets(
+    attrs: &[AttrId],
+    max_width: usize,
+    combo: &mut Vec<AttrId>,
+    start: usize,
+    f: &mut impl FnMut(&[AttrId]),
+) {
+    if !combo.is_empty() {
+        f(combo);
+    }
+    if combo.len() == max_width {
+        return;
+    }
+    for i in start..attrs.len() {
+        combo.push(attrs[i]);
+        subsets(attrs, max_width, combo, i + 1, f);
+        combo.pop();
+    }
+}
+
+/// Reduce a pool to `total` candidates with one of the scalable rankings,
+/// taking `total / width_cap` candidates per width `m = 1..=width_cap`
+/// (Example 1 uses `width_cap = 4`).
+pub fn select_candidates(
+    pool: &CandidatePool,
+    total: usize,
+    width_cap: usize,
+    ranking: CandidateRanking,
+) -> Vec<Index> {
+    assert!(width_cap >= 1);
+    let per_width = (total / width_cap).max(1);
+    let mut out = Vec::with_capacity(total);
+    for m in 1..=width_cap {
+        let mut bucket: Vec<&CandidateEntry> =
+            pool.entries.iter().filter(|e| e.set.len() == m).collect();
+        bucket.sort_by(|a, b| {
+            let ord = match ranking {
+                CandidateRanking::Frequency => b.occurrences.cmp(&a.occurrences),
+                CandidateRanking::Selectivity => a
+                    .selectivity
+                    .partial_cmp(&b.selectivity)
+                    .expect("finite selectivities"),
+                CandidateRanking::Ratio => {
+                    let ra = a.selectivity / a.occurrences.max(1) as f64;
+                    let rb = b.selectivity / b.occurrences.max(1) as f64;
+                    ra.partial_cmp(&rb).expect("finite ratios")
+                }
+            };
+            ord.then(a.set.cmp(&b.set))
+        });
+        out.extend(bucket.into_iter().take(per_width).map(|e| e.index.clone()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isel_workload::{Query, SchemaBuilder, TableId};
+
+    fn workload() -> Workload {
+        let mut b = SchemaBuilder::new();
+        let t = b.table("t", 1_000);
+        let a0 = b.attribute(t, "a0", 1_000, 4); // most selective
+        let a1 = b.attribute(t, "a1", 100, 4);
+        let a2 = b.attribute(t, "a2", 10, 4);
+        Workload::new(
+            b.finish(),
+            vec![
+                Query::new(TableId(0), vec![a0, a1], 10),
+                Query::new(TableId(0), vec![a1, a2], 5),
+                Query::new(TableId(0), vec![a2], 1),
+            ],
+        )
+    }
+
+    #[test]
+    fn imax_contains_exactly_query_subsets() {
+        let pool = enumerate_imax(&workload(), 4);
+        // Sets: {0},{1},{0,1},{2},{1,2} — 5 candidates.
+        assert_eq!(pool.len(), 5);
+        let sets: Vec<&Vec<AttrId>> = pool.entries().iter().map(|e| &e.set).collect();
+        assert!(sets.contains(&&vec![AttrId(0), AttrId(1)]));
+        assert!(!sets.iter().any(|s| s.contains(&AttrId(0)) && s.contains(&AttrId(2))));
+    }
+
+    #[test]
+    fn occurrences_sum_over_containing_queries() {
+        let pool = enumerate_imax(&workload(), 4);
+        let e1 = pool.entries().iter().find(|e| e.set == vec![AttrId(1)]).unwrap();
+        assert_eq!(e1.occurrences, 15);
+        let e12 = pool
+            .entries()
+            .iter()
+            .find(|e| e.set == vec![AttrId(1), AttrId(2)])
+            .unwrap();
+        assert_eq!(e12.occurrences, 5);
+    }
+
+    #[test]
+    fn representative_orders_by_popularity() {
+        let pool = enumerate_imax(&workload(), 4);
+        let e = pool
+            .entries()
+            .iter()
+            .find(|e| e.set == vec![AttrId(0), AttrId(1)])
+            .unwrap();
+        // g(a1)=15 > g(a0)=10 → a1 leads.
+        assert_eq!(e.index.attrs(), &[AttrId(1), AttrId(0)]);
+    }
+
+    #[test]
+    fn width_cap_limits_subset_size() {
+        let pool = enumerate_imax(&workload(), 1);
+        assert!(pool.entries().iter().all(|e| e.set.len() == 1));
+        assert_eq!(pool.len(), 3);
+    }
+
+    #[test]
+    fn h1m_prefers_frequent_combinations() {
+        let pool = enumerate_imax(&workload(), 4);
+        let sel = select_candidates(&pool, 2, 2, CandidateRanking::Frequency);
+        // Width 1 bucket: a1 (15) first; width 2 bucket: {0,1} (10) first.
+        assert_eq!(sel[0], Index::single(AttrId(1)));
+        assert_eq!(sel[1].attrs().len(), 2);
+    }
+
+    #[test]
+    fn h2m_prefers_selective_combinations() {
+        let pool = enumerate_imax(&workload(), 4);
+        let sel = select_candidates(&pool, 2, 2, CandidateRanking::Selectivity);
+        assert_eq!(sel[0], Index::single(AttrId(0))); // s = 1/1000
+    }
+
+    #[test]
+    fn h3m_balances_both() {
+        let pool = enumerate_imax(&workload(), 4);
+        let sel = select_candidates(&pool, 2, 2, CandidateRanking::Ratio);
+        // a0: 0.001/10 = 1e-4; a1: 0.01/15 ≈ 6.7e-4; a2: 0.1/6 ≈ 1.7e-2.
+        assert_eq!(sel[0], Index::single(AttrId(0)));
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let pool = enumerate_imax(&workload(), 4);
+        let a = select_candidates(&pool, 4, 4, CandidateRanking::Frequency);
+        let b = select_candidates(&pool, 4, 4, CandidateRanking::Frequency);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,163 @@
+//! The DB2-advisor concept of Valentin et al. [9], complete with its
+//! randomized improvement phase.
+//!
+//! Definition 1's **H5** is only the *starting solution* of [9]: greedy by
+//! individually-measured benefit per size. The full advisor then "randomly
+//! shuffles" the configuration — swapping selected against unselected
+//! candidates — keeping variants that improve the workload cost. The paper
+//! argues this attacks index interaction *untargetedly*: the shuffle can
+//! stumble on better configurations but needs many expensive evaluations
+//! to do so, which is exactly what the comparison experiments show.
+
+use crate::heuristics;
+use crate::selection::Selection;
+use isel_costmodel::WhatIfOptimizer;
+use isel_workload::Index;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Options of the randomized phase.
+#[derive(Clone, Copy, Debug)]
+pub struct Db2Options {
+    /// Memory budget `A`.
+    pub budget: u64,
+    /// Number of random swap proposals to evaluate.
+    pub swap_rounds: usize,
+    /// RNG seed (the shuffle is the only random part).
+    pub seed: u64,
+}
+
+/// Result of a run: the final selection plus search statistics.
+#[derive(Clone, Debug)]
+pub struct Db2Result {
+    /// Final selection.
+    pub selection: Selection,
+    /// Cost of the H5 starting solution.
+    pub start_cost: f64,
+    /// Cost after shuffling.
+    pub final_cost: f64,
+    /// Swap proposals that improved the configuration.
+    pub accepted_swaps: usize,
+}
+
+/// Run the [9]-style advisor: H5 start, then randomized swaps.
+pub fn run(candidates: &[Index], est: &impl WhatIfOptimizer, options: &Db2Options) -> Db2Result {
+    let mut selection = heuristics::h5(candidates, est, options.budget);
+    let start_cost = selection.cost(est);
+    let mut cost = start_cost;
+    let mut used: u64 = selection.memory(est);
+    let mut accepted = 0usize;
+    let mut rng = StdRng::seed_from_u64(options.seed);
+
+    // Unselected pool (indexes not in the start solution).
+    let pool: Vec<&Index> = candidates
+        .iter()
+        .filter(|k| !selection.contains(k))
+        .collect();
+
+    for _ in 0..options.swap_rounds {
+        if selection.is_empty() || pool.is_empty() {
+            break;
+        }
+        // Propose: drop one random selected index, then try to add random
+        // unselected candidates while the budget allows.
+        let victim = selection.indexes()[rng.gen_range(0..selection.len())].clone();
+        let mut trial = selection.clone();
+        trial.remove(&victim);
+        let mut trial_mem = used - est.index_memory(&victim);
+        // A few random insertion attempts (with replacement) — the
+        // untargeted part.
+        for _ in 0..4 {
+            let cand = pool[rng.gen_range(0..pool.len())];
+            if trial.contains(cand) {
+                continue;
+            }
+            let p = est.index_memory(cand);
+            if trial_mem + p <= options.budget {
+                trial.insert(cand.clone());
+                trial_mem += p;
+            }
+        }
+        let trial_cost = trial.cost(est);
+        if trial_cost < cost - 1e-12 {
+            selection = trial;
+            cost = trial_cost;
+            used = trial_mem;
+            accepted += 1;
+        }
+    }
+
+    Db2Result { selection, start_cost, final_cost: cost, accepted_swaps: accepted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{algorithm1, budget, candidates};
+    use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
+    use isel_workload::synthetic::{self, SyntheticConfig};
+
+    fn workload() -> isel_workload::Workload {
+        synthetic::generate(&SyntheticConfig {
+            tables: 1,
+            attrs_per_table: 15,
+            queries_per_table: 20,
+            rows_base: 300_000,
+            max_query_width: 5,
+            update_fraction: 0.0,
+            seed: 2,
+        })
+    }
+
+    #[test]
+    fn shuffling_never_hurts_and_respects_the_budget() {
+        let w = workload();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let pool = candidates::enumerate_imax(&w, 4).indexes();
+        let a = budget::relative_budget(&est, 0.3);
+        let r = run(&pool, &est, &Db2Options { budget: a, swap_rounds: 200, seed: 1 });
+        assert!(r.final_cost <= r.start_cost + 1e-9);
+        assert!(r.selection.memory(&est) <= a);
+        assert!((r.selection.cost(&est) - r.final_cost).abs() < 1e-6 * r.start_cost);
+    }
+
+    #[test]
+    fn more_rounds_cannot_be_worse() {
+        let w = workload();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let pool = candidates::enumerate_imax(&w, 4).indexes();
+        let a = budget::relative_budget(&est, 0.3);
+        let short = run(&pool, &est, &Db2Options { budget: a, swap_rounds: 20, seed: 5 });
+        let long = run(&pool, &est, &Db2Options { budget: a, swap_rounds: 400, seed: 5 });
+        assert!(long.final_cost <= short.final_cost + 1e-9);
+    }
+
+    #[test]
+    fn h6_matches_or_beats_the_shuffled_advisor() {
+        // The paper's claim: targeted recursion ≥ untargeted shuffling.
+        let w = workload();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let pool = candidates::enumerate_imax(&w, 4).indexes();
+        let a = budget::relative_budget(&est, 0.3);
+        let db2 = run(&pool, &est, &Db2Options { budget: a, swap_rounds: 300, seed: 9 });
+        let h6 = algorithm1::run(&est, &algorithm1::Options::new(a));
+        assert!(
+            h6.final_cost <= db2.final_cost * 1.02,
+            "H6 {} vs DB2 {}",
+            h6.final_cost,
+            db2.final_cost
+        );
+    }
+
+    #[test]
+    fn zero_rounds_is_exactly_h5() {
+        let w = workload();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let pool = candidates::enumerate_imax(&w, 4).indexes();
+        let a = budget::relative_budget(&est, 0.3);
+        let r = run(&pool, &est, &Db2Options { budget: a, swap_rounds: 0, seed: 1 });
+        let h5 = heuristics::h5(&pool, &est, a);
+        assert_eq!(r.selection, h5);
+        assert_eq!(r.accepted_swaps, 0);
+    }
+}

@@ -1,0 +1,352 @@
+//! The baseline selection heuristics H1–H5 of Definition 1.
+//!
+//! All five pick from a *given* candidate set until the memory budget is
+//! exhausted:
+//!
+//! * **H1** — most used attribute combinations first (rule-based),
+//! * **H2** — smallest combined selectivity first (rule-based),
+//! * **H3** — smallest selectivity/occurrences ratio first (rule-based),
+//! * **H4** — largest individually-measured benefit first (the concept of
+//!   Microsoft SQL Server's advisor [11], [13]), optionally after the
+//!   skyline filter that drops per-query dominated candidates,
+//! * **H5** — largest benefit *per size* first (DB2 advisor's starting
+//!   solution [9]).
+//!
+//! H4/H5 need what-if costs for every candidate — the very cost explosion
+//! the paper's recursive strategy avoids.
+
+use crate::selection::Selection;
+use isel_costmodel::WhatIfOptimizer;
+use isel_workload::{Index, Workload};
+
+/// Frequency-weighted occurrences of a candidate's attribute set
+/// (`Σ_{j: set(k) ⊆ q_j} b_j`).
+pub fn occurrences(workload: &Workload, index: &Index) -> u64 {
+    let mut set: Vec<_> = index.attrs().to_vec();
+    set.sort_unstable();
+    workload
+        .iter()
+        .filter(|(_, q)| set.iter().all(|a| q.accesses(*a)))
+        .map(|(_, q)| q.frequency())
+        .sum()
+}
+
+/// Combined selectivity `Π_{i ∈ k} s_i` of a candidate.
+pub fn combined_selectivity(workload: &Workload, index: &Index) -> f64 {
+    index
+        .attrs()
+        .iter()
+        .map(|&a| workload.schema().selectivity(a))
+        .product()
+}
+
+/// Individually measured benefit of a candidate:
+/// `Σ_j b_j · (f_j(0) − f_j({k}))` — the candidate's improvement when it
+/// is the *only* index (no interaction). Under update templates the
+/// configuration cost includes maintenance, so the benefit can be
+/// negative (the index costs more upkeep than it saves).
+pub fn individual_benefit(est: &impl WhatIfOptimizer, index: &Index) -> f64 {
+    let config = std::slice::from_ref(index);
+    est.workload()
+        .iter()
+        .map(|(j, q)| {
+            // Fast path: selects the index cannot touch keep cost f_j(0).
+            if !q.is_update() && !index.applicable_to(q) {
+                return 0.0;
+            }
+            let f0 = est.unindexed_cost(j);
+            q.frequency() as f64 * (f0 - est.config_cost(j, config))
+        })
+        .sum()
+}
+
+/// Add candidates in the given order while the budget permits (candidates
+/// that do not fit are skipped, later smaller ones may still fit).
+pub fn greedy_fill(ranked: &[Index], est: &impl WhatIfOptimizer, budget: u64) -> Selection {
+    let mut sel = Selection::empty();
+    let mut used = 0u64;
+    for k in ranked {
+        if sel.contains(k) {
+            continue;
+        }
+        let p = est.index_memory(k);
+        if used + p <= budget {
+            used += p;
+            sel.insert(k.clone());
+        }
+    }
+    sel
+}
+
+/// H1: most used attribute combinations first.
+pub fn h1(candidates: &[Index], est: &impl WhatIfOptimizer, budget: u64) -> Selection {
+    let w = est.workload();
+    let mut ranked = candidates.to_vec();
+    ranked.sort_by_cached_key(|k| std::cmp::Reverse(occurrences(w, k)));
+    greedy_fill(&ranked, est, budget)
+}
+
+/// H2: smallest combined selectivity first.
+pub fn h2(candidates: &[Index], est: &impl WhatIfOptimizer, budget: u64) -> Selection {
+    let w = est.workload();
+    let mut ranked = candidates.to_vec();
+    ranked.sort_by(|a, b| {
+        combined_selectivity(w, a)
+            .partial_cmp(&combined_selectivity(w, b))
+            .expect("finite selectivities")
+            .then_with(|| a.attrs().cmp(b.attrs()))
+    });
+    greedy_fill(&ranked, est, budget)
+}
+
+/// H3: smallest selectivity/occurrences ratio first.
+pub fn h3(candidates: &[Index], est: &impl WhatIfOptimizer, budget: u64) -> Selection {
+    let w = est.workload();
+    let ratio = |k: &Index| combined_selectivity(w, k) / occurrences(w, k).max(1) as f64;
+    let mut ranked = candidates.to_vec();
+    ranked.sort_by(|a, b| {
+        ratio(a)
+            .partial_cmp(&ratio(b))
+            .expect("finite ratios")
+            .then_with(|| a.attrs().cmp(b.attrs()))
+    });
+    greedy_fill(&ranked, est, budget)
+}
+
+/// H4: best individually-measured performance first; with
+/// `use_skyline = true` the candidate set is first reduced to per-query
+/// Pareto-efficient candidates (cf. [11]).
+pub fn h4(
+    candidates: &[Index],
+    est: &impl WhatIfOptimizer,
+    budget: u64,
+    use_skyline: bool,
+) -> Selection {
+    let pool: Vec<Index> = if use_skyline {
+        skyline_filter(candidates, est)
+    } else {
+        candidates.to_vec()
+    };
+    // Candidates whose upkeep outweighs their savings are never worth
+    // selecting, whatever the budget.
+    let mut ranked: Vec<Index> = pool
+        .into_iter()
+        .filter(|k| individual_benefit(est, k) > 0.0)
+        .collect();
+    ranked.sort_by(|a, b| {
+        individual_benefit(est, b)
+            .partial_cmp(&individual_benefit(est, a))
+            .expect("finite benefits")
+            .then_with(|| a.attrs().cmp(b.attrs()))
+    });
+    greedy_fill(&ranked, est, budget)
+}
+
+/// H5: best benefit-per-size ratio first (cf. the starting solution of
+/// the DB2 advisor [9]).
+///
+/// ```
+/// use isel_core::{candidates, heuristics, budget};
+/// use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
+/// use isel_workload::synthetic::{self, SyntheticConfig};
+///
+/// let w = synthetic::generate(&SyntheticConfig {
+///     tables: 1, attrs_per_table: 8, queries_per_table: 10,
+///     rows_base: 100_000, ..SyntheticConfig::default()
+/// });
+/// let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+/// let pool = candidates::enumerate_imax(&w, 3).indexes();
+/// let a = budget::relative_budget(&est, 0.3);
+/// let sel = heuristics::h5(&pool, &est, a);
+/// assert!(sel.memory(&est) <= a);
+/// ```
+pub fn h5(candidates: &[Index], est: &impl WhatIfOptimizer, budget: u64) -> Selection {
+    let density = |k: &Index| individual_benefit(est, k) / est.index_memory(k).max(1) as f64;
+    let mut ranked: Vec<Index> = candidates
+        .iter()
+        .filter(|k| individual_benefit(est, k) > 0.0)
+        .cloned()
+        .collect();
+    ranked.sort_by(|a, b| {
+        density(b)
+            .partial_cmp(&density(a))
+            .expect("finite densities")
+            .then_with(|| a.attrs().cmp(b.attrs()))
+    });
+    greedy_fill(&ranked, est, budget)
+}
+
+/// Skyline filter: keep a candidate iff it is Pareto-efficient in
+/// `(query cost, index size)` for at least one query — i.e. for some query
+/// no other candidate is both cheaper (or equal) *and* smaller (or equal)
+/// with one of the two strict.
+pub fn skyline_filter(candidates: &[Index], est: &impl WhatIfOptimizer) -> Vec<Index> {
+    let workload = est.workload();
+    let sizes: Vec<u64> = candidates.iter().map(|k| est.index_memory(k)).collect();
+    let mut keep = vec![false; candidates.len()];
+
+    for (j, _) in workload.iter() {
+        // Applicable candidates with their costs for this query.
+        let mut rows: Vec<(usize, f64)> = candidates
+            .iter()
+            .enumerate()
+            .filter_map(|(i, k)| est.index_cost(j, k).map(|c| (i, c)))
+            .collect();
+        if rows.is_empty() {
+            continue;
+        }
+        // Sort by size asc, then cost asc; sweep keeps the Pareto front.
+        rows.sort_by(|a, b| {
+            sizes[a.0]
+                .cmp(&sizes[b.0])
+                .then(a.1.partial_cmp(&b.1).expect("finite costs"))
+        });
+        let mut best_cost = f64::INFINITY;
+        for &(i, c) in &rows {
+            if c < best_cost {
+                keep[i] = true;
+                best_cost = c;
+            }
+        }
+    }
+    candidates
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(k, _)| k.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
+    use isel_workload::{AttrId, Query, SchemaBuilder, TableId};
+
+    fn fixture() -> Workload {
+        let mut b = SchemaBuilder::new();
+        let t = b.table("t", 10_000);
+        let a0 = b.attribute(t, "a0", 10_000, 4); // selective, rarely used
+        let a1 = b.attribute(t, "a1", 100, 4); // moderately selective, hot
+        let a2 = b.attribute(t, "a2", 4, 4); // non-selective
+        Workload::new(
+            b.finish(),
+            vec![
+                Query::new(TableId(0), vec![a1], 100),
+                Query::new(TableId(0), vec![a1, a2], 50),
+                Query::new(TableId(0), vec![a0], 1),
+            ],
+        )
+    }
+
+    fn singles() -> Vec<Index> {
+        (0..3).map(|i| Index::single(AttrId(i))).collect()
+    }
+
+    #[test]
+    fn h1_ranks_by_occurrences() {
+        let w = fixture();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let budget = est.index_memory(&Index::single(AttrId(1)));
+        let sel = h1(&singles(), &est, budget);
+        assert!(sel.contains(&Index::single(AttrId(1)))); // g = 150
+    }
+
+    #[test]
+    fn h2_ranks_by_selectivity() {
+        let w = fixture();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let budget = est.index_memory(&Index::single(AttrId(0)));
+        let sel = h2(&singles(), &est, budget);
+        assert!(sel.contains(&Index::single(AttrId(0)))); // s = 1e-4
+    }
+
+    #[test]
+    fn benefit_is_zero_for_inapplicable_candidates() {
+        let w = fixture();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        // a2-leading index helps only q2; a hypothetical index on a totally
+        // unused ordering yields finite benefit ≥ 0.
+        let b = individual_benefit(&est, &Index::new(vec![AttrId(2), AttrId(0)]));
+        assert!(b >= 0.0);
+    }
+
+    #[test]
+    fn h4_beats_rule_based_on_this_workload() {
+        let w = fixture();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let budget = singles()
+            .iter()
+            .map(|k| est.index_memory(k))
+            .max()
+            .unwrap();
+        let by_benefit = h4(&singles(), &est, budget, false);
+        let by_selectivity = h2(&singles(), &est, budget);
+        assert!(by_benefit.cost(&est) <= by_selectivity.cost(&est));
+    }
+
+    #[test]
+    fn h5_prefers_dense_candidates() {
+        let w = fixture();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let budget = est.index_memory(&Index::single(AttrId(1)));
+        let sel = h5(&singles(), &est, budget);
+        assert_eq!(sel.len(), 1);
+        // The hot a1 index has by far the best benefit density here.
+        assert!(sel.contains(&Index::single(AttrId(1))));
+    }
+
+    #[test]
+    fn greedy_fill_skips_oversized_but_keeps_later_fits() {
+        let w = fixture();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let wide = Index::new(vec![AttrId(1), AttrId(2), AttrId(0)]);
+        let small = Index::single(AttrId(2));
+        let budget = est.index_memory(&small);
+        let sel = greedy_fill(&[wide, small.clone()], &est, budget);
+        assert_eq!(sel.len(), 1);
+        assert!(sel.contains(&small));
+    }
+
+    #[test]
+    fn skyline_keeps_per_query_pareto_candidates() {
+        let w = fixture();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let k1 = Index::single(AttrId(1));
+        let k12 = Index::new(vec![AttrId(1), AttrId(2)]);
+        let k2 = Index::single(AttrId(2));
+        let kept = skyline_filter(&[k1.clone(), k12.clone(), k2.clone()], &est);
+        // k1 is the smallest applicable index for q1 → kept. k12 is the
+        // cheapest for q2 → kept.
+        assert!(kept.contains(&k1));
+        assert!(kept.contains(&k12));
+    }
+
+    #[test]
+    fn skyline_drops_dominated_candidates() {
+        let w = fixture();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        // (a1, a0): same size as (a1, a2) but worse for every applicable
+        // query than either k1 (smaller, same or lower cost on q1) or k12.
+        let k1 = Index::single(AttrId(1));
+        let k12 = Index::new(vec![AttrId(1), AttrId(2)]);
+        let k10 = Index::new(vec![AttrId(1), AttrId(0)]);
+        let kept = skyline_filter(&[k1, k12, k10.clone()], &est);
+        assert!(!kept.contains(&k10));
+    }
+
+    #[test]
+    fn zero_budget_selects_nothing() {
+        let w = fixture();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        for sel in [
+            h1(&singles(), &est, 0),
+            h2(&singles(), &est, 0),
+            h3(&singles(), &est, 0),
+            h4(&singles(), &est, 0, true),
+            h5(&singles(), &est, 0),
+        ] {
+            assert!(sel.is_empty());
+        }
+    }
+}

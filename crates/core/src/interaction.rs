@@ -1,0 +1,141 @@
+//! Index-interaction analysis (IIA).
+//!
+//! Schnaitter et al. [12]: "an index a interacts with an index b if the
+//! benefit of a is affected by the presence of b and vice-versa". This
+//! module quantifies that: the *degree of interaction* between two indexes
+//! is the relative change of one index's benefit caused by the other's
+//! presence. The paper's core argument is that Algorithm 1 handles IIA by
+//! construction while one-shot heuristics (H4/H5) ignore it — this module
+//! is the measurement tool behind that argument (and a handy diagnostic
+//! for downstream users).
+
+use isel_costmodel::WhatIfOptimizer;
+use isel_workload::Index;
+use serde::{Deserialize, Serialize};
+
+/// Benefit of index `a` given configuration `ctx`:
+/// `Σ_j b_j · (f_j(ctx) − f_j(ctx ∪ {a}))`.
+pub fn conditional_benefit(est: &impl WhatIfOptimizer, a: &Index, ctx: &[Index]) -> f64 {
+    let mut with_a: Vec<Index> = ctx.to_vec();
+    with_a.push(a.clone());
+    est.workload_cost(ctx) - est.workload_cost(&with_a)
+}
+
+/// Degree of interaction between `a` and `b` (≥ 0):
+///
+/// `doi(a, b) = |benefit(a | ∅) − benefit(a | {b})| / max(benefit(a | ∅), ε)`
+///
+/// following the relative-benefit-change formulation of [12]. A value of 0
+/// means independent; 1 means `b` fully cannibalizes `a` (or doubles it).
+pub fn degree_of_interaction(est: &impl WhatIfOptimizer, a: &Index, b: &Index) -> f64 {
+    let alone = conditional_benefit(est, a, &[]);
+    let given_b = conditional_benefit(est, a, std::slice::from_ref(b));
+    if alone.abs() < f64::EPSILON {
+        return 0.0;
+    }
+    ((alone - given_b) / alone).abs()
+}
+
+/// One interacting pair found by [`interaction_matrix`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct InteractionPair {
+    /// First index (position in the input slice).
+    pub a: usize,
+    /// Second index.
+    pub b: usize,
+    /// `doi(a, b)`.
+    pub degree: f64,
+}
+
+/// All pairwise interaction degrees above `threshold`, strongest first.
+///
+/// Cost: `O(|indexes|² · Q)` what-if-backed evaluations — use a caching
+/// estimator and modest index counts.
+pub fn interaction_matrix(
+    est: &impl WhatIfOptimizer,
+    indexes: &[Index],
+    threshold: f64,
+) -> Vec<InteractionPair> {
+    let mut pairs = Vec::new();
+    for i in 0..indexes.len() {
+        for j in i + 1..indexes.len() {
+            let d = degree_of_interaction(est, &indexes[i], &indexes[j])
+                .max(degree_of_interaction(est, &indexes[j], &indexes[i]));
+            if d > threshold {
+                pairs.push(InteractionPair { a: i, b: j, degree: d });
+            }
+        }
+    }
+    pairs.sort_by(|x, y| y.degree.partial_cmp(&x.degree).expect("finite degrees"));
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
+    use isel_workload::{AttrId, Query, SchemaBuilder, TableId, Workload};
+
+    /// q0 can use either a0 or a1 indexes (they cannibalize); q1 only a2
+    /// (independent of the others).
+    fn fixture() -> Workload {
+        let mut b = SchemaBuilder::new();
+        let t = b.table("t", 100_000);
+        let a0 = b.attribute(t, "a0", 50_000, 4);
+        let a1 = b.attribute(t, "a1", 40_000, 4);
+        let a2 = b.attribute(t, "a2", 1_000, 4);
+        Workload::new(
+            b.finish(),
+            vec![
+                Query::new(TableId(0), vec![a0, a1], 10),
+                Query::new(TableId(0), vec![a2], 10),
+            ],
+        )
+    }
+
+    #[test]
+    fn competing_indexes_interact_strongly() {
+        let w = fixture();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let ka = Index::single(AttrId(0));
+        let kb = Index::single(AttrId(1));
+        let d = degree_of_interaction(&est, &kb, &ka);
+        // a0's index already serves q0 almost perfectly; adding a1's index
+        // on top changes (cannibalizes) most of its benefit.
+        assert!(d > 0.5, "expected strong interaction, got {d}");
+    }
+
+    #[test]
+    fn independent_indexes_do_not_interact() {
+        let w = fixture();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let ka = Index::single(AttrId(0));
+        let kc = Index::single(AttrId(2));
+        assert_eq!(degree_of_interaction(&est, &ka, &kc), 0.0);
+        assert_eq!(degree_of_interaction(&est, &kc, &ka), 0.0);
+    }
+
+    #[test]
+    fn matrix_surfaces_only_interacting_pairs() {
+        let w = fixture();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let idx = vec![
+            Index::single(AttrId(0)),
+            Index::single(AttrId(1)),
+            Index::single(AttrId(2)),
+        ];
+        let pairs = interaction_matrix(&est, &idx, 0.1);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!((pairs[0].a, pairs[0].b), (0, 1));
+    }
+
+    #[test]
+    fn conditional_benefit_is_nonnegative_under_min_semantics() {
+        let w = fixture();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        for i in 0..3u32 {
+            let k = Index::single(AttrId(i));
+            assert!(conditional_benefit(&est, &k, &[]) >= -1e-9);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Reconfiguration costs `R(I*, Ī*)` (Section II-A).
+//!
+//! Moving from an existing selection `Ī*` to a new one `I*` creates the
+//! indexes `I* \ Ī*` and drops `Ī* \ I*`. The paper leaves `R` "arbitrarily
+//! defined"; we use the natural parameterization: building an index costs
+//! proportionally to its size (it materializes `p_k` bytes), dropping is a
+//! cheap flat fee.
+
+use crate::selection::Selection;
+use isel_costmodel::WhatIfOptimizer;
+use serde::{Deserialize, Serialize};
+
+/// Parameterized reconfiguration cost function.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReconfigCosts {
+    /// Existing selection `Ī*` (the current state).
+    pub current: Selection,
+    /// Cost per byte of a newly created index.
+    pub create_cost_per_byte: f64,
+    /// Flat cost per dropped index.
+    pub drop_cost: f64,
+}
+
+impl ReconfigCosts {
+    /// No existing indexes, free reconfiguration — `R ≡ 0` (the setting of
+    /// Example 1).
+    pub fn free() -> Self {
+        Self {
+            current: Selection::empty(),
+            create_cost_per_byte: 0.0,
+            drop_cost: 0.0,
+        }
+    }
+
+    /// `R(I*, Ī*)`: creation costs for `I* \ Ī*` plus drop costs for
+    /// `Ī* \ I*`.
+    pub fn cost(&self, new: &Selection, est: &impl WhatIfOptimizer) -> f64 {
+        let creates: f64 = new
+            .indexes()
+            .iter()
+            .filter(|k| !self.current.contains(k))
+            .map(|k| est.index_memory(k) as f64 * self.create_cost_per_byte)
+            .sum();
+        let drops = self
+            .current
+            .indexes()
+            .iter()
+            .filter(|k| !new.contains(k))
+            .count() as f64
+            * self.drop_cost;
+        creates + drops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isel_costmodel::AnalyticalWhatIf;
+    use isel_workload::{AttrId, Index, Query, SchemaBuilder, TableId, Workload};
+
+    fn fixture() -> Workload {
+        let mut b = SchemaBuilder::new();
+        let t = b.table("t", 1_000);
+        let a0 = b.attribute(t, "a0", 100, 4);
+        b.attribute(t, "a1", 10, 4);
+        Workload::new(b.finish(), vec![Query::new(TableId(0), vec![a0], 1)])
+    }
+
+    #[test]
+    fn free_reconfiguration_is_zero() {
+        let w = fixture();
+        let est = AnalyticalWhatIf::new(&w);
+        let new = Selection::from_indexes(vec![Index::single(AttrId(0))]);
+        assert_eq!(ReconfigCosts::free().cost(&new, &est), 0.0);
+    }
+
+    #[test]
+    fn unchanged_selection_costs_nothing() {
+        let w = fixture();
+        let est = AnalyticalWhatIf::new(&w);
+        let sel = Selection::from_indexes(vec![Index::single(AttrId(0))]);
+        let r = ReconfigCosts {
+            current: sel.clone(),
+            create_cost_per_byte: 1.0,
+            drop_cost: 10.0,
+        };
+        assert_eq!(r.cost(&sel, &est), 0.0);
+    }
+
+    #[test]
+    fn creates_and_drops_are_charged() {
+        let w = fixture();
+        let est = AnalyticalWhatIf::new(&w);
+        let old = Selection::from_indexes(vec![Index::single(AttrId(0))]);
+        let new = Selection::from_indexes(vec![Index::single(AttrId(1))]);
+        let r = ReconfigCosts {
+            current: old,
+            create_cost_per_byte: 2.0,
+            drop_cost: 5.0,
+        };
+        let expect = est.index_memory(&Index::single(AttrId(1))) as f64 * 2.0 + 5.0;
+        assert_eq!(r.cost(&new, &est), expect);
+    }
+}

@@ -1,0 +1,274 @@
+//! Selections and performance/memory frontiers.
+
+use isel_costmodel::WhatIfOptimizer;
+use isel_workload::Index;
+use serde::{Deserialize, Serialize};
+
+/// An index selection `I*`: a duplicate-free set of multi-attribute
+/// indexes.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Selection {
+    indexes: Vec<Index>,
+}
+
+impl Selection {
+    /// Empty selection.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Selection from a list of indexes (duplicates removed, order kept).
+    pub fn from_indexes(indexes: Vec<Index>) -> Self {
+        let mut s = Self::empty();
+        for k in indexes {
+            s.insert(k);
+        }
+        s
+    }
+
+    /// The indexes of the selection.
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// Number of indexes `|I*|`.
+    pub fn len(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Whether the selection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.indexes.is_empty()
+    }
+
+    /// Whether an identical index is part of the selection.
+    pub fn contains(&self, index: &Index) -> bool {
+        self.indexes.contains(index)
+    }
+
+    /// Add an index; returns `false` if it was already present.
+    pub fn insert(&mut self, index: Index) -> bool {
+        if self.contains(&index) {
+            return false;
+        }
+        self.indexes.push(index);
+        true
+    }
+
+    /// Remove an index; returns whether it was present.
+    pub fn remove(&mut self, index: &Index) -> bool {
+        match self.indexes.iter().position(|k| k == index) {
+            Some(pos) => {
+                self.indexes.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Replace `old` by `new` (the morphing step); panics if `old` is
+    /// absent or `new` already present.
+    pub fn replace(&mut self, old: &Index, new: Index) {
+        let pos = self
+            .indexes
+            .iter()
+            .position(|k| k == old)
+            .expect("replace: old index not in selection");
+        assert!(!self.contains(&new), "replace: new index already present");
+        self.indexes[pos] = new;
+    }
+
+    /// Total memory `P(I*) = Σ p_k` (Eq. 2).
+    pub fn memory(&self, est: &impl WhatIfOptimizer) -> u64 {
+        self.indexes.iter().map(|k| est.index_memory(k)).sum()
+    }
+
+    /// Total workload cost `F(I*)` (Eq. 1) under the estimator's
+    /// configuration semantics.
+    pub fn cost(&self, est: &impl WhatIfOptimizer) -> f64 {
+        est.workload_cost(&self.indexes)
+    }
+}
+
+impl FromIterator<Index> for Selection {
+    fn from_iter<T: IntoIterator<Item = Index>>(iter: T) -> Self {
+        Self::from_indexes(iter.into_iter().collect())
+    }
+}
+
+/// One performance/memory point.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FrontierPoint {
+    /// Memory used (bytes).
+    pub memory: u64,
+    /// Total workload cost at that memory.
+    pub cost: f64,
+}
+
+/// A performance/memory frontier: the per-step points of Algorithm 1, or a
+/// budget sweep of any other strategy.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Frontier {
+    points: Vec<FrontierPoint>,
+}
+
+impl Frontier {
+    /// Frontier from raw points (sorted by memory, pruned to be
+    /// non-increasing in cost — dominated points are dropped).
+    pub fn new(mut points: Vec<FrontierPoint>) -> Self {
+        points.sort_by_key(|a| a.memory);
+        let mut pruned: Vec<FrontierPoint> = Vec::with_capacity(points.len());
+        for p in points {
+            if let Some(last) = pruned.last() {
+                if p.cost >= last.cost {
+                    continue; // dominated: more memory, no better cost
+                }
+                if p.memory == last.memory {
+                    pruned.pop();
+                }
+            }
+            pruned.push(p);
+        }
+        Self { points: pruned }
+    }
+
+    /// The (sorted, dominance-pruned) points.
+    pub fn points(&self) -> &[FrontierPoint] {
+        &self.points
+    }
+
+    /// Best cost achievable within `budget` bytes, if any point fits.
+    pub fn cost_at(&self, budget: u64) -> Option<f64> {
+        self.points
+            .iter()
+            .take_while(|p| p.memory <= budget)
+            .last()
+            .map(|p| p.cost)
+    }
+
+    /// Area under the cost-vs-memory step curve on `[0, up_to]` — a single
+    /// scalar for comparing whole frontiers in experiment summaries
+    /// (smaller = better across all budgets). The cost before the first
+    /// point (and for an empty frontier) is taken from `base_cost`.
+    pub fn area_under_curve(&self, up_to: u64, base_cost: f64) -> f64 {
+        let mut area = 0.0;
+        let mut cur_cost = base_cost;
+        let mut cur_mem = 0u64;
+        for p in &self.points {
+            if p.memory >= up_to {
+                break;
+            }
+            area += cur_cost * (p.memory - cur_mem) as f64;
+            cur_cost = p.cost;
+            cur_mem = p.memory;
+        }
+        area + cur_cost * up_to.saturating_sub(cur_mem) as f64
+    }
+
+    /// Whether `self` is at least as good as `other` at *every* budget in
+    /// `budgets` (missing points fall back to `base_cost`).
+    pub fn dominates_at(&self, other: &Frontier, budgets: &[u64], base_cost: f64) -> bool {
+        budgets.iter().all(|&b| {
+            self.cost_at(b).unwrap_or(base_cost) <= other.cost_at(b).unwrap_or(base_cost) + 1e-9
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isel_costmodel::AnalyticalWhatIf;
+    use isel_workload::{AttrId, Query, SchemaBuilder, TableId, Workload};
+
+    fn est_fixture() -> Workload {
+        let mut b = SchemaBuilder::new();
+        let t = b.table("t", 1_000);
+        let a0 = b.attribute(t, "a0", 100, 4);
+        let a1 = b.attribute(t, "a1", 10, 4);
+        Workload::new(
+            b.finish(),
+            vec![Query::new(TableId(0), vec![a0, a1], 2)],
+        )
+    }
+
+    #[test]
+    fn insert_remove_replace() {
+        let mut s = Selection::empty();
+        let k0 = Index::single(AttrId(0));
+        let k01 = k0.extended(AttrId(1));
+        assert!(s.insert(k0.clone()));
+        assert!(!s.insert(k0.clone()));
+        s.replace(&k0, k01.clone());
+        assert!(s.contains(&k01));
+        assert!(!s.contains(&k0));
+        assert!(s.remove(&k01));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn memory_and_cost_delegate_to_estimator() {
+        let w = est_fixture();
+        let est = AnalyticalWhatIf::new(&w);
+        let s = Selection::from_indexes(vec![Index::single(AttrId(0))]);
+        assert_eq!(s.memory(&est), est.index_memory(&Index::single(AttrId(0))));
+        let empty_cost = Selection::empty().cost(&est);
+        assert!(s.cost(&est) < empty_cost);
+    }
+
+    #[test]
+    fn frontier_prunes_dominated_points() {
+        let f = Frontier::new(vec![
+            FrontierPoint { memory: 10, cost: 100.0 },
+            FrontierPoint { memory: 20, cost: 120.0 }, // dominated
+            FrontierPoint { memory: 30, cost: 80.0 },
+            FrontierPoint { memory: 30, cost: 70.0 }, // same memory, better
+        ]);
+        assert_eq!(f.points().len(), 2);
+        assert_eq!(f.points()[1].cost, 70.0);
+    }
+
+    #[test]
+    fn cost_at_respects_budget() {
+        let f = Frontier::new(vec![
+            FrontierPoint { memory: 10, cost: 100.0 },
+            FrontierPoint { memory: 30, cost: 70.0 },
+        ]);
+        assert_eq!(f.cost_at(5), None);
+        assert_eq!(f.cost_at(10), Some(100.0));
+        assert_eq!(f.cost_at(29), Some(100.0));
+        assert_eq!(f.cost_at(1_000), Some(70.0));
+    }
+
+    #[test]
+    fn auc_integrates_the_step_curve() {
+        let f = Frontier::new(vec![
+            FrontierPoint { memory: 10, cost: 50.0 },
+            FrontierPoint { memory: 20, cost: 20.0 },
+        ]);
+        // [0,10): 100, [10,20): 50, [20,30): 20 → 1000 + 500 + 200.
+        let auc = f.area_under_curve(30, 100.0);
+        assert!((auc - 1700.0).abs() < 1e-9);
+        // Empty frontier integrates the base cost.
+        let empty = Frontier::new(vec![]);
+        assert_eq!(empty.area_under_curve(10, 7.0), 70.0);
+    }
+
+    #[test]
+    fn dominance_check_over_budget_grid() {
+        let better = Frontier::new(vec![FrontierPoint { memory: 10, cost: 10.0 }]);
+        let worse = Frontier::new(vec![FrontierPoint { memory: 10, cost: 20.0 }]);
+        let budgets = [5u64, 10, 50];
+        assert!(better.dominates_at(&worse, &budgets, 100.0));
+        assert!(!worse.dominates_at(&better, &budgets, 100.0));
+        // Every frontier dominates itself.
+        assert!(better.dominates_at(&better, &budgets, 100.0));
+    }
+
+    #[test]
+    fn from_iterator_dedups() {
+        let s: Selection = vec![Index::single(AttrId(0)), Index::single(AttrId(0))]
+            .into_iter()
+            .collect();
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,212 @@
+//! Caching what-if decorator.
+//!
+//! What-if optimizer calls dominate the runtime of index-selection tools
+//! (Section I and [16] in the paper), so repeated questions must be
+//! answered from a cache. Algorithm 1 additionally notes (Figure 1) that
+//! "in each step, required what-if calls from previous steps can be
+//! cached, except for calls related to indexes built in the previous step".
+//!
+//! [`CachingWhatIf`] wraps any [`WhatIfOptimizer`]:
+//!
+//! * `f_j(0)` answers are memoized per query,
+//! * `f_j(k)` answers are memoized per `(query, usable signature)` — the
+//!   cache key is the index's attribute list, and inapplicable indexes are
+//!   cached too (negative caching),
+//! * issued vs cache-answered calls are counted separately.
+
+use crate::whatif::{WhatIfOptimizer, WhatIfStats};
+use isel_workload::{Index, QueryId, Workload};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A caching, call-counting decorator over another what-if optimizer.
+/// Cache key for single-index costs: the query plus the index's attribute
+/// list.
+type IndexCostKey = (QueryId, Vec<isel_workload::AttrId>);
+
+/// A caching, call-counting decorator over another what-if optimizer.
+pub struct CachingWhatIf<W> {
+    inner: W,
+    unindexed: Mutex<HashMap<QueryId, f64>>,
+    indexed: Mutex<HashMap<IndexCostKey, Option<f64>>>,
+    memory: Mutex<HashMap<Vec<isel_workload::AttrId>, u64>>,
+    hits: AtomicU64,
+}
+
+impl<W: WhatIfOptimizer> CachingWhatIf<W> {
+    /// Wrap `inner` with a cache.
+    pub fn new(inner: W) -> Self {
+        Self {
+            inner,
+            unindexed: Mutex::new(HashMap::new()),
+            indexed: Mutex::new(HashMap::new()),
+            memory: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped optimizer.
+    pub fn inner(&self) -> &W {
+        &self.inner
+    }
+
+    /// Drop all cached answers (used when the underlying oracle's answers
+    /// become stale, e.g. multi-index mode after a configuration change,
+    /// cf. Remark 2).
+    pub fn invalidate(&self) {
+        self.unindexed.lock().clear();
+        self.indexed.lock().clear();
+    }
+
+    /// Number of cached single-index entries (for tests/diagnostics).
+    pub fn cached_index_entries(&self) -> usize {
+        self.indexed.lock().len()
+    }
+}
+
+impl<W: WhatIfOptimizer> WhatIfOptimizer for CachingWhatIf<W> {
+    fn workload(&self) -> &Workload {
+        self.inner.workload()
+    }
+
+    fn unindexed_cost(&self, query: QueryId) -> f64 {
+        if let Some(&c) = self.unindexed.lock().get(&query) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return c;
+        }
+        let c = self.inner.unindexed_cost(query);
+        self.unindexed.lock().insert(query, c);
+        c
+    }
+
+    fn index_cost(&self, query: QueryId, index: &Index) -> Option<f64> {
+        // Inapplicability is a pure workload property (the trait contract:
+        // `None` iff the leading attribute is unbound); answer it without
+        // allocating a cache entry — negative entries for all Q·|I| pairs
+        // of an exhaustive candidate sweep would dwarf the useful cache.
+        if !index.applicable_to(self.inner.workload().query(query)) {
+            return None;
+        }
+        let key = (query, index.attrs().to_vec());
+        if let Some(&c) = self.indexed.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return c;
+        }
+        let c = self.inner.index_cost(query, index);
+        self.indexed.lock().insert(key, c);
+        c
+    }
+
+    fn index_memory(&self, index: &Index) -> u64 {
+        // Memory estimates are deterministic and cheap relative to what-if
+        // calls but still worth memoizing for wide candidate sweeps.
+        let key = index.attrs().to_vec();
+        if let Some(&m) = self.memory.lock().get(&key) {
+            return m;
+        }
+        let m = self.inner.index_memory(index);
+        self.memory.lock().insert(key, m);
+        m
+    }
+
+    fn maintenance_cost(&self, index: &Index) -> f64 {
+        self.inner.maintenance_cost(index)
+    }
+
+    fn stats(&self) -> WhatIfStats {
+        let inner = self.inner.stats();
+        WhatIfStats {
+            calls_issued: inner.calls_issued,
+            calls_answered_from_cache: inner.calls_answered_from_cache
+                + self.hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::AnalyticalWhatIf;
+    use isel_workload::{AttrId, Query, SchemaBuilder, TableId};
+
+    fn workload() -> Workload {
+        let mut b = SchemaBuilder::new();
+        let t = b.table("t", 1_000);
+        let a0 = b.attribute(t, "a0", 100, 4);
+        let a1 = b.attribute(t, "a1", 10, 4);
+        Workload::new(
+            b.finish(),
+            vec![Query::new(TableId(0), vec![a0, a1], 1)],
+        )
+    }
+
+    #[test]
+    fn repeated_calls_hit_the_cache() {
+        let w = workload();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let k = Index::single(AttrId(0));
+        let c1 = est.index_cost(QueryId(0), &k);
+        let c2 = est.index_cost(QueryId(0), &k);
+        assert_eq!(c1, c2);
+        let s = est.stats();
+        assert_eq!(s.calls_issued, 1);
+        assert_eq!(s.calls_answered_from_cache, 1);
+    }
+
+    #[test]
+    fn inapplicable_indexes_cost_neither_calls_nor_cache_entries() {
+        // An exhaustive candidate sweep asks about Q·|I| pairs of which
+        // only ≈ Q·q̄·|I|/N are applicable; the rest must be answered from
+        // the workload structure alone (no call, no negative cache entry).
+        let mut b = SchemaBuilder::new();
+        let t = b.table("t", 10);
+        let a0 = b.attribute(t, "a0", 10, 4);
+        let a1 = b.attribute(t, "a1", 10, 4);
+        let w2 = Workload::new(b.finish(), vec![Query::new(TableId(0), vec![a0], 1)]);
+        let est2 = CachingWhatIf::new(AnalyticalWhatIf::new(&w2));
+        let k = Index::single(a1);
+        assert_eq!(est2.index_cost(QueryId(0), &k), None);
+        assert_eq!(est2.index_cost(QueryId(0), &k), None);
+        let s = est2.stats();
+        assert_eq!(s.calls_issued, 0);
+        assert_eq!(s.calls_answered_from_cache, 0);
+        assert_eq!(est2.cached_index_entries(), 0);
+    }
+
+    #[test]
+    fn unindexed_costs_are_cached() {
+        let w = workload();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let c1 = est.unindexed_cost(QueryId(0));
+        let c2 = est.unindexed_cost(QueryId(0));
+        assert_eq!(c1, c2);
+        assert_eq!(est.stats().calls_issued, 1);
+    }
+
+    #[test]
+    fn invalidate_clears_answers() {
+        let w = workload();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        est.index_cost(QueryId(0), &Index::single(AttrId(0)));
+        assert_eq!(est.cached_index_entries(), 1);
+        est.invalidate();
+        assert_eq!(est.cached_index_entries(), 0);
+        est.index_cost(QueryId(0), &Index::single(AttrId(0)));
+        assert_eq!(est.stats().calls_issued, 2);
+    }
+
+    #[test]
+    fn caching_is_transparent_for_costs() {
+        let w = workload();
+        let plain = AnalyticalWhatIf::new(&w);
+        let cached = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let k = Index::new(vec![AttrId(1), AttrId(0)]);
+        assert_eq!(
+            plain.index_cost(QueryId(0), &k),
+            cached.index_cost(QueryId(0), &k)
+        );
+        assert_eq!(plain.unindexed_cost(QueryId(0)), cached.unindexed_cost(QueryId(0)));
+        assert_eq!(plain.index_memory(&k), cached.index_memory(&k));
+    }
+}

@@ -1,0 +1,221 @@
+//! What-if oracle backed by explicit cost tables.
+//!
+//! The end-to-end evaluation (Section IV-B) does not trust optimizer
+//! estimates: every query is *executed* under every candidate index and the
+//! measured runtimes "are then used (instead of what-if estimations) to
+//! feed the model's cost parameters". [`TabularWhatIf`] is that feeding
+//! mechanism — `isel-dbsim` measures, the table answers.
+//!
+//! Because a multi-attribute index serves any query along its usable
+//! prefix, lookups fall back from the full attribute list to the usable
+//! prefix measured for the query (an index `(a,b)` answers a query on `a`
+//! exactly like the measured index `(a)` did).
+
+use crate::whatif::{WhatIfOptimizer, WhatIfStats};
+use isel_workload::{AttrId, Index, QueryId, Workload};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cost tables: measured or precomputed query costs.
+pub struct TabularWhatIf {
+    workload: Workload,
+    unindexed: Vec<f64>,
+    /// Measured `f_j(k)` keyed by `(query, index attribute list)`.
+    indexed: HashMap<(QueryId, Vec<AttrId>), f64>,
+    /// Measured or computed `p_k`.
+    memory: HashMap<Vec<AttrId>, u64>,
+    /// Measured per-execution maintenance costs.
+    maintenance: HashMap<Vec<AttrId>, f64>,
+    /// Fallback `p_k` for indexes without a table entry: analytic formula.
+    calls: AtomicU64,
+}
+
+impl TabularWhatIf {
+    /// Build an oracle over `workload` with per-query unindexed costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unindexed.len()` does not match the query count.
+    pub fn new(workload: Workload, unindexed: Vec<f64>) -> Self {
+        assert_eq!(
+            unindexed.len(),
+            workload.query_count(),
+            "need one unindexed cost per query"
+        );
+        Self {
+            workload,
+            unindexed,
+            indexed: HashMap::new(),
+            memory: HashMap::new(),
+            maintenance: HashMap::new(),
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// Record a measured cost `f_j(k)`.
+    pub fn set_index_cost(&mut self, query: QueryId, index: &Index, cost: f64) {
+        self.indexed
+            .insert((query, index.attrs().to_vec()), cost);
+    }
+
+    /// Record the memory footprint of an index.
+    pub fn set_index_memory(&mut self, index: &Index, bytes: u64) {
+        self.memory.insert(index.attrs().to_vec(), bytes);
+    }
+
+    /// Record the measured maintenance cost of an index.
+    pub fn set_maintenance_cost(&mut self, index: &Index, cost: f64) {
+        self.maintenance.insert(index.attrs().to_vec(), cost);
+    }
+
+    /// Number of `(query, index)` cost entries.
+    pub fn entries(&self) -> usize {
+        self.indexed.len()
+    }
+
+    fn lookup(&self, query: QueryId, index: &Index) -> Option<f64> {
+        // Exact entry first, then progressively shorter usable prefixes:
+        // the executor can only exploit the prefix of the index bound by
+        // the query, so the measured cost of that prefix is the truth.
+        let q = self.workload.query(query);
+        let usable = index.usable_prefix_len(q);
+        if usable == 0 {
+            return None;
+        }
+        let mut key = index.attrs().to_vec();
+        loop {
+            if let Some(&c) = self.indexed.get(&(query, key.clone())) {
+                return Some(c);
+            }
+            if key.len() <= usable {
+                key.pop();
+            } else {
+                key.truncate(usable);
+            }
+            if key.is_empty() {
+                // Applicable but never measured: fall back to "no index".
+                return Some(self.unindexed[query.idx()]);
+            }
+        }
+    }
+}
+
+impl WhatIfOptimizer for TabularWhatIf {
+    fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    fn unindexed_cost(&self, query: QueryId) -> f64 {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.unindexed[query.idx()]
+    }
+
+    fn index_cost(&self, query: QueryId, index: &Index) -> Option<f64> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.lookup(query, index)
+    }
+
+    fn index_memory(&self, index: &Index) -> u64 {
+        if let Some(&m) = self.memory.get(index.attrs()) {
+            return m;
+        }
+        crate::model::index_memory(self.workload.schema(), index)
+    }
+
+    fn maintenance_cost(&self, index: &Index) -> f64 {
+        if let Some(&m) = self.maintenance.get(index.attrs()) {
+            return m;
+        }
+        crate::model::update_maintenance_cost(self.workload.schema(), index)
+    }
+
+    fn stats(&self) -> WhatIfStats {
+        WhatIfStats {
+            calls_issued: self.calls.load(Ordering::Relaxed),
+            calls_answered_from_cache: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isel_workload::{Query, SchemaBuilder, TableId};
+
+    fn fixture() -> (Workload, AttrId, AttrId) {
+        let mut b = SchemaBuilder::new();
+        let t = b.table("t", 100);
+        let a0 = b.attribute(t, "a0", 100, 4);
+        let a1 = b.attribute(t, "a1", 10, 4);
+        let w = Workload::new(
+            b.finish(),
+            vec![
+                Query::new(TableId(0), vec![a0, a1], 1),
+                Query::new(TableId(0), vec![a0], 1),
+            ],
+        );
+        (w, a0, a1)
+    }
+
+    #[test]
+    fn exact_entries_win() {
+        let (w, a0, a1) = fixture();
+        let mut t = TabularWhatIf::new(w, vec![100.0, 50.0]);
+        let k = Index::new(vec![a0, a1]);
+        t.set_index_cost(QueryId(0), &k, 7.0);
+        assert_eq!(t.index_cost(QueryId(0), &k), Some(7.0));
+    }
+
+    #[test]
+    fn prefix_fallback_matches_usable_prefix() {
+        let (w, a0, a1) = fixture();
+        let mut t = TabularWhatIf::new(w, vec![100.0, 50.0]);
+        t.set_index_cost(QueryId(1), &Index::single(a0), 3.0);
+        // Query 1 accesses only a0; an (a0, a1) index behaves like (a0).
+        let wide = Index::new(vec![a0, a1]);
+        assert_eq!(t.index_cost(QueryId(1), &wide), Some(3.0));
+    }
+
+    #[test]
+    fn inapplicable_index_is_none() {
+        let (w, _a0, a1) = fixture();
+        let t = TabularWhatIf::new(w, vec![100.0, 50.0]);
+        assert_eq!(t.index_cost(QueryId(1), &Index::single(a1)), None);
+    }
+
+    #[test]
+    fn unmeasured_applicable_index_falls_back_to_scan_cost() {
+        let (w, a0, _) = fixture();
+        let t = TabularWhatIf::new(w, vec![100.0, 50.0]);
+        assert_eq!(t.index_cost(QueryId(1), &Index::single(a0)), Some(50.0));
+    }
+
+    #[test]
+    fn memory_table_overrides_analytic_formula() {
+        let (w, a0, _) = fixture();
+        let mut t = TabularWhatIf::new(w, vec![100.0, 50.0]);
+        let k = Index::single(a0);
+        let analytic = t.index_memory(&k);
+        t.set_index_memory(&k, 12345);
+        assert_eq!(t.index_memory(&k), 12345);
+        assert_ne!(analytic, 12345);
+    }
+
+    #[test]
+    fn maintenance_table_overrides_formula() {
+        let (w, a0, _) = fixture();
+        let mut t = TabularWhatIf::new(w, vec![100.0, 50.0]);
+        let k = Index::single(a0);
+        let analytic = t.maintenance_cost(&k);
+        assert!(analytic > 0.0);
+        t.set_maintenance_cost(&k, 7.5);
+        assert_eq!(t.maintenance_cost(&k), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "one unindexed cost per query")]
+    fn wrong_table_size_rejected() {
+        let (w, _, _) = fixture();
+        TabularWhatIf::new(w, vec![1.0]);
+    }
+}

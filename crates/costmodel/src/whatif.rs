@@ -1,0 +1,214 @@
+//! The what-if optimizer abstraction.
+//!
+//! Selection algorithms never compute costs themselves; they ask a
+//! [`WhatIfOptimizer`] — exactly like index advisors ask the DBMS's what-if
+//! mode for the cost of a query under a hypothetical index. The trait has
+//! three implementations in this workspace:
+//!
+//! * [`AnalyticalWhatIf`](crate::AnalyticalWhatIf) — the Appendix-B model,
+//! * [`TabularWhatIf`](crate::TabularWhatIf) — precomputed/measured cost
+//!   tables (the Section IV-B end-to-end mode, fed by `isel-dbsim`),
+//! * [`CachingWhatIf`](crate::CachingWhatIf) — a decorator that caches and
+//!   counts calls.
+
+use isel_workload::{Index, Query, QueryId, QueryKind, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Call statistics; the paper evaluates approaches by the number of what-if
+/// calls they need (Section III-A).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WhatIfStats {
+    /// Calls actually answered by the (possibly expensive) optimizer.
+    pub calls_issued: u64,
+    /// Calls answered from a cache instead.
+    pub calls_answered_from_cache: u64,
+}
+
+impl WhatIfStats {
+    /// Total requests seen (issued + cached).
+    pub fn total_requests(&self) -> u64 {
+        self.calls_issued + self.calls_answered_from_cache
+    }
+}
+
+/// A what-if cost oracle over a fixed workload.
+///
+/// Costs follow the paper's conventions: `unindexed_cost` is `f_j(0)`,
+/// `index_cost` is `f_j(k)` in the "one index per query" setting of
+/// Example 1 (the residual attributes are scanned without further index
+/// support), and `config_cost` is `f_j(I*)`.
+pub trait WhatIfOptimizer {
+    /// The workload the oracle answers questions about.
+    fn workload(&self) -> &Workload;
+
+    /// `f_j(0)`: cost of query `j` without any index.
+    fn unindexed_cost(&self, query: QueryId) -> f64;
+
+    /// `f_j(k)`: cost of query `j` using exactly index `k`; `None` when the
+    /// index is not applicable to the query.
+    fn index_cost(&self, query: QueryId, index: &Index) -> Option<f64>;
+
+    /// Index memory consumption `p_k`.
+    fn index_memory(&self, index: &Index) -> u64;
+
+    /// Maintenance cost charged per execution of an *update* template on
+    /// the index's table (write amplification). Oracles without a write
+    /// model return 0 — updates are then free, which is exactly the
+    /// simplification CoPhy's base formulation makes.
+    fn maintenance_cost(&self, index: &Index) -> f64 {
+        let _ = index;
+        0.0
+    }
+
+    /// Call statistics so far.
+    fn stats(&self) -> WhatIfStats;
+
+    /// `f_j(I*)` in the "one index only" setting:
+    /// `min(f_j(0), min_{k∈I*} f_j(k))` (Example 1 (i)). Update templates
+    /// additionally pay the maintenance cost of every index on their table.
+    ///
+    /// Implementations with true multi-index execution (Remark 2) override
+    /// this.
+    fn config_cost(&self, query: QueryId, config: &[Index]) -> f64 {
+        let mut best = self.unindexed_cost(query);
+        for k in config {
+            if let Some(c) = self.index_cost(query, k) {
+                best = best.min(c);
+            }
+        }
+        if self.query(query).kind() == QueryKind::Update {
+            let table = self.query(query).table();
+            for k in config {
+                if self.workload().schema().attribute(k.leading()).table == table {
+                    best += self.maintenance_cost(k);
+                }
+            }
+        }
+        best
+    }
+
+    /// Total workload cost `F(I*) = Σ_j b_j · f_j(I*)` (Eq. 1).
+    fn workload_cost(&self, config: &[Index]) -> f64 {
+        self.workload()
+            .iter()
+            .map(|(j, q)| q.frequency() as f64 * self.config_cost(j, config))
+            .sum()
+    }
+
+    /// Convenience: the query behind an id.
+    fn query(&self, id: QueryId) -> &Query {
+        self.workload().query(id)
+    }
+}
+
+/// Blanket implementation so `&W` can be passed wherever a
+/// `WhatIfOptimizer` is expected.
+impl<W: WhatIfOptimizer + ?Sized> WhatIfOptimizer for &W {
+    fn workload(&self) -> &Workload {
+        (**self).workload()
+    }
+    fn unindexed_cost(&self, query: QueryId) -> f64 {
+        (**self).unindexed_cost(query)
+    }
+    fn index_cost(&self, query: QueryId, index: &Index) -> Option<f64> {
+        (**self).index_cost(query, index)
+    }
+    fn index_memory(&self, index: &Index) -> u64 {
+        (**self).index_memory(index)
+    }
+    fn maintenance_cost(&self, index: &Index) -> f64 {
+        (**self).maintenance_cost(index)
+    }
+    fn stats(&self) -> WhatIfStats {
+        (**self).stats()
+    }
+    fn config_cost(&self, query: QueryId, config: &[Index]) -> f64 {
+        (**self).config_cost(query, config)
+    }
+    fn workload_cost(&self, config: &[Index]) -> f64 {
+        (**self).workload_cost(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::AnalyticalWhatIf;
+    use isel_workload::{AttrId, SchemaBuilder, TableId};
+
+    fn workload() -> Workload {
+        let mut b = SchemaBuilder::new();
+        let t = b.table("t", 1_000);
+        let a0 = b.attribute(t, "a0", 1_000, 4);
+        let a1 = b.attribute(t, "a1", 10, 4);
+        Workload::new(
+            b.finish(),
+            vec![
+                Query::new(TableId(0), vec![a0, a1], 10),
+                Query::new(TableId(0), vec![a1], 1),
+            ],
+        )
+    }
+
+    #[test]
+    fn config_cost_takes_best_applicable_index() {
+        let w = workload();
+        let est = AnalyticalWhatIf::new(&w);
+        let k0 = Index::single(AttrId(0));
+        let k1 = Index::single(AttrId(1));
+        let f0 = est.unindexed_cost(QueryId(0));
+        let with_both = est.config_cost(QueryId(0), &[k0.clone(), k1.clone()]);
+        let with_k0 = est.config_cost(QueryId(0), std::slice::from_ref(&k0));
+        assert!(with_both <= with_k0);
+        assert!(with_both < f0);
+    }
+
+    #[test]
+    fn config_cost_never_exceeds_unindexed() {
+        let w = workload();
+        let est = AnalyticalWhatIf::new(&w);
+        // An index that is useless for q1 (leading attr not accessed).
+        let k = Index::new(vec![AttrId(0), AttrId(1)]);
+        let f0 = est.unindexed_cost(QueryId(1));
+        assert_eq!(est.config_cost(QueryId(1), &[k]), f0);
+    }
+
+    #[test]
+    fn workload_cost_weights_by_frequency() {
+        let w = workload();
+        let est = AnalyticalWhatIf::new(&w);
+        let empty: &[Index] = &[];
+        let total = est.workload_cost(empty);
+        let manual = 10.0 * est.unindexed_cost(QueryId(0)) + 1.0 * est.unindexed_cost(QueryId(1));
+        assert!((total - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn update_queries_pay_maintenance_per_index_on_their_table() {
+        let mut b = SchemaBuilder::new();
+        let t = b.table("t", 1_000);
+        let a0 = b.attribute(t, "a0", 1_000, 4);
+        let a1 = b.attribute(t, "a1", 10, 4);
+        let w = Workload::new(
+            b.finish(),
+            vec![Query::update(TableId(0), vec![a0], 10)],
+        );
+        let est = AnalyticalWhatIf::new(&w);
+        let k0 = Index::single(a0);
+        let k1 = Index::single(a1);
+        let locate = est.index_cost(QueryId(0), &k0).unwrap();
+        let both = est.config_cost(QueryId(0), &[k0.clone(), k1.clone()]);
+        let expect = locate + est.maintenance_cost(&k0) + est.maintenance_cost(&k1);
+        assert!((both - expect).abs() < 1e-9, "{both} vs {expect}");
+        // An update-heavy workload can be *hurt* by an index that never
+        // helps locating.
+        let only_useless = est.config_cost(QueryId(0), std::slice::from_ref(&k1));
+        assert!(only_useless > est.unindexed_cost(QueryId(0)));
+    }
+
+    #[test]
+    fn stats_totals() {
+        let s = WhatIfStats { calls_issued: 3, calls_answered_from_cache: 7 };
+        assert_eq!(s.total_requests(), 10);
+    }
+}

@@ -1,0 +1,227 @@
+//! Conjunctive-selection execution.
+//!
+//! Mirrors the access paths of the paper's cost model: either a full
+//! column-at-a-time scan (predicates ordered by ascending selectivity,
+//! positions materialized between predicates) or an index probe along the
+//! longest fully-bound prefix followed by post-filtering of the survivors.
+//!
+//! Every execution reports both wall time and deterministic [`Work`]
+//! counters, so experiments can choose between realism and
+//! reproducibility.
+
+use crate::database::Database;
+use isel_workload::{AttrId, TableId};
+use std::time::Duration;
+
+/// Deterministic work counters of one execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Work {
+    /// Bytes of column data read (using the schema's declared widths).
+    pub bytes_read: u64,
+    /// Key comparisons performed by index binary searches.
+    pub comparisons: u64,
+    /// Position-list entries written (4 bytes each).
+    pub positions_written: u64,
+    /// Rows visited by scans/post-filters.
+    pub rows_visited: u64,
+    /// Raw bytes written (index maintenance: key columns + row ids).
+    pub bytes_written: u64,
+}
+
+impl Work {
+    /// Scalar cost: bytes moved (reads + 4-byte position writes) plus key
+    /// comparisons weighted as one key read each. The same units as the
+    /// analytical model, so measured and modeled costs are comparable in
+    /// shape.
+    pub fn cost_units(&self) -> f64 {
+        self.bytes_read as f64
+            + self.bytes_written as f64
+            + 4.0 * self.positions_written as f64
+            + 4.0 * self.comparisons as f64
+    }
+
+    /// Accumulate another execution's counters.
+    pub fn add(&mut self, other: &Work) {
+        self.bytes_read += other.bytes_read;
+        self.comparisons += other.comparisons;
+        self.positions_written += other.positions_written;
+        self.rows_visited += other.rows_visited;
+        self.bytes_written += other.bytes_written;
+    }
+}
+
+/// Result of executing one bound query.
+#[derive(Clone, Debug)]
+pub struct ExecutionResult {
+    /// Number of rows satisfying all predicates.
+    pub matches: u64,
+    /// Deterministic work counters.
+    pub work: Work,
+    /// Wall time of the execution.
+    pub elapsed: Duration,
+    /// Attributes of the index that was used, if any.
+    pub index_used: Option<Vec<AttrId>>,
+}
+
+/// A query template bound to literal values: equality predicates
+/// `attr = value` over one table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoundQuery {
+    /// Table to query.
+    pub table: TableId,
+    /// `(attribute, literal)` pairs; attributes are unique.
+    pub predicates: Vec<(AttrId, u32)>,
+}
+
+impl BoundQuery {
+    /// Literal bound to `attr`, if any.
+    pub fn literal(&self, attr: AttrId) -> Option<u32> {
+        self.predicates.iter().find(|(a, _)| *a == attr).map(|&(_, v)| v)
+    }
+}
+
+/// Execute `query` against `db`, using only the created indexes whose
+/// position in `db.indexes()` is flagged in `allowed` (`None` = all).
+pub(crate) fn execute(db: &Database, query: &BoundQuery, allowed: Option<&[bool]>) -> ExecutionResult {
+    let start = std::time::Instant::now();
+    let mut work = Work::default();
+    let schema = db.schema();
+    let rows = schema.table(query.table).rows;
+
+    // Choose the best applicable index: longest fully-bound prefix, ties by
+    // smallest expected result fraction.
+    let mut best: Option<(usize, usize, f64)> = None; // (index pos, prefix len, frac)
+    for (pos, idx) in db.indexes().iter().enumerate() {
+        if let Some(allowed) = allowed {
+            if !allowed[pos] {
+                continue;
+            }
+        }
+        if schema.attribute(idx.attrs()[0]).table != query.table {
+            continue;
+        }
+        let mut plen = 0;
+        let mut frac = 1.0;
+        for &a in idx.attrs() {
+            if query.literal(a).is_some() {
+                plen += 1;
+                frac *= schema.selectivity(a);
+            } else {
+                break;
+            }
+        }
+        if plen == 0 {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some((_, bplen, bfrac)) => plen > bplen || (plen == bplen && frac < bfrac),
+        };
+        if better {
+            best = Some((pos, plen, frac));
+        }
+    }
+
+    let (mut survivors, index_used): (Vec<u32>, Option<Vec<AttrId>>) = match best {
+        Some((pos, plen, _)) => {
+            let idx = &db.indexes()[pos];
+            let prefix: Vec<u32> = idx.attrs()[..plen]
+                .iter()
+                .map(|&a| query.literal(a).expect("prefix attr is bound"))
+                .collect();
+            let (range, cmps) = idx.probe(&prefix);
+            work.comparisons += cmps;
+            let ids = idx.row_ids_in(range).to_vec();
+            work.positions_written += ids.len() as u64;
+            (ids, Some(idx.attrs().to_vec()))
+        }
+        None => ((0..rows as u32).collect(), None),
+    };
+
+    // Predicates not answered by the chosen prefix, cheapest first.
+    let covered: Vec<AttrId> = index_used
+        .as_deref()
+        .map(|attrs| {
+            attrs
+                .iter()
+                .copied()
+                .take_while(|a| query.literal(*a).is_some())
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut residual: Vec<(AttrId, u32)> = query
+        .predicates
+        .iter()
+        .copied()
+        .filter(|(a, _)| !covered.contains(a))
+        .collect();
+    residual.sort_by(|a, b| {
+        schema
+            .selectivity(a.0)
+            .partial_cmp(&schema.selectivity(b.0))
+            .expect("finite selectivity")
+            .then(a.0.cmp(&b.0))
+    });
+
+    for (attr, want) in residual {
+        let col = db.column(attr);
+        let width = col.row_bytes();
+        let before = survivors.len() as u64;
+        survivors.retain(|&r| col.values[r as usize] == want);
+        work.rows_visited += before;
+        work.bytes_read += width * before;
+        work.positions_written += survivors.len() as u64;
+    }
+
+    ExecutionResult {
+        matches: survivors.len() as u64,
+        work,
+        elapsed: start.elapsed(),
+        index_used,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_cost_units_combine_reads_writes_comparisons() {
+        let w = Work {
+            bytes_read: 100,
+            comparisons: 5,
+            positions_written: 10,
+            rows_visited: 25,
+            bytes_written: 7,
+        };
+        assert_eq!(w.cost_units(), 100.0 + 40.0 + 20.0 + 7.0);
+    }
+
+    #[test]
+    fn work_add_accumulates() {
+        let mut a = Work {
+            bytes_read: 1,
+            comparisons: 2,
+            positions_written: 3,
+            rows_visited: 4,
+            bytes_written: 5,
+        };
+        a.add(&Work {
+            bytes_read: 10,
+            comparisons: 20,
+            positions_written: 30,
+            rows_visited: 40,
+            bytes_written: 50,
+        });
+        assert_eq!(
+            a,
+            Work {
+                bytes_read: 11,
+                comparisons: 22,
+                positions_written: 33,
+                rows_visited: 44,
+                bytes_written: 55,
+            }
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! In-memory columnar database substrate.
+//!
+//! Section IV-B of the paper evaluates index selections *end to end*: every
+//! query is executed against a commercial columnar main-memory DBMS under
+//! every candidate index, and the measured runtimes replace what-if
+//! estimates. This crate is that substrate: a small column store with
+//!
+//! * seeded data generation honouring the schema's distinct-value counts
+//!   ([`data`]),
+//! * multi-attribute secondary indexes — lexicographically sorted composite
+//!   keys with materialized key columns and a row-id list ([`index`]),
+//! * a conjunctive-selection executor that picks the best applicable index
+//!   (longest usable prefix, then smallest expected result), probes it by
+//!   binary search, and post-filters the survivors column-at-a-time
+//!   ([`exec`]),
+//! * deterministic work counters *and* wall-clock timing ([`exec::Work`]),
+//! * a measurement harness that executes a workload under every candidate
+//!   index and feeds a [`TabularWhatIf`](isel_costmodel::TabularWhatIf)
+//!   cost table, exactly like the paper feeds measured runtimes into the
+//!   selection model ([`measure`]).
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod database;
+pub mod exec;
+pub mod index;
+pub mod measure;
+
+pub use database::Database;
+pub use exec::{ExecutionResult, Work};
+pub use index::SecondaryIndex;
+pub use measure::{measure_workload, CostMetric, MeasureConfig};

@@ -1,0 +1,335 @@
+//! Measurement harness: feed selection models with *executed* costs.
+//!
+//! Section IV-B: "we ran all evaluations without relying on what-if or
+//! other optimizer-based estimations but executed all queries one after
+//! another […] we also created all index candidates one after another and
+//! executed all queries for every candidate. These measured runtimes are
+//! then used (instead of what-if estimations) to feed the model's cost
+//! parameters."
+//!
+//! Two modes:
+//!
+//! * [`measure_workload`] — measure a fixed candidate set up front and
+//!   return a [`TabularWhatIf`] table (what CoPhy and the candidate-set
+//!   heuristics consume),
+//! * [`LiveWhatIf`] — measure *on demand*: whichever index a selection
+//!   algorithm asks about is built, executed and cached. This is what lets
+//!   Algorithm 1 — which does not enumerate candidates in advance — run on
+//!   measured costs too.
+
+use crate::database::Database;
+use crate::exec::BoundQuery;
+use isel_costmodel::{TabularWhatIf, WhatIfOptimizer, WhatIfStats};
+use isel_workload::{Index, QueryId, Workload};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which measurement becomes the cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CostMetric {
+    /// Deterministic work counters ([`crate::Work::cost_units`]): perfectly
+    /// reproducible, same units as the analytical model.
+    WorkUnits,
+    /// Wall-clock nanoseconds, minimum over the configured repetitions —
+    /// the paper's actual-runtime mode.
+    WallTime,
+}
+
+/// Measurement configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MeasureConfig {
+    /// Distinct literal bindings sampled per query template (costs are
+    /// averaged across bindings).
+    pub bindings_per_query: usize,
+    /// Executions per binding for [`CostMetric::WallTime`] (the paper uses
+    /// ≥ 100; scale down for quick runs). Ignored for work units.
+    pub repetitions: usize,
+    /// Cost metric.
+    pub metric: CostMetric,
+    /// Seed for binding sampling.
+    pub seed: u64,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        Self {
+            bindings_per_query: 3,
+            repetitions: 3,
+            metric: CostMetric::WorkUnits,
+            seed: 0xD8,
+        }
+    }
+}
+
+/// Sample per-query bindings once so every configuration is measured on
+/// identical parameters.
+fn sample_bindings(db: &Database, workload: &Workload, cfg: &MeasureConfig) -> Vec<Vec<BoundQuery>> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    workload
+        .queries()
+        .iter()
+        .map(|q| {
+            (0..cfg.bindings_per_query.max(1))
+                .map(|_| db.bind_from_row(q, &mut rng))
+                .collect()
+        })
+        .collect()
+}
+
+/// Cost of one binding under the given index mask.
+fn cost_once(db: &Database, bq: &BoundQuery, mask: &[bool], cfg: &MeasureConfig) -> f64 {
+    match cfg.metric {
+        CostMetric::WorkUnits => db.execute_with(bq, mask).work.cost_units(),
+        CostMetric::WallTime => {
+            let mut best = f64::INFINITY;
+            for _ in 0..cfg.repetitions.max(1) {
+                let r = db.execute_with(bq, mask);
+                best = best.min(r.elapsed.as_nanos() as f64);
+            }
+            best
+        }
+    }
+}
+
+/// Average cost of a query template (over its bindings) under a mask.
+fn template_cost(
+    db: &Database,
+    bindings: &[BoundQuery],
+    mask: &[bool],
+    cfg: &MeasureConfig,
+) -> f64 {
+    let total: f64 = bindings.iter().map(|b| cost_once(db, b, mask, cfg)).sum();
+    total / bindings.len() as f64
+}
+
+/// Create every candidate, execute every query under every applicable
+/// candidate, and return the resulting cost table.
+pub fn measure_workload(
+    db: &mut Database,
+    workload: &Workload,
+    candidates: &[Index],
+    cfg: &MeasureConfig,
+) -> TabularWhatIf {
+    let bindings = sample_bindings(db, workload, cfg);
+    for k in candidates {
+        db.create_index(k);
+    }
+    let n_idx = db.indexes().len();
+
+    // Unindexed baseline.
+    let no_mask = vec![false; n_idx];
+    let unindexed: Vec<f64> = bindings
+        .iter()
+        .map(|b| template_cost(db, b, &no_mask, cfg))
+        .collect();
+    let mut table = TabularWhatIf::new(workload.clone(), unindexed);
+
+    for k in candidates {
+        let pos = db.index_position(k).expect("candidate was created");
+        let mut mask = vec![false; n_idx];
+        mask[pos] = true;
+        table.set_index_memory(k, db.indexes()[pos].memory_bytes());
+        for (j, q) in workload.iter() {
+            if !k.applicable_to(q) {
+                continue;
+            }
+            let c = template_cost(db, &bindings[j.idx()], &mask, cfg);
+            table.set_index_cost(j, k, c);
+        }
+    }
+    table
+}
+
+/// On-demand measuring what-if oracle: builds and measures whichever index
+/// it is asked about, memoizing results. Lets candidate-free algorithms
+/// (Algorithm 1) run against measured costs.
+pub struct LiveWhatIf {
+    workload: Workload,
+    cfg: MeasureConfig,
+    state: Mutex<LiveState>,
+    issued: AtomicU64,
+    cached: AtomicU64,
+}
+
+struct LiveState {
+    db: Database,
+    bindings: Vec<Vec<BoundQuery>>,
+    unindexed: Vec<Option<f64>>,
+    measured: std::collections::HashMap<(QueryId, Vec<isel_workload::AttrId>), f64>,
+}
+
+impl LiveWhatIf {
+    /// Wrap a populated database.
+    pub fn new(db: Database, workload: Workload, cfg: MeasureConfig) -> Self {
+        let bindings = sample_bindings(&db, &workload, &cfg);
+        let unindexed = vec![None; workload.query_count()];
+        Self {
+            workload,
+            cfg,
+            state: Mutex::new(LiveState {
+                db,
+                bindings,
+                unindexed,
+                measured: std::collections::HashMap::new(),
+            }),
+            issued: AtomicU64::new(0),
+            cached: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of distinct indexes built so far.
+    pub fn indexes_built(&self) -> usize {
+        self.state.lock().db.indexes().len()
+    }
+}
+
+impl WhatIfOptimizer for LiveWhatIf {
+    fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    fn unindexed_cost(&self, query: QueryId) -> f64 {
+        let mut st = self.state.lock();
+        if let Some(c) = st.unindexed[query.idx()] {
+            self.cached.fetch_add(1, Ordering::Relaxed);
+            return c;
+        }
+        self.issued.fetch_add(1, Ordering::Relaxed);
+        let mask = vec![false; st.db.indexes().len()];
+        let c = template_cost(&st.db, &st.bindings[query.idx()].clone(), &mask, &self.cfg);
+        st.unindexed[query.idx()] = Some(c);
+        c
+    }
+
+    fn index_cost(&self, query: QueryId, index: &Index) -> Option<f64> {
+        if !index.applicable_to(self.workload.query(query)) {
+            return None;
+        }
+        let key = (query, index.attrs().to_vec());
+        let mut st = self.state.lock();
+        if let Some(&c) = st.measured.get(&key) {
+            self.cached.fetch_add(1, Ordering::Relaxed);
+            return Some(c);
+        }
+        self.issued.fetch_add(1, Ordering::Relaxed);
+        let pos = st.db.create_index(index);
+        let mut mask = vec![false; st.db.indexes().len()];
+        mask[pos] = true;
+        let c = template_cost(&st.db, &st.bindings[query.idx()].clone(), &mask, &self.cfg);
+        st.measured.insert(key, c);
+        Some(c)
+    }
+
+    fn index_memory(&self, index: &Index) -> u64 {
+        let mut st = self.state.lock();
+        let pos = st.db.create_index(index);
+        st.db.indexes()[pos].memory_bytes()
+    }
+
+    fn maintenance_cost(&self, index: &Index) -> f64 {
+        let mut st = self.state.lock();
+        let pos = st.db.create_index(index);
+        st.db.indexes()[pos].maintenance_work().cost_units()
+    }
+
+    fn stats(&self) -> WhatIfStats {
+        WhatIfStats {
+            calls_issued: self.issued.load(Ordering::Relaxed),
+            calls_answered_from_cache: self.cached.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isel_workload::{AttrId, Query, SchemaBuilder, TableId};
+
+    fn fixture() -> (Database, Workload) {
+        let mut b = SchemaBuilder::new();
+        let t = b.table("t", 2_000);
+        let a0 = b.attribute(t, "a0", 100, 4);
+        let a1 = b.attribute(t, "a1", 10, 4);
+        let schema = b.finish();
+        let w = Workload::new(
+            schema.clone(),
+            vec![
+                Query::new(TableId(0), vec![a0, a1], 5),
+                Query::new(TableId(0), vec![a1], 2),
+            ],
+        );
+        (Database::populate(&schema, 77), w)
+    }
+
+    #[test]
+    fn measured_table_prefers_indexes_for_selective_queries() {
+        let (mut db, w) = fixture();
+        let k = Index::single(AttrId(0));
+        let table = measure_workload(&mut db, &w, std::slice::from_ref(&k), &MeasureConfig::default());
+        let f0 = table.unindexed_cost(QueryId(0));
+        let fk = table.index_cost(QueryId(0), &k).unwrap();
+        assert!(fk < f0, "fk={fk} f0={f0}");
+        // Query 1 does not access a0 → no entry.
+        assert_eq!(table.index_cost(QueryId(1), &k), None);
+    }
+
+    #[test]
+    fn measured_memory_is_recorded() {
+        let (mut db, w) = fixture();
+        let k = Index::new(vec![AttrId(0), AttrId(1)]);
+        let table = measure_workload(&mut db, &w, std::slice::from_ref(&k), &MeasureConfig::default());
+        // 2000 rows: 4·2000 row ids + (4+4)·2000 keys.
+        assert_eq!(table.index_memory(&k), 8_000 + 16_000);
+    }
+
+    #[test]
+    fn live_oracle_builds_indexes_on_demand() {
+        let (db, w) = fixture();
+        let live = LiveWhatIf::new(db, w, MeasureConfig::default());
+        assert_eq!(live.indexes_built(), 0);
+        let c1 = live.index_cost(QueryId(0), &Index::single(AttrId(0))).unwrap();
+        assert_eq!(live.indexes_built(), 1);
+        let c2 = live.index_cost(QueryId(0), &Index::single(AttrId(0))).unwrap();
+        assert_eq!(c1, c2);
+        let s = live.stats();
+        assert_eq!(s.calls_issued, 1);
+        assert_eq!(s.calls_answered_from_cache, 1);
+    }
+
+    #[test]
+    fn live_oracle_rejects_inapplicable_indexes_without_building() {
+        let (db, w) = fixture();
+        let live = LiveWhatIf::new(db, w, MeasureConfig::default());
+        assert_eq!(live.index_cost(QueryId(1), &Index::single(AttrId(0))), None);
+        assert_eq!(live.indexes_built(), 0);
+    }
+
+    #[test]
+    fn live_maintenance_cost_is_measured_from_the_built_index() {
+        let (db, w) = fixture();
+        let live = LiveWhatIf::new(db, w, MeasureConfig::default());
+        let k = Index::new(vec![AttrId(0), AttrId(1)]);
+        let m = live.maintenance_cost(&k);
+        assert!(m > 0.0);
+        // Wider indexes are costlier to maintain.
+        let m1 = live.maintenance_cost(&Index::single(AttrId(0)));
+        assert!(m > m1);
+    }
+
+    #[test]
+    fn work_units_are_deterministic_across_harness_runs() {
+        let (mut db1, w) = fixture();
+        let (mut db2, _) = fixture();
+        let k = Index::single(AttrId(1));
+        let cfg = MeasureConfig::default();
+        let t1 = measure_workload(&mut db1, &w, std::slice::from_ref(&k), &cfg);
+        let t2 = measure_workload(&mut db2, &w, std::slice::from_ref(&k), &cfg);
+        assert_eq!(
+            t1.index_cost(QueryId(1), &k),
+            t2.index_cost(QueryId(1), &k)
+        );
+        assert_eq!(t1.unindexed_cost(QueryId(0)), t2.unindexed_cost(QueryId(0)));
+    }
+}

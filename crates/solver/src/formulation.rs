@@ -1,0 +1,134 @@
+//! The literal LP formulation (5)–(8) of a CoPhy instance.
+//!
+//! The specialized branch-and-bound never materializes this program — that
+//! is the whole point — but having it is valuable for (a) cross-validating
+//! the solver against the textbook MILP path on small instances and
+//! (b) reporting the formulation sizes of Figure 6 from an actual program
+//! rather than a counting formula.
+//!
+//! Variable layout: `x_0 … x_{|I|−1}`, then per query `z_{j0}` (the
+//! no-index option) followed by one `z_{jk}` per applicable candidate.
+
+use crate::cophy::CophyInstance;
+use crate::simplex::{ConstraintOp, LinearProgram};
+
+/// A built formulation plus the variable map needed to interpret
+/// solutions.
+#[derive(Clone, Debug)]
+pub struct CophyFormulation {
+    /// The program: minimize `Σ b_j f_j(k) z_jk + Σ penalty_k x_k`.
+    pub lp: LinearProgram,
+    /// Indices of the binary `x` variables (always `0..n_candidates`).
+    pub x_vars: Vec<usize>,
+}
+
+/// Build the LP (5)–(8) for `instance`.
+pub fn to_linear_program(instance: &CophyInstance) -> CophyFormulation {
+    let n = instance.candidate_memory.len();
+    let mut objective = vec![0.0; n];
+    for (k, obj) in objective.iter_mut().enumerate() {
+        *obj = instance.penalty(k);
+    }
+
+    // z variables, recording each query's row of variable ids.
+    let mut rows: Vec<Vec<usize>> = Vec::with_capacity(instance.queries.len());
+    for q in &instance.queries {
+        let mut row = Vec::with_capacity(q.options.len() + 1);
+        row.push(objective.len());
+        objective.push(q.weight * q.base_cost); // z_{j0}
+        for &(_, c) in &q.options {
+            row.push(objective.len());
+            objective.push(q.weight * c);
+        }
+        rows.push(row);
+    }
+
+    let mut lp = LinearProgram::minimize(objective);
+    for (j, row) in rows.iter().enumerate() {
+        // (6) Σ_k z_jk = 1
+        lp.constrain(row.iter().map(|&v| (v, 1.0)).collect(), ConstraintOp::Eq, 1.0);
+        // (7) z_jk ≤ x_k
+        for (oi, &(k, _)) in instance.queries[j].options.iter().enumerate() {
+            lp.constrain(
+                vec![(row[oi + 1], 1.0), (k as usize, -1.0)],
+                ConstraintOp::Le,
+                0.0,
+            );
+        }
+    }
+    // (8) Σ p_k x_k ≤ A
+    lp.constrain(
+        (0..n)
+            .map(|k| (k, instance.candidate_memory[k] as f64))
+            .collect(),
+        ConstraintOp::Le,
+        instance.budget as f64,
+    );
+
+    CophyFormulation { lp, x_vars: (0..n).collect() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cophy::{self, CophyOptions, CophyQueryRow};
+    use crate::milp::{self, MilpOptions, MilpProblem};
+    use std::time::Duration;
+
+    fn tiny() -> CophyInstance {
+        CophyInstance {
+            candidate_memory: vec![5, 7, 3],
+            candidate_penalty: vec![0.0, 2.0, 0.0],
+            queries: vec![
+                CophyQueryRow {
+                    weight: 2.0,
+                    base_cost: 50.0,
+                    options: vec![(0, 10.0), (1, 5.0)],
+                },
+                CophyQueryRow { weight: 1.0, base_cost: 30.0, options: vec![(2, 8.0)] },
+            ],
+            budget: 10,
+        }
+    }
+
+    #[test]
+    fn formulation_size_matches_the_counting_formula() {
+        let inst = tiny();
+        let f = to_linear_program(&inst);
+        let (vars, constraints) = inst.lp_size();
+        assert_eq!(f.lp.num_vars(), vars);
+        assert_eq!(f.lp.constraints.len(), constraints);
+    }
+
+    #[test]
+    fn milp_on_the_formulation_matches_the_specialized_solver() {
+        let inst = tiny();
+        let f = to_linear_program(&inst);
+        let milp_sol = milp::solve(
+            &MilpProblem { lp: f.lp, binary_vars: f.x_vars },
+            &MilpOptions { mip_gap: 0.0, ..Default::default() },
+        );
+        let bb = cophy::solve(
+            &inst,
+            &CophyOptions {
+                mip_gap: 0.0,
+                time_limit: Duration::from_secs(30),
+                max_nodes: 1_000_000,
+            },
+        );
+        assert!(
+            (milp_sol.objective - bb.objective).abs() < 1e-6,
+            "milp {} vs bb {}",
+            milp_sol.objective,
+            bb.objective
+        );
+    }
+
+    #[test]
+    fn penalties_appear_in_the_objective() {
+        let inst = tiny();
+        let f = to_linear_program(&inst);
+        assert_eq!(f.lp.objective[1], 2.0);
+        assert_eq!(f.lp.objective[0], 0.0);
+    }
+}

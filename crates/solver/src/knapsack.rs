@@ -1,0 +1,156 @@
+//! Knapsack helpers.
+//!
+//! * [`fractional_upper_bound`] — the classic fractional relaxation used as
+//!   the node bound of the CoPhy branch-and-bound,
+//! * [`solve_01_dynamic`] — exact 0/1 knapsack by dynamic programming over
+//!   capacities (reference oracle in tests, and exact solver for tiny
+//!   budget-constrained selections).
+
+/// An item with a value and a weight.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Item {
+    /// Profit of taking the item.
+    pub value: f64,
+    /// Capacity consumed (must be ≥ 1 for the DP).
+    pub weight: u64,
+}
+
+/// Best achievable value when items may be taken fractionally — an upper
+/// bound on the 0/1 optimum. `items` need not be sorted.
+pub fn fractional_upper_bound(items: &[Item], capacity: u64) -> f64 {
+    let mut order: Vec<usize> = (0..items.len())
+        .filter(|&i| items[i].value > 0.0)
+        .collect();
+    order.sort_by(|&a, &b| {
+        let da = items[a].value / items[a].weight.max(1) as f64;
+        let db = items[b].value / items[b].weight.max(1) as f64;
+        db.partial_cmp(&da).expect("finite densities")
+    });
+    let mut remaining = capacity as f64;
+    let mut total = 0.0;
+    for i in order {
+        if remaining <= 0.0 {
+            break;
+        }
+        let w = items[i].weight.max(1) as f64;
+        if w <= remaining {
+            total += items[i].value;
+            remaining -= w;
+        } else {
+            total += items[i].value * (remaining / w);
+            break;
+        }
+    }
+    total
+}
+
+/// Exact 0/1 knapsack: returns `(best value, chosen item indices)`.
+///
+/// DP over capacities — `O(n · capacity)` — so only use it when `capacity`
+/// is small (tests scale budgets down before calling this).
+pub fn solve_01_dynamic(items: &[Item], capacity: u64) -> (f64, Vec<usize>) {
+    let cap = usize::try_from(capacity).expect("capacity fits in usize");
+    let mut best = vec![0.0f64; cap + 1];
+    let mut take = vec![false; items.len() * (cap + 1)];
+    for (i, item) in items.iter().enumerate() {
+        let w = usize::try_from(item.weight).expect("weight fits in usize");
+        if w == 0 || item.value <= 0.0 {
+            continue;
+        }
+        for c in (w..=cap).rev() {
+            let with = best[c - w] + item.value;
+            if with > best[c] {
+                best[c] = with;
+                take[i * (cap + 1) + c] = true;
+            }
+        }
+    }
+    // Reconstruct.
+    let mut chosen = Vec::new();
+    let mut c = cap;
+    for i in (0..items.len()).rev() {
+        if take[i * (cap + 1) + c] {
+            chosen.push(i);
+            c -= usize::try_from(items[i].weight).expect("weight fits");
+        }
+    }
+    chosen.reverse();
+    (best[cap], chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn items(vw: &[(f64, u64)]) -> Vec<Item> {
+        vw.iter().map(|&(value, weight)| Item { value, weight }).collect()
+    }
+
+    #[test]
+    fn fractional_bound_takes_best_density_first() {
+        let its = items(&[(60.0, 10), (100.0, 20), (120.0, 30)]);
+        // Capacity 50: take items 0 and 1 fully, 2/3 of item 2 → 240.
+        let ub = fractional_upper_bound(&its, 50);
+        assert!((ub - 240.0).abs() < 1e-9, "{ub}");
+    }
+
+    #[test]
+    fn fractional_bound_with_plenty_of_capacity_takes_everything() {
+        let its = items(&[(1.0, 1), (2.0, 2)]);
+        assert!((fractional_upper_bound(&its, 100) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dp_solves_textbook_instance() {
+        let its = items(&[(60.0, 10), (100.0, 20), (120.0, 30)]);
+        let (v, chosen) = solve_01_dynamic(&its, 50);
+        assert!((v - 220.0).abs() < 1e-9);
+        assert_eq!(chosen, vec![1, 2]);
+    }
+
+    #[test]
+    fn dp_zero_capacity_selects_nothing() {
+        let its = items(&[(5.0, 1)]);
+        let (v, chosen) = solve_01_dynamic(&its, 0);
+        assert_eq!(v, 0.0);
+        assert!(chosen.is_empty());
+    }
+
+    #[test]
+    fn negative_values_are_never_taken() {
+        let its = items(&[(-5.0, 1), (3.0, 1)]);
+        let (v, chosen) = solve_01_dynamic(&its, 2);
+        assert!((v - 3.0).abs() < 1e-12);
+        assert_eq!(chosen, vec![1]);
+        assert!((fractional_upper_bound(&its, 2) - 3.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// The fractional relaxation always dominates the 0/1 optimum.
+        #[test]
+        fn fractional_dominates_dp(
+            vw in prop::collection::vec((0.0f64..100.0, 1u64..20), 1..10),
+            cap in 0u64..60,
+        ) {
+            let its = items(&vw);
+            let (dp, _) = solve_01_dynamic(&its, cap);
+            let ub = fractional_upper_bound(&its, cap);
+            prop_assert!(ub + 1e-6 >= dp, "ub={ub} dp={dp}");
+        }
+
+        /// DP solutions respect the capacity and reproduce their value.
+        #[test]
+        fn dp_solutions_are_consistent(
+            vw in prop::collection::vec((0.0f64..100.0, 1u64..20), 1..10),
+            cap in 0u64..60,
+        ) {
+            let its = items(&vw);
+            let (v, chosen) = solve_01_dynamic(&its, cap);
+            let weight: u64 = chosen.iter().map(|&i| its[i].weight).sum();
+            let value: f64 = chosen.iter().map(|&i| its[i].value).sum();
+            prop_assert!(weight <= cap);
+            prop_assert!((value - v).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Optimization substrate for index selection.
+//!
+//! The paper solves CoPhy's binary program with CPLEX (`mipgap = 0.05`,
+//! NEOS). This crate replaces that proprietary stack:
+//!
+//! * [`simplex`] — a dense two-phase primal simplex for general LPs; used
+//!   as the relaxation engine of the generic MILP solver and as a reference
+//!   oracle in tests,
+//! * [`milp`] — a small generic branch-and-bound MILP solver on top of the
+//!   simplex (exact on small instances; used to cross-validate the
+//!   specialized solver),
+//! * [`cophy`] — a specialized branch-and-bound solver for the CoPhy index
+//!   selection program (5)–(8), scalable to thousands of candidates: it
+//!   exploits that for fixed index decisions the per-query variables are
+//!   determined (each query takes its cheapest available option) and that
+//!   per-candidate marginal benefits upper-bound joint benefits
+//!   (subadditivity), which yields a fractional-knapsack bound,
+//! * [`knapsack`] — fractional and 0/1 knapsack helpers.
+//!
+//! All solvers support the paper's termination regime: a relative
+//! optimality gap and a wall-clock limit ("DNF" in Table I).
+
+#![warn(missing_docs)]
+
+pub mod cophy;
+pub mod formulation;
+pub mod knapsack;
+pub mod milp;
+pub mod simplex;
+
+pub use cophy::{CophyInstance, CophyOptions, CophyQueryRow, CophySolution};
+pub use formulation::{to_linear_program, CophyFormulation};
+pub use milp::{MilpOptions, MilpProblem, MilpSolution};
+pub use simplex::{Constraint, ConstraintOp, LinearProgram, LpOutcome, LpSolution};
+
+use serde::{Deserialize, Serialize};
+
+/// How a solve run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolveStatus {
+    /// Proven optimal (within numerical tolerance).
+    Optimal,
+    /// Stopped because the relative gap dropped below the configured
+    /// `mip_gap` (the paper's CPLEX runs use 0.05).
+    GapReached,
+    /// Wall-clock limit hit; best incumbent returned ("DNF" in Table I).
+    TimeLimit,
+    /// Node limit hit; best incumbent returned.
+    NodeLimit,
+    /// No feasible solution exists.
+    Infeasible,
+}
+
+impl SolveStatus {
+    /// Whether a feasible incumbent accompanies this status.
+    pub fn has_solution(self) -> bool {
+        !matches!(self, SolveStatus::Infeasible)
+    }
+
+    /// Whether the run finished on its own terms (optimal or gap).
+    pub fn finished(self) -> bool {
+        matches!(self, SolveStatus::Optimal | SolveStatus::GapReached)
+    }
+}

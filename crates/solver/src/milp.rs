@@ -1,0 +1,323 @@
+//! Generic branch-and-bound MILP solver over the two-phase simplex.
+//!
+//! Handles minimization problems with a subset of *binary* variables (the
+//! CoPhy program only needs binaries). Node relaxations are solved from
+//! scratch with [`crate::simplex`], so this solver is for small instances:
+//! cross-validating the specialized CoPhy solver and exact reference
+//! solutions in tests.
+
+use crate::simplex::{self, ConstraintOp, LinearProgram, LpOutcome};
+use crate::SolveStatus;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// A MILP: an LP plus binary variables.
+#[derive(Clone, Debug)]
+pub struct MilpProblem {
+    /// Underlying LP (minimization).
+    pub lp: LinearProgram,
+    /// Indices of variables restricted to {0, 1}. Upper bounds `x ≤ 1` are
+    /// added automatically.
+    pub binary_vars: Vec<usize>,
+}
+
+/// Termination options.
+#[derive(Clone, Copy, Debug)]
+pub struct MilpOptions {
+    /// Stop when `(UB − LB)/|UB| ≤ mip_gap`.
+    pub mip_gap: f64,
+    /// Wall-clock limit.
+    pub time_limit: Duration,
+    /// Maximum number of explored nodes.
+    pub max_nodes: usize,
+}
+
+impl Default for MilpOptions {
+    fn default() -> Self {
+        Self {
+            mip_gap: 0.0,
+            time_limit: Duration::from_secs(60),
+            max_nodes: 100_000,
+        }
+    }
+}
+
+/// Result of a MILP solve.
+#[derive(Clone, Debug)]
+pub struct MilpSolution {
+    /// How the run ended.
+    pub status: SolveStatus,
+    /// Objective of the incumbent (`f64::INFINITY` when infeasible).
+    pub objective: f64,
+    /// Incumbent assignment (empty when infeasible).
+    pub x: Vec<f64>,
+    /// Best proven lower bound.
+    pub lower_bound: f64,
+    /// Nodes explored.
+    pub nodes: usize,
+}
+
+const INT_EPS: f64 = 1e-6;
+
+#[derive(Clone)]
+struct Node {
+    /// (var, fixed value) pairs accumulated on the path from the root.
+    fixings: Vec<(usize, f64)>,
+    /// LP bound of the parent (priority key).
+    bound: f64,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; we want the *smallest* bound first.
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+/// Solve `problem` by best-first branch-and-bound.
+pub fn solve(problem: &MilpProblem, options: &MilpOptions) -> MilpSolution {
+    let start = Instant::now();
+    let mut base = problem.lp.clone();
+    for &v in &problem.binary_vars {
+        base.constrain(vec![(v, 1.0)], ConstraintOp::Le, 1.0);
+    }
+
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    let mut heap = BinaryHeap::new();
+    heap.push(Node { fixings: Vec::new(), bound: f64::NEG_INFINITY });
+    let mut nodes = 0usize;
+    let mut status = SolveStatus::Optimal;
+    let mut best_bound = f64::NEG_INFINITY;
+
+    while let Some(node) = heap.pop() {
+        best_bound = node.bound;
+        if let Some((ub, _)) = &incumbent {
+            if gap_ok(*ub, node.bound, options.mip_gap) {
+                status = if options.mip_gap > 0.0 {
+                    SolveStatus::GapReached
+                } else {
+                    SolveStatus::Optimal
+                };
+                best_bound = best_bound.max(node.bound);
+                return finish(status, incumbent, best_bound, nodes);
+            }
+        }
+        if start.elapsed() > options.time_limit {
+            status = SolveStatus::TimeLimit;
+            break;
+        }
+        if nodes >= options.max_nodes {
+            status = SolveStatus::NodeLimit;
+            break;
+        }
+        nodes += 1;
+
+        // Node LP: base + fixings.
+        let mut lp = base.clone();
+        for &(v, val) in &node.fixings {
+            lp.constrain(vec![(v, 1.0)], ConstraintOp::Eq, val);
+        }
+        let sol = match simplex::solve(&lp) {
+            LpOutcome::Optimal(s) => s,
+            LpOutcome::Infeasible => continue,
+            LpOutcome::Unbounded => {
+                // Unbounded relaxation with binaries fixed means the
+                // continuous part is unbounded — propagate as no solution.
+                return MilpSolution {
+                    status: SolveStatus::Infeasible,
+                    objective: f64::NEG_INFINITY,
+                    x: Vec::new(),
+                    lower_bound: f64::NEG_INFINITY,
+                    nodes,
+                };
+            }
+        };
+        if let Some((ub, _)) = &incumbent {
+            if sol.objective >= *ub - 1e-9 {
+                continue; // dominated
+            }
+        }
+
+        // Most fractional binary variable.
+        let mut branch_var = None;
+        let mut best_frac = INT_EPS;
+        for &v in &problem.binary_vars {
+            let f = (sol.x[v] - sol.x[v].round()).abs();
+            if f > best_frac {
+                best_frac = f;
+                branch_var = Some(v);
+            }
+        }
+        match branch_var {
+            None => {
+                // Integral: candidate incumbent.
+                if incumbent
+                    .as_ref()
+                    .is_none_or(|(ub, _)| sol.objective < *ub - 1e-12)
+                {
+                    incumbent = Some((sol.objective, sol.x.clone()));
+                }
+            }
+            Some(v) => {
+                for val in [0.0, 1.0] {
+                    let mut fixings = node.fixings.clone();
+                    fixings.push((v, val));
+                    heap.push(Node { fixings, bound: sol.objective });
+                }
+            }
+        }
+    }
+
+    if status == SolveStatus::Optimal {
+        // Heap exhausted: incumbent (if any) is optimal.
+        if let Some((ub, _)) = &incumbent {
+            best_bound = *ub;
+        }
+    }
+    finish(status, incumbent, best_bound, nodes)
+}
+
+fn gap_ok(ub: f64, lb: f64, gap: f64) -> bool {
+    if ub.is_infinite() {
+        return false;
+    }
+    let denom = ub.abs().max(1e-12);
+    (ub - lb) / denom <= gap + 1e-12
+}
+
+fn finish(
+    status: SolveStatus,
+    incumbent: Option<(f64, Vec<f64>)>,
+    lower_bound: f64,
+    nodes: usize,
+) -> MilpSolution {
+    match incumbent {
+        Some((objective, x)) => MilpSolution { status, objective, x, lower_bound, nodes },
+        None => MilpSolution {
+            status: if status == SolveStatus::Optimal {
+                SolveStatus::Infeasible
+            } else {
+                status
+            },
+            objective: f64::INFINITY,
+            x: Vec::new(),
+            lower_bound,
+            nodes,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knapsack::{self, Item};
+
+    fn knapsack_milp(values: &[f64], weights: &[u64], cap: u64) -> MilpProblem {
+        // max Σ v x ⇔ min −Σ v x, Σ w x ≤ cap, x binary.
+        let lp = {
+            let mut lp = LinearProgram::minimize(values.iter().map(|v| -v).collect());
+            lp.constrain(
+                weights.iter().enumerate().map(|(i, &w)| (i, w as f64)).collect(),
+                ConstraintOp::Le,
+                cap as f64,
+            );
+            lp
+        };
+        MilpProblem { lp, binary_vars: (0..values.len()).collect() }
+    }
+
+    #[test]
+    fn solves_small_knapsack_exactly() {
+        let values = [60.0, 100.0, 120.0];
+        let weights = [10, 20, 30];
+        let p = knapsack_milp(&values, &weights, 50);
+        let s = solve(&p, &MilpOptions::default());
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!((s.objective + 220.0).abs() < 1e-6, "{}", s.objective);
+        assert!(s.x[1] > 0.5 && s.x[2] > 0.5 && s.x[0] < 0.5);
+    }
+
+    #[test]
+    fn matches_dp_on_random_knapsacks() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..12 {
+            let n = rng.gen_range(2..8);
+            let values: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..50.0)).collect();
+            let weights: Vec<u64> = (0..n).map(|_| rng.gen_range(1..15)).collect();
+            let cap = rng.gen_range(5..40);
+            let p = knapsack_milp(&values, &weights, cap);
+            let s = solve(&p, &MilpOptions::default());
+            let items: Vec<Item> = values
+                .iter()
+                .zip(&weights)
+                .map(|(&value, &weight)| Item { value, weight })
+                .collect();
+            let (dp, _) = knapsack::solve_01_dynamic(&items, cap);
+            assert!(
+                (-s.objective - dp).abs() < 1e-6,
+                "milp={} dp={dp}",
+                -s.objective
+            );
+        }
+    }
+
+    #[test]
+    fn reports_infeasible_problems() {
+        let mut lp = LinearProgram::minimize(vec![1.0]);
+        lp.constrain(vec![(0, 1.0)], ConstraintOp::Ge, 2.0);
+        lp.constrain(vec![(0, 1.0)], ConstraintOp::Le, 1.0);
+        let p = MilpProblem { lp, binary_vars: vec![0] };
+        let s = solve(&p, &MilpOptions::default());
+        assert_eq!(s.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn respects_mip_gap() {
+        let values = [10.0, 10.0, 10.0, 10.0];
+        let weights = [1, 1, 1, 1];
+        let p = knapsack_milp(&values, &weights, 2);
+        let s = solve(&p, &MilpOptions { mip_gap: 0.5, ..Default::default() });
+        assert!(s.status.finished());
+        // Incumbent within 50% of the bound.
+        assert!(s.objective <= s.lower_bound * 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn time_limit_returns_incumbent_or_times_out() {
+        let values: Vec<f64> = (0..14).map(|i| 10.0 + (i % 5) as f64).collect();
+        let weights: Vec<u64> = (0..14).map(|i| 3 + (i % 7)).collect();
+        let p = knapsack_milp(&values, &weights, 30);
+        let s = solve(
+            &p,
+            &MilpOptions { time_limit: Duration::from_millis(0), ..Default::default() },
+        );
+        assert!(matches!(s.status, SolveStatus::TimeLimit | SolveStatus::Optimal));
+    }
+
+    #[test]
+    fn pure_lp_problems_solve_in_one_node() {
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+        lp.constrain(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 2.0);
+        let p = MilpProblem { lp, binary_vars: vec![] };
+        let s = solve(&p, &MilpOptions::default());
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!((s.objective - 2.0).abs() < 1e-6);
+        assert_eq!(s.nodes, 1);
+    }
+}

@@ -1,0 +1,487 @@
+//! Dense two-phase primal simplex.
+//!
+//! Solves `min cᵀx  s.t.  Ax {≤,≥,=} b,  x ≥ 0` on a dense tableau with
+//! Bland's anti-cycling rule. Intended for the *small* LPs of this
+//! workspace: MILP node relaxations during cross-validation and unit-test
+//! oracles. The scalable path for CoPhy instances is the specialized
+//! branch-and-bound in [`crate::cophy`].
+
+use serde::{Deserialize, Serialize};
+
+/// Comparison operator of a [`Constraint`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConstraintOp {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+/// One linear constraint with sparse coefficients.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// `(variable, coefficient)` pairs; variables may repeat (summed).
+    pub coeffs: Vec<(usize, f64)>,
+    /// Comparison operator.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Convenience constructor.
+    pub fn new(coeffs: Vec<(usize, f64)>, op: ConstraintOp, rhs: f64) -> Self {
+        Self { coeffs, op, rhs }
+    }
+}
+
+/// A linear program `min cᵀx  s.t.  constraints, x ≥ 0`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinearProgram {
+    /// Objective coefficients `c` (length = number of variables).
+    pub objective: Vec<f64>,
+    /// Constraint rows.
+    pub constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// LP with `vars` variables and the given minimization objective.
+    pub fn minimize(objective: Vec<f64>) -> Self {
+        Self { objective, constraints: Vec::new() }
+    }
+
+    /// Add a constraint (builder style).
+    pub fn constrain(&mut self, coeffs: Vec<(usize, f64)>, op: ConstraintOp, rhs: f64) -> &mut Self {
+        self.constraints.push(Constraint::new(coeffs, op, rhs));
+        self
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+}
+
+/// An optimal LP solution.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LpSolution {
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Values of the structural variables.
+    pub x: Vec<f64>,
+}
+
+/// Result of an LP solve.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LpOutcome {
+    /// Finite optimum found.
+    Optimal(LpSolution),
+    /// No feasible point exists.
+    Infeasible,
+    /// Objective unbounded below.
+    Unbounded,
+}
+
+const EPS: f64 = 1e-9;
+const MAX_ITERS: usize = 100_000;
+
+/// Dense simplex tableau.
+struct Tableau {
+    /// `rows × cols`, row-major; last column is the RHS.
+    a: Vec<f64>,
+    rows: usize,
+    cols: usize,
+    /// Basis variable of each row.
+    basis: Vec<usize>,
+    /// Reduced-cost row (length `cols`), last entry = −objective value.
+    z: Vec<f64>,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * self.cols + c]
+    }
+
+    #[inline]
+    fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.a[r * self.cols + c] = v;
+    }
+
+    /// Pivot on `(pr, pc)`.
+    fn pivot(&mut self, pr: usize, pc: usize) {
+        let cols = self.cols;
+        let piv = self.at(pr, pc);
+        debug_assert!(piv.abs() > EPS);
+        let inv = 1.0 / piv;
+        for c in 0..cols {
+            self.a[pr * cols + c] *= inv;
+        }
+        for r in 0..self.rows {
+            if r == pr {
+                continue;
+            }
+            let f = self.at(r, pc);
+            if f.abs() <= EPS {
+                continue;
+            }
+            for c in 0..cols {
+                let v = self.at(pr, c);
+                self.a[r * cols + c] -= f * v;
+            }
+        }
+        let f = self.z[pc];
+        if f.abs() > EPS {
+            for c in 0..cols {
+                self.z[c] -= f * self.at(pr, c);
+            }
+        }
+        self.basis[pr] = pc;
+    }
+
+    /// Run simplex iterations until optimal/unbounded. Returns `false` on
+    /// unboundedness. Columns in `allowed` may enter the basis.
+    fn optimize(&mut self, allowed: &[bool]) -> bool {
+        for _ in 0..MAX_ITERS {
+            // Bland: smallest-index column with negative reduced cost.
+            let rhs_col = self.cols - 1;
+            let entering = (0..rhs_col).find(|&c| allowed[c] && self.z[c] < -EPS);
+            let Some(pc) = entering else { return true };
+            // Ratio test; Bland tie-break on basis index.
+            let mut best: Option<(usize, f64)> = None;
+            for r in 0..self.rows {
+                let a = self.at(r, pc);
+                if a > EPS {
+                    let ratio = self.at(r, rhs_col) / a;
+                    match best {
+                        None => best = Some((r, ratio)),
+                        Some((br, bratio)) => {
+                            if ratio < bratio - EPS
+                                || (ratio < bratio + EPS && self.basis[r] < self.basis[br])
+                            {
+                                best = Some((r, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((pr, _)) = best else { return false };
+            self.pivot(pr, pc);
+        }
+        // Iteration limit: treat as optimal-so-far (callers only see small
+        // instances; Bland guarantees termination anyway).
+        true
+    }
+}
+
+/// Solve `lp` with the two-phase primal simplex.
+pub fn solve(lp: &LinearProgram) -> LpOutcome {
+    let n = lp.num_vars();
+    let m = lp.constraints.len();
+
+    // Normalize rows: dense coefficients, non-negative RHS.
+    let mut rows: Vec<(Vec<f64>, ConstraintOp, f64)> = Vec::with_capacity(m);
+    for c in &lp.constraints {
+        let mut dense = vec![0.0; n];
+        for &(v, a) in &c.coeffs {
+            assert!(v < n, "constraint references variable {v} out of {n}");
+            dense[v] += a;
+        }
+        let (dense, op, rhs) = if c.rhs < 0.0 {
+            let flipped = match c.op {
+                ConstraintOp::Le => ConstraintOp::Ge,
+                ConstraintOp::Ge => ConstraintOp::Le,
+                ConstraintOp::Eq => ConstraintOp::Eq,
+            };
+            (dense.iter().map(|x| -x).collect(), flipped, -c.rhs)
+        } else {
+            (dense, c.op, c.rhs)
+        };
+        rows.push((dense, op, rhs));
+    }
+
+    // Column layout: structural | slack/surplus | artificial | RHS.
+    let n_slack = rows
+        .iter()
+        .filter(|(_, op, _)| !matches!(op, ConstraintOp::Eq))
+        .count();
+    let n_art = rows
+        .iter()
+        .filter(|(_, op, _)| !matches!(op, ConstraintOp::Le))
+        .count();
+    let cols = n + n_slack + n_art + 1;
+    let rhs_col = cols - 1;
+
+    let mut t = Tableau {
+        a: vec![0.0; m * cols],
+        rows: m,
+        cols,
+        basis: vec![usize::MAX; m],
+        z: vec![0.0; cols],
+    };
+
+    let mut slack_at = n;
+    let mut art_at = n + n_slack;
+    let mut artificials = Vec::new();
+    for (r, (dense, op, rhs)) in rows.iter().enumerate() {
+        for (v, &a) in dense.iter().enumerate() {
+            t.set(r, v, a);
+        }
+        t.set(r, rhs_col, *rhs);
+        match op {
+            ConstraintOp::Le => {
+                t.set(r, slack_at, 1.0);
+                t.basis[r] = slack_at;
+                slack_at += 1;
+            }
+            ConstraintOp::Ge => {
+                t.set(r, slack_at, -1.0);
+                slack_at += 1;
+                t.set(r, art_at, 1.0);
+                t.basis[r] = art_at;
+                artificials.push(art_at);
+                art_at += 1;
+            }
+            ConstraintOp::Eq => {
+                t.set(r, art_at, 1.0);
+                t.basis[r] = art_at;
+                artificials.push(art_at);
+                art_at += 1;
+            }
+        }
+    }
+
+    // Phase 1: minimize sum of artificials.
+    if !artificials.is_empty() {
+        for &a in &artificials {
+            t.z[a] = 1.0;
+        }
+        // Make reduced costs of basic artificials zero.
+        for r in 0..m {
+            if artificials.contains(&t.basis[r]) {
+                for c in 0..cols {
+                    t.z[c] -= t.at(r, c);
+                }
+            }
+        }
+        let allowed = vec![true; cols - 1];
+        if !t.optimize(&allowed) {
+            // Phase-1 objective is bounded below by 0; unbounded cannot
+            // happen, but be safe.
+            return LpOutcome::Infeasible;
+        }
+        let phase1_obj = -t.z[rhs_col];
+        if phase1_obj > 1e-6 {
+            return LpOutcome::Infeasible;
+        }
+        // Pivot remaining artificials out of the basis where possible.
+        for r in 0..m {
+            if artificials.contains(&t.basis[r]) {
+                let mut pivoted = false;
+                for c in 0..n + n_slack {
+                    if t.at(r, c).abs() > 1e-7 {
+                        t.pivot(r, c);
+                        pivoted = true;
+                        break;
+                    }
+                }
+                // A fully-zero row is redundant; its artificial stays basic
+                // at value 0, which is harmless as long as it never leaves.
+                let _ = pivoted;
+            }
+        }
+    }
+
+    // Phase 2: original objective; artificial columns barred from entering.
+    t.z = vec![0.0; cols];
+    for v in 0..n {
+        t.z[v] = lp.objective[v];
+    }
+    for r in 0..m {
+        let b = t.basis[r];
+        if b < n {
+            let coef = lp.objective[b];
+            if coef.abs() > EPS {
+                for c in 0..cols {
+                    t.z[c] -= coef * t.at(r, c);
+                }
+            }
+        }
+    }
+    let mut allowed = vec![true; cols - 1];
+    for &a in &artificials {
+        allowed[a] = false;
+    }
+    if !t.optimize(&allowed) {
+        return LpOutcome::Unbounded;
+    }
+
+    let mut x = vec![0.0; n];
+    for r in 0..m {
+        if t.basis[r] < n {
+            x[t.basis[r]] = t.at(r, rhs_col);
+        }
+    }
+    let objective = lp.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
+    LpOutcome::Optimal(LpSolution { objective, x })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn trivial_bounded_minimum() {
+        // min x0  s.t. x0 ≥ 3
+        let mut lp = LinearProgram::minimize(vec![1.0]);
+        lp.constrain(vec![(0, 1.0)], ConstraintOp::Ge, 3.0);
+        let LpOutcome::Optimal(s) = solve(&lp) else { panic!() };
+        assert_close(s.objective, 3.0);
+        assert_close(s.x[0], 3.0);
+    }
+
+    #[test]
+    fn classic_two_var_maximization() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), obj 36.
+        let mut lp = LinearProgram::minimize(vec![-3.0, -5.0]);
+        lp.constrain(vec![(0, 1.0)], ConstraintOp::Le, 4.0);
+        lp.constrain(vec![(1, 2.0)], ConstraintOp::Le, 12.0);
+        lp.constrain(vec![(0, 3.0), (1, 2.0)], ConstraintOp::Le, 18.0);
+        let LpOutcome::Optimal(s) = solve(&lp) else { panic!() };
+        assert_close(s.objective, -36.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 6.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + y = 5, x − y = 1 → (3, 2), obj 5.
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+        lp.constrain(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 5.0);
+        lp.constrain(vec![(0, 1.0), (1, -1.0)], ConstraintOp::Eq, 1.0);
+        let LpOutcome::Optimal(s) = solve(&lp) else { panic!() };
+        assert_close(s.objective, 5.0);
+        assert_close(s.x[0], 3.0);
+        assert_close(s.x[1], 2.0);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        // x ≤ 1 and x ≥ 2.
+        let mut lp = LinearProgram::minimize(vec![1.0]);
+        lp.constrain(vec![(0, 1.0)], ConstraintOp::Le, 1.0);
+        lp.constrain(vec![(0, 1.0)], ConstraintOp::Ge, 2.0);
+        assert_eq!(solve(&lp), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        // min −x, x ≥ 0 unconstrained above.
+        let lp = LinearProgram::minimize(vec![-1.0]);
+        assert_eq!(solve(&lp), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // min x s.t. −x ≤ −2  ⇔  x ≥ 2.
+        let mut lp = LinearProgram::minimize(vec![1.0]);
+        lp.constrain(vec![(0, -1.0)], ConstraintOp::Le, -2.0);
+        let LpOutcome::Optimal(s) = solve(&lp) else { panic!() };
+        assert_close(s.x[0], 2.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: multiple constraints active at the optimum.
+        let mut lp = LinearProgram::minimize(vec![-1.0, -1.0]);
+        lp.constrain(vec![(0, 1.0)], ConstraintOp::Le, 1.0);
+        lp.constrain(vec![(1, 1.0)], ConstraintOp::Le, 1.0);
+        lp.constrain(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Le, 2.0);
+        let LpOutcome::Optimal(s) = solve(&lp) else { panic!() };
+        assert_close(s.objective, -2.0);
+    }
+
+    #[test]
+    fn duplicate_coefficients_are_summed() {
+        // min x s.t. x + x ≥ 4 → x = 2.
+        let mut lp = LinearProgram::minimize(vec![1.0]);
+        lp.constrain(vec![(0, 1.0), (0, 1.0)], ConstraintOp::Ge, 4.0);
+        let LpOutcome::Optimal(s) = solve(&lp) else { panic!() };
+        assert_close(s.x[0], 2.0);
+    }
+
+    #[test]
+    fn redundant_equality_rows_are_tolerated() {
+        // x + y = 2 twice plus objective.
+        let mut lp = LinearProgram::minimize(vec![1.0, 2.0]);
+        lp.constrain(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 2.0);
+        lp.constrain(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 2.0);
+        let LpOutcome::Optimal(s) = solve(&lp) else { panic!() };
+        assert_close(s.objective, 2.0);
+        assert_close(s.x[0], 2.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Construct LPs from a known feasible point: the simplex must
+            /// report optimal and do at least as well as that point.
+            #[test]
+            fn optimum_dominates_known_feasible_points(
+                n in 1usize..4,
+                m in 1usize..4,
+                a_entries in prop::collection::vec(0.0f64..2.0, 16),
+                x_star in prop::collection::vec(0.0f64..2.0, 4),
+                c in prop::collection::vec(-1.0f64..1.0, 4),
+            ) {
+                let mut lp = LinearProgram::minimize(c[..n].to_vec());
+                // Rows A x ≤ A x*: x* is feasible by construction.
+                for r in 0..m {
+                    let coeffs: Vec<(usize, f64)> =
+                        (0..n).map(|v| (v, a_entries[r * 4 + v])).collect();
+                    let rhs: f64 = coeffs.iter().map(|&(v, a)| a * x_star[v]).sum();
+                    lp.constrain(coeffs, ConstraintOp::Le, rhs);
+                }
+                // Box constraints keep the program bounded.
+                for v in 0..n {
+                    lp.constrain(vec![(v, 1.0)], ConstraintOp::Le, 5.0);
+                }
+                let LpOutcome::Optimal(sol) = solve(&lp) else {
+                    return Err(TestCaseError::fail("bounded feasible LP must solve"));
+                };
+                let feasible_cost: f64 = (0..n).map(|v| lp.objective[v] * x_star[v]).sum();
+                prop_assert!(sol.objective <= feasible_cost + 1e-6);
+                // The reported point is itself feasible.
+                for cons in &lp.constraints {
+                    let lhs: f64 = cons.coeffs.iter().map(|&(v, a)| a * sol.x[v]).sum();
+                    prop_assert!(lhs <= cons.rhs + 1e-6);
+                }
+                for &xv in &sol.x {
+                    prop_assert!(xv >= -1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fractional_knapsack_lp() {
+        // max 6x0 + 5x1 + 4x2, 2x0+2x1+3x2 ≤ 4, x ≤ 1 → x0=1, x1=1, obj 11.
+        let mut lp = LinearProgram::minimize(vec![-6.0, -5.0, -4.0]);
+        lp.constrain(vec![(0, 2.0), (1, 2.0), (2, 3.0)], ConstraintOp::Le, 4.0);
+        for v in 0..3 {
+            lp.constrain(vec![(v, 1.0)], ConstraintOp::Le, 1.0);
+        }
+        let LpOutcome::Optimal(s) = solve(&lp) else { panic!() };
+        assert_close(s.objective, -11.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Workload compression (Section VI).
+//!
+//! Large workloads are often preprocessed before index selection:
+//! Chaudhuri et al. [30] compress within an error bound, while DB2 simply
+//! keeps "the top k most expensive queries" [10] because full compression
+//! proved too slow. This module provides both flavours:
+//!
+//! * [`top_k_by_weight`] — DB2-style: keep the k templates with the
+//!   highest frequency-weighted cost estimate,
+//! * [`merge_duplicates`] — exact, lossless: coalesce templates with
+//!   identical table, kind and attribute set by summing frequencies
+//!   (real template extractions are full of these).
+
+use crate::ids::TableId;
+use crate::query::{Query, QueryKind, Workload};
+use std::collections::HashMap;
+
+/// Lossless compression: merge templates with identical
+/// `(table, kind, attribute set)` into one, summing frequencies. Order of
+/// first occurrence is kept.
+pub fn merge_duplicates(workload: &Workload) -> Workload {
+    let mut order: Vec<(TableId, QueryKind, Vec<crate::AttrId>)> = Vec::new();
+    let mut freq: HashMap<(TableId, QueryKind, Vec<crate::AttrId>), u64> = HashMap::new();
+    for (_, q) in workload.iter() {
+        let key = (q.table(), q.kind(), q.attrs().to_vec());
+        match freq.get_mut(&key) {
+            Some(f) => *f += q.frequency(),
+            None => {
+                freq.insert(key.clone(), q.frequency());
+                order.push(key);
+            }
+        }
+    }
+    let queries = order
+        .into_iter()
+        .map(|key| {
+            let f = freq[&key];
+            Query::with_kind(key.0, key.2, f, key.1)
+        })
+        .collect();
+    Workload::new(workload.schema().clone(), queries)
+}
+
+/// DB2-style lossy compression: keep the `k` templates with the largest
+/// `weight(q)` under the given per-query weight function (typically
+/// `b_j · f_j(0)` — frequency times estimated cost). Deterministic
+/// tie-break by position.
+///
+/// ```
+/// use isel_workload::compress;
+/// use isel_workload::synthetic::{self, SyntheticConfig};
+///
+/// let w = synthetic::generate(&SyntheticConfig::default());
+/// let c = compress::top_k_by_weight(&w, 50, |q| q.frequency() as f64);
+/// assert_eq!(c.query_count(), 50);
+/// assert!(compress::retained_volume(&w, &c) > 0.1);
+/// ```
+pub fn top_k_by_weight(
+    workload: &Workload,
+    k: usize,
+    weight: impl Fn(&Query) -> f64,
+) -> Workload {
+    let mut scored: Vec<(usize, f64)> = workload
+        .queries()
+        .iter()
+        .enumerate()
+        .map(|(i, q)| (i, weight(q)))
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite weights")
+            .then(a.0.cmp(&b.0))
+    });
+    let mut keep: Vec<usize> = scored.into_iter().take(k).map(|(i, _)| i).collect();
+    keep.sort_unstable();
+    let queries = keep
+        .into_iter()
+        .map(|i| workload.queries()[i].clone())
+        .collect();
+    Workload::new(workload.schema().clone(), queries)
+}
+
+/// Fraction of the original execution volume a compressed workload keeps.
+pub fn retained_volume(original: &Workload, compressed: &Workload) -> f64 {
+    let total = original.total_frequency();
+    if total == 0 {
+        return 1.0;
+    }
+    compressed.total_frequency() as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    use crate::schema::SchemaBuilder;
+
+    fn workload() -> Workload {
+        let mut b = SchemaBuilder::new();
+        let t = b.table("t", 100);
+        let a0 = b.attribute(t, "a0", 10, 4);
+        let a1 = b.attribute(t, "a1", 10, 4);
+        Workload::new(
+            b.finish(),
+            vec![
+                Query::new(TableId(0), vec![a0], 5),
+                Query::new(TableId(0), vec![a0, a1], 3),
+                Query::new(TableId(0), vec![a0], 2), // duplicate of q0
+                Query::update(TableId(0), vec![a0], 4), // same attrs, write
+            ],
+        )
+    }
+
+    #[test]
+    fn merge_sums_frequencies_of_identical_templates() {
+        let w = merge_duplicates(&workload());
+        assert_eq!(w.query_count(), 3);
+        assert_eq!(w.queries()[0].frequency(), 7); // 5 + 2
+        assert_eq!(w.total_frequency(), workload().total_frequency());
+    }
+
+    #[test]
+    fn merge_keeps_reads_and_writes_apart() {
+        let w = merge_duplicates(&workload());
+        let updates: Vec<_> = w.queries().iter().filter(|q| q.is_update()).collect();
+        assert_eq!(updates.len(), 1);
+        assert_eq!(updates[0].frequency(), 4);
+    }
+
+    #[test]
+    fn top_k_keeps_the_heaviest_templates() {
+        let w = workload();
+        let compressed = top_k_by_weight(&w, 2, |q| q.frequency() as f64);
+        assert_eq!(compressed.query_count(), 2);
+        // q0 (5) and update (4) dominate.
+        assert_eq!(compressed.queries()[0].frequency(), 5);
+        assert_eq!(compressed.queries()[1].frequency(), 4);
+    }
+
+    #[test]
+    fn top_k_larger_than_workload_is_identity() {
+        let w = workload();
+        let c = top_k_by_weight(&w, 100, |q| q.frequency() as f64);
+        assert_eq!(c, w);
+    }
+
+    #[test]
+    fn retained_volume_reports_the_lossy_share() {
+        let w = workload();
+        let c = top_k_by_weight(&w, 2, |q| q.frequency() as f64);
+        let kept = retained_volume(&w, &c);
+        assert!((kept - 9.0 / 14.0).abs() < 1e-12);
+        assert_eq!(retained_volume(&w, &w), 1.0);
+    }
+}

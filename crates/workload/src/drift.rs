@@ -1,0 +1,186 @@
+//! Drifting workloads — epochs over a fixed schema.
+//!
+//! The paper's future work (Section VII) targets "stochastic workloads
+//! that change over time", where reconfiguration costs decide whether
+//! adapting the index configuration is worth it. This module generates
+//! such scenarios: a sequence of workload *epochs* over one schema, where
+//! the attribute-popularity distribution rotates a little every epoch
+//! (hot attributes cool down, cold ones heat up) and query frequencies are
+//! re-drawn.
+
+use crate::ids::{AttrId, TableId};
+use crate::query::{Query, Workload};
+use crate::synthetic::{self, SyntheticConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a drifting-workload scenario.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Base generator configuration (schema + epoch-0 workload shape).
+    pub base: SyntheticConfig,
+    /// Number of epochs to generate.
+    pub epochs: usize,
+    /// How many local attribute positions the popularity distribution
+    /// rotates per epoch (0 = frequencies re-drawn but hotness stable).
+    pub rotation_per_epoch: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            base: SyntheticConfig::default(),
+            epochs: 5,
+            rotation_per_epoch: 7,
+        }
+    }
+}
+
+/// Generate `cfg.epochs` workloads over one shared schema.
+///
+/// Epoch 0 is exactly the base workload; later epochs rotate every query's
+/// attributes within their table by `e · rotation_per_epoch` positions and
+/// re-draw frequencies, so the *shape* (query widths, table mix) is stable
+/// while the hot set moves.
+///
+/// ```
+/// use isel_workload::drift::{self, DriftConfig};
+///
+/// let epochs = drift::generate(&DriftConfig::default());
+/// assert_eq!(epochs.len(), 5);
+/// let overlap = drift::attribute_overlap(&epochs[0], &epochs[1]);
+/// assert!(overlap < 1.0 && overlap > 0.0);
+/// ```
+pub fn generate(cfg: &DriftConfig) -> Vec<Workload> {
+    assert!(cfg.epochs >= 1, "need at least one epoch");
+    let base = synthetic::generate(&cfg.base);
+    let schema = base.schema().clone();
+    let mut epochs = Vec::with_capacity(cfg.epochs);
+    epochs.push(base.clone());
+
+    let mut rng = StdRng::seed_from_u64(cfg.base.seed ^ 0xD21F7);
+    for e in 1..cfg.epochs {
+        let shift = (e * cfg.rotation_per_epoch) as u32;
+        let queries = base
+            .queries()
+            .iter()
+            .map(|q| {
+                let table = schema.table(q.table());
+                let n_t = table.attr_count;
+                let first = table.first_attr.0;
+                let attrs: Vec<AttrId> = q
+                    .attrs()
+                    .iter()
+                    .map(|a| AttrId(first + (a.0 - first + shift) % n_t))
+                    .collect();
+                let freq = rng.gen_range(1..=10_000);
+                Query::with_kind(q.table(), attrs, freq, q.kind())
+            })
+            .collect();
+        epochs.push(Workload::new(schema.clone(), queries));
+    }
+    epochs
+}
+
+/// Frequency-weighted overlap of two workloads' accessed attribute sets in
+/// `[0, 1]` — a quick drift diagnostic (1 = identical hot sets).
+pub fn attribute_overlap(a: &Workload, b: &Workload) -> f64 {
+    let weights = |w: &Workload| {
+        let mut v = vec![0.0f64; w.schema().attr_count()];
+        for (_, q) in w.iter() {
+            for &attr in q.attrs() {
+                v[attr.idx()] += q.frequency() as f64;
+            }
+        }
+        let total: f64 = v.iter().sum();
+        if total > 0.0 {
+            for x in &mut v {
+                *x /= total;
+            }
+        }
+        v
+    };
+    let (wa, wb) = (weights(a), weights(b));
+    wa.iter().zip(&wb).map(|(x, y)| x.min(*y)).sum()
+}
+
+/// Convenience: tables of a drifting scenario (all epochs share them).
+pub fn tables(epochs: &[Workload]) -> Vec<TableId> {
+    epochs
+        .first()
+        .map(|w| w.schema().tables().iter().map(|t| t.id).collect())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DriftConfig {
+        DriftConfig {
+            base: SyntheticConfig {
+                tables: 2,
+                attrs_per_table: 20,
+                queries_per_table: 25,
+                rows_base: 100_000,
+                max_query_width: 5,
+                update_fraction: 0.0,
+                seed: 3,
+            },
+            epochs: 4,
+            rotation_per_epoch: 5,
+        }
+    }
+
+    #[test]
+    fn epochs_share_the_schema() {
+        let epochs = generate(&cfg());
+        assert_eq!(epochs.len(), 4);
+        for e in &epochs[1..] {
+            assert_eq!(e.schema(), epochs[0].schema());
+            assert_eq!(e.query_count(), epochs[0].query_count());
+        }
+    }
+
+    #[test]
+    fn epoch_zero_is_the_base_workload() {
+        let c = cfg();
+        let epochs = generate(&c);
+        assert_eq!(epochs[0], synthetic::generate(&c.base));
+    }
+
+    #[test]
+    fn drift_reduces_overlap_monotonically_at_first() {
+        let epochs = generate(&cfg());
+        let o1 = attribute_overlap(&epochs[0], &epochs[1]);
+        let self_overlap = attribute_overlap(&epochs[0], &epochs[0]);
+        assert!((self_overlap - 1.0).abs() < 1e-9);
+        assert!(o1 < 0.95, "rotation should move the hot set, overlap={o1}");
+        assert!(o1 > 0.0);
+    }
+
+    #[test]
+    fn zero_rotation_keeps_attribute_sets() {
+        let mut c = cfg();
+        c.rotation_per_epoch = 0;
+        let epochs = generate(&c);
+        for (q0, q1) in epochs[0].queries().iter().zip(epochs[1].queries()) {
+            assert_eq!(q0.attrs(), q1.attrs());
+        }
+    }
+
+    #[test]
+    fn queries_stay_within_their_tables() {
+        // `Workload::new` validates this; generation must not panic even
+        // with rotations larger than the table width.
+        let mut c = cfg();
+        c.rotation_per_epoch = 33;
+        let _ = generate(&c);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(generate(&cfg()), generate(&cfg()));
+    }
+}

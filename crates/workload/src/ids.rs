@@ -1,0 +1,107 @@
+//! Strongly-typed identifiers.
+//!
+//! Attributes are numbered globally across all tables (the paper treats the
+//! system as one pool of `N` attributes and maps queries to single tables);
+//! the schema records which table every attribute belongs to.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Global attribute identifier (`i ∈ {1, …, N}` in the paper, zero-based
+/// here).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AttrId(pub u32);
+
+/// Table identifier (`t ∈ {1, …, T}` in the paper, zero-based here).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TableId(pub u16);
+
+/// Position of a query within a [`crate::Workload`] (`j ∈ {1, …, Q}`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct QueryId(pub u32);
+
+impl AttrId {
+    /// Index into per-attribute arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl TableId {
+    /// Index into per-table arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl QueryId {
+    /// Index into per-query arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl fmt::Debug for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Debug for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(AttrId(1) < AttrId(2));
+        assert!(TableId(0) < TableId(5));
+        assert!(QueryId(3) > QueryId(0));
+    }
+
+    #[test]
+    fn ids_format_compactly() {
+        assert_eq!(format!("{}", AttrId(7)), "a7");
+        assert_eq!(format!("{:?}", TableId(2)), "t2");
+        assert_eq!(format!("{}", QueryId(0)), "q0");
+    }
+
+    #[test]
+    fn idx_round_trips() {
+        assert_eq!(AttrId(42).idx(), 42);
+        assert_eq!(TableId(7).idx(), 7);
+        assert_eq!(QueryId(9).idx(), 9);
+    }
+}

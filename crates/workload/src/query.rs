@@ -1,0 +1,268 @@
+//! Queries and workloads.
+
+use crate::ids::{AttrId, QueryId, TableId};
+use crate::schema::Schema;
+use serde::{Deserialize, Serialize};
+
+/// What a query template does — the paper's model covers "selection, join,
+/// insert, update, etc."; for index selection the relevant distinction is
+/// whether indexes *help* (reads) or additionally *cost* (writes that must
+/// maintain every index on the table).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryKind {
+    /// Read-only conjunctive selection: indexes can only help.
+    #[default]
+    Select,
+    /// Row modification: the touched rows are first *located* via the
+    /// predicate attributes (indexes help there), but every index on the
+    /// table must then be maintained (indexes cost).
+    Update,
+}
+
+/// A query template: a conjunctive (equality) selection on one table,
+/// characterized by the set of accessed attributes `q_j` and its frequency
+/// `b_j`; optionally an update (see [`QueryKind`]).
+///
+/// The paper assumes w.l.o.g. that queries operate on a single table;
+/// multi-table statements decompose into one template per table.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Query {
+    table: TableId,
+    /// Accessed attributes, sorted ascending and duplicate-free.
+    attrs: Vec<AttrId>,
+    /// Number of occurrences `b_j` of this template in the workload.
+    frequency: u64,
+    /// Read or write template.
+    #[serde(default)]
+    kind: QueryKind,
+}
+
+impl Query {
+    /// Create a read-only query accessing `attrs` with frequency
+    /// `frequency`. Attributes are sorted and deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attrs` is empty or `frequency` is zero.
+    pub fn new(table: TableId, attrs: Vec<AttrId>, frequency: u64) -> Self {
+        Self::with_kind(table, attrs, frequency, QueryKind::Select)
+    }
+
+    /// Create an update template: rows are located via equality predicates
+    /// on `attrs`, then modified (maintaining every index on the table).
+    pub fn update(table: TableId, attrs: Vec<AttrId>, frequency: u64) -> Self {
+        Self::with_kind(table, attrs, frequency, QueryKind::Update)
+    }
+
+    /// Create a query of an explicit kind.
+    pub fn with_kind(
+        table: TableId,
+        mut attrs: Vec<AttrId>,
+        frequency: u64,
+        kind: QueryKind,
+    ) -> Self {
+        assert!(!attrs.is_empty(), "a query must access at least one attribute");
+        assert!(frequency >= 1, "query frequency must be positive");
+        attrs.sort_unstable();
+        attrs.dedup();
+        Self { table, attrs, frequency, kind }
+    }
+
+    /// Table the query runs against.
+    #[inline]
+    pub fn table(&self) -> TableId {
+        self.table
+    }
+
+    /// Sorted, duplicate-free accessed attribute set `q_j`.
+    #[inline]
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// Frequency `b_j`.
+    #[inline]
+    pub fn frequency(&self) -> u64 {
+        self.frequency
+    }
+
+    /// Whether the template reads or writes.
+    #[inline]
+    pub fn kind(&self) -> QueryKind {
+        self.kind
+    }
+
+    /// Shorthand for `kind() == QueryKind::Update`.
+    #[inline]
+    pub fn is_update(&self) -> bool {
+        self.kind == QueryKind::Update
+    }
+
+    /// Whether the query accesses `attr`.
+    #[inline]
+    pub fn accesses(&self, attr: AttrId) -> bool {
+        self.attrs.binary_search(&attr).is_ok()
+    }
+
+    /// Number of accessed attributes `|q_j|`.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.attrs.len()
+    }
+}
+
+/// A workload: a schema plus weighted query templates.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    schema: Schema,
+    queries: Vec<Query>,
+}
+
+impl Workload {
+    /// Bundle a schema with its query templates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query references an attribute outside its table (the
+    /// single-table assumption) or outside the schema.
+    pub fn new(schema: Schema, queries: Vec<Query>) -> Self {
+        for q in &queries {
+            for &a in q.attrs() {
+                assert!(
+                    a.idx() < schema.attr_count(),
+                    "query references unknown attribute {a}"
+                );
+                assert_eq!(
+                    schema.attribute(a).table,
+                    q.table(),
+                    "query on {} references attribute {a} of another table",
+                    q.table()
+                );
+            }
+        }
+        Self { schema, queries }
+    }
+
+    /// The schema.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// All query templates.
+    #[inline]
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// Number of templates `Q`.
+    #[inline]
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Look up a query by id.
+    #[inline]
+    pub fn query(&self, id: QueryId) -> &Query {
+        &self.queries[id.idx()]
+    }
+
+    /// Iterate `(QueryId, &Query)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (QueryId, &Query)> {
+        self.queries
+            .iter()
+            .enumerate()
+            .map(|(j, q)| (QueryId(j as u32), q))
+    }
+
+    /// Total number of query executions `Σ_j b_j`.
+    pub fn total_frequency(&self) -> u64 {
+        self.queries.iter().map(Query::frequency).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+
+    fn schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        let t0 = b.table("t0", 10);
+        b.attribute(t0, "a", 2, 4);
+        b.attribute(t0, "b", 2, 4);
+        let t1 = b.table("t1", 10);
+        b.attribute(t1, "c", 2, 4);
+        b.finish()
+    }
+
+    #[test]
+    fn query_sorts_and_dedups_attrs() {
+        let q = Query::new(TableId(0), vec![AttrId(1), AttrId(0), AttrId(1)], 5);
+        assert_eq!(q.attrs(), &[AttrId(0), AttrId(1)]);
+        assert_eq!(q.width(), 2);
+        assert!(q.accesses(AttrId(1)));
+        assert!(!q.accesses(AttrId(2)));
+    }
+
+    #[test]
+    fn workload_accepts_well_formed_queries() {
+        let w = Workload::new(
+            schema(),
+            vec![
+                Query::new(TableId(0), vec![AttrId(0)], 3),
+                Query::new(TableId(1), vec![AttrId(2)], 4),
+            ],
+        );
+        assert_eq!(w.query_count(), 2);
+        assert_eq!(w.total_frequency(), 7);
+        assert_eq!(w.query(QueryId(1)).table(), TableId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "another table")]
+    fn workload_rejects_cross_table_queries() {
+        Workload::new(
+            schema(),
+            vec![Query::new(TableId(0), vec![AttrId(0), AttrId(2)], 1)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown attribute")]
+    fn workload_rejects_unknown_attributes() {
+        Workload::new(schema(), vec![Query::new(TableId(0), vec![AttrId(99)], 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attribute")]
+    fn empty_query_rejected() {
+        Query::new(TableId(0), vec![], 1);
+    }
+
+    #[test]
+    fn queries_default_to_selects() {
+        let q = Query::new(TableId(0), vec![AttrId(0)], 1);
+        assert_eq!(q.kind(), QueryKind::Select);
+        assert!(!q.is_update());
+    }
+
+    #[test]
+    fn update_constructor_marks_writes() {
+        let q = Query::update(TableId(0), vec![AttrId(0)], 2);
+        assert!(q.is_update());
+        assert_eq!(q.frequency(), 2);
+    }
+
+    #[test]
+    fn kind_survives_serde_and_defaults_when_absent() {
+        let q = Query::update(TableId(0), vec![AttrId(0)], 2);
+        let json = serde_json::to_string(&q).unwrap();
+        let back: Query = serde_json::from_str(&json).unwrap();
+        assert_eq!(q, back);
+        // Old documents without a kind field parse as selects.
+        let legacy = r#"{"table":0,"attrs":[0],"frequency":1}"#;
+        let q2: Query = serde_json::from_str(legacy).unwrap();
+        assert_eq!(q2.kind(), QueryKind::Select);
+    }
+}

@@ -1,0 +1,176 @@
+//! Workload statistics used by the rule-based heuristics and the candidate
+//! generators.
+//!
+//! * `g_i = Σ_{j: i ∈ q_j} b_j` — frequency-weighted number of occurrences
+//!   of attribute `i` (Definition 1, H1),
+//! * `q̄ = (1/Q) Σ_j |q_j|` — average number of attributes per query (used
+//!   in the paper's what-if-call complexity estimates),
+//! * occurrence counts of attribute *combinations* (H1-M).
+
+use crate::ids::AttrId;
+use crate::query::Workload;
+use std::collections::HashMap;
+
+/// Precomputed statistics over a workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadStats {
+    /// `g_i` per attribute, indexed by `AttrId`.
+    occurrences: Vec<u64>,
+    /// Average query width `q̄`.
+    avg_query_width: f64,
+}
+
+impl WorkloadStats {
+    /// Compute statistics for `workload`.
+    pub fn compute(workload: &Workload) -> Self {
+        let mut occurrences = vec![0u64; workload.schema().attr_count()];
+        let mut width_sum = 0usize;
+        for (_, q) in workload.iter() {
+            width_sum += q.width();
+            for &a in q.attrs() {
+                occurrences[a.idx()] += q.frequency();
+            }
+        }
+        let avg_query_width = if workload.query_count() == 0 {
+            0.0
+        } else {
+            width_sum as f64 / workload.query_count() as f64
+        };
+        Self { occurrences, avg_query_width }
+    }
+
+    /// Frequency-weighted occurrence count `g_i` of an attribute.
+    #[inline]
+    pub fn occurrences(&self, attr: AttrId) -> u64 {
+        self.occurrences[attr.idx()]
+    }
+
+    /// Average query width `q̄`.
+    #[inline]
+    pub fn avg_query_width(&self) -> f64 {
+        self.avg_query_width
+    }
+
+    /// Attributes sorted by descending `g_i` (ties broken by id for
+    /// determinism).
+    pub fn attrs_by_occurrences(&self) -> Vec<AttrId> {
+        let mut ids: Vec<AttrId> = (0..self.occurrences.len() as u32).map(AttrId).collect();
+        ids.sort_by(|a, b| {
+            self.occurrences[b.idx()]
+                .cmp(&self.occurrences[a.idx()])
+                .then(a.0.cmp(&b.0))
+        });
+        ids
+    }
+}
+
+/// Frequency-weighted occurrence count of an attribute *combination*
+/// (unordered): `Σ_{j: {i_1..i_m} ⊆ q_j} b_j` (the H1-M ranking metric).
+///
+/// Returns a map from each size-`m` combination (as a sorted attribute
+/// vector) that occurs in at least one query to its weighted count.
+/// Combinations are enumerated per query, so the cost is
+/// `Σ_j C(|q_j|, m)` — fine for the paper's query widths (≤ 10).
+pub fn combination_occurrences(workload: &Workload, m: usize) -> HashMap<Vec<AttrId>, u64> {
+    assert!(m >= 1, "combination size must be positive");
+    let mut counts: HashMap<Vec<AttrId>, u64> = HashMap::new();
+    let mut combo = Vec::with_capacity(m);
+    for (_, q) in workload.iter() {
+        if q.width() < m {
+            continue;
+        }
+        for_each_combination(q.attrs(), m, &mut combo, 0, &mut |c| {
+            *counts.entry(c.to_vec()).or_insert(0) += q.frequency();
+        });
+    }
+    counts
+}
+
+/// Enumerate all size-`m` combinations of `attrs` (which is sorted), calling
+/// `f` with each; `combo` is scratch space.
+fn for_each_combination(
+    attrs: &[AttrId],
+    m: usize,
+    combo: &mut Vec<AttrId>,
+    start: usize,
+    f: &mut impl FnMut(&[AttrId]),
+) {
+    if combo.len() == m {
+        f(combo);
+        return;
+    }
+    let needed = m - combo.len();
+    for i in start..=attrs.len().saturating_sub(needed) {
+        combo.push(attrs[i]);
+        for_each_combination(attrs, m, combo, i + 1, f);
+        combo.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TableId;
+    use crate::query::Query;
+    use crate::schema::SchemaBuilder;
+
+    fn workload() -> Workload {
+        let mut b = SchemaBuilder::new();
+        let t = b.table("t", 100);
+        for i in 0..4 {
+            b.attribute(t, &format!("a{i}"), 10, 4);
+        }
+        let q = |attrs: &[u32], f: u64| {
+            Query::new(TableId(0), attrs.iter().copied().map(AttrId).collect(), f)
+        };
+        Workload::new(
+            b.finish(),
+            vec![q(&[0, 1], 5), q(&[0, 1, 2], 3), q(&[3], 2)],
+        )
+    }
+
+    #[test]
+    fn occurrences_are_frequency_weighted() {
+        let s = WorkloadStats::compute(&workload());
+        assert_eq!(s.occurrences(AttrId(0)), 8);
+        assert_eq!(s.occurrences(AttrId(1)), 8);
+        assert_eq!(s.occurrences(AttrId(2)), 3);
+        assert_eq!(s.occurrences(AttrId(3)), 2);
+    }
+
+    #[test]
+    fn avg_query_width_matches_definition() {
+        let s = WorkloadStats::compute(&workload());
+        assert!((s.avg_query_width() - (2.0 + 3.0 + 1.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attrs_by_occurrences_sorts_descending_with_stable_ties() {
+        let s = WorkloadStats::compute(&workload());
+        assert_eq!(
+            s.attrs_by_occurrences(),
+            vec![AttrId(0), AttrId(1), AttrId(2), AttrId(3)]
+        );
+    }
+
+    #[test]
+    fn pair_combination_counts() {
+        let counts = combination_occurrences(&workload(), 2);
+        assert_eq!(counts[&vec![AttrId(0), AttrId(1)]], 8);
+        assert_eq!(counts[&vec![AttrId(0), AttrId(2)]], 3);
+        assert_eq!(counts[&vec![AttrId(1), AttrId(2)]], 3);
+        assert_eq!(counts.len(), 3);
+    }
+
+    #[test]
+    fn triple_combination_counts() {
+        let counts = combination_occurrences(&workload(), 3);
+        assert_eq!(counts.len(), 1);
+        assert_eq!(counts[&vec![AttrId(0), AttrId(1), AttrId(2)]], 3);
+    }
+
+    #[test]
+    fn oversized_combinations_are_empty() {
+        assert!(combination_occurrences(&workload(), 4).is_empty());
+    }
+}

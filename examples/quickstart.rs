@@ -1,0 +1,71 @@
+//! Quickstart: recommend indexes for a small hand-written workload.
+//!
+//! ```bash
+//! cargo run -p isel-examples --release --example quickstart
+//! ```
+//!
+//! Walks the full public API once: build a schema, describe a workload,
+//! wrap the analytical what-if optimizer in a cache, pick a budget, run the
+//! recursive strategy, and inspect the construction log.
+
+use isel_core::{algorithm1, budget};
+use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf, WhatIfOptimizer};
+use isel_workload::{Query, SchemaBuilder, Workload};
+
+fn main() {
+    // An orders table: 2M rows, a few columns of very different
+    // cardinality.
+    let mut schema = SchemaBuilder::new();
+    let orders = schema.table("orders", 2_000_000);
+    let order_id = schema.attribute(orders, "order_id", 2_000_000, 8);
+    let customer_id = schema.attribute(orders, "customer_id", 50_000, 4);
+    let status = schema.attribute(orders, "status", 8, 1);
+    let region = schema.attribute(orders, "region", 50, 2);
+    let schema = schema.finish();
+
+    // Query templates with their daily frequencies.
+    let workload = Workload::new(
+        schema,
+        vec![
+            Query::new(orders, vec![order_id], 10_000), // point lookup
+            Query::new(orders, vec![customer_id, status], 4_000), // customer view
+            Query::new(orders, vec![region, status], 500), // dashboard
+            Query::new(orders, vec![customer_id], 1_500),
+        ],
+    );
+
+    // The what-if oracle: the paper's Appendix-B cost model behind a cache.
+    let whatif = CachingWhatIf::new(AnalyticalWhatIf::new(&workload));
+
+    // Budget: 40% of what indexing every column individually would cost.
+    let a = budget::relative_budget(&whatif, 0.4);
+    println!("memory budget: {:.1} MiB", a as f64 / (1024.0 * 1024.0));
+
+    let result = algorithm1::run(&whatif, &algorithm1::Options::new(a));
+
+    println!("\nconstruction steps:");
+    for (n, step) in result.steps.iter().enumerate() {
+        let what = match &step.action {
+            algorithm1::StepAction::NewIndex(k) => format!("create {k}"),
+            algorithm1::StepAction::Extend { from, to } => format!("morph {from} -> {to}"),
+            algorithm1::StepAction::Prune(ks) => format!("prune {} unused", ks.len()),
+        };
+        println!(
+            "  step {:>2}: {what:<40} benefit/byte = {:.3}",
+            n + 1,
+            step.ratio
+        );
+    }
+
+    println!("\nrecommended indexes:");
+    for k in result.selection.indexes() {
+        println!("  {k}  ({} KiB)", whatif.index_memory(k) / 1024);
+    }
+    println!(
+        "\nworkload cost: {:.3e} -> {:.3e}  ({:.1}% of baseline), {} what-if calls",
+        result.initial_cost,
+        result.final_cost,
+        100.0 * result.final_cost / result.initial_cost,
+        whatif.stats().calls_issued,
+    );
+}

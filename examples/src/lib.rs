@@ -1,0 +1,1 @@
+//! Example host package; the runnable examples live next to this crate.

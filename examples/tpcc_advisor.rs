@@ -1,0 +1,90 @@
+//! The Figure-1 walkthrough: Algorithm 1 on the aggregated TPC-C workload.
+//!
+//! ```bash
+//! cargo run -p isel-examples --release --example tpcc_advisor
+//! ```
+//!
+//! Prints every construction step (which index is created or extended and
+//! why), the queries each final index can cover, and the frontier — the
+//! same narrative as the paper's Figure 1.
+
+use isel_core::{algorithm1, budget};
+use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
+use isel_workload::tpcc;
+
+fn main() {
+    let (workload, _attrs) = tpcc::generate(100); // 100 warehouses
+    let whatif = CachingWhatIf::new(AnalyticalWhatIf::new(&workload));
+    let a = budget::relative_budget(&whatif, 0.5);
+
+    println!("TPC-C aggregated workload: {} query templates", workload.query_count());
+    for (j, q) in workload.iter() {
+        let names: Vec<&str> = q
+            .attrs()
+            .iter()
+            .map(|&x| workload.schema().attribute(x).name.as_str())
+            .collect();
+        println!(
+            "  {j}: {}({})  x{}",
+            workload.schema().table(q.table()).name,
+            names.join(", "),
+            q.frequency()
+        );
+    }
+
+    let result = algorithm1::run(&whatif, &algorithm1::Options::new(a));
+
+    println!("\nconstruction steps (budget = {} MiB):", a / (1024 * 1024));
+    for (n, step) in result.steps.iter().enumerate() {
+        let name = |k: &isel_workload::Index| {
+            let t = workload.schema().attribute(k.leading()).table;
+            let cols: Vec<&str> = k
+                .attrs()
+                .iter()
+                .map(|&x| workload.schema().attribute(x).name.as_str())
+                .collect();
+            format!("{}({})", workload.schema().table(t).name, cols.join(", "))
+        };
+        match &step.action {
+            algorithm1::StepAction::NewIndex(k) => {
+                println!("  step {:>2}: create {}", n + 1, name(k))
+            }
+            algorithm1::StepAction::Extend { from, to } => {
+                println!("  step {:>2}: extend {} -> {}", n + 1, name(from), name(to))
+            }
+            algorithm1::StepAction::Prune(ks) => {
+                println!("  step {:>2}: prune {} unused indexes", n + 1, ks.len())
+            }
+        }
+    }
+
+    println!("\nfinal selection and coverable queries:");
+    for k in result.selection.indexes() {
+        let coverable: Vec<String> = workload
+            .iter()
+            .filter(|(_, q)| k.usable_prefix_len(q) > 0)
+            .map(|(j, _)| j.to_string())
+            .collect();
+        let t = workload.schema().attribute(k.leading()).table;
+        let cols: Vec<&str> = k
+            .attrs()
+            .iter()
+            .map(|&x| workload.schema().attribute(x).name.as_str())
+            .collect();
+        println!(
+            "  {}({})  covers {}",
+            workload.schema().table(t).name,
+            cols.join(", "),
+            coverable.join(", ")
+        );
+    }
+
+    println!(
+        "\ncost {:.3e} -> {:.3e} ({:.1}%), memory {} / {} MiB",
+        result.initial_cost,
+        result.final_cost,
+        100.0 * result.final_cost / result.initial_cost,
+        result.selection.memory(&whatif) / (1024 * 1024),
+        a / (1024 * 1024),
+    );
+}

@@ -1,0 +1,1 @@
+//! Integration-test host package; see the test files next to this crate.

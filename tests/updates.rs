@@ -1,0 +1,195 @@
+//! Update-aware selection across the stack: write templates make indexes
+//! *cost* maintenance, so every strategy must index write-hot tables more
+//! conservatively.
+
+use isel_core::{algorithm1, budget, candidates, cophy, heuristics};
+use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
+use isel_solver::cophy::CophyOptions;
+use isel_workload::synthetic::{self, SyntheticConfig};
+use isel_workload::{AttrId, Index, Query, SchemaBuilder, TableId, Workload};
+use std::time::Duration;
+
+fn exact() -> CophyOptions {
+    CophyOptions {
+        mip_gap: 0.0,
+        time_limit: Duration::from_secs(60),
+        max_nodes: 2_000_000,
+    }
+}
+
+/// One read-mostly and one write-hot table with identical shapes.
+fn two_table_fixture(update_freq: u64) -> Workload {
+    // Leading attributes are deliberately coarse (d = 100) so that a
+    // single-attribute index leaves ~1 000 surviving rows and *extending*
+    // it by the second attribute genuinely pays off in the read-only case.
+    let mut b = SchemaBuilder::new();
+    let read_t = b.table("read", 100_000);
+    let r0 = b.attribute(read_t, "r0", 100, 4);
+    let r1 = b.attribute(read_t, "r1", 1_000, 4);
+    let write_t = b.table("write", 100_000);
+    let w0 = b.attribute(write_t, "w0", 100, 4);
+    let w1 = b.attribute(write_t, "w1", 1_000, 4);
+    Workload::new(
+        b.finish(),
+        vec![
+            Query::new(read_t, vec![r0, r1], 100),
+            Query::new(write_t, vec![w0, w1], 100),
+            Query::update(write_t, vec![w0], update_freq),
+        ],
+    )
+}
+
+#[test]
+fn h6_avoids_indexing_write_hot_tables() {
+    // With negligible update volume both tables get indexed; with massive
+    // update volume the write table must end up index-free.
+    let calm = two_table_fixture(1);
+    let est = CachingWhatIf::new(AnalyticalWhatIf::new(&calm));
+    // w > 1: composite indexes need more memory than all singles together.
+    let a = budget::relative_budget(&est, 1.5);
+    let run = algorithm1::run(&est, &algorithm1::Options::new(a));
+    let writes_indexed = run
+        .selection
+        .indexes()
+        .iter()
+        .any(|k| calm.schema().attribute(k.leading()).table == TableId(1));
+    assert!(writes_indexed, "calm updates should not block indexing");
+
+    let calm_max_width = run
+        .selection
+        .indexes()
+        .iter()
+        .filter(|k| calm.schema().attribute(k.leading()).table == TableId(1))
+        .map(Index::width)
+        .max()
+        .unwrap_or(0);
+    assert!(calm_max_width >= 2, "calm updates allow composite indexes");
+
+    // Heavy updates do NOT remove the locate index — the update itself
+    // profits enormously from finding its rows — but they must suppress
+    // *extensions*: every extra key column is maintained 10⁸ times while
+    // only helping the 100 select executions.
+    let stormy = two_table_fixture(100_000_000);
+    let est = CachingWhatIf::new(AnalyticalWhatIf::new(&stormy));
+    let a = budget::relative_budget(&est, 1.5);
+    let run = algorithm1::run(&est, &algorithm1::Options::new(a));
+    let reads_indexed = run
+        .selection
+        .indexes()
+        .iter()
+        .any(|k| stormy.schema().attribute(k.leading()).table == TableId(0));
+    assert!(reads_indexed, "the read table is unaffected by foreign updates");
+    let stormy_max_width = run
+        .selection
+        .indexes()
+        .iter()
+        .filter(|k| stormy.schema().attribute(k.leading()).table == TableId(1))
+        .map(Index::width)
+        .max()
+        .unwrap_or(0);
+    assert!(
+        stormy_max_width <= 1,
+        "massive update volume must suppress composite indexes (got width {stormy_max_width})"
+    );
+}
+
+#[test]
+fn algorithm1_cost_accounting_matches_evaluation_with_updates() {
+    let w = two_table_fixture(5_000);
+    let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+    let a = budget::relative_budget(&est, 0.8);
+    let run = algorithm1::run(&est, &algorithm1::Options::new(a));
+    let eval = run.selection.cost(&est);
+    assert!(
+        (eval - run.final_cost).abs() <= 1e-6 * run.initial_cost.max(1.0),
+        "ledger {} vs evaluation {eval}",
+        run.final_cost
+    );
+}
+
+#[test]
+fn cophy_penalties_match_workload_semantics() {
+    let w = two_table_fixture(10_000);
+    let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+    let a = budget::relative_budget(&est, 1.0);
+    let pool = candidates::enumerate_imax(&w, 2).indexes();
+    let run = cophy::solve(&est, &pool, a, &exact());
+    assert!(run.solution.status.finished());
+    // The solver's objective equals the estimator's evaluation of the
+    // returned selection (maintenance included on both sides).
+    let eval = run.selection.cost(&est);
+    assert!(
+        (eval - run.solution.objective).abs() <= 1e-6 * eval.max(1.0),
+        "solver {} vs eval {eval}",
+        run.solution.objective
+    );
+}
+
+#[test]
+fn h6_still_tracks_the_optimum_under_updates() {
+    let w = synthetic::generate(&SyntheticConfig {
+        tables: 1,
+        attrs_per_table: 12,
+        queries_per_table: 18,
+        rows_base: 300_000,
+        max_query_width: 4,
+        update_fraction: 0.3,
+        seed: 77,
+    });
+    let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+    let a = budget::relative_budget(&est, 0.3);
+    let h6 = algorithm1::run(&est, &algorithm1::Options::new(a));
+    let mut pool = candidates::enumerate_imax(&w, 4).indexes();
+    pool.extend(h6.selection.indexes().iter().cloned());
+    let opt = cophy::solve(&est, &pool, a, &exact());
+    assert!(opt.solution.status.finished());
+    let ratio = h6.final_cost / opt.solution.objective;
+    assert!(ratio >= 1.0 - 1e-9, "H6 {ratio} below complemented optimum");
+    assert!(ratio <= 1.15, "H6 {ratio} too far from optimum under updates");
+}
+
+#[test]
+fn individual_benefit_is_negative_for_upkeep_only_indexes() {
+    let w = two_table_fixture(1_000_000);
+    let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+    // An index on w1 never helps locating (the update filters on w0 and
+    // the select on (w0, w1) prefers w0) — its benefit under heavy updates
+    // must be negative, and H4/H5 must skip it.
+    let k = Index::single(AttrId(3));
+    assert!(heuristics::individual_benefit(&est, &k) < 0.0);
+    let a = budget::relative_budget(&est, 1.0);
+    let h5 = heuristics::h5(std::slice::from_ref(&k), &est, a);
+    assert!(h5.is_empty());
+    let h4 = heuristics::h4(&[k], &est, a, false);
+    assert!(h4.is_empty());
+}
+
+#[test]
+fn update_heavy_workloads_select_fewer_indexes() {
+    let base_cfg = SyntheticConfig {
+        tables: 2,
+        attrs_per_table: 15,
+        queries_per_table: 25,
+        rows_base: 200_000,
+        max_query_width: 5,
+        update_fraction: 0.0,
+        seed: 15,
+    };
+    let read_only = synthetic::generate(&base_cfg);
+    let est = CachingWhatIf::new(AnalyticalWhatIf::new(&read_only));
+    let a = budget::relative_budget(&est, 0.5);
+    let ro_run = algorithm1::run(&est, &algorithm1::Options::new(a));
+
+    let write_heavy = synthetic::generate(&SyntheticConfig {
+        update_fraction: 0.6,
+        ..base_cfg
+    });
+    let est_w = CachingWhatIf::new(AnalyticalWhatIf::new(&write_heavy));
+    let a_w = budget::relative_budget(&est_w, 0.5);
+    let wh_run = algorithm1::run(&est_w, &algorithm1::Options::new(a_w));
+
+    assert!(
+        wh_run.selection.memory(&est_w) <= ro_run.selection.memory(&est),
+        "write-heavy workloads should use no more index memory"
+    );
+}
