@@ -1,0 +1,122 @@
+//! Parallel candidate-evaluation scaling: the per-step scan at 1/2/4/8
+//! worker threads.
+//!
+//! The analytical oracle answers in nanoseconds, which no real what-if
+//! interface does (Section I: hypothetical-index optimizer calls dominate
+//! advisor runtime, and each call is an IPC round-trip into the DBMS).
+//! [`PaddedWhatIf`] sleeps a fixed quantum per issued call to model that
+//! latency-bound regime: workers overlap their in-flight calls, so the
+//! scan's wall-clock shrinks with the thread count even though the advisor
+//! itself does almost no CPU work — exactly the deployment the parallel
+//! fan-out targets. The scan is deterministic at every thread count; only
+//! the wall-clock changes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isel_core::{algorithm1, budget, candidates, heuristics, Parallelism};
+use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf, WhatIfOptimizer, WhatIfStats};
+use isel_workload::synthetic::{self, SyntheticConfig};
+use isel_workload::{Index, QueryId, Workload};
+use std::time::Duration;
+
+/// Delegating oracle that blocks a fixed quantum per costing call, the way
+/// a hypothetical-index interface blocks on the DBMS optimizer.
+struct PaddedWhatIf<W> {
+    inner: W,
+    pad: Duration,
+}
+
+impl<W> PaddedWhatIf<W> {
+    fn block(&self) {
+        std::thread::sleep(self.pad);
+    }
+}
+
+impl<W: WhatIfOptimizer> WhatIfOptimizer for PaddedWhatIf<W> {
+    fn workload(&self) -> &Workload {
+        self.inner.workload()
+    }
+
+    fn unindexed_cost(&self, j: QueryId) -> f64 {
+        self.block();
+        self.inner.unindexed_cost(j)
+    }
+
+    fn index_cost(&self, j: QueryId, k: &Index) -> Option<f64> {
+        self.block();
+        self.inner.index_cost(j, k)
+    }
+
+    fn index_memory(&self, k: &Index) -> u64 {
+        // Size estimates are catalog arithmetic, not optimizer calls.
+        self.inner.index_memory(k)
+    }
+
+    fn maintenance_cost(&self, k: &Index) -> f64 {
+        self.inner.maintenance_cost(k)
+    }
+
+    fn stats(&self) -> WhatIfStats {
+        self.inner.stats()
+    }
+}
+
+fn workload() -> Workload {
+    synthetic::generate(&SyntheticConfig {
+        tables: 1,
+        attrs_per_table: 12,
+        queries_per_table: 20,
+        rows_base: 300_000,
+        max_query_width: 4,
+        update_fraction: 0.0,
+        seed: 7,
+    })
+}
+
+const PAD: Duration = Duration::from_micros(20);
+
+/// The shared candidate scan (H4/H5/CoPhy costing): one what-if sweep
+/// over the full `I_max` pool, uncached so every call pays the latency.
+fn bench_candidate_scan(c: &mut Criterion) {
+    let w = workload();
+    let pool = candidates::enumerate_imax(&w, 3).indexes();
+    let mut g = c.benchmark_group("candidate_scan");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                let est = PaddedWhatIf { inner: AnalyticalWhatIf::new(&w), pad: PAD };
+                heuristics::individual_benefits(&pool, &est, Parallelism::new(t))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Full Algorithm 1 runs over a padded-and-cached oracle: each step's
+/// argmax scan fans misses across the workers, the sharded cache absorbs
+/// repeats.
+fn bench_h6_step_scan(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("h6_padded");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                let est = CachingWhatIf::new(PaddedWhatIf {
+                    inner: AnalyticalWhatIf::new(&w),
+                    pad: PAD,
+                });
+                let a = budget::relative_budget(&est, 0.3);
+                let opts = algorithm1::Options {
+                    parallelism: Parallelism::new(t),
+                    ..algorithm1::Options::new(a)
+                };
+                algorithm1::run(&est, &opts)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_candidate_scan, bench_h6_step_scan);
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
-use isel_core::{algorithm1, budget, interaction, Advisor, Strategy};
+use isel_core::{algorithm1, budget, interaction, Advisor, Parallelism, Strategy};
 use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
 use isel_workload::erp::{self, ErpConfig};
 use isel_workload::synthetic::{self, SyntheticConfig};
@@ -12,6 +12,16 @@ fn load_workload(args: &Args) -> Result<Workload, String> {
         .get("workload")
         .ok_or("missing --workload FILE")?;
     io::load(path).map_err(|e| format!("cannot load workload: {e}"))
+}
+
+/// `--threads N` — candidate-evaluation workers. 1 (the default) runs
+/// serially, 0 means one worker per hardware thread. Results are identical
+/// at every setting.
+fn parallelism(args: &Args) -> Result<Parallelism, String> {
+    Ok(match args.get_parsed("threads", 1usize)? {
+        0 => Parallelism::available(),
+        n => Parallelism::new(n),
+    })
 }
 
 /// `isel generate`
@@ -67,7 +77,7 @@ pub fn recommend(args: &Args) -> Result<(), String> {
     let strategy = parse_strategy(args.get("strategy").unwrap_or("h6"))?;
     let share = args.get_parsed("budget", 0.2f64)?;
     let est = CachingWhatIf::new(AnalyticalWhatIf::new(&workload));
-    let advisor = Advisor::new(&est);
+    let advisor = Advisor::new(&est).with_parallelism(parallelism(args)?);
     let rec = advisor.recommend_relative(strategy, share);
 
     if args.flag("json") {
@@ -123,7 +133,7 @@ pub fn compare(args: &Args) -> Result<(), String> {
     let workload = load_workload(args)?;
     let share = args.get_parsed("budget", 0.2f64)?;
     let est = CachingWhatIf::new(AnalyticalWhatIf::new(&workload));
-    let advisor = Advisor::new(&est);
+    let advisor = Advisor::new(&est).with_parallelism(parallelism(args)?);
     let a = budget::relative_budget(&est, share);
     println!("strategy\trel.cost\t|I*|\tMiB\tseconds");
     for rec in advisor.compare(a) {
@@ -145,7 +155,11 @@ pub fn frontier(args: &Args) -> Result<(), String> {
     let share = args.get_parsed("max-budget", 0.5f64)?;
     let est = CachingWhatIf::new(AnalyticalWhatIf::new(&workload));
     let a = budget::relative_budget(&est, share);
-    let run = algorithm1::run(&est, &algorithm1::Options::new(a));
+    let opts = algorithm1::Options {
+        parallelism: parallelism(args)?,
+        ..algorithm1::Options::new(a)
+    };
+    let run = algorithm1::run(&est, &opts);
     println!("memory_bytes\tcost\trelative");
     println!("0\t{:.6e}\t1.0", run.initial_cost);
     for p in run.frontier.points() {
@@ -261,6 +275,26 @@ mod tests {
         compare(&argv(&format!("compare --workload {out} --budget 0.2"))).unwrap();
         frontier(&argv(&format!("frontier --workload {out} --max-budget 0.4"))).unwrap();
         interactions(&argv(&format!("interactions --workload {out} --top 3"))).unwrap();
+    }
+
+    #[test]
+    fn threads_option_is_accepted_and_validated() {
+        let out = tmp("w_threads.json");
+        generate(&argv(&format!(
+            "generate --kind synthetic --tables 2 --attrs 8 --queries 8 --rows 50000 --out {out}"
+        )))
+        .unwrap();
+        recommend(&argv(&format!(
+            "recommend --workload {out} --strategy h6 --budget 0.3 --threads 4"
+        )))
+        .unwrap();
+        // 0 = one worker per core.
+        frontier(&argv(&format!("frontier --workload {out} --threads 0"))).unwrap();
+        let err = recommend(&argv(&format!(
+            "recommend --workload {out} --threads nope"
+        )))
+        .unwrap_err();
+        assert!(err.contains("threads"));
     }
 
     #[test]

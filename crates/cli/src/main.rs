@@ -4,9 +4,9 @@
 //! isel generate  --kind synthetic|erp|tpcc --out w.json [--seed N] [--tables N]
 //!                [--attrs N] [--queries N] [--rows N] [--updates FRAC]
 //! isel recommend --workload w.json --strategy h1|h2|h3|h4|h4s|h5|h6|cophy
-//!                [--budget 0.2] [--json]
-//! isel compare   --workload w.json [--budget 0.2]
-//! isel frontier  --workload w.json [--max-budget 0.5]
+//!                [--budget 0.2] [--threads N] [--json]
+//! isel compare   --workload w.json [--budget 0.2] [--threads N]
+//! isel frontier  --workload w.json [--max-budget 0.5] [--threads N]
 //! isel interactions --workload w.json [--top 10]
 //! ```
 //!
@@ -27,11 +27,14 @@ USAGE:
                      [--tables N] [--attrs N] [--queries N] [--rows N]
                      [--updates FRACTION] [--warehouses N]
   isel recommend     --workload FILE --strategy h1|h2|h3|h4|h4s|h5|h6|cophy
-                     [--budget SHARE] [--json]
-  isel compare       --workload FILE [--budget SHARE]
-  isel frontier      --workload FILE [--max-budget SHARE]
+                     [--budget SHARE] [--threads N] [--json]
+  isel compare       --workload FILE [--budget SHARE] [--threads N]
+  isel frontier      --workload FILE [--max-budget SHARE] [--threads N]
   isel interactions  --workload FILE [--top N]
   isel stats         --workload FILE
+
+  --threads N fans candidate evaluation over N workers (0 = all cores);
+  recommendations are identical at every setting.
 ";
 
 fn main() -> ExitCode {

@@ -5,6 +5,7 @@
 //! heuristics, CoPhy and Algorithm 1 together and reports a uniform
 //! [`Recommendation`].
 
+use crate::parallel::Parallelism;
 use crate::selection::Selection;
 use crate::{algorithm1, budget, candidates, cophy, heuristics};
 use isel_costmodel::WhatIfOptimizer;
@@ -81,6 +82,7 @@ impl Recommendation {
 pub struct Advisor<'a, W> {
     est: &'a W,
     candidates: Vec<Index>,
+    parallelism: Parallelism,
 }
 
 impl<'a, W: WhatIfOptimizer> Advisor<'a, W> {
@@ -88,12 +90,19 @@ impl<'a, W: WhatIfOptimizer> Advisor<'a, W> {
     /// the candidate-set strategies; H6 ignores the pool by design.
     pub fn new(est: &'a W) -> Self {
         let pool = candidates::enumerate_imax(est.workload(), 4);
-        Self { est, candidates: pool.indexes() }
+        Self { est, candidates: pool.indexes(), parallelism: Parallelism::serial() }
     }
 
     /// Advisor with an explicit candidate set.
     pub fn with_candidates(est: &'a W, candidates: Vec<Index>) -> Self {
-        Self { est, candidates }
+        Self { est, candidates, parallelism: Parallelism::serial() }
+    }
+
+    /// Evaluate candidates on `threads` worker threads. Recommendations
+    /// are identical at every setting; only the wall-clock changes.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.parallelism = par;
+        self
     }
 
     /// The candidate set used by H1–H5 and CoPhy.
@@ -114,13 +123,21 @@ impl<'a, W: WhatIfOptimizer> Advisor<'a, W> {
             Strategy::H1 => heuristics::h1(&self.candidates, self.est, budget),
             Strategy::H2 => heuristics::h2(&self.candidates, self.est, budget),
             Strategy::H3 => heuristics::h3(&self.candidates, self.est, budget),
-            Strategy::H4 { skyline } => {
-                heuristics::h4(&self.candidates, self.est, budget, *skyline)
+            Strategy::H4 { skyline } => heuristics::h4_with(
+                &self.candidates,
+                self.est,
+                budget,
+                *skyline,
+                self.parallelism,
+            ),
+            Strategy::H5 => {
+                heuristics::h5_with(&self.candidates, self.est, budget, self.parallelism)
             }
-            Strategy::H5 => heuristics::h5(&self.candidates, self.est, budget),
-            Strategy::H6 => {
-                algorithm1::run(self.est, &algorithm1::Options::new(budget)).selection
-            }
+            Strategy::H6 => algorithm1::run(
+                self.est,
+                &algorithm1::Options { parallelism: self.parallelism, ..algorithm1::Options::new(budget) },
+            )
+            .selection,
             Strategy::Db2 { swap_rounds } => {
                 crate::db2::run(
                     &self.candidates,
@@ -130,7 +147,7 @@ impl<'a, W: WhatIfOptimizer> Advisor<'a, W> {
                 .selection
             }
             Strategy::CoPhy { mip_gap, time_limit_secs } => {
-                cophy::solve(
+                cophy::solve_with(
                     self.est,
                     &self.candidates,
                     budget,
@@ -139,6 +156,7 @@ impl<'a, W: WhatIfOptimizer> Advisor<'a, W> {
                         time_limit: Duration::from_secs(*time_limit_secs),
                         max_nodes: usize::MAX,
                     },
+                    self.parallelism,
                 )
                 .selection
             }
@@ -237,6 +255,21 @@ mod tests {
         assert!(rec.selection.len() <= 1);
         if let Some(k) = rec.selection.indexes().first() {
             assert_eq!(k, &only[0]);
+        }
+    }
+
+    #[test]
+    fn parallel_advisor_matches_serial() {
+        let w = workload();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let a = budget::relative_budget(&est, 0.3);
+        for strategy in [Strategy::H4 { skyline: true }, Strategy::H5, Strategy::H6] {
+            let serial = Advisor::new(&est).recommend(strategy.clone(), a);
+            let par = Advisor::new(&est)
+                .with_parallelism(Parallelism::new(4))
+                .recommend(strategy, a);
+            assert_eq!(serial.selection, par.selection, "{:?}", serial.strategy);
+            assert_eq!(serial.cost, par.cost);
         }
     }
 

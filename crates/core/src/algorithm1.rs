@@ -34,7 +34,20 @@
 //! subtracts the frequency-weighted maintenance cost the new or extended
 //! index adds for the update executions on its table, so write-heavy
 //! tables naturally receive fewer and narrower indexes.
+//!
+//! # Parallel candidate evaluation
+//!
+//! With [`Options::parallelism`] above one thread, each step's benefit
+//! refreshes and per-move metrics fan out over a thread pool via
+//! [`parallel_map`]. Determinism is preserved by construction: candidate
+//! moves are enumerated into a canonical total order ([`Move::key`] — new
+//! indexes before extensions, then by slot and attribute list), metrics
+//! are computed side-effect-free in that order, and the winner is chosen
+//! by a *serial* left-to-right fold over the ordered metrics. The fold —
+//! not the thread schedule — decides every tie, so serial and parallel
+//! runs produce bit-for-bit identical step sequences.
 
+use crate::parallel::{parallel_map, Parallelism};
 use crate::reconfig::ReconfigCosts;
 use crate::selection::{Frontier, FrontierPoint, Selection};
 use isel_costmodel::WhatIfOptimizer;
@@ -65,6 +78,9 @@ pub struct Options {
     pub track_missed: bool,
     /// Reconfiguration cost model `R(·, Ī*)`.
     pub reconfig: ReconfigCosts,
+    /// Worker threads for candidate evaluation. The chosen steps are
+    /// identical at every setting; only the wall-clock changes.
+    pub parallelism: Parallelism,
 }
 
 impl Options {
@@ -80,7 +96,13 @@ impl Options {
             morphing: true,
             track_missed: false,
             reconfig: ReconfigCosts::free(),
+            parallelism: Parallelism::serial(),
         }
+    }
+
+    /// Same options with `threads` evaluation workers.
+    pub fn with_threads(self, threads: usize) -> Self {
+        Self { parallelism: Parallelism::new(threads), ..self }
     }
 }
 
@@ -182,6 +204,22 @@ enum Move {
     Extend { slot: usize, attrs: Vec<AttrId> },
 }
 
+impl Move {
+    /// The canonical total order on candidate moves — THE tie-break of the
+    /// argmax scan, defined once for every evaluation path. Moves are
+    /// compared `(kind, slot, attrs)`: new indexes before extensions, then
+    /// by slot id, then lexicographically by attribute list. Every
+    /// enumerated move has a distinct key, so sorting by it yields one
+    /// unique candidate sequence and the left-to-right argmax fold is
+    /// deterministic regardless of enumeration (hash map) or thread order.
+    fn key(&self) -> (u8, usize, &[AttrId]) {
+        match self {
+            Move::New(attrs) => (0, 0, attrs),
+            Move::Extend { slot, attrs } => (1, *slot, attrs),
+        }
+    }
+}
+
 struct Slot {
     index: Index,
     /// Queries containing *all* attributes of `index` (sorted ids) — the
@@ -234,8 +272,9 @@ struct Engine<'a, W> {
     attr_queries: Vec<Vec<u32>>,
     slots: Vec<Option<Slot>>,
     single_ben: Vec<Option<f64>>,
-    /// Remark 1.4 cache: benefits of new pair indexes.
-    pair_ben: HashMap<(AttrId, AttrId), Option<f64>>,
+    /// Remark 1.4 cache: benefits of new pair indexes in both orientations
+    /// (`(a, b)` first, `(b, a)` second).
+    pair_ben: HashMap<(AttrId, AttrId), Option<(f64, f64)>>,
     /// Attributes allowed in new-single steps (Remark 1.1), `None` = all.
     allowed_singles: Option<Vec<bool>>,
     total_memory: u64,
@@ -262,10 +301,8 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
                 attr_queries[a.idx()].push(j.0);
             }
         }
-        let cur = workload
-            .iter()
-            .map(|(j, _)| est.unindexed_cost(j))
-            .collect::<Vec<_>>();
+        let query_ids: Vec<QueryId> = workload.iter().map(|(j, _)| j).collect();
+        let cur = parallel_map(options.parallelism, &query_ids, |&j| est.unindexed_cost(j));
         let server = vec![usize::MAX; workload.query_count()];
         let mut pair_ben = HashMap::new();
         if options.pair_steps {
@@ -358,9 +395,10 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
         ben
     }
 
-    /// Recompute the extension-benefit cache of a slot.
-    fn refresh_slot(&mut self, slot_id: usize) {
-        let Some(slot) = self.slots[slot_id].take() else { return };
+    /// Recompute the extension-benefit cache of a slot. Side-effect-free
+    /// on the engine (only the what-if oracle's internal cache is touched),
+    /// so dirty slots refresh concurrently.
+    fn compute_ext_ben(&self, slot: &Slot) -> HashMap<Vec<AttrId>, f64> {
         let mut ext_ben: HashMap<Vec<AttrId>, f64> = HashMap::new();
         let workload = self.est.workload();
         for &j in &slot.covering {
@@ -393,7 +431,7 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
                 }
             }
         }
-        self.slots[slot_id] = Some(Slot { ext_ben, dirty: false, ..slot });
+        ext_ben
     }
 
     /// Reconfiguration delta of a move (new R minus current R).
@@ -445,7 +483,6 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
         }
     }
 
-    /// Refresh caches and pick the best move of this step.
     /// Materialize the [`StepAction`] a move would take, without applying.
     fn action_of(&self, mv: &Move) -> StepAction {
         match mv {
@@ -461,20 +498,28 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
         }
     }
 
-    fn best_move(&mut self) -> Option<(Move, f64, u64, f64, Option<MissedOpportunity>)> {
+    /// Refresh stale benefit caches, evaluating concurrently when
+    /// parallelism is enabled. Each computation reads only `&self` and the
+    /// what-if oracle; results are written back serially.
+    fn refresh_caches(&mut self) {
+        let par = self.options.parallelism;
         let n_attrs = self.single_ben.len();
         // Refresh single-attribute benefits.
-        for i in 0..n_attrs {
-            if let Some(allowed) = &self.allowed_singles {
-                if !allowed[i] {
-                    continue;
-                }
-            }
-            if self.single_ben[i].is_none() {
-                self.single_ben[i] = Some(self.new_index_benefit(&[AttrId(i as u32)]));
-            }
+        let stale_singles: Vec<u32> = (0..n_attrs)
+            .filter(|&i| {
+                self.allowed_singles.as_ref().is_none_or(|allowed| allowed[i])
+                    && self.single_ben[i].is_none()
+            })
+            .map(|i| i as u32)
+            .collect();
+        let computed = {
+            let this = &*self;
+            parallel_map(par, &stale_singles, |&i| this.new_index_benefit(&[AttrId(i)]))
+        };
+        for (&i, ben) in stale_singles.iter().zip(computed) {
+            self.single_ben[i as usize] = Some(ben);
         }
-        // Refresh pair benefits (Remark 1.4).
+        // Refresh pair benefits (Remark 1.4), both orientations.
         if self.options.pair_steps {
             let stale: Vec<(AttrId, AttrId)> = self
                 .pair_ben
@@ -482,11 +527,14 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
                 .filter(|(_, v)| v.is_none())
                 .map(|(k, _)| *k)
                 .collect();
-            for key in stale {
-                let ben = self
-                    .new_index_benefit(&[key.0, key.1])
-                    .max(self.new_index_benefit(&[key.1, key.0]));
-                self.pair_ben.insert(key, Some(ben));
+            let computed = {
+                let this = &*self;
+                parallel_map(par, &stale, |&(a, b)| {
+                    (this.new_index_benefit(&[a, b]), this.new_index_benefit(&[b, a]))
+                })
+            };
+            for (key, bens) in stale.into_iter().zip(computed) {
+                self.pair_ben.insert(key, Some(bens));
             }
         }
         // Refresh dirty slots.
@@ -498,46 +546,26 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
                 .filter(|(_, s)| s.as_ref().is_some_and(|s| s.dirty))
                 .map(|(i, _)| i)
                 .collect();
-            for id in dirty {
-                self.refresh_slot(id);
+            let computed = {
+                let this = &*self;
+                parallel_map(par, &dirty, |&id| {
+                    this.compute_ext_ben(this.slots[id].as_ref().expect("dirty slot is live"))
+                })
+            };
+            for (id, ext_ben) in dirty.into_iter().zip(computed) {
+                let slot = self.slots[id].as_mut().expect("dirty slot is live");
+                slot.ext_ben = ext_ben;
+                slot.dirty = false;
             }
         }
+    }
 
+    /// Every eligible move of this step with its workload benefit, in the
+    /// canonical [`Move::key`] order.
+    fn enumerate_moves(&self) -> Vec<(Move, f64)> {
         let existing: Selection = self.current_selection();
-        let mut best: Option<(Move, f64, u64, f64)> = None;
-        let mut second: Option<(Move, f64, u64, f64)> = None;
-        let track = self.options.track_missed;
-        let mut consider = |mv: Move, workload_ben: f64, this: &Self| {
-            if workload_ben <= 0.0 {
-                return;
-            }
-            let net = workload_ben - this.reconfig_delta(&mv) - this.maintenance_delta(&mv);
-            if net <= 0.0 {
-                return;
-            }
-            let dm = this.memory_delta(&mv);
-            if dm == 0 || this.total_memory + dm > this.options.budget {
-                return;
-            }
-            let ratio = net / dm as f64;
-            let beats = |incumbent: &Option<(Move, f64, u64, f64)>| match incumbent {
-                None => true,
-                Some((_, bnet, _, bratio)) => {
-                    ratio > *bratio + 1e-12
-                        || ((ratio - *bratio).abs() <= 1e-12 && net > *bnet)
-                }
-            };
-            if beats(&best) {
-                if track {
-                    second = best.take();
-                }
-                best = Some((mv, net, dm, ratio));
-            } else if track && beats(&second) {
-                second = Some((mv, net, dm, ratio));
-            }
-        };
-
-        for i in 0..n_attrs {
+        let mut moves: Vec<(Move, f64)> = Vec::new();
+        for i in 0..self.single_ben.len() {
             if let Some(allowed) = &self.allowed_singles {
                 if !allowed[i] {
                     continue;
@@ -548,24 +576,18 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
             if existing.contains(&k) {
                 continue; // step (3a) requires I ∩ {i} = ∅
             }
-            consider(Move::New(vec![AttrId(i as u32)]), ben, self);
+            moves.push((Move::New(vec![AttrId(i as u32)]), ben));
         }
         if self.options.pair_steps {
-            for (&(a, b), ben) in &self.pair_ben {
-                let Some(ben) = *ben else { continue };
-                // Orientation: more selective attribute last gives the
-                // higher benefit of the two; re-evaluate both cheaply via
-                // the cached what-if and pick the better.
-                let fwd = self.new_index_benefit(&[a, b]);
-                let (attrs, ben) = if (fwd - ben).abs() < 1e-9 {
-                    (vec![a, b], fwd)
-                } else {
-                    (vec![b, a], ben)
-                };
+            for (&(a, b), bens) in &self.pair_ben {
+                let Some((fwd, rev)) = *bens else { continue };
+                // Orientation: keep whichever order of the two attributes
+                // benefits the covering queries more (ties go forward).
+                let (attrs, ben) = if fwd >= rev { (vec![a, b], fwd) } else { (vec![b, a], rev) };
                 if existing.contains(&Index::new(attrs.clone())) {
                     continue;
                 }
-                consider(Move::New(attrs), ben, self);
+                moves.push((Move::New(attrs), ben));
             }
         }
         if self.options.morphing {
@@ -582,20 +604,75 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
                     if existing.contains(&target) {
                         continue;
                     }
-                    consider(
-                        Move::Extend { slot: slot_id, attrs: attrs.clone() },
-                        ben,
-                        self,
-                    );
+                    moves.push((Move::Extend { slot: slot_id, attrs: attrs.clone() }, ben));
                 }
             }
         }
-        let runner_up = second.map(|(mv, net, _, ratio)| MissedOpportunity {
-            action: self.action_of(&mv),
+        // Pair and extension candidates come out of hash maps in arbitrary
+        // order; the canonical sort erases that before anyone looks.
+        moves.sort_by(|(a, _), (b, _)| a.key().cmp(&b.key()));
+        moves
+    }
+
+    /// `(net benefit, memory delta, ratio)` of a move, or `None` when the
+    /// move is not worth taking or does not fit the budget.
+    fn move_metrics(&self, mv: &Move, workload_ben: f64) -> Option<(f64, u64, f64)> {
+        if workload_ben <= 0.0 {
+            return None;
+        }
+        let net = workload_ben - self.reconfig_delta(mv) - self.maintenance_delta(mv);
+        if net <= 0.0 {
+            return None;
+        }
+        let dm = self.memory_delta(mv);
+        if dm == 0 || self.total_memory + dm > self.options.budget {
+            return None;
+        }
+        Some((net, dm, net / dm as f64))
+    }
+
+    /// Does `(net, ratio)` beat the incumbent under the step criterion?
+    /// Higher ratio wins (with an epsilon guard against float noise);
+    /// near-equal ratios fall back to the larger net benefit; remaining
+    /// ties keep the incumbent — i.e. the earlier move in canonical order.
+    fn beats(net: f64, ratio: f64, incumbent: Option<&(usize, f64, u64, f64)>) -> bool {
+        match incumbent {
+            None => true,
+            Some((_, bnet, _, bratio)) => {
+                ratio > *bratio + 1e-12 || ((ratio - *bratio).abs() <= 1e-12 && net > *bnet)
+            }
+        }
+    }
+
+    fn best_move(&mut self) -> Option<(Move, f64, u64, f64, Option<MissedOpportunity>)> {
+        self.refresh_caches();
+        let moves = self.enumerate_moves();
+        // Metrics evaluate in parallel; the winner is decided by a serial
+        // fold over the canonically ordered candidates, so the outcome is
+        // independent of the thread schedule.
+        let metrics = parallel_map(self.options.parallelism, &moves, |(mv, ben)| {
+            self.move_metrics(mv, *ben)
+        });
+        let track = self.options.track_missed;
+        let mut best: Option<(usize, f64, u64, f64)> = None;
+        let mut second: Option<(usize, f64, u64, f64)> = None;
+        for (pos, metric) in metrics.into_iter().enumerate() {
+            let Some((net, dm, ratio)) = metric else { continue };
+            if Self::beats(net, ratio, best.as_ref()) {
+                if track {
+                    second = best.take();
+                }
+                best = Some((pos, net, dm, ratio));
+            } else if track && Self::beats(net, ratio, second.as_ref()) {
+                second = Some((pos, net, dm, ratio));
+            }
+        }
+        let runner_up = second.map(|(pos, net, _, ratio)| MissedOpportunity {
+            action: self.action_of(&moves[pos].0),
             benefit: net,
             ratio,
         });
-        best.map(|(mv, net, dm, ratio)| (mv, net, dm, ratio, runner_up))
+        best.map(|(pos, net, dm, ratio)| (moves[pos].0.clone(), net, dm, ratio, runner_up))
     }
 
     /// Apply a chosen move; returns (action, queries whose cost changed).
@@ -747,13 +824,16 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
         // and keep only the n best.
         if let Some(n) = self.options.n_best_single {
             let n_attrs = self.single_ben.len();
-            let mut density: Vec<(usize, f64)> = (0..n_attrs)
-                .map(|i| {
-                    let ben = self.new_index_benefit(&[AttrId(i as u32)]);
-                    let p = self.est.index_memory(&Index::single(AttrId(i as u32)));
-                    (i, ben / p.max(1) as f64)
-                })
-                .collect();
+            let all: Vec<u32> = (0..n_attrs as u32).collect();
+            let mut density: Vec<(usize, f64)> = parallel_map(
+                self.options.parallelism,
+                &all,
+                |&i| {
+                    let ben = self.new_index_benefit(&[AttrId(i)]);
+                    let p = self.est.index_memory(&Index::single(AttrId(i)));
+                    (i as usize, ben / p.max(1) as f64)
+                },
+            );
             density.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
             let mut allowed = vec![false; n_attrs];
             for &(i, _) in density.iter().take(n) {

@@ -7,6 +7,7 @@
 //! `(query, candidate)` pair — `≈ Q·q̄·|I|/N` what-if calls (Eq. 9) —
 //! before the solver even starts.
 
+use crate::parallel::{parallel_map, Parallelism};
 use crate::selection::Selection;
 use isel_costmodel::WhatIfOptimizer;
 use isel_solver::cophy::{self, CophyInstance, CophyOptions, CophyQueryRow, CophySolution};
@@ -39,6 +40,19 @@ pub fn build_instance(
     candidates: &[Index],
     budget: u64,
 ) -> CophyInstance {
+    build_instance_with(est, candidates, budget, Parallelism::serial())
+}
+
+/// [`build_instance`] with the per-query what-if collection — the
+/// `≈ Q·q̄·|I|/N` calls of Eq. 9, the expensive part — fanned over a
+/// thread pool. Row order follows query order regardless of schedule, so
+/// the produced instance is identical at every thread count.
+pub fn build_instance_with(
+    est: &impl WhatIfOptimizer,
+    candidates: &[Index],
+    budget: u64,
+    par: Parallelism,
+) -> CophyInstance {
     let workload = est.workload();
     let candidate_memory: Vec<u64> = candidates.iter().map(|k| est.index_memory(k)).collect();
     // Frequency-weighted update volume per table: selecting a candidate
@@ -56,27 +70,25 @@ pub fn build_instance(
             update_weight[table.idx()] * est.maintenance_cost(k)
         })
         .collect();
-    let queries = workload
-        .iter()
-        .map(|(j, q)| {
-            let options = candidates
-                .iter()
-                .enumerate()
-                // Applicability (leading attribute bound by the query) is a
-                // pure workload property — checking it here avoids issuing
-                // (and caching) Q·|I| what-if calls for pairs that can
-                // never match; only the ≈ Q·q̄·|I|/N applicable pairs reach
-                // the oracle (Eq. 9).
-                .filter(|(_, k)| k.applicable_to(q))
-                .filter_map(|(ki, k)| est.index_cost(j, k).map(|c| (ki as u32, c)))
-                .collect();
-            CophyQueryRow {
-                weight: q.frequency() as f64,
-                base_cost: est.unindexed_cost(j),
-                options,
-            }
-        })
-        .collect();
+    let rows: Vec<_> = workload.iter().collect();
+    let queries = parallel_map(par, &rows, |&(j, q)| {
+        let options = candidates
+            .iter()
+            .enumerate()
+            // Applicability (leading attribute bound by the query) is a
+            // pure workload property — checking it here avoids issuing
+            // (and caching) Q·|I| what-if calls for pairs that can
+            // never match; only the ≈ Q·q̄·|I|/N applicable pairs reach
+            // the oracle (Eq. 9).
+            .filter(|(_, k)| k.applicable_to(q))
+            .filter_map(|(ki, k)| est.index_cost(j, k).map(|c| (ki as u32, c)))
+            .collect();
+        CophyQueryRow {
+            weight: q.frequency() as f64,
+            base_cost: est.unindexed_cost(j),
+            options,
+        }
+    });
     CophyInstance { candidate_memory, candidate_penalty, queries, budget }
 }
 
@@ -86,6 +98,17 @@ pub fn solve(
     candidates: &[Index],
     budget: u64,
     options: &CophyOptions,
+) -> CophyRun {
+    solve_with(est, candidates, budget, options, Parallelism::serial())
+}
+
+/// [`solve`] with parallel coefficient collection.
+pub fn solve_with(
+    est: &impl WhatIfOptimizer,
+    candidates: &[Index],
+    budget: u64,
+    options: &CophyOptions,
+    par: Parallelism,
 ) -> CophyRun {
     // Deduplicate candidates; the LP must not contain identical columns.
     let mut seen = std::collections::HashSet::new();
@@ -97,7 +120,7 @@ pub fn solve(
 
     let calls_before = est.stats().total_requests();
     let build_start = Instant::now();
-    let instance = build_instance(est, &candidates, budget);
+    let instance = build_instance_with(est, &candidates, budget, par);
     let build_time = build_start.elapsed();
     let build_what_if_calls = est.stats().total_requests() - calls_before;
     let lp_size = instance.lp_size();

@@ -105,7 +105,7 @@ mod tests {
             rows_base: 300_000,
             max_query_width: 5,
             update_fraction: 0.0,
-            seed: 2,
+            seed: 7,
         })
     }
 

@@ -13,8 +13,12 @@
 //!   solution [9]).
 //!
 //! H4/H5 need what-if costs for every candidate — the very cost explosion
-//! the paper's recursive strategy avoids.
+//! the paper's recursive strategy avoids. Their per-candidate benefit scan
+//! ([`individual_benefits`]) fans out over a thread pool when given a
+//! non-serial [`Parallelism`]; candidate order (and thus every ranking
+//! tie-break) is preserved by the order-stable [`parallel_map`].
 
+use crate::parallel::{parallel_map, Parallelism};
 use crate::selection::Selection;
 use isel_costmodel::WhatIfOptimizer;
 use isel_workload::{Index, Workload};
@@ -58,6 +62,17 @@ pub fn individual_benefit(est: &impl WhatIfOptimizer, index: &Index) -> f64 {
             q.frequency() as f64 * (f0 - est.config_cost(j, config))
         })
         .sum()
+}
+
+/// The shared candidate-costing scan of H4/H5 (and the DB2 advisor's
+/// start): [`individual_benefit`] of every candidate, evaluated
+/// concurrently and returned in candidate order.
+pub fn individual_benefits(
+    candidates: &[Index],
+    est: &impl WhatIfOptimizer,
+    par: Parallelism,
+) -> Vec<f64> {
+    parallel_map(par, candidates, |k| individual_benefit(est, k))
 }
 
 /// Add candidates in the given order while the budget permits (candidates
@@ -122,6 +137,17 @@ pub fn h4(
     budget: u64,
     use_skyline: bool,
 ) -> Selection {
+    h4_with(candidates, est, budget, use_skyline, Parallelism::serial())
+}
+
+/// [`h4`] with an explicit degree of parallelism for the benefit scan.
+pub fn h4_with(
+    candidates: &[Index],
+    est: &impl WhatIfOptimizer,
+    budget: u64,
+    use_skyline: bool,
+    par: Parallelism,
+) -> Selection {
     let pool: Vec<Index> = if use_skyline {
         skyline_filter(candidates, est)
     } else {
@@ -129,16 +155,18 @@ pub fn h4(
     };
     // Candidates whose upkeep outweighs their savings are never worth
     // selecting, whatever the budget.
-    let mut ranked: Vec<Index> = pool
+    let benefits = individual_benefits(&pool, est, par);
+    let mut ranked: Vec<(Index, f64)> = pool
         .into_iter()
-        .filter(|k| individual_benefit(est, k) > 0.0)
+        .zip(benefits)
+        .filter(|(_, ben)| *ben > 0.0)
         .collect();
     ranked.sort_by(|a, b| {
-        individual_benefit(est, b)
-            .partial_cmp(&individual_benefit(est, a))
+        b.1.partial_cmp(&a.1)
             .expect("finite benefits")
-            .then_with(|| a.attrs().cmp(b.attrs()))
+            .then_with(|| a.0.attrs().cmp(b.0.attrs()))
     });
+    let ranked: Vec<Index> = ranked.into_iter().map(|(k, _)| k).collect();
     greedy_fill(&ranked, est, budget)
 }
 
@@ -161,18 +189,32 @@ pub fn h4(
 /// assert!(sel.memory(&est) <= a);
 /// ```
 pub fn h5(candidates: &[Index], est: &impl WhatIfOptimizer, budget: u64) -> Selection {
-    let density = |k: &Index| individual_benefit(est, k) / est.index_memory(k).max(1) as f64;
-    let mut ranked: Vec<Index> = candidates
+    h5_with(candidates, est, budget, Parallelism::serial())
+}
+
+/// [`h5`] with an explicit degree of parallelism for the benefit scan.
+pub fn h5_with(
+    candidates: &[Index],
+    est: &impl WhatIfOptimizer,
+    budget: u64,
+    par: Parallelism,
+) -> Selection {
+    let benefits = individual_benefits(candidates, est, par);
+    let mut ranked: Vec<(Index, f64)> = candidates
         .iter()
-        .filter(|k| individual_benefit(est, k) > 0.0)
-        .cloned()
+        .zip(benefits)
+        .filter(|(_, ben)| *ben > 0.0)
+        .map(|(k, ben)| {
+            let density = ben / est.index_memory(k).max(1) as f64;
+            (k.clone(), density)
+        })
         .collect();
     ranked.sort_by(|a, b| {
-        density(b)
-            .partial_cmp(&density(a))
+        b.1.partial_cmp(&a.1)
             .expect("finite densities")
-            .then_with(|| a.attrs().cmp(b.attrs()))
+            .then_with(|| a.0.attrs().cmp(b.0.attrs()))
     });
+    let ranked: Vec<Index> = ranked.into_iter().map(|(k, _)| k).collect();
     greedy_fill(&ranked, est, budget)
 }
 

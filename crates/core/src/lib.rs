@@ -45,10 +45,12 @@ pub mod db2;
 pub mod dynamic;
 pub mod heuristics;
 pub mod interaction;
+pub mod parallel;
 pub mod reconfig;
 pub mod selection;
 
 pub use advisor::{Advisor, Recommendation, Strategy};
+pub use parallel::Parallelism;
 pub use algorithm1::{Options as Algorithm1Options, RunResult as Algorithm1Result};
 pub use reconfig::ReconfigCosts;
 pub use selection::{Frontier, FrontierPoint, Selection};

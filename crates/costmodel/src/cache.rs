@@ -11,16 +11,96 @@
 //! * `f_j(0)` answers are memoized per query,
 //! * `f_j(k)` answers are memoized per `(query, usable signature)` — the
 //!   cache key is the index's attribute list, and inapplicable indexes are
-//!   cached too (negative caching),
+//!   answered structurally without a cache entry,
 //! * issued vs cache-answered calls are counted separately.
+//!
+//! The memo is sharded: each of [`CACHE_SHARDS`] shards is an independent
+//! `Mutex<HashMap>`, so concurrent candidate evaluations (the parallel
+//! argmax scan of Algorithm 1) rarely contend. A miss computes the answer
+//! *under the shard lock*, which makes the cache linearizable per key: two
+//! threads racing on the same key serialize, and the loser finds the
+//! winner's entry instead of re-issuing the what-if call. Distinct keys on
+//! the same shard briefly serialize too — the price of the no-duplicate
+//! guarantee, and cheap while the wrapped oracle is the expensive part.
 
 use crate::whatif::{WhatIfOptimizer, WhatIfStats};
 use isel_workload::{Index, QueryId, Workload};
 use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// A caching, call-counting decorator over another what-if optimizer.
+/// Number of independent lock domains per memo table.
+pub const CACHE_SHARDS: usize = 16;
+
+/// Point-in-time accounting snapshot of a [`CachingWhatIf`]'s memo tables.
+///
+/// Invariants (verified by the concurrency stress tests):
+/// `hits + misses == lookups()`, and `inserts == misses` because every miss
+/// computes-and-inserts under the shard lock — a duplicate evaluation of
+/// the same key would show up as `inserts < misses`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from a memo table.
+    pub hits: u64,
+    /// Lookups that had to consult the wrapped oracle.
+    pub misses: u64,
+    /// Entries written (one per miss; never more, even under contention).
+    pub inserts: u64,
+}
+
+impl CacheStats {
+    /// Total lookups seen: `hits + misses`.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// A hash map split over [`CACHE_SHARDS`] independently locked shards.
+struct Sharded<K, V> {
+    shards: Box<[Mutex<HashMap<K, V>>]>,
+}
+
+impl<K: Hash + Eq + Clone, V: Copy> Sharded<K, V> {
+    fn new() -> Self {
+        Self {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Cached value for `key`, or `compute` it while holding the shard
+    /// lock. Returns `(value, was_hit)`; `compute` runs at most once per
+    /// key across all threads.
+    fn get_or_insert_with(&self, key: &K, compute: impl FnOnce() -> V) -> (V, bool) {
+        let mut map = self.shard(key).lock();
+        if let Some(&v) = map.get(key) {
+            return (v, true);
+        }
+        let v = compute();
+        map.insert(key.clone(), v);
+        (v, false)
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    fn clear(&self) {
+        for s in self.shards.iter() {
+            s.lock().clear();
+        }
+    }
+}
+
 /// Cache key for single-index costs: the query plus the index's attribute
 /// list.
 type IndexCostKey = (QueryId, Vec<isel_workload::AttrId>);
@@ -28,10 +108,12 @@ type IndexCostKey = (QueryId, Vec<isel_workload::AttrId>);
 /// A caching, call-counting decorator over another what-if optimizer.
 pub struct CachingWhatIf<W> {
     inner: W,
-    unindexed: Mutex<HashMap<QueryId, f64>>,
-    indexed: Mutex<HashMap<IndexCostKey, Option<f64>>>,
-    memory: Mutex<HashMap<Vec<isel_workload::AttrId>, u64>>,
+    unindexed: Sharded<QueryId, f64>,
+    indexed: Sharded<IndexCostKey, Option<f64>>,
+    memory: Sharded<Vec<isel_workload::AttrId>, u64>,
     hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
 }
 
 impl<W: WhatIfOptimizer> CachingWhatIf<W> {
@@ -39,10 +121,12 @@ impl<W: WhatIfOptimizer> CachingWhatIf<W> {
     pub fn new(inner: W) -> Self {
         Self {
             inner,
-            unindexed: Mutex::new(HashMap::new()),
-            indexed: Mutex::new(HashMap::new()),
-            memory: Mutex::new(HashMap::new()),
+            unindexed: Sharded::new(),
+            indexed: Sharded::new(),
+            memory: Sharded::new(),
             hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
         }
     }
 
@@ -55,13 +139,42 @@ impl<W: WhatIfOptimizer> CachingWhatIf<W> {
     /// become stale, e.g. multi-index mode after a configuration change,
     /// cf. Remark 2).
     pub fn invalidate(&self) {
-        self.unindexed.lock().clear();
-        self.indexed.lock().clear();
+        self.unindexed.clear();
+        self.indexed.clear();
     }
 
     /// Number of cached single-index entries (for tests/diagnostics).
     pub fn cached_index_entries(&self) -> usize {
-        self.indexed.lock().len()
+        self.indexed.len()
+    }
+
+    /// Accounting snapshot across all memo tables. Counters are relaxed
+    /// atomics: each is individually exact, and quiescent snapshots (no
+    /// concurrent lookups in flight) satisfy the [`CacheStats`] invariants.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+        }
+    }
+
+    fn lookup<K: Hash + Eq + Clone, V: Copy>(
+        &self,
+        table: &Sharded<K, V>,
+        key: &K,
+        compute: impl FnOnce() -> V,
+    ) -> V {
+        let (v, hit) = table.get_or_insert_with(key, || {
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+            compute()
+        });
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        v
     }
 }
 
@@ -71,13 +184,7 @@ impl<W: WhatIfOptimizer> WhatIfOptimizer for CachingWhatIf<W> {
     }
 
     fn unindexed_cost(&self, query: QueryId) -> f64 {
-        if let Some(&c) = self.unindexed.lock().get(&query) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return c;
-        }
-        let c = self.inner.unindexed_cost(query);
-        self.unindexed.lock().insert(query, c);
-        c
+        self.lookup(&self.unindexed, &query, || self.inner.unindexed_cost(query))
     }
 
     fn index_cost(&self, query: QueryId, index: &Index) -> Option<f64> {
@@ -89,25 +196,14 @@ impl<W: WhatIfOptimizer> WhatIfOptimizer for CachingWhatIf<W> {
             return None;
         }
         let key = (query, index.attrs().to_vec());
-        if let Some(&c) = self.indexed.lock().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return c;
-        }
-        let c = self.inner.index_cost(query, index);
-        self.indexed.lock().insert(key, c);
-        c
+        self.lookup(&self.indexed, &key, || self.inner.index_cost(query, index))
     }
 
     fn index_memory(&self, index: &Index) -> u64 {
         // Memory estimates are deterministic and cheap relative to what-if
         // calls but still worth memoizing for wide candidate sweeps.
         let key = index.attrs().to_vec();
-        if let Some(&m) = self.memory.lock().get(&key) {
-            return m;
-        }
-        let m = self.inner.index_memory(index);
-        self.memory.lock().insert(key, m);
-        m
+        self.lookup(&self.memory, &key, || self.inner.index_memory(index))
     }
 
     fn maintenance_cost(&self, index: &Index) -> f64 {
@@ -172,6 +268,7 @@ mod tests {
         assert_eq!(s.calls_issued, 0);
         assert_eq!(s.calls_answered_from_cache, 0);
         assert_eq!(est2.cached_index_entries(), 0);
+        assert_eq!(est2.cache_stats().lookups(), 0);
     }
 
     #[test]
@@ -208,5 +305,55 @@ mod tests {
         );
         assert_eq!(plain.unindexed_cost(QueryId(0)), cached.unindexed_cost(QueryId(0)));
         assert_eq!(plain.index_memory(&k), cached.index_memory(&k));
+    }
+
+    #[test]
+    fn cache_stats_balance_hits_misses_and_inserts() {
+        let w = workload();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let k0 = Index::single(AttrId(0));
+        let k1 = Index::single(AttrId(1));
+        est.index_cost(QueryId(0), &k0); // miss
+        est.index_cost(QueryId(0), &k0); // hit
+        est.index_cost(QueryId(0), &k1); // miss
+        est.unindexed_cost(QueryId(0)); // miss
+        est.unindexed_cost(QueryId(0)); // hit
+        est.index_memory(&k0); // miss
+        let s = est.cache_stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 4);
+        assert_eq!(s.inserts, s.misses);
+        assert_eq!(s.lookups(), 6);
+    }
+
+    #[test]
+    fn concurrent_lookups_never_duplicate_evaluations() {
+        let w = workload();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let keys: Vec<Index> = vec![
+            Index::single(AttrId(0)),
+            Index::single(AttrId(1)),
+            Index::new(vec![AttrId(0), AttrId(1)]),
+            Index::new(vec![AttrId(1), AttrId(0)]),
+        ];
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        for k in &keys {
+                            est.index_cost(QueryId(0), k);
+                        }
+                    }
+                });
+            }
+        });
+        // 8 threads × 50 rounds × 4 keys = 1600 lookups; exactly 4 unique
+        // keys means exactly 4 oracle calls — never a duplicate.
+        let s = est.cache_stats();
+        assert_eq!(s.lookups(), 1600);
+        assert_eq!(s.misses, 4);
+        assert_eq!(s.inserts, 4);
+        assert_eq!(est.inner().stats().calls_issued, 4);
+        assert_eq!(est.cached_index_entries(), 4);
     }
 }

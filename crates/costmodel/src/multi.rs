@@ -18,12 +18,41 @@ use crate::whatif::{WhatIfOptimizer, WhatIfStats};
 use isel_workload::{AttrId, Index, Query, QueryId, QueryKind, Schema, Workload};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Cost of evaluating `attrs` by scanning the surviving `c`-fraction of
+/// the table, cheapest selectivity first (the Appendix-B residual scan).
+fn residual_scan_cost(schema: &Schema, attrs: &[AttrId], n: f64, c: f64) -> f64 {
+    let mut sorted: Vec<AttrId> = attrs.to_vec();
+    sorted.sort_by(|a, b| {
+        schema
+            .selectivity(*a)
+            .partial_cmp(&schema.selectivity(*b))
+            .expect("finite")
+            .then(a.cmp(b))
+    });
+    let mut cost = 0.0;
+    let mut cc = c;
+    for &a in &sorted {
+        let attr = schema.attribute(a);
+        cost += attr.value_size as f64 * n * cc;
+        cost += POSITION_BYTES * n * cc * attr.selectivity();
+        cc *= attr.selectivity();
+    }
+    cost
+}
+
 /// `f_j(I*)` with multiple indexes per query (Appendix B (i)).
 ///
 /// Procedure: among the indexes applicable to the *remaining* attribute
-/// set, choose the one producing the smallest result fraction; use it if
-/// its access cost is below the cost of scanning its usable attributes at
-/// the current surviving fraction; repeat; scan the rest.
+/// set, choose the one minimizing the query's *total* cost if it were the
+/// last index used — access cost (search term included, so a wide-value
+/// index on a barely-more-selective attribute loses to a cheap one), plus
+/// the position-list intersection, plus the residual scan of whatever it
+/// leaves uncovered. Use it if that total undercuts scanning the remaining
+/// attributes outright; repeat; scan the rest.
+///
+/// The one-step-lookahead pick makes the result sandwich cleanly: it never
+/// exceeds the plain scan, and never exceeds the best single applicable
+/// index (whose total is among the candidates of the first round).
 pub fn multi_index_cost(schema: &Schema, query: &Query, config: &[Index]) -> f64 {
     let n = schema.rows_of(query.attrs()[0]) as f64;
     let mut remaining: Vec<AttrId> = query.attrs().to_vec();
@@ -32,9 +61,10 @@ pub fn multi_index_cost(schema: &Schema, query: &Query, config: &[Index]) -> f64
     let mut first = true;
 
     loop {
-        // Best applicable index for the remaining attributes: smallest
-        // result fraction along the usable prefix.
-        let mut best: Option<(usize, usize, f64)> = None; // (cfg idx, prefix len, frac)
+        // Cost of stopping here: scan everything still uncovered.
+        let baseline = residual_scan_cost(schema, &remaining, n, c);
+        // (cfg idx, prefix len, frac, access + intersect, lookahead total)
+        let mut best: Option<(usize, usize, f64, f64, f64)> = None;
         for (i, k) in config.iter().enumerate() {
             let plen = k.usable_prefix_len_in(&remaining);
             if plen == 0 {
@@ -44,54 +74,40 @@ pub fn multi_index_cost(schema: &Schema, query: &Query, config: &[Index]) -> f64
                 .iter()
                 .map(|&a| schema.attribute(a).selectivity())
                 .product();
-            if best.is_none_or(|(_, _, bf)| frac < bf) {
-                best = Some((i, plen, frac));
+            // Access cost of this index (search + position-list write).
+            let mut access = n.log2().max(0.0);
+            for &a in &k.attrs()[..plen] {
+                let attr = schema.attribute(a);
+                access +=
+                    attr.value_size as f64 * (attr.distinct_values as f64).log2().max(0.0);
             }
-        }
-        let Some((ki, plen, frac)) = best else { break };
-        let k = &config[ki];
-
-        // Access cost of this index (search + position-list write).
-        let mut access = n.log2().max(0.0);
-        for &a in &k.attrs()[..plen] {
-            let attr = schema.attribute(a);
-            access += attr.value_size as f64 * (attr.distinct_values as f64).log2().max(0.0);
-        }
-        access += POSITION_BYTES * n * frac;
-
-        // Alternative: evaluate the same attributes by scanning the
-        // surviving rows.
-        let mut covered: Vec<AttrId> = k.attrs()[..plen].to_vec();
-        covered.sort_by(|a, b| {
-            schema
-                .selectivity(*a)
-                .partial_cmp(&schema.selectivity(*b))
-                .expect("finite")
-                .then(a.cmp(b))
-        });
-        let mut scan_alt = 0.0;
-        let mut cc = c;
-        for &a in &covered {
-            let attr = schema.attribute(a);
-            scan_alt += attr.value_size as f64 * n * cc;
-            scan_alt += POSITION_BYTES * n * cc * attr.selectivity();
-            cc *= attr.selectivity();
-        }
-
-        // An additional index only pays off while its access cost beats
-        // scanning; the first index is always considered (it may still be
-        // rejected here, falling back to a pure scan).
-        if access >= scan_alt {
-            break;
-        }
-        cost += access;
-        if !first {
+            access += POSITION_BYTES * n * frac;
             // Intersecting the new position list with the current one
             // writes the (smaller) intersection.
-            cost += POSITION_BYTES * n * (c * frac);
+            let intersect = if first { 0.0 } else { POSITION_BYTES * n * (c * frac) };
+            let tail: Vec<AttrId> = remaining
+                .iter()
+                .copied()
+                .filter(|a| !k.attrs()[..plen].contains(a))
+                .collect();
+            let total =
+                access + intersect + residual_scan_cost(schema, &tail, n, c * frac);
+            // Strict `<` keeps the earliest config index on ties —
+            // deterministic regardless of candidate order upstream.
+            if best.is_none_or(|(.., bt)| total < bt) {
+                best = Some((i, plen, frac, access + intersect, total));
+            }
         }
+        let Some((ki, plen, frac, step_cost, total)) = best else { break };
+        // An index only pays off while using it undercuts scanning the
+        // remaining attributes outright.
+        if total >= baseline {
+            break;
+        }
+        cost += step_cost;
         c *= frac;
         first = false;
+        let k = &config[ki];
         remaining.retain(|a| !k.attrs()[..plen].contains(a));
         if remaining.is_empty() {
             break;
@@ -99,21 +115,7 @@ pub fn multi_index_cost(schema: &Schema, query: &Query, config: &[Index]) -> f64
     }
 
     // Scan whatever is left, cheapest-selectivity first.
-    remaining.sort_by(|a, b| {
-        schema
-            .selectivity(*a)
-            .partial_cmp(&schema.selectivity(*b))
-            .expect("finite")
-            .then(a.cmp(b))
-    });
-    let mut cc = c;
-    for &a in &remaining {
-        let attr = schema.attribute(a);
-        cost += attr.value_size as f64 * n * cc;
-        cost += POSITION_BYTES * n * cc * attr.selectivity();
-        cc *= attr.selectivity();
-    }
-    cost
+    cost + residual_scan_cost(schema, &remaining, n, c)
 }
 
 /// Analytical what-if oracle evaluating configurations with multiple
@@ -251,6 +253,58 @@ mod tests {
         // dominate.
         let cost = multi_index_cost(&s, &query, std::slice::from_ref(&k));
         assert!(cost <= model::scan_cost(&s, &query));
+    }
+
+    #[test]
+    fn pick_weighs_access_cost_not_just_selectivity() {
+        // Two near-tied selectivities; the slightly more selective index
+        // has a wide value (expensive search term). The total-cost pick
+        // must choose the cheap one and never exceed the best single.
+        let mut b = SchemaBuilder::new();
+        let t = b.table("t", 200_000);
+        let cheap = b.attribute(t, "cheap", 110_000, 1);
+        let wide = b.attribute(t, "wide", 113_000, 8);
+        let s = b.finish();
+        let query = q(&[cheap, wide]);
+        let kc = Index::single(cheap);
+        let kw = Index::single(wide);
+        let both = multi_index_cost(&s, &query, &[kw.clone(), kc.clone()]);
+        let best_single = model::index_scan_cost(&s, &query, &kc)
+            .unwrap()
+            .min(model::index_scan_cost(&s, &query, &kw).unwrap());
+        assert!(
+            both <= best_single + 1e-9,
+            "multi {both} worse than best single {best_single}"
+        );
+    }
+
+    #[test]
+    fn multi_never_exceeds_best_single_or_scan() {
+        let (s, a) = fixture();
+        let config: Vec<Index> = vec![
+            Index::single(a[0]),
+            Index::single(a[1]),
+            Index::new(vec![a[2], a[3]]),
+        ];
+        for attrs in [
+            vec![a[0]],
+            vec![a[1], a[2]],
+            vec![a[0], a[2], a[3]],
+            vec![a[1], a[2], a[3]],
+        ] {
+            let query = q(&attrs);
+            let multi = multi_index_cost(&s, &query, &config);
+            let scan = model::scan_cost(&s, &query);
+            assert!(multi <= scan + 1e-9, "{attrs:?}: multi {multi} > scan {scan}");
+            for k in &config {
+                if let Some(single) = model::index_scan_cost(&s, &query, k) {
+                    assert!(
+                        multi <= single + 1e-9,
+                        "{attrs:?}: multi {multi} > single {single} via {k:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -37,7 +37,11 @@ impl WhatIfStats {
 /// `index_cost` is `f_j(k)` in the "one index per query" setting of
 /// Example 1 (the residual attributes are scanned without further index
 /// support), and `config_cost` is `f_j(I*)`.
-pub trait WhatIfOptimizer {
+///
+/// Oracles must be `Sync`: the selection algorithms fan candidate
+/// evaluations across threads, each holding `&self`. Implementations keep
+/// their mutable state (caches, call counters) behind locks or atomics.
+pub trait WhatIfOptimizer: Sync {
     /// The workload the oracle answers questions about.
     fn workload(&self) -> &Workload;
 

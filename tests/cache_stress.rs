@@ -1,0 +1,181 @@
+//! Concurrency stress tests for the sharded what-if cache.
+//!
+//! The parallel argmax scan hammers one [`CachingWhatIf`] from many worker
+//! threads at once. These tests drive that pattern hard — far more threads
+//! than shards, all asking overlapping questions — and then audit the
+//! [`CacheStats`] ledger: every lookup is a hit or a miss, every miss
+//! inserted exactly one entry, and the wrapped oracle was consulted exactly
+//! once per distinct question (no duplicate evaluations, ever).
+
+use isel_core::{algorithm1, budget, Parallelism};
+use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf, WhatIfOptimizer};
+use isel_workload::synthetic::{self, SyntheticConfig};
+use isel_workload::{AttrId, Index};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn workload() -> isel_workload::Workload {
+    synthetic::generate(&SyntheticConfig {
+        tables: 1,
+        attrs_per_table: 10,
+        queries_per_table: 16,
+        rows_base: 150_000,
+        max_query_width: 4,
+        update_fraction: 0.2,
+        seed: 42,
+    })
+}
+
+/// An oracle decorator that counts raw evaluations, to catch duplicate
+/// computations that the cache's own `inserts` counter could miss.
+struct CountingWhatIf<W> {
+    inner: W,
+    evals: AtomicUsize,
+}
+
+impl<W: WhatIfOptimizer> WhatIfOptimizer for CountingWhatIf<W> {
+    fn workload(&self) -> &isel_workload::Workload {
+        self.inner.workload()
+    }
+
+    fn unindexed_cost(&self, j: isel_workload::QueryId) -> f64 {
+        self.evals.fetch_add(1, Ordering::Relaxed);
+        self.inner.unindexed_cost(j)
+    }
+
+    fn index_cost(&self, j: isel_workload::QueryId, k: &Index) -> Option<f64> {
+        self.evals.fetch_add(1, Ordering::Relaxed);
+        self.inner.index_cost(j, k)
+    }
+
+    fn index_memory(&self, k: &Index) -> u64 {
+        self.evals.fetch_add(1, Ordering::Relaxed);
+        self.inner.index_memory(k)
+    }
+
+    fn maintenance_cost(&self, k: &Index) -> f64 {
+        self.inner.maintenance_cost(k)
+    }
+
+    fn stats(&self) -> isel_costmodel::WhatIfStats {
+        self.inner.stats()
+    }
+}
+
+/// Many threads, overlapping key sets: the ledger must balance and the
+/// wrapped oracle must see each distinct question exactly once.
+#[test]
+fn hammered_cache_never_duplicates_and_ledger_balances() {
+    let w = workload();
+    let est = CachingWhatIf::new(CountingWhatIf {
+        inner: AnalyticalWhatIf::new(&w),
+        evals: AtomicUsize::new(0),
+    });
+
+    const THREADS: usize = 32; // 2× the shard count
+    const ROUNDS: usize = 25;
+    let queries: Vec<_> = w.iter().map(|(j, _)| j).collect();
+    let indexes: Vec<Index> = (0..w.schema().attr_count() as u32)
+        .map(|a| Index::single(AttrId(a)))
+        .chain((0..w.schema().attr_count() as u32 - 1).map(|a| {
+            Index::single(AttrId(a)).extended(AttrId(a + 1))
+        }))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let est = &est;
+            let queries = &queries;
+            let indexes = &indexes;
+            scope.spawn(move || {
+                for r in 0..ROUNDS {
+                    // Each thread walks the key space from a different
+                    // offset so racing threads collide on fresh keys.
+                    for i in 0..queries.len() {
+                        let j = queries[(i + t + r) % queries.len()];
+                        est.unindexed_cost(j);
+                        for k in indexes.iter() {
+                            est.index_cost(j, k);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Inapplicable (query, index) pairs are answered structurally and
+    // never touch the counters, so the expected ledger counts only the
+    // applicable pairs plus one unindexed lookup per query.
+    let applicable: usize = queries
+        .iter()
+        .map(|&j| {
+            indexes
+                .iter()
+                .filter(|k| k.applicable_to(w.query(j)))
+                .count()
+        })
+        .sum();
+    let per_walk = (queries.len() + applicable) as u64;
+    let stats = est.cache_stats();
+    // Every lookup is accounted for exactly once.
+    assert_eq!(stats.lookups(), (THREADS * ROUNDS) as u64 * per_walk);
+    assert_eq!(stats.hits + stats.misses, stats.lookups());
+    // One insert per miss — a duplicate evaluation would break this.
+    assert_eq!(stats.inserts, stats.misses);
+    // Distinct questions: one unindexed per query plus the applicable
+    // pairs. Each was evaluated by the oracle exactly once.
+    assert_eq!(stats.misses, per_walk);
+    let evals = est.inner().evals.load(Ordering::Relaxed) as u64;
+    assert_eq!(evals, stats.misses, "oracle evaluations must equal misses");
+    // Re-walking the whole key space serially must be pure hits now.
+    let before = est.cache_stats();
+    for &j in &queries {
+        est.unindexed_cost(j);
+        for k in &indexes {
+            est.index_cost(j, k);
+        }
+    }
+    let after = est.cache_stats();
+    assert_eq!(after.misses, before.misses, "second pass must not miss");
+    assert_eq!(after.hits - before.hits, per_walk);
+}
+
+/// The real workload: Algorithm 1's parallel scan over a shared cache.
+/// Stats must balance and the run must match the serial engine exactly.
+#[test]
+fn parallel_algorithm1_keeps_cache_accounting_consistent() {
+    let w = workload();
+
+    // Budget from a scratch estimator so both runs start with cold,
+    // identical caches.
+    let a = budget::relative_budget(&CachingWhatIf::new(AnalyticalWhatIf::new(&w)), 0.3);
+
+    let serial_est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+    let serial = algorithm1::run(&serial_est, &algorithm1::Options::new(a));
+    let serial_stats = serial_est.cache_stats();
+
+    let par_est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+    let opts = algorithm1::Options {
+        parallelism: Parallelism::new(8),
+        ..algorithm1::Options::new(a)
+    };
+    let par = algorithm1::run(&par_est, &opts);
+    let par_stats = par_est.cache_stats();
+
+    assert_eq!(serial.steps, par.steps);
+    assert_eq!(serial.final_cost, par.final_cost);
+
+    for stats in [serial_stats, par_stats] {
+        assert_eq!(stats.hits + stats.misses, stats.lookups());
+        assert_eq!(stats.inserts, stats.misses);
+        assert!(stats.lookups() > 0);
+    }
+    // The parallel engine asks the same questions, so the miss (= insert)
+    // count is identical; only scheduling changes.
+    assert_eq!(serial_stats.misses, par_stats.misses);
+    assert_eq!(serial_stats.lookups(), par_stats.lookups());
+
+    // Invalidation resets the memo but not the run's correctness.
+    par_est.invalidate();
+    let again = algorithm1::run(&par_est, &opts);
+    assert_eq!(again.steps, par.steps);
+}

@@ -1,0 +1,139 @@
+//! Determinism contract of the parallel candidate-evaluation engine.
+//!
+//! Algorithm 1's argmax fans candidate costing across worker threads, but
+//! the winner is chosen by a serial fold over the canonical move order, so
+//! a run must be bit-for-bit identical at every thread count. These tests
+//! pin that contract: the *step sequence* (not just the final selection)
+//! and the traced performance/memory frontier must match the serial run
+//! exactly — `==` on floats, no epsilon.
+
+use isel_core::{algorithm1, budget, Parallelism};
+use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
+use isel_workload::{tpcc, AttrId, Query, SchemaBuilder, TableId, Workload};
+use proptest::prelude::*;
+
+/// Random single-table workload: a handful of attributes of random
+/// cardinality/width and a few random queries (mirrors
+/// `properties.rs::arb_workload`, plus an update share).
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    (2usize..9, 1u64..6)
+        .prop_flat_map(|(n_attrs, rows_k)| {
+            let rows = rows_k * 10_000;
+            let attrs = prop::collection::vec(
+                (1u64..=100_000, prop::sample::select(vec![1u32, 2, 4, 8])),
+                n_attrs..=n_attrs,
+            );
+            let queries = prop::collection::vec(
+                (
+                    prop::collection::btree_set(0..n_attrs as u32, 1..=n_attrs.min(5)),
+                    1u64..1_000,
+                    0u32..5, // 0 => update template (20%)
+                ),
+                1..14,
+            );
+            (Just(rows), attrs, queries)
+        })
+        .prop_map(|(rows, attrs, queries)| {
+            let mut b = SchemaBuilder::new();
+            let t = b.table("t", rows);
+            for (i, (d, a)) in attrs.iter().enumerate() {
+                b.attribute(t, &format!("a{i}"), (*d).min(rows).max(1), *a);
+            }
+            let schema = b.finish();
+            let qs = queries
+                .into_iter()
+                .map(|(set, freq, upd)| {
+                    let attrs: Vec<AttrId> = set.into_iter().map(AttrId).collect();
+                    if upd == 0 {
+                        Query::update(TableId(0), attrs, freq)
+                    } else {
+                        Query::new(TableId(0), attrs, freq)
+                    }
+                })
+                .collect();
+            Workload::new(schema, qs)
+        })
+}
+
+/// Serial and parallel runs on the same workload/budget must agree on
+/// every observable: steps, frontier, selection, and costs.
+fn assert_runs_identical(w: &Workload, share: f64) {
+    let est = CachingWhatIf::new(AnalyticalWhatIf::new(w));
+    let a = budget::relative_budget(&est, share);
+    let serial = algorithm1::run(&est, &algorithm1::Options::new(a));
+    for threads in [2usize, 4, 8] {
+        let opts = algorithm1::Options {
+            parallelism: Parallelism::new(threads),
+            ..algorithm1::Options::new(a)
+        };
+        let par = algorithm1::run(&est, &opts);
+        assert_eq!(serial.steps, par.steps, "step log diverged at {threads} threads");
+        assert_eq!(
+            serial.frontier, par.frontier,
+            "frontier diverged at {threads} threads"
+        );
+        assert_eq!(serial.selection, par.selection);
+        assert_eq!(serial.initial_cost, par.initial_cost);
+        assert_eq!(serial.final_cost, par.final_cost);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    /// ≥100 random workloads: the parallel engine replays the serial step
+    /// sequence and frontier exactly at 2, 4 and 8 threads.
+    #[test]
+    fn parallel_runs_replay_the_serial_schedule(
+        w in arb_workload(),
+        share in 0.05f64..0.8,
+    ) {
+        assert_runs_identical(&w, share);
+    }
+}
+
+/// Fixed-seed TPC-C regression: the frontier traced on the deterministic
+/// TPC-C workload is reproducible run-to-run and thread-count-invariant,
+/// and its shape is sane (monotone cost decrease over increasing memory).
+#[test]
+fn tpcc_frontier_is_reproducible_across_thread_counts() {
+    let (w, _) = tpcc::generate(10);
+    assert_runs_identical(&w, 0.4);
+
+    let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+    let a = budget::relative_budget(&est, 0.4);
+    let run = algorithm1::run(&est, &algorithm1::Options::new(a));
+    assert!(!run.steps.is_empty(), "TPC-C at 40% budget must build indexes");
+    let points = run.frontier.points();
+    assert!(!points.is_empty());
+    for pair in points.windows(2) {
+        assert!(pair[0].memory < pair[1].memory);
+        assert!(pair[0].cost > pair[1].cost);
+    }
+    // Same config twice — identical object, not merely similar.
+    let again = algorithm1::run(&est, &algorithm1::Options::new(a));
+    assert_eq!(run.steps, again.steps);
+    assert_eq!(run.frontier, again.frontier);
+}
+
+/// The advisor surface honours the same contract for the candidate-set
+/// strategies whose scans were parallelised (H4/H5/CoPhy build stage).
+#[test]
+fn tpcc_heuristic_scans_are_thread_count_invariant() {
+    use isel_core::{Advisor, Strategy};
+    let (w, _) = tpcc::generate(5);
+    let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+    for strategy in [
+        Strategy::H4 { skyline: true },
+        Strategy::H5,
+        Strategy::H6,
+    ] {
+        let serial = Advisor::new(&est).recommend_relative(strategy.clone(), 0.3);
+        let par = Advisor::new(&est)
+            .with_parallelism(Parallelism::new(4))
+            .recommend_relative(strategy, 0.3);
+        assert_eq!(serial.selection, par.selection, "{:?}", serial.strategy);
+        assert_eq!(serial.cost, par.cost);
+        assert_eq!(serial.memory, par.memory);
+    }
+}

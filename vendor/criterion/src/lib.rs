@@ -1,0 +1,266 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmarking harness exposing the API subset the
+//! workspace benches use: `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::{iter, iter_batched}`, `BenchmarkId`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Results are printed as `name  time: [median per iteration]` lines. When
+//! the binary is invoked with `--test` (as `cargo test` does for
+//! `harness = false` bench targets), each benchmark body runs once so the
+//! suite stays fast.
+
+// Shim code mirrors external-crate APIs; keep clippy out of it.
+#![allow(clippy::all)]
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup; the shim times routine calls
+/// individually regardless, so this only documents intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives the timed section of one benchmark.
+pub struct Bencher {
+    /// Total time per measured sample the harness aims for.
+    target: Duration,
+    /// Quick mode (`--test`): run the body exactly once.
+    quick: bool,
+    /// Median per-iteration time of the last `iter*` call.
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly, recording the median per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.quick {
+            black_box(routine());
+            self.result = Some(Duration::ZERO);
+            return;
+        }
+        // Calibrate: how many iterations fit in ~1/8 of the target?
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = ((self.target.as_nanos() / 8 / once.as_nanos().max(1)) as u64).clamp(1, 1 << 20);
+        let mut samples = Vec::with_capacity(8);
+        let deadline = Instant::now() + self.target;
+        loop {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            samples.push(start.elapsed() / per_sample as u32);
+            if samples.len() >= 8 || Instant::now() >= deadline {
+                break;
+            }
+        }
+        samples.sort();
+        self.result = Some(samples[samples.len() / 2]);
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.quick {
+            black_box(routine(setup()));
+            self.result = Some(Duration::ZERO);
+            return;
+        }
+        let mut samples = Vec::with_capacity(8);
+        let deadline = Instant::now() + self.target;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed());
+            if samples.len() >= 8 || Instant::now() >= deadline {
+                break;
+            }
+        }
+        samples.sort();
+        self.result = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// The benchmark manager; created by `criterion_group!`.
+pub struct Criterion {
+    target: Duration,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--test");
+        Self { target: Duration::from_millis(400), quick }
+    }
+}
+
+impl Criterion {
+    /// Override the measurement time budget for subsequent benchmarks.
+    pub fn measurement_time(&mut self, target: Duration) -> &mut Self {
+        self.target = target;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.target, self.quick, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string() }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, target: Duration, quick: bool, mut f: F) {
+    let mut b = Bencher { target, quick, result: None };
+    f(&mut b);
+    match b.result {
+        Some(d) if !quick => println!("{name:<50} time: [{}]", format_duration(d)),
+        _ => println!("{name:<50} ok (quick)"),
+    }
+}
+
+/// A named family of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, target: Duration) -> &mut Self {
+        self.parent.target = target;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.parent.target, self.parent.quick, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.parent.target, self.parent.quick, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iter_samples() {
+        let mut b = Bencher { target: Duration::from_millis(5), quick: false, result: None };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        assert!(b.result.is_some());
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut b = Bencher { target: Duration::from_secs(10), quick: true, result: None };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        let mut batched = 0u64;
+        b.iter_batched(|| 3u64, |x| batched += x, BatchSize::SmallInput);
+        assert_eq!(batched, 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+    }
+}
