@@ -1,0 +1,56 @@
+//! Candidate-scan bookkeeping overhead at ERP scale.
+//!
+//! The paper's scalability claim (≈ 2·Q·q̄ what-if calls, Section III-A)
+//! assumes the bookkeeping *around* each call is nearly free. This bench
+//! isolates exactly that: a fully warmed cache answers every cost probe,
+//! so the measured time is pure key construction + lookup — the per-probe
+//! overhead every advisor strategy pays on each (query, candidate) pair.
+//! The workload is a mid-size slice of the ERP generator (Section IV-A
+//! shape: many tables, wide attribute pool, hundreds of templates), large
+//! enough that the candidate × query scan dominates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isel_core::{candidates, cophy, heuristics, Parallelism};
+use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf, WhatIfOptimizer};
+use isel_workload::erp::{self, ErpConfig};
+
+fn erp_workload() -> isel_workload::Workload {
+    erp::generate(&ErpConfig {
+        tables: 60,
+        total_attrs: 520,
+        query_templates: 300,
+        min_rows: 50_000,
+        max_rows: 5_000_000,
+        total_executions: 2_000_000,
+        seed: 0xE59,
+    })
+}
+
+/// Warm-cache scans over the full `I_max` pool: the CoPhy coefficient
+/// collection (every applicable `(query, candidate)` pair) and the H5
+/// per-candidate benefit sweep. Every probe is answered from cache, so
+/// the bench measures the cache-key hot path itself.
+fn bench_candidate_scan_erp(c: &mut Criterion) {
+    let w = erp_workload();
+    let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+    // Intern the pool once up front — the boundary crossing every strategy
+    // performs exactly once; the scans below ask by dense id.
+    let pool = candidates::enumerate_imax(&w, 3).ids(est.pool());
+    let budget = isel_core::budget::relative_budget(&est, 0.3);
+    // One cold pass fills the cache; the measured passes are pure lookups.
+    cophy::build_instance(&est, &pool, budget);
+    heuristics::individual_benefits(&pool, &est, Parallelism::serial());
+
+    let mut g = c.benchmark_group("candidate_scan_erp");
+    g.sample_size(10);
+    g.bench_function("cophy_build", |b| {
+        b.iter(|| cophy::build_instance(&est, &pool, budget))
+    });
+    g.bench_function("benefit_sweep", |b| {
+        b.iter(|| heuristics::individual_benefits(&pool, &est, Parallelism::serial()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_candidate_scan_erp);
+criterion_main!(benches);

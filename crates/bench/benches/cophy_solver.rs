@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use isel_core::{budget, candidates, cophy};
-use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
+use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf, WhatIfOptimizer};
 use isel_solver::cophy::CophyOptions;
 use isel_workload::synthetic::{self, SyntheticConfig};
 use std::time::Duration;
@@ -26,12 +26,15 @@ fn bench_cophy_candidates(c: &mut Criterion) {
     let mut g = c.benchmark_group("cophy_candidates");
     g.sample_size(10);
     for size in [50usize, 200] {
-        let cands = candidates::select_candidates(
+        let cands: Vec<_> = candidates::select_candidates(
             &pool,
             size,
             4,
             candidates::CandidateRanking::Frequency,
-        );
+        )
+        .iter()
+        .map(|k| est.pool().intern(k))
+        .collect();
         let inst = cophy::build_instance(&est, &cands, a);
         g.bench_with_input(BenchmarkId::from_parameter(size), &inst, |b, inst| {
             b.iter(|| isel_solver::cophy::solve(inst, &opts))
@@ -54,7 +57,8 @@ fn bench_instance_build(c: &mut Criterion) {
         b.iter(|| {
             let est = CachingWhatIf::new(AnalyticalWhatIf::new(&workload));
             let a = budget::relative_budget(&est, 0.2);
-            cophy::build_instance(&est, &cands, a)
+            let ids: Vec<_> = cands.iter().map(|k| est.pool().intern(k)).collect();
+            cophy::build_instance(&est, &ids, a)
         })
     });
 }

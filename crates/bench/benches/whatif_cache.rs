@@ -23,28 +23,28 @@ fn bench_repeated_benefits(c: &mut Criterion) {
 
     c.bench_function("benefits_cached", |b| {
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let ids: Vec<_> = singles.iter().map(|k| est.pool().intern(k)).collect();
         b.iter(|| {
-            singles
-                .iter()
-                .map(|k| heuristics::individual_benefit(&est, k))
+            ids.iter()
+                .map(|&k| heuristics::individual_benefit(&est, k))
                 .sum::<f64>()
         })
     });
     c.bench_function("benefits_prefix_aware", |b| {
         let est = PrefixAwareWhatIf::new(AnalyticalWhatIf::new(&w));
+        let ids: Vec<_> = singles.iter().map(|k| est.pool().intern(k)).collect();
         b.iter(|| {
-            singles
-                .iter()
-                .map(|k| heuristics::individual_benefit(&est, k))
+            ids.iter()
+                .map(|&k| heuristics::individual_benefit(&est, k))
                 .sum::<f64>()
         })
     });
     c.bench_function("benefits_uncached", |b| {
         let est = AnalyticalWhatIf::new(&w);
+        let ids: Vec<_> = singles.iter().map(|k| est.pool().intern(k)).collect();
         b.iter(|| {
-            singles
-                .iter()
-                .map(|k| heuristics::individual_benefit(&est, k))
+            ids.iter()
+                .map(|&k| heuristics::individual_benefit(&est, k))
                 .sum::<f64>()
         })
     });
@@ -54,7 +54,7 @@ fn bench_cache_hit_rate(c: &mut Criterion) {
     let w = workload_small();
     c.bench_function("workload_cost_under_config", |b| {
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
-        let config: Vec<Index> = (0..10u32).map(|i| Index::single(AttrId(i))).collect();
+        let config: Vec<_> = (0..10u32).map(|i| est.pool().intern_single(AttrId(i))).collect();
         b.iter(|| est.workload_cost(&config))
     });
 }

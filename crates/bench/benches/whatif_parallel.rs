@@ -15,7 +15,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use isel_core::{algorithm1, budget, candidates, heuristics, Parallelism};
 use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf, WhatIfOptimizer, WhatIfStats};
 use isel_workload::synthetic::{self, SyntheticConfig};
-use isel_workload::{Index, QueryId, Workload};
+use isel_workload::{IndexId, IndexPool, QueryId, Workload};
 use std::time::Duration;
 
 /// Delegating oracle that blocks a fixed quantum per costing call, the way
@@ -36,22 +36,26 @@ impl<W: WhatIfOptimizer> WhatIfOptimizer for PaddedWhatIf<W> {
         self.inner.workload()
     }
 
+    fn pool(&self) -> &IndexPool {
+        self.inner.pool()
+    }
+
     fn unindexed_cost(&self, j: QueryId) -> f64 {
         self.block();
         self.inner.unindexed_cost(j)
     }
 
-    fn index_cost(&self, j: QueryId, k: &Index) -> Option<f64> {
+    fn index_cost(&self, j: QueryId, k: IndexId) -> Option<f64> {
         self.block();
         self.inner.index_cost(j, k)
     }
 
-    fn index_memory(&self, k: &Index) -> u64 {
+    fn index_memory(&self, k: IndexId) -> u64 {
         // Size estimates are catalog arithmetic, not optimizer calls.
         self.inner.index_memory(k)
     }
 
-    fn maintenance_cost(&self, k: &Index) -> f64 {
+    fn maintenance_cost(&self, k: IndexId) -> f64 {
         self.inner.maintenance_cost(k)
     }
 
@@ -78,14 +82,15 @@ const PAD: Duration = Duration::from_micros(20);
 /// over the full `I_max` pool, uncached so every call pays the latency.
 fn bench_candidate_scan(c: &mut Criterion) {
     let w = workload();
-    let pool = candidates::enumerate_imax(&w, 3).indexes();
+    let pool = candidates::enumerate_imax(&w, 3);
     let mut g = c.benchmark_group("candidate_scan");
     g.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
         g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
             b.iter(|| {
                 let est = PaddedWhatIf { inner: AnalyticalWhatIf::new(&w), pad: PAD };
-                heuristics::individual_benefits(&pool, &est, Parallelism::new(t))
+                let ids = pool.ids(est.pool());
+                heuristics::individual_benefits(&ids, &est, Parallelism::new(t))
             })
         });
     }

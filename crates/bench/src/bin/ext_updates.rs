@@ -18,7 +18,7 @@ use isel_core::{algorithm1, budget, candidates, cophy};
 use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf, WhatIfOptimizer, WhatIfStats};
 use isel_solver::cophy::CophyOptions;
 use isel_workload::synthetic::{self, SyntheticConfig};
-use isel_workload::{Index, QueryId, Workload};
+use isel_workload::{IndexId, IndexPool, QueryId, Workload};
 use serde::Serialize;
 use std::time::Duration;
 
@@ -29,16 +29,19 @@ impl<W: WhatIfOptimizer> WhatIfOptimizer for MaintenanceBlind<W> {
     fn workload(&self) -> &Workload {
         self.0.workload()
     }
+    fn pool(&self) -> &IndexPool {
+        self.0.pool()
+    }
     fn unindexed_cost(&self, q: QueryId) -> f64 {
         self.0.unindexed_cost(q)
     }
-    fn index_cost(&self, q: QueryId, k: &Index) -> Option<f64> {
+    fn index_cost(&self, q: QueryId, k: IndexId) -> Option<f64> {
         self.0.index_cost(q, k)
     }
-    fn index_memory(&self, k: &Index) -> u64 {
+    fn index_memory(&self, k: IndexId) -> u64 {
         self.0.index_memory(k)
     }
-    fn maintenance_cost(&self, _k: &Index) -> f64 {
+    fn maintenance_cost(&self, _k: IndexId) -> f64 {
         0.0
     }
     fn stats(&self) -> WhatIfStats {
@@ -98,7 +101,7 @@ fn main() {
         let blind = algorithm1::run(&blind_est, &algorithm1::Options::new(a));
         emit("H6-blind", &blind.selection);
 
-        let pool = candidates::enumerate_imax(&workload, 3).indexes();
+        let pool = candidates::enumerate_imax(&workload, 3).ids(est.pool());
         let run = cophy::solve(
             &est,
             &pool,

@@ -18,7 +18,7 @@
 
 use isel_bench::{arg_value, has_flag, header, report_written, ResultSink};
 use isel_core::{algorithm1, budget, candidates, cophy, heuristics, Selection};
-use isel_costmodel::CachingWhatIf;
+use isel_costmodel::{CachingWhatIf, WhatIfOptimizer};
 use isel_dbsim::{measure_workload, CostMetric, Database, MeasureConfig};
 use isel_solver::cophy::CophyOptions;
 use isel_workload::synthetic::{self, SyntheticConfig};
@@ -134,18 +134,21 @@ fn main() {
 
     let ten_pct =
         candidates::select_candidates(&pool, pool.len() / 10, 4, candidates::CandidateRanking::Frequency);
+    // One-time boundary crossing into id-keyed heuristics and solving.
+    let all_ids = pool.ids(est.pool());
+    let ten_pct_ids: Vec<_> = ten_pct.iter().map(|k| est.pool().intern(k)).collect();
 
     for &w in &ws {
         let a = budget::relative_budget(&est, w);
         let h6_sel = algorithm1::selection_at(&h6_run.steps, a);
         emit(&mut sink, &mut eval_db, "H6", w, &h6_sel);
-        emit(&mut sink, &mut eval_db, "H1", w, &heuristics::h1(&all_cands, &est, a));
-        emit(&mut sink, &mut eval_db, "H4", w, &heuristics::h4(&all_cands, &est, a, false));
-        emit(&mut sink, &mut eval_db, "H4-skyline", w, &heuristics::h4(&all_cands, &est, a, true));
-        emit(&mut sink, &mut eval_db, "H5", w, &heuristics::h5(&all_cands, &est, a));
-        let run10 = cophy::solve(&est, &ten_pct, a, &opts);
+        emit(&mut sink, &mut eval_db, "H1", w, &heuristics::h1(&all_ids, &est, a));
+        emit(&mut sink, &mut eval_db, "H4", w, &heuristics::h4(&all_ids, &est, a, false));
+        emit(&mut sink, &mut eval_db, "H4-skyline", w, &heuristics::h4(&all_ids, &est, a, true));
+        emit(&mut sink, &mut eval_db, "H5", w, &heuristics::h5(&all_ids, &est, a));
+        let run10 = cophy::solve(&est, &ten_pct_ids, a, &opts);
         emit(&mut sink, &mut eval_db, "CoPhy-10pct", w, &run10.selection);
-        let run_all = cophy::solve(&est, &all_cands, a, &opts);
+        let run_all = cophy::solve(&est, &all_ids, a, &opts);
         emit(&mut sink, &mut eval_db, "CoPhy-all", w, &run_all.selection);
     }
 

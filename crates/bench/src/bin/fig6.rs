@@ -7,7 +7,7 @@
 
 use isel_bench::{header, report_written, ResultSink};
 use isel_core::{budget, candidates, cophy};
-use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
+use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf, WhatIfOptimizer};
 use isel_workload::synthetic::{self, SyntheticConfig};
 use serde::Serialize;
 
@@ -39,7 +39,7 @@ fn main() {
     for i in 1..=10 {
         let fraction = i as f64 / 10.0;
         let n = ((pool.len() as f64) * fraction).round() as usize;
-        let cands: Vec<_> = ranked[..n].iter().map(|e| e.index.clone()).collect();
+        let cands: Vec<_> = ranked[..n].iter().map(|e| est.pool().intern(&e.index)).collect();
         let inst = cophy::build_instance(&est, &cands, a);
         let (variables, constraints) = inst.lp_size();
         println!("{fraction:.1}\t{}\t{variables}\t{constraints}", cands.len());

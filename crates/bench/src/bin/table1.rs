@@ -94,9 +94,10 @@ fn main() {
             // to distinct (query, prefix) pairs rather than
             // (query, candidate) pairs — essential for |I| ≈ 10⁵.
             let est = PrefixAwareWhatIf::new(AnalyticalWhatIf::new(&workload));
+            let cand_ids: Vec<_> = cands.iter().map(|k| est.pool().intern(k)).collect();
             let run = isel_core::cophy::solve(
                 &est,
-                &cands,
+                &cand_ids,
                 a,
                 &CophyOptions { mip_gap: 0.05, time_limit: cutoff, max_nodes: usize::MAX },
             );

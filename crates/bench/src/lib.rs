@@ -77,11 +77,12 @@ pub fn cophy_budget_sweep(
     ws: &[f64],
     opts: &isel_solver::cophy::CophyOptions,
 ) -> Vec<(f64, f64, String)> {
+    let pool = est.pool();
     let mut seen = std::collections::HashSet::new();
-    let deduped: Vec<isel_workload::Index> = cands
+    let deduped: Vec<isel_workload::IndexId> = cands
         .iter()
-        .filter(|k| seen.insert(k.attrs().to_vec()))
-        .cloned()
+        .map(|k| pool.intern(k))
+        .filter(|&k| seen.insert(k))
         .collect();
     let mut instance = isel_core::cophy::build_instance(est, &deduped, 0);
     ws.iter()

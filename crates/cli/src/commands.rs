@@ -2,7 +2,7 @@
 
 use crate::args::Args;
 use isel_core::{algorithm1, budget, interaction, Advisor, Parallelism, Strategy};
-use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
+use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf, WhatIfOptimizer};
 use isel_workload::erp::{self, ErpConfig};
 use isel_workload::synthetic::{self, SyntheticConfig};
 use isel_workload::{io, tpcc, Workload};
@@ -89,6 +89,15 @@ pub fn recommend(args: &Args) -> Result<(), String> {
             "base_cost": rec.base_cost,
             "relative_cost": rec.relative_cost(),
             "what_if_calls": rec.what_if_calls,
+            "what_if_cached": rec.what_if.calls_answered_from_cache,
+            "cache_hit_rate": rec.cache_hit_rate(),
+            "cache": rec.cache.map(|c| {
+                serde_json::json!({
+                    "hits": c.hits,
+                    "misses": c.misses,
+                    "inserts": c.inserts,
+                })
+            }),
             "elapsed_secs": rec.elapsed.as_secs_f64(),
             "indexes": rec
                 .selection
@@ -116,6 +125,18 @@ pub fn recommend(args: &Args) -> Result<(), String> {
         rec.what_if_calls,
         rec.elapsed.as_secs_f64(),
     );
+    println!(
+        "what-if requests: {} issued + {} cached ({:.1}% hit rate)",
+        rec.what_if.calls_issued,
+        rec.what_if.calls_answered_from_cache,
+        100.0 * rec.cache_hit_rate(),
+    );
+    if let Some(c) = rec.cache {
+        println!(
+            "memo tables: {} hits / {} misses / {} entries",
+            c.hits, c.misses, c.inserts
+        );
+    }
     for k in rec.selection.indexes() {
         let names: Vec<&str> = k
             .attrs()
@@ -135,15 +156,24 @@ pub fn compare(args: &Args) -> Result<(), String> {
     let est = CachingWhatIf::new(AnalyticalWhatIf::new(&workload));
     let advisor = Advisor::new(&est).with_parallelism(parallelism(args)?);
     let a = budget::relative_budget(&est, share);
-    println!("strategy\trel.cost\t|I*|\tMiB\tseconds");
+    println!("strategy\trel.cost\t|I*|\tMiB\tseconds\twhatif\tcached\thit%");
     for rec in advisor.compare(a) {
         println!(
-            "{:?}\t{:.4}\t{}\t{:.1}\t{:.3}",
+            "{:?}\t{:.4}\t{}\t{:.1}\t{:.3}\t{}\t{}\t{:.1}",
             rec.strategy,
             rec.relative_cost(),
             rec.selection.len(),
             rec.memory as f64 / (1024.0 * 1024.0),
             rec.elapsed.as_secs_f64(),
+            rec.what_if.calls_issued,
+            rec.what_if.calls_answered_from_cache,
+            100.0 * rec.cache_hit_rate(),
+        );
+    }
+    if let Some(c) = est.cache_stats() {
+        println!(
+            "# memo tables after all runs: {} hits / {} misses / {} entries",
+            c.hits, c.misses, c.inserts
         );
     }
     Ok(())

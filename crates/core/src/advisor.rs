@@ -4,13 +4,20 @@
 //! strategy X". [`Advisor`] wires the candidate generators, the baseline
 //! heuristics, CoPhy and Algorithm 1 together and reports a uniform
 //! [`Recommendation`].
+//!
+//! Candidates are interned into the oracle's [index pool] once, at
+//! construction; every strategy below works on the resulting
+//! [`IndexId`]s and only resolves back to attribute lists inside the
+//! returned [`Selection`].
+//!
+//! [index pool]: isel_workload::IndexPool
 
 use crate::parallel::Parallelism;
 use crate::selection::Selection;
 use crate::{algorithm1, budget, candidates, cophy, heuristics};
-use isel_costmodel::WhatIfOptimizer;
+use isel_costmodel::{CacheStats, WhatIfOptimizer, WhatIfStats};
 use isel_solver::cophy::CophyOptions;
-use isel_workload::Index;
+use isel_workload::{Index, IndexId};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
@@ -32,7 +39,7 @@ pub enum Strategy {
     H5,
     /// H6 — Algorithm 1 (the paper's contribution).
     H6,
-    /// The full DB2-advisor concept [9]: H5 start plus randomized swaps.
+    /// The full DB2-advisor concept \[9\]: H5 start plus randomized swaps.
     Db2 {
         /// Number of random swap proposals.
         swap_rounds: usize,
@@ -65,6 +72,12 @@ pub struct Recommendation {
     pub elapsed: Duration,
     /// What-if calls issued during the run.
     pub what_if_calls: u64,
+    /// Full what-if accounting for the run (issued + cache-answered),
+    /// as a delta over the strategy's execution.
+    pub what_if: WhatIfStats,
+    /// Memo-table counters of the oracle's cache after the run, when the
+    /// oracle keeps one (`None` for uncached oracles).
+    pub cache: Option<CacheStats>,
 }
 
 impl Recommendation {
@@ -76,12 +89,22 @@ impl Recommendation {
             self.cost / self.base_cost
         }
     }
+
+    /// Share of this run's what-if requests answered from a cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.what_if.total_requests();
+        if total == 0 {
+            0.0
+        } else {
+            self.what_if.calls_answered_from_cache as f64 / total as f64
+        }
+    }
 }
 
 /// High-level advisor over a what-if oracle.
 pub struct Advisor<'a, W> {
     est: &'a W,
-    candidates: Vec<Index>,
+    candidates: Vec<IndexId>,
     parallelism: Parallelism,
 }
 
@@ -90,11 +113,16 @@ impl<'a, W: WhatIfOptimizer> Advisor<'a, W> {
     /// the candidate-set strategies; H6 ignores the pool by design.
     pub fn new(est: &'a W) -> Self {
         let pool = candidates::enumerate_imax(est.workload(), 4);
-        Self { est, candidates: pool.indexes(), parallelism: Parallelism::serial() }
+        Self {
+            candidates: pool.ids(est.pool()),
+            est,
+            parallelism: Parallelism::serial(),
+        }
     }
 
-    /// Advisor with an explicit candidate set.
+    /// Advisor with an explicit candidate set, interned on entry.
     pub fn with_candidates(est: &'a W, candidates: Vec<Index>) -> Self {
+        let candidates = candidates.iter().map(|k| est.pool().intern(k)).collect();
         Self { est, candidates, parallelism: Parallelism::serial() }
     }
 
@@ -105,9 +133,15 @@ impl<'a, W: WhatIfOptimizer> Advisor<'a, W> {
         self
     }
 
-    /// The candidate set used by H1–H5 and CoPhy.
-    pub fn candidates(&self) -> &[Index] {
+    /// The candidate set used by H1–H5 and CoPhy, as interned ids.
+    pub fn candidate_ids(&self) -> &[IndexId] {
         &self.candidates
+    }
+
+    /// The candidate set resolved back to plain indexes.
+    pub fn candidates(&self) -> Vec<Index> {
+        let pool = self.est.pool();
+        self.candidates.iter().map(|&k| pool.resolve(k)).collect()
     }
 
     /// Recommend a selection for a relative budget share `w` (Eq. 10).
@@ -117,7 +151,7 @@ impl<'a, W: WhatIfOptimizer> Advisor<'a, W> {
 
     /// Recommend a selection for an absolute byte budget.
     pub fn recommend(&self, strategy: Strategy, budget: u64) -> Recommendation {
-        let calls_before = self.est.stats().calls_issued;
+        let stats_before = self.est.stats();
         let start = Instant::now();
         let selection = match &strategy {
             Strategy::H1 => heuristics::h1(&self.candidates, self.est, budget),
@@ -162,11 +196,19 @@ impl<'a, W: WhatIfOptimizer> Advisor<'a, W> {
             }
         };
         let elapsed = start.elapsed();
+        let stats_after = self.est.stats();
+        let what_if = WhatIfStats {
+            calls_issued: stats_after.calls_issued - stats_before.calls_issued,
+            calls_answered_from_cache: stats_after.calls_answered_from_cache
+                - stats_before.calls_answered_from_cache,
+        };
         Recommendation {
             memory: selection.memory(self.est),
             cost: selection.cost(self.est),
             base_cost: self.est.workload_cost(&[]),
-            what_if_calls: self.est.stats().calls_issued - calls_before,
+            what_if_calls: what_if.calls_issued,
+            what_if,
+            cache: self.est.cache_stats(),
             strategy,
             selection,
             budget,
@@ -282,5 +324,32 @@ mod tests {
             assert!(rec.selection.is_empty(), "{:?}", rec.strategy);
             assert_eq!(rec.cost, rec.base_cost);
         }
+    }
+
+    #[test]
+    fn stats_delta_accounts_every_request_and_cache_is_surfaced() {
+        let w = workload();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let advisor = Advisor::new(&est);
+        let a = budget::relative_budget(&est, 0.3);
+        let rec = advisor.recommend(Strategy::H5, a);
+        assert_eq!(rec.what_if_calls, rec.what_if.calls_issued);
+        assert!(rec.what_if.total_requests() > 0);
+        let cache = rec.cache.expect("caching oracle exposes stats");
+        assert_eq!(cache.hits + cache.misses, cache.lookups());
+        assert!((0.0..=1.0).contains(&rec.cache_hit_rate()));
+        // A second identical run is answered from the memo tables.
+        let rerun = advisor.recommend(Strategy::H5, a);
+        assert_eq!(rerun.what_if.calls_issued, 0);
+        assert!(rerun.cache_hit_rate() >= 0.999);
+    }
+
+    #[test]
+    fn uncached_oracle_reports_no_cache_stats() {
+        let w = workload();
+        let est = AnalyticalWhatIf::new(&w);
+        let advisor = Advisor::new(&est);
+        let rec = advisor.recommend(Strategy::H1, budget::relative_budget(&est, 0.2));
+        assert!(rec.cache.is_none());
     }
 }

@@ -22,6 +22,12 @@
 //! ("required what-if calls from previous steps can be cached, except for
 //! calls related to indexes built in the previous step", Fig. 1).
 //!
+//! Candidates live in the estimator's [`IndexPool`]: a slot holds the
+//! [`IndexId`] of its index, and the morphing step (3b) is the pool's O(1)
+//! child lookup — appending an attribute never clones an attribute vector.
+//! Ids resolve back to concrete [`Index`] values only at the step-log and
+//! result boundaries.
+//!
 //! Remark-1 extensions, all switchable via [`Options`]:
 //!
 //! 1. `n_best_single` — consider only the n best single attributes,
@@ -40,7 +46,7 @@
 //! With [`Options::parallelism`] above one thread, each step's benefit
 //! refreshes and per-move metrics fan out over a thread pool via
 //! [`parallel_map`]. Determinism is preserved by construction: candidate
-//! moves are enumerated into a canonical total order ([`Move::key`] — new
+//! moves are enumerated into a canonical total order (`Move::key` — new
 //! indexes before extensions, then by slot and attribute list), metrics
 //! are computed side-effect-free in that order, and the winner is chosen
 //! by a *serial* left-to-right fold over the ordered metrics. The fold —
@@ -51,9 +57,9 @@ use crate::parallel::{parallel_map, Parallelism};
 use crate::reconfig::ReconfigCosts;
 use crate::selection::{Frontier, FrontierPoint, Selection};
 use isel_costmodel::WhatIfOptimizer;
-use isel_workload::{AttrId, Index, QueryId};
+use isel_workload::{AttrId, Index, IndexId, IndexPool, QueryId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Options of a run.
 #[derive(Clone, Debug)]
@@ -197,37 +203,42 @@ pub fn selection_at(steps: &[StepRecord], budget: u64) -> Selection {
     sel
 }
 
-/// A candidate move considered in one step.
-#[derive(Clone, Debug)]
+/// A candidate move considered in one step. Both variants carry pool ids:
+/// an extension names the slot it extends and the (already interned) child
+/// index it would morph into.
+#[derive(Clone, Copy, Debug)]
 enum Move {
-    New(Vec<AttrId>),
-    Extend { slot: usize, attrs: Vec<AttrId> },
+    New(IndexId),
+    Extend { slot: usize, to: IndexId },
 }
 
 impl Move {
     /// The canonical total order on candidate moves — THE tie-break of the
     /// argmax scan, defined once for every evaluation path. Moves are
     /// compared `(kind, slot, attrs)`: new indexes before extensions, then
-    /// by slot id, then lexicographically by attribute list. Every
-    /// enumerated move has a distinct key, so sorting by it yields one
-    /// unique candidate sequence and the left-to-right argmax fold is
-    /// deterministic regardless of enumeration (hash map) or thread order.
-    fn key(&self) -> (u8, usize, &[AttrId]) {
+    /// by slot id, then lexicographically by the full resolved attribute
+    /// list. Within one slot every extension shares the slot's prefix, so
+    /// comparing full attribute lists orders extensions exactly like
+    /// comparing the appended attributes alone. Every enumerated move has
+    /// a distinct key, so sorting by it yields one unique candidate
+    /// sequence and the left-to-right argmax fold is deterministic
+    /// regardless of enumeration (hash map) or thread order.
+    fn key<'p>(&self, pool: &'p IndexPool) -> (u8, usize, &'p [AttrId]) {
         match self {
-            Move::New(attrs) => (0, 0, attrs),
-            Move::Extend { slot, attrs } => (1, *slot, attrs),
+            Move::New(k) => (0, 0, pool.attrs(*k)),
+            Move::Extend { slot, to } => (1, *slot, pool.attrs(*to)),
         }
     }
 }
 
 struct Slot {
-    index: Index,
+    index: IndexId,
     /// Queries containing *all* attributes of `index` (sorted ids) — the
     /// only queries an extension can affect.
     covering: Vec<u32>,
-    /// Cached extension benefits per appended attribute (and pairs, keyed
-    /// by the appended attribute list).
-    ext_ben: HashMap<Vec<AttrId>, f64>,
+    /// Cached extension benefits keyed by the appended attribute (and the
+    /// optional second attribute of a Remark-1.4 pair extension).
+    ext_ben: HashMap<(AttrId, Option<AttrId>), f64>,
     /// Whether `ext_ben` must be recomputed.
     dirty: bool,
     /// Number of queries currently served by this index (tracked for
@@ -283,6 +294,8 @@ struct Engine<'a, W> {
     upd_weight: Vec<f64>,
     /// Total weighted maintenance cost of the current selection.
     maint_total: f64,
+    /// `Ī*` interned once — reconfiguration deltas are id set lookups.
+    reconfig_current: HashSet<IndexId>,
 }
 
 impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
@@ -316,6 +329,13 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
                 }
             }
         }
+        let reconfig_current: HashSet<IndexId> = options
+            .reconfig
+            .current
+            .indexes()
+            .iter()
+            .map(|k| est.pool().intern(k))
+            .collect();
         Self {
             est,
             options,
@@ -330,12 +350,13 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
             total_memory: 0,
             upd_weight,
             maint_total: 0.0,
+            reconfig_current,
         }
     }
 
     /// Frequency-weighted maintenance cost an index adds to the selection.
-    fn weighted_maint(&self, index: &Index) -> f64 {
-        let table = self.est.workload().schema().attribute(index.leading()).table;
+    fn weighted_maint(&self, index: IndexId) -> f64 {
+        let table = self.est.pool().table(index);
         let w = self.upd_weight[table.idx()];
         if w == 0.0 {
             0.0
@@ -347,14 +368,10 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
     /// Maintenance delta a move would cause.
     fn maintenance_delta(&self, mv: &Move) -> f64 {
         match mv {
-            Move::New(attrs) => self.weighted_maint(&Index::new(attrs.clone())),
-            Move::Extend { slot, attrs } => {
-                let from = &self.slots[*slot].as_ref().expect("live slot").index;
-                let mut to = from.clone();
-                for &a in attrs {
-                    to = to.extended(a);
-                }
-                self.weighted_maint(&to) - self.weighted_maint(from)
+            Move::New(k) => self.weighted_maint(*k),
+            Move::Extend { slot, to } => {
+                let from = self.slots[*slot].as_ref().expect("live slot").index;
+                self.weighted_maint(*to) - self.weighted_maint(from)
             }
         }
     }
@@ -364,10 +381,11 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
     }
 
     fn current_selection(&self) -> Selection {
+        let pool = self.est.pool();
         self.slots
             .iter()
             .flatten()
-            .map(|s| s.index.clone())
+            .map(|s| pool.resolve(s.index))
             .collect()
     }
 
@@ -378,14 +396,14 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
     /// Benefit of a brand-new index over the queries containing all its
     /// attributes.
     fn new_index_benefit(&self, attrs: &[AttrId]) -> f64 {
-        let index = Index::new(attrs.to_vec());
+        let index = self.est.pool().intern_attrs(attrs);
         let mut ben = 0.0;
         for &j in &self.attr_queries[attrs[0].idx()] {
             let q = self.est.workload().query(QueryId(j));
             if !attrs[1..].iter().all(|a| q.accesses(*a)) {
                 continue;
             }
-            if let Some(f) = self.est.index_cost(QueryId(j), &index) {
+            if let Some(f) = self.est.index_cost(QueryId(j), index) {
                 let cur = self.cur[j as usize];
                 if f < cur {
                     ben += self.freq[j as usize] * (cur - f);
@@ -396,11 +414,13 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
     }
 
     /// Recompute the extension-benefit cache of a slot. Side-effect-free
-    /// on the engine (only the what-if oracle's internal cache is touched),
-    /// so dirty slots refresh concurrently.
-    fn compute_ext_ben(&self, slot: &Slot) -> HashMap<Vec<AttrId>, f64> {
-        let mut ext_ben: HashMap<Vec<AttrId>, f64> = HashMap::new();
+    /// on the engine (only the what-if oracle's cache and the append-only
+    /// pool are touched), so dirty slots refresh concurrently.
+    fn compute_ext_ben(&self, slot: &Slot) -> HashMap<(AttrId, Option<AttrId>), f64> {
+        let mut ext_ben: HashMap<(AttrId, Option<AttrId>), f64> = HashMap::new();
         let workload = self.est.workload();
+        let pool = self.est.pool();
+        let base_attrs = pool.attrs(slot.index);
         for &j in &slot.covering {
             let q = workload.query(QueryId(j));
             let cur = self.cur[j as usize];
@@ -408,22 +428,22 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
                 .attrs()
                 .iter()
                 .copied()
-                .filter(|a| !slot.index.contains(*a))
+                .filter(|a| !base_attrs.contains(a))
                 .collect();
             for (x, &a) in remaining.iter().enumerate() {
-                let ext = slot.index.extended(a);
-                if let Some(f) = self.est.index_cost(QueryId(j), &ext) {
+                let ext = pool.intern_child(slot.index, a);
+                if let Some(f) = self.est.index_cost(QueryId(j), ext) {
                     if f < cur {
-                        *ext_ben.entry(vec![a]).or_insert(0.0) +=
+                        *ext_ben.entry((a, None)).or_insert(0.0) +=
                             self.freq[j as usize] * (cur - f);
                     }
                 }
                 if self.options.pair_steps {
                     for &b in &remaining[x + 1..] {
-                        let ext2 = ext.extended(b);
-                        if let Some(f) = self.est.index_cost(QueryId(j), &ext2) {
+                        let ext2 = pool.intern_child(ext, b);
+                        if let Some(f) = self.est.index_cost(QueryId(j), ext2) {
                             if f < cur {
-                                *ext_ben.entry(vec![a, b]).or_insert(0.0) +=
+                                *ext_ben.entry((a, Some(b))).or_insert(0.0) +=
                                     self.freq[j as usize] * (cur - f);
                             }
                         }
@@ -441,25 +461,20 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
             return 0.0;
         }
         match mv {
-            Move::New(attrs) => {
-                let k = Index::new(attrs.clone());
-                if r.current.contains(&k) {
+            Move::New(k) => {
+                if self.reconfig_current.contains(k) {
                     0.0
                 } else {
-                    self.est.index_memory(&k) as f64 * r.create_cost_per_byte
+                    self.est.index_memory(*k) as f64 * r.create_cost_per_byte
                 }
             }
-            Move::Extend { slot, attrs } => {
-                let from = &self.slots[*slot].as_ref().expect("live slot").index;
-                let mut to = from.clone();
-                for &a in attrs {
-                    to = to.extended(a);
-                }
+            Move::Extend { slot, to } => {
+                let from = self.slots[*slot].as_ref().expect("live slot").index;
                 let mut delta = 0.0;
-                if !r.current.contains(&to) {
-                    delta += self.est.index_memory(&to) as f64 * r.create_cost_per_byte;
+                if !self.reconfig_current.contains(to) {
+                    delta += self.est.index_memory(*to) as f64 * r.create_cost_per_byte;
                 }
-                if r.current.contains(from) {
+                if self.reconfig_current.contains(&from) {
                     delta += r.drop_cost;
                 } else {
                     delta -= self.est.index_memory(from) as f64 * r.create_cost_per_byte;
@@ -471,29 +486,22 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
 
     fn memory_delta(&self, mv: &Move) -> u64 {
         match mv {
-            Move::New(attrs) => self.est.index_memory(&Index::new(attrs.clone())),
-            Move::Extend { slot, attrs } => {
-                let from = &self.slots[*slot].as_ref().expect("live slot").index;
-                let mut to = from.clone();
-                for &a in attrs {
-                    to = to.extended(a);
-                }
-                self.est.index_memory(&to) - self.est.index_memory(from)
+            Move::New(k) => self.est.index_memory(*k),
+            Move::Extend { slot, to } => {
+                let from = self.slots[*slot].as_ref().expect("live slot").index;
+                self.est.index_memory(*to) - self.est.index_memory(from)
             }
         }
     }
 
     /// Materialize the [`StepAction`] a move would take, without applying.
     fn action_of(&self, mv: &Move) -> StepAction {
+        let pool = self.est.pool();
         match mv {
-            Move::New(attrs) => StepAction::NewIndex(Index::new(attrs.clone())),
-            Move::Extend { slot, attrs } => {
-                let from = self.slots[*slot].as_ref().expect("live slot").index.clone();
-                let mut to = from.clone();
-                for &a in attrs {
-                    to = to.extended(a);
-                }
-                StepAction::Extend { from, to }
+            Move::New(k) => StepAction::NewIndex(pool.resolve(*k)),
+            Move::Extend { slot, to } => {
+                let from = self.slots[*slot].as_ref().expect("live slot").index;
+                StepAction::Extend { from: pool.resolve(from), to: pool.resolve(*to) }
             }
         }
     }
@@ -563,7 +571,9 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
     /// Every eligible move of this step with its workload benefit, in the
     /// canonical [`Move::key`] order.
     fn enumerate_moves(&self) -> Vec<(Move, f64)> {
-        let existing: Selection = self.current_selection();
+        let pool = self.est.pool();
+        let existing: HashSet<IndexId> =
+            self.slots.iter().flatten().map(|s| s.index).collect();
         let mut moves: Vec<(Move, f64)> = Vec::new();
         for i in 0..self.single_ben.len() {
             if let Some(allowed) = &self.allowed_singles {
@@ -572,45 +582,43 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
                 }
             }
             let Some(ben) = self.single_ben[i] else { continue };
-            let k = Index::single(AttrId(i as u32));
+            let k = pool.intern_single(AttrId(i as u32));
             if existing.contains(&k) {
                 continue; // step (3a) requires I ∩ {i} = ∅
             }
-            moves.push((Move::New(vec![AttrId(i as u32)]), ben));
+            moves.push((Move::New(k), ben));
         }
         if self.options.pair_steps {
             for (&(a, b), bens) in &self.pair_ben {
                 let Some((fwd, rev)) = *bens else { continue };
                 // Orientation: keep whichever order of the two attributes
                 // benefits the covering queries more (ties go forward).
-                let (attrs, ben) = if fwd >= rev { (vec![a, b], fwd) } else { (vec![b, a], rev) };
-                if existing.contains(&Index::new(attrs.clone())) {
+                let (attrs, ben) = if fwd >= rev { ([a, b], fwd) } else { ([b, a], rev) };
+                let k = pool.intern_attrs(&attrs);
+                if existing.contains(&k) {
                     continue;
                 }
-                moves.push((Move::New(attrs), ben));
+                moves.push((Move::New(k), ben));
             }
         }
         if self.options.morphing {
             for (slot_id, slot) in self.slots.iter().enumerate() {
                 let Some(slot) = slot else { continue };
-                for (attrs, &ben) in &slot.ext_ben {
-                    let target = {
-                        let mut t = slot.index.clone();
-                        for &a in attrs {
-                            t = t.extended(a);
-                        }
-                        t
-                    };
+                for (&(a, b), &ben) in &slot.ext_ben {
+                    let mut target = pool.intern_child(slot.index, a);
+                    if let Some(b) = b {
+                        target = pool.intern_child(target, b);
+                    }
                     if existing.contains(&target) {
                         continue;
                     }
-                    moves.push((Move::Extend { slot: slot_id, attrs: attrs.clone() }, ben));
+                    moves.push((Move::Extend { slot: slot_id, to: target }, ben));
                 }
             }
         }
         // Pair and extension candidates come out of hash maps in arbitrary
         // order; the canonical sort erases that before anyone looks.
-        moves.sort_by(|(a, _), (b, _)| a.key().cmp(&b.key()));
+        moves.sort_by(|(a, _), (b, _)| a.key(pool).cmp(&b.key(pool)));
         moves
     }
 
@@ -672,14 +680,16 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
             benefit: net,
             ratio,
         });
-        best.map(|(pos, net, dm, ratio)| (moves[pos].0.clone(), net, dm, ratio, runner_up))
+        best.map(|(pos, net, dm, ratio)| (moves[pos].0, net, dm, ratio, runner_up))
     }
 
     /// Apply a chosen move; returns (action, queries whose cost changed).
     fn apply(&mut self, mv: &Move) -> (StepAction, Vec<u32>) {
+        let pool = self.est.pool();
         match mv {
-            Move::New(attrs) => {
-                let index = Index::new(attrs.clone());
+            Move::New(k) => {
+                let index = *k;
+                let attrs = pool.attrs(index);
                 let covering: Vec<u32> = self.attr_queries[attrs[0].idx()]
                     .iter()
                     .copied()
@@ -692,7 +702,7 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
                 let mut changed = Vec::new();
                 let mut served = 0;
                 for &j in &covering {
-                    if let Some(f) = self.est.index_cost(QueryId(j), &index) {
+                    if let Some(f) = self.est.index_cost(QueryId(j), index) {
                         if f < self.cur[j as usize] {
                             self.cur[j as usize] = f;
                             self.reassign_server(j, slot_id);
@@ -701,37 +711,36 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
                         }
                     }
                 }
-                self.total_memory += self.est.index_memory(&index);
-                self.maint_total += self.weighted_maint(&index);
+                self.total_memory += self.est.index_memory(index);
+                self.maint_total += self.weighted_maint(index);
                 self.slots.push(Some(Slot {
-                    index: index.clone(),
+                    index,
                     covering,
                     ext_ben: HashMap::new(),
                     dirty: true,
                     served,
                 }));
-                (StepAction::NewIndex(index), changed)
+                (StepAction::NewIndex(pool.resolve(index)), changed)
             }
-            Move::Extend { slot: slot_id, attrs } => {
+            Move::Extend { slot: slot_id, to } => {
                 let slot = self.slots[*slot_id].take().expect("live slot");
-                let from = slot.index.clone();
-                let mut to = from.clone();
-                for &a in attrs {
-                    to = to.extended(a);
-                }
+                let from = slot.index;
+                let to = *to;
+                let to_attrs = pool.attrs(to);
+                let appended = &to_attrs[pool.width(from)..];
                 let covering: Vec<u32> = slot
                     .covering
                     .iter()
                     .copied()
                     .filter(|&j| {
                         let q = self.est.workload().query(QueryId(j));
-                        attrs.iter().all(|a| q.accesses(*a))
+                        appended.iter().all(|a| q.accesses(*a))
                     })
                     .collect();
                 let mut changed = Vec::new();
                 let mut served = slot.served;
                 for &j in &covering {
-                    if let Some(f) = self.est.index_cost(QueryId(j), &to) {
+                    if let Some(f) = self.est.index_cost(QueryId(j), to) {
                         if f < self.cur[j as usize] {
                             self.cur[j as usize] = f;
                             if self.server[j as usize] != *slot_id {
@@ -742,16 +751,19 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
                         }
                     }
                 }
-                self.total_memory += self.est.index_memory(&to) - self.est.index_memory(&from);
-                self.maint_total += self.weighted_maint(&to) - self.weighted_maint(&from);
+                self.total_memory += self.est.index_memory(to) - self.est.index_memory(from);
+                self.maint_total += self.weighted_maint(to) - self.weighted_maint(from);
                 self.slots[*slot_id] = Some(Slot {
-                    index: to.clone(),
+                    index: to,
                     covering,
                     ext_ben: HashMap::new(),
                     dirty: true,
                     served,
                 });
-                (StepAction::Extend { from, to }, changed)
+                (
+                    StepAction::Extend { from: pool.resolve(from), to: pool.resolve(to) },
+                    changed,
+                )
             }
         }
     }
@@ -806,9 +818,9 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
             let drop_it = self.slots[pos].as_ref().is_some_and(|s| s.served == 0);
             if drop_it {
                 let s = self.slots[pos].take().expect("checked above");
-                freed += self.est.index_memory(&s.index);
-                self.maint_total -= self.weighted_maint(&s.index);
-                dropped.push(s.index);
+                freed += self.est.index_memory(s.index);
+                self.maint_total -= self.weighted_maint(s.index);
+                dropped.push(self.est.pool().resolve(s.index));
             }
         }
         if dropped.is_empty() {
@@ -830,7 +842,7 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
                 &all,
                 |&i| {
                     let ben = self.new_index_benefit(&[AttrId(i)]);
-                    let p = self.est.index_memory(&Index::single(AttrId(i)));
+                    let p = self.est.index_memory(self.est.pool().intern_single(AttrId(i)));
                     (i as usize, ben / p.max(1) as f64)
                 },
             );
@@ -1021,9 +1033,9 @@ mod tests {
         // Manually compute the best-density single attribute.
         let mut best = (f64::MIN, usize::MAX);
         for i in 0..3u32 {
-            let k = Index::single(AttrId(i));
-            let ben = crate::heuristics::individual_benefit(&e, &k);
-            let d = ben / e.index_memory(&k) as f64;
+            let k = e.pool().intern_single(AttrId(i));
+            let ben = crate::heuristics::individual_benefit(&e, k);
+            let d = ben / e.index_memory(k) as f64;
             if d > best.0 {
                 best = (d, i as usize);
             }

@@ -5,12 +5,12 @@
 //! `A(w) = w · Σ_{k ∈ {{1}, …, {N}}} p_k`, `0 ≤ w ≤ 1`.
 
 use isel_costmodel::WhatIfOptimizer;
-use isel_workload::{AttrId, Index};
+use isel_workload::AttrId;
 
 /// `Σ_{i=1..N} p_{{i}}`: total memory of all single-attribute indexes.
 pub fn single_attr_total_memory(est: &impl WhatIfOptimizer) -> u64 {
     (0..est.workload().schema().attr_count() as u32)
-        .map(|i| est.index_memory(&Index::single(AttrId(i))))
+        .map(|i| est.index_memory(est.pool().intern_single(AttrId(i))))
         .sum()
 }
 
@@ -30,7 +30,7 @@ pub fn relative_budget(est: &impl WhatIfOptimizer, w: f64) -> u64 {
 mod tests {
     use super::*;
     use isel_costmodel::AnalyticalWhatIf;
-    use isel_workload::{Query, SchemaBuilder, TableId, Workload};
+    use isel_workload::{Index, Query, SchemaBuilder, TableId, Workload};
 
     fn fixture() -> Workload {
         let mut b = SchemaBuilder::new();
@@ -44,8 +44,8 @@ mod tests {
     fn total_is_sum_of_single_indexes() {
         let w = fixture();
         let est = AnalyticalWhatIf::new(&w);
-        let expect = est.index_memory(&Index::single(AttrId(0)))
-            + est.index_memory(&Index::single(AttrId(1)));
+        let expect = est.index_memory_of(&Index::single(AttrId(0)))
+            + est.index_memory_of(&Index::single(AttrId(1)));
         assert_eq!(single_attr_total_memory(&est), expect);
     }
 

@@ -58,6 +58,12 @@ impl CandidatePool {
     pub fn indexes(&self) -> Vec<Index> {
         self.entries.iter().map(|e| e.index.clone()).collect()
     }
+
+    /// The candidates interned into `pool`, in entry order — the one-time
+    /// boundary crossing into id-keyed selection and costing.
+    pub fn ids(&self, pool: &isel_workload::IndexPool) -> Vec<isel_workload::IndexId> {
+        self.entries.iter().map(|e| pool.intern(&e.index)).collect()
+    }
 }
 
 /// Ranking used by [`select_candidates`].

@@ -11,7 +11,7 @@ use crate::parallel::{parallel_map, Parallelism};
 use crate::selection::Selection;
 use isel_costmodel::WhatIfOptimizer;
 use isel_solver::cophy::{self, CophyInstance, CophyOptions, CophyQueryRow, CophySolution};
-use isel_workload::Index;
+use isel_workload::{AttrId, Index, IndexId};
 use std::time::{Duration, Instant};
 
 /// A finished CoPhy run.
@@ -37,7 +37,7 @@ pub struct CophyRun {
 /// `f_j(k)` for every applicable pair.
 pub fn build_instance(
     est: &impl WhatIfOptimizer,
-    candidates: &[Index],
+    candidates: &[IndexId],
     budget: u64,
 ) -> CophyInstance {
     build_instance_with(est, candidates, budget, Parallelism::serial())
@@ -49,12 +49,16 @@ pub fn build_instance(
 /// the produced instance is identical at every thread count.
 pub fn build_instance_with(
     est: &impl WhatIfOptimizer,
-    candidates: &[Index],
+    candidates: &[IndexId],
     budget: u64,
     par: Parallelism,
 ) -> CophyInstance {
     let workload = est.workload();
-    let candidate_memory: Vec<u64> = candidates.iter().map(|k| est.index_memory(k)).collect();
+    let pool = est.pool();
+    let candidate_memory: Vec<u64> = candidates.iter().map(|&k| est.index_memory(k)).collect();
+    // Leading attributes resolved once up front: the Q·|I| applicability
+    // probes below then never touch the pool.
+    let leading: Vec<AttrId> = candidates.iter().map(|&k| pool.leading(k)).collect();
     // Frequency-weighted update volume per table: selecting a candidate
     // charges its maintenance cost once per update execution on its table.
     let mut update_weight = vec![0.0f64; workload.schema().tables().len()];
@@ -65,24 +69,31 @@ pub fn build_instance_with(
     }
     let candidate_penalty: Vec<f64> = candidates
         .iter()
-        .map(|k| {
-            let table = workload.schema().attribute(k.leading()).table;
-            update_weight[table.idx()] * est.maintenance_cost(k)
-        })
+        .map(|&k| update_weight[pool.table(k).idx()] * est.maintenance_cost(k))
         .collect();
+    // Applicability (leading attribute bound by the query) is a pure
+    // workload property. Instead of testing every (query, candidate) pair
+    // — Q·|I| binary searches that dwarf the ≈ Q·q̄·|I|/N applicable pairs
+    // (Eq. 9) — group candidates by leading attribute once, so each query
+    // walks exactly its applicable candidates.
+    let mut by_leading: Vec<Vec<u32>> = vec![Vec::new(); workload.schema().attr_count()];
+    for (ki, &lead) in leading.iter().enumerate() {
+        by_leading[lead.idx()].push(ki as u32);
+    }
     let rows: Vec<_> = workload.iter().collect();
     let queries = parallel_map(par, &rows, |&(j, q)| {
-        let options = candidates
+        let mut options: Vec<(u32, f64)> = q
+            .attrs()
             .iter()
-            .enumerate()
-            // Applicability (leading attribute bound by the query) is a
-            // pure workload property — checking it here avoids issuing
-            // (and caching) Q·|I| what-if calls for pairs that can
-            // never match; only the ≈ Q·q̄·|I|/N applicable pairs reach
-            // the oracle (Eq. 9).
-            .filter(|(_, k)| k.applicable_to(q))
-            .filter_map(|(ki, k)| est.index_cost(j, k).map(|c| (ki as u32, c)))
+            .flat_map(|a| by_leading[a.idx()].iter().copied())
+            .filter_map(|ki| {
+                est.index_cost(j, candidates[ki as usize]).map(|c| (ki, c))
+            })
             .collect();
+        // Candidate groups arrive in query-attribute order; restore the
+        // canonical candidate order the instance (and determinism
+        // contract) is defined over.
+        options.sort_unstable_by_key(|&(ki, _)| ki);
         CophyQueryRow {
             weight: q.frequency() as f64,
             base_cost: est.unindexed_cost(j),
@@ -95,7 +106,7 @@ pub fn build_instance_with(
 /// Run CoPhy end to end on a candidate set.
 pub fn solve(
     est: &impl WhatIfOptimizer,
-    candidates: &[Index],
+    candidates: &[IndexId],
     budget: u64,
     options: &CophyOptions,
 ) -> CophyRun {
@@ -105,17 +116,19 @@ pub fn solve(
 /// [`solve`] with parallel coefficient collection.
 pub fn solve_with(
     est: &impl WhatIfOptimizer,
-    candidates: &[Index],
+    candidates: &[IndexId],
     budget: u64,
     options: &CophyOptions,
     par: Parallelism,
 ) -> CophyRun {
     // Deduplicate candidates; the LP must not contain identical columns.
+    // Interned ids are content-unique, so duplicate detection is id
+    // equality — no attribute vectors are cloned or hashed.
     let mut seen = std::collections::HashSet::new();
-    let candidates: Vec<Index> = candidates
+    let candidates: Vec<IndexId> = candidates
         .iter()
-        .filter(|k| seen.insert(k.attrs().to_vec()))
-        .cloned()
+        .copied()
+        .filter(|&k| seen.insert(k))
         .collect();
 
     let calls_before = est.stats().total_requests();
@@ -126,12 +139,14 @@ pub fn solve_with(
     let lp_size = instance.lp_size();
 
     let solution = cophy::solve(&instance, options);
+    let pool = est.pool();
     let selection = candidates
         .iter()
         .zip(&solution.selected)
         .filter(|(_, &sel)| sel)
-        .map(|(k, _)| k.clone())
+        .map(|(&k, _)| pool.resolve(k))
         .collect();
+    let candidates: Vec<Index> = candidates.iter().map(|&k| pool.resolve(k)).collect();
     CophyRun {
         candidates,
         selection,
@@ -181,7 +196,7 @@ mod tests {
             vec![Query::new(TableId(0), vec![a0], 3)],
         );
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
-        let cands = vec![Index::single(a0), Index::single(a1)];
+        let cands = vec![est.pool().intern_single(a0), est.pool().intern_single(a1)];
         let inst = build_instance(&est, &cands, 1_000_000);
         assert_eq!(inst.queries[0].options.len(), 1);
         assert_eq!(inst.queries[0].options[0].0, 0);
@@ -193,7 +208,7 @@ mod tests {
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
         let pool = cand::enumerate_imax(&w, 5);
         let budget = budget::relative_budget(&est, 0.3);
-        let run = solve(&est, &pool.indexes(), budget, &exact_opts());
+        let run = solve(&est, &pool.ids(est.pool()), budget, &exact_opts());
         assert!(run.solution.status.finished());
         assert!(run.selection.memory(&est) <= budget);
         let empty_cost = Selection::empty().cost(&est);
@@ -215,7 +230,7 @@ mod tests {
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
         let pool = cand::enumerate_imax(&w, 5);
         let budget = budget::relative_budget(&est, 0.3);
-        let cophy_run = solve(&est, &pool.indexes(), budget, &exact_opts());
+        let cophy_run = solve(&est, &pool.ids(est.pool()), budget, &exact_opts());
         assert!(cophy_run.solution.status.finished());
         let h6 = algorithm1::run(&est, &algorithm1::Options::new(budget));
         // The pool keeps one permutation per set; H6 may undercut the
@@ -239,10 +254,10 @@ mod tests {
     fn duplicate_candidates_are_removed() {
         let w = small_synthetic();
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
-        let k = Index::single(AttrId(0));
+        let k = est.pool().intern_single(AttrId(0));
         let run = solve(
             &est,
-            &[k.clone(), k.clone()],
+            &[k, k],
             budget::relative_budget(&est, 0.5),
             &exact_opts(),
         );
@@ -253,7 +268,7 @@ mod tests {
     fn lp_size_grows_linearly_with_candidates() {
         let w = small_synthetic();
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
-        let pool = cand::enumerate_imax(&w, 3).indexes();
+        let pool = cand::enumerate_imax(&w, 3).ids(est.pool());
         let budget = budget::relative_budget(&est, 0.3);
         let half = build_instance(&est, &pool[..pool.len() / 2], budget).lp_size();
         let full = build_instance(&est, &pool, budget).lp_size();
@@ -267,9 +282,12 @@ mod tests {
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
         let pool = cand::enumerate_imax(&w, 5);
         let budget = budget::relative_budget(&est, 0.25);
-        let small = cand::select_candidates(&pool, 8, 4, cand::CandidateRanking::Frequency);
+        let small: Vec<_> = cand::select_candidates(&pool, 8, 4, cand::CandidateRanking::Frequency)
+            .iter()
+            .map(|k| est.pool().intern(k))
+            .collect();
         let run_small = solve(&est, &small, budget, &exact_opts());
-        let run_full = solve(&est, &pool.indexes(), budget, &exact_opts());
+        let run_full = solve(&est, &pool.ids(est.pool()), budget, &exact_opts());
         assert!(run_full.solution.objective <= run_small.solution.objective + 1e-9);
     }
 }

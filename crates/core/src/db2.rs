@@ -1,7 +1,7 @@
-//! The DB2-advisor concept of Valentin et al. [9], complete with its
+//! The DB2-advisor concept of Valentin et al. \[9\], complete with its
 //! randomized improvement phase.
 //!
-//! Definition 1's **H5** is only the *starting solution* of [9]: greedy by
+//! Definition 1's **H5** is only the *starting solution* of \[9\]: greedy by
 //! individually-measured benefit per size. The full advisor then "randomly
 //! shuffles" the configuration — swapping selected against unselected
 //! candidates — keeping variants that improve the workload cost. The paper
@@ -12,9 +12,10 @@
 use crate::heuristics;
 use crate::selection::Selection;
 use isel_costmodel::WhatIfOptimizer;
-use isel_workload::Index;
+use isel_workload::IndexId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
 
 /// Options of the randomized phase.
 #[derive(Clone, Copy, Debug)]
@@ -40,19 +41,24 @@ pub struct Db2Result {
     pub accepted_swaps: usize,
 }
 
-/// Run the [9]-style advisor: H5 start, then randomized swaps.
-pub fn run(candidates: &[Index], est: &impl WhatIfOptimizer, options: &Db2Options) -> Db2Result {
-    let mut selection = heuristics::h5(candidates, est, options.budget);
-    let start_cost = selection.cost(est);
+/// Run the \[9\]-style advisor: H5 start, then randomized swaps. The shuffle
+/// works entirely on interned ids; only the returned [`Selection`] holds
+/// resolved indexes.
+pub fn run(candidates: &[IndexId], est: &impl WhatIfOptimizer, options: &Db2Options) -> Db2Result {
+    let start = heuristics::h5(candidates, est, options.budget);
+    let start_cost = start.cost(est);
+    let mut selection: Vec<IndexId> = start.ids(est);
     let mut cost = start_cost;
-    let mut used: u64 = selection.memory(est);
+    let mut used: u64 = start.memory(est);
     let mut accepted = 0usize;
     let mut rng = StdRng::seed_from_u64(options.seed);
 
-    // Unselected pool (indexes not in the start solution).
-    let pool: Vec<&Index> = candidates
+    // Unselected pool (candidates not in the start solution).
+    let taken: HashSet<IndexId> = selection.iter().copied().collect();
+    let pool: Vec<IndexId> = candidates
         .iter()
-        .filter(|k| !selection.contains(k))
+        .copied()
+        .filter(|k| !taken.contains(k))
         .collect();
 
     for _ in 0..options.swap_rounds {
@@ -61,24 +67,23 @@ pub fn run(candidates: &[Index], est: &impl WhatIfOptimizer, options: &Db2Option
         }
         // Propose: drop one random selected index, then try to add random
         // unselected candidates while the budget allows.
-        let victim = selection.indexes()[rng.gen_range(0..selection.len())].clone();
-        let mut trial = selection.clone();
-        trial.remove(&victim);
-        let mut trial_mem = used - est.index_memory(&victim);
+        let victim = selection[rng.gen_range(0..selection.len())];
+        let mut trial: Vec<IndexId> = selection.iter().copied().filter(|&k| k != victim).collect();
+        let mut trial_mem = used - est.index_memory(victim);
         // A few random insertion attempts (with replacement) — the
         // untargeted part.
         for _ in 0..4 {
             let cand = pool[rng.gen_range(0..pool.len())];
-            if trial.contains(cand) {
+            if trial.contains(&cand) {
                 continue;
             }
             let p = est.index_memory(cand);
             if trial_mem + p <= options.budget {
-                trial.insert(cand.clone());
+                trial.push(cand);
                 trial_mem += p;
             }
         }
-        let trial_cost = trial.cost(est);
+        let trial_cost = est.workload_cost(&trial);
         if trial_cost < cost - 1e-12 {
             selection = trial;
             cost = trial_cost;
@@ -87,6 +92,8 @@ pub fn run(candidates: &[Index], est: &impl WhatIfOptimizer, options: &Db2Option
         }
     }
 
+    let pool_ref = est.pool();
+    let selection: Selection = selection.iter().map(|&k| pool_ref.resolve(k)).collect();
     Db2Result { selection, start_cost, final_cost: cost, accepted_swaps: accepted }
 }
 
@@ -113,7 +120,7 @@ mod tests {
     fn shuffling_never_hurts_and_respects_the_budget() {
         let w = workload();
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
-        let pool = candidates::enumerate_imax(&w, 4).indexes();
+        let pool = candidates::enumerate_imax(&w, 4).ids(est.pool());
         let a = budget::relative_budget(&est, 0.3);
         let r = run(&pool, &est, &Db2Options { budget: a, swap_rounds: 200, seed: 1 });
         assert!(r.final_cost <= r.start_cost + 1e-9);
@@ -125,7 +132,7 @@ mod tests {
     fn more_rounds_cannot_be_worse() {
         let w = workload();
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
-        let pool = candidates::enumerate_imax(&w, 4).indexes();
+        let pool = candidates::enumerate_imax(&w, 4).ids(est.pool());
         let a = budget::relative_budget(&est, 0.3);
         let short = run(&pool, &est, &Db2Options { budget: a, swap_rounds: 20, seed: 5 });
         let long = run(&pool, &est, &Db2Options { budget: a, swap_rounds: 400, seed: 5 });
@@ -137,7 +144,7 @@ mod tests {
         // The paper's claim: targeted recursion ≥ untargeted shuffling.
         let w = workload();
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
-        let pool = candidates::enumerate_imax(&w, 4).indexes();
+        let pool = candidates::enumerate_imax(&w, 4).ids(est.pool());
         let a = budget::relative_budget(&est, 0.3);
         let db2 = run(&pool, &est, &Db2Options { budget: a, swap_rounds: 300, seed: 9 });
         let h6 = algorithm1::run(&est, &algorithm1::Options::new(a));
@@ -153,7 +160,7 @@ mod tests {
     fn zero_rounds_is_exactly_h5() {
         let w = workload();
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
-        let pool = candidates::enumerate_imax(&w, 4).indexes();
+        let pool = candidates::enumerate_imax(&w, 4).ids(est.pool());
         let a = budget::relative_budget(&est, 0.3);
         let r = run(&pool, &est, &Db2Options { budget: a, swap_rounds: 0, seed: 1 });
         let h5 = heuristics::h5(&pool, &est, a);

@@ -7,10 +7,15 @@
 //! * **H2** — smallest combined selectivity first (rule-based),
 //! * **H3** — smallest selectivity/occurrences ratio first (rule-based),
 //! * **H4** — largest individually-measured benefit first (the concept of
-//!   Microsoft SQL Server's advisor [11], [13]), optionally after the
+//!   Microsoft SQL Server's advisor \[11\], \[13\]), optionally after the
 //!   skyline filter that drops per-query dominated candidates,
 //! * **H5** — largest benefit *per size* first (DB2 advisor's starting
-//!   solution [9]).
+//!   solution \[9\]).
+//!
+//! Candidates are passed as interned [`IndexId`]s relative to the
+//! estimator's pool; rankings resolve attribute lists through
+//! [`IndexPool::attrs`] only for tie-breaking, and every cost probe is a
+//! packed id lookup.
 //!
 //! H4/H5 need what-if costs for every candidate — the very cost explosion
 //! the paper's recursive strategy avoids. Their per-candidate benefit scan
@@ -21,24 +26,24 @@
 use crate::parallel::{parallel_map, Parallelism};
 use crate::selection::Selection;
 use isel_costmodel::WhatIfOptimizer;
-use isel_workload::{Index, Workload};
+use isel_workload::{AttrId, IndexId, QueryId, Workload};
+
+#[allow(unused_imports)] // doc link
+use isel_workload::IndexPool;
 
 /// Frequency-weighted occurrences of a candidate's attribute set
 /// (`Σ_{j: set(k) ⊆ q_j} b_j`).
-pub fn occurrences(workload: &Workload, index: &Index) -> u64 {
-    let mut set: Vec<_> = index.attrs().to_vec();
-    set.sort_unstable();
+pub fn occurrences(workload: &Workload, attrs: &[AttrId]) -> u64 {
     workload
         .iter()
-        .filter(|(_, q)| set.iter().all(|a| q.accesses(*a)))
+        .filter(|(_, q)| attrs.iter().all(|a| q.accesses(*a)))
         .map(|(_, q)| q.frequency())
         .sum()
 }
 
 /// Combined selectivity `Π_{i ∈ k} s_i` of a candidate.
-pub fn combined_selectivity(workload: &Workload, index: &Index) -> f64 {
-    index
-        .attrs()
+pub fn combined_selectivity(workload: &Workload, attrs: &[AttrId]) -> f64 {
+    attrs
         .iter()
         .map(|&a| workload.schema().selectivity(a))
         .product()
@@ -49,17 +54,18 @@ pub fn combined_selectivity(workload: &Workload, index: &Index) -> f64 {
 /// is the *only* index (no interaction). Under update templates the
 /// configuration cost includes maintenance, so the benefit can be
 /// negative (the index costs more upkeep than it saves).
-pub fn individual_benefit(est: &impl WhatIfOptimizer, index: &Index) -> f64 {
-    let config = std::slice::from_ref(index);
+pub fn individual_benefit(est: &impl WhatIfOptimizer, index: IndexId) -> f64 {
+    let config = [index];
+    let lead = est.pool().leading(index);
     est.workload()
         .iter()
         .map(|(j, q)| {
             // Fast path: selects the index cannot touch keep cost f_j(0).
-            if !q.is_update() && !index.applicable_to(q) {
+            if !q.is_update() && !q.accesses(lead) {
                 return 0.0;
             }
             let f0 = est.unindexed_cost(j);
-            q.frequency() as f64 * (f0 - est.config_cost(j, config))
+            q.frequency() as f64 * (f0 - est.config_cost(j, &config))
         })
         .sum()
 }
@@ -67,72 +73,142 @@ pub fn individual_benefit(est: &impl WhatIfOptimizer, index: &Index) -> f64 {
 /// The shared candidate-costing scan of H4/H5 (and the DB2 advisor's
 /// start): [`individual_benefit`] of every candidate, evaluated
 /// concurrently and returned in candidate order.
+///
+/// The sweep inverts [`individual_benefit`]'s fast path once up front:
+/// queries are grouped by accessed attribute, so each candidate visits
+/// exactly the queries its leading attribute can serve instead of testing
+/// all `Q` — the `|I|·Q` applicability scan collapses to the applicable
+/// pairs. Per-candidate results are bit-identical to the single-candidate
+/// entry point.
 pub fn individual_benefits(
-    candidates: &[Index],
+    candidates: &[IndexId],
     est: &impl WhatIfOptimizer,
     par: Parallelism,
 ) -> Vec<f64> {
-    parallel_map(par, candidates, |k| individual_benefit(est, k))
+    let w = est.workload();
+    let mut by_attr: Vec<Vec<QueryId>> = vec![Vec::new(); w.schema().attr_count()];
+    let mut updates: Vec<QueryId> = Vec::new();
+    for (j, q) in w.iter() {
+        if q.is_update() {
+            // Update templates pay maintenance under any same-table index;
+            // they participate for every candidate.
+            updates.push(j);
+        } else {
+            for &a in q.attrs() {
+                by_attr[a.idx()].push(j);
+            }
+        }
+    }
+    parallel_map(par, candidates, |&k| {
+        let lead = est.pool().leading(k);
+        benefit_over(est, k, &by_attr[lead.idx()], &updates)
+    })
+}
+
+/// Benefit of `index` summed over the merged (ascending-id) union of two
+/// sorted, disjoint query lists — the same accumulation order as
+/// [`individual_benefit`]'s full scan, so both entry points produce
+/// bit-identical sums.
+fn benefit_over(
+    est: &impl WhatIfOptimizer,
+    index: IndexId,
+    selects: &[QueryId],
+    updates: &[QueryId],
+) -> f64 {
+    let config = [index];
+    let w = est.workload();
+    let mut total = 0.0;
+    let (mut s, mut u) = (0, 0);
+    while s < selects.len() || u < updates.len() {
+        let j = match (selects.get(s), updates.get(u)) {
+            (Some(&a), Some(&b)) if a < b => {
+                s += 1;
+                a
+            }
+            (Some(&a), None) => {
+                s += 1;
+                a
+            }
+            (_, Some(&b)) => {
+                u += 1;
+                b
+            }
+            (None, None) => unreachable!(),
+        };
+        let q = w.query(j);
+        let f0 = est.unindexed_cost(j);
+        total += q.frequency() as f64 * (f0 - est.config_cost(j, &config));
+    }
+    total
 }
 
 /// Add candidates in the given order while the budget permits (candidates
-/// that do not fit are skipped, later smaller ones may still fit).
-pub fn greedy_fill(ranked: &[Index], est: &impl WhatIfOptimizer, budget: u64) -> Selection {
+/// that do not fit are skipped, later smaller ones may still fit). Ids
+/// resolve to concrete indexes only on selection — the boundary rule.
+pub fn greedy_fill(ranked: &[IndexId], est: &impl WhatIfOptimizer, budget: u64) -> Selection {
     let mut sel = Selection::empty();
+    let mut taken: Vec<IndexId> = Vec::new();
     let mut used = 0u64;
-    for k in ranked {
-        if sel.contains(k) {
+    for &k in ranked {
+        if taken.contains(&k) {
             continue;
         }
         let p = est.index_memory(k);
         if used + p <= budget {
             used += p;
-            sel.insert(k.clone());
+            taken.push(k);
+            sel.insert(est.pool().resolve(k));
         }
     }
     sel
 }
 
 /// H1: most used attribute combinations first.
-pub fn h1(candidates: &[Index], est: &impl WhatIfOptimizer, budget: u64) -> Selection {
+pub fn h1(candidates: &[IndexId], est: &impl WhatIfOptimizer, budget: u64) -> Selection {
     let w = est.workload();
+    let pool = est.pool();
     let mut ranked = candidates.to_vec();
-    ranked.sort_by_cached_key(|k| std::cmp::Reverse(occurrences(w, k)));
+    ranked.sort_by_cached_key(|&k| std::cmp::Reverse(occurrences(w, pool.attrs(k))));
     greedy_fill(&ranked, est, budget)
 }
 
 /// H2: smallest combined selectivity first.
-pub fn h2(candidates: &[Index], est: &impl WhatIfOptimizer, budget: u64) -> Selection {
+pub fn h2(candidates: &[IndexId], est: &impl WhatIfOptimizer, budget: u64) -> Selection {
     let w = est.workload();
+    let pool = est.pool();
     let mut ranked = candidates.to_vec();
-    ranked.sort_by(|a, b| {
-        combined_selectivity(w, a)
-            .partial_cmp(&combined_selectivity(w, b))
+    ranked.sort_by(|&a, &b| {
+        combined_selectivity(w, pool.attrs(a))
+            .partial_cmp(&combined_selectivity(w, pool.attrs(b)))
             .expect("finite selectivities")
-            .then_with(|| a.attrs().cmp(b.attrs()))
+            .then_with(|| pool.attrs(a).cmp(pool.attrs(b)))
     });
     greedy_fill(&ranked, est, budget)
 }
 
 /// H3: smallest selectivity/occurrences ratio first.
-pub fn h3(candidates: &[Index], est: &impl WhatIfOptimizer, budget: u64) -> Selection {
+pub fn h3(candidates: &[IndexId], est: &impl WhatIfOptimizer, budget: u64) -> Selection {
     let w = est.workload();
-    let ratio = |k: &Index| combined_selectivity(w, k) / occurrences(w, k).max(1) as f64;
+    let pool = est.pool();
+    let ratio = |k: IndexId| {
+        let attrs = pool.attrs(k);
+        combined_selectivity(w, attrs) / occurrences(w, attrs).max(1) as f64
+    };
     let mut ranked = candidates.to_vec();
-    ranked.sort_by(|a, b| {
+    ranked.sort_by(|&a, &b| {
         ratio(a)
             .partial_cmp(&ratio(b))
             .expect("finite ratios")
-            .then_with(|| a.attrs().cmp(b.attrs()))
+            .then_with(|| pool.attrs(a).cmp(pool.attrs(b)))
     });
     greedy_fill(&ranked, est, budget)
 }
 
 /// H4: best individually-measured performance first; with
 /// `use_skyline = true` the candidate set is first reduced to per-query
-/// Pareto-efficient candidates (cf. [11]).
+/// Pareto-efficient candidates (cf. \[11\]).
 pub fn h4(
-    candidates: &[Index],
+    candidates: &[IndexId],
     est: &impl WhatIfOptimizer,
     budget: u64,
     use_skyline: bool,
@@ -142,13 +218,13 @@ pub fn h4(
 
 /// [`h4`] with an explicit degree of parallelism for the benefit scan.
 pub fn h4_with(
-    candidates: &[Index],
+    candidates: &[IndexId],
     est: &impl WhatIfOptimizer,
     budget: u64,
     use_skyline: bool,
     par: Parallelism,
 ) -> Selection {
-    let pool: Vec<Index> = if use_skyline {
+    let pool: Vec<IndexId> = if use_skyline {
         skyline_filter(candidates, est)
     } else {
         candidates.to_vec()
@@ -156,7 +232,8 @@ pub fn h4_with(
     // Candidates whose upkeep outweighs their savings are never worth
     // selecting, whatever the budget.
     let benefits = individual_benefits(&pool, est, par);
-    let mut ranked: Vec<(Index, f64)> = pool
+    let ids = est.pool();
+    let mut ranked: Vec<(IndexId, f64)> = pool
         .into_iter()
         .zip(benefits)
         .filter(|(_, ben)| *ben > 0.0)
@@ -164,18 +241,18 @@ pub fn h4_with(
     ranked.sort_by(|a, b| {
         b.1.partial_cmp(&a.1)
             .expect("finite benefits")
-            .then_with(|| a.0.attrs().cmp(b.0.attrs()))
+            .then_with(|| ids.attrs(a.0).cmp(ids.attrs(b.0)))
     });
-    let ranked: Vec<Index> = ranked.into_iter().map(|(k, _)| k).collect();
+    let ranked: Vec<IndexId> = ranked.into_iter().map(|(k, _)| k).collect();
     greedy_fill(&ranked, est, budget)
 }
 
 /// H5: best benefit-per-size ratio first (cf. the starting solution of
-/// the DB2 advisor [9]).
+/// the DB2 advisor \[9\]).
 ///
 /// ```
 /// use isel_core::{candidates, heuristics, budget};
-/// use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
+/// use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf, WhatIfOptimizer};
 /// use isel_workload::synthetic::{self, SyntheticConfig};
 ///
 /// let w = synthetic::generate(&SyntheticConfig {
@@ -183,38 +260,39 @@ pub fn h4_with(
 ///     rows_base: 100_000, ..SyntheticConfig::default()
 /// });
 /// let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
-/// let pool = candidates::enumerate_imax(&w, 3).indexes();
+/// let pool = candidates::enumerate_imax(&w, 3).ids(est.pool());
 /// let a = budget::relative_budget(&est, 0.3);
 /// let sel = heuristics::h5(&pool, &est, a);
 /// assert!(sel.memory(&est) <= a);
 /// ```
-pub fn h5(candidates: &[Index], est: &impl WhatIfOptimizer, budget: u64) -> Selection {
+pub fn h5(candidates: &[IndexId], est: &impl WhatIfOptimizer, budget: u64) -> Selection {
     h5_with(candidates, est, budget, Parallelism::serial())
 }
 
 /// [`h5`] with an explicit degree of parallelism for the benefit scan.
 pub fn h5_with(
-    candidates: &[Index],
+    candidates: &[IndexId],
     est: &impl WhatIfOptimizer,
     budget: u64,
     par: Parallelism,
 ) -> Selection {
     let benefits = individual_benefits(candidates, est, par);
-    let mut ranked: Vec<(Index, f64)> = candidates
+    let pool = est.pool();
+    let mut ranked: Vec<(IndexId, f64)> = candidates
         .iter()
         .zip(benefits)
         .filter(|(_, ben)| *ben > 0.0)
-        .map(|(k, ben)| {
+        .map(|(&k, ben)| {
             let density = ben / est.index_memory(k).max(1) as f64;
-            (k.clone(), density)
+            (k, density)
         })
         .collect();
     ranked.sort_by(|a, b| {
         b.1.partial_cmp(&a.1)
             .expect("finite densities")
-            .then_with(|| a.0.attrs().cmp(b.0.attrs()))
+            .then_with(|| pool.attrs(a.0).cmp(pool.attrs(b.0)))
     });
-    let ranked: Vec<Index> = ranked.into_iter().map(|(k, _)| k).collect();
+    let ranked: Vec<IndexId> = ranked.into_iter().map(|(k, _)| k).collect();
     greedy_fill(&ranked, est, budget)
 }
 
@@ -222,9 +300,9 @@ pub fn h5_with(
 /// `(query cost, index size)` for at least one query — i.e. for some query
 /// no other candidate is both cheaper (or equal) *and* smaller (or equal)
 /// with one of the two strict.
-pub fn skyline_filter(candidates: &[Index], est: &impl WhatIfOptimizer) -> Vec<Index> {
+pub fn skyline_filter(candidates: &[IndexId], est: &impl WhatIfOptimizer) -> Vec<IndexId> {
     let workload = est.workload();
-    let sizes: Vec<u64> = candidates.iter().map(|k| est.index_memory(k)).collect();
+    let sizes: Vec<u64> = candidates.iter().map(|&k| est.index_memory(k)).collect();
     let mut keep = vec![false; candidates.len()];
 
     for (j, _) in workload.iter() {
@@ -232,7 +310,7 @@ pub fn skyline_filter(candidates: &[Index], est: &impl WhatIfOptimizer) -> Vec<I
         let mut rows: Vec<(usize, f64)> = candidates
             .iter()
             .enumerate()
-            .filter_map(|(i, k)| est.index_cost(j, k).map(|c| (i, c)))
+            .filter_map(|(i, &k)| est.index_cost(j, k).map(|c| (i, c)))
             .collect();
         if rows.is_empty() {
             continue;
@@ -255,7 +333,7 @@ pub fn skyline_filter(candidates: &[Index], est: &impl WhatIfOptimizer) -> Vec<I
         .iter()
         .zip(&keep)
         .filter(|(_, &k)| k)
-        .map(|(k, _)| k.clone())
+        .map(|(&k, _)| k)
         .collect()
 }
 
@@ -263,7 +341,7 @@ pub fn skyline_filter(candidates: &[Index], est: &impl WhatIfOptimizer) -> Vec<I
 mod tests {
     use super::*;
     use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
-    use isel_workload::{AttrId, Query, SchemaBuilder, TableId};
+    use isel_workload::{Index, Query, SchemaBuilder, TableId};
 
     fn fixture() -> Workload {
         let mut b = SchemaBuilder::new();
@@ -281,16 +359,16 @@ mod tests {
         )
     }
 
-    fn singles() -> Vec<Index> {
-        (0..3).map(|i| Index::single(AttrId(i))).collect()
+    fn singles(est: &impl WhatIfOptimizer) -> Vec<IndexId> {
+        (0..3).map(|i| est.pool().intern_single(AttrId(i))).collect()
     }
 
     #[test]
     fn h1_ranks_by_occurrences() {
         let w = fixture();
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
-        let budget = est.index_memory(&Index::single(AttrId(1)));
-        let sel = h1(&singles(), &est, budget);
+        let budget = est.index_memory_of(&Index::single(AttrId(1)));
+        let sel = h1(&singles(&est), &est, budget);
         assert!(sel.contains(&Index::single(AttrId(1)))); // g = 150
     }
 
@@ -298,8 +376,8 @@ mod tests {
     fn h2_ranks_by_selectivity() {
         let w = fixture();
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
-        let budget = est.index_memory(&Index::single(AttrId(0)));
-        let sel = h2(&singles(), &est, budget);
+        let budget = est.index_memory_of(&Index::single(AttrId(0)));
+        let sel = h2(&singles(&est), &est, budget);
         assert!(sel.contains(&Index::single(AttrId(0)))); // s = 1e-4
     }
 
@@ -309,7 +387,8 @@ mod tests {
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
         // a2-leading index helps only q2; a hypothetical index on a totally
         // unused ordering yields finite benefit ≥ 0.
-        let b = individual_benefit(&est, &Index::new(vec![AttrId(2), AttrId(0)]));
+        let k = est.pool().intern(&Index::new(vec![AttrId(2), AttrId(0)]));
+        let b = individual_benefit(&est, k);
         assert!(b >= 0.0);
     }
 
@@ -317,13 +396,10 @@ mod tests {
     fn h4_beats_rule_based_on_this_workload() {
         let w = fixture();
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
-        let budget = singles()
-            .iter()
-            .map(|k| est.index_memory(k))
-            .max()
-            .unwrap();
-        let by_benefit = h4(&singles(), &est, budget, false);
-        let by_selectivity = h2(&singles(), &est, budget);
+        let cands = singles(&est);
+        let budget = cands.iter().map(|&k| est.index_memory(k)).max().unwrap();
+        let by_benefit = h4(&cands, &est, budget, false);
+        let by_selectivity = h2(&cands, &est, budget);
         assert!(by_benefit.cost(&est) <= by_selectivity.cost(&est));
     }
 
@@ -331,8 +407,8 @@ mod tests {
     fn h5_prefers_dense_candidates() {
         let w = fixture();
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
-        let budget = est.index_memory(&Index::single(AttrId(1)));
-        let sel = h5(&singles(), &est, budget);
+        let budget = est.index_memory_of(&Index::single(AttrId(1)));
+        let sel = h5(&singles(&est), &est, budget);
         assert_eq!(sel.len(), 1);
         // The hot a1 index has by far the best benefit density here.
         assert!(sel.contains(&Index::single(AttrId(1))));
@@ -342,22 +418,23 @@ mod tests {
     fn greedy_fill_skips_oversized_but_keeps_later_fits() {
         let w = fixture();
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
-        let wide = Index::new(vec![AttrId(1), AttrId(2), AttrId(0)]);
-        let small = Index::single(AttrId(2));
-        let budget = est.index_memory(&small);
-        let sel = greedy_fill(&[wide, small.clone()], &est, budget);
+        let wide = est.pool().intern(&Index::new(vec![AttrId(1), AttrId(2), AttrId(0)]));
+        let small_index = Index::single(AttrId(2));
+        let small = est.pool().intern(&small_index);
+        let budget = est.index_memory(small);
+        let sel = greedy_fill(&[wide, small], &est, budget);
         assert_eq!(sel.len(), 1);
-        assert!(sel.contains(&small));
+        assert!(sel.contains(&small_index));
     }
 
     #[test]
     fn skyline_keeps_per_query_pareto_candidates() {
         let w = fixture();
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
-        let k1 = Index::single(AttrId(1));
-        let k12 = Index::new(vec![AttrId(1), AttrId(2)]);
-        let k2 = Index::single(AttrId(2));
-        let kept = skyline_filter(&[k1.clone(), k12.clone(), k2.clone()], &est);
+        let k1 = est.pool().intern_single(AttrId(1));
+        let k12 = est.pool().intern(&Index::new(vec![AttrId(1), AttrId(2)]));
+        let k2 = est.pool().intern_single(AttrId(2));
+        let kept = skyline_filter(&[k1, k12, k2], &est);
         // k1 is the smallest applicable index for q1 → kept. k12 is the
         // cheapest for q2 → kept.
         assert!(kept.contains(&k1));
@@ -370,10 +447,10 @@ mod tests {
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
         // (a1, a0): same size as (a1, a2) but worse for every applicable
         // query than either k1 (smaller, same or lower cost on q1) or k12.
-        let k1 = Index::single(AttrId(1));
-        let k12 = Index::new(vec![AttrId(1), AttrId(2)]);
-        let k10 = Index::new(vec![AttrId(1), AttrId(0)]);
-        let kept = skyline_filter(&[k1, k12, k10.clone()], &est);
+        let k1 = est.pool().intern_single(AttrId(1));
+        let k12 = est.pool().intern(&Index::new(vec![AttrId(1), AttrId(2)]));
+        let k10 = est.pool().intern(&Index::new(vec![AttrId(1), AttrId(0)]));
+        let kept = skyline_filter(&[k1, k12, k10], &est);
         assert!(!kept.contains(&k10));
     }
 
@@ -381,12 +458,13 @@ mod tests {
     fn zero_budget_selects_nothing() {
         let w = fixture();
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let cands = singles(&est);
         for sel in [
-            h1(&singles(), &est, 0),
-            h2(&singles(), &est, 0),
-            h3(&singles(), &est, 0),
-            h4(&singles(), &est, 0, true),
-            h5(&singles(), &est, 0),
+            h1(&cands, &est, 0),
+            h2(&cands, &est, 0),
+            h3(&cands, &est, 0),
+            h4(&cands, &est, 0, true),
+            h5(&cands, &est, 0),
         ] {
             assert!(sel.is_empty());
         }

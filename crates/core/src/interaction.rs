@@ -1,6 +1,6 @@
 //! Index-interaction analysis (IIA).
 //!
-//! Schnaitter et al. [12]: "an index a interacts with an index b if the
+//! Schnaitter et al. \[12\]: "an index a interacts with an index b if the
 //! benefit of a is affected by the presence of b and vice-versa". This
 //! module quantifies that: the *degree of interaction* between two indexes
 //! is the relative change of one index's benefit caused by the other's
@@ -18,14 +18,14 @@ use serde::{Deserialize, Serialize};
 pub fn conditional_benefit(est: &impl WhatIfOptimizer, a: &Index, ctx: &[Index]) -> f64 {
     let mut with_a: Vec<Index> = ctx.to_vec();
     with_a.push(a.clone());
-    est.workload_cost(ctx) - est.workload_cost(&with_a)
+    est.workload_cost_of(ctx) - est.workload_cost_of(&with_a)
 }
 
 /// Degree of interaction between `a` and `b` (≥ 0):
 ///
 /// `doi(a, b) = |benefit(a | ∅) − benefit(a | {b})| / max(benefit(a | ∅), ε)`
 ///
-/// following the relative-benefit-change formulation of [12]. A value of 0
+/// following the relative-benefit-change formulation of \[12\]. A value of 0
 /// means independent; 1 means `b` fully cannibalizes `a` (or doubles it).
 pub fn degree_of_interaction(est: &impl WhatIfOptimizer, a: &Index, b: &Index) -> f64 {
     let alone = conditional_benefit(est, a, &[]);

@@ -13,7 +13,7 @@
 //!   Remark-1 extensions (n-best acceleration, unused-index pruning,
 //!   attribute-pair steps) and full step/frontier logging,
 //! * [`heuristics`] — the baselines **H1**–**H5** of Definition 1,
-//!   including the skyline filter of [11],
+//!   including the skyline filter of \[11\],
 //! * [`candidates`] — candidate-set generators: the exhaustive pool
 //!   `I_max` and the scalable heuristics **H1-M**, **H2-M**, **H3-M**,
 //! * [`cophy`] — CoPhy's LP approach (Section II-B): builds the binary

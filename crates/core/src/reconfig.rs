@@ -39,7 +39,7 @@ impl ReconfigCosts {
             .indexes()
             .iter()
             .filter(|k| !self.current.contains(k))
-            .map(|k| est.index_memory(k) as f64 * self.create_cost_per_byte)
+            .map(|k| est.index_memory_of(k) as f64 * self.create_cost_per_byte)
             .sum();
         let drops = self
             .current
@@ -98,7 +98,7 @@ mod tests {
             create_cost_per_byte: 2.0,
             drop_cost: 5.0,
         };
-        let expect = est.index_memory(&Index::single(AttrId(1))) as f64 * 2.0 + 5.0;
+        let expect = est.index_memory_of(&Index::single(AttrId(1))) as f64 * 2.0 + 5.0;
         assert_eq!(r.cost(&new, &est), expect);
     }
 }

@@ -80,13 +80,19 @@ impl Selection {
 
     /// Total memory `P(I*) = Σ p_k` (Eq. 2).
     pub fn memory(&self, est: &impl WhatIfOptimizer) -> u64 {
-        self.indexes.iter().map(|k| est.index_memory(k)).sum()
+        self.indexes.iter().map(|k| est.index_memory_of(k)).sum()
     }
 
     /// Total workload cost `F(I*)` (Eq. 1) under the estimator's
     /// configuration semantics.
     pub fn cost(&self, est: &impl WhatIfOptimizer) -> f64 {
-        est.workload_cost(&self.indexes)
+        est.workload_cost_of(&self.indexes)
+    }
+
+    /// The selection's indexes interned through the estimator's pool —
+    /// the boundary crossing into id-keyed costing.
+    pub fn ids(&self, est: &impl WhatIfOptimizer) -> Vec<isel_workload::IndexId> {
+        self.indexes.iter().map(|k| est.pool().intern(k)).collect()
     }
 }
 
@@ -210,7 +216,7 @@ mod tests {
         let w = est_fixture();
         let est = AnalyticalWhatIf::new(&w);
         let s = Selection::from_indexes(vec![Index::single(AttrId(0))]);
-        assert_eq!(s.memory(&est), est.index_memory(&Index::single(AttrId(0))));
+        assert_eq!(s.memory(&est), est.index_memory_of(&Index::single(AttrId(0))));
         let empty_cost = Selection::empty().cost(&est);
         assert!(s.cost(&est) < empty_cost);
     }

@@ -1,7 +1,7 @@
 //! Caching what-if decorator.
 //!
 //! What-if optimizer calls dominate the runtime of index-selection tools
-//! (Section I and [16] in the paper), so repeated questions must be
+//! (Section I and \[16\] in the paper), so repeated questions must be
 //! answered from a cache. Algorithm 1 additionally notes (Figure 1) that
 //! "in each step, required what-if calls from previous steps can be
 //! cached, except for calls related to indexes built in the previous step".
@@ -9,9 +9,11 @@
 //! [`CachingWhatIf`] wraps any [`WhatIfOptimizer`]:
 //!
 //! * `f_j(0)` answers are memoized per query,
-//! * `f_j(k)` answers are memoized per `(query, usable signature)` — the
-//!   cache key is the index's attribute list, and inapplicable indexes are
-//!   answered structurally without a cache entry,
+//! * `f_j(k)` answers are memoized per `(query, index id)` — the two ids
+//!   pack into one `u64` ([`pack_key`]), so a lookup hashes a single
+//!   machine word instead of cloning and re-hashing an attribute vector.
+//!   Inapplicable indexes are answered structurally, without a cache
+//!   entry,
 //! * issued vs cache-answered calls are counted separately.
 //!
 //! The memo is sharded: each of [`CACHE_SHARDS`] shards is an independent
@@ -24,15 +26,68 @@
 //! guarantee, and cheap while the wrapped oracle is the expensive part.
 
 use crate::whatif::{WhatIfOptimizer, WhatIfStats};
-use isel_workload::{Index, QueryId, Workload};
+use isel_workload::{IndexId, IndexPool, QueryId, Workload};
 use parking_lot::Mutex;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of independent lock domains per memo table.
 pub const CACHE_SHARDS: usize = 16;
+
+/// splitmix64 finalizer: full-avalanche mixing of one machine word.
+#[inline]
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hasher for the dense integer cache keys ([`pack_key`] pairs, bare
+/// query/index ids): two multiplies per word instead of SipHash's full
+/// permutation. Every memo-table probe hashes its key twice (shard pick +
+/// bucket), so this is squarely on the warm-cache hot path.
+#[derive(Default)]
+pub struct IdKeyHasher(u64);
+
+impl Hasher for IdKeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Cache keys are integers; this path only runs for exotic keys.
+        for &b in bytes {
+            self.0 = mix(self.0 ^ b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.0 = mix(self.0 ^ n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = mix(self.0 ^ n);
+    }
+}
+
+/// The [`HashMap`] state every id-keyed memo table uses.
+pub type IdHashBuilder = BuildHasherDefault<IdKeyHasher>;
+
+/// Pack a `(query, index)` id pair into one `u64` cache key.
+///
+/// Both ids are dense `u32`s, so the pair fits a machine word exactly;
+/// every id-keyed cost table in the workspace (the sharded cache here,
+/// `TabularWhatIf`, `PrefixAwareWhatIf`, the dbsim measurement table) uses
+/// this layout.
+#[inline]
+pub fn pack_key(query: QueryId, index: IndexId) -> u64 {
+    ((query.0 as u64) << 32) | index.0 as u64
+}
 
 /// Point-in-time accounting snapshot of a [`CachingWhatIf`]'s memo tables.
 ///
@@ -59,34 +114,37 @@ impl CacheStats {
 
 /// A hash map split over [`CACHE_SHARDS`] independently locked shards.
 struct Sharded<K, V> {
-    shards: Box<[Mutex<HashMap<K, V>>]>,
+    shards: Box<[Mutex<HashMap<K, V, IdHashBuilder>>]>,
 }
 
-impl<K: Hash + Eq + Clone, V: Copy> Sharded<K, V> {
+impl<K: Hash + Eq + Copy, V: Copy> Sharded<K, V> {
     fn new() -> Self {
         Self {
             shards: (0..CACHE_SHARDS)
-                .map(|_| Mutex::new(HashMap::new()))
+                .map(|_| Mutex::new(HashMap::default()))
                 .collect(),
         }
     }
 
-    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
-        let mut h = DefaultHasher::new();
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V, IdHashBuilder>> {
+        let mut h = IdKeyHasher::default();
         key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % self.shards.len()]
+        // Take the shard from the high word: the map inside the shard
+        // indexes its buckets with the low hash bits, and keys routed here
+        // all share the shard-selecting bits.
+        &self.shards[((h.finish() >> 32) as usize) % self.shards.len()]
     }
 
     /// Cached value for `key`, or `compute` it while holding the shard
     /// lock. Returns `(value, was_hit)`; `compute` runs at most once per
     /// key across all threads.
-    fn get_or_insert_with(&self, key: &K, compute: impl FnOnce() -> V) -> (V, bool) {
-        let mut map = self.shard(key).lock();
-        if let Some(&v) = map.get(key) {
+    fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> (V, bool) {
+        let mut map = self.shard(&key).lock();
+        if let Some(&v) = map.get(&key) {
             return (v, true);
         }
         let v = compute();
-        map.insert(key.clone(), v);
+        map.insert(key, v);
         (v, false)
     }
 
@@ -101,16 +159,13 @@ impl<K: Hash + Eq + Clone, V: Copy> Sharded<K, V> {
     }
 }
 
-/// Cache key for single-index costs: the query plus the index's attribute
-/// list.
-type IndexCostKey = (QueryId, Vec<isel_workload::AttrId>);
-
 /// A caching, call-counting decorator over another what-if optimizer.
 pub struct CachingWhatIf<W> {
     inner: W,
     unindexed: Sharded<QueryId, f64>,
-    indexed: Sharded<IndexCostKey, Option<f64>>,
-    memory: Sharded<Vec<isel_workload::AttrId>, u64>,
+    /// `f_j(k)` keyed by [`pack_key`]`(j, k)`.
+    indexed: Sharded<u64, Option<f64>>,
+    memory: Sharded<IndexId, u64>,
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
@@ -148,21 +203,10 @@ impl<W: WhatIfOptimizer> CachingWhatIf<W> {
         self.indexed.len()
     }
 
-    /// Accounting snapshot across all memo tables. Counters are relaxed
-    /// atomics: each is individually exact, and quiescent snapshots (no
-    /// concurrent lookups in flight) satisfy the [`CacheStats`] invariants.
-    pub fn cache_stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            inserts: self.inserts.load(Ordering::Relaxed),
-        }
-    }
-
-    fn lookup<K: Hash + Eq + Clone, V: Copy>(
+    fn lookup<K: Hash + Eq + Copy, V: Copy>(
         &self,
         table: &Sharded<K, V>,
-        key: &K,
+        key: K,
         compute: impl FnOnce() -> V,
     ) -> V {
         let (v, hit) = table.get_or_insert_with(key, || {
@@ -183,30 +227,35 @@ impl<W: WhatIfOptimizer> WhatIfOptimizer for CachingWhatIf<W> {
         self.inner.workload()
     }
 
-    fn unindexed_cost(&self, query: QueryId) -> f64 {
-        self.lookup(&self.unindexed, &query, || self.inner.unindexed_cost(query))
+    fn pool(&self) -> &IndexPool {
+        self.inner.pool()
     }
 
-    fn index_cost(&self, query: QueryId, index: &Index) -> Option<f64> {
+    fn unindexed_cost(&self, query: QueryId) -> f64 {
+        self.lookup(&self.unindexed, query, || self.inner.unindexed_cost(query))
+    }
+
+    fn index_cost(&self, query: QueryId, index: IndexId) -> Option<f64> {
         // Inapplicability is a pure workload property (the trait contract:
         // `None` iff the leading attribute is unbound); answer it without
         // allocating a cache entry — negative entries for all Q·|I| pairs
         // of an exhaustive candidate sweep would dwarf the useful cache.
-        if !index.applicable_to(self.inner.workload().query(query)) {
+        let pool = self.inner.pool();
+        if !pool.applicable_to(self.inner.workload().query(query), index) {
             return None;
         }
-        let key = (query, index.attrs().to_vec());
-        self.lookup(&self.indexed, &key, || self.inner.index_cost(query, index))
+        self.lookup(&self.indexed, pack_key(query, index), || {
+            self.inner.index_cost(query, index)
+        })
     }
 
-    fn index_memory(&self, index: &Index) -> u64 {
+    fn index_memory(&self, index: IndexId) -> u64 {
         // Memory estimates are deterministic and cheap relative to what-if
         // calls but still worth memoizing for wide candidate sweeps.
-        let key = index.attrs().to_vec();
-        self.lookup(&self.memory, &key, || self.inner.index_memory(index))
+        self.lookup(&self.memory, index, || self.inner.index_memory(index))
     }
 
-    fn maintenance_cost(&self, index: &Index) -> f64 {
+    fn maintenance_cost(&self, index: IndexId) -> f64 {
         self.inner.maintenance_cost(index)
     }
 
@@ -218,13 +267,24 @@ impl<W: WhatIfOptimizer> WhatIfOptimizer for CachingWhatIf<W> {
                 + self.hits.load(Ordering::Relaxed),
         }
     }
+
+    /// Accounting snapshot across all memo tables. Counters are relaxed
+    /// atomics: each is individually exact, and quiescent snapshots (no
+    /// concurrent lookups in flight) satisfy the [`CacheStats`] invariants.
+    fn cache_stats(&self) -> Option<CacheStats> {
+        Some(CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::model::AnalyticalWhatIf;
-    use isel_workload::{AttrId, Query, SchemaBuilder, TableId};
+    use isel_workload::{AttrId, Index, Query, SchemaBuilder, TableId};
 
     fn workload() -> Workload {
         let mut b = SchemaBuilder::new();
@@ -238,12 +298,22 @@ mod tests {
     }
 
     #[test]
+    fn pack_key_is_injective_over_id_pairs() {
+        let mut seen = std::collections::HashSet::new();
+        for q in [0u32, 1, 7, u32::MAX] {
+            for k in [0u32, 1, 9, u32::MAX] {
+                assert!(seen.insert(pack_key(QueryId(q), IndexId(k))));
+            }
+        }
+    }
+
+    #[test]
     fn repeated_calls_hit_the_cache() {
         let w = workload();
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
-        let k = Index::single(AttrId(0));
-        let c1 = est.index_cost(QueryId(0), &k);
-        let c2 = est.index_cost(QueryId(0), &k);
+        let k = est.pool().intern_single(AttrId(0));
+        let c1 = est.index_cost(QueryId(0), k);
+        let c2 = est.index_cost(QueryId(0), k);
         assert_eq!(c1, c2);
         let s = est.stats();
         assert_eq!(s.calls_issued, 1);
@@ -261,14 +331,14 @@ mod tests {
         let a1 = b.attribute(t, "a1", 10, 4);
         let w2 = Workload::new(b.finish(), vec![Query::new(TableId(0), vec![a0], 1)]);
         let est2 = CachingWhatIf::new(AnalyticalWhatIf::new(&w2));
-        let k = Index::single(a1);
-        assert_eq!(est2.index_cost(QueryId(0), &k), None);
-        assert_eq!(est2.index_cost(QueryId(0), &k), None);
+        let k = est2.pool().intern_single(a1);
+        assert_eq!(est2.index_cost(QueryId(0), k), None);
+        assert_eq!(est2.index_cost(QueryId(0), k), None);
         let s = est2.stats();
         assert_eq!(s.calls_issued, 0);
         assert_eq!(s.calls_answered_from_cache, 0);
         assert_eq!(est2.cached_index_entries(), 0);
-        assert_eq!(est2.cache_stats().lookups(), 0);
+        assert_eq!(est2.cache_stats().unwrap().lookups(), 0);
     }
 
     #[test]
@@ -285,11 +355,12 @@ mod tests {
     fn invalidate_clears_answers() {
         let w = workload();
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
-        est.index_cost(QueryId(0), &Index::single(AttrId(0)));
+        let k = est.pool().intern_single(AttrId(0));
+        est.index_cost(QueryId(0), k);
         assert_eq!(est.cached_index_entries(), 1);
         est.invalidate();
         assert_eq!(est.cached_index_entries(), 0);
-        est.index_cost(QueryId(0), &Index::single(AttrId(0)));
+        est.index_cost(QueryId(0), k);
         assert_eq!(est.stats().calls_issued, 2);
     }
 
@@ -300,26 +371,26 @@ mod tests {
         let cached = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
         let k = Index::new(vec![AttrId(1), AttrId(0)]);
         assert_eq!(
-            plain.index_cost(QueryId(0), &k),
-            cached.index_cost(QueryId(0), &k)
+            plain.index_cost_of(QueryId(0), &k),
+            cached.index_cost_of(QueryId(0), &k)
         );
         assert_eq!(plain.unindexed_cost(QueryId(0)), cached.unindexed_cost(QueryId(0)));
-        assert_eq!(plain.index_memory(&k), cached.index_memory(&k));
+        assert_eq!(plain.index_memory_of(&k), cached.index_memory_of(&k));
     }
 
     #[test]
     fn cache_stats_balance_hits_misses_and_inserts() {
         let w = workload();
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
-        let k0 = Index::single(AttrId(0));
-        let k1 = Index::single(AttrId(1));
-        est.index_cost(QueryId(0), &k0); // miss
-        est.index_cost(QueryId(0), &k0); // hit
-        est.index_cost(QueryId(0), &k1); // miss
+        let k0 = est.pool().intern_single(AttrId(0));
+        let k1 = est.pool().intern_single(AttrId(1));
+        est.index_cost(QueryId(0), k0); // miss
+        est.index_cost(QueryId(0), k0); // hit
+        est.index_cost(QueryId(0), k1); // miss
         est.unindexed_cost(QueryId(0)); // miss
         est.unindexed_cost(QueryId(0)); // hit
-        est.index_memory(&k0); // miss
-        let s = est.cache_stats();
+        est.index_memory(k0); // miss
+        let s = est.cache_stats().unwrap();
         assert_eq!(s.hits, 2);
         assert_eq!(s.misses, 4);
         assert_eq!(s.inserts, s.misses);
@@ -330,17 +401,20 @@ mod tests {
     fn concurrent_lookups_never_duplicate_evaluations() {
         let w = workload();
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
-        let keys: Vec<Index> = vec![
+        let keys: Vec<IndexId> = [
             Index::single(AttrId(0)),
             Index::single(AttrId(1)),
             Index::new(vec![AttrId(0), AttrId(1)]),
             Index::new(vec![AttrId(1), AttrId(0)]),
-        ];
+        ]
+        .iter()
+        .map(|k| est.pool().intern(k))
+        .collect();
         std::thread::scope(|s| {
             for _ in 0..8 {
                 s.spawn(|| {
                     for _ in 0..50 {
-                        for k in &keys {
+                        for &k in &keys {
                             est.index_cost(QueryId(0), k);
                         }
                     }
@@ -349,7 +423,7 @@ mod tests {
         });
         // 8 threads × 50 rounds × 4 keys = 1600 lookups; exactly 4 unique
         // keys means exactly 4 oracle calls — never a duplicate.
-        let s = est.cache_stats();
+        let s = est.cache_stats().unwrap();
         assert_eq!(s.lookups(), 1600);
         assert_eq!(s.misses, 4);
         assert_eq!(s.inserts, 4);

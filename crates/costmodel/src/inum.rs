@@ -1,4 +1,4 @@
-//! INUM-style what-if acceleration (cf. Papadomanolakis et al. [16]).
+//! INUM-style what-if acceleration (cf. Papadomanolakis et al. \[16\]).
 //!
 //! The cost of a query under an index depends only on the *usable prefix*
 //! of that index for the query — the longest prefix of key attributes the
@@ -14,9 +14,15 @@
 //! the same usable prefix. This is the biggest lever for CoPhy-style
 //! exhaustive candidate evaluation, where `Q·q̄·|I|/N` raw requests
 //! collapse to one call per distinct `(query, prefix)` pair.
+//!
+//! Because every prefix of an interned index is itself interned, the
+//! usable prefix *is* a pool id ([`IndexPool::usable_ancestor`] walks the
+//! parent links): the cache key is the packed `(query, ancestor id)` pair
+//! and the reduction allocates nothing.
 
+use crate::cache::{pack_key, IdHashBuilder};
 use crate::whatif::{WhatIfOptimizer, WhatIfStats};
-use isel_workload::{AttrId, Index, QueryId, Workload};
+use isel_workload::{IndexId, IndexPool, QueryId, Workload};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -24,8 +30,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Prefix-keyed caching decorator.
 pub struct PrefixAwareWhatIf<W> {
     inner: W,
-    prefix_costs: Mutex<HashMap<(QueryId, Vec<AttrId>), f64>>,
-    unindexed: Mutex<HashMap<QueryId, f64>>,
+    /// `f_j(prefix)` keyed by [`pack_key`]`(j, usable ancestor)`.
+    prefix_costs: Mutex<HashMap<u64, f64, IdHashBuilder>>,
+    unindexed: Mutex<HashMap<QueryId, f64, IdHashBuilder>>,
     hits: AtomicU64,
 }
 
@@ -34,8 +41,8 @@ impl<W: WhatIfOptimizer> PrefixAwareWhatIf<W> {
     pub fn new(inner: W) -> Self {
         Self {
             inner,
-            prefix_costs: Mutex::new(HashMap::new()),
-            unindexed: Mutex::new(HashMap::new()),
+            prefix_costs: Mutex::new(HashMap::default()),
+            unindexed: Mutex::new(HashMap::default()),
             hits: AtomicU64::new(0),
         }
     }
@@ -56,6 +63,10 @@ impl<W: WhatIfOptimizer> WhatIfOptimizer for PrefixAwareWhatIf<W> {
         self.inner.workload()
     }
 
+    fn pool(&self) -> &IndexPool {
+        self.inner.pool()
+    }
+
     fn unindexed_cost(&self, query: QueryId) -> f64 {
         if let Some(&c) = self.unindexed.lock().get(&query) {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -66,31 +77,28 @@ impl<W: WhatIfOptimizer> WhatIfOptimizer for PrefixAwareWhatIf<W> {
         c
     }
 
-    fn index_cost(&self, query: QueryId, index: &Index) -> Option<f64> {
+    fn index_cost(&self, query: QueryId, index: IndexId) -> Option<f64> {
+        let pool = self.inner.pool();
         let q = self.inner.workload().query(query);
-        let usable = index.usable_prefix_len(q);
-        if usable == 0 {
-            return None; // inapplicable — no call needed at all
-        }
-        let prefix: Vec<AttrId> = index.attrs()[..usable].to_vec();
-        let key = (query, prefix.clone());
+        // Inapplicable — no call needed at all.
+        let prefix = pool.usable_ancestor(q, index)?;
+        let key = pack_key(query, prefix);
         if let Some(&c) = self.prefix_costs.lock().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Some(c);
         }
         // Ask about the prefix index: by prefix semantics its cost equals
         // the full index's cost for this query.
-        let prefix_index = Index::new(prefix);
-        let c = self.inner.index_cost(query, &prefix_index)?;
+        let c = self.inner.index_cost(query, prefix)?;
         self.prefix_costs.lock().insert(key, c);
         Some(c)
     }
 
-    fn index_memory(&self, index: &Index) -> u64 {
+    fn index_memory(&self, index: IndexId) -> u64 {
         self.inner.index_memory(index)
     }
 
-    fn maintenance_cost(&self, index: &Index) -> f64 {
+    fn maintenance_cost(&self, index: IndexId) -> f64 {
         self.inner.maintenance_cost(index)
     }
 
@@ -108,7 +116,7 @@ impl<W: WhatIfOptimizer> WhatIfOptimizer for PrefixAwareWhatIf<W> {
 mod tests {
     use super::*;
     use crate::model::AnalyticalWhatIf;
-    use isel_workload::{Query, SchemaBuilder, TableId};
+    use isel_workload::{AttrId, Index, Query, SchemaBuilder, TableId};
 
     fn fixture() -> Workload {
         let mut b = SchemaBuilder::new();
@@ -130,10 +138,10 @@ mod tests {
         let a2 = AttrId(2);
         // Query 0 binds a0 and a1 but not a2: all three candidates below
         // have usable prefix (a0) for it.
-        let k1 = Index::single(a0);
-        let k2 = Index::new(vec![a0, a2]);
-        let c1 = est.index_cost(QueryId(0), &k1).unwrap();
-        let c2 = est.index_cost(QueryId(0), &k2).unwrap();
+        let k1 = est.pool().intern_single(a0);
+        let k2 = est.pool().intern(&Index::new(vec![a0, a2]));
+        let c1 = est.index_cost(QueryId(0), k1).unwrap();
+        let c2 = est.index_cost(QueryId(0), k2).unwrap();
         assert_eq!(c1, c2);
         let s = est.stats();
         assert_eq!(s.calls_issued, 1, "one physical call for the shared prefix");
@@ -145,10 +153,10 @@ mod tests {
     fn distinct_prefixes_issue_distinct_calls() {
         let w = fixture();
         let est = PrefixAwareWhatIf::new(AnalyticalWhatIf::new(&w));
-        let k1 = Index::single(AttrId(0));
-        let k12 = Index::new(vec![AttrId(0), AttrId(1)]);
-        est.index_cost(QueryId(0), &k1);
-        est.index_cost(QueryId(0), &k12); // usable prefix (a0, a1)
+        let k1 = est.pool().intern_single(AttrId(0));
+        let k12 = est.pool().intern(&Index::new(vec![AttrId(0), AttrId(1)]));
+        est.index_cost(QueryId(0), k1);
+        est.index_cost(QueryId(0), k12); // usable prefix (a0, a1)
         assert_eq!(est.stats().calls_issued, 2);
         assert_eq!(est.cached_prefixes(), 2);
     }
@@ -157,7 +165,8 @@ mod tests {
     fn inapplicable_indexes_cost_no_calls() {
         let w = fixture();
         let est = PrefixAwareWhatIf::new(AnalyticalWhatIf::new(&w));
-        assert_eq!(est.index_cost(QueryId(1), &Index::single(AttrId(0))), None);
+        let k = est.pool().intern_single(AttrId(0));
+        assert_eq!(est.index_cost(QueryId(1), k), None);
         assert_eq!(est.stats().calls_issued, 0);
     }
 
@@ -173,7 +182,7 @@ mod tests {
                 Index::new(vec![AttrId(1), AttrId(0)]),
                 Index::single(AttrId(2)),
             ] {
-                assert_eq!(plain.index_cost(j, &k), accel.index_cost(j, &k), "{j} {k}");
+                assert_eq!(plain.index_cost_of(j, &k), accel.index_cost_of(j, &k), "{j} {k}");
             }
             assert_eq!(plain.unindexed_cost(j), accel.unindexed_cost(j));
         }

@@ -23,7 +23,7 @@ pub mod multi;
 pub mod tabular;
 pub mod whatif;
 
-pub use cache::{CacheStats, CachingWhatIf, CACHE_SHARDS};
+pub use cache::{pack_key, CacheStats, CachingWhatIf, CACHE_SHARDS};
 pub use inum::PrefixAwareWhatIf;
 pub use model::AnalyticalWhatIf;
 pub use tabular::TabularWhatIf;

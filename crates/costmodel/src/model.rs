@@ -18,10 +18,10 @@
 //!   (packed row-id array plus the key columns).
 //!
 //! The functions are pure so they can be property-tested; [`AnalyticalWhatIf`]
-//! wraps them behind the [`WhatIfOptimizer`](crate::WhatIfOptimizer) trait.
+//! wraps them behind the [`crate::WhatIfOptimizer`] trait.
 
 use crate::whatif::{WhatIfOptimizer, WhatIfStats};
-use isel_workload::{AttrId, Index, Query, QueryId, Schema, Workload};
+use isel_workload::{AttrId, Index, IndexId, IndexPool, Query, QueryId, Schema, Workload};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bytes per position-list entry.
@@ -59,14 +59,15 @@ fn sort_by_selectivity(schema: &Schema, attrs: &mut [AttrId]) {
     });
 }
 
-/// Access cost of searching `index` along a usable prefix of length
-/// `prefix_len`, returning `(cost, result_fraction)`.
-fn index_access_cost(schema: &Schema, index: &Index, prefix_len: usize) -> (f64, f64) {
-    debug_assert!(prefix_len >= 1 && prefix_len <= index.width());
-    let n = schema.rows_of(index.leading()) as f64;
+/// Access cost of searching an index with key attributes `key_attrs` along
+/// a usable prefix of length `prefix_len`, returning
+/// `(cost, result_fraction)`.
+fn index_access_cost(schema: &Schema, key_attrs: &[AttrId], prefix_len: usize) -> (f64, f64) {
+    debug_assert!(prefix_len >= 1 && prefix_len <= key_attrs.len());
+    let n = schema.rows_of(key_attrs[0]) as f64;
     let mut cost = n.log2().max(0.0);
     let mut frac = 1.0;
-    for &a in &index.attrs()[..prefix_len] {
+    for &a in &key_attrs[..prefix_len] {
         let attr = schema.attribute(a);
         cost += attr.value_size as f64 * (attr.distinct_values as f64).log2().max(0.0);
         frac *= attr.selectivity();
@@ -86,15 +87,25 @@ fn index_access_cost(schema: &Schema, index: &Index, prefix_len: usize) -> (f64,
 /// unique — extending an index could then degrade queries it serves,
 /// breaking the paper's Property 1 and the morphing step's monotonicity.)
 pub fn index_scan_cost(schema: &Schema, query: &Query, index: &Index) -> Option<f64> {
-    let usable = index.usable_prefix_len(query);
+    index_scan_cost_attrs(schema, query, index.attrs())
+}
+
+/// [`index_scan_cost`] over a raw ordered attribute list — the id-keyed
+/// hot path ([`AnalyticalWhatIf`] resolves an [`IndexId`] to exactly this
+/// borrowed slice, so no [`Index`] is materialized per probe).
+pub fn index_scan_cost_attrs(schema: &Schema, query: &Query, key_attrs: &[AttrId]) -> Option<f64> {
+    let usable = key_attrs
+        .iter()
+        .take_while(|a| query.accesses(**a))
+        .count();
     if usable == 0 {
         return None;
     }
     let n = schema.rows_of(query.attrs()[0]) as f64;
     let mut best = f64::INFINITY;
     for prefix_len in 1..=usable {
-        let (mut cost, frac) = index_access_cost(schema, index, prefix_len);
-        let covered = &index.attrs()[..prefix_len];
+        let (mut cost, frac) = index_access_cost(schema, key_attrs, prefix_len);
+        let covered = &key_attrs[..prefix_len];
         let mut residual: Vec<AttrId> = query
             .attrs()
             .iter()
@@ -116,10 +127,15 @@ pub fn index_scan_cost(schema: &Schema, query: &Query, index: &Index) -> Option<
 /// update-heavy workloads; CoPhy's base formulation drops it "w.l.o.g."
 /// (Section II-B), the general model of Section II-A includes it.
 pub fn update_maintenance_cost(schema: &Schema, index: &Index) -> f64 {
-    let n = schema.rows_of(index.leading()) as f64;
+    update_maintenance_cost_attrs(schema, index.attrs())
+}
+
+/// [`update_maintenance_cost`] over a raw ordered attribute list.
+pub fn update_maintenance_cost_attrs(schema: &Schema, key_attrs: &[AttrId]) -> f64 {
+    let n = schema.rows_of(key_attrs[0]) as f64;
     let mut cost = n.log2().max(0.0);
     let mut key_bytes = 0.0;
-    for &a in index.attrs() {
+    for &a in key_attrs {
         let attr = schema.attribute(a);
         cost += attr.value_size as f64 * (attr.distinct_values as f64).log2().max(0.0);
         key_bytes += attr.value_size as f64;
@@ -129,11 +145,15 @@ pub fn update_maintenance_cost(schema: &Schema, index: &Index) -> f64 {
 
 /// Index memory `p_k = ⌈⌈log2 n⌉ · n / 8⌉ + Σ_{i∈k} a_i · n`.
 pub fn index_memory(schema: &Schema, index: &Index) -> u64 {
-    let n = schema.rows_of(index.leading());
+    index_memory_attrs(schema, index.attrs())
+}
+
+/// [`index_memory`] over a raw ordered attribute list.
+pub fn index_memory_attrs(schema: &Schema, key_attrs: &[AttrId]) -> u64 {
+    let n = schema.rows_of(key_attrs[0]);
     let bits = (n.max(2) as f64).log2().ceil() as u64;
     let rowid_bytes = (bits * n).div_ceil(8);
-    let key_bytes: u64 = index
-        .attrs()
+    let key_bytes: u64 = key_attrs
         .iter()
         .map(|&a| schema.attribute(a).value_size as u64 * n)
         .sum();
@@ -144,13 +164,18 @@ pub fn index_memory(schema: &Schema, index: &Index) -> u64 {
 /// [`WhatIfOptimizer`] trait, with a call counter.
 pub struct AnalyticalWhatIf<'a> {
     workload: &'a Workload,
+    pool: IndexPool,
     calls: AtomicU64,
 }
 
 impl<'a> AnalyticalWhatIf<'a> {
     /// Estimator over `workload`.
     pub fn new(workload: &'a Workload) -> Self {
-        Self { workload, calls: AtomicU64::new(0) }
+        Self {
+            workload,
+            pool: IndexPool::new(workload.schema()),
+            calls: AtomicU64::new(0),
+        }
     }
 }
 
@@ -159,22 +184,30 @@ impl WhatIfOptimizer for AnalyticalWhatIf<'_> {
         self.workload
     }
 
+    fn pool(&self) -> &IndexPool {
+        &self.pool
+    }
+
     fn unindexed_cost(&self, query: QueryId) -> f64 {
         self.calls.fetch_add(1, Ordering::Relaxed);
         scan_cost(self.workload.schema(), self.workload.query(query))
     }
 
-    fn index_cost(&self, query: QueryId, index: &Index) -> Option<f64> {
+    fn index_cost(&self, query: QueryId, index: IndexId) -> Option<f64> {
         self.calls.fetch_add(1, Ordering::Relaxed);
-        index_scan_cost(self.workload.schema(), self.workload.query(query), index)
+        index_scan_cost_attrs(
+            self.workload.schema(),
+            self.workload.query(query),
+            self.pool.attrs(index),
+        )
     }
 
-    fn index_memory(&self, index: &Index) -> u64 {
-        index_memory(self.workload.schema(), index)
+    fn index_memory(&self, index: IndexId) -> u64 {
+        index_memory_attrs(self.workload.schema(), self.pool.attrs(index))
     }
 
-    fn maintenance_cost(&self, index: &Index) -> f64 {
-        update_maintenance_cost(self.workload.schema(), index)
+    fn maintenance_cost(&self, index: IndexId) -> f64 {
+        update_maintenance_cost_attrs(self.workload.schema(), self.pool.attrs(index))
     }
 
     fn stats(&self) -> WhatIfStats {
@@ -348,8 +381,9 @@ mod tests {
         let w = Workload::new(s, vec![q(&[hi])]);
         let est = AnalyticalWhatIf::new(&w);
         est.unindexed_cost(QueryId(0));
-        est.index_cost(QueryId(0), &Index::single(hi));
-        est.index_cost(QueryId(0), &Index::single(hi));
+        let k = est.pool().intern_single(hi);
+        est.index_cost(QueryId(0), k);
+        est.index_cost(QueryId(0), k);
         assert_eq!(est.stats().calls_issued, 3);
     }
 }

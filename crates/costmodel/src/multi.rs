@@ -15,7 +15,7 @@
 
 use crate::model::{self, POSITION_BYTES};
 use crate::whatif::{WhatIfOptimizer, WhatIfStats};
-use isel_workload::{AttrId, Index, Query, QueryId, QueryKind, Schema, Workload};
+use isel_workload::{AttrId, Index, IndexId, IndexPool, Query, QueryId, QueryKind, Schema, Workload};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Cost of evaluating `attrs` by scanning the surviving `c`-fraction of
@@ -122,13 +122,18 @@ pub fn multi_index_cost(schema: &Schema, query: &Query, config: &[Index]) -> f64
 /// indexes per query.
 pub struct MultiIndexAnalyticalWhatIf<'a> {
     workload: &'a Workload,
+    pool: IndexPool,
     calls: AtomicU64,
 }
 
 impl<'a> MultiIndexAnalyticalWhatIf<'a> {
     /// Oracle over `workload`.
     pub fn new(workload: &'a Workload) -> Self {
-        Self { workload, calls: AtomicU64::new(0) }
+        Self {
+            workload,
+            pool: IndexPool::new(workload.schema()),
+            calls: AtomicU64::new(0),
+        }
     }
 }
 
@@ -137,18 +142,26 @@ impl WhatIfOptimizer for MultiIndexAnalyticalWhatIf<'_> {
         self.workload
     }
 
+    fn pool(&self) -> &IndexPool {
+        &self.pool
+    }
+
     fn unindexed_cost(&self, query: QueryId) -> f64 {
         self.calls.fetch_add(1, Ordering::Relaxed);
         model::scan_cost(self.workload.schema(), self.workload.query(query))
     }
 
-    fn index_cost(&self, query: QueryId, index: &Index) -> Option<f64> {
+    fn index_cost(&self, query: QueryId, index: IndexId) -> Option<f64> {
         self.calls.fetch_add(1, Ordering::Relaxed);
-        model::index_scan_cost(self.workload.schema(), self.workload.query(query), index)
+        model::index_scan_cost_attrs(
+            self.workload.schema(),
+            self.workload.query(query),
+            self.pool.attrs(index),
+        )
     }
 
-    fn index_memory(&self, index: &Index) -> u64 {
-        model::index_memory(self.workload.schema(), index)
+    fn index_memory(&self, index: IndexId) -> u64 {
+        model::index_memory_attrs(self.workload.schema(), self.pool.attrs(index))
     }
 
     fn stats(&self) -> WhatIfStats {
@@ -158,17 +171,20 @@ impl WhatIfOptimizer for MultiIndexAnalyticalWhatIf<'_> {
         }
     }
 
-    fn maintenance_cost(&self, index: &Index) -> f64 {
-        model::update_maintenance_cost(self.workload.schema(), index)
+    fn maintenance_cost(&self, index: IndexId) -> f64 {
+        model::update_maintenance_cost_attrs(self.workload.schema(), self.pool.attrs(index))
     }
 
-    fn config_cost(&self, query: QueryId, config: &[Index]) -> f64 {
+    fn config_cost(&self, query: QueryId, config: &[IndexId]) -> f64 {
         self.calls.fetch_add(1, Ordering::Relaxed);
         let q = self.workload.query(query);
-        let mut cost = multi_index_cost(self.workload.schema(), q, config);
+        // The multi-index evaluation is a genuine per-call optimizer run;
+        // resolving ids to owned indexes here is noise next to its cost.
+        let resolved: Vec<Index> = config.iter().map(|&k| self.pool.resolve(k)).collect();
+        let mut cost = multi_index_cost(self.workload.schema(), q, &resolved);
         if q.kind() == QueryKind::Update {
-            for k in config {
-                if self.workload.schema().attribute(k.leading()).table == q.table() {
+            for &k in config {
+                if self.pool.table(k) == q.table() {
                     cost += self.maintenance_cost(k);
                 }
             }
@@ -315,7 +331,7 @@ mod tests {
         let kv = Index::single(a[1]);
         let kw = Index::single(a[2]);
         let cfg = vec![kv, kw];
-        let got = oracle.config_cost(QueryId(0), &cfg);
+        let got = oracle.config_cost_of(QueryId(0), &cfg);
         let expect = multi_index_cost(w.schema(), w.query(QueryId(0)), &cfg);
         assert_eq!(got, expect);
     }

@@ -7,26 +7,29 @@
 //! mechanism — `isel-dbsim` measures, the table answers.
 //!
 //! Because a multi-attribute index serves any query along its usable
-//! prefix, lookups fall back from the full attribute list to the usable
-//! prefix measured for the query (an index `(a,b)` answers a query on `a`
-//! exactly like the measured index `(a)` did).
+//! prefix, lookups fall back from the full index to the measured cost of
+//! ever shorter prefixes (an index `(a,b)` answers a query on `a` exactly
+//! like the measured index `(a)` did). The pool's parent links make that
+//! descent a pointer walk: probe the full id, jump to the usable ancestor,
+//! then follow parent links — no key vectors are built or re-hashed.
 
+use crate::cache::{pack_key, IdHashBuilder};
 use crate::whatif::{WhatIfOptimizer, WhatIfStats};
-use isel_workload::{AttrId, Index, QueryId, Workload};
+use isel_workload::{Index, IndexId, IndexPool, QueryId, Workload};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Cost tables: measured or precomputed query costs.
 pub struct TabularWhatIf {
     workload: Workload,
+    pool: IndexPool,
     unindexed: Vec<f64>,
-    /// Measured `f_j(k)` keyed by `(query, index attribute list)`.
-    indexed: HashMap<(QueryId, Vec<AttrId>), f64>,
+    /// Measured `f_j(k)` keyed by [`pack_key`]`(j, k)`.
+    indexed: HashMap<u64, f64, IdHashBuilder>,
     /// Measured or computed `p_k`.
-    memory: HashMap<Vec<AttrId>, u64>,
+    memory: HashMap<IndexId, u64, IdHashBuilder>,
     /// Measured per-execution maintenance costs.
-    maintenance: HashMap<Vec<AttrId>, f64>,
-    /// Fallback `p_k` for indexes without a table entry: analytic formula.
+    maintenance: HashMap<IndexId, f64, IdHashBuilder>,
     calls: AtomicU64,
 }
 
@@ -42,30 +45,34 @@ impl TabularWhatIf {
             workload.query_count(),
             "need one unindexed cost per query"
         );
+        let pool = IndexPool::new(workload.schema());
         Self {
             workload,
+            pool,
             unindexed,
-            indexed: HashMap::new(),
-            memory: HashMap::new(),
-            maintenance: HashMap::new(),
+            indexed: HashMap::default(),
+            memory: HashMap::default(),
+            maintenance: HashMap::default(),
             calls: AtomicU64::new(0),
         }
     }
 
     /// Record a measured cost `f_j(k)`.
     pub fn set_index_cost(&mut self, query: QueryId, index: &Index, cost: f64) {
-        self.indexed
-            .insert((query, index.attrs().to_vec()), cost);
+        let id = self.pool.intern(index);
+        self.indexed.insert(pack_key(query, id), cost);
     }
 
     /// Record the memory footprint of an index.
     pub fn set_index_memory(&mut self, index: &Index, bytes: u64) {
-        self.memory.insert(index.attrs().to_vec(), bytes);
+        let id = self.pool.intern(index);
+        self.memory.insert(id, bytes);
     }
 
     /// Record the measured maintenance cost of an index.
     pub fn set_maintenance_cost(&mut self, index: &Index, cost: f64) {
-        self.maintenance.insert(index.attrs().to_vec(), cost);
+        let id = self.pool.intern(index);
+        self.maintenance.insert(id, cost);
     }
 
     /// Number of `(query, index)` cost entries.
@@ -73,30 +80,33 @@ impl TabularWhatIf {
         self.indexed.len()
     }
 
-    fn lookup(&self, query: QueryId, index: &Index) -> Option<f64> {
+    fn lookup(&self, query: QueryId, index: IndexId) -> Option<f64> {
         // Exact entry first, then progressively shorter usable prefixes:
         // the executor can only exploit the prefix of the index bound by
         // the query, so the measured cost of that prefix is the truth.
         let q = self.workload.query(query);
-        let usable = index.usable_prefix_len(q);
+        let usable = self.pool.usable_prefix_len(q, index);
         if usable == 0 {
             return None;
         }
-        let mut key = index.attrs().to_vec();
-        loop {
-            if let Some(&c) = self.indexed.get(&(query, key.clone())) {
+        if let Some(&c) = self.indexed.get(&pack_key(query, index)) {
+            return Some(c);
+        }
+        // Descend: unusable suffix widths are skipped in one jump to the
+        // usable ancestor, then each shorter prefix is probed in turn.
+        let mut cur = if self.pool.width(index) > usable {
+            self.pool.usable_ancestor(q, index)
+        } else {
+            self.pool.parent(index)
+        };
+        while let Some(k) = cur {
+            if let Some(&c) = self.indexed.get(&pack_key(query, k)) {
                 return Some(c);
             }
-            if key.len() <= usable {
-                key.pop();
-            } else {
-                key.truncate(usable);
-            }
-            if key.is_empty() {
-                // Applicable but never measured: fall back to "no index".
-                return Some(self.unindexed[query.idx()]);
-            }
+            cur = self.pool.parent(k);
         }
+        // Applicable but never measured: fall back to "no index".
+        Some(self.unindexed[query.idx()])
     }
 }
 
@@ -105,28 +115,32 @@ impl WhatIfOptimizer for TabularWhatIf {
         &self.workload
     }
 
+    fn pool(&self) -> &IndexPool {
+        &self.pool
+    }
+
     fn unindexed_cost(&self, query: QueryId) -> f64 {
         self.calls.fetch_add(1, Ordering::Relaxed);
         self.unindexed[query.idx()]
     }
 
-    fn index_cost(&self, query: QueryId, index: &Index) -> Option<f64> {
+    fn index_cost(&self, query: QueryId, index: IndexId) -> Option<f64> {
         self.calls.fetch_add(1, Ordering::Relaxed);
         self.lookup(query, index)
     }
 
-    fn index_memory(&self, index: &Index) -> u64 {
-        if let Some(&m) = self.memory.get(index.attrs()) {
+    fn index_memory(&self, index: IndexId) -> u64 {
+        if let Some(&m) = self.memory.get(&index) {
             return m;
         }
-        crate::model::index_memory(self.workload.schema(), index)
+        crate::model::index_memory_attrs(self.workload.schema(), self.pool.attrs(index))
     }
 
-    fn maintenance_cost(&self, index: &Index) -> f64 {
-        if let Some(&m) = self.maintenance.get(index.attrs()) {
+    fn maintenance_cost(&self, index: IndexId) -> f64 {
+        if let Some(&m) = self.maintenance.get(&index) {
             return m;
         }
-        crate::model::update_maintenance_cost(self.workload.schema(), index)
+        crate::model::update_maintenance_cost_attrs(self.workload.schema(), self.pool.attrs(index))
     }
 
     fn stats(&self) -> WhatIfStats {
@@ -140,7 +154,7 @@ impl WhatIfOptimizer for TabularWhatIf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use isel_workload::{Query, SchemaBuilder, TableId};
+    use isel_workload::{AttrId, Query, SchemaBuilder, TableId};
 
     fn fixture() -> (Workload, AttrId, AttrId) {
         let mut b = SchemaBuilder::new();
@@ -163,7 +177,7 @@ mod tests {
         let mut t = TabularWhatIf::new(w, vec![100.0, 50.0]);
         let k = Index::new(vec![a0, a1]);
         t.set_index_cost(QueryId(0), &k, 7.0);
-        assert_eq!(t.index_cost(QueryId(0), &k), Some(7.0));
+        assert_eq!(t.index_cost_of(QueryId(0), &k), Some(7.0));
     }
 
     #[test]
@@ -173,21 +187,21 @@ mod tests {
         t.set_index_cost(QueryId(1), &Index::single(a0), 3.0);
         // Query 1 accesses only a0; an (a0, a1) index behaves like (a0).
         let wide = Index::new(vec![a0, a1]);
-        assert_eq!(t.index_cost(QueryId(1), &wide), Some(3.0));
+        assert_eq!(t.index_cost_of(QueryId(1), &wide), Some(3.0));
     }
 
     #[test]
     fn inapplicable_index_is_none() {
         let (w, _a0, a1) = fixture();
         let t = TabularWhatIf::new(w, vec![100.0, 50.0]);
-        assert_eq!(t.index_cost(QueryId(1), &Index::single(a1)), None);
+        assert_eq!(t.index_cost_of(QueryId(1), &Index::single(a1)), None);
     }
 
     #[test]
     fn unmeasured_applicable_index_falls_back_to_scan_cost() {
         let (w, a0, _) = fixture();
         let t = TabularWhatIf::new(w, vec![100.0, 50.0]);
-        assert_eq!(t.index_cost(QueryId(1), &Index::single(a0)), Some(50.0));
+        assert_eq!(t.index_cost_of(QueryId(1), &Index::single(a0)), Some(50.0));
     }
 
     #[test]
@@ -195,9 +209,9 @@ mod tests {
         let (w, a0, _) = fixture();
         let mut t = TabularWhatIf::new(w, vec![100.0, 50.0]);
         let k = Index::single(a0);
-        let analytic = t.index_memory(&k);
+        let analytic = t.index_memory_of(&k);
         t.set_index_memory(&k, 12345);
-        assert_eq!(t.index_memory(&k), 12345);
+        assert_eq!(t.index_memory_of(&k), 12345);
         assert_ne!(analytic, 12345);
     }
 
@@ -206,10 +220,10 @@ mod tests {
         let (w, a0, _) = fixture();
         let mut t = TabularWhatIf::new(w, vec![100.0, 50.0]);
         let k = Index::single(a0);
-        let analytic = t.maintenance_cost(&k);
+        let analytic = t.maintenance_cost_of(&k);
         assert!(analytic > 0.0);
         t.set_maintenance_cost(&k, 7.5);
-        assert_eq!(t.maintenance_cost(&k), 7.5);
+        assert_eq!(t.maintenance_cost_of(&k), 7.5);
     }
 
     #[test]

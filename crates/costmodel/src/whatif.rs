@@ -10,8 +10,20 @@
 //!   tables (the Section IV-B end-to-end mode, fed by `isel-dbsim`),
 //! * [`CachingWhatIf`](crate::CachingWhatIf) — a decorator that caches and
 //!   counts calls.
+//!
+//! # Id-keyed costing
+//!
+//! Every oracle owns (or forwards to) an [`IndexPool`] that interns each
+//! candidate [`Index`] into a dense [`IndexId`]. The hot-path methods —
+//! [`index_cost`](WhatIfOptimizer::index_cost),
+//! [`index_memory`](WhatIfOptimizer::index_memory),
+//! [`config_cost`](WhatIfOptimizer::config_cost) — take ids, so repeated
+//! probes never clone or re-hash attribute vectors. The `*_of` convenience
+//! methods accept plain [`Index`] values, intern them through the pool and
+//! delegate; they are meant for API boundaries (tests, examples, report
+//! code), not for inner loops.
 
-use isel_workload::{Index, Query, QueryId, QueryKind, Workload};
+use isel_workload::{Index, IndexId, IndexPool, Query, QueryId, QueryKind, Workload};
 use serde::{Deserialize, Serialize};
 
 /// Call statistics; the paper evaluates approaches by the number of what-if
@@ -45,21 +57,26 @@ pub trait WhatIfOptimizer: Sync {
     /// The workload the oracle answers questions about.
     fn workload(&self) -> &Workload;
 
+    /// The interning pool candidate ids are relative to. Decorators
+    /// forward to their inner oracle's pool so one id space spans the
+    /// whole stack.
+    fn pool(&self) -> &IndexPool;
+
     /// `f_j(0)`: cost of query `j` without any index.
     fn unindexed_cost(&self, query: QueryId) -> f64;
 
     /// `f_j(k)`: cost of query `j` using exactly index `k`; `None` when the
     /// index is not applicable to the query.
-    fn index_cost(&self, query: QueryId, index: &Index) -> Option<f64>;
+    fn index_cost(&self, query: QueryId, index: IndexId) -> Option<f64>;
 
     /// Index memory consumption `p_k`.
-    fn index_memory(&self, index: &Index) -> u64;
+    fn index_memory(&self, index: IndexId) -> u64;
 
     /// Maintenance cost charged per execution of an *update* template on
     /// the index's table (write amplification). Oracles without a write
     /// model return 0 — updates are then free, which is exactly the
     /// simplification CoPhy's base formulation makes.
-    fn maintenance_cost(&self, index: &Index) -> f64 {
+    fn maintenance_cost(&self, index: IndexId) -> f64 {
         let _ = index;
         0.0
     }
@@ -67,23 +84,30 @@ pub trait WhatIfOptimizer: Sync {
     /// Call statistics so far.
     fn stats(&self) -> WhatIfStats;
 
+    /// Memo-table accounting, when the oracle keeps one
+    /// ([`CachingWhatIf`](crate::CachingWhatIf) does; plain oracles return
+    /// `None`).
+    fn cache_stats(&self) -> Option<crate::CacheStats> {
+        None
+    }
+
     /// `f_j(I*)` in the "one index only" setting:
     /// `min(f_j(0), min_{k∈I*} f_j(k))` (Example 1 (i)). Update templates
     /// additionally pay the maintenance cost of every index on their table.
     ///
     /// Implementations with true multi-index execution (Remark 2) override
     /// this.
-    fn config_cost(&self, query: QueryId, config: &[Index]) -> f64 {
+    fn config_cost(&self, query: QueryId, config: &[IndexId]) -> f64 {
         let mut best = self.unindexed_cost(query);
-        for k in config {
+        for &k in config {
             if let Some(c) = self.index_cost(query, k) {
                 best = best.min(c);
             }
         }
         if self.query(query).kind() == QueryKind::Update {
             let table = self.query(query).table();
-            for k in config {
-                if self.workload().schema().attribute(k.leading()).table == table {
+            for &k in config {
+                if self.pool().table(k) == table {
                     best += self.maintenance_cost(k);
                 }
             }
@@ -92,7 +116,7 @@ pub trait WhatIfOptimizer: Sync {
     }
 
     /// Total workload cost `F(I*) = Σ_j b_j · f_j(I*)` (Eq. 1).
-    fn workload_cost(&self, config: &[Index]) -> f64 {
+    fn workload_cost(&self, config: &[IndexId]) -> f64 {
         self.workload()
             .iter()
             .map(|(j, q)| q.frequency() as f64 * self.config_cost(j, config))
@@ -103,6 +127,36 @@ pub trait WhatIfOptimizer: Sync {
     fn query(&self, id: QueryId) -> &Query {
         self.workload().query(id)
     }
+
+    /// Boundary convenience: [`Self::index_cost`] for an un-interned index.
+    fn index_cost_of(&self, query: QueryId, index: &Index) -> Option<f64> {
+        self.index_cost(query, self.pool().intern(index))
+    }
+
+    /// Boundary convenience: [`Self::index_memory`] for an un-interned
+    /// index.
+    fn index_memory_of(&self, index: &Index) -> u64 {
+        self.index_memory(self.pool().intern(index))
+    }
+
+    /// Boundary convenience: [`Self::maintenance_cost`] for an un-interned
+    /// index.
+    fn maintenance_cost_of(&self, index: &Index) -> f64 {
+        self.maintenance_cost(self.pool().intern(index))
+    }
+
+    /// Boundary convenience: [`Self::config_cost`] for un-interned indexes.
+    fn config_cost_of(&self, query: QueryId, config: &[Index]) -> f64 {
+        let ids: Vec<IndexId> = config.iter().map(|k| self.pool().intern(k)).collect();
+        self.config_cost(query, &ids)
+    }
+
+    /// Boundary convenience: [`Self::workload_cost`] for un-interned
+    /// indexes.
+    fn workload_cost_of(&self, config: &[Index]) -> f64 {
+        let ids: Vec<IndexId> = config.iter().map(|k| self.pool().intern(k)).collect();
+        self.workload_cost(&ids)
+    }
 }
 
 /// Blanket implementation so `&W` can be passed wherever a
@@ -111,25 +165,31 @@ impl<W: WhatIfOptimizer + ?Sized> WhatIfOptimizer for &W {
     fn workload(&self) -> &Workload {
         (**self).workload()
     }
+    fn pool(&self) -> &IndexPool {
+        (**self).pool()
+    }
     fn unindexed_cost(&self, query: QueryId) -> f64 {
         (**self).unindexed_cost(query)
     }
-    fn index_cost(&self, query: QueryId, index: &Index) -> Option<f64> {
+    fn index_cost(&self, query: QueryId, index: IndexId) -> Option<f64> {
         (**self).index_cost(query, index)
     }
-    fn index_memory(&self, index: &Index) -> u64 {
+    fn index_memory(&self, index: IndexId) -> u64 {
         (**self).index_memory(index)
     }
-    fn maintenance_cost(&self, index: &Index) -> f64 {
+    fn maintenance_cost(&self, index: IndexId) -> f64 {
         (**self).maintenance_cost(index)
     }
     fn stats(&self) -> WhatIfStats {
         (**self).stats()
     }
-    fn config_cost(&self, query: QueryId, config: &[Index]) -> f64 {
+    fn cache_stats(&self) -> Option<crate::CacheStats> {
+        (**self).cache_stats()
+    }
+    fn config_cost(&self, query: QueryId, config: &[IndexId]) -> f64 {
         (**self).config_cost(query, config)
     }
-    fn workload_cost(&self, config: &[Index]) -> f64 {
+    fn workload_cost(&self, config: &[IndexId]) -> f64 {
         (**self).workload_cost(config)
     }
 }
@@ -158,11 +218,11 @@ mod tests {
     fn config_cost_takes_best_applicable_index() {
         let w = workload();
         let est = AnalyticalWhatIf::new(&w);
-        let k0 = Index::single(AttrId(0));
-        let k1 = Index::single(AttrId(1));
+        let k0 = est.pool().intern_single(AttrId(0));
+        let k1 = est.pool().intern_single(AttrId(1));
         let f0 = est.unindexed_cost(QueryId(0));
-        let with_both = est.config_cost(QueryId(0), &[k0.clone(), k1.clone()]);
-        let with_k0 = est.config_cost(QueryId(0), std::slice::from_ref(&k0));
+        let with_both = est.config_cost(QueryId(0), &[k0, k1]);
+        let with_k0 = est.config_cost(QueryId(0), &[k0]);
         assert!(with_both <= with_k0);
         assert!(with_both < f0);
     }
@@ -174,17 +234,31 @@ mod tests {
         // An index that is useless for q1 (leading attr not accessed).
         let k = Index::new(vec![AttrId(0), AttrId(1)]);
         let f0 = est.unindexed_cost(QueryId(1));
-        assert_eq!(est.config_cost(QueryId(1), &[k]), f0);
+        assert_eq!(est.config_cost_of(QueryId(1), &[k]), f0);
     }
 
     #[test]
     fn workload_cost_weights_by_frequency() {
         let w = workload();
         let est = AnalyticalWhatIf::new(&w);
-        let empty: &[Index] = &[];
-        let total = est.workload_cost(empty);
+        let total = est.workload_cost(&[]);
         let manual = 10.0 * est.unindexed_cost(QueryId(0)) + 1.0 * est.unindexed_cost(QueryId(1));
         assert!((total - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_wrappers_agree_with_id_methods() {
+        let w = workload();
+        let est = AnalyticalWhatIf::new(&w);
+        let k = Index::new(vec![AttrId(0), AttrId(1)]);
+        let id = est.pool().intern(&k);
+        assert_eq!(est.index_cost_of(QueryId(0), &k), est.index_cost(QueryId(0), id));
+        assert_eq!(est.index_memory_of(&k), est.index_memory(id));
+        assert_eq!(est.maintenance_cost_of(&k), est.maintenance_cost(id));
+        assert_eq!(
+            est.workload_cost_of(std::slice::from_ref(&k)),
+            est.workload_cost(&[id])
+        );
     }
 
     #[test]
@@ -198,15 +272,15 @@ mod tests {
             vec![Query::update(TableId(0), vec![a0], 10)],
         );
         let est = AnalyticalWhatIf::new(&w);
-        let k0 = Index::single(a0);
-        let k1 = Index::single(a1);
-        let locate = est.index_cost(QueryId(0), &k0).unwrap();
-        let both = est.config_cost(QueryId(0), &[k0.clone(), k1.clone()]);
-        let expect = locate + est.maintenance_cost(&k0) + est.maintenance_cost(&k1);
+        let k0 = est.pool().intern_single(a0);
+        let k1 = est.pool().intern_single(a1);
+        let locate = est.index_cost(QueryId(0), k0).unwrap();
+        let both = est.config_cost(QueryId(0), &[k0, k1]);
+        let expect = locate + est.maintenance_cost(k0) + est.maintenance_cost(k1);
         assert!((both - expect).abs() < 1e-9, "{both} vs {expect}");
         // An update-heavy workload can be *hurt* by an index that never
         // helps locating.
-        let only_useless = est.config_cost(QueryId(0), std::slice::from_ref(&k1));
+        let only_useless = est.config_cost(QueryId(0), &[k1]);
         assert!(only_useless > est.unindexed_cost(QueryId(0)));
     }
 

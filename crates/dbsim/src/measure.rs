@@ -19,8 +19,8 @@
 
 use crate::database::Database;
 use crate::exec::BoundQuery;
-use isel_costmodel::{TabularWhatIf, WhatIfOptimizer, WhatIfStats};
-use isel_workload::{Index, QueryId, Workload};
+use isel_costmodel::{pack_key, TabularWhatIf, WhatIfOptimizer, WhatIfStats};
+use isel_workload::{Index, IndexId, IndexPool, QueryId, Workload};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -147,6 +147,7 @@ pub fn measure_workload(
 /// (Algorithm 1) run against measured costs.
 pub struct LiveWhatIf {
     workload: Workload,
+    pool: IndexPool,
     cfg: MeasureConfig,
     state: Mutex<LiveState>,
     issued: AtomicU64,
@@ -157,7 +158,8 @@ struct LiveState {
     db: Database,
     bindings: Vec<Vec<BoundQuery>>,
     unindexed: Vec<Option<f64>>,
-    measured: std::collections::HashMap<(QueryId, Vec<isel_workload::AttrId>), f64>,
+    /// Measured `f_j(k)` keyed by [`pack_key`]`(j, k)`.
+    measured: std::collections::HashMap<u64, f64>,
 }
 
 impl LiveWhatIf {
@@ -165,8 +167,10 @@ impl LiveWhatIf {
     pub fn new(db: Database, workload: Workload, cfg: MeasureConfig) -> Self {
         let bindings = sample_bindings(&db, &workload, &cfg);
         let unindexed = vec![None; workload.query_count()];
+        let pool = IndexPool::new(workload.schema());
         Self {
             workload,
+            pool,
             cfg,
             state: Mutex::new(LiveState {
                 db,
@@ -190,6 +194,10 @@ impl WhatIfOptimizer for LiveWhatIf {
         &self.workload
     }
 
+    fn pool(&self) -> &IndexPool {
+        &self.pool
+    }
+
     fn unindexed_cost(&self, query: QueryId) -> f64 {
         let mut st = self.state.lock();
         if let Some(c) = st.unindexed[query.idx()] {
@@ -197,40 +205,42 @@ impl WhatIfOptimizer for LiveWhatIf {
             return c;
         }
         self.issued.fetch_add(1, Ordering::Relaxed);
+        let st = &mut *st;
         let mask = vec![false; st.db.indexes().len()];
-        let c = template_cost(&st.db, &st.bindings[query.idx()].clone(), &mask, &self.cfg);
+        let c = template_cost(&st.db, &st.bindings[query.idx()], &mask, &self.cfg);
         st.unindexed[query.idx()] = Some(c);
         c
     }
 
-    fn index_cost(&self, query: QueryId, index: &Index) -> Option<f64> {
-        if !index.applicable_to(self.workload.query(query)) {
+    fn index_cost(&self, query: QueryId, index: IndexId) -> Option<f64> {
+        if !self.pool.applicable_to(self.workload.query(query), index) {
             return None;
         }
-        let key = (query, index.attrs().to_vec());
+        let key = pack_key(query, index);
         let mut st = self.state.lock();
         if let Some(&c) = st.measured.get(&key) {
             self.cached.fetch_add(1, Ordering::Relaxed);
             return Some(c);
         }
         self.issued.fetch_add(1, Ordering::Relaxed);
-        let pos = st.db.create_index(index);
+        let st = &mut *st;
+        let pos = st.db.create_index(&self.pool.resolve(index));
         let mut mask = vec![false; st.db.indexes().len()];
         mask[pos] = true;
-        let c = template_cost(&st.db, &st.bindings[query.idx()].clone(), &mask, &self.cfg);
+        let c = template_cost(&st.db, &st.bindings[query.idx()], &mask, &self.cfg);
         st.measured.insert(key, c);
         Some(c)
     }
 
-    fn index_memory(&self, index: &Index) -> u64 {
+    fn index_memory(&self, index: IndexId) -> u64 {
         let mut st = self.state.lock();
-        let pos = st.db.create_index(index);
+        let pos = st.db.create_index(&self.pool.resolve(index));
         st.db.indexes()[pos].memory_bytes()
     }
 
-    fn maintenance_cost(&self, index: &Index) -> f64 {
+    fn maintenance_cost(&self, index: IndexId) -> f64 {
         let mut st = self.state.lock();
-        let pos = st.db.create_index(index);
+        let pos = st.db.create_index(&self.pool.resolve(index));
         st.db.indexes()[pos].maintenance_work().cost_units()
     }
 
@@ -269,10 +279,10 @@ mod tests {
         let k = Index::single(AttrId(0));
         let table = measure_workload(&mut db, &w, std::slice::from_ref(&k), &MeasureConfig::default());
         let f0 = table.unindexed_cost(QueryId(0));
-        let fk = table.index_cost(QueryId(0), &k).unwrap();
+        let fk = table.index_cost_of(QueryId(0), &k).unwrap();
         assert!(fk < f0, "fk={fk} f0={f0}");
         // Query 1 does not access a0 → no entry.
-        assert_eq!(table.index_cost(QueryId(1), &k), None);
+        assert_eq!(table.index_cost_of(QueryId(1), &k), None);
     }
 
     #[test]
@@ -281,7 +291,7 @@ mod tests {
         let k = Index::new(vec![AttrId(0), AttrId(1)]);
         let table = measure_workload(&mut db, &w, std::slice::from_ref(&k), &MeasureConfig::default());
         // 2000 rows: 4·2000 row ids + (4+4)·2000 keys.
-        assert_eq!(table.index_memory(&k), 8_000 + 16_000);
+        assert_eq!(table.index_memory_of(&k), 8_000 + 16_000);
     }
 
     #[test]
@@ -289,9 +299,9 @@ mod tests {
         let (db, w) = fixture();
         let live = LiveWhatIf::new(db, w, MeasureConfig::default());
         assert_eq!(live.indexes_built(), 0);
-        let c1 = live.index_cost(QueryId(0), &Index::single(AttrId(0))).unwrap();
+        let c1 = live.index_cost_of(QueryId(0), &Index::single(AttrId(0))).unwrap();
         assert_eq!(live.indexes_built(), 1);
-        let c2 = live.index_cost(QueryId(0), &Index::single(AttrId(0))).unwrap();
+        let c2 = live.index_cost_of(QueryId(0), &Index::single(AttrId(0))).unwrap();
         assert_eq!(c1, c2);
         let s = live.stats();
         assert_eq!(s.calls_issued, 1);
@@ -302,7 +312,7 @@ mod tests {
     fn live_oracle_rejects_inapplicable_indexes_without_building() {
         let (db, w) = fixture();
         let live = LiveWhatIf::new(db, w, MeasureConfig::default());
-        assert_eq!(live.index_cost(QueryId(1), &Index::single(AttrId(0))), None);
+        assert_eq!(live.index_cost_of(QueryId(1), &Index::single(AttrId(0))), None);
         assert_eq!(live.indexes_built(), 0);
     }
 
@@ -311,10 +321,10 @@ mod tests {
         let (db, w) = fixture();
         let live = LiveWhatIf::new(db, w, MeasureConfig::default());
         let k = Index::new(vec![AttrId(0), AttrId(1)]);
-        let m = live.maintenance_cost(&k);
+        let m = live.maintenance_cost_of(&k);
         assert!(m > 0.0);
         // Wider indexes are costlier to maintain.
-        let m1 = live.maintenance_cost(&Index::single(AttrId(0)));
+        let m1 = live.maintenance_cost_of(&Index::single(AttrId(0)));
         assert!(m > m1);
     }
 
@@ -327,8 +337,8 @@ mod tests {
         let t1 = measure_workload(&mut db1, &w, std::slice::from_ref(&k), &cfg);
         let t2 = measure_workload(&mut db2, &w, std::slice::from_ref(&k), &cfg);
         assert_eq!(
-            t1.index_cost(QueryId(1), &k),
-            t2.index_cost(QueryId(1), &k)
+            t1.index_cost_of(QueryId(1), &k),
+            t2.index_cost_of(QueryId(1), &k)
         );
         assert_eq!(t1.unindexed_cost(QueryId(0)), t2.unindexed_cost(QueryId(0)));
     }

@@ -1,8 +1,8 @@
 //! Workload compression (Section VI).
 //!
 //! Large workloads are often preprocessed before index selection:
-//! Chaudhuri et al. [30] compress within an error bound, while DB2 simply
-//! keeps "the top k most expensive queries" [10] because full compression
+//! Chaudhuri et al. \[30\] compress within an error bound, while DB2 simply
+//! keeps "the top k most expensive queries" \[10\] because full compression
 //! proved too slow. This module provides both flavours:
 //!
 //! * [`top_k_by_weight`] — DB2-style: keep the k templates with the

@@ -20,6 +20,12 @@ pub struct TableId(pub u16);
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct QueryId(pub u32);
 
+/// Dense handle of an interned [`crate::Index`] inside a
+/// [`crate::IndexPool`]. Ids are assigned in interning order and are only
+/// meaningful relative to the pool that issued them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct IndexId(pub u32);
+
 impl AttrId {
     /// Index into per-attribute arrays.
     #[inline]
@@ -38,6 +44,14 @@ impl TableId {
 
 impl QueryId {
     /// Index into per-query arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl IndexId {
+    /// Index into per-candidate arrays.
     #[inline]
     pub fn idx(self) -> usize {
         self.0 as usize
@@ -77,6 +91,18 @@ impl fmt::Debug for QueryId {
 impl fmt::Display for QueryId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "q{}", self.0)
+    }
+}
+
+impl fmt::Debug for IndexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+impl fmt::Display for IndexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
     }
 }
 

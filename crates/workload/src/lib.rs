@@ -29,14 +29,16 @@ pub mod erp;
 pub mod ids;
 pub mod io;
 pub mod index;
+pub mod pool;
 pub mod query;
 pub mod schema;
 pub mod stats;
 pub mod synthetic;
 pub mod tpcc;
 
-pub use ids::{AttrId, QueryId, TableId};
+pub use ids::{AttrId, IndexId, QueryId, TableId};
 pub use index::Index;
+pub use pool::IndexPool;
 pub use query::{Query, QueryKind, Workload};
 pub use schema::{Attribute, Schema, SchemaBuilder, Table};
 pub use stats::WorkloadStats;

@@ -50,7 +50,7 @@ fn main() {
         .selection
         .indexes()
         .iter()
-        .map(|k| (whatif.index_memory(k), k))
+        .map(|k| (whatif.index_memory_of(k), k))
         .collect();
     by_mem.sort_by_key(|(mem, _)| std::cmp::Reverse(*mem));
     println!("\nlargest recommended indexes:");

@@ -59,7 +59,7 @@ fn main() {
 
     println!("\nrecommended indexes:");
     for k in result.selection.indexes() {
-        println!("  {k}  ({} KiB)", whatif.index_memory(k) / 1024);
+        println!("  {k}  ({} KiB)", whatif.index_memory_of(k) / 1024);
     }
     println!(
         "\nworkload cost: {:.3e} -> {:.3e}  ({:.1}% of baseline), {} what-if calls",

@@ -37,22 +37,26 @@ impl<W: WhatIfOptimizer> WhatIfOptimizer for CountingWhatIf<W> {
         self.inner.workload()
     }
 
+    fn pool(&self) -> &isel_workload::IndexPool {
+        self.inner.pool()
+    }
+
     fn unindexed_cost(&self, j: isel_workload::QueryId) -> f64 {
         self.evals.fetch_add(1, Ordering::Relaxed);
         self.inner.unindexed_cost(j)
     }
 
-    fn index_cost(&self, j: isel_workload::QueryId, k: &Index) -> Option<f64> {
+    fn index_cost(&self, j: isel_workload::QueryId, k: isel_workload::IndexId) -> Option<f64> {
         self.evals.fetch_add(1, Ordering::Relaxed);
         self.inner.index_cost(j, k)
     }
 
-    fn index_memory(&self, k: &Index) -> u64 {
+    fn index_memory(&self, k: isel_workload::IndexId) -> u64 {
         self.evals.fetch_add(1, Ordering::Relaxed);
         self.inner.index_memory(k)
     }
 
-    fn maintenance_cost(&self, k: &Index) -> f64 {
+    fn maintenance_cost(&self, k: isel_workload::IndexId) -> f64 {
         self.inner.maintenance_cost(k)
     }
 
@@ -80,12 +84,16 @@ fn hammered_cache_never_duplicates_and_ledger_balances() {
             Index::single(AttrId(a)).extended(AttrId(a + 1))
         }))
         .collect();
+    // Intern once up front: the hot loop below asks by id, as the
+    // selection algorithms do.
+    let ids: Vec<isel_workload::IndexId> =
+        indexes.iter().map(|k| est.pool().intern(k)).collect();
 
     std::thread::scope(|scope| {
         for t in 0..THREADS {
             let est = &est;
             let queries = &queries;
-            let indexes = &indexes;
+            let ids = &ids;
             scope.spawn(move || {
                 for r in 0..ROUNDS {
                     // Each thread walks the key space from a different
@@ -93,7 +101,7 @@ fn hammered_cache_never_duplicates_and_ledger_balances() {
                     for i in 0..queries.len() {
                         let j = queries[(i + t + r) % queries.len()];
                         est.unindexed_cost(j);
-                        for k in indexes.iter() {
+                        for &k in ids.iter() {
                             est.index_cost(j, k);
                         }
                     }
@@ -115,7 +123,7 @@ fn hammered_cache_never_duplicates_and_ledger_balances() {
         })
         .sum();
     let per_walk = (queries.len() + applicable) as u64;
-    let stats = est.cache_stats();
+    let stats = est.cache_stats().expect("caching oracle exposes stats");
     // Every lookup is accounted for exactly once.
     assert_eq!(stats.lookups(), (THREADS * ROUNDS) as u64 * per_walk);
     assert_eq!(stats.hits + stats.misses, stats.lookups());
@@ -127,14 +135,14 @@ fn hammered_cache_never_duplicates_and_ledger_balances() {
     let evals = est.inner().evals.load(Ordering::Relaxed) as u64;
     assert_eq!(evals, stats.misses, "oracle evaluations must equal misses");
     // Re-walking the whole key space serially must be pure hits now.
-    let before = est.cache_stats();
+    let before = est.cache_stats().unwrap();
     for &j in &queries {
         est.unindexed_cost(j);
-        for k in &indexes {
+        for &k in &ids {
             est.index_cost(j, k);
         }
     }
-    let after = est.cache_stats();
+    let after = est.cache_stats().unwrap();
     assert_eq!(after.misses, before.misses, "second pass must not miss");
     assert_eq!(after.hits - before.hits, per_walk);
 }
@@ -151,7 +159,7 @@ fn parallel_algorithm1_keeps_cache_accounting_consistent() {
 
     let serial_est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
     let serial = algorithm1::run(&serial_est, &algorithm1::Options::new(a));
-    let serial_stats = serial_est.cache_stats();
+    let serial_stats = serial_est.cache_stats().unwrap();
 
     let par_est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
     let opts = algorithm1::Options {
@@ -159,7 +167,7 @@ fn parallel_algorithm1_keeps_cache_accounting_consistent() {
         ..algorithm1::Options::new(a)
     };
     let par = algorithm1::run(&par_est, &opts);
-    let par_stats = par_est.cache_stats();
+    let par_stats = par_est.cache_stats().unwrap();
 
     assert_eq!(serial.steps, par.steps);
     assert_eq!(serial.final_cost, par.final_cost);

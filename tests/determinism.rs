@@ -8,7 +8,7 @@
 //! exactly — `==` on floats, no epsilon.
 
 use isel_core::{algorithm1, budget, Parallelism};
-use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
+use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf, WhatIfOptimizer};
 use isel_workload::{tpcc, AttrId, Query, SchemaBuilder, TableId, Workload};
 use proptest::prelude::*;
 
@@ -78,6 +78,42 @@ fn assert_runs_identical(w: &Workload, share: f64) {
     }
 }
 
+/// Id keying is content-addressed: pre-seeding the pool in a scrambled
+/// order (so every id differs from the cold-start run) must not change a
+/// single observable, and every step's ledger cost must bit-match the
+/// content-keyed boundary evaluation of the resolved index set.
+fn assert_id_keying_is_content_addressed(w: &Workload, share: f64) {
+    let cold = CachingWhatIf::new(AnalyticalWhatIf::new(w));
+    let a = budget::relative_budget(&cold, share);
+    let baseline = algorithm1::run(&cold, &algorithm1::Options::new(a));
+
+    // Shift every id the run will touch: intern all attributes (and their
+    // reversed pairs) in reverse order before the engine sees the pool.
+    let shifted = CachingWhatIf::new(AnalyticalWhatIf::new(w));
+    let n = w.schema().attr_count() as u32;
+    for i in (0..n).rev() {
+        let root = shifted.pool().intern_single(AttrId(i));
+        if i > 0 {
+            shifted.pool().intern_child(root, AttrId(i - 1));
+        }
+    }
+    let rerun = algorithm1::run(&shifted, &algorithm1::Options::new(a));
+    assert_eq!(baseline.steps, rerun.steps, "id numbering leaked into the step log");
+    assert_eq!(baseline.frontier, rerun.frontier, "id numbering leaked into the frontier");
+    assert_eq!(baseline.selection, rerun.selection);
+    assert_eq!(baseline.final_cost, rerun.final_cost);
+
+    // Entering through the content-keyed boundary (`&[Index]`, interned on
+    // the way in) and asking by id directly are the same computation —
+    // bit-identical, on either estimator's pool.
+    let resolved = baseline.selection.indexes().to_vec();
+    let by_content = cold.workload_cost_of(&resolved);
+    let by_id = cold.workload_cost(&baseline.selection.ids(&cold));
+    assert_eq!(by_content, by_id);
+    assert_eq!(by_content, baseline.selection.cost(&cold));
+    assert_eq!(by_content, shifted.workload_cost_of(&resolved));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(100))]
 
@@ -89,6 +125,17 @@ proptest! {
         share in 0.05f64..0.8,
     ) {
         assert_runs_identical(&w, share);
+    }
+
+    /// Same corpus: frontiers and step logs are invariant under id
+    /// renumbering, and the id-keyed ledger equals the content-keyed
+    /// boundary evaluation — `==` on floats, no epsilon.
+    #[test]
+    fn id_keyed_runs_match_content_keyed_costing(
+        w in arb_workload(),
+        share in 0.05f64..0.8,
+    ) {
+        assert_id_keying_is_content_addressed(&w, share);
     }
 }
 

@@ -49,7 +49,8 @@ fn measured_costs_drive_useful_selections() {
     let est = CachingWhatIf::new(table);
     let a = budget::relative_budget(&est, 0.4);
 
-    let sel = heuristics::h5(&pool, &est, a);
+    let ids: Vec<_> = pool.iter().map(|k| est.pool().intern(k)).collect();
+    let sel = heuristics::h5(&ids, &est, a);
     assert!(!sel.is_empty());
     let base = executed_cost(&w, &isel_core::Selection::empty());
     let with = executed_cost(&w, &sel);
@@ -96,8 +97,9 @@ fn measured_and_analytical_rankings_agree_on_direction() {
     let est = CachingWhatIf::new(table);
     let a = budget::relative_budget(&est, 0.3);
 
-    let h2 = heuristics::h2(&pool, &est, a);
-    let h5 = heuristics::h5(&pool, &est, a);
+    let ids: Vec<_> = pool.iter().map(|k| est.pool().intern(k)).collect();
+    let h2 = heuristics::h2(&ids, &est, a);
+    let h5 = heuristics::h5(&ids, &est, a);
     let c2 = executed_cost(&w, &h2);
     let c5 = executed_cost(&w, &h5);
     assert!(
@@ -113,7 +115,7 @@ fn index_memory_measurements_track_the_analytic_formula() {
     let mut db = Database::populate(w.schema(), SEED);
     let table = measure_workload(&mut db, &w, &pool, &MeasureConfig::default());
     for k in pool.iter().take(20) {
-        let measured = table.index_memory(k);
+        let measured = table.index_memory_of(k);
         let analytic = isel_costmodel::model::index_memory(w.schema(), k);
         // Same order of magnitude: the engine stores 4-byte row ids and
         // materialized keys, the formula packs row ids to ⌈log2 n⌉ bits.

@@ -23,7 +23,7 @@ fn h6_beats_all_rule_based_heuristics_on_synthetic_workloads() {
     let w = small();
     let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
     let a = budget::relative_budget(&est, 0.25);
-    let pool = candidates::enumerate_imax(&w, 4).indexes();
+    let pool = candidates::enumerate_imax(&w, 4).ids(est.pool());
 
     let h6 = algorithm1::run(&est, &algorithm1::Options::new(a));
     let h6_cost = h6.final_cost;
@@ -45,7 +45,7 @@ fn h6_is_competitive_with_performance_based_heuristics() {
     let w = small();
     let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
     let a = budget::relative_budget(&est, 0.25);
-    let pool = candidates::enumerate_imax(&w, 4).indexes();
+    let pool = candidates::enumerate_imax(&w, 4).ids(est.pool());
     let h6 = algorithm1::run(&est, &algorithm1::Options::new(a));
     let h5 = heuristics::h5(&pool, &est, a).cost(&est);
     // H5 with the full candidate set is a strong baseline; H6 must at
@@ -61,7 +61,7 @@ fn h6_is_competitive_with_performance_based_heuristics() {
 fn all_strategies_respect_every_budget() {
     let w = small();
     let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
-    let pool = candidates::enumerate_imax(&w, 4).indexes();
+    let pool = candidates::enumerate_imax(&w, 4).ids(est.pool());
     for share in [0.05, 0.15, 0.35] {
         let a = budget::relative_budget(&est, share);
         let sels = [
@@ -85,7 +85,7 @@ fn selections_never_increase_workload_cost() {
     let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
     let base = est.workload_cost(&[]);
     let a = budget::relative_budget(&est, 0.3);
-    let pool = candidates::enumerate_imax(&w, 4).indexes();
+    let pool = candidates::enumerate_imax(&w, 4).ids(est.pool());
     for sel in [
         heuristics::h1(&pool, &est, a),
         heuristics::h4(&pool, &est, a, true),

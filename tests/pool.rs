@@ -1,0 +1,105 @@
+//! Property-based tests for the prefix-linked [`IndexPool`]: interning is
+//! a bijection between index *content* and [`IndexId`], parent links
+//! always point at the longest proper prefix, and the morphing edge map
+//! agrees with full-list interning.
+
+use isel_workload::{AttrId, Index, IndexPool, SchemaBuilder};
+use proptest::prelude::*;
+
+const ATTRS: u32 = 12;
+
+fn schema() -> isel_workload::Schema {
+    let mut b = SchemaBuilder::new();
+    let t = b.table("t", 100_000);
+    for i in 0..ATTRS {
+        b.attribute(t, &format!("a{i}"), 100, 4);
+    }
+    b.finish()
+}
+
+/// A random valid index: 1..=5 distinct attributes in random order
+/// (Fisher–Yates keyed by an extra seed so shrinking stays local).
+fn arb_attrs() -> impl Strategy<Value = Vec<AttrId>> {
+    (prop::collection::btree_set(0..ATTRS, 1..=5), 0u64..u64::MAX).prop_map(|(set, seed)| {
+        let mut attrs: Vec<AttrId> = set.into_iter().map(AttrId).collect();
+        let mut state = seed | 1;
+        for i in (1..attrs.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            attrs.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        attrs
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Intern → resolve is the identity on index content, and interning
+    /// the same content again (in any interleaving with other indexes)
+    /// returns the same id: id equality ≡ content equality.
+    #[test]
+    fn intern_resolve_round_trips(
+        indexes in prop::collection::vec(arb_attrs(), 1..24),
+    ) {
+        let s = schema();
+        let pool = IndexPool::new(&s);
+        let ids: Vec<_> = indexes.iter().map(|a| pool.intern_attrs(a)).collect();
+        for (attrs, &id) in indexes.iter().zip(&ids) {
+            prop_assert_eq!(pool.attrs(id), &attrs[..]);
+            prop_assert_eq!(pool.resolve(id), Index::new(attrs.clone()));
+            prop_assert_eq!(pool.width(id), attrs.len());
+            prop_assert_eq!(pool.leading(id), attrs[0]);
+            prop_assert_eq!(pool.last(id), *attrs.last().unwrap());
+            // Idempotent re-intern, after everything else went in.
+            prop_assert_eq!(pool.intern_attrs(attrs), id);
+        }
+        // Distinct content ⇒ distinct ids and vice versa.
+        for (i, a) in indexes.iter().enumerate() {
+            for (j, b) in indexes.iter().enumerate() {
+                prop_assert_eq!(ids[i] == ids[j], a == b);
+            }
+        }
+    }
+
+    /// Every interned index carries the full prefix chain: walking parent
+    /// links strips exactly one trailing attribute per step down to a
+    /// width-1 root, and every link in the chain is itself interned.
+    #[test]
+    fn parent_links_walk_the_prefix_chain(attrs in arb_attrs()) {
+        let s = schema();
+        let pool = IndexPool::new(&s);
+        let id = pool.intern_attrs(&attrs);
+        let mut at = id;
+        for width in (1..=attrs.len()).rev() {
+            prop_assert_eq!(pool.attrs(at), &attrs[..width]);
+            match pool.parent(at) {
+                Some(p) => {
+                    prop_assert!(width > 1, "width-1 entries have no parent");
+                    // The parent is the interned id of the prefix.
+                    prop_assert_eq!(pool.intern_attrs(&attrs[..width - 1]), p);
+                    at = p;
+                }
+                None => prop_assert_eq!(width, 1),
+            }
+        }
+    }
+
+    /// `child`/`intern_child` (Algorithm 1's morphing step) agree with
+    /// interning the extended attribute list, and repeated lookups are
+    /// idempotent.
+    #[test]
+    fn child_lookup_matches_full_interning(attrs in arb_attrs()) {
+        prop_assume!(attrs.len() >= 2);
+        let s = schema();
+        let pool = IndexPool::new(&s);
+        let (prefix, ext) = attrs.split_at(attrs.len() - 1);
+        let parent = pool.intern_attrs(prefix);
+        // Not yet interned: the edge map must not invent children.
+        prop_assert_eq!(pool.child(parent, ext[0]), None);
+        let child = pool.intern_child(parent, ext[0]);
+        prop_assert_eq!(pool.child(parent, ext[0]), Some(child));
+        prop_assert_eq!(pool.intern_child(parent, ext[0]), child);
+        prop_assert_eq!(pool.intern_attrs(&attrs), child);
+        prop_assert_eq!(pool.parent(child), Some(parent));
+    }
+}

@@ -55,8 +55,8 @@ proptest! {
         let k1 = Index::single(AttrId(n - 1));
         for (j, _) in w.iter() {
             let f0 = est.unindexed_cost(j);
-            let c1 = est.config_cost(j, std::slice::from_ref(&k0));
-            let c2 = est.config_cost(j, &[k0.clone(), k1.clone()]);
+            let c1 = est.config_cost_of(j, std::slice::from_ref(&k0));
+            let c2 = est.config_cost_of(j, &[k0.clone(), k1.clone()]);
             prop_assert!(c1 <= f0 + 1e-9);
             prop_assert!(c2 <= c1 + 1e-9);
         }
@@ -108,7 +108,7 @@ proptest! {
     fn h6_sandwiched_between_optimal_and_baseline(w in arb_workload()) {
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
         let a = budget::relative_budget(&est, 0.3);
-        let pool = candidates::enumerate_imax(&w, 5).indexes();
+        let pool = candidates::enumerate_imax(&w, 5).ids(est.pool());
         prop_assume!(pool.len() <= 60); // keep the exact solve fast
         let opt = cophy::solve(&est, &pool, a, &CophyOptions {
             mip_gap: 0.0,
@@ -132,8 +132,8 @@ proptest! {
         let k = Index::single(AttrId(n / 2));
         for (j, _) in w.iter() {
             prop_assert_eq!(plain.unindexed_cost(j), cached.unindexed_cost(j));
-            prop_assert_eq!(plain.index_cost(j, &k), cached.index_cost(j, &k));
-            prop_assert_eq!(plain.index_cost(j, &k), cached.index_cost(j, &k));
+            prop_assert_eq!(plain.index_cost_of(j, &k), cached.index_cost_of(j, &k));
+            prop_assert_eq!(plain.index_cost_of(j, &k), cached.index_cost_of(j, &k));
         }
     }
 }

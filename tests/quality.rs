@@ -4,7 +4,7 @@
 //! degrades.
 
 use isel_core::{algorithm1, budget, candidates, cophy};
-use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
+use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf, WhatIfOptimizer};
 use isel_solver::cophy::CophyOptions;
 use isel_workload::synthetic::{self, SyntheticConfig};
 use std::time::Duration;
@@ -41,7 +41,7 @@ fn h6_is_near_optimal_across_seeds_and_budgets() {
     for seed in [4u64, 7, 18] {
         let w = workload(seed);
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
-        let pool = candidates::enumerate_imax(&w, 5).indexes();
+        let pool = candidates::enumerate_imax(&w, 5).ids(est.pool());
         for share in [0.15, 0.3] {
             let a = budget::relative_budget(&est, share);
             let h6 = algorithm1::run(&est, &algorithm1::Options::new(a));
@@ -49,7 +49,7 @@ fn h6_is_near_optimal_across_seeds_and_budgets() {
             // complement it with H6's own picks (Section III-B suggests
             // exactly this) so the reference is a true lower bound.
             let mut reference = pool.clone();
-            reference.extend(h6.selection.indexes().iter().cloned());
+            reference.extend(h6.selection.ids(&est));
             let opt = cophy::solve(&est, &reference, a, &exact());
             assert!(opt.solution.status.finished(), "reference must solve");
             let ratio = h6.final_cost / opt.solution.objective;
@@ -81,8 +81,12 @@ fn restricted_candidate_sets_degrade_cophy() {
     let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
     let pool = candidates::enumerate_imax(&w, 5);
     let a = budget::relative_budget(&est, 0.3);
-    let all = cophy::solve(&est, &pool.indexes(), a, &exact());
-    let tiny = candidates::select_candidates(&pool, 4, 4, candidates::CandidateRanking::Frequency);
+    let all = cophy::solve(&est, &pool.ids(est.pool()), a, &exact());
+    let tiny: Vec<_> =
+        candidates::select_candidates(&pool, 4, 4, candidates::CandidateRanking::Frequency)
+            .iter()
+            .map(|k| est.pool().intern(k))
+            .collect();
     let restricted = cophy::solve(&est, &tiny, a, &exact());
     assert!(
         restricted.solution.objective >= all.solution.objective - 1e-9,
@@ -100,8 +104,11 @@ fn h6_beats_cophy_with_tiny_candidate_sets() {
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
         let pool = candidates::enumerate_imax(&w, 5);
         let a = budget::relative_budget(&est, 0.3);
-        let tiny =
-            candidates::select_candidates(&pool, 4, 4, candidates::CandidateRanking::Frequency);
+        let tiny: Vec<_> =
+            candidates::select_candidates(&pool, 4, 4, candidates::CandidateRanking::Frequency)
+                .iter()
+                .map(|k| est.pool().intern(k))
+                .collect();
         let restricted = cophy::solve(&est, &tiny, a, &exact());
         let h6 = algorithm1::run(&est, &algorithm1::Options::new(a));
         rounds += 1;
@@ -119,7 +126,7 @@ fn h6_beats_cophy_with_tiny_candidate_sets() {
 fn gap_terminated_solutions_respect_their_gap() {
     let w = workload(5);
     let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
-    let pool = candidates::enumerate_imax(&w, 5).indexes();
+    let pool = candidates::enumerate_imax(&w, 5).ids(est.pool());
     let a = budget::relative_budget(&est, 0.25);
     let run = cophy::solve(
         &est,

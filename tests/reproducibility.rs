@@ -4,7 +4,7 @@
 //! "reproducible examples" hinge on).
 
 use isel_core::{algorithm1, budget, candidates, cophy, db2, heuristics};
-use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
+use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf, WhatIfOptimizer};
 use isel_solver::cophy::CophyOptions;
 use isel_workload::erp::{self, ErpConfig};
 use isel_workload::synthetic::{self, SyntheticConfig};
@@ -46,7 +46,7 @@ fn selection_algorithms_are_deterministic() {
     let run = |_: usize| {
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
         let a = budget::relative_budget(&est, 0.3);
-        let pool = candidates::enumerate_imax(&w, 3).indexes();
+        let pool = candidates::enumerate_imax(&w, 3).ids(est.pool());
         let h6 = algorithm1::run(&est, &algorithm1::Options::new(a));
         let h5 = heuristics::h5(&pool, &est, a);
         let cop = cophy::solve(

@@ -31,20 +31,26 @@ impl<W: WhatIfOptimizer> WhatIfOptimizer for NoisyWhatIf<W> {
     fn workload(&self) -> &Workload {
         self.inner.workload()
     }
+    fn pool(&self) -> &isel_workload::IndexPool {
+        self.inner.pool()
+    }
     fn unindexed_cost(&self, q: QueryId) -> f64 {
         self.inner.unindexed_cost(q) * Self::factor(q.0 as u64)
     }
-    fn index_cost(&self, q: QueryId, k: &Index) -> Option<f64> {
-        let seed = k
-            .attrs()
+    fn index_cost(&self, q: QueryId, k: isel_workload::IndexId) -> Option<f64> {
+        // Seed from the resolved attribute list, not the id, so the noise
+        // is a pure function of the (query, index) content.
+        let seed = self
+            .pool()
+            .attrs(k)
             .iter()
             .fold(q.0 as u64, |acc, a| acc.wrapping_mul(31).wrapping_add(a.0 as u64));
         self.inner.index_cost(q, k).map(|c| c * Self::factor(seed))
     }
-    fn index_memory(&self, k: &Index) -> u64 {
+    fn index_memory(&self, k: isel_workload::IndexId) -> u64 {
         self.inner.index_memory(k)
     }
-    fn maintenance_cost(&self, k: &Index) -> f64 {
+    fn maintenance_cost(&self, k: isel_workload::IndexId) -> f64 {
         self.inner.maintenance_cost(k)
     }
     fn stats(&self) -> WhatIfStats {
@@ -114,7 +120,7 @@ fn exact_fit_budgets_are_handled() {
     let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
     // Budget exactly one specific index's footprint.
     let k = Index::single(AttrId(3));
-    let a = est.index_memory(&k);
+    let a = est.index_memory_of(&k);
     let run = algorithm1::run(&est, &algorithm1::Options::new(a));
     assert!(run.selection.memory(&est) <= a);
 }
@@ -123,7 +129,7 @@ fn exact_fit_budgets_are_handled() {
 fn starved_solver_limits_return_feasible_incumbents() {
     let w = workload();
     let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
-    let pool = candidates::enumerate_imax(&w, 3).indexes();
+    let pool = candidates::enumerate_imax(&w, 3).ids(est.pool());
     let a = budget::relative_budget(&est, 0.3);
     for opts in [
         CophyOptions { mip_gap: 0.0, time_limit: Duration::from_millis(0), max_nodes: usize::MAX },
@@ -140,7 +146,7 @@ fn starved_solver_limits_return_feasible_incumbents() {
 fn heuristics_survive_single_candidate_pools() {
     let w = workload();
     let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
-    let lone = vec![Index::single(AttrId(0))];
+    let lone = vec![est.pool().intern_single(AttrId(0))];
     let a = budget::relative_budget(&est, 1.0);
     for sel in [
         heuristics::h1(&lone, &est, a),
@@ -150,7 +156,7 @@ fn heuristics_survive_single_candidate_pools() {
         assert!(sel.len() <= 1);
     }
     // Empty candidate pool.
-    let empty: Vec<Index> = vec![];
+    let empty: Vec<isel_workload::IndexId> = vec![];
     assert!(heuristics::h1(&empty, &est, a).is_empty());
     assert!(heuristics::skyline_filter(&empty, &est).is_empty());
 }
@@ -159,7 +165,7 @@ fn heuristics_survive_single_candidate_pools() {
 fn noisy_oracle_keeps_heuristics_budget_feasible() {
     let w = workload();
     let noisy = NoisyWhatIf { inner: CachingWhatIf::new(AnalyticalWhatIf::new(&w)) };
-    let pool = candidates::enumerate_imax(&w, 3).indexes();
+    let pool = candidates::enumerate_imax(&w, 3).ids(noisy.pool());
     let a = budget::relative_budget(&noisy, 0.25);
     for sel in [
         heuristics::h4(&pool, &noisy, a, false),

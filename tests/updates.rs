@@ -3,7 +3,7 @@
 //! conservatively.
 
 use isel_core::{algorithm1, budget, candidates, cophy, heuristics};
-use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
+use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf, WhatIfOptimizer};
 use isel_solver::cophy::CophyOptions;
 use isel_workload::synthetic::{self, SyntheticConfig};
 use isel_workload::{AttrId, Index, Query, SchemaBuilder, TableId, Workload};
@@ -112,7 +112,7 @@ fn cophy_penalties_match_workload_semantics() {
     let w = two_table_fixture(10_000);
     let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
     let a = budget::relative_budget(&est, 1.0);
-    let pool = candidates::enumerate_imax(&w, 2).indexes();
+    let pool = candidates::enumerate_imax(&w, 2).ids(est.pool());
     let run = cophy::solve(&est, &pool, a, &exact());
     assert!(run.solution.status.finished());
     // The solver's objective equals the estimator's evaluation of the
@@ -139,8 +139,8 @@ fn h6_still_tracks_the_optimum_under_updates() {
     let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
     let a = budget::relative_budget(&est, 0.3);
     let h6 = algorithm1::run(&est, &algorithm1::Options::new(a));
-    let mut pool = candidates::enumerate_imax(&w, 4).indexes();
-    pool.extend(h6.selection.indexes().iter().cloned());
+    let mut pool = candidates::enumerate_imax(&w, 4).ids(est.pool());
+    pool.extend(h6.selection.ids(&est));
     let opt = cophy::solve(&est, &pool, a, &exact());
     assert!(opt.solution.status.finished());
     let ratio = h6.final_cost / opt.solution.objective;
@@ -155,8 +155,8 @@ fn individual_benefit_is_negative_for_upkeep_only_indexes() {
     // An index on w1 never helps locating (the update filters on w0 and
     // the select on (w0, w1) prefers w0) — its benefit under heavy updates
     // must be negative, and H4/H5 must skip it.
-    let k = Index::single(AttrId(3));
-    assert!(heuristics::individual_benefit(&est, &k) < 0.0);
+    let k = est.pool().intern(&Index::single(AttrId(3)));
+    assert!(heuristics::individual_benefit(&est, k) < 0.0);
     let a = budget::relative_budget(&est, 1.0);
     let h5 = heuristics::h5(std::slice::from_ref(&k), &est, a);
     assert!(h5.is_empty());
