@@ -10,7 +10,7 @@
 //! enough that the candidate × query scan dominates.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use isel_core::{candidates, cophy, heuristics, Parallelism};
+use isel_core::{algorithm1, candidates, cophy, heuristics, Parallelism, RunReport, Trace, VecSink};
 use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf, WhatIfOptimizer};
 use isel_workload::erp::{self, ErpConfig};
 
@@ -30,8 +30,30 @@ fn erp_workload() -> isel_workload::Workload {
 /// collection (every applicable `(query, candidate)` pair) and the H5
 /// per-candidate benefit sweep. Every probe is answered from cache, so
 /// the bench measures the cache-key hot path itself.
+/// Guardrail at ERP scale: the scalability claim this bench motivates
+/// (≈ 2·Q·q̄ what-if calls) must actually hold here, observed through the
+/// trace layer on a fresh oracle — checked form `issued < 6·Q·q̄ + Q`,
+/// plus the scan-sum accounting invariant.
+fn assert_call_bound(w: &isel_workload::Workload) {
+    let est = CachingWhatIf::new(AnalyticalWhatIf::new(w));
+    let a = isel_core::budget::relative_budget(&est, 0.3);
+    let sink = VecSink::new();
+    algorithm1::run_traced(&est, &algorithm1::Options::new(a), Trace::to(&sink));
+    let report = RunReport::from_events(&sink.take());
+    report.check_accounting().expect("scan sums must equal run totals");
+    report.check_call_bound().expect("what-if call bound must hold at ERP scale");
+    if let Some((_, issued, ..)) = report.run_end {
+        eprintln!(
+            "ERP call bound ok: {issued} issued over Q·q̄={} (2·Q·q̄={})",
+            report.total_width,
+            2 * report.total_width
+        );
+    }
+}
+
 fn bench_candidate_scan_erp(c: &mut Criterion) {
     let w = erp_workload();
+    assert_call_bound(&w);
     let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
     // Intern the pool once up front — the boundary crossing every strategy
     // performs exactly once; the scans below ask by dense id.

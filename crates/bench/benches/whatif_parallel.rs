@@ -12,7 +12,7 @@
 //! the wall-clock changes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use isel_core::{algorithm1, budget, candidates, heuristics, Parallelism};
+use isel_core::{algorithm1, budget, candidates, heuristics, Parallelism, RunReport, Trace, VecSink};
 use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf, WhatIfOptimizer, WhatIfStats};
 use isel_workload::synthetic::{self, SyntheticConfig};
 use isel_workload::{IndexId, IndexPool, QueryId, Workload};
@@ -97,11 +97,33 @@ fn bench_candidate_scan(c: &mut Criterion) {
     g.finish();
 }
 
+/// Guardrail before measuring: a traced run on the bench workload must
+/// satisfy the paper's what-if call bound (Section III-A, checked form
+/// `issued < 6·Q·q̄ + Q`) and the scan-sum accounting invariant. A bench
+/// that silently exceeded the bound would be timing the wrong algorithm.
+fn assert_call_bound(w: &Workload) {
+    let est = CachingWhatIf::new(AnalyticalWhatIf::new(w));
+    let a = budget::relative_budget(&est, 0.3);
+    let sink = VecSink::new();
+    algorithm1::run_traced(&est, &algorithm1::Options::new(a), Trace::to(&sink));
+    let report = RunReport::from_events(&sink.take());
+    report.check_accounting().expect("scan sums must equal run totals");
+    report.check_call_bound().expect("what-if call bound must hold");
+    if let Some((_, issued, ..)) = report.run_end {
+        eprintln!(
+            "call bound ok: {issued} issued over Q·q̄={} (2·Q·q̄={})",
+            report.total_width,
+            2 * report.total_width
+        );
+    }
+}
+
 /// Full Algorithm 1 runs over a padded-and-cached oracle: each step's
 /// argmax scan fans misses across the workers, the sharded cache absorbs
 /// repeats.
 fn bench_h6_step_scan(c: &mut Criterion) {
     let w = workload();
+    assert_call_bound(&w);
     let mut g = c.benchmark_group("h6_padded");
     g.sample_size(10);
     for threads in [1usize, 2, 4, 8] {

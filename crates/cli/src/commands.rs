@@ -1,11 +1,38 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
-use isel_core::{algorithm1, budget, interaction, Advisor, Parallelism, Strategy};
+use isel_core::{
+    algorithm1, budget, interaction, Advisor, JsonLinesSink, Parallelism, RunReport, Strategy,
+    Trace,
+};
 use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf, WhatIfOptimizer};
 use isel_workload::erp::{self, ErpConfig};
 use isel_workload::synthetic::{self, SyntheticConfig};
 use isel_workload::{io, tpcc, Workload};
+
+type FileSink = JsonLinesSink<std::io::BufWriter<std::fs::File>>;
+
+/// `--trace FILE` — stream structured run events to FILE as JSON lines.
+fn trace_sink(args: &Args) -> Result<Option<FileSink>, String> {
+    match args.get("trace") {
+        None => Ok(None),
+        Some(path) => JsonLinesSink::create(path)
+            .map(Some)
+            .map_err(|e| format!("cannot create trace file: {e}")),
+    }
+}
+
+/// Flush the trace file and surface any dropped events as an error.
+fn finish_trace(sink: Option<FileSink>) -> Result<(), String> {
+    let Some(sink) = sink else { return Ok(()) };
+    let dropped = sink.write_errors();
+    sink.finish()
+        .map_err(|e| format!("cannot flush trace file: {e}"))?;
+    if dropped > 0 {
+        return Err(format!("trace: {dropped} events dropped by write errors"));
+    }
+    Ok(())
+}
 
 fn load_workload(args: &Args) -> Result<Workload, String> {
     let path = args
@@ -77,8 +104,15 @@ pub fn recommend(args: &Args) -> Result<(), String> {
     let strategy = parse_strategy(args.get("strategy").unwrap_or("h6"))?;
     let share = args.get_parsed("budget", 0.2f64)?;
     let est = CachingWhatIf::new(AnalyticalWhatIf::new(&workload));
-    let advisor = Advisor::new(&est).with_parallelism(parallelism(args)?);
-    let rec = advisor.recommend_relative(strategy, share);
+    let sink = trace_sink(args)?;
+    let rec = {
+        let mut advisor = Advisor::new(&est).with_parallelism(parallelism(args)?);
+        if let Some(s) = &sink {
+            advisor = advisor.with_trace(Trace::to(s));
+        }
+        advisor.recommend_relative(strategy, share)
+    };
+    finish_trace(sink)?;
 
     if args.flag("json") {
         let row = serde_json::json!({
@@ -154,10 +188,18 @@ pub fn compare(args: &Args) -> Result<(), String> {
     let workload = load_workload(args)?;
     let share = args.get_parsed("budget", 0.2f64)?;
     let est = CachingWhatIf::new(AnalyticalWhatIf::new(&workload));
-    let advisor = Advisor::new(&est).with_parallelism(parallelism(args)?);
-    let a = budget::relative_budget(&est, share);
+    let sink = trace_sink(args)?;
+    let recs = {
+        let mut advisor = Advisor::new(&est).with_parallelism(parallelism(args)?);
+        if let Some(s) = &sink {
+            advisor = advisor.with_trace(Trace::to(s));
+        }
+        let a = budget::relative_budget(&est, share);
+        advisor.compare(a)
+    };
+    finish_trace(sink)?;
     println!("strategy\trel.cost\t|I*|\tMiB\tseconds\twhatif\tcached\thit%");
-    for rec in advisor.compare(a) {
+    for rec in recs {
         println!(
             "{:?}\t{:.4}\t{}\t{:.1}\t{:.3}\t{}\t{}\t{:.1}",
             rec.strategy,
@@ -189,7 +231,12 @@ pub fn frontier(args: &Args) -> Result<(), String> {
         parallelism: parallelism(args)?,
         ..algorithm1::Options::new(a)
     };
-    let run = algorithm1::run(&est, &opts);
+    let sink = trace_sink(args)?;
+    let run = {
+        let trace = sink.as_ref().map_or(Trace::disabled(), |s| Trace::to(s));
+        algorithm1::run_traced(&est, &opts, trace)
+    };
+    finish_trace(sink)?;
     println!("memory_bytes\tcost\trelative");
     println!("0\t{:.6e}\t1.0", run.initial_cost);
     for p in run.frontier.points() {
@@ -199,6 +246,27 @@ pub fn frontier(args: &Args) -> Result<(), String> {
             p.cost,
             p.cost / run.initial_cost
         );
+    }
+    Ok(())
+}
+
+/// `isel report` — summarize a `--trace` JSON-lines file; `--check`
+/// additionally verifies the accounting and what-if call-bound
+/// invariants.
+pub fn report(args: &Args) -> Result<(), String> {
+    let path = args.get("trace").ok_or("missing --trace FILE")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace file: {e}"))?;
+    let events = RunReport::parse_jsonl(&text)?;
+    if events.is_empty() {
+        return Err("trace file holds no events".into());
+    }
+    let report = RunReport::from_events(&events);
+    print!("{}", report.render());
+    if args.flag("check") {
+        report.check_accounting()?;
+        report.check_call_bound()?;
+        println!("invariants: accounting ok, call bound ok");
     }
     Ok(())
 }
@@ -325,6 +393,35 @@ mod tests {
         )))
         .unwrap_err();
         assert!(err.contains("threads"));
+    }
+
+    #[test]
+    fn trace_files_round_trip_through_report() {
+        let out = tmp("w_trace.json");
+        generate(&argv(&format!(
+            "generate --kind synthetic --tables 2 --attrs 8 --queries 8 --rows 50000 --out {out}"
+        )))
+        .unwrap();
+        let trace = tmp("frontier.jsonl");
+        frontier(&argv(&format!(
+            "frontier --workload {out} --max-budget 0.4 --trace {trace}"
+        )))
+        .unwrap();
+        report(&argv(&format!("report --trace {trace} --check"))).unwrap();
+        let trace2 = tmp("recommend.jsonl");
+        recommend(&argv(&format!(
+            "recommend --workload {out} --strategy h6 --budget 0.3 --trace {trace2}"
+        )))
+        .unwrap();
+        report(&argv(&format!("report --trace {trace2} --check"))).unwrap();
+        // A malformed line is rejected with its position.
+        let broken = tmp("broken.jsonl");
+        std::fs::write(&broken, "{\"RunStart\":{}}\n").unwrap();
+        assert!(report(&argv(&format!("report --trace {broken}"))).is_err());
+        // An empty file is an error, not an empty report.
+        let empty = tmp("empty.jsonl");
+        std::fs::write(&empty, "").unwrap();
+        assert!(report(&argv(&format!("report --trace {empty}"))).is_err());
     }
 
     #[test]

@@ -4,9 +4,10 @@
 //! isel generate  --kind synthetic|erp|tpcc --out w.json [--seed N] [--tables N]
 //!                [--attrs N] [--queries N] [--rows N] [--updates FRAC]
 //! isel recommend --workload w.json --strategy h1|h2|h3|h4|h4s|h5|h6|cophy
-//!                [--budget 0.2] [--threads N] [--json]
-//! isel compare   --workload w.json [--budget 0.2] [--threads N]
-//! isel frontier  --workload w.json [--max-budget 0.5] [--threads N]
+//!                [--budget 0.2] [--threads N] [--json] [--trace t.jsonl]
+//! isel compare   --workload w.json [--budget 0.2] [--threads N] [--trace t.jsonl]
+//! isel frontier  --workload w.json [--max-budget 0.5] [--threads N] [--trace t.jsonl]
+//! isel report    --trace t.jsonl [--check]
 //! isel interactions --workload w.json [--top 10]
 //! ```
 //!
@@ -27,14 +28,21 @@ USAGE:
                      [--tables N] [--attrs N] [--queries N] [--rows N]
                      [--updates FRACTION] [--warehouses N]
   isel recommend     --workload FILE --strategy h1|h2|h3|h4|h4s|h5|h6|cophy
-                     [--budget SHARE] [--threads N] [--json]
+                     [--budget SHARE] [--threads N] [--json] [--trace FILE]
   isel compare       --workload FILE [--budget SHARE] [--threads N]
+                     [--trace FILE]
   isel frontier      --workload FILE [--max-budget SHARE] [--threads N]
+                     [--trace FILE]
+  isel report        --trace FILE [--check]
   isel interactions  --workload FILE [--top N]
   isel stats         --workload FILE
 
   --threads N fans candidate evaluation over N workers (0 = all cores);
   recommendations are identical at every setting.
+  --trace FILE streams structured run events (construction steps,
+  candidate scans, solver phases) as JSON lines; summarize with
+  `isel report --trace FILE`, or add --check to verify the what-if
+  accounting and call-bound invariants.
 ";
 
 fn main() -> ExitCode {
@@ -44,6 +52,7 @@ fn main() -> ExitCode {
         Some("recommend") => commands::recommend(&args),
         Some("compare") => commands::compare(&args),
         Some("frontier") => commands::frontier(&args),
+        Some("report") => commands::report(&args),
         Some("interactions") => commands::interactions(&args),
         Some("stats") => commands::stats(&args),
         Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),

@@ -14,6 +14,7 @@
 
 use crate::parallel::Parallelism;
 use crate::selection::Selection;
+use crate::trace::Trace;
 use crate::{algorithm1, budget, candidates, cophy, heuristics};
 use isel_costmodel::{CacheStats, WhatIfOptimizer, WhatIfStats};
 use isel_solver::cophy::CophyOptions;
@@ -106,6 +107,7 @@ pub struct Advisor<'a, W> {
     est: &'a W,
     candidates: Vec<IndexId>,
     parallelism: Parallelism,
+    trace: Trace<'a>,
 }
 
 impl<'a, W: WhatIfOptimizer> Advisor<'a, W> {
@@ -117,19 +119,35 @@ impl<'a, W: WhatIfOptimizer> Advisor<'a, W> {
             candidates: pool.ids(est.pool()),
             est,
             parallelism: Parallelism::serial(),
+            trace: Trace::disabled(),
         }
     }
 
     /// Advisor with an explicit candidate set, interned on entry.
     pub fn with_candidates(est: &'a W, candidates: Vec<Index>) -> Self {
         let candidates = candidates.iter().map(|k| est.pool().intern(k)).collect();
-        Self { est, candidates, parallelism: Parallelism::serial() }
+        Self {
+            est,
+            candidates,
+            parallelism: Parallelism::serial(),
+            trace: Trace::disabled(),
+        }
     }
 
     /// Evaluate candidates on `threads` worker threads. Recommendations
     /// are identical at every setting; only the wall-clock changes.
     pub fn with_parallelism(mut self, par: Parallelism) -> Self {
         self.parallelism = par;
+        self
+    }
+
+    /// Stream structured run events into `trace` during [`recommend`].
+    /// Recommendations are bit-identical with and without a sink; tracing
+    /// only observes.
+    ///
+    /// [`recommend`]: Advisor::recommend
+    pub fn with_trace(mut self, trace: Trace<'a>) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -157,31 +175,38 @@ impl<'a, W: WhatIfOptimizer> Advisor<'a, W> {
             Strategy::H1 => heuristics::h1(&self.candidates, self.est, budget),
             Strategy::H2 => heuristics::h2(&self.candidates, self.est, budget),
             Strategy::H3 => heuristics::h3(&self.candidates, self.est, budget),
-            Strategy::H4 { skyline } => heuristics::h4_with(
+            Strategy::H4 { skyline } => heuristics::h4_traced(
                 &self.candidates,
                 self.est,
                 budget,
                 *skyline,
                 self.parallelism,
+                self.trace,
             ),
-            Strategy::H5 => {
-                heuristics::h5_with(&self.candidates, self.est, budget, self.parallelism)
-            }
-            Strategy::H6 => algorithm1::run(
+            Strategy::H5 => heuristics::h5_traced(
+                &self.candidates,
+                self.est,
+                budget,
+                self.parallelism,
+                self.trace,
+            ),
+            Strategy::H6 => algorithm1::run_traced(
                 self.est,
                 &algorithm1::Options { parallelism: self.parallelism, ..algorithm1::Options::new(budget) },
+                self.trace,
             )
             .selection,
             Strategy::Db2 { swap_rounds } => {
-                crate::db2::run(
+                crate::db2::run_traced(
                     &self.candidates,
                     self.est,
                     &crate::db2::Db2Options { budget, swap_rounds: *swap_rounds, seed: 0xDB2 },
+                    self.trace,
                 )
                 .selection
             }
             Strategy::CoPhy { mip_gap, time_limit_secs } => {
-                cophy::solve_with(
+                cophy::solve_traced(
                     self.est,
                     &self.candidates,
                     budget,
@@ -191,6 +216,7 @@ impl<'a, W: WhatIfOptimizer> Advisor<'a, W> {
                         max_nodes: usize::MAX,
                     },
                     self.parallelism,
+                    self.trace,
                 )
                 .selection
             }
@@ -232,7 +258,7 @@ impl<'a, W: WhatIfOptimizer> Advisor<'a, W> {
         .into_iter()
         .map(|s| self.recommend(s, budget))
         .collect();
-        recs.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"));
+        recs.sort_by(|a, b| isel_workload::ord::total_cmp_nan_lowest(a.cost, b.cost));
         recs
     }
 }

@@ -56,10 +56,12 @@
 use crate::parallel::{parallel_map, Parallelism};
 use crate::reconfig::ReconfigCosts;
 use crate::selection::{Frontier, FrontierPoint, Selection};
-use isel_costmodel::WhatIfOptimizer;
+use crate::trace::{StepKind, Trace, TraceEvent};
+use isel_costmodel::{WhatIfOptimizer, WhatIfStats};
 use isel_workload::{AttrId, Index, IndexId, IndexPool, QueryId};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 /// Options of a run.
 #[derive(Clone, Debug)]
@@ -267,12 +269,60 @@ struct Slot {
 /// assert!(matches!(result.steps[0].action, StepAction::NewIndex(_)));
 /// ```
 pub fn run<W: WhatIfOptimizer>(est: &W, options: &Options) -> RunResult {
-    Engine::new(est, options).run()
+    run_traced(est, options, Trace::disabled())
+}
+
+/// [`run`] with a [`Trace`] handle: emits `RunStart`, one `CandidateScan`
+/// per step span (setup scan 0, one per loop iteration including the final
+/// unsuccessful one), one `Step` per construction step, and `RunEnd`.
+///
+/// Scan spans are measured back-to-back from the same stats origin as the
+/// run totals, so the summed per-scan what-if deltas equal the `RunEnd`
+/// totals by construction. With a disabled handle this is exactly [`run`]:
+/// no clock reads, no stats loads, no event construction, and (traced or
+/// not) identical selections at every thread count.
+pub fn run_traced<W: WhatIfOptimizer>(
+    est: &W,
+    options: &Options,
+    trace: Trace<'_>,
+) -> RunResult {
+    let entry_stats = est.stats();
+    let run_start = Instant::now();
+    trace.emit(|| {
+        let w = est.workload();
+        TraceEvent::RunStart {
+            strategy: "H6".into(),
+            queries: w.query_count() as u64,
+            total_width: w.iter().map(|(_, q)| q.width() as u64).sum(),
+            budget: options.budget,
+        }
+    });
+    let result = Engine::new(est, options, trace, entry_stats, run_start).run();
+    trace.emit(|| {
+        let now = est.stats();
+        TraceEvent::RunEnd {
+            steps: result.steps.len() as u64,
+            issued: now.calls_issued - entry_stats.calls_issued,
+            cached: now.calls_answered_from_cache - entry_stats.calls_answered_from_cache,
+            initial_cost: result.initial_cost,
+            final_cost: result.final_cost,
+            micros: run_start.elapsed().as_micros() as u64,
+        }
+    });
+    result
 }
 
 struct Engine<'a, W> {
     est: &'a W,
     options: &'a Options,
+    /// Observability handle; disabled handles cost one branch per emit.
+    trace: Trace<'a>,
+    /// Oracle stats at run entry — origin of the setup-scan delta.
+    entry_stats: WhatIfStats,
+    /// Wall-clock run start — origin of the setup-scan timing.
+    run_start: Instant,
+    /// Candidate moves enumerated by the most recent [`best_move`] scan.
+    scanned_candidates: usize,
     /// Per-query frequency `b_j`.
     freq: Vec<f64>,
     /// Per-query current cost (F part).
@@ -299,7 +349,13 @@ struct Engine<'a, W> {
 }
 
 impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
-    fn new(est: &'a W, options: &'a Options) -> Self {
+    fn new(
+        est: &'a W,
+        options: &'a Options,
+        trace: Trace<'a>,
+        entry_stats: WhatIfStats,
+        run_start: Instant,
+    ) -> Self {
         let workload = est.workload();
         let n_attrs = workload.schema().attr_count();
         let mut attr_queries = vec![Vec::new(); n_attrs];
@@ -339,6 +395,10 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
         Self {
             est,
             options,
+            trace,
+            entry_stats,
+            run_start,
+            scanned_candidates: 0,
             freq,
             cur,
             server,
@@ -655,6 +715,7 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
     fn best_move(&mut self) -> Option<(Move, f64, u64, f64, Option<MissedOpportunity>)> {
         self.refresh_caches();
         let moves = self.enumerate_moves();
+        self.scanned_candidates = moves.len();
         // Metrics evaluate in parallel; the winner is decided by a serial
         // fold over the canonically ordered candidates, so the outcome is
         // independent of the thread schedule.
@@ -831,6 +892,21 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
         }
     }
 
+    /// Emit the candidate-scan event for one step span: what-if deltas
+    /// measured from `before`, wall time from `t0`. Only called when the
+    /// trace is enabled.
+    fn emit_scan(&self, step: u64, queries_recosted: u64, t0: Instant, before: WhatIfStats) {
+        let now = self.est.stats();
+        self.trace.emit(|| TraceEvent::CandidateScan {
+            step,
+            candidates: self.scanned_candidates as u64,
+            queries_recosted,
+            issued: now.calls_issued - before.calls_issued,
+            cached: now.calls_answered_from_cache - before.calls_answered_from_cache,
+            micros: t0.elapsed().as_micros() as u64,
+        });
+    }
+
     fn run(mut self) -> RunResult {
         // Remark 1.1: rank single attributes by initial benefit density
         // and keep only the n best.
@@ -846,12 +922,25 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
                     (i as usize, ben / p.max(1) as f64)
                 },
             );
-            density.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+            density.sort_by(|a, b| {
+                isel_workload::ord::total_cmp_nan_lowest_desc(a.1, b.1).then(a.0.cmp(&b.0))
+            });
             let mut allowed = vec![false; n_attrs];
             for &(i, _) in density.iter().take(n) {
                 allowed[i] = true;
             }
             self.allowed_singles = Some(allowed);
+        }
+
+        // Setup scan (scan 0): the initial `f_j(0)` costing from engine
+        // construction plus the n-best pre-ranking above.
+        if self.trace.is_enabled() {
+            self.scanned_candidates = if self.options.n_best_single.is_some() {
+                self.single_ben.len()
+            } else {
+                0
+            };
+            self.emit_scan(0, self.cur.len() as u64, self.run_start, self.entry_stats);
         }
 
         let initial_cost = self.total_f() + self.reconfig_cost(&Selection::empty());
@@ -864,7 +953,19 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
                     break;
                 }
             }
-            let Some((mv, net_ben, dmem, ratio, runner_up)) = self.best_move() else { break };
+            let span = self
+                .trace
+                .is_enabled()
+                .then(|| (Instant::now(), self.est.stats()));
+            let best = self.best_move();
+            let Some((mv, net_ben, dmem, ratio, runner_up)) = best else {
+                // The terminating scan still issued what-if calls; record
+                // it so scan sums equal the run totals.
+                if let Some((t0, before)) = span {
+                    self.emit_scan(steps.len() as u64 + 1, 0, t0, before);
+                }
+                break;
+            };
             let (action, changed) = self.apply(&mv);
             self.invalidate(&changed);
 
@@ -879,6 +980,26 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
                 total_cost,
                 runner_up,
             });
+            if let Some((t0, before)) = span {
+                let step_no = steps.len() as u64;
+                self.emit_scan(step_no, changed.len() as u64, t0, before);
+                self.trace.emit(|| TraceEvent::Step {
+                    step: step_no,
+                    kind: match &mv {
+                        Move::New(_) => StepKind::Add,
+                        Move::Extend { .. } => StepKind::Morph,
+                    },
+                    index: Some(match &mv {
+                        Move::New(k) => k.0,
+                        Move::Extend { to, .. } => to.0,
+                    }),
+                    benefit: net_ben,
+                    memory_delta: dmem as i64,
+                    ratio,
+                    total_memory: self.total_memory,
+                    total_cost,
+                });
+            }
             frontier_points.push(FrontierPoint { memory: self.total_memory, cost: total_cost });
 
             if self.options.prune_unused {
@@ -894,6 +1015,16 @@ impl<'a, W: WhatIfOptimizer> Engine<'a, W> {
                         total_memory: self.total_memory,
                         total_cost,
                         runner_up: None,
+                    });
+                    self.trace.emit(|| TraceEvent::Step {
+                        step: steps.len() as u64,
+                        kind: StepKind::Prune,
+                        index: None,
+                        benefit: 0.0,
+                        memory_delta: -(freed as i64),
+                        ratio: 0.0,
+                        total_memory: self.total_memory,
+                        total_cost,
                     });
                     frontier_points
                         .push(FrontierPoint { memory: self.total_memory, cost: total_cost });

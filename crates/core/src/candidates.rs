@@ -178,14 +178,13 @@ pub fn select_candidates(
         bucket.sort_by(|a, b| {
             let ord = match ranking {
                 CandidateRanking::Frequency => b.occurrences.cmp(&a.occurrences),
-                CandidateRanking::Selectivity => a
-                    .selectivity
-                    .partial_cmp(&b.selectivity)
-                    .expect("finite selectivities"),
+                CandidateRanking::Selectivity => {
+                    isel_workload::ord::total_cmp_nan_lowest(a.selectivity, b.selectivity)
+                }
                 CandidateRanking::Ratio => {
                     let ra = a.selectivity / a.occurrences.max(1) as f64;
                     let rb = b.selectivity / b.occurrences.max(1) as f64;
-                    ra.partial_cmp(&rb).expect("finite ratios")
+                    isel_workload::ord::total_cmp_nan_lowest(ra, rb)
                 }
             };
             ord.then(a.set.cmp(&b.set))

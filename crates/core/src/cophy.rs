@@ -9,6 +9,7 @@
 
 use crate::parallel::{parallel_map, Parallelism};
 use crate::selection::Selection;
+use crate::trace::{Trace, TraceEvent};
 use isel_costmodel::WhatIfOptimizer;
 use isel_solver::cophy::{self, CophyInstance, CophyOptions, CophyQueryRow, CophySolution};
 use isel_workload::{AttrId, Index, IndexId};
@@ -121,6 +122,20 @@ pub fn solve_with(
     options: &CophyOptions,
     par: Parallelism,
 ) -> CophyRun {
+    solve_traced(est, candidates, budget, options, par, Trace::disabled())
+}
+
+/// [`solve_with`] emitting one [`TraceEvent::SolverPhase`] per phase:
+/// `cophy_build` (detail = what-if requests collecting coefficients) and
+/// `cophy_solve` (detail = branch-and-bound nodes).
+pub fn solve_traced(
+    est: &impl WhatIfOptimizer,
+    candidates: &[IndexId],
+    budget: u64,
+    options: &CophyOptions,
+    par: Parallelism,
+    trace: Trace<'_>,
+) -> CophyRun {
     // Deduplicate candidates; the LP must not contain identical columns.
     // Interned ids are content-unique, so duplicate detection is id
     // equality — no attribute vectors are cloned or hashed.
@@ -137,8 +152,19 @@ pub fn solve_with(
     let build_time = build_start.elapsed();
     let build_what_if_calls = est.stats().total_requests() - calls_before;
     let lp_size = instance.lp_size();
+    trace.emit(|| TraceEvent::SolverPhase {
+        phase: "cophy_build".into(),
+        detail: build_what_if_calls,
+        micros: build_time.as_micros() as u64,
+    });
 
+    let solve_start = Instant::now();
     let solution = cophy::solve(&instance, options);
+    trace.emit(|| TraceEvent::SolverPhase {
+        phase: "cophy_solve".into(),
+        detail: solution.nodes as u64,
+        micros: solve_start.elapsed().as_micros() as u64,
+    });
     let pool = est.pool();
     let selection = candidates
         .iter()

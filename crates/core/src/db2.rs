@@ -11,11 +11,13 @@
 
 use crate::heuristics;
 use crate::selection::Selection;
+use crate::trace::{Trace, TraceEvent};
 use isel_costmodel::WhatIfOptimizer;
 use isel_workload::IndexId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
+use std::time::Instant;
 
 /// Options of the randomized phase.
 #[derive(Clone, Copy, Debug)]
@@ -45,7 +47,26 @@ pub struct Db2Result {
 /// works entirely on interned ids; only the returned [`Selection`] holds
 /// resolved indexes.
 pub fn run(candidates: &[IndexId], est: &impl WhatIfOptimizer, options: &Db2Options) -> Db2Result {
+    run_traced(candidates, est, options, Trace::disabled())
+}
+
+/// [`run`] emitting one [`TraceEvent::SolverPhase`] per phase:
+/// `db2_h5_start` (detail = indexes in the starting solution) and
+/// `db2_swap_rounds` (detail = accepted swap proposals).
+pub fn run_traced(
+    candidates: &[IndexId],
+    est: &impl WhatIfOptimizer,
+    options: &Db2Options,
+    trace: Trace<'_>,
+) -> Db2Result {
+    let h5_start = Instant::now();
     let start = heuristics::h5(candidates, est, options.budget);
+    trace.emit(|| TraceEvent::SolverPhase {
+        phase: "db2_h5_start".into(),
+        detail: start.len() as u64,
+        micros: h5_start.elapsed().as_micros() as u64,
+    });
+    let swap_start = Instant::now();
     let start_cost = start.cost(est);
     let mut selection: Vec<IndexId> = start.ids(est);
     let mut cost = start_cost;
@@ -92,6 +113,11 @@ pub fn run(candidates: &[IndexId], est: &impl WhatIfOptimizer, options: &Db2Opti
         }
     }
 
+    trace.emit(|| TraceEvent::SolverPhase {
+        phase: "db2_swap_rounds".into(),
+        detail: accepted as u64,
+        micros: swap_start.elapsed().as_micros() as u64,
+    });
     let pool_ref = est.pool();
     let selection: Selection = selection.iter().map(|&k| pool_ref.resolve(k)).collect();
     Db2Result { selection, start_cost, final_cost: cost, accepted_swaps: accepted }

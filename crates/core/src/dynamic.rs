@@ -18,6 +18,7 @@
 use crate::algorithm1::{self, Options};
 use crate::reconfig::ReconfigCosts;
 use crate::selection::Selection;
+use crate::trace::{Trace as RunTrace, TraceEvent};
 use isel_costmodel::WhatIfOptimizer;
 use serde::{Deserialize, Serialize};
 
@@ -88,13 +89,34 @@ fn paid_reconfig(
 /// selection as its `Ī*`, so transitions are only made when they pay for
 /// themselves within the epoch.
 pub fn adapt(epochs: &[&dyn WhatIfOptimizer], budget: u64, costs: TransitionCosts) -> Trace {
-    run_policy(epochs, budget, costs, true)
+    run_policy(epochs, budget, costs, true, RunTrace::disabled())
+}
+
+/// [`adapt`] with a [`RunTrace`] handle: emits every per-run event of the
+/// underlying Algorithm-1 runs plus one [`TraceEvent::Epoch`] per epoch.
+pub fn adapt_traced(
+    epochs: &[&dyn WhatIfOptimizer],
+    budget: u64,
+    costs: TransitionCosts,
+    trace: RunTrace<'_>,
+) -> Trace {
+    run_policy(epochs, budget, costs, true, trace)
 }
 
 /// Greedy re-selection per epoch ignoring transition costs (they are still
 /// charged in the trace — this is the "churn everything" baseline).
 pub fn from_scratch(epochs: &[&dyn WhatIfOptimizer], budget: u64, costs: TransitionCosts) -> Trace {
-    run_policy(epochs, budget, costs, false)
+    run_policy(epochs, budget, costs, false, RunTrace::disabled())
+}
+
+/// [`from_scratch`] with a [`RunTrace`] handle (see [`adapt_traced`]).
+pub fn from_scratch_traced(
+    epochs: &[&dyn WhatIfOptimizer],
+    budget: u64,
+    costs: TransitionCosts,
+    trace: RunTrace<'_>,
+) -> Trace {
+    run_policy(epochs, budget, costs, false, trace)
 }
 
 fn run_policy(
@@ -102,10 +124,12 @@ fn run_policy(
     budget: u64,
     costs: TransitionCosts,
     reconfig_aware: bool,
+    trace: RunTrace<'_>,
 ) -> Trace {
+    let policy = if reconfig_aware { "adapt" } else { "from_scratch" };
     let mut prev = Selection::empty();
     let mut out = Vec::with_capacity(epochs.len());
-    for est in epochs {
+    for (e, est) in epochs.iter().enumerate() {
         let mut options = Options::new(budget);
         if reconfig_aware {
             options.reconfig = ReconfigCosts {
@@ -118,13 +142,20 @@ fn run_policy(
             // steers which *new* steps are worth paying for. Steps whose
             // indexes already exist in `Ī*` are free to re-create.
         }
-        let run = algorithm1::run(est, &options);
+        let run = algorithm1::run_traced(est, &options, trace);
         // Keep previous indexes that the fresh construction did not
         // contradict: an index in Ī* that still fits the budget and was
         // re-chosen costs nothing; everything else is dropped (and billed).
         let selection = run.selection;
         let reconfig_paid = paid_reconfig(*est, &prev, &selection, costs);
         let workload_cost = selection.cost(est);
+        trace.emit(|| TraceEvent::Epoch {
+            epoch: e as u64,
+            policy: policy.into(),
+            indexes: selection.len() as u64,
+            workload_cost,
+            reconfig_paid,
+        });
         out.push(EpochResult { selection: selection.clone(), workload_cost, reconfig_paid });
         prev = selection;
     }

@@ -25,6 +25,7 @@
 
 use crate::parallel::{parallel_map, Parallelism};
 use crate::selection::Selection;
+use crate::trace::{Trace, TraceEvent};
 use isel_costmodel::WhatIfOptimizer;
 use isel_workload::{AttrId, IndexId, QueryId, Workload};
 
@@ -81,6 +82,42 @@ pub fn individual_benefit(est: &impl WhatIfOptimizer, index: IndexId) -> f64 {
 /// pairs. Per-candidate results are bit-identical to the single-candidate
 /// entry point.
 pub fn individual_benefits(
+    candidates: &[IndexId],
+    est: &impl WhatIfOptimizer,
+    par: Parallelism,
+) -> Vec<f64> {
+    individual_benefits_traced(candidates, est, par, Trace::disabled())
+}
+
+/// [`individual_benefits`] emitting one [`TraceEvent::CandidateScan`]
+/// summarizing the sweep: candidates scored, queries visited, and the
+/// what-if calls issued vs. answered from cache. Results are bit-identical
+/// to the untraced scan at every thread count.
+pub fn individual_benefits_traced(
+    candidates: &[IndexId],
+    est: &impl WhatIfOptimizer,
+    par: Parallelism,
+    trace: Trace<'_>,
+) -> Vec<f64> {
+    let span = trace
+        .is_enabled()
+        .then(|| (std::time::Instant::now(), est.stats()));
+    let benefits = individual_benefits_inner(candidates, est, par);
+    if let Some((t0, before)) = span {
+        let now = est.stats();
+        trace.emit(|| TraceEvent::CandidateScan {
+            step: 0,
+            candidates: candidates.len() as u64,
+            queries_recosted: est.workload().query_count() as u64,
+            issued: now.calls_issued - before.calls_issued,
+            cached: now.calls_answered_from_cache - before.calls_answered_from_cache,
+            micros: t0.elapsed().as_micros() as u64,
+        });
+    }
+    benefits
+}
+
+fn individual_benefits_inner(
     candidates: &[IndexId],
     est: &impl WhatIfOptimizer,
     par: Parallelism,
@@ -178,10 +215,11 @@ pub fn h2(candidates: &[IndexId], est: &impl WhatIfOptimizer, budget: u64) -> Se
     let pool = est.pool();
     let mut ranked = candidates.to_vec();
     ranked.sort_by(|&a, &b| {
-        combined_selectivity(w, pool.attrs(a))
-            .partial_cmp(&combined_selectivity(w, pool.attrs(b)))
-            .expect("finite selectivities")
-            .then_with(|| pool.attrs(a).cmp(pool.attrs(b)))
+        isel_workload::ord::total_cmp_nan_lowest(
+            combined_selectivity(w, pool.attrs(a)),
+            combined_selectivity(w, pool.attrs(b)),
+        )
+        .then_with(|| pool.attrs(a).cmp(pool.attrs(b)))
     });
     greedy_fill(&ranked, est, budget)
 }
@@ -196,9 +234,7 @@ pub fn h3(candidates: &[IndexId], est: &impl WhatIfOptimizer, budget: u64) -> Se
     };
     let mut ranked = candidates.to_vec();
     ranked.sort_by(|&a, &b| {
-        ratio(a)
-            .partial_cmp(&ratio(b))
-            .expect("finite ratios")
+        isel_workload::ord::total_cmp_nan_lowest(ratio(a), ratio(b))
             .then_with(|| pool.attrs(a).cmp(pool.attrs(b)))
     });
     greedy_fill(&ranked, est, budget)
@@ -224,6 +260,18 @@ pub fn h4_with(
     use_skyline: bool,
     par: Parallelism,
 ) -> Selection {
+    h4_traced(candidates, est, budget, use_skyline, par, Trace::disabled())
+}
+
+/// [`h4_with`] with the benefit scan traced.
+pub fn h4_traced(
+    candidates: &[IndexId],
+    est: &impl WhatIfOptimizer,
+    budget: u64,
+    use_skyline: bool,
+    par: Parallelism,
+    trace: Trace<'_>,
+) -> Selection {
     let pool: Vec<IndexId> = if use_skyline {
         skyline_filter(candidates, est)
     } else {
@@ -231,7 +279,7 @@ pub fn h4_with(
     };
     // Candidates whose upkeep outweighs their savings are never worth
     // selecting, whatever the budget.
-    let benefits = individual_benefits(&pool, est, par);
+    let benefits = individual_benefits_traced(&pool, est, par, trace);
     let ids = est.pool();
     let mut ranked: Vec<(IndexId, f64)> = pool
         .into_iter()
@@ -239,8 +287,7 @@ pub fn h4_with(
         .filter(|(_, ben)| *ben > 0.0)
         .collect();
     ranked.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .expect("finite benefits")
+        isel_workload::ord::total_cmp_nan_lowest_desc(a.1, b.1)
             .then_with(|| ids.attrs(a.0).cmp(ids.attrs(b.0)))
     });
     let ranked: Vec<IndexId> = ranked.into_iter().map(|(k, _)| k).collect();
@@ -276,7 +323,18 @@ pub fn h5_with(
     budget: u64,
     par: Parallelism,
 ) -> Selection {
-    let benefits = individual_benefits(candidates, est, par);
+    h5_traced(candidates, est, budget, par, Trace::disabled())
+}
+
+/// [`h5_with`] with the benefit scan traced.
+pub fn h5_traced(
+    candidates: &[IndexId],
+    est: &impl WhatIfOptimizer,
+    budget: u64,
+    par: Parallelism,
+    trace: Trace<'_>,
+) -> Selection {
+    let benefits = individual_benefits_traced(candidates, est, par, trace);
     let pool = est.pool();
     let mut ranked: Vec<(IndexId, f64)> = candidates
         .iter()
@@ -288,8 +346,7 @@ pub fn h5_with(
         })
         .collect();
     ranked.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .expect("finite densities")
+        isel_workload::ord::total_cmp_nan_lowest_desc(a.1, b.1)
             .then_with(|| pool.attrs(a.0).cmp(pool.attrs(b.0)))
     });
     let ranked: Vec<IndexId> = ranked.into_iter().map(|(k, _)| k).collect();
@@ -319,7 +376,7 @@ pub fn skyline_filter(candidates: &[IndexId], est: &impl WhatIfOptimizer) -> Vec
         rows.sort_by(|a, b| {
             sizes[a.0]
                 .cmp(&sizes[b.0])
-                .then(a.1.partial_cmp(&b.1).expect("finite costs"))
+                .then(isel_workload::ord::total_cmp_nan_lowest(a.1, b.1))
         });
         let mut best_cost = f64::INFINITY;
         for &(i, c) in &rows {

@@ -66,7 +66,7 @@ pub fn interaction_matrix(
             }
         }
     }
-    pairs.sort_by(|x, y| y.degree.partial_cmp(&x.degree).expect("finite degrees"));
+    pairs.sort_by(|x, y| isel_workload::ord::total_cmp_nan_lowest_desc(x.degree, y.degree));
     pairs
 }
 

@@ -48,9 +48,11 @@ pub mod interaction;
 pub mod parallel;
 pub mod reconfig;
 pub mod selection;
+pub mod trace;
 
 pub use advisor::{Advisor, Recommendation, Strategy};
 pub use parallel::Parallelism;
 pub use algorithm1::{Options as Algorithm1Options, RunResult as Algorithm1Result};
 pub use reconfig::ReconfigCosts;
 pub use selection::{Frontier, FrontierPoint, Selection};
+pub use trace::{JsonLinesSink, RunReport, Trace, TraceEvent, TraceSink, VecSink};

@@ -1,0 +1,691 @@
+//! Structured run-trace observability: a zero-cost-when-disabled event
+//! stream threaded through every selection strategy.
+//!
+//! The paper evaluates approaches by *what they do* — what-if calls
+//! issued, candidates scored, LP build vs. solve time — but a finished
+//! [`RunResult`](crate::algorithm1::RunResult) only shows the outcome.
+//! This module exposes the run itself as a stream of typed
+//! [`TraceEvent`]s:
+//!
+//! * every construction step chosen (kind, index id, Δcost, Δmemory,
+//!   ratio),
+//! * a candidate-scan summary per step (candidates scored, queries
+//!   re-costed, what-if calls issued vs. answered from cache),
+//! * solver phase timings (CoPhy LP build/solve, DB2 swap rounds),
+//! * per-epoch events from the dynamic policies.
+//!
+//! Events flow into a [`TraceSink`]; two sinks ship with the crate — an
+//! in-memory [`VecSink`] for tests and a [`JsonLinesSink`] writing one
+//! JSON object per line for offline analysis (`isel report`). The stream
+//! aggregates into a [`RunReport`] with per-step timing histograms and
+//! checked invariants.
+//!
+//! # Zero-cost contract
+//!
+//! Strategies receive a [`Trace`] handle — a `Copy` wrapper around
+//! `Option<&dyn TraceSink>`. [`Trace::emit`] takes a *closure* producing
+//! the event, so with tracing disabled neither the event nor any of its
+//! `String`/`Vec` payloads is ever constructed; the only residue is an
+//! inlined `Option` test. Instrumented code paths additionally guard
+//! their timestamp and counter reads behind [`Trace::is_enabled`], so an
+//! untraced run performs no clock reads and no extra stats loads per
+//! step. Traced runs remain bit-identical to untraced runs at every
+//! thread count: tracing only *observes* (events are emitted from the
+//! serial sections of each strategy), it never participates in any
+//! ranking or tie-break.
+//!
+//! # Accounting invariant
+//!
+//! For an Algorithm-1 run, the per-step [`TraceEvent::CandidateScan`]
+//! deltas are measured back-to-back (setup scan, then one span per loop
+//! iteration including the final unsuccessful one), so their sums equal
+//! the run totals in [`TraceEvent::RunEnd`] *by construction* — for any
+//! oracle. [`RunReport::check_accounting`] verifies this, and
+//! [`RunReport::check_call_bound`] checks the paper's ≈ 2·Q·q̄ what-if
+//! bound (Section III-A) in the same form as the in-repo regression test:
+//! `issued < 6·Q·q̄ + Q`.
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::sync::Mutex;
+
+/// What kind of construction step a [`TraceEvent::Step`] records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StepKind {
+    /// A new index was created (step 3a).
+    Add,
+    /// An existing index was extended by trailing attributes (step 3b).
+    Morph,
+    /// Unused indexes were dropped (Remark 1.2).
+    Prune,
+}
+
+/// One structured event of a run. Serialized as one JSON object per line
+/// by [`JsonLinesSink`]; the schema is the externally-tagged serde form,
+/// e.g. `{"Step":{"step":1,...}}`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A strategy run began.
+    RunStart {
+        /// Strategy label, e.g. `"H6"`.
+        strategy: String,
+        /// Number of query templates `Q`.
+        queries: u64,
+        /// `Σ_j |q_j|` — i.e. `Q·q̄`, the denominator of the paper's
+        /// what-if call bound.
+        total_width: u64,
+        /// Memory budget in bytes.
+        budget: u64,
+    },
+    /// One candidate scan: the work performed to pick (or fail to pick)
+    /// one construction step. Scan 0 is the setup scan (initial `f_j(0)`
+    /// costing plus any pre-loop ranking); the last scan of a run is the
+    /// unsuccessful one that terminated construction.
+    CandidateScan {
+        /// Step number this scan served (0 = setup).
+        step: u64,
+        /// Candidate moves enumerated and scored.
+        candidates: u64,
+        /// Queries whose current cost changed due to the chosen step.
+        queries_recosted: u64,
+        /// What-if calls issued to the oracle during this span.
+        issued: u64,
+        /// What-if requests answered from a cache during this span.
+        cached: u64,
+        /// Wall time of the span in microseconds.
+        micros: u64,
+    },
+    /// A construction step was taken.
+    Step {
+        /// 1-based step number.
+        step: u64,
+        /// Add, morph or prune.
+        kind: StepKind,
+        /// Pool id of the created/extended index (`None` for prunes).
+        index: Option<u32>,
+        /// Net workload-cost reduction of the step.
+        benefit: f64,
+        /// Memory change in bytes (negative for prunes).
+        memory_delta: i64,
+        /// `benefit / memory_delta` — the selection criterion.
+        ratio: f64,
+        /// Total memory after the step.
+        total_memory: u64,
+        /// Total cost after the step.
+        total_cost: f64,
+    },
+    /// A named solver phase finished (CoPhy LP build/solve, DB2 swap
+    /// rounds, …).
+    SolverPhase {
+        /// Phase label, e.g. `"cophy_build"`.
+        phase: String,
+        /// Phase-specific magnitude (what-if calls, nodes, accepted
+        /// swaps, …).
+        detail: u64,
+        /// Wall time of the phase in microseconds.
+        micros: u64,
+    },
+    /// One epoch of a dynamic policy finished.
+    Epoch {
+        /// 0-based epoch number.
+        epoch: u64,
+        /// Policy label (`"adapt"` or `"from_scratch"`).
+        policy: String,
+        /// Indexes in force during the epoch.
+        indexes: u64,
+        /// Workload cost of the epoch.
+        workload_cost: f64,
+        /// Reconfiguration cost paid entering the epoch.
+        reconfig_paid: f64,
+    },
+    /// A strategy run finished. `issued`/`cached` are totals over the
+    /// whole run, measured from the same origin as the scans.
+    RunEnd {
+        /// Construction steps taken.
+        steps: u64,
+        /// Total what-if calls issued.
+        issued: u64,
+        /// Total what-if requests answered from a cache.
+        cached: u64,
+        /// Cost before any step.
+        initial_cost: f64,
+        /// Cost after the last step.
+        final_cost: f64,
+        /// Wall time of the run in microseconds.
+        micros: u64,
+    },
+}
+
+/// Receiver of [`TraceEvent`]s. `Sync` because traced strategies are
+/// shared across evaluation workers (events themselves are only emitted
+/// from the serial sections, but the handle crosses threads).
+pub trait TraceSink: Sync {
+    /// Record one event. Called in run order.
+    fn record(&self, event: TraceEvent);
+}
+
+/// In-memory sink collecting events into a `Vec` — the test sink.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl VecSink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The events recorded so far, in order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("trace sink poisoned").clone()
+    }
+
+    /// Drain and return all recorded events.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().expect("trace sink poisoned"))
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&self, event: TraceEvent) {
+        self.events.lock().expect("trace sink poisoned").push(event);
+    }
+}
+
+/// Sink writing one JSON object per line — the `--trace FILE` format,
+/// parsed back by `isel report` and [`RunReport::parse_jsonl`]. Write
+/// errors are counted, not propagated: tracing must never abort a run.
+pub struct JsonLinesSink<W: Write + Send> {
+    out: Mutex<W>,
+    errors: std::sync::atomic::AtomicU64,
+}
+
+impl JsonLinesSink<std::io::BufWriter<std::fs::File>> {
+    /// Create (truncate) `path` and write events to it, buffered.
+    pub fn create(path: &str) -> std::io::Result<Self> {
+        Ok(Self::new(std::io::BufWriter::new(std::fs::File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    /// Wrap any writer.
+    pub fn new(out: W) -> Self {
+        Self { out: Mutex::new(out), errors: std::sync::atomic::AtomicU64::new(0) }
+    }
+
+    /// Number of events dropped due to serialization or I/O errors.
+    pub fn write_errors(&self) -> u64 {
+        self.errors.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Flush and return the inner writer.
+    pub fn finish(self) -> std::io::Result<W> {
+        let mut out = self.out.into_inner().expect("trace sink poisoned");
+        out.flush()?;
+        Ok(out)
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonLinesSink<W> {
+    fn record(&self, event: TraceEvent) {
+        let ok = serde_json::to_string(&event).ok().is_some_and(|line| {
+            let mut out = self.out.lock().expect("trace sink poisoned");
+            writeln!(out, "{line}").is_ok()
+        });
+        if !ok {
+            self.errors.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+}
+
+/// Lightweight tracing handle passed through every strategy: a `Copy`
+/// wrapper around an optional sink reference. The default handle is
+/// disabled and free.
+#[derive(Clone, Copy, Default)]
+pub struct Trace<'a> {
+    sink: Option<&'a dyn TraceSink>,
+}
+
+impl<'a> Trace<'a> {
+    /// A disabled handle — every [`emit`](Self::emit) is a no-op.
+    pub const fn disabled() -> Self {
+        Self { sink: None }
+    }
+
+    /// A handle feeding `sink`.
+    pub fn to(sink: &'a dyn TraceSink) -> Self {
+        Self { sink: Some(sink) }
+    }
+
+    /// Whether a sink is attached. Instrumented code guards its clock and
+    /// counter reads behind this, keeping untraced runs free of them.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emit an event. The closure only runs when a sink is attached, so a
+    /// disabled handle never constructs the event or its payloads.
+    #[inline]
+    pub fn emit(&self, event: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = self.sink {
+            sink.record(event());
+        }
+    }
+}
+
+impl std::fmt::Debug for Trace<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trace")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+/// Power-of-two latency histogram over microsecond samples: bucket `i`
+/// counts samples in `[2^(i-1), 2^i)` µs (bucket 0 counts `0` µs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimingHistogram {
+    counts: [u64; 41],
+    total_micros: u64,
+    samples: u64,
+}
+
+impl Default for TimingHistogram {
+    fn default() -> Self {
+        Self { counts: [0; 41], total_micros: 0, samples: 0 }
+    }
+}
+
+impl TimingHistogram {
+    fn bucket(micros: u64) -> usize {
+        (u64::BITS - micros.leading_zeros()).min(40) as usize
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, micros: u64) {
+        self.counts[Self::bucket(micros)] += 1;
+        self.total_micros += micros;
+        self.samples += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Mean sample in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.total_micros as f64 / self.samples as f64
+        }
+    }
+
+    /// Non-empty buckets as `(lower_bound_micros, count)`, ascending.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, c))
+            .collect()
+    }
+}
+
+/// Aggregated view of one trace: counters, per-step timing histogram,
+/// solver phases, and the checked invariants.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Strategy label from [`TraceEvent::RunStart`], when present.
+    pub strategy: Option<String>,
+    /// `Q` from the run-start event.
+    pub queries: u64,
+    /// `Q·q̄` from the run-start event.
+    pub total_width: u64,
+    /// Budget from the run-start event.
+    pub budget: u64,
+    /// Add steps taken.
+    pub adds: u64,
+    /// Morph (extension) steps taken.
+    pub morphs: u64,
+    /// Prune steps taken.
+    pub prunes: u64,
+    /// Candidate scans observed.
+    pub scans: u64,
+    /// Σ candidates over all scans.
+    pub candidates_scored: u64,
+    /// Σ issued what-if calls over all scans.
+    pub scan_issued: u64,
+    /// Σ cache-answered requests over all scans.
+    pub scan_cached: u64,
+    /// Per-scan wall-time histogram.
+    pub step_timings: TimingHistogram,
+    /// Solver phases aggregated by label in first-seen order:
+    /// `(label, total micros, total detail, occurrences)`.
+    pub solver_phases: Vec<(String, u64, u64, u64)>,
+    /// Dynamic-policy epochs observed.
+    pub epochs: u64,
+    /// Totals from [`TraceEvent::RunEnd`], when present:
+    /// `(steps, issued, cached, initial_cost, final_cost, micros)`.
+    pub run_end: Option<(u64, u64, u64, f64, f64, u64)>,
+}
+
+impl RunReport {
+    /// Aggregate a slice of events.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut r = RunReport::default();
+        for e in events {
+            match e {
+                TraceEvent::RunStart { strategy, queries, total_width, budget } => {
+                    r.strategy = Some(strategy.clone());
+                    r.queries = *queries;
+                    r.total_width = *total_width;
+                    r.budget = *budget;
+                }
+                TraceEvent::CandidateScan { candidates, issued, cached, micros, .. } => {
+                    r.scans += 1;
+                    r.candidates_scored += candidates;
+                    r.scan_issued += issued;
+                    r.scan_cached += cached;
+                    r.step_timings.record(*micros);
+                }
+                TraceEvent::Step { kind, .. } => match kind {
+                    StepKind::Add => r.adds += 1,
+                    StepKind::Morph => r.morphs += 1,
+                    StepKind::Prune => r.prunes += 1,
+                },
+                TraceEvent::SolverPhase { phase, detail, micros } => {
+                    match r.solver_phases.iter_mut().find(|(p, ..)| p == phase) {
+                        Some((_, m, d, n)) => {
+                            *m += micros;
+                            *d += detail;
+                            *n += 1;
+                        }
+                        None => r.solver_phases.push((phase.clone(), *micros, *detail, 1)),
+                    }
+                }
+                TraceEvent::Epoch { .. } => r.epochs += 1,
+                TraceEvent::RunEnd { steps, issued, cached, initial_cost, final_cost, micros } => {
+                    r.run_end =
+                        Some((*steps, *issued, *cached, *initial_cost, *final_cost, *micros));
+                }
+            }
+        }
+        r
+    }
+
+    /// Parse a JSON-lines trace (the [`JsonLinesSink`] format) into
+    /// events, validating every line against the schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` naming the first line that is not a valid event.
+    pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+        let mut events = Vec::new();
+        for (n, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let event: TraceEvent = serde_json::from_str(line)
+                .map_err(|e| format!("trace line {}: not a valid event: {e:?}", n + 1))?;
+            events.push(event);
+        }
+        Ok(events)
+    }
+
+    /// Verify the what-if accounting invariant: the summed per-scan
+    /// issued/cached deltas must equal the run totals.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch, or of a missing `RunEnd`.
+    pub fn check_accounting(&self) -> Result<(), String> {
+        let Some((_, issued, cached, ..)) = self.run_end else {
+            return Err("trace has no RunEnd event".into());
+        };
+        if self.scan_issued != issued {
+            return Err(format!(
+                "scan-summed issued calls {} != run total {issued}",
+                self.scan_issued
+            ));
+        }
+        if self.scan_cached != cached {
+            return Err(format!(
+                "scan-summed cached answers {} != run total {cached}",
+                self.scan_cached
+            ));
+        }
+        Ok(())
+    }
+
+    /// Verify the paper's what-if call bound (Section III-A) in checked
+    /// form: `issued < 6·Q·q̄ + Q`, matching the in-repo regression test.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violation, or of missing events.
+    pub fn check_call_bound(&self) -> Result<(), String> {
+        let Some((_, issued, ..)) = self.run_end else {
+            return Err("trace has no RunEnd event".into());
+        };
+        if self.total_width == 0 {
+            return Err("trace has no RunStart event (total_width unknown)".into());
+        }
+        let bound = 6 * self.total_width + self.queries;
+        if issued >= bound {
+            return Err(format!(
+                "issued {issued} what-if calls >= bound {bound} (6·Q·q̄ + Q, Q·q̄={})",
+                self.total_width
+            ));
+        }
+        Ok(())
+    }
+
+    /// Human-readable summary table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        if let Some(strategy) = &self.strategy {
+            let _ = writeln!(
+                s,
+                "run: {strategy}  queries={}  Q·q̄={}  budget={} bytes",
+                self.queries, self.total_width, self.budget
+            );
+        }
+        let _ = writeln!(
+            s,
+            "steps: {} add / {} morph / {} prune over {} candidate scans ({} candidates scored)",
+            self.adds, self.morphs, self.prunes, self.scans, self.candidates_scored
+        );
+        let _ = writeln!(
+            s,
+            "what-if per scans: {} issued + {} cache-answered",
+            self.scan_issued, self.scan_cached
+        );
+        if let Some((steps, issued, cached, initial, fin, micros)) = self.run_end {
+            let _ = writeln!(
+                s,
+                "run totals: {steps} steps, {issued} issued + {cached} cached, \
+                 cost {initial:.3e} -> {fin:.3e}, {:.3}s",
+                micros as f64 / 1e6
+            );
+        }
+        if self.step_timings.samples() > 0 {
+            let _ = writeln!(
+                s,
+                "scan timing: {} samples, mean {:.0}us",
+                self.step_timings.samples(),
+                self.step_timings.mean_micros()
+            );
+            for (lo, count) in self.step_timings.buckets() {
+                let _ = writeln!(s, "  >= {lo:>9}us  {count}");
+            }
+        }
+        for (phase, micros, detail, n) in &self.solver_phases {
+            let _ = writeln!(
+                s,
+                "phase {phase}: {n}x, {:.3}s total, detail={detail}",
+                *micros as f64 / 1e6
+            );
+        }
+        if self.epochs > 0 {
+            let _ = writeln!(s, "epochs: {}", self.epochs);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::RunStart {
+                strategy: "H6".into(),
+                queries: 10,
+                total_width: 30,
+                budget: 1_000,
+            },
+            TraceEvent::CandidateScan {
+                step: 0,
+                candidates: 5,
+                queries_recosted: 10,
+                issued: 12,
+                cached: 0,
+                micros: 100,
+            },
+            TraceEvent::Step {
+                step: 1,
+                kind: StepKind::Add,
+                index: Some(3),
+                benefit: 4.0,
+                memory_delta: 8,
+                ratio: 0.5,
+                total_memory: 8,
+                total_cost: 6.0,
+            },
+            TraceEvent::CandidateScan {
+                step: 1,
+                candidates: 5,
+                queries_recosted: 2,
+                issued: 6,
+                cached: 4,
+                micros: 900,
+            },
+            TraceEvent::RunEnd {
+                steps: 1,
+                issued: 18,
+                cached: 4,
+                initial_cost: 10.0,
+                final_cost: 6.0,
+                micros: 1_500,
+            },
+        ]
+    }
+
+    #[test]
+    fn disabled_trace_never_runs_the_closure() {
+        let trace = Trace::disabled();
+        trace.emit(|| panic!("must not be constructed"));
+        assert!(!trace.is_enabled());
+    }
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let sink = VecSink::new();
+        let trace = Trace::to(&sink);
+        assert!(trace.is_enabled());
+        for e in sample_events() {
+            trace.emit(|| e.clone());
+        }
+        assert_eq!(sink.events(), sample_events());
+        assert_eq!(sink.take().len(), 5);
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn json_lines_round_trip_preserves_events() {
+        let sink = JsonLinesSink::new(Vec::new());
+        for e in sample_events() {
+            sink.record(e);
+        }
+        assert_eq!(sink.write_errors(), 0);
+        let bytes = sink.finish().expect("flush");
+        let text = String::from_utf8(bytes).expect("utf8");
+        assert_eq!(text.lines().count(), 5);
+        let parsed = RunReport::parse_jsonl(&text).expect("valid schema");
+        assert_eq!(parsed, sample_events());
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_position() {
+        let err = RunReport::parse_jsonl("{\"NotAnEvent\":{}}").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let err = RunReport::parse_jsonl("not json at all").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn report_aggregates_and_invariants_hold() {
+        let r = RunReport::from_events(&sample_events());
+        assert_eq!(r.strategy.as_deref(), Some("H6"));
+        assert_eq!((r.adds, r.morphs, r.prunes), (1, 0, 0));
+        assert_eq!(r.scans, 2);
+        assert_eq!(r.scan_issued, 18);
+        assert_eq!(r.scan_cached, 4);
+        assert_eq!(r.step_timings.samples(), 2);
+        r.check_accounting().expect("sums match run end");
+        r.check_call_bound().expect("18 < 6*30 + 10");
+        let rendered = r.render();
+        assert!(rendered.contains("H6"));
+        assert!(rendered.contains("1 add"));
+    }
+
+    #[test]
+    fn report_flags_broken_accounting_and_bound() {
+        let mut events = sample_events();
+        if let TraceEvent::RunEnd { issued, .. } = &mut events[4] {
+            *issued = 999;
+        }
+        let r = RunReport::from_events(&events);
+        assert!(r.check_accounting().is_err());
+        assert!(r.check_call_bound().is_err(), "999 >= 6*30+10");
+        // Missing RunEnd is reported, not silently passed.
+        let r = RunReport::from_events(&events[..4]);
+        assert!(r.check_accounting().unwrap_err().contains("RunEnd"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = TimingHistogram::default();
+        for micros in [0, 1, 2, 3, 4, 1000] {
+            h.record(micros);
+        }
+        assert_eq!(h.samples(), 6);
+        let buckets = h.buckets();
+        // 0 -> bucket 0; 1 -> [1,2); 2,3 -> [2,4); 4 -> [4,8); 1000 -> [512,1024).
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (2, 2), (4, 1), (512, 1)]);
+        assert!((h.mean_micros() - 1010.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solver_phases_aggregate_by_label() {
+        let events = vec![
+            TraceEvent::SolverPhase { phase: "db2_swap_rounds".into(), detail: 3, micros: 10 },
+            TraceEvent::SolverPhase { phase: "db2_swap_rounds".into(), detail: 2, micros: 30 },
+            TraceEvent::SolverPhase { phase: "cophy_build".into(), detail: 100, micros: 5 },
+        ];
+        let r = RunReport::from_events(&events);
+        assert_eq!(
+            r.solver_phases,
+            vec![
+                ("db2_swap_rounds".to_string(), 40, 5, 2),
+                ("cophy_build".to_string(), 5, 100, 1),
+            ]
+        );
+    }
+}

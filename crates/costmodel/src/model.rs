@@ -51,10 +51,7 @@ fn residual_scan_cost(schema: &Schema, n: f64, attrs: &[AttrId], mut c: f64) -> 
 
 fn sort_by_selectivity(schema: &Schema, attrs: &mut [AttrId]) {
     attrs.sort_by(|a, b| {
-        schema
-            .selectivity(*a)
-            .partial_cmp(&schema.selectivity(*b))
-            .expect("selectivities are finite")
+        isel_workload::ord::total_cmp_nan_lowest(schema.selectivity(*a), schema.selectivity(*b))
             .then(a.cmp(b))
     });
 }

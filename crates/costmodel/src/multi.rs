@@ -22,11 +22,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// the table, cheapest selectivity first (the Appendix-B residual scan).
 fn residual_scan_cost(schema: &Schema, attrs: &[AttrId], n: f64, c: f64) -> f64 {
     let mut sorted: Vec<AttrId> = attrs.to_vec();
+    // NaN-safe: a degenerate selectivity (0/0 on an empty table) ranks
+    // lowest, keeping the ascending scan order total and deterministic
+    // (attribute-id tie-break) instead of panicking mid-costing.
     sorted.sort_by(|a, b| {
-        schema
-            .selectivity(*a)
-            .partial_cmp(&schema.selectivity(*b))
-            .expect("finite")
+        isel_workload::ord::total_cmp_nan_lowest(schema.selectivity(*a), schema.selectivity(*b))
             .then(a.cmp(b))
     });
     let mut cost = 0.0;

@@ -156,10 +156,7 @@ pub(crate) fn execute(db: &Database, query: &BoundQuery, allowed: Option<&[bool]
         .filter(|(a, _)| !covered.contains(a))
         .collect();
     residual.sort_by(|a, b| {
-        schema
-            .selectivity(a.0)
-            .partial_cmp(&schema.selectivity(b.0))
-            .expect("finite selectivity")
+        isel_workload::ord::total_cmp_nan_lowest(schema.selectivity(a.0), schema.selectivity(b.0))
             .then(a.0.cmp(&b.0))
     });
 

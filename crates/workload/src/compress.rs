@@ -44,7 +44,9 @@ pub fn merge_duplicates(workload: &Workload) -> Workload {
 /// DB2-style lossy compression: keep the `k` templates with the largest
 /// `weight(q)` under the given per-query weight function (typically
 /// `b_j · f_j(0)` — frequency times estimated cost). Deterministic
-/// tie-break by position.
+/// tie-break by position. A weight function may yield NaN on degenerate
+/// inputs (e.g. a `0/0` cost ratio); NaN-weighted templates rank *last*
+/// (below every finite and infinite weight) instead of panicking.
 ///
 /// ```
 /// use isel_workload::compress;
@@ -67,9 +69,7 @@ pub fn top_k_by_weight(
         .map(|(i, q)| (i, weight(q)))
         .collect();
     scored.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .expect("finite weights")
-            .then(a.0.cmp(&b.0))
+        crate::ord::total_cmp_nan_lowest_desc(a.1, b.1).then(a.0.cmp(&b.0))
     });
     let mut keep: Vec<usize> = scored.into_iter().take(k).map(|(i, _)| i).collect();
     keep.sort_unstable();
@@ -142,6 +142,22 @@ mod tests {
         let w = workload();
         let c = top_k_by_weight(&w, 100, |q| q.frequency() as f64);
         assert_eq!(c, w);
+    }
+
+    #[test]
+    fn nan_weights_rank_last_instead_of_panicking() {
+        // Regression: a 0/0-style weight must not abort the compression.
+        let w = workload();
+        let nan_for_updates =
+            |q: &Query| if q.is_update() { f64::NAN } else { q.frequency() as f64 };
+        let c = top_k_by_weight(&w, 3, nan_for_updates);
+        assert_eq!(c.query_count(), 3);
+        // The NaN-weighted update template is the one dropped.
+        assert!(c.queries().iter().all(|q| !q.is_update()));
+        // All-NaN weights degrade to positional order, still no panic.
+        let all_nan = top_k_by_weight(&w, 2, |_| f64::NAN);
+        assert_eq!(all_nan.queries()[0], w.queries()[0]);
+        assert_eq!(all_nan.queries()[1], w.queries()[1]);
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod erp;
 pub mod ids;
 pub mod io;
 pub mod index;
+pub mod ord;
 pub mod pool;
 pub mod query;
 pub mod schema;

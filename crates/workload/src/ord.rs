@@ -1,0 +1,90 @@
+//! NaN-safe total orderings for ranking floats.
+//!
+//! Every advisor layer ranks candidates by some floating-point score —
+//! benefit, density, selectivity, cost — and a degenerate input (a `0/0`
+//! cost ratio, a zero-selectivity division) can turn any of those scores
+//! into NaN. Sorting such scores with `partial_cmp(..).expect(..)` turns a
+//! bad *score* into a crashed *run*. The comparators here instead define a
+//! total order in which **every NaN compares equal to every other NaN and
+//! lower than every non-NaN value** (including `-∞`), so NaN-scored
+//! candidates deterministically rank last in descending sorts and the
+//! documented positional tie-breaks still apply among them.
+//!
+//! This deliberately differs from [`f64::total_cmp`], which orders
+//! `-NaN < -∞` and `+NaN > +∞` by bit pattern: a score that decays to NaN
+//! must never *win* a ranking just because its sign bit is clear.
+
+use std::cmp::Ordering;
+
+/// Total order on `f64` treating every NaN as the lowest value.
+///
+/// Non-NaN values compare via [`f64::total_cmp`] (IEEE totalOrder, so
+/// `-0.0 < +0.0`); NaNs compare equal among themselves and below
+/// everything else.
+///
+/// ```
+/// use isel_workload::ord::total_cmp_nan_lowest;
+/// use std::cmp::Ordering;
+///
+/// assert_eq!(total_cmp_nan_lowest(f64::NAN, f64::NEG_INFINITY), Ordering::Less);
+/// assert_eq!(total_cmp_nan_lowest(f64::NAN, -f64::NAN), Ordering::Equal);
+/// assert_eq!(total_cmp_nan_lowest(1.0, 2.0), Ordering::Less);
+/// ```
+pub fn total_cmp_nan_lowest(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
+/// Descending companion of [`total_cmp_nan_lowest`]: highest value first,
+/// NaNs last. The standard comparator for "best score first" rankings.
+pub fn total_cmp_nan_lowest_desc(a: f64, b: f64) -> Ordering {
+    total_cmp_nan_lowest(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nan_sorts_below_everything_ascending() {
+        let mut v = [1.0, f64::NAN, f64::NEG_INFINITY, -1.0, f64::INFINITY, -f64::NAN];
+        v.sort_by(|a, b| total_cmp_nan_lowest(*a, *b));
+        assert!(v[0].is_nan() && v[1].is_nan());
+        assert_eq!(&v[2..], &[f64::NEG_INFINITY, -1.0, 1.0, f64::INFINITY]);
+    }
+
+    #[test]
+    fn nan_sorts_last_descending() {
+        let mut v = [f64::NAN, 3.0, f64::INFINITY, -2.0];
+        v.sort_by(|a, b| total_cmp_nan_lowest_desc(*a, *b));
+        assert_eq!(&v[..3], &[f64::INFINITY, 3.0, -2.0]);
+        assert!(v[3].is_nan());
+    }
+
+    #[test]
+    fn both_nan_payloads_compare_equal() {
+        assert_eq!(total_cmp_nan_lowest(f64::NAN, -f64::NAN), Ordering::Equal);
+        assert_eq!(total_cmp_nan_lowest_desc(-f64::NAN, f64::NAN), Ordering::Equal);
+    }
+
+    #[test]
+    fn sort_is_deterministic_and_total() {
+        // Transitivity smoke over a mixed set: sorting twice agrees.
+        let base = [0.0, -0.0, f64::NAN, 5.0, -5.0, f64::MIN_POSITIVE];
+        let mut a = base;
+        let mut b = base;
+        a.sort_by(|x, y| total_cmp_nan_lowest(*x, *y));
+        b.sort_by(|x, y| total_cmp_nan_lowest(*x, *y));
+        assert_eq!(
+            a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        // -0.0 orders before +0.0 under totalOrder.
+        assert_eq!(a[2].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(a[3].to_bits(), 0.0f64.to_bits());
+    }
+}

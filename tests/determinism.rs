@@ -163,6 +163,109 @@ fn tpcc_frontier_is_reproducible_across_thread_counts() {
     assert_eq!(run.frontier, again.frontier);
 }
 
+/// Zero out wall-clock fields so event streams from different runs can be
+/// compared structurally: timings vary run-to-run, everything else is
+/// part of the determinism contract.
+fn scrub_timings(events: Vec<isel_core::TraceEvent>) -> Vec<isel_core::TraceEvent> {
+    use isel_core::TraceEvent;
+    events
+        .into_iter()
+        .map(|e| match e {
+            TraceEvent::CandidateScan { step, candidates, queries_recosted, issued, cached, .. } => {
+                TraceEvent::CandidateScan {
+                    step,
+                    candidates,
+                    queries_recosted,
+                    issued,
+                    cached,
+                    micros: 0,
+                }
+            }
+            TraceEvent::SolverPhase { phase, detail, .. } => {
+                TraceEvent::SolverPhase { phase, detail, micros: 0 }
+            }
+            TraceEvent::RunEnd { steps, issued, cached, initial_cost, final_cost, .. } => {
+                TraceEvent::RunEnd { steps, issued, cached, initial_cost, final_cost, micros: 0 }
+            }
+            other => other,
+        })
+        .collect()
+}
+
+/// Tracing only observes: a traced run is bit-identical to the untraced
+/// one at every thread count, the event stream itself (timings aside) is
+/// thread-count-invariant, and the stream satisfies the accounting and
+/// what-if call-bound invariants.
+#[test]
+fn traced_runs_are_bit_identical_to_untraced() {
+    use isel_core::{RunReport, Trace, VecSink};
+    let (w, _) = tpcc::generate(5);
+    let baseline = {
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let a = budget::relative_budget(&est, 0.3);
+        algorithm1::run(&est, &algorithm1::Options::new(a))
+    };
+    let mut streams = Vec::new();
+    for threads in [1usize, 4] {
+        // Fresh estimator per run so cache state — and therefore the
+        // issued/cached counters in the events — is identical.
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+        let a = budget::relative_budget(&est, 0.3);
+        let sink = VecSink::new();
+        let opts = algorithm1::Options {
+            parallelism: Parallelism::new(threads),
+            ..algorithm1::Options::new(a)
+        };
+        let traced = algorithm1::run_traced(&est, &opts, Trace::to(&sink));
+        assert_eq!(baseline.steps, traced.steps, "tracing changed the step log");
+        assert_eq!(baseline.frontier, traced.frontier);
+        assert_eq!(baseline.selection, traced.selection);
+        assert_eq!(baseline.initial_cost, traced.initial_cost);
+        assert_eq!(baseline.final_cost, traced.final_cost);
+        let events = sink.take();
+        let report = RunReport::from_events(&events);
+        report.check_accounting().expect("scan sums equal run totals");
+        report.check_call_bound().expect("what-if call bound holds");
+        streams.push(scrub_timings(events));
+    }
+    assert_eq!(
+        streams[0], streams[1],
+        "event stream diverged across thread counts"
+    );
+}
+
+/// The [`Advisor`] facade honours the same contract: attaching a trace
+/// sink changes no observable of the recommendation, for every traced
+/// strategy, at 1 and 4 threads.
+#[test]
+fn traced_advisor_recommendations_match_untraced() {
+    use isel_core::{Advisor, Strategy, Trace, VecSink};
+    let (w, _) = tpcc::generate(5);
+    let est = CachingWhatIf::new(AnalyticalWhatIf::new(&w));
+    for strategy in [
+        Strategy::H4 { skyline: true },
+        Strategy::H5,
+        Strategy::H6,
+        Strategy::Db2 { swap_rounds: 50 },
+    ] {
+        for threads in [1usize, 4] {
+            let par = Parallelism::new(threads);
+            let plain = Advisor::new(&est)
+                .with_parallelism(par)
+                .recommend_relative(strategy.clone(), 0.3);
+            let sink = VecSink::new();
+            let traced = Advisor::new(&est)
+                .with_parallelism(par)
+                .with_trace(Trace::to(&sink))
+                .recommend_relative(strategy.clone(), 0.3);
+            assert_eq!(plain.selection, traced.selection, "{strategy:?}");
+            assert_eq!(plain.cost, traced.cost);
+            assert_eq!(plain.memory, traced.memory);
+            assert!(!sink.take().is_empty(), "{strategy:?} emitted no events");
+        }
+    }
+}
+
 /// The advisor surface honours the same contract for the candidate-set
 /// strategies whose scans were parallelised (H4/H5/CoPhy build stage).
 #[test]

@@ -123,6 +123,72 @@ proptest! {
         prop_assert!(h6.final_cost <= base + 1e-9);
     }
 
+    /// Workload compression never panics, whatever the weight function
+    /// returns — NaN weights rank last instead of aborting the sort.
+    #[test]
+    fn top_k_by_weight_never_panics_on_nan_weights(
+        w in arb_workload(),
+        k in 0usize..32,
+        nan_mask in 0u32..=u32::MAX,
+    ) {
+        let kept = isel_workload::compress::top_k_by_weight(&w, k, |q| {
+            if nan_mask & (1 << (q.frequency() % 32)) != 0 {
+                f64::NAN
+            } else {
+                q.frequency() as f64
+            }
+        });
+        prop_assert!(kept.query_count() <= w.query_count());
+        prop_assert!(kept.query_count() <= k);
+        // An all-NaN scorer is the degenerate corner: still no panic.
+        let none = isel_workload::compress::top_k_by_weight(&w, k, |_| f64::NAN);
+        prop_assert!(none.query_count() <= k);
+    }
+
+    /// The 0/1 knapsack never panics for adversarial values (NaN, ±∞) or
+    /// byte-denominated budgets near `u64::MAX`; it reports which path ran
+    /// and its choice always fits the capacity.
+    #[test]
+    fn knapsack_never_panics_on_nan_values_or_huge_budgets(
+        raw in prop::collection::vec(
+            (0u8..4, -1e12f64..1e12, 0u64..=u64::MAX),
+            0..24,
+        ),
+        capacity in 0u64..=u64::MAX,
+    ) {
+        use isel_solver::knapsack::{self, Item, SolvePath};
+        let items: Vec<Item> = raw
+            .iter()
+            .map(|&(kind, v, weight)| Item {
+                value: match kind {
+                    0 => f64::NAN,
+                    1 => f64::INFINITY,
+                    2 => f64::NEG_INFINITY,
+                    _ => v,
+                },
+                weight,
+            })
+            .collect();
+        let s = knapsack::solve_01(&items, capacity);
+        let used: u128 = s.chosen.iter().map(|&i| items[i].weight as u128).sum();
+        prop_assert!(used <= capacity as u128, "chosen set exceeds capacity");
+        prop_assert!(s.chosen.windows(2).all(|p| p[0] < p[1]), "indices not ascending");
+        for &i in &s.chosen {
+            prop_assert!(i < items.len());
+        }
+        // Capacities whose DP table cannot fit must take the greedy path.
+        let cells = (items.len() as u128).max(1) * (capacity as u128 + 1);
+        if cells > knapsack::DP_CELL_LIMIT {
+            prop_assert_eq!(s.path, SolvePath::GreedyFallback);
+        } else {
+            prop_assert_eq!(s.path, SolvePath::ExactDp);
+        }
+        // NaN-valued items are deterministically unattractive, never chosen.
+        for &i in &s.chosen {
+            prop_assert!(!items[i].value.is_nan());
+        }
+    }
+
     /// The caching decorator is semantically transparent.
     #[test]
     fn caching_is_transparent(w in arb_workload()) {
