@@ -10,7 +10,10 @@
 //! candidate sets is strictly worse, and how much worse depends on the
 //! candidate heuristic.
 
-use isel_bench::{cophy_budget_sweep, h6_frontier, header, report_written, ResultSink};
+use isel_bench::{
+    cophy_budget_sweep, h6_frontier_profiled, header, print_scan_histogram, report_written,
+    ResultSink,
+};
 use isel_core::{budget, candidates};
 use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf, WhatIfOptimizer};
 use isel_solver::cophy::CophyOptions;
@@ -60,13 +63,14 @@ fn main() {
 
     // H6: a single run covers every budget.
     let max_budget = budget::relative_budget(&est, *ws.last().unwrap());
-    let (frontier, h6_time) = h6_frontier(&est, max_budget);
+    let (frontier, h6_time, h6_report) = h6_frontier_profiled(&est, max_budget);
     for &w in &ws {
         let a = budget::relative_budget(&est, w);
         let cost = frontier.cost_at(a).unwrap_or(base_cost);
         emit(&mut sink, "H6", w, cost, "Frontier");
     }
     println!("(H6 single-run time: {:.3}s)", h6_time.as_secs_f64());
+    print_scan_histogram("H6 candidate scans", &h6_report);
 
     let pool = candidates::enumerate_imax(&workload, 4);
     println!("(|I_max| = {})", pool.len());

@@ -11,7 +11,10 @@
 //! budget; H6's runtime stays around a second while CoPhy-with-all-
 //! candidates needs minutes.
 
-use isel_bench::{cophy_budget_sweep, h6_frontier, header, report_written, secs, ResultSink};
+use isel_bench::{
+    cophy_budget_sweep, h6_frontier_profiled, header, print_scan_histogram, report_written, secs,
+    ResultSink,
+};
 use isel_core::{budget, candidates};
 use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf, WhatIfOptimizer};
 use isel_solver::cophy::CophyOptions;
@@ -74,8 +77,9 @@ fn main() {
     };
 
     let max_budget = budget::relative_budget(&est, *ws.last().unwrap());
-    let (frontier, h6_time) = h6_frontier(&est, max_budget);
+    let (frontier, h6_time, h6_report) = h6_frontier_profiled(&est, max_budget);
     println!("(H6 runtime: {}s)", secs(h6_time));
+    print_scan_histogram("H6 candidate scans", &h6_report);
     for &w in &ws {
         let a = budget::relative_budget(&est, w);
         emit(&mut sink, "H6", w, frontier.cost_at(a).unwrap_or(base_cost), "Frontier");

@@ -11,8 +11,10 @@
 //! 8 hours — the *pattern* (CoPhy explodes with |I| and Q, H6 stays in
 //! seconds) is the reproduction target, not the cutoff constant.
 
-use isel_bench::{arg_value, has_flag, header, report_written, secs, timed, ResultSink};
-use isel_core::{algorithm1, budget, candidates};
+use isel_bench::{
+    arg_value, has_flag, header, print_scan_histogram, report_written, secs, timed, ResultSink,
+};
+use isel_core::{algorithm1, budget, candidates, RunReport, Trace, VecSink};
 use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf, PrefixAwareWhatIf, WhatIfOptimizer};
 use isel_solver::cophy::CophyOptions;
 use isel_solver::SolveStatus;
@@ -66,8 +68,15 @@ fn main() {
         // comparison stays honest).
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(&workload));
         let a = budget::relative_budget(&est, 0.2);
-        let (h6, h6_time) = timed(|| algorithm1::run(&est, &algorithm1::Options::new(a)));
+        let h6_sink = VecSink::new();
+        let (h6, h6_time) = timed(|| {
+            algorithm1::run_traced(&est, &algorithm1::Options::new(a), Trace::to(&h6_sink))
+        });
         let h6_calls = est.stats().calls_issued;
+        print_scan_histogram(
+            &format!("H6 candidate scans (SumQ={})", workload.query_count()),
+            &RunReport::from_events(&h6_sink.take()),
+        );
 
         let pool = candidates::enumerate_imax(&workload, 4);
         let ic_max = pool.len();

@@ -7,7 +7,7 @@
 //! * machine-readable JSON-lines under `results/` so EXPERIMENTS.md can be
 //!   cross-checked.
 
-use isel_core::{algorithm1, Frontier};
+use isel_core::{algorithm1, Frontier, RunReport, Trace, VecSink};
 use isel_costmodel::WhatIfOptimizer;
 use serde::Serialize;
 use std::fs::{self, File};
@@ -63,6 +63,39 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
 pub fn h6_frontier(est: &impl WhatIfOptimizer, max_budget: u64) -> (Frontier, Duration) {
     let (run, t) = timed(|| algorithm1::run(est, &algorithm1::Options::new(max_budget)));
     (run.frontier, t)
+}
+
+/// Like [`h6_frontier`] but traced: also returns the aggregated
+/// [`RunReport`] (per-scan timing histogram, what-if accounting) of the
+/// run. Tracing observes without participating, so the frontier is
+/// byte-identical to the untraced one.
+pub fn h6_frontier_profiled(
+    est: &impl WhatIfOptimizer,
+    max_budget: u64,
+) -> (Frontier, Duration, RunReport) {
+    let sink = VecSink::new();
+    let (run, t) = timed(|| {
+        algorithm1::run_traced(est, &algorithm1::Options::new(max_budget), Trace::to(&sink))
+    });
+    (run.frontier, t, RunReport::from_events(&sink.take()))
+}
+
+/// Print the candidate-scan wall-time histogram of a traced run — the
+/// per-step latency distribution behind the headline seconds column.
+pub fn print_scan_histogram(label: &str, report: &RunReport) {
+    let h = &report.step_timings;
+    if h.samples() == 0 {
+        println!("# {label}: no timed scans recorded");
+        return;
+    }
+    println!(
+        "# {label}: {} scans, mean {:.1} us/scan",
+        h.samples(),
+        h.mean_micros()
+    );
+    for (lo, count) in h.buckets() {
+        println!("#   >= {lo:>8} us  {count}");
+    }
 }
 
 /// Solve CoPhy for every budget share in `ws`, returning

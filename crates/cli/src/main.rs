@@ -16,6 +16,7 @@
 
 mod args;
 mod commands;
+mod service_cmd;
 
 use args::Args;
 use std::process::ExitCode;
@@ -36,6 +37,20 @@ USAGE:
   isel report        --trace FILE [--check]
   isel interactions  --workload FILE [--top N]
   isel stats         --workload FILE
+  isel record        --kind tpcc|erp|synthetic --out FILE [--events N]
+                     [--seed N] [--segments N] [--warehouses N]
+  isel replay        --workload FILE --log FILE [--offline-check]
+                     [--checkpoint FILE] [--resume] [--trace FILE]
+                     [--epoch-events N] [--window N] [--templates N]
+                     [--budget SHARE] [--threads N]
+  isel serve         --workload FILE [--socket PATH] [--checkpoint FILE]
+                     [--resume] [--trace FILE] [same tuning knobs]
+
+  The service commands drive the continuous-tuning daemon: record a
+  JSONL event log, replay it losslessly (--offline-check verifies the
+  selection sequence is bit-identical to the offline dynamic::adapt
+  loop), or serve live on stdin / a Unix socket with counted drop-oldest
+  overload shedding.
 
   --threads N fans candidate evaluation over N workers (0 = all cores);
   recommendations are identical at every setting.
@@ -55,6 +70,9 @@ fn main() -> ExitCode {
         Some("report") => commands::report(&args),
         Some("interactions") => commands::interactions(&args),
         Some("stats") => commands::stats(&args),
+        Some("record") => service_cmd::record(&args),
+        Some("replay") => service_cmd::replay(&args),
+        Some("serve") => service_cmd::serve(&args),
         Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
         None => Err(USAGE.to_owned()),
     };

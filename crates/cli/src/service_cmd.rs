@@ -1,0 +1,384 @@
+//! `serve`, `replay` and `record` — the continuous-tuning daemon's
+//! command-line surface (crate `isel-service`).
+//!
+//! `record` samples a JSONL event log from a generated workload's
+//! templates (frequency-weighted, seeded); `replay` feeds such a log
+//! through the daemon losslessly and can diff the produced selection
+//! sequence against the offline `dynamic::adapt` reference
+//! (`--offline-check`, the DESIGN.md §12 determinism contract); `serve`
+//! runs the daemon live on stdin or a Unix-domain socket with the
+//! drop-oldest overload policy.
+
+use crate::args::Args;
+use crate::commands::{finish_trace, load_workload, trace_sink};
+use isel_core::Trace;
+use isel_service::{
+    offline_adapt, offline_snapshots, run_socket, Checkpoint, Daemon, EpochOutcome,
+    OverloadPolicy, ServiceConfig, ServiceReport,
+};
+use isel_workload::erp::{self, ErpConfig};
+use isel_workload::synthetic::{self, SyntheticConfig};
+use isel_workload::{tpcc, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// Service configuration assembled from the shared `--epoch-events`,
+/// `--window`, `--templates`, `--budget`, `--create-cost`, `--drop-cost`,
+/// `--noop-above`, `--scratch-below`, `--queue`, `--threads` and
+/// `--checkpoint-every` options, defaulting to [`ServiceConfig::default`].
+fn service_config(args: &Args) -> Result<ServiceConfig, String> {
+    let d = ServiceConfig::default();
+    let cfg = ServiceConfig {
+        epoch_events: args.get_parsed("epoch-events", d.epoch_events)?,
+        window_epochs: args.get_parsed("window", d.window_epochs)?,
+        max_templates: args.get_parsed("templates", d.max_templates)?,
+        budget_share: args.get_parsed("budget", d.budget_share)?,
+        transition: isel_core::dynamic::TransitionCosts {
+            create_cost_per_byte: args
+                .get_parsed("create-cost", d.transition.create_cost_per_byte)?,
+            drop_cost: args.get_parsed("drop-cost", d.transition.drop_cost)?,
+        },
+        drift: isel_service::DriftThresholds {
+            noop_above: args.get_parsed("noop-above", d.drift.noop_above)?,
+            scratch_below: args.get_parsed("scratch-below", d.drift.scratch_below)?,
+        },
+        queue_capacity: args.get_parsed("queue", d.queue_capacity)?,
+        threads: args.get_parsed("threads", d.threads)?,
+        checkpoint_every_epochs: args
+            .get_parsed("checkpoint-every", d.checkpoint_every_epochs)?,
+    };
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+/// Build the daemon: fresh, or resumed from `--checkpoint FILE` when
+/// `--resume` is set and the file exists.
+fn make_daemon(
+    workload: &Workload,
+    config: ServiceConfig,
+    checkpoint: Option<&Path>,
+    resume: bool,
+) -> Result<Daemon, String> {
+    if resume {
+        let path = checkpoint.ok_or("--resume requires --checkpoint FILE")?;
+        if path.exists() {
+            let cp = Checkpoint::load(path)?;
+            let daemon = Daemon::resume(workload.schema().clone(), config, &cp)?;
+            eprintln!(
+                "resumed from {} at epoch {} ({} events ingested)",
+                path.display(),
+                daemon.epoch(),
+                cp.ingested
+            );
+            return Ok(daemon);
+        }
+        eprintln!("no checkpoint at {}; starting fresh", path.display());
+    }
+    Daemon::new(workload.schema().clone(), config)
+}
+
+fn print_epoch(out: &EpochOutcome) {
+    let overlap = out
+        .overlap
+        .map_or("-".to_owned(), |o| format!("{o:.3}"));
+    println!(
+        "epoch {}\t{}\toverlap {}\t{} indexes\tcost {:.4e}\treconfig {:.3e}",
+        out.epoch,
+        out.policy.label(),
+        overlap,
+        out.selection.len(),
+        out.workload_cost,
+        out.reconfig_paid,
+    );
+}
+
+fn print_report(report: &ServiceReport, workload: &Workload) {
+    for out in &report.epochs {
+        print_epoch(out);
+    }
+    println!(
+        "ingested {}\tinvalid {}\tdropped {}\tqueue high-water {}\tcheckpoints {}",
+        report.ingested,
+        report.invalid,
+        report.dropped,
+        report.queue_high_water,
+        report.checkpoints_written,
+    );
+    println!("final selection ({} indexes):", report.final_selection.len());
+    let schema = workload.schema();
+    for k in report.final_selection.indexes() {
+        let names: Vec<&str> = k
+            .attrs()
+            .iter()
+            .map(|&a| schema.attribute(a).name.as_str())
+            .collect();
+        let table = schema.attribute(k.leading()).table;
+        println!("  {}({})", schema.table(table).name, names.join(", "));
+    }
+}
+
+/// `isel serve` — run the daemon on stdin (default) or `--socket PATH`
+/// with the drop-oldest overload policy until EOF or a
+/// `{"control":"shutdown"}` line, then drain, checkpoint and report.
+pub fn serve(args: &Args) -> Result<(), String> {
+    let workload = load_workload(args)?;
+    let config = service_config(args)?;
+    let checkpoint = args.get("checkpoint").map(PathBuf::from);
+    let mut daemon =
+        make_daemon(&workload, config, checkpoint.as_deref(), args.flag("resume"))?;
+    let sink = trace_sink(args)?;
+    let report = {
+        let trace = sink.as_ref().map_or(Trace::disabled(), |s| Trace::to(s));
+        match args.get("socket") {
+            Some(path) => run_socket(&mut daemon, Path::new(path), checkpoint.as_deref(), trace)?,
+            None => daemon.run_reader(
+                BufReader::new(std::io::stdin()),
+                OverloadPolicy::DropOldest,
+                checkpoint.as_deref(),
+                trace,
+            )?,
+        }
+    };
+    finish_trace(sink)?;
+    print_report(&report, &workload);
+    Ok(())
+}
+
+/// `isel replay` — feed a recorded `--log FILE` through the daemon
+/// losslessly (blocking pushes; nothing is ever dropped).
+/// `--offline-check` forces the always-adapt drift thresholds and
+/// verifies the selection sequence is bit-identical to the offline
+/// `dynamic::adapt` loop over the same epoch snapshots.
+pub fn replay(args: &Args) -> Result<(), String> {
+    let workload = load_workload(args)?;
+    let log = args.get("log").ok_or("missing --log FILE")?;
+    let mut config = service_config(args)?;
+    if args.flag("offline-check") {
+        config.drift = isel_service::DriftThresholds::always_adapt();
+    }
+    let checkpoint = args.get("checkpoint").map(PathBuf::from);
+    let mut daemon =
+        make_daemon(&workload, config.clone(), checkpoint.as_deref(), args.flag("resume"))?;
+    let open = |path: &str| {
+        std::fs::File::open(path)
+            .map(BufReader::new)
+            .map_err(|e| format!("cannot open log {path}: {e}"))
+    };
+    let sink = trace_sink(args)?;
+    let report = {
+        let trace = sink.as_ref().map_or(Trace::disabled(), |s| Trace::to(s));
+        daemon.run_reader(open(log)?, OverloadPolicy::Block, checkpoint.as_deref(), trace)?
+    };
+    finish_trace(sink)?;
+    print_report(&report, &workload);
+
+    if args.flag("offline-check") {
+        let snaps = offline_snapshots(open(log)?, workload.schema(), &config)?;
+        let offline = offline_adapt(&snaps, &config);
+        if report.epochs.len() != offline.len() {
+            return Err(format!(
+                "offline check: daemon tuned {} epochs, offline reference {}",
+                report.epochs.len(),
+                offline.len()
+            ));
+        }
+        for (out, want) in report.epochs.iter().zip(&offline) {
+            if &out.selection != want {
+                return Err(format!(
+                    "offline check: selections diverge at epoch {} \
+                     (daemon {} indexes, offline {})",
+                    out.epoch,
+                    out.selection.len(),
+                    want.len()
+                ));
+            }
+        }
+        println!(
+            "offline check: {} epochs bit-identical to dynamic::adapt",
+            offline.len()
+        );
+    }
+    Ok(())
+}
+
+/// `isel record` — sample a JSONL event log from a generated workload's
+/// templates, frequency-weighted and seeded. `--segments N` splits the
+/// log into N runs each drawing from a rotated half of the template set,
+/// producing genuine drift for the daemon to detect.
+pub fn record(args: &Args) -> Result<(), String> {
+    let kind = args.get("kind").unwrap_or("tpcc");
+    let out = args.get("out").ok_or("missing --out FILE")?;
+    let events = args.get_parsed("events", 4096usize)?;
+    let seed = args.get_parsed("seed", 0x15E1u64)?;
+    let segments = args.get_parsed("segments", 1usize)?.max(1);
+    let workload = match kind {
+        "tpcc" => tpcc::generate(args.get_parsed("warehouses", 100u64)?).0,
+        "erp" => erp::generate(&ErpConfig { seed, ..ErpConfig::default() }),
+        "synthetic" => synthetic::generate(&SyntheticConfig {
+            tables: args.get_parsed("tables", 5usize)?,
+            attrs_per_table: args.get_parsed("attrs", 20usize)?,
+            queries_per_table: args.get_parsed("queries", 20usize)?,
+            rows_base: args.get_parsed("rows", 500_000u64)?,
+            seed,
+            ..SyntheticConfig::default()
+        }),
+        other => return Err(format!("unknown workload kind {other:?}")),
+    };
+
+    let file = std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    let mut w = std::io::BufWriter::new(file);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let q = workload.query_count();
+    let per_segment = events.div_ceil(segments);
+    let mut written = 0usize;
+    for s in 0..segments {
+        // One segment draws from a contiguous (circular) slice of the
+        // template list; rotating the slice between segments shifts the
+        // hot set and creates drift.
+        let slice: Vec<usize> = if segments == 1 {
+            (0..q).collect()
+        } else {
+            let len = q.div_ceil(2).max(1);
+            let start = s * q / segments;
+            (0..len).map(|i| (start + i) % q).collect()
+        };
+        let total: u64 = slice
+            .iter()
+            .map(|&i| workload.queries()[i].frequency())
+            .sum();
+        for _ in 0..per_segment.min(events - written) {
+            let mut pick = rng.gen_range(0..total);
+            let query = slice
+                .iter()
+                .map(|&i| &workload.queries()[i])
+                .find(|query| {
+                    if pick < query.frequency() {
+                        true
+                    } else {
+                        pick -= query.frequency();
+                        false
+                    }
+                })
+                .expect("pick < total");
+            let attrs: Vec<String> = query.attrs().iter().map(|a| a.0.to_string()).collect();
+            let kind = if query.is_update() { ",\"kind\":\"Update\"" } else { "" };
+            writeln!(
+                w,
+                "{{\"table\":{},\"attrs\":[{}]{kind}}}",
+                query.table().0,
+                attrs.join(",")
+            )
+            .map_err(|e| format!("write {out}: {e}"))?;
+            written += 1;
+        }
+    }
+    w.flush().map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "recorded {written} {kind} events over {segments} segment(s) \
+         ({} templates) -> {out}",
+        q
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(str::to_owned))
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("isel_cli_service_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn record_then_replay_with_offline_check() {
+        let w = tmp("tpcc_w.json");
+        crate::commands::generate(&argv(&format!(
+            "generate --kind tpcc --warehouses 5 --out {w}"
+        )))
+        .unwrap();
+        let log = tmp("tpcc_events.jsonl");
+        record(&argv(&format!(
+            "record --kind tpcc --warehouses 5 --events 96 --seed 7 --out {log}"
+        )))
+        .unwrap();
+        replay(&argv(&format!(
+            "replay --workload {w} --log {log} --epoch-events 32 --offline-check"
+        )))
+        .unwrap();
+    }
+
+    #[test]
+    fn replay_writes_and_resumes_checkpoints() {
+        let w = tmp("sy_w.json");
+        crate::commands::generate(&argv(&format!(
+            "generate --kind synthetic --tables 2 --attrs 8 --queries 8 --rows 50000 --seed 3 --out {w}"
+        )))
+        .unwrap();
+        let log = tmp("sy_events.jsonl");
+        record(&argv(&format!(
+            "record --kind synthetic --tables 2 --attrs 8 --queries 8 --rows 50000 --seed 3 --events 64 --out {log}"
+        )))
+        .unwrap();
+        let cp = tmp("sy_cp.json");
+        std::fs::remove_file(&cp).ok();
+        replay(&argv(&format!(
+            "replay --workload {w} --log {log} --epoch-events 16 --checkpoint {cp}"
+        )))
+        .unwrap();
+        assert!(std::path::Path::new(&cp).exists());
+        // Resuming from the final checkpoint replays on top of restored
+        // state (4 more epochs on the same log).
+        replay(&argv(&format!(
+            "replay --workload {w} --log {log} --epoch-events 16 --checkpoint {cp} --resume"
+        )))
+        .unwrap();
+        let restored = Checkpoint::load(std::path::Path::new(&cp)).unwrap();
+        assert_eq!(restored.epoch, 8);
+    }
+
+    #[test]
+    fn config_knobs_parse_and_validate() {
+        let cfg = service_config(&argv(
+            "serve --epoch-events 10 --window 3 --templates 99 --budget 0.25 \
+             --noop-above 0.9 --scratch-below 0.1 --queue 128 --threads 2",
+        ))
+        .unwrap();
+        assert_eq!(cfg.epoch_events, 10);
+        assert_eq!(cfg.window_epochs, 3);
+        assert_eq!(cfg.max_templates, 99);
+        assert_eq!(cfg.queue_capacity, 128);
+        assert!(service_config(&argv("serve --queue 0")).is_err());
+        assert!(service_config(&argv("serve --epoch-events nope")).is_err());
+    }
+
+    #[test]
+    fn record_rejects_unknown_kind() {
+        let out = tmp("nope.jsonl");
+        assert!(record(&argv(&format!("record --kind weird --out {out}"))).is_err());
+        assert!(record(&argv("record --kind tpcc")).is_err(), "missing --out");
+    }
+
+    #[test]
+    fn segmented_record_produces_drift() {
+        let log = tmp("seg_events.jsonl");
+        record(&argv(&format!(
+            "record --kind synthetic --tables 2 --attrs 10 --queries 12 --rows 50000 \
+             --seed 5 --events 120 --segments 3 --out {log}"
+        )))
+        .unwrap();
+        let text = std::fs::read_to_string(&log).unwrap();
+        assert_eq!(text.lines().count(), 120);
+        // First and last segments draw from different template slices.
+        let first: std::collections::BTreeSet<&str> = text.lines().take(40).collect();
+        let last: std::collections::BTreeSet<&str> = text.lines().skip(80).collect();
+        assert_ne!(first, last);
+    }
+}

@@ -172,9 +172,15 @@ impl<'a, W: WhatIfOptimizer> Advisor<'a, W> {
         let stats_before = self.est.stats();
         let start = Instant::now();
         let selection = match &strategy {
-            Strategy::H1 => heuristics::h1(&self.candidates, self.est, budget),
-            Strategy::H2 => heuristics::h2(&self.candidates, self.est, budget),
-            Strategy::H3 => heuristics::h3(&self.candidates, self.est, budget),
+            Strategy::H1 => {
+                heuristics::h1_traced(&self.candidates, self.est, budget, self.trace)
+            }
+            Strategy::H2 => {
+                heuristics::h2_traced(&self.candidates, self.est, budget, self.trace)
+            }
+            Strategy::H3 => {
+                heuristics::h3_traced(&self.candidates, self.est, budget, self.trace)
+            }
             Strategy::H4 { skyline } => heuristics::h4_traced(
                 &self.candidates,
                 self.est,

@@ -301,6 +301,7 @@ pub fn run_traced<W: WhatIfOptimizer>(
     trace.emit(|| {
         let now = est.stats();
         TraceEvent::RunEnd {
+            strategy: "H6".into(),
             steps: result.steps.len() as u64,
             issued: now.calls_issued - entry_stats.calls_issued,
             cached: now.calls_answered_from_cache - entry_stats.calls_answered_from_cache,

@@ -125,9 +125,12 @@ pub fn solve_with(
     solve_traced(est, candidates, budget, options, par, Trace::disabled())
 }
 
-/// [`solve_with`] emitting one [`TraceEvent::SolverPhase`] per phase:
-/// `cophy_build` (detail = what-if requests collecting coefficients) and
-/// `cophy_solve` (detail = branch-and-bound nodes).
+/// [`solve_with`] emitting a full trace envelope: `RunStart`, one
+/// [`TraceEvent::SolverPhase`] per phase (`cophy_build`, detail = what-if
+/// requests collecting coefficients; `cophy_solve`, detail =
+/// branch-and-bound nodes), one covering `CandidateScan`, and `RunEnd` —
+/// so a CoPhy run in a `compare` trace is attributable and passes the
+/// accounting check like every other strategy.
 pub fn solve_traced(
     est: &impl WhatIfOptimizer,
     candidates: &[IndexId],
@@ -146,6 +149,7 @@ pub fn solve_traced(
         .filter(|&k| seen.insert(k))
         .collect();
 
+    let env = crate::heuristics::RunEnvelope::open(trace, "CoPhy", est, budget);
     let calls_before = est.stats().total_requests();
     let build_start = Instant::now();
     let instance = build_instance_with(est, &candidates, budget, par);
@@ -166,13 +170,18 @@ pub fn solve_traced(
         micros: solve_start.elapsed().as_micros() as u64,
     });
     let pool = est.pool();
-    let selection = candidates
+    let selection: Selection = candidates
         .iter()
         .zip(&solution.selected)
         .filter(|(_, &sel)| sel)
         .map(|(&k, _)| pool.resolve(k))
         .collect();
     let candidates: Vec<Index> = candidates.iter().map(|&k| pool.resolve(k)).collect();
+    if let Some(env) = env {
+        let initial = est.workload_cost(&[]);
+        let fin = selection.cost(est);
+        env.finish(est, solution.nodes as u64, candidates.len() as u64, initial, fin);
+    }
     CophyRun {
         candidates,
         selection,

@@ -50,15 +50,19 @@ pub fn run(candidates: &[IndexId], est: &impl WhatIfOptimizer, options: &Db2Opti
     run_traced(candidates, est, options, Trace::disabled())
 }
 
-/// [`run`] emitting one [`TraceEvent::SolverPhase`] per phase:
-/// `db2_h5_start` (detail = indexes in the starting solution) and
-/// `db2_swap_rounds` (detail = accepted swap proposals).
+/// [`run`] emitting a full trace envelope: `RunStart`, one
+/// [`TraceEvent::SolverPhase`] per phase (`db2_h5_start`, detail =
+/// indexes in the starting solution; `db2_swap_rounds`, detail = accepted
+/// swap proposals), one covering `CandidateScan`, and `RunEnd` — so a
+/// DB2 run in a `compare` trace is attributable and passes the
+/// accounting check like every other strategy.
 pub fn run_traced(
     candidates: &[IndexId],
     est: &impl WhatIfOptimizer,
     options: &Db2Options,
     trace: Trace<'_>,
 ) -> Db2Result {
+    let env = crate::heuristics::RunEnvelope::open(trace, "DB2", est, options.budget);
     let h5_start = Instant::now();
     let start = heuristics::h5(candidates, est, options.budget);
     trace.emit(|| TraceEvent::SolverPhase {
@@ -120,6 +124,10 @@ pub fn run_traced(
     });
     let pool_ref = est.pool();
     let selection: Selection = selection.iter().map(|&k| pool_ref.resolve(k)).collect();
+    if let Some(env) = env {
+        let initial = est.workload_cost(&[]);
+        env.finish(est, accepted as u64, candidates.len() as u64, initial, cost);
+    }
     Db2Result { selection, start_cost, final_cost: cost, accepted_swaps: accepted }
 }
 

@@ -168,20 +168,37 @@ pub fn static_first_epoch(
     budget: u64,
     costs: TransitionCosts,
 ) -> Trace {
+    static_first_epoch_traced(epochs, budget, costs, RunTrace::disabled())
+}
+
+/// [`static_first_epoch`] with a [`RunTrace`] handle: epoch 0 emits the
+/// full Algorithm-1 event stream of its one selection run, and every
+/// epoch emits one [`TraceEvent::Epoch`] with policy `"static"`. Results
+/// are bit-identical with and without a sink.
+pub fn static_first_epoch_traced(
+    epochs: &[&dyn WhatIfOptimizer],
+    budget: u64,
+    costs: TransitionCosts,
+    trace: RunTrace<'_>,
+) -> Trace {
     let mut out = Vec::with_capacity(epochs.len());
     let mut prev = Selection::empty();
     for (e, est) in epochs.iter().enumerate() {
         let selection = if e == 0 {
-            algorithm1::run(est, &Options::new(budget)).selection
+            algorithm1::run_traced(est, &Options::new(budget), trace).selection
         } else {
             prev.clone()
         };
         let reconfig_paid = paid_reconfig(*est, &prev, &selection, costs);
-        out.push(EpochResult {
-            workload_cost: selection.cost(est),
+        let workload_cost = selection.cost(est);
+        trace.emit(|| TraceEvent::Epoch {
+            epoch: e as u64,
+            policy: "static".into(),
+            indexes: selection.len() as u64,
+            workload_cost,
             reconfig_paid,
-            selection: selection.clone(),
         });
+        out.push(EpochResult { workload_cost, reconfig_paid, selection: selection.clone() });
         prev = selection;
     }
     Trace { epochs: out }

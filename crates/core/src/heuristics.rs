@@ -26,11 +26,138 @@
 use crate::parallel::{parallel_map, Parallelism};
 use crate::selection::Selection;
 use crate::trace::{Trace, TraceEvent};
-use isel_costmodel::WhatIfOptimizer;
+use isel_costmodel::{WhatIfOptimizer, WhatIfStats};
 use isel_workload::{AttrId, IndexId, QueryId, Workload};
+use std::time::Instant;
 
 #[allow(unused_imports)] // doc link
 use isel_workload::IndexPool;
+
+/// `RunStart`/`RunEnd` envelope shared by the traced candidate-set
+/// strategies (H1–H5, DB2, CoPhy).
+///
+/// The envelope records the run origin (wall clock + oracle stats) and
+/// closes [`TraceEvent::CandidateScan`] spans that *partition* the run:
+/// every span starts where the previous one (or the run) ended, and
+/// [`finish`](Self::finish) closes one last span before reading the run
+/// totals from the same stats snapshot. The summed per-scan what-if
+/// deltas therefore equal the `RunEnd` totals by construction — the
+/// accounting invariant `report --check` verifies — for every strategy,
+/// not just Algorithm 1. `None` with a disabled handle: untraced runs
+/// perform no clock reads and no stats loads.
+pub(crate) struct RunEnvelope<'a> {
+    trace: Trace<'a>,
+    strategy: String,
+    run_t0: Instant,
+    run_entry: WhatIfStats,
+    span_t0: Instant,
+    span_entry: WhatIfStats,
+}
+
+impl<'a> RunEnvelope<'a> {
+    /// Emit `RunStart` and open the first scan span. Returns `None` (and
+    /// emits nothing) when `trace` is disabled.
+    pub(crate) fn open(
+        trace: Trace<'a>,
+        strategy: &str,
+        est: &impl WhatIfOptimizer,
+        budget: u64,
+    ) -> Option<Self> {
+        if !trace.is_enabled() {
+            return None;
+        }
+        let run_entry = est.stats();
+        let run_t0 = Instant::now();
+        trace.emit(|| {
+            let w = est.workload();
+            TraceEvent::RunStart {
+                strategy: strategy.into(),
+                queries: w.query_count() as u64,
+                total_width: w.iter().map(|(_, q)| q.width() as u64).sum(),
+                budget,
+            }
+        });
+        Some(Self {
+            trace,
+            strategy: strategy.to_owned(),
+            run_t0,
+            run_entry,
+            span_t0: run_t0,
+            span_entry: run_entry,
+        })
+    }
+
+    /// Close the open span as one `CandidateScan` and start the next.
+    pub(crate) fn scan(
+        &mut self,
+        est: &impl WhatIfOptimizer,
+        step: u64,
+        candidates: u64,
+        queries_recosted: u64,
+    ) {
+        let now = est.stats();
+        let t = Instant::now();
+        self.trace.emit(|| TraceEvent::CandidateScan {
+            step,
+            candidates,
+            queries_recosted,
+            issued: now.calls_issued - self.span_entry.calls_issued,
+            cached: now.calls_answered_from_cache - self.span_entry.calls_answered_from_cache,
+            micros: t.duration_since(self.span_t0).as_micros() as u64,
+        });
+        self.span_entry = now;
+        self.span_t0 = t;
+    }
+
+    /// Re-open the span after an inner traced call (e.g.
+    /// [`individual_benefits_traced`]) emitted its own contiguous scan.
+    pub(crate) fn resync(&mut self, est: &impl WhatIfOptimizer) {
+        self.span_entry = est.stats();
+        self.span_t0 = Instant::now();
+    }
+
+    /// Close the final span (covering ranking, selection and the cost
+    /// probes for the `RunEnd` payload) and emit `RunEnd` from the run
+    /// origin. `initial_cost`/`final_cost` must already be computed so
+    /// their what-if calls land inside the final span.
+    pub(crate) fn finish(
+        mut self,
+        est: &impl WhatIfOptimizer,
+        steps: u64,
+        candidates: u64,
+        initial_cost: f64,
+        final_cost: f64,
+    ) {
+        let queries = est.workload().query_count() as u64;
+        self.scan(est, steps, candidates, queries);
+        let now = self.span_entry;
+        let end = self.span_t0;
+        self.trace.emit(|| TraceEvent::RunEnd {
+            strategy: self.strategy.clone(),
+            steps,
+            issued: now.calls_issued - self.run_entry.calls_issued,
+            cached: now.calls_answered_from_cache - self.run_entry.calls_answered_from_cache,
+            initial_cost,
+            final_cost,
+            micros: end.duration_since(self.run_t0).as_micros() as u64,
+        });
+    }
+}
+
+/// Close a rule-based run: cost the unindexed baseline and the selection
+/// (inside the envelope's final span) and emit `RunEnd`.
+fn finish_envelope(
+    env: Option<RunEnvelope<'_>>,
+    est: &impl WhatIfOptimizer,
+    candidates: u64,
+    sel: &Selection,
+) {
+    if let Some(env) = env {
+        let initial = est.workload_cost(&[]);
+        let fin = sel.cost(est);
+        env.finish(est, sel.len() as u64, candidates, initial, fin);
+    }
+}
 
 /// Frequency-weighted occurrences of a candidate's attribute set
 /// (`Σ_{j: set(k) ⊆ q_j} b_j`).
@@ -209,6 +336,23 @@ pub fn h1(candidates: &[IndexId], est: &impl WhatIfOptimizer, budget: u64) -> Se
     greedy_fill(&ranked, est, budget)
 }
 
+/// [`h1`] wrapped in a `RunStart`/`CandidateScan`/`RunEnd` envelope. The
+/// rule-based ranking issues no what-if calls of its own, so the single
+/// scan span covers the whole run (including the baseline/selection cost
+/// probes for the `RunEnd` payload) and the accounting invariant holds by
+/// construction. Selections are bit-identical to the untraced run.
+pub fn h1_traced(
+    candidates: &[IndexId],
+    est: &impl WhatIfOptimizer,
+    budget: u64,
+    trace: Trace<'_>,
+) -> Selection {
+    let env = RunEnvelope::open(trace, "H1", est, budget);
+    let sel = h1(candidates, est, budget);
+    finish_envelope(env, est, candidates.len() as u64, &sel);
+    sel
+}
+
 /// H2: smallest combined selectivity first.
 pub fn h2(candidates: &[IndexId], est: &impl WhatIfOptimizer, budget: u64) -> Selection {
     let w = est.workload();
@@ -222,6 +366,19 @@ pub fn h2(candidates: &[IndexId], est: &impl WhatIfOptimizer, budget: u64) -> Se
         .then_with(|| pool.attrs(a).cmp(pool.attrs(b)))
     });
     greedy_fill(&ranked, est, budget)
+}
+
+/// [`h2`] wrapped in the tracing envelope (see [`h1_traced`]).
+pub fn h2_traced(
+    candidates: &[IndexId],
+    est: &impl WhatIfOptimizer,
+    budget: u64,
+    trace: Trace<'_>,
+) -> Selection {
+    let env = RunEnvelope::open(trace, "H2", est, budget);
+    let sel = h2(candidates, est, budget);
+    finish_envelope(env, est, candidates.len() as u64, &sel);
+    sel
 }
 
 /// H3: smallest selectivity/occurrences ratio first.
@@ -238,6 +395,19 @@ pub fn h3(candidates: &[IndexId], est: &impl WhatIfOptimizer, budget: u64) -> Se
             .then_with(|| pool.attrs(a).cmp(pool.attrs(b)))
     });
     greedy_fill(&ranked, est, budget)
+}
+
+/// [`h3`] wrapped in the tracing envelope (see [`h1_traced`]).
+pub fn h3_traced(
+    candidates: &[IndexId],
+    est: &impl WhatIfOptimizer,
+    budget: u64,
+    trace: Trace<'_>,
+) -> Selection {
+    let env = RunEnvelope::open(trace, "H3", est, budget);
+    let sel = h3(candidates, est, budget);
+    finish_envelope(env, est, candidates.len() as u64, &sel);
+    sel
 }
 
 /// H4: best individually-measured performance first; with
@@ -263,7 +433,11 @@ pub fn h4_with(
     h4_traced(candidates, est, budget, use_skyline, par, Trace::disabled())
 }
 
-/// [`h4_with`] with the benefit scan traced.
+/// [`h4_with`] wrapped in the tracing envelope: `RunStart`, a scan span
+/// covering the skyline filter (when enabled — its what-if probes happen
+/// *before* the benefit sweep), the benefit-sweep scan, a final wrap-up
+/// span, and `RunEnd`. The spans partition the run, so the accounting
+/// invariant holds. Selections are bit-identical to the untraced run.
 pub fn h4_traced(
     candidates: &[IndexId],
     est: &impl WhatIfOptimizer,
@@ -272,14 +446,28 @@ pub fn h4_traced(
     par: Parallelism,
     trace: Trace<'_>,
 ) -> Selection {
+    let label = if use_skyline { "H4s" } else { "H4" };
+    let mut env = RunEnvelope::open(trace, label, est, budget);
     let pool: Vec<IndexId> = if use_skyline {
-        skyline_filter(candidates, est)
+        let filtered = skyline_filter(candidates, est);
+        if let Some(env) = env.as_mut() {
+            env.scan(
+                est,
+                0,
+                candidates.len() as u64,
+                est.workload().query_count() as u64,
+            );
+        }
+        filtered
     } else {
         candidates.to_vec()
     };
     // Candidates whose upkeep outweighs their savings are never worth
     // selecting, whatever the budget.
     let benefits = individual_benefits_traced(&pool, est, par, trace);
+    if let Some(env) = env.as_mut() {
+        env.resync(est);
+    }
     let ids = est.pool();
     let mut ranked: Vec<(IndexId, f64)> = pool
         .into_iter()
@@ -291,7 +479,9 @@ pub fn h4_traced(
             .then_with(|| ids.attrs(a.0).cmp(ids.attrs(b.0)))
     });
     let ranked: Vec<IndexId> = ranked.into_iter().map(|(k, _)| k).collect();
-    greedy_fill(&ranked, est, budget)
+    let sel = greedy_fill(&ranked, est, budget);
+    finish_envelope(env, est, 0, &sel);
+    sel
 }
 
 /// H5: best benefit-per-size ratio first (cf. the starting solution of
@@ -326,7 +516,7 @@ pub fn h5_with(
     h5_traced(candidates, est, budget, par, Trace::disabled())
 }
 
-/// [`h5_with`] with the benefit scan traced.
+/// [`h5_with`] wrapped in the tracing envelope (see [`h4_traced`]).
 pub fn h5_traced(
     candidates: &[IndexId],
     est: &impl WhatIfOptimizer,
@@ -334,7 +524,11 @@ pub fn h5_traced(
     par: Parallelism,
     trace: Trace<'_>,
 ) -> Selection {
+    let mut env = RunEnvelope::open(trace, "H5", est, budget);
     let benefits = individual_benefits_traced(candidates, est, par, trace);
+    if let Some(env) = env.as_mut() {
+        env.resync(est);
+    }
     let pool = est.pool();
     let mut ranked: Vec<(IndexId, f64)> = candidates
         .iter()
@@ -350,7 +544,9 @@ pub fn h5_traced(
             .then_with(|| pool.attrs(a.0).cmp(pool.attrs(b.0)))
     });
     let ranked: Vec<IndexId> = ranked.into_iter().map(|(k, _)| k).collect();
-    greedy_fill(&ranked, est, budget)
+    let sel = greedy_fill(&ranked, est, budget);
+    finish_envelope(env, est, 0, &sel);
+    sel
 }
 
 /// Skyline filter: keep a candidate iff it is Pareto-efficient in

@@ -141,6 +141,11 @@ pub enum TraceEvent {
     /// A strategy run finished. `issued`/`cached` are totals over the
     /// whole run, measured from the same origin as the scans.
     RunEnd {
+        /// Strategy label matching the run's [`RunStart`](Self::RunStart).
+        /// Defaults to `""` when parsing traces written before the field
+        /// existed.
+        #[serde(default)]
+        strategy: String,
         /// Construction steps taken.
         steps: u64,
         /// Total what-if calls issued.
@@ -408,13 +413,60 @@ impl RunReport {
                     }
                 }
                 TraceEvent::Epoch { .. } => r.epochs += 1,
-                TraceEvent::RunEnd { steps, issued, cached, initial_cost, final_cost, micros } => {
+                TraceEvent::RunEnd {
+                    strategy,
+                    steps,
+                    issued,
+                    cached,
+                    initial_cost,
+                    final_cost,
+                    micros,
+                } => {
+                    if r.strategy.is_none() && !strategy.is_empty() {
+                        r.strategy = Some(strategy.clone());
+                    }
                     r.run_end =
                         Some((*steps, *issued, *cached, *initial_cost, *final_cost, *micros));
                 }
             }
         }
         r
+    }
+
+    /// Split a multi-run event stream into per-run groups. A new group
+    /// opens at every [`TraceEvent::RunStart`]; events before the first
+    /// `RunStart` (e.g. from traces written by pre-envelope strategies)
+    /// form a leading group of their own. One `--trace` file from
+    /// `compare` or a daemon run therefore yields one group per strategy
+    /// run, each attributable via its `strategy` label.
+    pub fn split_runs(events: &[TraceEvent]) -> Vec<&[TraceEvent]> {
+        let mut starts: Vec<usize> = events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e, TraceEvent::RunStart { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        if starts.first() != Some(&0) {
+            starts.insert(0, 0);
+        }
+        starts
+            .iter()
+            .enumerate()
+            .map(|(n, &lo)| {
+                let hi = starts.get(n + 1).copied().unwrap_or(events.len());
+                &events[lo..hi]
+            })
+            .filter(|g| !g.is_empty())
+            .collect()
+    }
+
+    /// Aggregate a multi-run event stream into one [`RunReport`] per run
+    /// (see [`split_runs`](Self::split_runs)).
+    pub fn per_run(events: &[TraceEvent]) -> Vec<RunReport> {
+        Self::split_runs(events)
+            .into_iter()
+            .map(Self::from_events)
+            .collect()
     }
 
     /// Parse a JSON-lines trace (the [`JsonLinesSink`] format) into
@@ -577,6 +629,7 @@ mod tests {
                 micros: 900,
             },
             TraceEvent::RunEnd {
+                strategy: "H6".into(),
                 steps: 1,
                 issued: 18,
                 cached: 4,
@@ -657,6 +710,56 @@ mod tests {
         // Missing RunEnd is reported, not silently passed.
         let r = RunReport::from_events(&events[..4]);
         assert!(r.check_accounting().unwrap_err().contains("RunEnd"));
+    }
+
+    #[test]
+    fn split_runs_groups_per_strategy() {
+        // Two back-to-back runs in one stream — the `compare` shape.
+        let mut events = sample_events();
+        let mut second = sample_events();
+        if let TraceEvent::RunStart { strategy, .. } = &mut second[0] {
+            *strategy = "H5".into();
+        }
+        if let TraceEvent::RunEnd { strategy, .. } = &mut second[4] {
+            *strategy = "H5".into();
+        }
+        events.extend(second);
+        let groups = RunReport::split_runs(&events);
+        assert_eq!(groups.len(), 2);
+        let reports = RunReport::per_run(&events);
+        assert_eq!(reports[0].strategy.as_deref(), Some("H6"));
+        assert_eq!(reports[1].strategy.as_deref(), Some("H5"));
+        for r in &reports {
+            r.check_accounting().expect("per-run sums match");
+        }
+        // The combined stream would have failed: scans accumulate across
+        // runs while RunEnd overwrites.
+        assert!(RunReport::from_events(&events).check_accounting().is_err());
+        // Events before the first RunStart form a leading group; its
+        // strategy is backfilled from the RunEnd label.
+        let headless = &events[1..];
+        assert_eq!(RunReport::split_runs(headless).len(), 2);
+        assert_eq!(
+            RunReport::per_run(headless)[0].strategy.as_deref(),
+            Some("H6")
+        );
+    }
+
+    #[test]
+    fn run_end_strategy_defaults_for_old_traces() {
+        // Traces written before RunEnd carried a strategy label must still
+        // parse; the field defaults to "".
+        let old = "{\"RunEnd\":{\"steps\":1,\"issued\":2,\"cached\":0,\
+                    \"initial_cost\":1.0,\"final_cost\":0.5,\"micros\":7}}";
+        let events = RunReport::parse_jsonl(old).expect("old schema parses");
+        match &events[0] {
+            TraceEvent::RunEnd { strategy, issued, .. } => {
+                assert_eq!(strategy, "");
+                assert_eq!(*issued, 2);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert!(RunReport::from_events(&events).strategy.is_none());
     }
 
     #[test]

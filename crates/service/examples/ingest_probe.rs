@@ -1,0 +1,29 @@
+use isel_service::{Daemon, OverloadPolicy, ServiceConfig};
+use isel_workload::synthetic::{self, SyntheticConfig};
+use std::io::Cursor;
+
+fn main() {
+    let w = synthetic::generate(&SyntheticConfig {
+        tables: 5,
+        attrs_per_table: 20,
+        queries_per_table: 20,
+        rows_base: 500_000,
+        ..SyntheticConfig::default()
+    });
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20_000);
+    let mut log = String::new();
+    for i in 0..n {
+        let q = &w.queries()[i % w.query_count()];
+        let attrs: Vec<String> = q.attrs().iter().map(|a| a.0.to_string()).collect();
+        log.push_str(&format!("{{\"table\":{},\"attrs\":[{}]}}\n", q.table().0, attrs.join(",")));
+    }
+    let cfg = ServiceConfig { epoch_events: (n + 1) as u64, ..ServiceConfig::default() };
+    let t = std::time::Instant::now();
+    let mut daemon = Daemon::new(w.schema().clone(), cfg).unwrap();
+    let report = daemon
+        .run_reader(Cursor::new(log.into_bytes()), OverloadPolicy::Block, None, isel_core::Trace::disabled())
+        .unwrap();
+    let secs = t.elapsed().as_secs_f64();
+    eprintln!("ingested {} dropped {} high_water {} in {secs:.3}s ({:.0} events/s)",
+        report.ingested, report.dropped, report.queue_high_water, report.ingested as f64 / secs);
+}

@@ -1,0 +1,355 @@
+//! Checkpoint / restore of the daemon's tuning state.
+//!
+//! A checkpoint is one JSON document capturing everything the consumer
+//! loop owns: the interned [`IndexPool`] (entries in id order — restoring
+//! re-interns them in order, which reproduces every id exactly, prefixes
+//! included), the current selection as pool ids, the drift baseline, the
+//! sliding window including the partial current epoch, the epoch counter
+//! and the ingestion counters. Restoring a checkpoint and feeding the
+//! remainder of a log continues **bit-identically** with a run that was
+//! never interrupted (pinned by `tests/service.rs`).
+//!
+//! Writes are atomic: the document lands in `<path>.tmp` and is renamed
+//! over the target, so a crash mid-write never leaves a torn checkpoint.
+//! All maps serialize in sorted order, so checkpoint bytes themselves are
+//! deterministic for identical state.
+
+use crate::config::ServiceConfig;
+use crate::tuner::Tuner;
+use crate::window::{kind_rank, rank_kind, EpochBatch, EpochWindow};
+use isel_core::Selection;
+use isel_workload::{AttrId, IndexId, IndexPool, Query, Schema, TableId, Workload};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Schema version of the checkpoint document.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// One aggregated template of a saved batch or drift baseline.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SavedTemplate {
+    /// Table id.
+    pub table: u16,
+    /// Kind rank (0 = select, 1 = update).
+    pub kind: u8,
+    /// Accessed attribute ids.
+    pub attrs: Vec<u32>,
+    /// Accumulated frequency.
+    pub frequency: u64,
+}
+
+/// One epoch batch (sealed or the current partial one).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SavedBatch {
+    /// Raw event count of the batch.
+    pub events: u64,
+    /// Aggregated templates in key order.
+    pub templates: Vec<SavedTemplate>,
+}
+
+/// Serialized daemon state.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Document schema version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Configuration the state was produced under; a restore under a
+    /// different aggregation configuration is refused.
+    pub config: ServiceConfig,
+    /// Sealed epochs tuned so far.
+    pub epoch: u64,
+    /// Valid query events ingested so far.
+    pub ingested: u64,
+    /// Invalid input lines skipped so far.
+    pub invalid: u64,
+    /// Events dropped under overload so far.
+    pub dropped: u64,
+    /// Pool entries in id order, each as its attribute list.
+    pub pool: Vec<Vec<u32>>,
+    /// Current selection as ids into `pool`.
+    pub selection: Vec<u32>,
+    /// Drift baseline: templates of the last re-selected snapshot, in
+    /// workload order.
+    pub baseline: Option<Vec<SavedTemplate>>,
+    /// Sealed window batches, oldest first.
+    pub window: Vec<SavedBatch>,
+    /// The partially-filled current epoch.
+    pub current: SavedBatch,
+}
+
+fn save_batch(batch: &EpochBatch) -> SavedBatch {
+    SavedBatch {
+        events: batch.events,
+        templates: batch
+            .templates
+            .iter()
+            .map(|((table, kind, attrs), freq)| SavedTemplate {
+                table: table.0,
+                kind: *kind,
+                attrs: attrs.iter().map(|a| a.0).collect(),
+                frequency: *freq,
+            })
+            .collect(),
+    }
+}
+
+fn load_batch(saved: &SavedBatch) -> Result<EpochBatch, String> {
+    let mut templates = BTreeMap::new();
+    for t in &saved.templates {
+        rank_kind(t.kind)?;
+        let key = (TableId(t.table), t.kind, t.attrs.iter().map(|&a| AttrId(a)).collect());
+        if templates.insert(key, t.frequency).is_some() {
+            return Err("duplicate template key in checkpoint batch".into());
+        }
+    }
+    Ok(EpochBatch { templates, events: saved.events })
+}
+
+fn save_workload(w: &Workload) -> Vec<SavedTemplate> {
+    w.queries()
+        .iter()
+        .map(|q| SavedTemplate {
+            table: q.table().0,
+            kind: kind_rank(q.kind()),
+            attrs: q.attrs().iter().map(|a| a.0).collect(),
+            frequency: q.frequency(),
+        })
+        .collect()
+}
+
+fn load_workload(schema: &Schema, templates: &[SavedTemplate]) -> Result<Workload, String> {
+    let queries = templates
+        .iter()
+        .map(|t| {
+            if t.attrs.is_empty() || t.frequency == 0 {
+                return Err("degenerate template in checkpoint baseline".to_owned());
+            }
+            Ok(Query::with_kind(
+                TableId(t.table),
+                t.attrs.iter().map(|&a| AttrId(a)).collect(),
+                t.frequency,
+                rank_kind(t.kind)?,
+            ))
+        })
+        .collect::<Result<Vec<Query>, String>>()?;
+    Ok(Workload::new(schema.clone(), queries))
+}
+
+impl Checkpoint {
+    /// Capture the consumer loop's state.
+    pub fn capture(
+        config: &ServiceConfig,
+        tuner: &Tuner,
+        window: &EpochWindow,
+        ingested: u64,
+        invalid: u64,
+        dropped: u64,
+    ) -> Self {
+        let pool = tuner.pool();
+        let entries: Vec<Vec<u32>> = (0..pool.len() as u32)
+            .map(|id| pool.attrs(IndexId(id)).iter().map(|a| a.0).collect())
+            .collect();
+        let selection: Vec<u32> = tuner
+            .selection()
+            .indexes()
+            .iter()
+            .map(|k| pool.intern(k).0)
+            .collect();
+        Self {
+            version: CHECKPOINT_VERSION,
+            config: config.clone(),
+            epoch: tuner.epoch(),
+            ingested,
+            invalid,
+            dropped,
+            pool: entries,
+            selection,
+            baseline: tuner.drift_baseline().map(save_workload),
+            window: window.window.iter().map(save_batch).collect(),
+            current: save_batch(&window.current),
+        }
+    }
+
+    /// Rebuild tuner and window state over `schema`.
+    ///
+    /// The pool is re-interned entry by entry in id order; any divergence
+    /// between recorded and reproduced ids (a corrupted or reordered
+    /// document) is an error, as is a configuration mismatch.
+    pub fn restore(&self, schema: &Schema) -> Result<(Tuner, EpochWindow), String> {
+        if self.version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "checkpoint version {} unsupported (expected {CHECKPOINT_VERSION})",
+                self.version
+            ));
+        }
+        let pool = IndexPool::new(schema);
+        for (i, attrs) in self.pool.iter().enumerate() {
+            if attrs.is_empty() {
+                return Err("empty index entry in checkpoint pool".into());
+            }
+            let id = pool.intern_attrs(&attrs.iter().map(|&a| AttrId(a)).collect::<Vec<_>>());
+            if id.0 as usize != i {
+                return Err(format!(
+                    "checkpoint pool entry {i} re-interned as {id} — document reordered?"
+                ));
+            }
+        }
+        let selection = Selection::from_indexes(
+            self.selection
+                .iter()
+                .map(|&id| {
+                    if id as usize >= pool.len() {
+                        return Err(format!("selection references unknown pool id k{id}"));
+                    }
+                    Ok(pool.resolve(IndexId(id)))
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+        );
+        let baseline = self
+            .baseline
+            .as_ref()
+            .map(|t| load_workload(schema, t))
+            .transpose()?;
+        let mut window = EpochWindow::new(
+            schema.clone(),
+            self.config.epoch_events,
+            self.config.window_epochs,
+            self.config.max_templates,
+        );
+        if self.window.len() > self.config.window_epochs {
+            return Err("checkpoint window longer than window_epochs".into());
+        }
+        for batch in &self.window {
+            window.window.push_back(load_batch(batch)?);
+        }
+        window.current = load_batch(&self.current)?;
+        if window.current.events >= self.config.epoch_events {
+            return Err("checkpoint current epoch is already sealed".into());
+        }
+        let tuner =
+            Tuner::restore(self.config.clone(), pool, selection, baseline, self.epoch);
+        Ok((tuner, window))
+    }
+
+    /// Serialize to JSON text (one line).
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string(self).map_err(|e| format!("serialize checkpoint: {e}"))
+    }
+
+    /// Parse a checkpoint document.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("parse checkpoint: {e}"))
+    }
+
+    /// Atomically write the checkpoint to `path` (`<path>.tmp` + rename).
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        let json = self.to_json()?;
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, json.as_bytes())
+            .map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), path.display()))
+    }
+
+    /// Load a checkpoint from `path`.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("read {}: {e}", path.display()))?;
+        Self::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DriftThresholds;
+    use isel_core::{Parallelism, Trace};
+    use isel_workload::synthetic::{self, SyntheticConfig};
+
+    fn workload() -> Workload {
+        synthetic::generate(&SyntheticConfig {
+            tables: 2,
+            attrs_per_table: 10,
+            queries_per_table: 12,
+            rows_base: 50_000,
+            max_query_width: 3,
+            update_fraction: 0.0,
+            seed: 21,
+        })
+    }
+
+    fn populated_state() -> (ServiceConfig, Tuner, EpochWindow) {
+        let w = workload();
+        let config = ServiceConfig {
+            epoch_events: 4,
+            window_epochs: 2,
+            max_templates: 32,
+            drift: DriftThresholds::always_adapt(),
+            ..ServiceConfig::default()
+        };
+        let mut tuner = Tuner::new(w.schema(), config.clone());
+        let mut window = EpochWindow::new(w.schema().clone(), 4, 2, 32);
+        for q in w.queries().iter().cycle().take(10) {
+            if window.push(q) {
+                let snap = window.snapshot().unwrap();
+                tuner.tune(&snap, Parallelism::serial(), Trace::disabled());
+            }
+        }
+        (config, tuner, window)
+    }
+
+    #[test]
+    fn capture_restore_round_trips() {
+        let (config, tuner, window) = populated_state();
+        let cp = Checkpoint::capture(&config, &tuner, &window, 10, 1, 2);
+        let (tuner2, window2) = cp.restore(window.schema()).unwrap();
+        assert_eq!(tuner2.epoch(), tuner.epoch());
+        assert_eq!(tuner2.selection(), tuner.selection());
+        assert_eq!(tuner2.pool().len(), tuner.pool().len());
+        assert_eq!(tuner2.drift_baseline(), tuner.drift_baseline());
+        assert_eq!(window2.sealed_masses(), window.sealed_masses());
+        assert_eq!(window2.current_events(), window.current_events());
+        // A second capture of the restored state is byte-identical.
+        let cp2 = Checkpoint::capture(&config, &tuner2, &window2, 10, 1, 2);
+        assert_eq!(cp.to_json().unwrap(), cp2.to_json().unwrap());
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let (config, tuner, window) = populated_state();
+        let cp = Checkpoint::capture(&config, &tuner, &window, 10, 0, 0);
+        let back = Checkpoint::from_json(&cp.to_json().unwrap()).unwrap();
+        assert_eq!(cp, back);
+    }
+
+    #[test]
+    fn save_load_is_atomic_and_faithful() {
+        let (config, tuner, window) = populated_state();
+        let cp = Checkpoint::capture(&config, &tuner, &window, 10, 0, 0);
+        let dir = std::env::temp_dir().join("isel-service-cp-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.json");
+        cp.save(&path).unwrap();
+        assert!(!path.with_extension("tmp").exists(), "tmp file renamed away");
+        assert_eq!(Checkpoint::load(&path).unwrap(), cp);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reordered_pool_is_rejected() {
+        let (config, tuner, window) = populated_state();
+        let mut cp = Checkpoint::capture(&config, &tuner, &window, 0, 0, 0);
+        assert!(cp.pool.len() >= 2, "state must intern multiple entries");
+        cp.pool.reverse();
+        let err = cp.restore(window.schema()).unwrap_err();
+        assert!(err.contains("re-interned"), "{err}");
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let (config, tuner, window) = populated_state();
+        let mut cp = Checkpoint::capture(&config, &tuner, &window, 0, 0, 0);
+        cp.version = 99;
+        assert!(cp.restore(window.schema()).unwrap_err().contains("version"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Daemon configuration.
+
+use isel_core::dynamic::TransitionCosts;
+use serde::{Deserialize, Serialize};
+
+/// Drift thresholds deciding the per-epoch tuning policy from the
+/// frequency-weighted attribute overlap between the current epoch
+/// snapshot and the snapshot of the last re-selection
+/// (`workload::drift::attribute_overlap`, in `[0, 1]`).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DriftThresholds {
+    /// Overlap at or above this keeps the current selection (no-op).
+    pub noop_above: f64,
+    /// Overlap strictly below this re-selects from scratch, ignoring
+    /// reconfiguration costs (the hot set moved too far to morph).
+    pub scratch_below: f64,
+}
+
+impl DriftThresholds {
+    /// Force the reconfiguration-aware adapt policy on every epoch —
+    /// overlap never reaches 2.0 and never goes below 0.0. This is the
+    /// setting under which a replay is bit-identical to the offline
+    /// [`isel_core::dynamic::adapt`] loop.
+    pub fn always_adapt() -> Self {
+        Self { noop_above: 2.0, scratch_below: 0.0 }
+    }
+}
+
+impl Default for DriftThresholds {
+    fn default() -> Self {
+        Self { noop_above: 0.95, scratch_below: 0.4 }
+    }
+}
+
+/// Static configuration of a daemon run. Serialized into every
+/// checkpoint so a restore can verify it resumes under the same
+/// aggregation parameters (changing them mid-run would silently change
+/// every later snapshot).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Events per epoch: every `epoch_events` *valid* query events seal
+    /// one epoch and trigger one tuning decision.
+    pub epoch_events: u64,
+    /// Sliding-window length in sealed epochs; older epochs are evicted.
+    pub window_epochs: usize,
+    /// Snapshot compression: keep only the `max_templates` heaviest
+    /// templates of the merged window (`compress::top_k_by_weight`).
+    pub max_templates: usize,
+    /// Relative memory budget share `w` of Eq. (10), re-evaluated per
+    /// epoch (constant across epochs of one schema).
+    pub budget_share: f64,
+    /// Reconfiguration cost parameters for the adapt policy.
+    pub transition: TransitionCosts,
+    /// Drift thresholds choosing between no-op, adapt and from-scratch.
+    pub drift: DriftThresholds,
+    /// Ingestion queue capacity in events.
+    pub queue_capacity: usize,
+    /// Worker threads for candidate evaluation (0 = all cores). Results
+    /// are identical at every setting (DESIGN.md §9).
+    pub threads: usize,
+    /// Write a checkpoint every `n` sealed epochs (0 = only on a
+    /// `checkpoint` control event and at shutdown).
+    pub checkpoint_every_epochs: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            epoch_events: 256,
+            window_epochs: 4,
+            max_templates: 512,
+            budget_share: 0.3,
+            transition: TransitionCosts { create_cost_per_byte: 0.001, drop_cost: 1.0 },
+            drift: DriftThresholds::default(),
+            queue_capacity: 4096,
+            threads: 1,
+            checkpoint_every_epochs: 0,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Validate parameter ranges; returns the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.epoch_events == 0 {
+            return Err("epoch_events must be at least 1".into());
+        }
+        if self.window_epochs == 0 {
+            return Err("window_epochs must be at least 1".into());
+        }
+        if self.max_templates == 0 {
+            return Err("max_templates must be at least 1".into());
+        }
+        if !self.budget_share.is_finite() || self.budget_share < 0.0 {
+            return Err("budget_share must be finite and non-negative".into());
+        }
+        if self.queue_capacity == 0 {
+            return Err("queue_capacity must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        ServiceConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn zero_epoch_events_rejected() {
+        let cfg = ServiceConfig { epoch_events: 0, ..ServiceConfig::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let cfg = ServiceConfig::default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ServiceConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn always_adapt_covers_the_overlap_range() {
+        let t = DriftThresholds::always_adapt();
+        for overlap in [0.0f64, 0.5, 1.0] {
+            assert!(overlap < t.noop_above);
+            assert!(overlap >= t.scratch_below);
+        }
+    }
+}

@@ -1,0 +1,537 @@
+//! The continuous-tuning daemon: ingestion thread → bounded queue →
+//! aggregation/tuning loop, with checkpointing and graceful shutdown.
+//!
+//! The reader thread parses and validates lines, counting invalid ones,
+//! and pushes valid events and `checkpoint` controls onto the queue so
+//! they stay ordered with the surrounding events. EOF or a `shutdown`
+//! control closes the queue; the consumer then drains every remaining
+//! event, tunes any epochs that seal while draining, writes a final
+//! checkpoint, and returns a [`ServiceReport`].
+//!
+//! [`offline_snapshots`] + [`offline_adapt`] are the pure reference
+//! implementations the replay determinism contract is checked against:
+//! feeding a recorded log through the daemon with
+//! [`crate::DriftThresholds::always_adapt`] produces exactly the
+//! selection sequence of `dynamic::adapt` over [`offline_snapshots`] of
+//! the same log.
+
+use crate::checkpoint::Checkpoint;
+use crate::config::ServiceConfig;
+use crate::event::{parse_line, Control, InputLine};
+use crate::queue::BoundedQueue;
+use crate::tuner::{EpochOutcome, Tuner};
+use crate::window::EpochWindow;
+use isel_core::{budget, dynamic, Parallelism, Selection, Trace};
+use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf, WhatIfOptimizer};
+use isel_workload::{Query, Schema, Workload};
+use std::io::BufRead;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What happens when the ingestion queue is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Producer waits — lossless; required for deterministic replay.
+    Block,
+    /// Oldest queued event is evicted (counted) — live serving.
+    DropOldest,
+}
+
+/// Work items flowing through the queue.
+pub(crate) enum WorkItem {
+    Query(Query),
+    Checkpoint,
+}
+
+/// Summary of one daemon run.
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// Outcome of every epoch tuned during this run, in order.
+    pub epochs: Vec<EpochOutcome>,
+    /// Valid query events ingested (lifetime total, including epochs
+    /// restored from a checkpoint).
+    pub ingested: u64,
+    /// Invalid input lines skipped (lifetime total).
+    pub invalid: u64,
+    /// Events dropped under overload (lifetime total).
+    pub dropped: u64,
+    /// Highest queue fill level observed this run.
+    pub queue_high_water: u64,
+    /// Checkpoints written this run.
+    pub checkpoints_written: u64,
+    /// Selection in force at shutdown.
+    pub final_selection: Selection,
+}
+
+/// Long-running advisor state machine. Create with [`Daemon::new`] or
+/// [`Daemon::resume`], then drive it with [`Daemon::run_reader`] (stdin /
+/// file / replay) or [`crate::socket::run_socket`] (live socket).
+pub struct Daemon {
+    schema: Schema,
+    config: ServiceConfig,
+    tuner: Tuner,
+    window: EpochWindow,
+    /// Lifetime counters restored from a checkpoint (zero for a fresh
+    /// daemon); this run's deltas are added on top.
+    base_ingested: u64,
+    base_invalid: u64,
+    base_dropped: u64,
+}
+
+impl Daemon {
+    /// Fresh daemon with empty state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first configuration problem, if any.
+    pub fn new(schema: Schema, config: ServiceConfig) -> Result<Self, String> {
+        config.validate()?;
+        let tuner = Tuner::new(&schema, config.clone());
+        let window = EpochWindow::new(
+            schema.clone(),
+            config.epoch_events,
+            config.window_epochs,
+            config.max_templates,
+        );
+        Ok(Self {
+            schema,
+            config,
+            tuner,
+            window,
+            base_ingested: 0,
+            base_invalid: 0,
+            base_dropped: 0,
+        })
+    }
+
+    /// Daemon resuming from a checkpoint. The checkpoint must have been
+    /// written under the same aggregation configuration — silently
+    /// changing epoch sizing mid-stream would corrupt every later
+    /// snapshot.
+    pub fn resume(schema: Schema, config: ServiceConfig, cp: &Checkpoint) -> Result<Self, String> {
+        config.validate()?;
+        if cp.config.epoch_events != config.epoch_events
+            || cp.config.window_epochs != config.window_epochs
+            || cp.config.max_templates != config.max_templates
+        {
+            return Err(format!(
+                "checkpoint aggregation config (epoch_events={}, window_epochs={}, \
+                 max_templates={}) does not match the requested configuration",
+                cp.config.epoch_events, cp.config.window_epochs, cp.config.max_templates
+            ));
+        }
+        let (tuner, window) = cp.restore(&schema)?;
+        Ok(Self {
+            schema,
+            config,
+            tuner,
+            window,
+            base_ingested: cp.ingested,
+            base_invalid: cp.invalid,
+            base_dropped: cp.dropped,
+        })
+    }
+
+    /// Epochs tuned over the daemon's lifetime.
+    pub fn epoch(&self) -> u64 {
+        self.tuner.epoch()
+    }
+
+    /// Selection currently in force.
+    pub fn selection(&self) -> &Selection {
+        self.tuner.selection()
+    }
+
+    fn parallelism(&self) -> Parallelism {
+        match self.config.threads {
+            0 => Parallelism::available(),
+            n => Parallelism::new(n),
+        }
+    }
+
+    /// Run the daemon over a line-based input until EOF or a `shutdown`
+    /// control, then drain, write a final checkpoint (if `checkpoint` is
+    /// set) and report.
+    pub fn run_reader<R: BufRead + Send>(
+        &mut self,
+        input: R,
+        policy: OverloadPolicy,
+        checkpoint: Option<&Path>,
+        trace: Trace<'_>,
+    ) -> Result<ServiceReport, String> {
+        let queue = BoundedQueue::new(self.config.queue_capacity);
+        let ingested = AtomicU64::new(0);
+        let invalid = AtomicU64::new(0);
+        let schema = self.schema.clone();
+        let (outcomes, checkpoints_written) = std::thread::scope(|s| {
+            s.spawn(|| ingest_lines(input, &schema, &queue, policy, &ingested, &invalid));
+            self.consume(&queue, &ingested, &invalid, checkpoint, trace)
+        })?;
+        Ok(self.report(outcomes, &queue, &ingested, &invalid, checkpoints_written))
+    }
+
+    /// Pop until the queue closes and drains; tune every epoch that
+    /// seals; honor checkpoint items; write the final checkpoint.
+    pub(crate) fn consume(
+        &mut self,
+        queue: &BoundedQueue<WorkItem>,
+        ingested: &AtomicU64,
+        invalid: &AtomicU64,
+        checkpoint: Option<&Path>,
+        trace: Trace<'_>,
+    ) -> Result<(Vec<EpochOutcome>, u64), String> {
+        let par = self.parallelism();
+        let every = self.config.checkpoint_every_epochs;
+        let mut outcomes = Vec::new();
+        let mut written = 0u64;
+        while let Some(item) = queue.pop() {
+            match item {
+                WorkItem::Query(q) => {
+                    if self.window.push(&q) {
+                        let snap = self
+                            .window
+                            .snapshot()
+                            .expect("snapshot exists after an epoch seals");
+                        outcomes.push(self.tuner.tune(&snap, par, trace));
+                        if every > 0 && self.tuner.epoch().is_multiple_of(every) {
+                            if let Some(path) = checkpoint {
+                                self.write_checkpoint(path, queue, ingested, invalid)?;
+                                written += 1;
+                            }
+                        }
+                    }
+                }
+                WorkItem::Checkpoint => {
+                    if let Some(path) = checkpoint {
+                        self.write_checkpoint(path, queue, ingested, invalid)?;
+                        written += 1;
+                    }
+                }
+            }
+        }
+        if let Some(path) = checkpoint {
+            self.write_checkpoint(path, queue, ingested, invalid)?;
+            written += 1;
+        }
+        Ok((outcomes, written))
+    }
+
+    fn write_checkpoint(
+        &self,
+        path: &Path,
+        queue: &BoundedQueue<WorkItem>,
+        ingested: &AtomicU64,
+        invalid: &AtomicU64,
+    ) -> Result<(), String> {
+        Checkpoint::capture(
+            &self.config,
+            &self.tuner,
+            &self.window,
+            self.base_ingested + ingested.load(Ordering::Relaxed),
+            self.base_invalid + invalid.load(Ordering::Relaxed),
+            self.base_dropped + queue.dropped(),
+        )
+        .save(path)
+    }
+
+    pub(crate) fn report(
+        &self,
+        epochs: Vec<EpochOutcome>,
+        queue: &BoundedQueue<WorkItem>,
+        ingested: &AtomicU64,
+        invalid: &AtomicU64,
+        checkpoints_written: u64,
+    ) -> ServiceReport {
+        ServiceReport {
+            epochs,
+            ingested: self.base_ingested + ingested.load(Ordering::Relaxed),
+            invalid: self.base_invalid + invalid.load(Ordering::Relaxed),
+            dropped: self.base_dropped + queue.dropped(),
+            queue_high_water: queue.high_water(),
+            checkpoints_written,
+            final_selection: self.tuner.selection().clone(),
+        }
+    }
+
+    pub(crate) fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub(crate) fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+}
+
+/// Closes the queue when dropped — so the consumer is released even if
+/// the reader thread unwinds mid-stream (a panicking reader must never
+/// leave the consumer blocked on a queue nobody will close).
+struct CloseOnExit<'a>(&'a BoundedQueue<WorkItem>);
+
+impl Drop for CloseOnExit<'_> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+/// Reader loop: parse lines, validate, push. Returns when the input ends
+/// or a `shutdown` control arrives; always closes the queue on the way
+/// out — including by panic — so the consumer can drain and finish.
+pub(crate) fn ingest_lines<R: BufRead>(
+    input: R,
+    schema: &Schema,
+    queue: &BoundedQueue<WorkItem>,
+    policy: OverloadPolicy,
+    ingested: &AtomicU64,
+    invalid: &AtomicU64,
+) {
+    let _close = CloseOnExit(queue);
+    for line in input.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break, // treat an IO error as end-of-stream
+        };
+        if !ingest_one(&line, schema, queue, policy, ingested, invalid) {
+            break;
+        }
+    }
+}
+
+/// Parse and route one line; returns `false` on shutdown.
+pub(crate) fn ingest_one(
+    line: &str,
+    schema: &Schema,
+    queue: &BoundedQueue<WorkItem>,
+    policy: OverloadPolicy,
+    ingested: &AtomicU64,
+    invalid: &AtomicU64,
+) -> bool {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return true;
+    }
+    match parse_line(trimmed, schema) {
+        Ok(InputLine::Query(q)) => {
+            ingested.fetch_add(1, Ordering::Relaxed);
+            match policy {
+                OverloadPolicy::Block => queue.push_blocking(WorkItem::Query(q)),
+                OverloadPolicy::DropOldest => queue.push_drop_oldest(WorkItem::Query(q)),
+            }
+        }
+        Ok(InputLine::Control(Control::Checkpoint)) => match policy {
+            OverloadPolicy::Block => queue.push_blocking(WorkItem::Checkpoint),
+            OverloadPolicy::DropOldest => queue.push_drop_oldest(WorkItem::Checkpoint),
+        },
+        Ok(InputLine::Control(Control::Shutdown)) => false,
+        Err(_) => {
+            invalid.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+    }
+}
+
+/// The epoch snapshots the window aggregator seals for a recorded log —
+/// the pure single-threaded reference for replay checks. Invalid lines
+/// are skipped (as the daemon does), `shutdown` stops, `checkpoint` is a
+/// no-op.
+pub fn offline_snapshots<R: BufRead>(
+    input: R,
+    schema: &Schema,
+    config: &ServiceConfig,
+) -> Result<Vec<Workload>, String> {
+    config.validate()?;
+    let mut window = EpochWindow::new(
+        schema.clone(),
+        config.epoch_events,
+        config.window_epochs,
+        config.max_templates,
+    );
+    let mut out = Vec::new();
+    for line in input.lines() {
+        let line = line.map_err(|e| format!("read log: {e}"))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match parse_line(trimmed, schema) {
+            Ok(InputLine::Query(q)) => {
+                if window.push(&q) {
+                    out.push(window.snapshot().expect("sealed window has a snapshot"));
+                }
+            }
+            Ok(InputLine::Control(Control::Shutdown)) => break,
+            Ok(InputLine::Control(Control::Checkpoint)) | Err(_) => {}
+        }
+    }
+    Ok(out)
+}
+
+/// Offline reference loop: `dynamic::adapt` over per-epoch snapshots,
+/// with the budget the tuner would compute. Returns the per-epoch
+/// selections the daemon must reproduce under
+/// [`crate::DriftThresholds::always_adapt`].
+pub fn offline_adapt(snapshots: &[Workload], config: &ServiceConfig) -> Vec<Selection> {
+    if snapshots.is_empty() {
+        return Vec::new();
+    }
+    let ests: Vec<CachingWhatIf<AnalyticalWhatIf<'_>>> = snapshots
+        .iter()
+        .map(|w| CachingWhatIf::new(AnalyticalWhatIf::new(w)))
+        .collect();
+    let refs: Vec<&dyn WhatIfOptimizer> = ests.iter().map(|e| e as &dyn WhatIfOptimizer).collect();
+    let a = budget::relative_budget(&refs[0], config.budget_share);
+    dynamic::adapt(&refs, a, config.transition)
+        .epochs
+        .into_iter()
+        .map(|e| e.selection)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DriftThresholds;
+    use isel_workload::synthetic::{self, SyntheticConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::io::Cursor;
+
+    fn workload() -> Workload {
+        synthetic::generate(&SyntheticConfig {
+            tables: 2,
+            attrs_per_table: 10,
+            queries_per_table: 12,
+            rows_base: 50_000,
+            max_query_width: 3,
+            update_fraction: 0.2,
+            seed: 33,
+        })
+    }
+
+    fn config() -> ServiceConfig {
+        ServiceConfig {
+            epoch_events: 16,
+            window_epochs: 2,
+            max_templates: 64,
+            drift: DriftThresholds::always_adapt(),
+            ..ServiceConfig::default()
+        }
+    }
+
+    /// Sample `n` single-execution events from the workload's templates,
+    /// frequency-weighted.
+    fn sample_log(w: &Workload, n: usize, seed: u64) -> String {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let total = w.total_frequency();
+        let mut out = String::new();
+        for _ in 0..n {
+            let mut pick = rng.gen_range(0..total);
+            let q = w
+                .queries()
+                .iter()
+                .find(|q| {
+                    if pick < q.frequency() {
+                        true
+                    } else {
+                        pick -= q.frequency();
+                        false
+                    }
+                })
+                .expect("pick < total");
+            let attrs: Vec<String> = q.attrs().iter().map(|a| a.0.to_string()).collect();
+            let kind = if q.is_update() { r#","kind":"Update""# } else { "" };
+            out.push_str(&format!(
+                "{{\"table\":{},\"attrs\":[{}]{kind}}}\n",
+                q.table().0,
+                attrs.join(",")
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn daemon_replay_matches_offline_adapt() {
+        let w = workload();
+        let cfg = config();
+        let log = sample_log(&w, 80, 5);
+
+        let mut daemon = Daemon::new(w.schema().clone(), cfg.clone()).unwrap();
+        let report = daemon
+            .run_reader(
+                Cursor::new(log.clone()),
+                OverloadPolicy::Block,
+                None,
+                Trace::disabled(),
+            )
+            .unwrap();
+        assert_eq!(report.ingested, 80);
+        assert_eq!(report.invalid, 0);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.epochs.len(), 5, "80 events / 16 per epoch");
+
+        let snaps = offline_snapshots(Cursor::new(log), w.schema(), &cfg).unwrap();
+        assert_eq!(snaps.len(), 5);
+        let offline = offline_adapt(&snaps, &cfg);
+        for (got, want) in report.epochs.iter().zip(&offline) {
+            assert_eq!(&got.selection, want);
+        }
+        assert_eq!(&report.final_selection, offline.last().unwrap());
+    }
+
+    #[test]
+    fn invalid_lines_are_counted_not_fatal() {
+        let w = workload();
+        let mut daemon = Daemon::new(w.schema().clone(), config()).unwrap();
+        let log = "garbage\n{\"table\":999,\"attrs\":[0]}\n\n";
+        let report = daemon
+            .run_reader(
+                Cursor::new(log.to_owned()),
+                OverloadPolicy::Block,
+                None,
+                Trace::disabled(),
+            )
+            .unwrap();
+        assert_eq!(report.invalid, 2);
+        assert_eq!(report.ingested, 0);
+        assert!(report.epochs.is_empty());
+    }
+
+    #[test]
+    fn shutdown_control_stops_ingestion() {
+        let w = workload();
+        let q = &w.queries()[0];
+        let attrs: Vec<String> = q.attrs().iter().map(|a| a.0.to_string()).collect();
+        let event = format!("{{\"table\":{},\"attrs\":[{}]}}\n", q.table().0, attrs.join(","));
+        let log = format!("{event}{}\n{event}", r#"{"control":"shutdown"}"#);
+        let mut daemon = Daemon::new(w.schema().clone(), config()).unwrap();
+        let report = daemon
+            .run_reader(Cursor::new(log), OverloadPolicy::Block, None, Trace::disabled())
+            .unwrap();
+        assert_eq!(report.ingested, 1, "events after shutdown are not read");
+    }
+
+    #[test]
+    fn checkpoint_control_writes_in_stream_order() {
+        let w = workload();
+        let cfg = config();
+        let dir = std::env::temp_dir().join("isel-service-daemon-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ctl.json");
+        let mut log = sample_log(&w, 20, 9);
+        log.push_str("{\"control\":\"checkpoint\"}\n");
+        let mut daemon = Daemon::new(w.schema().clone(), cfg).unwrap();
+        let report = daemon
+            .run_reader(
+                Cursor::new(log),
+                OverloadPolicy::Block,
+                Some(&path),
+                Trace::disabled(),
+            )
+            .unwrap();
+        // One from the control line, one final at shutdown.
+        assert_eq!(report.checkpoints_written, 2);
+        let cp = Checkpoint::load(&path).unwrap();
+        assert_eq!(cp.ingested, 20);
+        assert_eq!(cp.epoch, 1, "16 of 20 events sealed one epoch");
+        std::fs::remove_file(&path).ok();
+    }
+}

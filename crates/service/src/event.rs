@@ -1,0 +1,157 @@
+//! JSONL ingestion events.
+//!
+//! One line per event. Query events reuse the workload serde vocabulary
+//! (`{"table":T,"attrs":[..],"frequency":B,"kind":"Select"|"Update"}`,
+//! with `frequency` defaulting to 1 and `kind` to `Select`), so a
+//! recorded log is readable by the same tooling as a workload file.
+//! Control lines are `{"control":"shutdown"}` and
+//! `{"control":"checkpoint"}`.
+//!
+//! Parsing validates against the schema: unknown tables, out-of-range or
+//! cross-table attributes, empty attribute lists and zero frequencies are
+//! rejected with a message — the daemon counts such lines as *invalid*
+//! and keeps going; a malformed event must never kill the service.
+
+use isel_workload::{AttrId, Query, QueryKind, Schema, TableId};
+use serde::Deserialize;
+
+/// Out-of-band command embedded in the event stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Control {
+    /// Stop ingesting, drain the queue, write a final checkpoint.
+    Shutdown,
+    /// Write a checkpoint now (ordered with the surrounding events).
+    Checkpoint,
+}
+
+/// One successfully parsed input line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum InputLine {
+    /// A validated query event.
+    Query(Query),
+    /// A control command.
+    Control(Control),
+}
+
+/// Superset of all line shapes; which fields are present decides the
+/// interpretation (a `control` key wins).
+#[derive(Deserialize)]
+struct RawLine {
+    control: Option<String>,
+    table: Option<u16>,
+    attrs: Option<Vec<u32>>,
+    frequency: Option<u64>,
+    kind: Option<QueryKind>,
+}
+
+/// Parse and validate one JSONL line against `schema`.
+pub fn parse_line(line: &str, schema: &Schema) -> Result<InputLine, String> {
+    let raw: RawLine = serde_json::from_str(line).map_err(|e| format!("bad JSON: {e}"))?;
+    if let Some(c) = raw.control {
+        return match c.as_str() {
+            "shutdown" => Ok(InputLine::Control(Control::Shutdown)),
+            "checkpoint" => Ok(InputLine::Control(Control::Checkpoint)),
+            other => Err(format!("unknown control command {other:?}")),
+        };
+    }
+    let table = raw.table.ok_or("missing \"table\"")?;
+    let attrs = raw.attrs.ok_or("missing \"attrs\"")?;
+    if table as usize >= schema.tables().len() {
+        return Err(format!("unknown table t{table}"));
+    }
+    if attrs.is_empty() {
+        return Err("a query event must access at least one attribute".into());
+    }
+    let frequency = raw.frequency.unwrap_or(1);
+    if frequency == 0 {
+        return Err("frequency must be positive".into());
+    }
+    let table = TableId(table);
+    for &a in &attrs {
+        if a as usize >= schema.attr_count() {
+            return Err(format!("unknown attribute a{a}"));
+        }
+        if schema.attribute(AttrId(a)).table != table {
+            return Err(format!("attribute a{a} does not belong to {table}"));
+        }
+    }
+    let attrs = attrs.into_iter().map(AttrId).collect();
+    Ok(InputLine::Query(Query::with_kind(
+        table,
+        attrs,
+        frequency,
+        raw.kind.unwrap_or_default(),
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isel_workload::SchemaBuilder;
+
+    fn schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        let t0 = b.table("t0", 1_000);
+        b.attribute(t0, "a", 10, 4);
+        b.attribute(t0, "b", 10, 4);
+        let t1 = b.table("t1", 1_000);
+        b.attribute(t1, "c", 10, 4);
+        b.finish()
+    }
+
+    #[test]
+    fn parses_minimal_query_event() {
+        let line = r#"{"table":0,"attrs":[1,0]}"#;
+        match parse_line(line, &schema()).unwrap() {
+            InputLine::Query(q) => {
+                assert_eq!(q.table(), TableId(0));
+                assert_eq!(q.attrs(), &[AttrId(0), AttrId(1)]);
+                assert_eq!(q.frequency(), 1);
+                assert_eq!(q.kind(), QueryKind::Select);
+            }
+            other => panic!("expected query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_full_query_event() {
+        let line = r#"{"table":1,"attrs":[2],"frequency":7,"kind":"Update"}"#;
+        match parse_line(line, &schema()).unwrap() {
+            InputLine::Query(q) => {
+                assert_eq!(q.frequency(), 7);
+                assert!(q.is_update());
+            }
+            other => panic!("expected query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_control_lines() {
+        let s = schema();
+        assert_eq!(
+            parse_line(r#"{"control":"shutdown"}"#, &s).unwrap(),
+            InputLine::Control(Control::Shutdown)
+        );
+        assert_eq!(
+            parse_line(r#"{"control":"checkpoint"}"#, &s).unwrap(),
+            InputLine::Control(Control::Checkpoint)
+        );
+        assert!(parse_line(r#"{"control":"reboot"}"#, &s).is_err());
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        let s = schema();
+        for bad in [
+            r#"{"table":9,"attrs":[0]}"#,           // unknown table
+            r#"{"table":0,"attrs":[]}"#,            // empty attrs
+            r#"{"table":0,"attrs":[99]}"#,          // unknown attribute
+            r#"{"table":0,"attrs":[2]}"#,           // cross-table attribute
+            r#"{"table":0,"attrs":[0],"frequency":0}"#, // zero frequency
+            r#"{"attrs":[0]}"#,                     // missing table
+            r#"not json"#,
+        ] {
+            assert!(parse_line(bad, &s).is_err(), "accepted {bad}");
+        }
+    }
+}

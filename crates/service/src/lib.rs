@@ -1,0 +1,61 @@
+//! Online continuous-tuning daemon (`isel-service`).
+//!
+//! The paper's evaluation is one-shot: a workload arrives, Algorithm 1
+//! selects, the experiment ends. This crate closes the loop for the
+//! Section-VII "workloads that change over time" scenario as a
+//! long-running advisor built from the existing layers:
+//!
+//! 1. **Ingestion** ([`event`], [`queue`], [`socket`]) — JSONL query
+//!    events from stdin, a file, or a Unix-domain socket flow through a
+//!    bounded queue. Replay uses blocking pushes (lossless); live serving
+//!    uses a drop-oldest overload policy whose every drop is *counted*,
+//!    never silent.
+//! 2. **Aggregation** ([`window`]) — events are batched into fixed-size
+//!    *epochs*; a sliding window of the last `window_epochs` epochs is
+//!    merged, deterministically ordered, and compressed with
+//!    `compress::top_k_by_weight` into one [`Workload`] snapshot per
+//!    sealed epoch.
+//! 3. **Tuning** ([`tuner`]) — a drift detector
+//!    (`workload::drift::attribute_overlap` against the last re-selected
+//!    snapshot) picks a per-epoch policy: keep the selection (no-op),
+//!    reconfiguration-aware re-selection (`core::reconfig` as in
+//!    `dynamic::adapt`), or a from-scratch run — always under the
+//!    relative memory budget of Eq. (10).
+//! 4. **State** ([`checkpoint`]) — the interned [`IndexPool`], current
+//!    selection, window contents and counters serialize to a JSON
+//!    checkpoint written atomically; a restarted daemon restores it and
+//!    continues **bit-identically** with an uninterrupted run.
+//! 5. **Control** ([`daemon`]) — EOF or a `{"control":"shutdown"}` line
+//!    drains the queue, tunes any sealed epochs, and writes a final
+//!    checkpoint; `{"control":"checkpoint"}` snapshots mid-stream in
+//!    event order. Runs emit the same [`isel_core::TraceEvent`] stream as
+//!    the offline strategies, so `isel report --check` works on daemon
+//!    traces.
+//!
+//! **Determinism contract** (DESIGN.md §12): replaying a recorded log
+//! with drift thresholds forcing the adapt policy produces a selection
+//! sequence bit-identical to the offline `dynamic::adapt` loop over the
+//! same epoch snapshots, at every thread count.
+//!
+//! [`Workload`]: isel_workload::Workload
+//! [`IndexPool`]: isel_workload::IndexPool
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod config;
+pub mod daemon;
+pub mod event;
+pub mod queue;
+pub mod socket;
+pub mod tuner;
+pub mod window;
+
+pub use checkpoint::Checkpoint;
+pub use config::{DriftThresholds, ServiceConfig};
+pub use daemon::{offline_adapt, offline_snapshots, Daemon, OverloadPolicy, ServiceReport};
+pub use event::{parse_line, Control, InputLine};
+pub use queue::BoundedQueue;
+pub use socket::run_socket;
+pub use tuner::{EpochOutcome, TunePolicy, Tuner};
+pub use window::EpochWindow;

@@ -1,0 +1,204 @@
+//! Bounded producer/consumer queue with accounted overload.
+//!
+//! Two overload policies, chosen per push:
+//!
+//! * [`BoundedQueue::push_blocking`] — the producer waits for space
+//!   (replay mode: a recorded log must reach the aggregator losslessly,
+//!   or the determinism contract with the offline loop is void).
+//! * [`BoundedQueue::push_drop_oldest`] — a full queue evicts its oldest
+//!   element to admit the new one (live mode: fresh events matter more
+//!   than stale ones under overload). Every eviction increments a
+//!   counter; drops are **never silent**.
+//!
+//! The queue also tracks its high-water mark as a backpressure
+//! diagnostic: a high-water mark at capacity means the consumer fell
+//! behind at least once.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded FIFO shared between ingestion threads and the tuning loop.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    dropped: AtomicU64,
+    high_water: AtomicU64,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Queue holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        Self {
+            inner: Mutex::new(Inner { buf: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+            dropped: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
+        }
+    }
+
+    fn note_level(&self, len: usize) {
+        self.high_water.fetch_max(len as u64, Ordering::Relaxed);
+    }
+
+    /// Enqueue, waiting for space if full. Returns `false` (item
+    /// discarded) only if the queue was closed.
+    pub fn push_blocking(&self, item: T) -> bool {
+        let mut g = self.inner.lock().expect("queue lock poisoned");
+        while g.buf.len() >= self.capacity && !g.closed {
+            g = self.not_full.wait(g).expect("queue lock poisoned");
+        }
+        if g.closed {
+            return false;
+        }
+        g.buf.push_back(item);
+        self.note_level(g.buf.len());
+        drop(g);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Enqueue without waiting; a full queue evicts its oldest element
+    /// (counted in [`Self::dropped`]). Returns `false` only if closed.
+    pub fn push_drop_oldest(&self, item: T) -> bool {
+        let mut g = self.inner.lock().expect("queue lock poisoned");
+        if g.closed {
+            return false;
+        }
+        if g.buf.len() >= self.capacity {
+            g.buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        g.buf.push_back(item);
+        self.note_level(g.buf.len());
+        drop(g);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Dequeue the oldest element, waiting while the queue is empty and
+    /// open. `None` means closed *and* drained — the consumer's signal to
+    /// finish up.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = g.buf.pop_front() {
+                drop(g);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.not_empty.wait(g).expect("queue lock poisoned");
+        }
+    }
+
+    /// Close the queue: producers stop, the consumer drains what remains.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Elements evicted by [`Self::push_drop_oldest`] so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Highest fill level observed.
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Current fill level.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock poisoned").buf.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            assert!(q.push_blocking(i));
+        }
+        q.close();
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn drop_oldest_counts_every_eviction() {
+        let q = BoundedQueue::new(3);
+        for i in 0..10 {
+            assert!(q.push_drop_oldest(i));
+        }
+        assert_eq!(q.dropped(), 7);
+        assert_eq!(q.high_water(), 3);
+        q.close();
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![7, 8, 9], "newest events survive");
+    }
+
+    #[test]
+    fn blocking_push_waits_for_consumer() {
+        let q = Arc::new(BoundedQueue::new(2));
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                for i in 0..100 {
+                    assert!(q.push_blocking(i));
+                }
+                q.close();
+            })
+        };
+        let mut seen = Vec::new();
+        while let Some(x) = q.pop() {
+            seen.push(x);
+        }
+        producer.join().unwrap();
+        assert_eq!(seen, (0..100).collect::<Vec<i32>>());
+        assert_eq!(q.dropped(), 0, "blocking mode never drops");
+    }
+
+    #[test]
+    fn close_releases_blocked_producer() {
+        let q = Arc::new(BoundedQueue::new(1));
+        assert!(q.push_blocking(1));
+        let blocked = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.push_blocking(2))
+        };
+        thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert!(!blocked.join().unwrap(), "push after close reports failure");
+        assert_eq!(q.pop(), Some(1), "already-queued items still drain");
+        assert_eq!(q.pop(), None);
+    }
+}

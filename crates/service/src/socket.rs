@@ -1,0 +1,173 @@
+//! Unix-domain-socket ingestion for live serving.
+//!
+//! [`run_socket`] binds a socket, accepts any number of concurrent
+//! connections, and feeds every line through the same parse/validate
+//! path as the stdin reader — always with the drop-oldest overload
+//! policy (a live daemon must never stall its clients on backpressure;
+//! it sheds load and counts the shed). A `{"control":"shutdown"}` line
+//! on *any* connection stops the accept loop, closes the queue, and the
+//! daemon drains and checkpoints as usual.
+//!
+//! Event order across concurrent connections is arrival order, which is
+//! inherently racy — deterministic replay is the job of
+//! [`crate::Daemon::run_reader`] over a recorded log, not of the live
+//! socket path.
+
+use crate::daemon::{ingest_one, Daemon, OverloadPolicy, ServiceReport, WorkItem};
+use crate::queue::BoundedQueue;
+use isel_core::Trace;
+use std::io::{BufRead, BufReader};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Accept-loop poll interval while waiting for connections.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Serve `daemon` on a Unix-domain socket at `path` until a `shutdown`
+/// control arrives, then drain, checkpoint and report. A stale socket
+/// file at `path` is replaced.
+///
+/// Connection handlers read until their peer disconnects, so the final
+/// drain completes once every client has hung up — clients should close
+/// their end after (or instead of) sending `shutdown`.
+pub fn run_socket(
+    daemon: &mut Daemon,
+    path: &Path,
+    checkpoint: Option<&Path>,
+    trace: Trace<'_>,
+) -> Result<ServiceReport, String> {
+    if path.exists() {
+        std::fs::remove_file(path).map_err(|e| format!("remove stale socket: {e}"))?;
+    }
+    let listener =
+        UnixListener::bind(path).map_err(|e| format!("bind {}: {e}", path.display()))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("set_nonblocking: {e}"))?;
+
+    let queue = BoundedQueue::new(daemon.config().queue_capacity);
+    let ingested = AtomicU64::new(0);
+    let invalid = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let schema = daemon.schema().clone();
+
+    let result = std::thread::scope(|s| {
+        let queue_ref = &queue;
+        let stop_ref = &stop;
+        let schema_ref = &schema;
+        let ingested_ref = &ingested;
+        let invalid_ref = &invalid;
+        s.spawn(move || {
+            while !stop_ref.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        s.spawn(move || {
+                            serve_connection(
+                                stream, schema_ref, queue_ref, stop_ref, ingested_ref,
+                                invalid_ref,
+                            );
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => break,
+                }
+            }
+            queue_ref.close();
+        });
+        daemon.consume(&queue, &ingested, &invalid, checkpoint, trace)
+    });
+    std::fs::remove_file(path).ok();
+    let (outcomes, written) = result?;
+    Ok(daemon.report(outcomes, &queue, &ingested, &invalid, written))
+}
+
+/// Per-connection reader: ingest lines with the drop-oldest policy until
+/// the peer disconnects or a shutdown control arrives.
+fn serve_connection(
+    stream: UnixStream,
+    schema: &isel_workload::Schema,
+    queue: &BoundedQueue<WorkItem>,
+    stop: &AtomicBool,
+    ingested: &AtomicU64,
+    invalid: &AtomicU64,
+) {
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        if !ingest_one(&line, schema, queue, OverloadPolicy::DropOldest, ingested, invalid) {
+            // Shutdown control: stop accepting and let the daemon drain.
+            stop.store(true, Ordering::Relaxed);
+            queue.close();
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DriftThresholds, ServiceConfig};
+    use isel_workload::synthetic::{self, SyntheticConfig};
+    use std::io::Write;
+
+    #[test]
+    fn socket_round_trip_with_shutdown() {
+        let w = synthetic::generate(&SyntheticConfig {
+            tables: 1,
+            attrs_per_table: 8,
+            queries_per_table: 10,
+            rows_base: 20_000,
+            max_query_width: 3,
+            update_fraction: 0.0,
+            seed: 44,
+        });
+        let cfg = ServiceConfig {
+            epoch_events: 8,
+            window_epochs: 2,
+            max_templates: 32,
+            drift: DriftThresholds::always_adapt(),
+            ..ServiceConfig::default()
+        };
+        let dir = std::env::temp_dir().join("isel-service-socket-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join(format!("isel-{}.sock", std::process::id()));
+
+        let mut daemon = Daemon::new(w.schema().clone(), cfg).unwrap();
+        let events: Vec<String> = w.queries()[..8]
+            .iter()
+            .map(|q| {
+                let attrs: Vec<String> = q.attrs().iter().map(|a| a.0.to_string()).collect();
+                format!("{{\"table\":{},\"attrs\":[{}]}}", q.table().0, attrs.join(","))
+            })
+            .collect();
+
+        let report = std::thread::scope(|s| {
+            let sock_path = sock.clone();
+            s.spawn(move || {
+                // Wait for the listener to come up, then stream events.
+                let mut stream = loop {
+                    match UnixStream::connect(&sock_path) {
+                        Ok(s) => break s,
+                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                };
+                for e in &events {
+                    writeln!(stream, "{e}").unwrap();
+                }
+                stream.write_all(b"{\"control\":\"shutdown\"}\n").unwrap();
+            });
+            run_socket(&mut daemon, &sock, None, Trace::disabled()).unwrap()
+        });
+        assert_eq!(report.ingested, 8);
+        assert_eq!(report.epochs.len(), 1, "8 events seal one epoch");
+        assert!(!report.final_selection.is_empty());
+        assert!(!sock.exists(), "socket file cleaned up");
+    }
+}

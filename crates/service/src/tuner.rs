@@ -1,0 +1,323 @@
+//! Drift-triggered epoch tuning.
+//!
+//! Per sealed epoch the tuner compares the new window snapshot against
+//! the snapshot of the *last re-selection* using
+//! `workload::drift::attribute_overlap` and picks one of three policies:
+//!
+//! * **no-op** — the hot set barely moved; keep the selection and pay
+//!   nothing (no Algorithm-1 run at all),
+//! * **adapt** — reconfiguration-aware re-selection: the previous
+//!   selection becomes the `Ī*` baseline of [`isel_core::reconfig`],
+//!   exactly as one epoch of [`isel_core::dynamic::adapt`],
+//! * **from-scratch** — the workload moved too far; re-select ignoring
+//!   transition costs (they are still *billed* in the outcome).
+//!
+//! The drift baseline re-anchors only on re-selection, so slow drift
+//! accumulates across no-op epochs until it crosses a threshold instead
+//! of being absorbed epoch by epoch.
+//!
+//! With [`DriftThresholds::always_adapt`] the decision is Adapt on every
+//! epoch, and the produced selection sequence is bit-identical to
+//! [`isel_core::dynamic::adapt`] over the same snapshots — the service's
+//! replay determinism contract (DESIGN.md §12).
+
+use crate::config::ServiceConfig;
+#[cfg(doc)]
+use crate::config::DriftThresholds;
+use isel_core::algorithm1::{self, Options};
+use isel_core::reconfig::ReconfigCosts;
+use isel_core::trace::{Trace, TraceEvent};
+use isel_core::{budget, Parallelism, Selection};
+use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
+use isel_workload::drift;
+use isel_workload::{IndexPool, Schema, Workload};
+
+/// Tuning policy chosen for one epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TunePolicy {
+    /// Selection kept unchanged.
+    NoOp,
+    /// Reconfiguration-aware re-selection.
+    Adapt,
+    /// Re-selection ignoring transition costs.
+    FromScratch,
+}
+
+impl TunePolicy {
+    /// Label used in [`TraceEvent::Epoch`] and reports. `"adapt"` and
+    /// `"from_scratch"` match the offline `dynamic` policies; `"noop"`
+    /// is service-only.
+    pub fn label(self) -> &'static str {
+        match self {
+            TunePolicy::NoOp => "noop",
+            TunePolicy::Adapt => "adapt",
+            TunePolicy::FromScratch => "from_scratch",
+        }
+    }
+}
+
+/// Outcome of tuning one sealed epoch.
+#[derive(Clone, Debug)]
+pub struct EpochOutcome {
+    /// Zero-based epoch number.
+    pub epoch: u64,
+    /// Policy the drift detector chose.
+    pub policy: TunePolicy,
+    /// Overlap with the last re-selected snapshot (`None` on the first
+    /// tuned epoch — there is nothing to compare against).
+    pub overlap: Option<f64>,
+    /// Selection in force after the epoch.
+    pub selection: Selection,
+    /// Workload cost `F(I*)` of the snapshot under that selection.
+    pub workload_cost: f64,
+    /// Reconfiguration cost paid entering the epoch.
+    pub reconfig_paid: f64,
+    /// Memory budget `A(w)` the run was bounded by.
+    pub budget: u64,
+}
+
+/// Stateful per-epoch tuner: current selection, drift baseline, and the
+/// service-lifetime [`IndexPool`] interning every index ever selected
+/// (checkpointed so ids stay stable across restarts).
+pub struct Tuner {
+    config: ServiceConfig,
+    pool: IndexPool,
+    selection: Selection,
+    prev_snapshot: Option<Workload>,
+    epoch: u64,
+}
+
+impl std::fmt::Debug for Tuner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tuner")
+            .field("epoch", &self.epoch)
+            .field("selection", &self.selection)
+            .field("pool_len", &self.pool.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Tuner {
+    /// Fresh tuner with an empty selection.
+    pub fn new(schema: &Schema, config: ServiceConfig) -> Self {
+        Self {
+            config,
+            pool: IndexPool::new(schema),
+            selection: Selection::empty(),
+            prev_snapshot: None,
+            epoch: 0,
+        }
+    }
+
+    /// Restore internal state from a checkpoint (see
+    /// [`crate::checkpoint`]).
+    pub(crate) fn restore(
+        config: ServiceConfig,
+        pool: IndexPool,
+        selection: Selection,
+        prev_snapshot: Option<Workload>,
+        epoch: u64,
+    ) -> Self {
+        Self { config, pool, selection, prev_snapshot, epoch }
+    }
+
+    /// Number of sealed epochs tuned so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Selection currently in force.
+    pub fn selection(&self) -> &Selection {
+        &self.selection
+    }
+
+    /// The service-lifetime interning pool.
+    pub fn pool(&self) -> &IndexPool {
+        &self.pool
+    }
+
+    /// Snapshot of the last epoch that actually re-selected.
+    pub fn drift_baseline(&self) -> Option<&Workload> {
+        self.prev_snapshot.as_ref()
+    }
+
+    /// Tune one sealed epoch against its window `snapshot`.
+    ///
+    /// Emits the full Algorithm-1 event stream of any run it performs
+    /// plus one [`TraceEvent::Epoch`]; attaching a sink changes no
+    /// observable (the strategies' zero-cost trace contract).
+    pub fn tune(&mut self, snapshot: &Workload, par: Parallelism, trace: Trace<'_>) -> EpochOutcome {
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(snapshot));
+        let budget = budget::relative_budget(&est, self.config.budget_share);
+        let overlap = self
+            .prev_snapshot
+            .as_ref()
+            .map(|prev| drift::attribute_overlap(prev, snapshot));
+        let policy = match overlap {
+            Some(o) if o >= self.config.drift.noop_above => TunePolicy::NoOp,
+            Some(o) if o < self.config.drift.scratch_below => TunePolicy::FromScratch,
+            _ => TunePolicy::Adapt,
+        };
+        let transition = self.config.transition;
+        let selection = match policy {
+            TunePolicy::NoOp => self.selection.clone(),
+            TunePolicy::Adapt => {
+                let mut options = Options::new(budget);
+                options.parallelism = par;
+                options.reconfig = ReconfigCosts {
+                    current: self.selection.clone(),
+                    create_cost_per_byte: transition.create_cost_per_byte,
+                    drop_cost: transition.drop_cost,
+                };
+                algorithm1::run_traced(&est, &options, trace).selection
+            }
+            TunePolicy::FromScratch => {
+                let mut options = Options::new(budget);
+                options.parallelism = par;
+                algorithm1::run_traced(&est, &options, trace).selection
+            }
+        };
+        let reconfig_paid = ReconfigCosts {
+            current: self.selection.clone(),
+            create_cost_per_byte: transition.create_cost_per_byte,
+            drop_cost: transition.drop_cost,
+        }
+        .cost(&selection, &est);
+        let workload_cost = selection.cost(&est);
+        let epoch = self.epoch;
+        trace.emit(|| TraceEvent::Epoch {
+            epoch,
+            policy: policy.label().into(),
+            indexes: selection.len() as u64,
+            workload_cost,
+            reconfig_paid,
+        });
+        for k in selection.indexes() {
+            self.pool.intern(k);
+        }
+        if policy != TunePolicy::NoOp {
+            self.prev_snapshot = Some(snapshot.clone());
+        }
+        self.selection = selection.clone();
+        self.epoch += 1;
+        EpochOutcome { epoch, policy, overlap, selection, workload_cost, reconfig_paid, budget }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DriftThresholds;
+    use isel_core::dynamic::{self, TransitionCosts};
+    use isel_costmodel::WhatIfOptimizer;
+    use isel_workload::drift::DriftConfig;
+    use isel_workload::synthetic::SyntheticConfig;
+
+    fn epochs() -> Vec<Workload> {
+        drift::generate(&DriftConfig {
+            base: SyntheticConfig {
+                tables: 2,
+                attrs_per_table: 12,
+                queries_per_table: 15,
+                rows_base: 50_000,
+                max_query_width: 4,
+                update_fraction: 0.0,
+                seed: 11,
+            },
+            epochs: 3,
+            rotation_per_epoch: 5,
+        })
+    }
+
+    fn config(drift: DriftThresholds) -> ServiceConfig {
+        ServiceConfig {
+            budget_share: 0.3,
+            transition: TransitionCosts { create_cost_per_byte: 0.001, drop_cost: 1.0 },
+            drift,
+            ..ServiceConfig::default()
+        }
+    }
+
+    /// Always-adapt tuning is bit-identical to the offline
+    /// `dynamic::adapt` loop over the same snapshots.
+    #[test]
+    fn always_adapt_matches_offline_dynamic_adapt() {
+        let snaps = epochs();
+        let cfg = config(DriftThresholds::always_adapt());
+        let mut tuner = Tuner::new(snaps[0].schema(), cfg.clone());
+        let online: Vec<Selection> = snaps
+            .iter()
+            .map(|w| tuner.tune(w, Parallelism::serial(), Trace::disabled()).selection)
+            .collect();
+
+        let ests: Vec<CachingWhatIf<AnalyticalWhatIf<'_>>> = snaps
+            .iter()
+            .map(|w| CachingWhatIf::new(AnalyticalWhatIf::new(w)))
+            .collect();
+        let refs: Vec<&dyn WhatIfOptimizer> =
+            ests.iter().map(|e| e as &dyn WhatIfOptimizer).collect();
+        let budget = budget::relative_budget(&refs[0], cfg.budget_share);
+        let offline = dynamic::adapt(&refs, budget, cfg.transition);
+        assert_eq!(online.len(), offline.epochs.len());
+        for (o, e) in online.iter().zip(&offline.epochs) {
+            assert_eq!(o, &e.selection);
+        }
+    }
+
+    /// Identical consecutive snapshots with a high no-op threshold keep
+    /// the selection without running the algorithm.
+    #[test]
+    fn noop_keeps_selection_on_stable_workload() {
+        let snaps = epochs();
+        let cfg = config(DriftThresholds { noop_above: 0.99, scratch_below: 0.0 });
+        let mut tuner = Tuner::new(snaps[0].schema(), cfg);
+        let first = tuner.tune(&snaps[0], Parallelism::serial(), Trace::disabled());
+        assert_eq!(first.policy, TunePolicy::Adapt, "bootstrap epoch adapts");
+        assert_eq!(first.overlap, None);
+        let second = tuner.tune(&snaps[0], Parallelism::serial(), Trace::disabled());
+        assert_eq!(second.policy, TunePolicy::NoOp);
+        assert_eq!(second.selection, first.selection);
+        assert_eq!(second.reconfig_paid, 0.0);
+    }
+
+    /// A scratch threshold above any achievable overlap forces the
+    /// from-scratch policy once a baseline exists.
+    #[test]
+    fn heavy_drift_triggers_from_scratch() {
+        let snaps = epochs();
+        let cfg = config(DriftThresholds { noop_above: 2.0, scratch_below: 1.5 });
+        let mut tuner = Tuner::new(snaps[0].schema(), cfg);
+        tuner.tune(&snaps[0], Parallelism::serial(), Trace::disabled());
+        let out = tuner.tune(&snaps[1], Parallelism::serial(), Trace::disabled());
+        assert_eq!(out.policy, TunePolicy::FromScratch);
+    }
+
+    /// The drift baseline re-anchors only on re-selection: after a no-op
+    /// the comparison still runs against the last *tuned* snapshot.
+    #[test]
+    fn baseline_survives_noop_epochs() {
+        let snaps = epochs();
+        let cfg = config(DriftThresholds { noop_above: 0.99, scratch_below: 0.0 });
+        let mut tuner = Tuner::new(snaps[0].schema(), cfg);
+        tuner.tune(&snaps[0], Parallelism::serial(), Trace::disabled());
+        let baseline = tuner.drift_baseline().unwrap().clone();
+        tuner.tune(&snaps[0], Parallelism::serial(), Trace::disabled());
+        assert_eq!(tuner.drift_baseline().unwrap(), &baseline);
+    }
+
+    /// Every selected index (and its prefixes) lands in the
+    /// service-lifetime pool.
+    #[test]
+    fn selections_are_interned_into_the_pool() {
+        let snaps = epochs();
+        let mut tuner = Tuner::new(snaps[0].schema(), config(DriftThresholds::always_adapt()));
+        let out = tuner.tune(&snaps[0], Parallelism::serial(), Trace::disabled());
+        assert!(!out.selection.is_empty(), "30% budget must build indexes");
+        for k in out.selection.indexes() {
+            // Already interned: re-interning must not grow the pool.
+            let before = tuner.pool().len();
+            tuner.pool().intern(k);
+            assert_eq!(tuner.pool().len(), before);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Epoch-based sliding-window workload aggregation.
+//!
+//! Events are batched into *epochs* of `epoch_events` valid events. Each
+//! epoch folds its events into a template map keyed by
+//! `(table, kind, attrs)` — the same key `compress::merge_duplicates`
+//! uses — so within an epoch, aggregation is a commutative sum and the
+//! sealed batch is **order-insensitive**: any permutation of an epoch's
+//! events yields the same batch (pinned by a property test).
+//!
+//! A sliding window keeps the last `window_epochs` sealed batches.
+//! [`EpochWindow::snapshot`] merges the window, emits queries in
+//! deterministic key order, and compresses to the `max_templates`
+//! heaviest templates via `compress::top_k_by_weight` — producing the
+//! [`Workload`] the tuner optimizes for. Eviction removes exactly the
+//! oldest batch; no weight mass is ever lost inside the window
+//! (also property-tested).
+
+use isel_workload::compress;
+use isel_workload::{AttrId, Query, QueryKind, Schema, TableId, Workload};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Sort/merge key of a template: `QueryKind` carries no order, so it is
+/// ranked explicitly (selects before updates).
+pub(crate) type TemplateKey = (TableId, u8, Vec<AttrId>);
+
+pub(crate) fn kind_rank(kind: QueryKind) -> u8 {
+    match kind {
+        QueryKind::Select => 0,
+        QueryKind::Update => 1,
+    }
+}
+
+pub(crate) fn rank_kind(rank: u8) -> Result<QueryKind, String> {
+    match rank {
+        0 => Ok(QueryKind::Select),
+        1 => Ok(QueryKind::Update),
+        other => Err(format!("unknown query-kind rank {other}")),
+    }
+}
+
+/// One epoch's aggregated templates. A `BTreeMap` keeps iteration (and
+/// therefore serialization) deterministic without an explicit sort.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub(crate) struct EpochBatch {
+    pub(crate) templates: BTreeMap<TemplateKey, u64>,
+    /// Raw event count (not frequency mass) — seals the epoch.
+    pub(crate) events: u64,
+}
+
+impl EpochBatch {
+    /// Total frequency mass of the batch.
+    pub(crate) fn mass(&self) -> u64 {
+        self.templates.values().sum()
+    }
+}
+
+/// Sliding-window aggregator turning an event stream into per-epoch
+/// workload snapshots.
+#[derive(Debug)]
+pub struct EpochWindow {
+    schema: Schema,
+    epoch_events: u64,
+    window_epochs: usize,
+    max_templates: usize,
+    /// Sealed epochs, oldest first; at most `window_epochs` long.
+    pub(crate) window: VecDeque<EpochBatch>,
+    /// The partially-filled current epoch.
+    pub(crate) current: EpochBatch,
+}
+
+impl EpochWindow {
+    /// Empty window over `schema`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sizing parameter is zero.
+    pub fn new(
+        schema: Schema,
+        epoch_events: u64,
+        window_epochs: usize,
+        max_templates: usize,
+    ) -> Self {
+        assert!(epoch_events >= 1, "epoch_events must be at least 1");
+        assert!(window_epochs >= 1, "window_epochs must be at least 1");
+        assert!(max_templates >= 1, "max_templates must be at least 1");
+        Self {
+            schema,
+            epoch_events,
+            window_epochs,
+            max_templates,
+            window: VecDeque::new(),
+            current: EpochBatch::default(),
+        }
+    }
+
+    /// Fold one event into the current epoch. Returns `true` when the
+    /// event sealed an epoch (time to tune).
+    pub fn push(&mut self, query: &Query) -> bool {
+        let key = (query.table(), kind_rank(query.kind()), query.attrs().to_vec());
+        *self.current.templates.entry(key).or_insert(0) += query.frequency();
+        self.current.events += 1;
+        if self.current.events < self.epoch_events {
+            return false;
+        }
+        self.window.push_back(std::mem::take(&mut self.current));
+        if self.window.len() > self.window_epochs {
+            self.window.pop_front();
+        }
+        true
+    }
+
+    /// Merge the window into one compressed [`Workload`] snapshot.
+    /// `None` until the first epoch seals.
+    pub fn snapshot(&self) -> Option<Workload> {
+        if self.window.is_empty() {
+            return None;
+        }
+        let mut merged: BTreeMap<&TemplateKey, u64> = BTreeMap::new();
+        for batch in &self.window {
+            for (key, freq) in &batch.templates {
+                *merged.entry(key).or_insert(0) += freq;
+            }
+        }
+        let queries: Vec<Query> = merged
+            .into_iter()
+            .map(|((table, kind, attrs), freq)| {
+                let kind = rank_kind(*kind).expect("ranks produced by kind_rank");
+                Query::with_kind(*table, attrs.clone(), freq, kind)
+            })
+            .collect();
+        let full = Workload::new(self.schema.clone(), queries);
+        Some(compress::top_k_by_weight(&full, self.max_templates, |q| {
+            q.frequency() as f64
+        }))
+    }
+
+    /// The schema snapshots are built over.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of sealed epochs currently in the window.
+    pub fn sealed_epochs(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Events in the partially-filled current epoch.
+    pub fn current_events(&self) -> u64 {
+        self.current.events
+    }
+
+    /// Frequency mass of every sealed epoch, oldest first — exposed for
+    /// the mass-conservation property tests.
+    pub fn sealed_masses(&self) -> Vec<u64> {
+        self.window.iter().map(EpochBatch::mass).collect()
+    }
+
+    /// Total frequency mass across the sealed window plus the current
+    /// partial epoch.
+    pub fn total_mass(&self) -> u64 {
+        self.window.iter().map(EpochBatch::mass).sum::<u64>() + self.current.mass()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isel_workload::SchemaBuilder;
+
+    fn schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        let t = b.table("t", 10_000);
+        for i in 0..4 {
+            b.attribute(t, &format!("a{i}"), 100, 4);
+        }
+        b.finish()
+    }
+
+    fn q(attrs: &[u32], freq: u64) -> Query {
+        Query::new(TableId(0), attrs.iter().copied().map(AttrId).collect(), freq)
+    }
+
+    #[test]
+    fn epochs_seal_every_n_events() {
+        let mut w = EpochWindow::new(schema(), 3, 2, 16);
+        assert!(!w.push(&q(&[0], 1)));
+        assert!(!w.push(&q(&[1], 1)));
+        assert!(w.push(&q(&[2], 1)), "third event seals the epoch");
+        assert_eq!(w.sealed_epochs(), 1);
+        assert_eq!(w.current_events(), 0);
+    }
+
+    #[test]
+    fn window_evicts_oldest_epoch() {
+        let mut w = EpochWindow::new(schema(), 1, 2, 16);
+        w.push(&q(&[0], 5));
+        w.push(&q(&[1], 7));
+        w.push(&q(&[2], 9));
+        assert_eq!(w.sealed_epochs(), 2);
+        assert_eq!(w.sealed_masses(), vec![7, 9], "epoch of mass 5 evicted");
+    }
+
+    #[test]
+    fn snapshot_merges_and_orders_templates() {
+        let mut w = EpochWindow::new(schema(), 2, 2, 16);
+        w.push(&q(&[1], 4));
+        w.push(&q(&[0], 2));
+        w.push(&q(&[0], 3));
+        w.push(&q(&[3], 1));
+        let snap = w.snapshot().unwrap();
+        // Templates in key order, duplicate a0 merged across epochs.
+        let got: Vec<(Vec<AttrId>, u64)> = snap
+            .queries()
+            .iter()
+            .map(|q| (q.attrs().to_vec(), q.frequency()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (vec![AttrId(0)], 5),
+                (vec![AttrId(1)], 4),
+                (vec![AttrId(3)], 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn snapshot_compresses_to_top_k() {
+        let mut w = EpochWindow::new(schema(), 4, 1, 2);
+        w.push(&q(&[0], 100));
+        w.push(&q(&[1], 1));
+        w.push(&q(&[2], 50));
+        w.push(&q(&[3], 2));
+        let snap = w.snapshot().unwrap();
+        assert_eq!(snap.query_count(), 2);
+        assert_eq!(snap.total_frequency(), 150, "heaviest templates kept");
+    }
+
+    #[test]
+    fn no_snapshot_before_first_seal() {
+        let mut w = EpochWindow::new(schema(), 10, 2, 16);
+        w.push(&q(&[0], 1));
+        assert!(w.snapshot().is_none());
+    }
+
+    #[test]
+    fn updates_and_selects_are_distinct_templates() {
+        let mut w = EpochWindow::new(schema(), 2, 1, 16);
+        w.push(&Query::new(TableId(0), vec![AttrId(0)], 3));
+        w.push(&Query::update(TableId(0), vec![AttrId(0)], 4));
+        let snap = w.snapshot().unwrap();
+        assert_eq!(snap.query_count(), 2);
+        assert!(!snap.queries()[0].is_update());
+        assert!(snap.queries()[1].is_update());
+    }
+}

@@ -184,8 +184,16 @@ fn scrub_timings(events: Vec<isel_core::TraceEvent>) -> Vec<isel_core::TraceEven
             TraceEvent::SolverPhase { phase, detail, .. } => {
                 TraceEvent::SolverPhase { phase, detail, micros: 0 }
             }
-            TraceEvent::RunEnd { steps, issued, cached, initial_cost, final_cost, .. } => {
-                TraceEvent::RunEnd { steps, issued, cached, initial_cost, final_cost, micros: 0 }
+            TraceEvent::RunEnd { strategy, steps, issued, cached, initial_cost, final_cost, .. } => {
+                TraceEvent::RunEnd {
+                    strategy,
+                    steps,
+                    issued,
+                    cached,
+                    initial_cost,
+                    final_cost,
+                    micros: 0,
+                }
             }
             other => other,
         })
