@@ -1,0 +1,225 @@
+//! Sharded router ingestion throughput: raw-line classification, fan-out
+//! over per-shard bounded queues, and per-shard parse + window fold —
+//! isolated from tuning by setting `epoch_events` above the log length.
+//!
+//! Acceptance contract (BENCH_service.json):
+//!
+//! * **Scaling** — on a 4-table workload, aggregate throughput at 4
+//!   shards must be ≥ 2× the 1-shard throughput. One shard pays the full
+//!   parse + fold on a single worker; four shards split it four ways
+//!   while the router only byte-scans for the routing key. The assertion
+//!   is enforced when the host has ≥ 4 cores — parallel speedup is not
+//!   measurable on fewer — and always *reported*.
+//! * **Zero drops under pacing** — 50 000 events/sec *per shard*
+//!   (200 000/s aggregate at 4 shards) through the drop-oldest policy
+//!   must shed nothing. Same ≥ 4 core gate: the pacing source occupies a
+//!   core, so a single-core host cannot arbitrate the arrival rate and
+//!   the workers fairly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isel_service::{classify_line, LineClass, OverloadPolicy, Router, ServiceConfig};
+use isel_workload::synthetic::{self, SyntheticConfig};
+use isel_workload::Workload;
+use std::io::{BufRead, Cursor, Read};
+use std::time::{Duration, Instant};
+
+const EVENTS: usize = 40_000;
+
+fn workload() -> Workload {
+    synthetic::generate(&SyntheticConfig {
+        tables: 4,
+        attrs_per_table: 20,
+        queries_per_table: 20,
+        rows_base: 500_000,
+        ..SyntheticConfig::default()
+    })
+}
+
+/// Round-robin the workload's templates into an event log of `n` lines.
+/// Consecutive lines hit different tables, so every shard stays busy.
+fn event_log(w: &Workload, n: usize) -> String {
+    let mut out = String::new();
+    for i in 0..n {
+        let q = &w.queries()[i % w.query_count()];
+        let attrs: Vec<String> = q.attrs().iter().map(|a| a.0.to_string()).collect();
+        out.push_str(&format!(
+            "{{\"table\":{},\"attrs\":[{}]}}\n",
+            q.table().0,
+            attrs.join(",")
+        ));
+    }
+    out
+}
+
+/// Config that never seals an epoch: streaming path only.
+fn config(shards: u32) -> ServiceConfig {
+    ServiceConfig {
+        epoch_events: (EVENTS + 1) as u64,
+        shards,
+        ..ServiceConfig::default()
+    }
+}
+
+fn cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let w = workload();
+    let line = event_log(&w, 1);
+    let line = line.trim();
+    c.bench_function("router_classify_line", |b| {
+        b.iter(|| match classify_line(line) {
+            LineClass::Table(t) => t,
+            other => unreachable!("valid event line classified as {other:?}"),
+        })
+    });
+}
+
+/// Best-of-3 flat-out throughput (events/sec) at a given shard count.
+fn capacity(w: &Workload, log: &str, shards: u32) -> f64 {
+    (0..3)
+        .map(|_| {
+            let mut router = Router::new(w.schema().clone(), config(shards)).expect("valid config");
+            let start = Instant::now();
+            let report = router
+                .run_reader(
+                    Cursor::new(log.as_bytes()),
+                    OverloadPolicy::Block,
+                    None,
+                    &[],
+                )
+                .expect("router run");
+            assert_eq!(report.ingested as usize, EVENTS);
+            assert_eq!(report.dropped, 0, "blocking pushes never drop");
+            EVENTS as f64 / start.elapsed().as_secs_f64()
+        })
+        .fold(0.0, f64::max)
+}
+
+/// The ≥ 2× scaling contract, reported always and enforced on ≥ 4 cores.
+fn router_scaling_check(_c: &mut Criterion) {
+    let w = workload();
+    let log = event_log(&w, EVENTS);
+    let one = capacity(&w, &log, 1);
+    let four = capacity(&w, &log, 4);
+    let ratio = four / one;
+    println!(
+        "router_ingest_scaling: 1 shard {one:.0} events/s, 4 shards {four:.0} events/s, \
+         ratio {ratio:.2}x on {} core(s)",
+        cores()
+    );
+    if cores() >= 4 {
+        assert!(
+            ratio >= 2.0,
+            "4-shard aggregate throughput must be >= 2x the 1-shard capacity \
+             (measured {ratio:.2}x)"
+        );
+    } else {
+        println!(
+            "router_ingest_scaling: contract reported but not enforced — parallel \
+             speedup needs >= 4 cores"
+        );
+    }
+}
+
+/// A `BufRead` releasing one line per fixed interval — a constant-rate
+/// event source. Yields (rather than spins) while waiting so worker
+/// threads can run even on small hosts.
+struct PacedLines {
+    lines: Vec<Vec<u8>>,
+    idx: usize,
+    pos: usize,
+    interval: Duration,
+    next: Instant,
+}
+
+impl PacedLines {
+    fn new(log: &str, events_per_sec: u64) -> Self {
+        Self {
+            lines: log.lines().map(|l| format!("{l}\n").into_bytes()).collect(),
+            idx: 0,
+            pos: 0,
+            interval: Duration::from_nanos(1_000_000_000 / events_per_sec),
+            next: Instant::now(),
+        }
+    }
+}
+
+impl Read for PacedLines {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        let buf = self.fill_buf()?;
+        let n = buf.len().min(out.len());
+        out[..n].copy_from_slice(&buf[..n]);
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+impl BufRead for PacedLines {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        if self.idx >= self.lines.len() {
+            return Ok(&[]);
+        }
+        if self.pos == 0 {
+            while Instant::now() < self.next {
+                std::thread::yield_now();
+            }
+            self.next += self.interval;
+        }
+        Ok(&self.lines[self.idx][self.pos..])
+    }
+
+    fn consume(&mut self, amt: usize) {
+        if self.idx >= self.lines.len() {
+            return;
+        }
+        self.pos += amt;
+        if self.pos >= self.lines[self.idx].len() {
+            self.idx += 1;
+            self.pos = 0;
+        }
+    }
+}
+
+/// 50 000 events/sec **per shard** through 4 shards with the drop-oldest
+/// policy: the drop counter must stay at zero (enforced on ≥ 4 cores,
+/// reported everywhere).
+fn paced_per_shard_overload_check(_c: &mut Criterion) {
+    const RATE_PER_SHARD: u64 = 50_000;
+    const SHARDS: u32 = 4;
+    let w = workload();
+    let log = event_log(&w, EVENTS);
+    let mut router = Router::new(w.schema().clone(), config(SHARDS)).expect("valid config");
+    let start = Instant::now();
+    let report = router
+        .run_reader(
+            PacedLines::new(&log, RATE_PER_SHARD * u64::from(SHARDS)),
+            OverloadPolicy::DropOldest,
+            None,
+            &[],
+        )
+        .expect("paced run");
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "router_ingest_paced: {} events at {}/s aggregate ({RATE_PER_SHARD}/s x {SHARDS} \
+         shards) in {secs:.3}s, dropped {}, queue high-water {}",
+        report.ingested, RATE_PER_SHARD * u64::from(SHARDS), report.dropped,
+        report.queue_high_water
+    );
+    assert_eq!(report.ingested + report.dropped, EVENTS as u64);
+    if cores() >= 4 {
+        assert_eq!(
+            report.dropped, 0,
+            "router shed events at {RATE_PER_SHARD}/s/shard — below the acceptance rate"
+        );
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_classify,
+    router_scaling_check,
+    paced_per_shard_overload_check
+);
+criterion_main!(benches);

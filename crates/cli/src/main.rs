@@ -42,15 +42,26 @@ USAGE:
   isel replay        --workload FILE --log FILE [--offline-check]
                      [--checkpoint FILE] [--resume] [--trace FILE]
                      [--epoch-events N] [--window N] [--templates N]
-                     [--budget SHARE] [--threads N]
+                     [--budget SHARE] [--threads N] [--shards N]
+                     [--shard-map T:S,T:S]
   isel serve         --workload FILE [--socket PATH] [--checkpoint FILE]
-                     [--resume] [--trace FILE] [same tuning knobs]
+                     [--resume] [--trace FILE] [--journal FILE]
+                     [--shards N] [--shard-map T:S,T:S] [same tuning knobs]
 
   The service commands drive the continuous-tuning daemon: record a
   JSONL event log, replay it losslessly (--offline-check verifies the
   selection sequence is bit-identical to the offline dynamic::adapt
   loop), or serve live on stdin / a Unix socket with counted drop-oldest
   overload shedding.
+
+  --shards N routes events by table group onto N worker shards; the
+  selection sequence is bit-identical at every shard count, per-shard
+  checkpoints commit atomically through a manifest, and the final
+  selections merge under the global budget. --shard-map pins table
+  groups to shards. --journal FILE (socket serve) tags every accepted
+  line with connection/sequence ids so a racy live run replays
+  deterministically. SIGUSR1 or a status control line prints live JSON
+  counters.
 
   --threads N fans candidate evaluation over N workers (0 = all cores);
   recommendations are identical at every setting.

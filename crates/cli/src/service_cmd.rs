@@ -8,26 +8,58 @@
 //! (`--offline-check`, the DESIGN.md §12 determinism contract); `serve`
 //! runs the daemon live on stdin or a Unix-domain socket with the
 //! drop-oldest overload policy.
+//!
+//! `--shards N` (N >= 1) routes both commands through the sharded
+//! [`Router`] (DESIGN.md §13): events are classified by table group and
+//! tuned on independent worker threads, with per-shard checkpoints
+//! committed atomically through a manifest. The selection sequence is
+//! bit-identical at every shard count.
 
 use crate::args::Args;
-use crate::commands::{finish_trace, load_workload, trace_sink};
-use isel_core::Trace;
+use crate::commands::{finish_trace, load_workload, trace_sink, FileSink};
+use isel_core::{JsonLinesSink, Trace, TraceSink};
 use isel_service::{
-    offline_adapt, offline_snapshots, run_socket, Checkpoint, Daemon, EpochOutcome,
-    OverloadPolicy, ServiceConfig, ServiceReport,
+    install_status_signal, offline_adapt, offline_group_adapt, offline_group_snapshots,
+    offline_snapshots, run_socket, Checkpoint, Daemon, EpochOutcome, OverloadPolicy, Router,
+    ServiceConfig, ServiceReport,
 };
 use isel_workload::erp::{self, ErpConfig};
 use isel_workload::synthetic::{self, SyntheticConfig};
 use isel_workload::{tpcc, Workload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::io::{BufReader, Write};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
+
+/// Parse a `--shard-map "TABLE:SHARD,TABLE:SHARD,..."` spec into the
+/// explicit table-group placement map.
+fn parse_shard_map(spec: &str) -> Result<BTreeMap<u16, u32>, String> {
+    let mut map = BTreeMap::new();
+    for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+        let (t, s) = part
+            .split_once(':')
+            .ok_or_else(|| format!("--shard-map entry {part:?} is not TABLE:SHARD"))?;
+        let table: u16 = t
+            .trim()
+            .parse()
+            .map_err(|e| format!("--shard-map table {:?}: {e}", t.trim()))?;
+        let shard: u32 = s
+            .trim()
+            .parse()
+            .map_err(|e| format!("--shard-map shard {:?}: {e}", s.trim()))?;
+        if map.insert(table, shard).is_some() {
+            return Err(format!("--shard-map lists table {table} twice"));
+        }
+    }
+    Ok(map)
+}
 
 /// Service configuration assembled from the shared `--epoch-events`,
 /// `--window`, `--templates`, `--budget`, `--create-cost`, `--drop-cost`,
-/// `--noop-above`, `--scratch-below`, `--queue`, `--threads` and
-/// `--checkpoint-every` options, defaulting to [`ServiceConfig::default`].
+/// `--noop-above`, `--scratch-below`, `--queue`, `--threads`,
+/// `--checkpoint-every`, `--shards` and `--shard-map` options, defaulting
+/// to [`ServiceConfig::default`].
 fn service_config(args: &Args) -> Result<ServiceConfig, String> {
     let d = ServiceConfig::default();
     let cfg = ServiceConfig {
@@ -48,6 +80,11 @@ fn service_config(args: &Args) -> Result<ServiceConfig, String> {
         threads: args.get_parsed("threads", d.threads)?,
         checkpoint_every_epochs: args
             .get_parsed("checkpoint-every", d.checkpoint_every_epochs)?,
+        shards: args.get_parsed("shards", d.shards)?,
+        shard_map: match args.get("shard-map") {
+            Some(spec) => parse_shard_map(spec)?,
+            None => d.shard_map,
+        },
     };
     cfg.validate()?;
     Ok(cfg)
@@ -79,12 +116,82 @@ fn make_daemon(
     Daemon::new(workload.schema().clone(), config)
 }
 
+/// Build the sharded router: fresh, or resumed from the checkpoint
+/// manifest at `--checkpoint FILE` when `--resume` is set and the
+/// manifest exists. Resuming at a different `--shards` count is fine —
+/// table groups are repacked onto the new shard layout.
+fn make_router(
+    workload: &Workload,
+    config: ServiceConfig,
+    checkpoint: Option<&Path>,
+    resume: bool,
+) -> Result<Router, String> {
+    if resume {
+        let path = checkpoint.ok_or("--resume requires --checkpoint FILE")?;
+        if path.exists() {
+            let router = Router::resume(workload.schema().clone(), config, path)?;
+            eprintln!(
+                "resumed {} table groups across {} shards from {}",
+                router.group_count(),
+                router.shards(),
+                path.display()
+            );
+            return Ok(router);
+        }
+        eprintln!("no checkpoint manifest at {}; starting fresh", path.display());
+    }
+    Router::new(workload.schema().clone(), config)
+}
+
+/// `--trace FILE` under `--shards N`: one trace file per shard, named
+/// `FILE.shard-{k}` — each is a complete, checkable event stream for the
+/// runs that executed on that shard.
+fn shard_trace_sinks(args: &Args, shards: u32) -> Result<Vec<FileSink>, String> {
+    match args.get("trace") {
+        None => Ok(Vec::new()),
+        Some(base) => (0..shards)
+            .map(|k| {
+                let path = format!("{base}.shard-{k}");
+                JsonLinesSink::create(&path)
+                    .map_err(|e| format!("cannot create trace file {path}: {e}"))
+            })
+            .collect(),
+    }
+}
+
+/// Run the sharded router over `input` and flush any per-shard traces.
+fn run_router<R: BufRead + Send>(
+    args: &Args,
+    workload: &Workload,
+    config: ServiceConfig,
+    checkpoint: Option<&Path>,
+    input: R,
+    policy: OverloadPolicy,
+) -> Result<ServiceReport, String> {
+    let mut router = make_router(workload, config, checkpoint, args.flag("resume"))?;
+    let sinks = shard_trace_sinks(args, router.shards())?;
+    let report = {
+        let refs: Vec<&dyn TraceSink> = sinks.iter().map(|s| s as &dyn TraceSink).collect();
+        router.run_reader(input, policy, checkpoint, &refs)?
+    };
+    for sink in sinks {
+        finish_trace(Some(sink))?;
+    }
+    Ok(report)
+}
+
 fn print_epoch(out: &EpochOutcome) {
     let overlap = out
         .overlap
         .map_or("-".to_owned(), |o| format!("{o:.3}"));
+    // Sharded runs tag outcomes with their table group; the column is a
+    // function of the table, never the shard, so output diffs clean
+    // across shard counts.
+    let table = out
+        .table
+        .map_or(String::new(), |t| format!("table {}\t", t.0));
     println!(
-        "epoch {}\t{}\toverlap {}\t{} indexes\tcost {:.4e}\treconfig {:.3e}",
+        "epoch {}\t{table}{}\toverlap {}\t{} indexes\tcost {:.4e}\treconfig {:.3e}",
         out.epoch,
         out.policy.label(),
         overlap,
@@ -122,17 +229,52 @@ fn print_report(report: &ServiceReport, workload: &Workload) {
 /// `isel serve` — run the daemon on stdin (default) or `--socket PATH`
 /// with the drop-oldest overload policy until EOF or a
 /// `{"control":"shutdown"}` line, then drain, checkpoint and report.
+/// `--shards N` serves stdin through the sharded router; `--journal
+/// FILE` (socket mode) records every accepted line with connection/
+/// sequence tags for deterministic replay. `SIGUSR1` or a
+/// `{"control":"status"}` line renders a live JSON status line.
 pub fn serve(args: &Args) -> Result<(), String> {
     let workload = load_workload(args)?;
     let config = service_config(args)?;
     let checkpoint = args.get("checkpoint").map(PathBuf::from);
+    install_status_signal();
+    if config.shards > 0 {
+        if args.get("socket").is_some() {
+            return Err(
+                "--socket is not available with --shards: sharded serving reads stdin; \
+                 journal a socket run with the unsharded daemon, then replay the journal \
+                 with --shards"
+                    .into(),
+            );
+        }
+        let report = run_router(
+            args,
+            &workload,
+            config,
+            checkpoint.as_deref(),
+            BufReader::new(std::io::stdin()),
+            OverloadPolicy::DropOldest,
+        )?;
+        print_report(&report, &workload);
+        return Ok(());
+    }
+    let journal = args.get("journal").map(PathBuf::from);
+    if journal.is_some() && args.get("socket").is_none() {
+        return Err("--journal requires --socket (stdin input is already a replayable log)".into());
+    }
     let mut daemon =
         make_daemon(&workload, config, checkpoint.as_deref(), args.flag("resume"))?;
     let sink = trace_sink(args)?;
     let report = {
         let trace = sink.as_ref().map_or(Trace::disabled(), |s| Trace::to(s));
         match args.get("socket") {
-            Some(path) => run_socket(&mut daemon, Path::new(path), checkpoint.as_deref(), trace)?,
+            Some(path) => run_socket(
+                &mut daemon,
+                Path::new(path),
+                checkpoint.as_deref(),
+                journal.as_deref(),
+                trace,
+            )?,
             None => daemon.run_reader(
                 BufReader::new(std::io::stdin()),
                 OverloadPolicy::DropOldest,
@@ -159,13 +301,63 @@ pub fn replay(args: &Args) -> Result<(), String> {
         config.drift = isel_service::DriftThresholds::always_adapt();
     }
     let checkpoint = args.get("checkpoint").map(PathBuf::from);
-    let mut daemon =
-        make_daemon(&workload, config.clone(), checkpoint.as_deref(), args.flag("resume"))?;
+    install_status_signal();
     let open = |path: &str| {
         std::fs::File::open(path)
             .map(BufReader::new)
             .map_err(|e| format!("cannot open log {path}: {e}"))
     };
+    if config.shards > 0 {
+        let report = run_router(
+            args,
+            &workload,
+            config.clone(),
+            checkpoint.as_deref(),
+            open(log)?,
+            OverloadPolicy::Block,
+        )?;
+        print_report(&report, &workload);
+        if args.flag("offline-check") {
+            let snaps = offline_group_snapshots(open(log)?, workload.schema(), &config)?;
+            let offline = offline_group_adapt(&snaps, &config);
+            let total: usize = offline.values().map(Vec::len).sum();
+            if report.epochs.len() != total {
+                return Err(format!(
+                    "offline check: router tuned {} epochs, per-group offline reference {total}",
+                    report.epochs.len()
+                ));
+            }
+            for out in &report.epochs {
+                let t = out
+                    .table
+                    .ok_or("offline check: sharded epochs must carry a table id")?
+                    .0;
+                let want = offline
+                    .get(&t)
+                    .and_then(|v| v.get(out.epoch as usize))
+                    .ok_or_else(|| {
+                        format!("offline check: no reference for table {t} epoch {}", out.epoch)
+                    })?;
+                if &out.selection != want {
+                    return Err(format!(
+                        "offline check: selections diverge at table {t} epoch {} \
+                         (router {} indexes, offline {})",
+                        out.epoch,
+                        out.selection.len(),
+                        want.len()
+                    ));
+                }
+            }
+            println!(
+                "offline check: {total} epochs across {} table groups bit-identical \
+                 to per-group dynamic::adapt",
+                offline.len()
+            );
+        }
+        return Ok(());
+    }
+    let mut daemon =
+        make_daemon(&workload, config.clone(), checkpoint.as_deref(), args.flag("resume"))?;
     let sink = trace_sink(args)?;
     let report = {
         let trace = sink.as_ref().map_or(Trace::disabled(), |s| Trace::to(s));
@@ -357,6 +549,61 @@ mod tests {
         assert_eq!(cfg.queue_capacity, 128);
         assert!(service_config(&argv("serve --queue 0")).is_err());
         assert!(service_config(&argv("serve --epoch-events nope")).is_err());
+    }
+
+    #[test]
+    fn shard_knobs_parse_and_validate() {
+        let cfg = service_config(&argv("serve --shards 4 --shard-map 0:1,3:2")).unwrap();
+        assert_eq!(cfg.shards, 4);
+        assert_eq!(cfg.shard_map.get(&0), Some(&1));
+        assert_eq!(cfg.shard_map.get(&3), Some(&2));
+        assert!(parse_shard_map("0:1,0:2").is_err(), "duplicate table");
+        assert!(parse_shard_map("0-1").is_err(), "bad separator");
+        assert!(parse_shard_map("x:1").is_err(), "bad table");
+        assert!(
+            service_config(&argv("serve --shards 2 --shard-map 0:5")).is_err(),
+            "shard out of range"
+        );
+    }
+
+    #[test]
+    fn sharded_replay_checks_offline_and_resumes_manifests() {
+        let w = tmp("shard_w.json");
+        crate::commands::generate(&argv(&format!(
+            "generate --kind synthetic --tables 3 --attrs 8 --queries 8 --rows 50000 --seed 9 --out {w}"
+        )))
+        .unwrap();
+        let log = tmp("shard_events.jsonl");
+        record(&argv(&format!(
+            "record --kind synthetic --tables 3 --attrs 8 --queries 8 --rows 50000 --seed 9 --events 96 --out {log}"
+        )))
+        .unwrap();
+        // Bit-identity against the per-group offline reference, at two
+        // different shard counts over the same log.
+        replay(&argv(&format!(
+            "replay --workload {w} --log {log} --epoch-events 16 --shards 1 --offline-check"
+        )))
+        .unwrap();
+        replay(&argv(&format!(
+            "replay --workload {w} --log {log} --epoch-events 16 --shards 3 --offline-check"
+        )))
+        .unwrap();
+        // Manifest checkpoints commit and a resume at a different shard
+        // count restores them.
+        let dir = std::env::temp_dir().join("isel_cli_service_tests").join("shard_manifest");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("manifest.json");
+        let mstr = manifest.to_string_lossy().into_owned();
+        replay(&argv(&format!(
+            "replay --workload {w} --log {log} --epoch-events 16 --shards 2 --checkpoint {mstr}"
+        )))
+        .unwrap();
+        assert!(manifest.exists());
+        replay(&argv(&format!(
+            "replay --workload {w} --log {log} --epoch-events 16 --shards 3 --checkpoint {mstr} --resume"
+        )))
+        .unwrap();
     }
 
     #[test]

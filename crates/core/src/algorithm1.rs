@@ -295,12 +295,14 @@ pub fn run_traced<W: WhatIfOptimizer>(
             queries: w.query_count() as u64,
             total_width: w.iter().map(|(_, q)| q.width() as u64).sum(),
             budget: options.budget,
+            shard: None,
         }
     });
     let result = Engine::new(est, options, trace, entry_stats, run_start).run();
     trace.emit(|| {
         let now = est.stats();
         TraceEvent::RunEnd {
+            shard: None,
             strategy: "H6".into(),
             steps: result.steps.len() as u64,
             issued: now.calls_issued - entry_stats.calls_issued,

@@ -5,13 +5,41 @@
 //! `A(w) = w · Σ_{k ∈ {{1}, …, {N}}} p_k`, `0 ≤ w ≤ 1`.
 
 use isel_costmodel::WhatIfOptimizer;
-use isel_workload::AttrId;
+use isel_workload::{AttrId, TableId};
 
 /// `Σ_{i=1..N} p_{{i}}`: total memory of all single-attribute indexes.
 pub fn single_attr_total_memory(est: &impl WhatIfOptimizer) -> u64 {
     (0..est.workload().schema().attr_count() as u32)
         .map(|i| est.index_memory(est.pool().intern_single(AttrId(i))))
         .sum()
+}
+
+/// `Σ p_{{i}}` restricted to the attributes of one table.
+///
+/// Index memory is schema-derived (row counts and attribute widths), so
+/// summing this over every table of a schema reproduces
+/// [`single_attr_total_memory`] exactly — the property that makes the
+/// relative budget *table-separable* and lets a sharded service give
+/// each table group an independent budget that adds up to the global
+/// one.
+pub fn table_single_attr_memory(est: &impl WhatIfOptimizer, table: TableId) -> u64 {
+    let schema = est.workload().schema();
+    (0..schema.attr_count() as u32)
+        .filter(|&i| schema.attribute(AttrId(i)).table == table)
+        .map(|i| est.index_memory(est.pool().intern_single(AttrId(i))))
+        .sum()
+}
+
+/// The per-table share of the budget `A(w)` of Eq. (10): `w` times the
+/// single-attribute memory of `table`'s attributes only.
+///
+/// # Panics
+///
+/// Panics if `w` is negative or not finite (same contract as
+/// [`relative_budget`]).
+pub fn table_relative_budget(est: &impl WhatIfOptimizer, w: f64, table: TableId) -> u64 {
+    assert!(w.is_finite() && w >= 0.0, "budget share must be finite and non-negative");
+    (w * table_single_attr_memory(est, table) as f64).round() as u64
 }
 
 /// The budget `A(w)` of Eq. (10).
@@ -64,6 +92,27 @@ mod tests {
         let w = fixture();
         let est = AnalyticalWhatIf::new(&w);
         assert!(relative_budget(&est, 2.0) > single_attr_total_memory(&est));
+    }
+
+    #[test]
+    fn table_budgets_sum_to_the_global_budget_memory() {
+        let mut b = SchemaBuilder::new();
+        let t0 = b.table("t0", 1_024);
+        let a0 = b.attribute(t0, "a0", 64, 4);
+        b.attribute(t0, "a1", 8, 8);
+        let t1 = b.table("t1", 4_096);
+        let a2 = b.attribute(t1, "b0", 16, 2);
+        let w = Workload::new(
+            b.finish(),
+            vec![
+                Query::new(TableId(0), vec![a0], 1),
+                Query::new(TableId(1), vec![a2], 1),
+            ],
+        );
+        let est = AnalyticalWhatIf::new(&w);
+        let per_table: u64 = (0..2).map(|t| table_single_attr_memory(&est, TableId(t))).sum();
+        assert_eq!(per_table, single_attr_total_memory(&est));
+        assert!(table_relative_budget(&est, 0.5, TableId(1)) > 0);
     }
 
     #[test]

@@ -75,6 +75,7 @@ impl<'a> RunEnvelope<'a> {
                 queries: w.query_count() as u64,
                 total_width: w.iter().map(|(_, q)| q.width() as u64).sum(),
                 budget,
+                shard: None,
             }
         });
         Some(Self {
@@ -133,6 +134,7 @@ impl<'a> RunEnvelope<'a> {
         let now = self.span_entry;
         let end = self.span_t0;
         self.trace.emit(|| TraceEvent::RunEnd {
+            shard: None,
             strategy: self.strategy.clone(),
             steps,
             issued: now.calls_issued - self.run_entry.calls_issued,

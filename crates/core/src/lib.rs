@@ -54,5 +54,5 @@ pub use advisor::{Advisor, Recommendation, Strategy};
 pub use parallel::Parallelism;
 pub use algorithm1::{Options as Algorithm1Options, RunResult as Algorithm1Result};
 pub use reconfig::ReconfigCosts;
-pub use selection::{Frontier, FrontierPoint, Selection};
+pub use selection::{merge_frontiers, Frontier, FrontierMerge, FrontierPoint, Selection};
 pub use trace::{JsonLinesSink, RunReport, Trace, TraceEvent, TraceSink, VecSink};

@@ -180,6 +180,87 @@ impl Frontier {
     }
 }
 
+/// Result of [`merge_frontiers`]: a memory allocation per part under a
+/// shared global budget.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrontierMerge {
+    /// Memory granted to each part, index-aligned with the input slice.
+    /// An allocation of 0 means the part keeps its base (empty)
+    /// configuration.
+    pub allocations: Vec<u64>,
+    /// Total memory of the chosen combination (`Σ allocations ≤ budget`).
+    pub total_memory: u64,
+    /// Total predicted cost of the chosen combination (`Σ` of the chosen
+    /// frontier-point costs, falling back to each part's base cost).
+    pub total_cost: f64,
+}
+
+/// Deterministic cap on the pareto state list carried between parts of
+/// the [`merge_frontiers`] DP. Real frontiers have tens of points, so
+/// this only engages for adversarial inputs; thinning keeps an evenly
+/// spaced subset including both endpoints.
+const MERGE_STATE_CAP: usize = 4096;
+
+/// Split a global memory `budget` across independent per-part frontiers
+/// (the multiple-choice knapsack of a sharded merge).
+///
+/// Each part is `(base_cost, frontier)`: the part's cost with no memory
+/// granted, and its performance/memory frontier. Exactly one choice is
+/// made per part — either "nothing" at `(0, base_cost)` or one frontier
+/// point — maximizing total cost reduction subject to
+/// `Σ memory ≤ budget`. The DP carries a pareto set of
+/// `(memory, cost, allocations)` states, pruned to strictly decreasing
+/// cost in memory order, so the result is exact whenever the state list
+/// stays under `MERGE_STATE_CAP`. All tie-breaks are deterministic
+/// (first-listed part, smallest memory wins), which the sharded
+/// service's bit-identical replay guarantee relies on.
+pub fn merge_frontiers(parts: &[(f64, &Frontier)], budget: u64) -> FrontierMerge {
+    let mut states: Vec<(u64, f64, Vec<u64>)> = vec![(0, 0.0, Vec::new())];
+    for (base_cost, frontier) in parts {
+        let mut next: Vec<(u64, f64, Vec<u64>)> =
+            Vec::with_capacity(states.len() * (1 + frontier.points().len()));
+        for (mem, cost, allocs) in &states {
+            // Choice 0: grant nothing, pay the base cost.
+            let mut keep = allocs.clone();
+            keep.push(0);
+            next.push((*mem, cost + base_cost, keep));
+            for p in frontier.points() {
+                let total = mem.saturating_add(p.memory);
+                if total > budget {
+                    break; // points are sorted by memory
+                }
+                let mut chosen = allocs.clone();
+                chosen.push(p.memory);
+                next.push((total, cost + p.cost, chosen));
+            }
+        }
+        // Pareto-prune: sort by (memory, cost) and keep strictly
+        // decreasing cost. f64 totals here are sums of finite costs, so
+        // total_cmp is a total order consistent with `<`.
+        next.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        let mut pruned: Vec<(u64, f64, Vec<u64>)> = Vec::with_capacity(next.len());
+        for s in next {
+            match pruned.last() {
+                Some(last) if s.1 >= last.1 => continue,
+                _ => pruned.push(s),
+            }
+        }
+        if pruned.len() > MERGE_STATE_CAP {
+            let n = pruned.len();
+            let mut thin = Vec::with_capacity(MERGE_STATE_CAP);
+            for i in 0..MERGE_STATE_CAP {
+                thin.push(pruned[i * (n - 1) / (MERGE_STATE_CAP - 1)].clone());
+            }
+            pruned = thin;
+        }
+        states = pruned;
+    }
+    // Strictly decreasing cost means the last state is the cheapest.
+    let (total_memory, total_cost, allocations) =
+        states.pop().expect("state list never empties");
+    FrontierMerge { allocations, total_memory, total_cost }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +349,53 @@ mod tests {
         assert!(!worse.dominates_at(&better, &budgets, 100.0));
         // Every frontier dominates itself.
         assert!(better.dominates_at(&better, &budgets, 100.0));
+    }
+
+    #[test]
+    fn merge_prefers_the_cheaper_combination() {
+        let f0 = Frontier::new(vec![
+            FrontierPoint { memory: 10, cost: 50.0 },
+            FrontierPoint { memory: 30, cost: 10.0 },
+        ]);
+        let f1 = Frontier::new(vec![
+            FrontierPoint { memory: 10, cost: 80.0 },
+            FrontierPoint { memory: 20, cost: 30.0 },
+        ]);
+        // Budget 50 fits the best point of both parts.
+        let m = merge_frontiers(&[(100.0, &f0), (100.0, &f1)], 50);
+        assert_eq!(m.allocations, vec![30, 20]);
+        assert_eq!(m.total_memory, 50);
+        assert!((m.total_cost - 40.0).abs() < 1e-9);
+        // Budget 40: granting f0 30 + f1 10 (10+80=90) loses to
+        // f0 10 + f1 20 (50+30=80).
+        let m = merge_frontiers(&[(100.0, &f0), (100.0, &f1)], 40);
+        assert_eq!(m.allocations, vec![10, 20]);
+        assert!((m.total_cost - 80.0).abs() < 1e-9);
+        // Budget 0: nothing fits, both parts pay their base cost.
+        let m = merge_frontiers(&[(100.0, &f0), (100.0, &f1)], 0);
+        assert_eq!(m.allocations, vec![0, 0]);
+        assert_eq!(m.total_memory, 0);
+        assert!((m.total_cost - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_of_one_part_matches_cost_at() {
+        let f = Frontier::new(vec![
+            FrontierPoint { memory: 10, cost: 50.0 },
+            FrontierPoint { memory: 30, cost: 10.0 },
+        ]);
+        for budget in [0u64, 9, 10, 29, 30, 100] {
+            let m = merge_frontiers(&[(99.0, &f)], budget);
+            assert_eq!(m.total_cost, f.cost_at(budget).unwrap_or(99.0));
+        }
+    }
+
+    #[test]
+    fn merge_with_no_parts_is_empty() {
+        let m = merge_frontiers(&[], 100);
+        assert!(m.allocations.is_empty());
+        assert_eq!(m.total_memory, 0);
+        assert_eq!(m.total_cost, 0.0);
     }
 
     #[test]

@@ -76,6 +76,11 @@ pub enum TraceEvent {
         total_width: u64,
         /// Memory budget in bytes.
         budget: u64,
+        /// Shard that performed the run, when it ran inside a sharded
+        /// service (`None` for offline and unsharded runs; stamped by the
+        /// service's shard-tagging sink, never by the strategies).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        shard: Option<u32>,
     },
     /// One candidate scan: the work performed to pick (or fail to pick)
     /// one construction step. Scan 0 is the setup scan (initial `f_j(0)`
@@ -158,6 +163,10 @@ pub enum TraceEvent {
         final_cost: f64,
         /// Wall time of the run in microseconds.
         micros: u64,
+        /// Shard that performed the run (see
+        /// [`RunStart`](Self::RunStart)).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        shard: Option<u32>,
     },
 }
 
@@ -384,7 +393,7 @@ impl RunReport {
         let mut r = RunReport::default();
         for e in events {
             match e {
-                TraceEvent::RunStart { strategy, queries, total_width, budget } => {
+                TraceEvent::RunStart { strategy, queries, total_width, budget, .. } => {
                     r.strategy = Some(strategy.clone());
                     r.queries = *queries;
                     r.total_width = *total_width;
@@ -421,6 +430,7 @@ impl RunReport {
                     initial_cost,
                     final_cost,
                     micros,
+                    ..
                 } => {
                     if r.strategy.is_none() && !strategy.is_empty() {
                         r.strategy = Some(strategy.clone());
@@ -601,6 +611,7 @@ mod tests {
                 queries: 10,
                 total_width: 30,
                 budget: 1_000,
+                shard: None,
             },
             TraceEvent::CandidateScan {
                 step: 0,
@@ -636,6 +647,7 @@ mod tests {
                 initial_cost: 10.0,
                 final_cost: 6.0,
                 micros: 1_500,
+                shard: None,
             },
         ]
     }

@@ -13,6 +13,23 @@
 //! over the target, so a crash mid-write never leaves a torn checkpoint.
 //! All maps serialize in sorted order, so checkpoint bytes themselves are
 //! deterministic for identical state.
+//!
+//! # Sharded checkpoints
+//!
+//! The sharded router checkpoints per shard: each worker serializes its
+//! table groups as a [`ShardCheckpoint`] into
+//! `<name>.shard-{k}.g{generation}.json` next to the manifest path (see
+//! [`shard_file`]), and once every shard has committed a generation the
+//! router writes a [`Manifest`] naming those files at the user's
+//! checkpoint path — also via tmp+rename, so a kill at any moment leaves
+//! either the previous complete generation or the new one, never a mix
+//! (restore verifies each file's embedded generation against the
+//! manifest). Group state is placement-independent, so a manifest may be
+//! restored at a *different* shard count; groups are simply re-packed by
+//! the new map. Group pools are compacted (canonically, see
+//! [`IndexPool::compact`]) when captured, which keeps shard checkpoints
+//! from growing with selection churn — the legacy single-daemon
+//! [`Checkpoint`] format is unchanged.
 
 use crate::config::ServiceConfig;
 use crate::tuner::Tuner;
@@ -135,6 +152,65 @@ fn load_workload(schema: &Schema, templates: &[SavedTemplate]) -> Result<Workloa
     Ok(Workload::new(schema.clone(), queries))
 }
 
+/// Re-intern saved pool entries in document order, verifying id
+/// stability.
+fn restore_pool(schema: &Schema, entries: &[Vec<u32>]) -> Result<IndexPool, String> {
+    let pool = IndexPool::new(schema);
+    for (i, attrs) in entries.iter().enumerate() {
+        if attrs.is_empty() {
+            return Err("empty index entry in checkpoint pool".into());
+        }
+        let id = pool.intern_attrs(&attrs.iter().map(|&a| AttrId(a)).collect::<Vec<_>>());
+        if id.0 as usize != i {
+            return Err(format!(
+                "checkpoint pool entry {i} re-interned as {id} — document reordered?"
+            ));
+        }
+    }
+    Ok(pool)
+}
+
+/// Resolve saved selection ids through a restored pool.
+fn restore_selection(pool: &IndexPool, ids: &[u32]) -> Result<Selection, String> {
+    Ok(Selection::from_indexes(
+        ids.iter()
+            .map(|&id| {
+                if id as usize >= pool.len() {
+                    return Err(format!("selection references unknown pool id k{id}"));
+                }
+                Ok(pool.resolve(IndexId(id)))
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+    ))
+}
+
+/// Rebuild a sliding window from saved batches under `config`'s
+/// aggregation parameters.
+fn restore_window(
+    schema: &Schema,
+    config: &ServiceConfig,
+    saved: &[SavedBatch],
+    current: &SavedBatch,
+) -> Result<EpochWindow, String> {
+    let mut window = EpochWindow::new(
+        schema.clone(),
+        config.epoch_events,
+        config.window_epochs,
+        config.max_templates,
+    );
+    if saved.len() > config.window_epochs {
+        return Err("checkpoint window longer than window_epochs".into());
+    }
+    for batch in saved {
+        window.window.push_back(load_batch(batch)?);
+    }
+    window.current = load_batch(current)?;
+    if window.current.events >= config.epoch_events {
+        return Err("checkpoint current epoch is already sealed".into());
+    }
+    Ok(window)
+}
+
 impl Checkpoint {
     /// Capture the consumer loop's state.
     pub fn capture(
@@ -182,52 +258,16 @@ impl Checkpoint {
                 self.version
             ));
         }
-        let pool = IndexPool::new(schema);
-        for (i, attrs) in self.pool.iter().enumerate() {
-            if attrs.is_empty() {
-                return Err("empty index entry in checkpoint pool".into());
-            }
-            let id = pool.intern_attrs(&attrs.iter().map(|&a| AttrId(a)).collect::<Vec<_>>());
-            if id.0 as usize != i {
-                return Err(format!(
-                    "checkpoint pool entry {i} re-interned as {id} — document reordered?"
-                ));
-            }
-        }
-        let selection = Selection::from_indexes(
-            self.selection
-                .iter()
-                .map(|&id| {
-                    if id as usize >= pool.len() {
-                        return Err(format!("selection references unknown pool id k{id}"));
-                    }
-                    Ok(pool.resolve(IndexId(id)))
-                })
-                .collect::<Result<Vec<_>, String>>()?,
-        );
+        let pool = restore_pool(schema, &self.pool)?;
+        let selection = restore_selection(&pool, &self.selection)?;
         let baseline = self
             .baseline
             .as_ref()
             .map(|t| load_workload(schema, t))
             .transpose()?;
-        let mut window = EpochWindow::new(
-            schema.clone(),
-            self.config.epoch_events,
-            self.config.window_epochs,
-            self.config.max_templates,
-        );
-        if self.window.len() > self.config.window_epochs {
-            return Err("checkpoint window longer than window_epochs".into());
-        }
-        for batch in &self.window {
-            window.window.push_back(load_batch(batch)?);
-        }
-        window.current = load_batch(&self.current)?;
-        if window.current.events >= self.config.epoch_events {
-            return Err("checkpoint current epoch is already sealed".into());
-        }
+        let window = restore_window(schema, &self.config, &self.window, &self.current)?;
         let tuner =
-            Tuner::restore(self.config.clone(), pool, selection, baseline, self.epoch);
+            Tuner::restore(self.config.clone(), pool, selection, baseline, self.epoch, None);
         Ok((tuner, window))
     }
 
@@ -257,6 +297,208 @@ impl Checkpoint {
             .map_err(|e| format!("read {}: {e}", path.display()))?;
         Self::from_json(&text)
     }
+}
+
+/// Saved state of one table group inside a [`ShardCheckpoint`].
+///
+/// The layout mirrors [`Checkpoint`] minus run-global fields: each group
+/// carries its own pool, selection, drift baseline and window. The pool
+/// is compacted on capture, so group checkpoints do not grow with
+/// selection churn.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GroupCheckpoint {
+    /// Table the group tunes.
+    pub table: u16,
+    /// Sealed epochs tuned by this group so far.
+    pub epoch: u64,
+    /// Pool entries in id order, each as its attribute list.
+    pub pool: Vec<Vec<u32>>,
+    /// Current selection as ids into `pool`.
+    pub selection: Vec<u32>,
+    /// Drift baseline of the group, if any.
+    pub baseline: Option<Vec<SavedTemplate>>,
+    /// Sealed window batches, oldest first.
+    pub window: Vec<SavedBatch>,
+    /// The partially-filled current epoch.
+    pub current: SavedBatch,
+}
+
+impl GroupCheckpoint {
+    /// Capture one table group, compacting its pool first (canonical:
+    /// the result depends only on the group's logical state, so two runs
+    /// that converged to the same state produce identical bytes).
+    pub fn capture(tuner: &mut Tuner, window: &EpochWindow) -> Self {
+        let table = tuner.scope().expect("group tuners are table-scoped").0;
+        tuner.compact_pool();
+        let pool = tuner.pool();
+        let entries: Vec<Vec<u32>> = (0..pool.len() as u32)
+            .map(|id| pool.attrs(IndexId(id)).iter().map(|a| a.0).collect())
+            .collect();
+        let selection: Vec<u32> =
+            tuner.selection().indexes().iter().map(|k| pool.intern(k).0).collect();
+        Self {
+            table,
+            epoch: tuner.epoch(),
+            pool: entries,
+            selection,
+            baseline: tuner.drift_baseline().map(save_workload),
+            window: window.window.iter().map(save_batch).collect(),
+            current: save_batch(&window.current),
+        }
+    }
+
+    /// Rebuild the group's tuner and window under `config`.
+    pub fn restore(
+        &self,
+        schema: &Schema,
+        config: &ServiceConfig,
+    ) -> Result<(Tuner, EpochWindow), String> {
+        if self.table as usize >= schema.tables().len() {
+            return Err(format!("group checkpoint for unknown table t{}", self.table));
+        }
+        let pool = restore_pool(schema, &self.pool)?;
+        let selection = restore_selection(&pool, &self.selection)?;
+        let baseline = self.baseline.as_ref().map(|t| load_workload(schema, t)).transpose()?;
+        let window = restore_window(schema, config, &self.window, &self.current)?;
+        let tuner = Tuner::restore(
+            config.clone(),
+            pool,
+            selection,
+            baseline,
+            self.epoch,
+            Some(TableId(self.table)),
+        );
+        Ok((tuner, window))
+    }
+}
+
+/// One shard's checkpoint document: its table groups plus the shard's
+/// share of the lifetime counters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ShardCheckpoint {
+    /// Document schema version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Configuration the state was produced under.
+    pub config: ServiceConfig,
+    /// Shard that wrote the file (under the map in force at write time;
+    /// informational — restore re-packs groups by the current map).
+    pub shard: u32,
+    /// Barrier generation the file belongs to; must match the manifest.
+    pub generation: u64,
+    /// Valid query events this shard ingested.
+    pub ingested: u64,
+    /// Invalid lines this shard counted.
+    pub invalid: u64,
+    /// Events dropped from this shard's queue.
+    pub dropped: u64,
+    /// The shard's table groups, sorted by table id.
+    pub groups: Vec<GroupCheckpoint>,
+}
+
+impl ShardCheckpoint {
+    /// Serialize to JSON text (one line).
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string(self).map_err(|e| format!("serialize shard checkpoint: {e}"))
+    }
+
+    /// Parse a shard checkpoint document.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("parse shard checkpoint: {e}"))
+    }
+
+    /// Atomically write to `path` (`<path>.tmp` + rename).
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        atomic_write(path, self.to_json()?.as_bytes())
+    }
+
+    /// Load a shard checkpoint from `path`.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("read {}: {e}", path.display()))?;
+        Self::from_json(&text)
+    }
+}
+
+/// The all-or-nothing commit record of one sharded checkpoint
+/// generation, written at the user's checkpoint path after every shard
+/// file of that generation is on disk.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Document schema version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Barrier generation this manifest commits.
+    pub generation: u64,
+    /// Shard count the generation was written under.
+    pub shards: u32,
+    /// Router lines routed up to the committing barrier (resumes the
+    /// periodic-barrier cadence).
+    pub routed_lines: u64,
+    /// Shard file names (relative to the manifest's directory), one per
+    /// shard.
+    pub files: Vec<String>,
+}
+
+impl Manifest {
+    /// Atomically write to `path` (`<path>.tmp` + rename).
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        let json =
+            serde_json::to_string(self).map_err(|e| format!("serialize manifest: {e}"))?;
+        atomic_write(path, json.as_bytes())
+    }
+
+    /// Load a manifest from `path`.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("read {}: {e}", path.display()))?;
+        serde_json::from_str(&text).map_err(|e| format!("parse manifest: {e}"))
+    }
+
+    /// Load and validate every shard file the manifest names, in order.
+    pub fn load_shards(&self, manifest_path: &Path) -> Result<Vec<ShardCheckpoint>, String> {
+        if self.version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "manifest version {} unsupported (expected {CHECKPOINT_VERSION})",
+                self.version
+            ));
+        }
+        let dir = manifest_path.parent().unwrap_or(Path::new("."));
+        self.files
+            .iter()
+            .map(|name| {
+                let cp = ShardCheckpoint::load(&dir.join(name))?;
+                if cp.generation != self.generation {
+                    return Err(format!(
+                        "shard file {name} is generation {}, manifest commits {} — torn \
+                         checkpoint set",
+                        cp.generation, self.generation
+                    ));
+                }
+                if cp.version != CHECKPOINT_VERSION {
+                    return Err(format!("shard file {name} has unsupported version {}", cp.version));
+                }
+                Ok(cp)
+            })
+            .collect()
+    }
+}
+
+/// The shard file path for generation `generation` of shard `shard`,
+/// derived from the manifest path: `dir/<stem>.shard-{k}.g{gen}.json`.
+pub fn shard_file(manifest: &Path, shard: u32, generation: u64) -> std::path::PathBuf {
+    let stem = manifest.file_stem().and_then(|s| s.to_str()).unwrap_or("checkpoint");
+    let name = format!("{stem}.shard-{shard}.g{generation}.json");
+    match manifest.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => dir.join(name),
+        _ => std::path::PathBuf::from(name),
+    }
+}
+
+/// Write `bytes` to `path` via `<path>.tmp` + rename.
+fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), String> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), path.display()))
 }
 
 #[cfg(test)]
@@ -351,5 +593,132 @@ mod tests {
         let mut cp = Checkpoint::capture(&config, &tuner, &window, 0, 0, 0);
         cp.version = 99;
         assert!(cp.restore(window.schema()).unwrap_err().contains("version"));
+    }
+
+    fn populated_group(seed_offset: usize) -> (ServiceConfig, Tuner, EpochWindow) {
+        let w = workload();
+        let config = ServiceConfig {
+            epoch_events: 4,
+            window_epochs: 2,
+            max_templates: 32,
+            drift: DriftThresholds::always_adapt(),
+            ..ServiceConfig::default()
+        };
+        let mut tuner = Tuner::for_table(w.schema(), config.clone(), TableId(0));
+        let mut window = EpochWindow::new(w.schema().clone(), 4, 2, 32);
+        let group: Vec<&Query> =
+            w.queries().iter().filter(|q| q.table() == TableId(0)).collect();
+        for q in group.iter().cycle().skip(seed_offset).take(10) {
+            if window.push(q) {
+                let snap = window.snapshot().unwrap();
+                tuner.tune(&snap, Parallelism::serial(), Trace::disabled());
+            }
+        }
+        (config, tuner, window)
+    }
+
+    #[test]
+    fn group_capture_restore_round_trips() {
+        let (config, mut tuner, window) = populated_group(0);
+        let pool_before = tuner.pool().len();
+        let cp = GroupCheckpoint::capture(&mut tuner, &window);
+        assert!(
+            tuner.pool().len() <= pool_before,
+            "capture compacts the pool in place"
+        );
+        assert_eq!(cp.table, 0);
+        let (tuner2, window2) = cp.restore(window.schema(), &config).unwrap();
+        assert_eq!(tuner2.epoch(), tuner.epoch());
+        assert_eq!(tuner2.selection(), tuner.selection());
+        assert_eq!(tuner2.scope(), Some(TableId(0)));
+        assert_eq!(tuner2.drift_baseline(), tuner.drift_baseline());
+        assert_eq!(window2.sealed_masses(), window.sealed_masses());
+        // Re-capture of the restored state is byte-identical (compaction
+        // is canonical, so the second compact is a no-op).
+        let mut tuner2 = tuner2;
+        let cp2 = GroupCheckpoint::capture(&mut tuner2, &window2);
+        assert_eq!(cp.to_json_for_test(), cp2.to_json_for_test());
+    }
+
+    impl GroupCheckpoint {
+        fn to_json_for_test(&self) -> String {
+            serde_json::to_string(self).unwrap()
+        }
+    }
+
+    #[test]
+    fn compaction_shrinks_checkpoints_after_churn() {
+        // Drive the group through drifting epochs so dead indexes pile
+        // up in the pool, then compare checkpoint sizes with and without
+        // compaction.
+        let (_config, mut tuner, window) = populated_group(3);
+        let uncompacted = {
+            let pool = tuner.pool();
+            let entries: Vec<Vec<u32>> = (0..pool.len() as u32)
+                .map(|id| pool.attrs(IndexId(id)).iter().map(|a| a.0).collect())
+                .collect();
+            serde_json::to_string(&entries).unwrap().len()
+        };
+        let cp = GroupCheckpoint::capture(&mut tuner, &window);
+        let compacted = serde_json::to_string(&cp.pool).unwrap().len();
+        assert!(
+            compacted <= uncompacted,
+            "compacted pool ({compacted} B) must not exceed uncompacted ({uncompacted} B)"
+        );
+    }
+
+    #[test]
+    fn manifest_commits_and_detects_torn_generations() {
+        let (config, mut tuner, window) = populated_group(0);
+        let dir = std::env::temp_dir().join(format!("isel-manifest-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest_path = dir.join("checkpoint.json");
+
+        let group = GroupCheckpoint::capture(&mut tuner, &window);
+        let mut files = Vec::new();
+        for shard in 0..2u32 {
+            let cp = ShardCheckpoint {
+                version: CHECKPOINT_VERSION,
+                config: config.clone(),
+                shard,
+                generation: 1,
+                ingested: 5,
+                invalid: 0,
+                dropped: 0,
+                groups: vec![group.clone()],
+            };
+            let path = shard_file(&manifest_path, shard, 1);
+            cp.save(&path).unwrap();
+            files.push(path.file_name().unwrap().to_str().unwrap().to_owned());
+        }
+        let manifest = Manifest {
+            version: CHECKPOINT_VERSION,
+            generation: 1,
+            shards: 2,
+            routed_lines: 10,
+            files,
+        };
+        manifest.save(&manifest_path).unwrap();
+
+        let loaded = Manifest::load(&manifest_path).unwrap();
+        assert_eq!(loaded, manifest);
+        let shards = loaded.load_shards(&manifest_path).unwrap();
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].groups[0], group);
+
+        // A shard file from another generation is a torn set.
+        let stale = ShardCheckpoint { generation: 7, ..shards[1].clone() };
+        stale.save(&shard_file(&manifest_path, 1, 1)).unwrap();
+        let err = loaded.load_shards(&manifest_path).unwrap_err();
+        assert!(err.contains("torn"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_file_names_embed_shard_and_generation() {
+        let p = shard_file(Path::new("/tmp/cp/checkpoint.json"), 3, 12);
+        assert_eq!(p, Path::new("/tmp/cp/checkpoint.shard-3.g12.json"));
+        let rel = shard_file(Path::new("state.json"), 0, 1);
+        assert_eq!(rel, Path::new("state.shard-0.g1.json"));
     }
 }

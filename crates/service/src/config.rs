@@ -2,6 +2,7 @@
 
 use isel_core::dynamic::TransitionCosts;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Drift thresholds deciding the per-epoch tuning policy from the
 /// frequency-weighted attribute overlap between the current epoch
@@ -61,6 +62,17 @@ pub struct ServiceConfig {
     /// Write a checkpoint every `n` sealed epochs (0 = only on a
     /// `checkpoint` control event and at shutdown).
     pub checkpoint_every_epochs: u64,
+    /// Number of router shards (0 = the legacy unsharded daemon; the
+    /// router requires at least 1). Tuning state is per table group at
+    /// every setting, so selections are shard-count-invariant — shards
+    /// only decide how groups are packed onto worker threads.
+    #[serde(default)]
+    pub shards: u32,
+    /// Explicit table → shard placements overriding the default map
+    /// (tables not listed fall back to one-shard-per-table, then to a
+    /// rendezvous hash; see [`crate::shard::ShardMap`]).
+    #[serde(default)]
+    pub shard_map: BTreeMap<u16, u32>,
 }
 
 impl Default for ServiceConfig {
@@ -75,6 +87,8 @@ impl Default for ServiceConfig {
             queue_capacity: 4096,
             threads: 1,
             checkpoint_every_epochs: 0,
+            shards: 0,
+            shard_map: BTreeMap::new(),
         }
     }
 }
@@ -96,6 +110,17 @@ impl ServiceConfig {
         }
         if self.queue_capacity == 0 {
             return Err("queue_capacity must be at least 1".into());
+        }
+        for (&table, &shard) in &self.shard_map {
+            if self.shards == 0 {
+                return Err("shard_map requires shards >= 1".into());
+            }
+            if shard >= self.shards {
+                return Err(format!(
+                    "shard_map places table {table} on shard {shard}, but only {} shards exist",
+                    self.shards
+                ));
+            }
         }
         Ok(())
     }
@@ -122,6 +147,35 @@ mod tests {
         let json = serde_json::to_string(&cfg).unwrap();
         let back: ServiceConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn configs_without_shard_fields_still_parse() {
+        // Checkpoints written before sharding existed omit the fields.
+        let legacy = r#"{"epoch_events":256,"window_epochs":4,"max_templates":512,
+            "budget_share":0.3,
+            "transition":{"create_cost_per_byte":0.001,"drop_cost":1.0},
+            "drift":{"noop_above":0.95,"scratch_below":0.4},
+            "queue_capacity":4096,"threads":1,"checkpoint_every_epochs":0}"#;
+        let cfg: ServiceConfig = serde_json::from_str(legacy).unwrap();
+        assert_eq!(cfg.shards, 0);
+        assert!(cfg.shard_map.is_empty());
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn shard_map_targets_must_fit() {
+        let mut cfg = ServiceConfig { shards: 2, ..ServiceConfig::default() };
+        cfg.shard_map.insert(3, 1);
+        cfg.validate().unwrap();
+        cfg.shard_map.insert(4, 2);
+        assert!(cfg.validate().is_err(), "shard 2 of 2 is out of range");
+        let orphan = ServiceConfig {
+            shards: 0,
+            shard_map: [(0u16, 0u32)].into_iter().collect(),
+            ..ServiceConfig::default()
+        };
+        assert!(orphan.validate().is_err(), "a map without shards is meaningless");
     }
 
     #[test]

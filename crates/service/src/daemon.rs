@@ -19,6 +19,7 @@ use crate::checkpoint::Checkpoint;
 use crate::config::ServiceConfig;
 use crate::event::{parse_line, Control, InputLine};
 use crate::queue::BoundedQueue;
+use crate::status::{take_status_signal, StatusBoard};
 use crate::tuner::{EpochOutcome, Tuner};
 use crate::window::EpochWindow;
 use isel_core::{budget, dynamic, Parallelism, Selection, Trace};
@@ -26,7 +27,7 @@ use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf, WhatIfOptimizer};
 use isel_workload::{Query, Schema, Workload};
 use std::io::BufRead;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 
 /// What happens when the ingestion queue is full.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,6 +42,18 @@ pub enum OverloadPolicy {
 pub(crate) enum WorkItem {
     Query(Query),
     Checkpoint,
+}
+
+/// Verdict of ingesting one line.
+pub(crate) enum Ingest {
+    /// Keep reading.
+    Continue,
+    /// A `shutdown` control arrived: stop ingesting, drain, finish.
+    Shutdown,
+    /// A `status` control arrived — out of band; the caller renders the
+    /// board line (stderr for stdin readers, back on the wire for
+    /// socket connections) without queuing anything.
+    Status,
 }
 
 /// Summary of one daemon run.
@@ -160,14 +173,29 @@ impl Daemon {
         trace: Trace<'_>,
     ) -> Result<ServiceReport, String> {
         let queue = BoundedQueue::new(self.config.queue_capacity);
-        let ingested = AtomicU64::new(0);
-        let invalid = AtomicU64::new(0);
+        let board = self.status_board();
         let schema = self.schema.clone();
+        let base_dropped = self.base_dropped;
         let (outcomes, checkpoints_written) = std::thread::scope(|s| {
-            s.spawn(|| ingest_lines(input, &schema, &queue, policy, &ingested, &invalid));
-            self.consume(&queue, &ingested, &invalid, checkpoint, trace)
+            s.spawn(|| ingest_lines(input, &schema, &queue, policy, &board, base_dropped));
+            self.consume(&queue, &board, checkpoint, trace)
         })?;
-        Ok(self.report(outcomes, &queue, &ingested, &invalid, checkpoints_written))
+        Ok(self.report(outcomes, &queue, &board, checkpoints_written))
+    }
+
+    /// A fresh [`StatusBoard`] seeded with the daemon's lifetime
+    /// counters, so status lines and checkpoints report totals across
+    /// restarts.
+    pub(crate) fn status_board(&self) -> StatusBoard {
+        let board = StatusBoard::new(0);
+        board.ingested.store(self.base_ingested, Ordering::Relaxed);
+        board.invalid.store(self.base_invalid, Ordering::Relaxed);
+        board
+    }
+
+    /// Events dropped in previous runs (restored from a checkpoint).
+    pub(crate) fn base_dropped(&self) -> u64 {
+        self.base_dropped
     }
 
     /// Pop until the queue closes and drains; tune every epoch that
@@ -175,8 +203,7 @@ impl Daemon {
     pub(crate) fn consume(
         &mut self,
         queue: &BoundedQueue<WorkItem>,
-        ingested: &AtomicU64,
-        invalid: &AtomicU64,
+        board: &StatusBoard,
         checkpoint: Option<&Path>,
         trace: Trace<'_>,
     ) -> Result<(Vec<EpochOutcome>, u64), String> {
@@ -185,6 +212,9 @@ impl Daemon {
         let mut outcomes = Vec::new();
         let mut written = 0u64;
         while let Some(item) = queue.pop() {
+            if take_status_signal() {
+                eprintln!("{}", board.line(self.base_dropped + queue.dropped()));
+            }
             match item {
                 WorkItem::Query(q) => {
                     if self.window.push(&q) {
@@ -193,25 +223,29 @@ impl Daemon {
                             .snapshot()
                             .expect("snapshot exists after an epoch seals");
                         outcomes.push(self.tuner.tune(&snap, par, trace));
+                        board.epochs.fetch_add(1, Ordering::Relaxed);
                         if every > 0 && self.tuner.epoch().is_multiple_of(every) {
                             if let Some(path) = checkpoint {
-                                self.write_checkpoint(path, queue, ingested, invalid)?;
+                                self.write_checkpoint(path, queue, board)?;
                                 written += 1;
+                                board.checkpoints.fetch_add(1, Ordering::Relaxed);
                             }
                         }
                     }
                 }
                 WorkItem::Checkpoint => {
                     if let Some(path) = checkpoint {
-                        self.write_checkpoint(path, queue, ingested, invalid)?;
+                        self.write_checkpoint(path, queue, board)?;
                         written += 1;
+                        board.checkpoints.fetch_add(1, Ordering::Relaxed);
                     }
                 }
             }
         }
         if let Some(path) = checkpoint {
-            self.write_checkpoint(path, queue, ingested, invalid)?;
+            self.write_checkpoint(path, queue, board)?;
             written += 1;
+            board.checkpoints.fetch_add(1, Ordering::Relaxed);
         }
         Ok((outcomes, written))
     }
@@ -220,15 +254,14 @@ impl Daemon {
         &self,
         path: &Path,
         queue: &BoundedQueue<WorkItem>,
-        ingested: &AtomicU64,
-        invalid: &AtomicU64,
+        board: &StatusBoard,
     ) -> Result<(), String> {
         Checkpoint::capture(
             &self.config,
             &self.tuner,
             &self.window,
-            self.base_ingested + ingested.load(Ordering::Relaxed),
-            self.base_invalid + invalid.load(Ordering::Relaxed),
+            board.ingested.load(Ordering::Relaxed),
+            board.invalid.load(Ordering::Relaxed),
             self.base_dropped + queue.dropped(),
         )
         .save(path)
@@ -238,14 +271,13 @@ impl Daemon {
         &self,
         epochs: Vec<EpochOutcome>,
         queue: &BoundedQueue<WorkItem>,
-        ingested: &AtomicU64,
-        invalid: &AtomicU64,
+        board: &StatusBoard,
         checkpoints_written: u64,
     ) -> ServiceReport {
         ServiceReport {
             epochs,
-            ingested: self.base_ingested + ingested.load(Ordering::Relaxed),
-            invalid: self.base_invalid + invalid.load(Ordering::Relaxed),
+            ingested: board.ingested.load(Ordering::Relaxed),
+            invalid: board.invalid.load(Ordering::Relaxed),
             dropped: self.base_dropped + queue.dropped(),
             queue_high_water: queue.high_water(),
             checkpoints_written,
@@ -281,8 +313,8 @@ pub(crate) fn ingest_lines<R: BufRead>(
     schema: &Schema,
     queue: &BoundedQueue<WorkItem>,
     policy: OverloadPolicy,
-    ingested: &AtomicU64,
-    invalid: &AtomicU64,
+    board: &StatusBoard,
+    base_dropped: u64,
 ) {
     let _close = CloseOnExit(queue);
     for line in input.lines() {
@@ -290,41 +322,53 @@ pub(crate) fn ingest_lines<R: BufRead>(
             Ok(l) => l,
             Err(_) => break, // treat an IO error as end-of-stream
         };
-        if !ingest_one(&line, schema, queue, policy, ingested, invalid) {
-            break;
+        if take_status_signal() {
+            eprintln!("{}", board.line(base_dropped + queue.dropped()));
+        }
+        match ingest_one(&line, schema, queue, policy, board) {
+            Ingest::Continue => {}
+            Ingest::Status => {
+                eprintln!("{}", board.line(base_dropped + queue.dropped()));
+            }
+            Ingest::Shutdown => break,
         }
     }
 }
 
-/// Parse and route one line; returns `false` on shutdown.
+/// Parse and route one line; the verdict tells the caller whether to
+/// keep reading, stop, or render a status line.
 pub(crate) fn ingest_one(
     line: &str,
     schema: &Schema,
     queue: &BoundedQueue<WorkItem>,
     policy: OverloadPolicy,
-    ingested: &AtomicU64,
-    invalid: &AtomicU64,
-) -> bool {
+    board: &StatusBoard,
+) -> Ingest {
     let trimmed = line.trim();
     if trimmed.is_empty() {
-        return true;
+        return Ingest::Continue;
     }
     match parse_line(trimmed, schema) {
         Ok(InputLine::Query(q)) => {
-            ingested.fetch_add(1, Ordering::Relaxed);
-            match policy {
+            board.ingested.fetch_add(1, Ordering::Relaxed);
+            let _ = match policy {
                 OverloadPolicy::Block => queue.push_blocking(WorkItem::Query(q)),
                 OverloadPolicy::DropOldest => queue.push_drop_oldest(WorkItem::Query(q)),
-            }
+            };
+            Ingest::Continue
         }
-        Ok(InputLine::Control(Control::Checkpoint)) => match policy {
-            OverloadPolicy::Block => queue.push_blocking(WorkItem::Checkpoint),
-            OverloadPolicy::DropOldest => queue.push_drop_oldest(WorkItem::Checkpoint),
-        },
-        Ok(InputLine::Control(Control::Shutdown)) => false,
+        Ok(InputLine::Control(Control::Checkpoint)) => {
+            let _ = match policy {
+                OverloadPolicy::Block => queue.push_blocking(WorkItem::Checkpoint),
+                OverloadPolicy::DropOldest => queue.push_drop_oldest(WorkItem::Checkpoint),
+            };
+            Ingest::Continue
+        }
+        Ok(InputLine::Control(Control::Status)) => Ingest::Status,
+        Ok(InputLine::Control(Control::Shutdown)) => Ingest::Shutdown,
         Err(_) => {
-            invalid.fetch_add(1, Ordering::Relaxed);
-            true
+            board.invalid.fetch_add(1, Ordering::Relaxed);
+            Ingest::Continue
         }
     }
 }
@@ -359,7 +403,7 @@ pub fn offline_snapshots<R: BufRead>(
                 }
             }
             Ok(InputLine::Control(Control::Shutdown)) => break,
-            Ok(InputLine::Control(Control::Checkpoint)) | Err(_) => {}
+            Ok(InputLine::Control(_)) | Err(_) => {}
         }
     }
     Ok(out)

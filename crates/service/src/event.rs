@@ -4,8 +4,8 @@
 //! (`{"table":T,"attrs":[..],"frequency":B,"kind":"Select"|"Update"}`,
 //! with `frequency` defaulting to 1 and `kind` to `Select`), so a
 //! recorded log is readable by the same tooling as a workload file.
-//! Control lines are `{"control":"shutdown"}` and
-//! `{"control":"checkpoint"}`.
+//! Control lines are `{"control":"shutdown"}`,
+//! `{"control":"checkpoint"}` and `{"control":"status"}`.
 //!
 //! Parsing validates against the schema: unknown tables, out-of-range or
 //! cross-table attributes, empty attribute lists and zero frequencies are
@@ -22,6 +22,9 @@ pub enum Control {
     Shutdown,
     /// Write a checkpoint now (ordered with the surrounding events).
     Checkpoint,
+    /// Emit the aggregated status line (out of band: never queued, so it
+    /// does not perturb replay determinism).
+    Status,
 }
 
 /// One successfully parsed input line.
@@ -51,6 +54,7 @@ pub fn parse_line(line: &str, schema: &Schema) -> Result<InputLine, String> {
         return match c.as_str() {
             "shutdown" => Ok(InputLine::Control(Control::Shutdown)),
             "checkpoint" => Ok(InputLine::Control(Control::Checkpoint)),
+            "status" => Ok(InputLine::Control(Control::Status)),
             other => Err(format!("unknown control command {other:?}")),
         };
     }
@@ -135,6 +139,10 @@ mod tests {
         assert_eq!(
             parse_line(r#"{"control":"checkpoint"}"#, &s).unwrap(),
             InputLine::Control(Control::Checkpoint)
+        );
+        assert_eq!(
+            parse_line(r#"{"control":"status"}"#, &s).unwrap(),
+            InputLine::Control(Control::Status)
         );
         assert!(parse_line(r#"{"control":"reboot"}"#, &s).is_err());
     }

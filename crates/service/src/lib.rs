@@ -37,8 +37,26 @@
 //! sequence bit-identical to the offline `dynamic::adapt` loop over the
 //! same epoch snapshots, at every thread count.
 //!
+//! # Sharding
+//!
+//! For multi-table workloads the daemon scales out across worker threads
+//! ([`router`], [`shard`]): a [`Router`] classifies raw JSONL lines by
+//! table group with a byte-scanning fast path, fans them out over
+//! per-shard bounded queues, and each shard tunes its table groups
+//! independently — per-group windows, drift baselines and index pools.
+//! Because the unit of tuning state is always a single table group, the
+//! selection sequence is **bit-identical at every shard count**;
+//! sharding only changes which thread a group runs on. Per-shard
+//! checkpoints commit atomically through a [`Manifest`]
+//! (all-or-nothing across shards), and the final per-group selections
+//! are merged under the *global* memory budget with the MCKP frontier
+//! merge from `isel_core`. [`StatusBoard`]
+//! aggregates live counters across shards; `SIGUSR1` or a
+//! `{"control":"status"}` line renders them as one JSON status line.
+//!
 //! [`Workload`]: isel_workload::Workload
 //! [`IndexPool`]: isel_workload::IndexPool
+//! [`Manifest`]: checkpoint::Manifest
 
 #![warn(missing_docs)]
 
@@ -47,15 +65,23 @@ pub mod config;
 pub mod daemon;
 pub mod event;
 pub mod queue;
+pub mod router;
+pub mod shard;
 pub mod socket;
+pub mod status;
 pub mod tuner;
 pub mod window;
 
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{
+    shard_file, Checkpoint, GroupCheckpoint, Manifest, ShardCheckpoint, CHECKPOINT_VERSION,
+};
 pub use config::{DriftThresholds, ServiceConfig};
 pub use daemon::{offline_adapt, offline_snapshots, Daemon, OverloadPolicy, ServiceReport};
 pub use event::{parse_line, Control, InputLine};
 pub use queue::BoundedQueue;
+pub use router::{offline_group_adapt, offline_group_snapshots, Router};
+pub use shard::{classify_line, LineClass, ShardMap, ShardTagSink};
 pub use socket::run_socket;
+pub use status::{install_status_signal, take_status_signal, StatusBoard};
 pub use tuner::{EpochOutcome, TunePolicy, Tuner};
 pub use window::EpochWindow;

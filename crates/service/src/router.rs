@@ -1,0 +1,953 @@
+//! The sharded tuning router: one ingest loop fanning raw lines out to
+//! per-shard workers, each tuning its own table groups.
+//!
+//! ## Architecture
+//!
+//! The **unit of tuning state is the table group** — one [`EpochWindow`]
+//! plus one table-scoped [`Tuner`] per table, sealing epochs on the
+//! group's *own* valid-event count and budgeting with the
+//! table-separable split of Eq. (10)
+//! ([`isel_core::budget::table_relative_budget`]). Shards merely pack
+//! groups onto worker threads via the [`ShardMap`]; because no tuning
+//! state spans shards, the selection sequence is **bit-identical at
+//! every shard count** by construction — the router's headline
+//! determinism guarantee, pinned by `tests/service.rs`.
+//!
+//! The router thread owns the input: it classifies each raw line with
+//! the cheap byte-scan [`classify_line`] (no JSON parse) and pushes it
+//! onto the owning shard's bounded queue; workers do the full
+//! parse/validate/aggregate/tune work. Control lines are parsed by the
+//! router itself: `shutdown` stops ingestion, `checkpoint` injects a
+//! barrier into *every* queue at the same stream position, `status`
+//! prints the [`StatusBoard`] line (out of band — never queued).
+//!
+//! ## Checkpointing
+//!
+//! A checkpoint barrier carries a monotonically increasing *generation*.
+//! Each worker, on seeing `Barrier(g)`, serializes its groups as a
+//! [`ShardCheckpoint`] into `<stem>.shard-{k}.g{g}.json`; when every
+//! shard has committed generation `g`, the committer atomically writes
+//! the [`Manifest`] at the user's checkpoint path and deletes
+//! older-generation files. A kill at any moment leaves either the
+//! previous complete generation or the new one — never a mix. Group
+//! state is placement-independent, so a manifest may be resumed at a
+//! **different** shard count ([`Router::resume`] re-packs groups under
+//! the current map).
+//!
+//! ## Merge
+//!
+//! At shutdown the per-group selections are unioned under the *global*
+//! memory budget: each group's final snapshot is re-run from scratch at
+//! the global budget, the per-group memory/cost frontiers are combined
+//! with the [`isel_core::merge_frontiers`] knapsack, and each group
+//! materializes its selection at its allocated share
+//! ([`isel_core::algorithm1::selection_at`]). The union is the
+//! [`ServiceReport::final_selection`].
+
+use crate::checkpoint::{
+    shard_file, GroupCheckpoint, Manifest, ShardCheckpoint, CHECKPOINT_VERSION,
+};
+use crate::config::ServiceConfig;
+use crate::daemon::{OverloadPolicy, ServiceReport};
+use crate::event::{parse_line, Control, InputLine};
+use crate::queue::BoundedQueue;
+use crate::shard::{classify_line, LineClass, ShardMap, ShardTagSink};
+use crate::status::{take_status_signal, StatusBoard};
+use crate::tuner::{EpochOutcome, Tuner};
+use crate::window::EpochWindow;
+use isel_core::algorithm1::{self, Options, RunResult};
+use isel_core::{budget, merge_frontiers, Frontier, Parallelism, Selection, Trace, TraceSink};
+use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
+use isel_workload::{Schema, TableId, Workload};
+use std::collections::BTreeMap;
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::Mutex;
+
+/// Items flowing through one shard's queue.
+enum ShardItem {
+    /// A raw input line; the worker parses and validates it.
+    Line(String),
+    /// Checkpoint barrier of one generation.
+    Barrier(u64),
+}
+
+/// One table group's live tuning state.
+struct GroupState {
+    tuner: Tuner,
+    window: EpochWindow,
+}
+
+impl GroupState {
+    fn fresh(schema: &Schema, config: &ServiceConfig, table: TableId) -> Self {
+        Self {
+            tuner: Tuner::for_table(schema, config.clone(), table),
+            window: EpochWindow::new(
+                schema.clone(),
+                config.epoch_events,
+                config.window_epochs,
+                config.max_templates,
+            ),
+        }
+    }
+}
+
+/// One pending checkpoint generation inside the committer.
+struct PendingGen {
+    routed_lines: u64,
+    files: BTreeMap<u32, PathBuf>,
+}
+
+struct CommitterInner {
+    pending: BTreeMap<u64, PendingGen>,
+    /// Highest committed generation, if any.
+    committed: Option<u64>,
+    /// Shard files of the committed generation (kept until superseded).
+    live_files: Vec<PathBuf>,
+    /// Manifests written this run.
+    commits: u64,
+}
+
+/// Counts per-generation shard-file completions and commits the
+/// manifest once a generation is complete on every shard.
+struct Committer<'a> {
+    manifest_path: &'a Path,
+    shards: u32,
+    board: &'a StatusBoard,
+    inner: Mutex<CommitterInner>,
+}
+
+impl<'a> Committer<'a> {
+    fn new(manifest_path: &'a Path, shards: u32, board: &'a StatusBoard) -> Self {
+        Self {
+            manifest_path,
+            shards,
+            board,
+            inner: Mutex::new(CommitterInner {
+                pending: BTreeMap::new(),
+                committed: None,
+                live_files: Vec::new(),
+                commits: 0,
+            }),
+        }
+    }
+
+    /// Register a generation the router is about to inject barriers for.
+    /// Must be called before any worker can report it done.
+    fn open(&self, generation: u64, routed_lines: u64) {
+        self.inner
+            .lock()
+            .expect("committer lock poisoned")
+            .pending
+            .insert(generation, PendingGen { routed_lines, files: BTreeMap::new() });
+    }
+
+    /// A worker finished writing its shard file for `generation`. The
+    /// last worker in triggers the manifest commit.
+    fn done(&self, shard: u32, generation: u64, file: PathBuf) -> Result<(), String> {
+        let mut g = self.inner.lock().expect("committer lock poisoned");
+        let Some(pending) = g.pending.get_mut(&generation) else {
+            return Ok(()); // unknown generation: nothing to commit
+        };
+        pending.files.insert(shard, file);
+        if pending.files.len() as u32 != self.shards {
+            return Ok(());
+        }
+        let complete = g.pending.remove(&generation).expect("entry just updated");
+        if g.committed.is_some_and(|c| generation <= c) {
+            // Superseded (a later generation already committed): discard.
+            for f in complete.files.values() {
+                std::fs::remove_file(f).ok();
+            }
+            return Ok(());
+        }
+        let manifest = Manifest {
+            version: CHECKPOINT_VERSION,
+            generation,
+            shards: self.shards,
+            routed_lines: complete.routed_lines,
+            files: complete
+                .files
+                .values()
+                .map(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .expect("shard_file produces utf-8 names")
+                        .to_owned()
+                })
+                .collect(),
+        };
+        manifest.save(self.manifest_path)?;
+        // The new generation is durable; older files are now garbage.
+        // This includes generations whose barrier was evicted on some
+        // shard (drop-oldest overload) and that can never complete.
+        let stale: Vec<PathBuf> = std::mem::take(&mut g.live_files);
+        let dead_gens: Vec<u64> =
+            g.pending.range(..generation).map(|(&gen, _)| gen).collect();
+        for gen in dead_gens {
+            if let Some(p) = g.pending.remove(&gen) {
+                for f in p.files.values() {
+                    std::fs::remove_file(f).ok();
+                }
+            }
+        }
+        for f in stale {
+            std::fs::remove_file(&f).ok();
+        }
+        g.live_files = complete.files.into_values().collect();
+        g.committed = Some(generation);
+        g.commits += 1;
+        self.board.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn commits(&self) -> u64 {
+        self.inner.lock().expect("committer lock poisoned").commits
+    }
+}
+
+/// Per-worker context shared by the shard loop.
+struct WorkerCtx<'a> {
+    shard: u32,
+    schema: &'a Schema,
+    config: &'a ServiceConfig,
+    par: Parallelism,
+    board: &'a StatusBoard,
+    committer: Option<&'a Committer<'a>>,
+    checkpoint: Option<&'a Path>,
+    /// Lifetime counter bases folded into this shard's checkpoints
+    /// (non-zero only on shard 0, which carries the restored history).
+    base_ingested: u64,
+    base_invalid: u64,
+    base_dropped: u64,
+    sink: Option<&'a dyn TraceSink>,
+}
+
+/// What one worker hands back when its queue drains.
+struct WorkerOut {
+    outcomes: Vec<EpochOutcome>,
+    groups: BTreeMap<u16, GroupState>,
+    ingested: u64,
+    invalid: u64,
+}
+
+/// The sharded tuning service: a [`ShardMap`] over per-table groups,
+/// driven by [`Router::run_reader`].
+pub struct Router {
+    schema: Schema,
+    config: ServiceConfig,
+    map: ShardMap,
+    groups: BTreeMap<u16, GroupState>,
+    base_ingested: u64,
+    base_invalid: u64,
+    base_dropped: u64,
+    routed_lines: u64,
+    next_generation: u64,
+}
+
+impl Router {
+    /// Fresh router with no tuned state. Requires `config.shards >= 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first configuration problem, if any.
+    pub fn new(schema: Schema, config: ServiceConfig) -> Result<Self, String> {
+        config.validate()?;
+        if config.shards == 0 {
+            return Err("the router requires shards >= 1 (0 selects the unsharded daemon)".into());
+        }
+        let map = ShardMap::new(config.shards, config.shard_map.clone(), schema.tables().len())?;
+        Ok(Self {
+            schema,
+            config,
+            map,
+            groups: BTreeMap::new(),
+            base_ingested: 0,
+            base_invalid: 0,
+            base_dropped: 0,
+            routed_lines: 0,
+            next_generation: 1,
+        })
+    }
+
+    /// Resume from a sharded checkpoint manifest. The manifest may have
+    /// been written at a different shard count — groups are re-packed
+    /// under the current [`ShardMap`] (placement never affects results).
+    pub fn resume(
+        schema: Schema,
+        config: ServiceConfig,
+        manifest_path: &Path,
+    ) -> Result<Self, String> {
+        let mut router = Self::new(schema, config)?;
+        let manifest = Manifest::load(manifest_path)?;
+        let shards = manifest.load_shards(manifest_path)?;
+        for cp in &shards {
+            if cp.config.epoch_events != router.config.epoch_events
+                || cp.config.window_epochs != router.config.window_epochs
+                || cp.config.max_templates != router.config.max_templates
+            {
+                return Err(format!(
+                    "checkpoint aggregation config (epoch_events={}, window_epochs={}, \
+                     max_templates={}) does not match the requested configuration",
+                    cp.config.epoch_events, cp.config.window_epochs, cp.config.max_templates
+                ));
+            }
+            router.base_ingested += cp.ingested;
+            router.base_invalid += cp.invalid;
+            router.base_dropped += cp.dropped;
+            for gc in &cp.groups {
+                if router.groups.contains_key(&gc.table) {
+                    return Err(format!(
+                        "table t{} appears in more than one shard checkpoint",
+                        gc.table
+                    ));
+                }
+                let (tuner, window) = gc.restore(&router.schema, &router.config)?;
+                router.groups.insert(gc.table, GroupState { tuner, window });
+            }
+        }
+        router.routed_lines = manifest.routed_lines;
+        router.next_generation = manifest.generation + 1;
+        Ok(router)
+    }
+
+    /// Number of shards the router fans out to.
+    pub fn shards(&self) -> u32 {
+        self.map.shards()
+    }
+
+    /// Number of table groups holding state.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Sealed epochs tuned across all groups (lifetime).
+    pub fn epochs_tuned(&self) -> u64 {
+        self.groups.values().map(|g| g.tuner.epoch()).sum()
+    }
+
+    fn parallelism(&self) -> Parallelism {
+        match self.config.threads {
+            0 => Parallelism::available(),
+            n => Parallelism::new(n),
+        }
+    }
+
+    /// Run the router over a line-based input until EOF or a `shutdown`
+    /// control, then drain every shard, commit a final checkpoint
+    /// generation (if `checkpoint` is set), merge the per-group
+    /// selections under the global budget, and report.
+    ///
+    /// `sinks` carries one trace sink per shard (or is empty for no
+    /// tracing); each worker's run events are stamped with its shard id
+    /// via [`ShardTagSink`], so every per-shard trace file is an
+    /// internally consistent run stream.
+    pub fn run_reader<R: BufRead + Send>(
+        &mut self,
+        input: R,
+        policy: OverloadPolicy,
+        checkpoint: Option<&Path>,
+        sinks: &[&dyn TraceSink],
+    ) -> Result<ServiceReport, String> {
+        let shards = self.map.shards() as usize;
+        if !sinks.is_empty() && sinks.len() != shards {
+            return Err(format!(
+                "got {} trace sinks for {shards} shards (pass one per shard or none)",
+                sinks.len()
+            ));
+        }
+        let board = StatusBoard::new(self.map.shards());
+        board.ingested.store(self.base_ingested, Ordering::Relaxed);
+        board.invalid.store(self.base_invalid, Ordering::Relaxed);
+        let queues: Vec<BoundedQueue<ShardItem>> = (0..shards)
+            .map(|_| BoundedQueue::new(self.config.queue_capacity))
+            .collect();
+        let committer = checkpoint.map(|p| Committer::new(p, self.map.shards(), &board));
+
+        // Pack the groups onto shards under the current map.
+        let mut per_shard: Vec<BTreeMap<u16, GroupState>> =
+            (0..shards).map(|_| BTreeMap::new()).collect();
+        for (t, g) in std::mem::take(&mut self.groups) {
+            per_shard[self.map.shard_of(t) as usize].insert(t, g);
+        }
+
+        let par = self.parallelism();
+        // Periodic barrier cadence in routed lines; 0 disables it.
+        let barrier_every = self
+            .config
+            .checkpoint_every_epochs
+            .saturating_mul(self.config.epoch_events);
+        let mut routed = self.routed_lines;
+        let mut next_gen = self.next_generation;
+        let base_dropped = self.base_dropped;
+
+        let result: Result<(Vec<WorkerOut>, u64, u64), String> = std::thread::scope(|s| {
+            let queues_ref = &queues;
+            let board_ref = &board;
+            let map_ref = &self.map;
+            let schema_ref = &self.schema;
+            let config_ref = &self.config;
+            let committer_ref = committer.as_ref();
+
+            let router_thread = s.spawn(move || {
+                let status = |line: &str| eprintln!("{line}");
+                let dropped = || {
+                    base_dropped + queues_ref.iter().map(BoundedQueue::dropped).sum::<u64>()
+                };
+                let push = |shard: u32, item: ShardItem| match policy {
+                    OverloadPolicy::Block => {
+                        queues_ref[shard as usize].push_blocking(item);
+                    }
+                    OverloadPolicy::DropOldest => {
+                        queues_ref[shard as usize].push_drop_oldest(item);
+                    }
+                };
+                // Barriers are injected with blocking pushes at every
+                // policy: a barrier must reach each queue (events behind
+                // it may still evict under drop-oldest, and the committer
+                // tolerates generations that never complete).
+                let barrier = |gen: u64, routed: u64| {
+                    if let Some(c) = committer_ref {
+                        c.open(gen, routed);
+                        for q in queues_ref {
+                            q.push_blocking(ShardItem::Barrier(gen));
+                        }
+                    }
+                };
+                for line in input.lines() {
+                    let Ok(line) = line else { break };
+                    if take_status_signal() {
+                        status(&board_ref.line(dropped()));
+                    }
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    let mut did_route = false;
+                    match classify_line(trimmed) {
+                        LineClass::Table(t) => {
+                            push(map_ref.shard_of(t), ShardItem::Line(trimmed.to_owned()));
+                            did_route = true;
+                        }
+                        LineClass::Control => match parse_line(trimmed, schema_ref) {
+                            Ok(InputLine::Control(Control::Shutdown)) => break,
+                            Ok(InputLine::Control(Control::Checkpoint)) => {
+                                if committer_ref.is_some() {
+                                    barrier(next_gen, routed);
+                                    next_gen += 1;
+                                }
+                            }
+                            Ok(InputLine::Control(Control::Status)) => {
+                                status(&board_ref.line(dropped()));
+                            }
+                            // A malformed control line is counted as
+                            // invalid by a worker at its stream position
+                            // (deterministic), not by the router.
+                            Ok(InputLine::Query(_)) | Err(_) => {
+                                push(map_ref.opaque_shard(), ShardItem::Line(trimmed.to_owned()));
+                                did_route = true;
+                            }
+                        },
+                        LineClass::Opaque => {
+                            push(map_ref.opaque_shard(), ShardItem::Line(trimmed.to_owned()));
+                            did_route = true;
+                        }
+                    }
+                    if did_route {
+                        routed += 1;
+                        if barrier_every > 0 && routed.is_multiple_of(barrier_every) {
+                            barrier(next_gen, routed);
+                            next_gen += 1;
+                        }
+                    }
+                }
+                // Final generation: every run with checkpointing ends on
+                // a complete committed generation.
+                barrier(next_gen, routed);
+                next_gen += 1;
+                for q in queues_ref {
+                    q.close();
+                }
+                (routed, next_gen)
+            });
+
+            let workers: Vec<_> = per_shard
+                .into_iter()
+                .enumerate()
+                .map(|(k, groups)| {
+                    let queue = &queues_ref[k];
+                    let sink = if sinks.is_empty() { None } else { Some(sinks[k]) };
+                    let ctx = WorkerCtx {
+                        shard: k as u32,
+                        schema: schema_ref,
+                        config: config_ref,
+                        par,
+                        board: board_ref,
+                        committer: committer_ref,
+                        checkpoint,
+                        base_ingested: if k == 0 { self.base_ingested } else { 0 },
+                        base_invalid: if k == 0 { self.base_invalid } else { 0 },
+                        base_dropped: if k == 0 { base_dropped } else { 0 },
+                        sink,
+                    };
+                    s.spawn(move || shard_worker(ctx, groups, queue))
+                })
+                .collect();
+
+            let mut outs = Vec::new();
+            let mut first_err: Option<String> = None;
+            for handle in workers {
+                match handle.join() {
+                    Ok(Ok(out)) => outs.push(out),
+                    Ok(Err(e)) => {
+                        first_err.get_or_insert(e);
+                    }
+                    Err(_) => {
+                        first_err.get_or_insert("a shard worker panicked".into());
+                    }
+                }
+            }
+            let (routed, next_gen) = router_thread
+                .join()
+                .map_err(|_| "the router thread panicked".to_owned())?;
+            match first_err {
+                Some(e) => Err(e),
+                None => Ok((outs, routed, next_gen)),
+            }
+        });
+        let (outs, routed, next_gen) = result?;
+        self.routed_lines = routed;
+        self.next_generation = next_gen;
+
+        let mut epochs = Vec::new();
+        let mut ingested = self.base_ingested;
+        let mut invalid = self.base_invalid;
+        for out in outs {
+            epochs.extend(out.outcomes);
+            ingested += out.ingested;
+            invalid += out.invalid;
+            for (t, g) in out.groups {
+                self.groups.insert(t, g);
+            }
+        }
+        // Canonical order: by (table, epoch). Shard packing decides only
+        // *where* an epoch was tuned, never its outcome, so this order —
+        // and every outcome in it — is shard-count-invariant.
+        epochs.sort_by_key(|o| (o.table.map_or(u16::MAX, |t| t.0), o.epoch));
+
+        Ok(ServiceReport {
+            epochs,
+            ingested,
+            invalid,
+            dropped: base_dropped + queues.iter().map(BoundedQueue::dropped).sum::<u64>(),
+            queue_high_water: queues.iter().map(BoundedQueue::high_water).max().unwrap_or(0),
+            checkpoints_written: committer.as_ref().map_or(0, Committer::commits),
+            final_selection: self.merged_selection(par),
+        })
+    }
+
+    /// Union the per-group selections under the global memory budget:
+    /// re-run each group's final snapshot from scratch at the global
+    /// budget, split the budget across groups with the
+    /// [`merge_frontiers`] knapsack over the per-group frontiers, and
+    /// materialize each group's selection at its allocated share.
+    fn merged_selection(&self, par: Parallelism) -> Selection {
+        let snaps: Vec<Workload> = self
+            .groups
+            .values()
+            .filter(|g| g.tuner.epoch() > 0)
+            .filter_map(|g| g.window.snapshot())
+            .collect();
+        if snaps.is_empty() {
+            return Selection::empty();
+        }
+        let ests: Vec<CachingWhatIf<AnalyticalWhatIf<'_>>> = snaps
+            .iter()
+            .map(|w| CachingWhatIf::new(AnalyticalWhatIf::new(w)))
+            .collect();
+        // The budget is schema-derived, so any group's estimator yields
+        // the same global figure.
+        let global = budget::relative_budget(&ests[0], self.config.budget_share);
+        let runs: Vec<RunResult> = ests
+            .iter()
+            .map(|est| {
+                let mut options = Options::new(global);
+                options.parallelism = par;
+                algorithm1::run_traced(est, &options, Trace::disabled())
+            })
+            .collect();
+        let parts: Vec<(f64, &Frontier)> =
+            runs.iter().map(|r| (r.initial_cost, &r.frontier)).collect();
+        let merge = merge_frontiers(&parts, global);
+        let mut union = Vec::new();
+        for (run, &alloc) in runs.iter().zip(&merge.allocations) {
+            union.extend(
+                algorithm1::selection_at(&run.steps, alloc)
+                    .indexes()
+                    .iter()
+                    .cloned(),
+            );
+        }
+        Selection::from_indexes(union)
+    }
+}
+
+/// One shard's consume loop: parse, aggregate per table group, tune on
+/// sealed epochs, serialize shard checkpoints at barriers.
+fn shard_worker(
+    ctx: WorkerCtx<'_>,
+    mut groups: BTreeMap<u16, GroupState>,
+    queue: &BoundedQueue<ShardItem>,
+) -> Result<WorkerOut, String> {
+    let tag_sink = ctx.sink.map(|s| ShardTagSink::new(ctx.shard, s));
+    let trace = match &tag_sink {
+        Some(t) => Trace::to(t),
+        None => Trace::disabled(),
+    };
+    let mut outcomes = Vec::new();
+    let mut ingested = 0u64;
+    let mut invalid = 0u64;
+    let mut failure: Option<String> = None;
+    while let Some(item) = queue.pop() {
+        match item {
+            ShardItem::Line(line) => match parse_line(&line, ctx.schema) {
+                Ok(InputLine::Query(q)) => {
+                    ingested += 1;
+                    ctx.board.ingested.fetch_add(1, Ordering::Relaxed);
+                    let table = q.table();
+                    let group = groups
+                        .entry(table.0)
+                        .or_insert_with(|| GroupState::fresh(ctx.schema, ctx.config, table));
+                    if group.window.push(&q) {
+                        let snap = group
+                            .window
+                            .snapshot()
+                            .expect("snapshot exists after an epoch seals");
+                        let mut out = group.tuner.tune(&snap, ctx.par, trace);
+                        out.shard = Some(ctx.shard);
+                        outcomes.push(out);
+                        ctx.board.epochs.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                // A line carrying both a top-level "table" and "control"
+                // key routes as a table line but parses as a control; the
+                // router-level command was never seen by the router, so
+                // it is dropped here rather than half-applied.
+                Ok(InputLine::Control(_)) => {}
+                Err(_) => {
+                    invalid += 1;
+                    ctx.board.invalid.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            ShardItem::Barrier(generation) => {
+                if failure.is_some() {
+                    continue; // keep draining; the run already failed
+                }
+                let (Some(path), Some(committer)) = (ctx.checkpoint, ctx.committer) else {
+                    continue;
+                };
+                let cp = ShardCheckpoint {
+                    version: CHECKPOINT_VERSION,
+                    config: ctx.config.clone(),
+                    shard: ctx.shard,
+                    generation,
+                    ingested: ctx.base_ingested + ingested,
+                    invalid: ctx.base_invalid + invalid,
+                    dropped: ctx.base_dropped + queue.dropped(),
+                    groups: groups
+                        .values_mut()
+                        .map(|g| GroupCheckpoint::capture(&mut g.tuner, &g.window))
+                        .collect(),
+                };
+                let file = shard_file(path, ctx.shard, generation);
+                match cp.save(&file).and_then(|()| committer.done(ctx.shard, generation, file)) {
+                    Ok(()) => {}
+                    Err(e) => failure = Some(e),
+                }
+            }
+        }
+    }
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(WorkerOut { outcomes, groups, ingested, invalid }),
+    }
+}
+
+/// Per-table-group epoch snapshots of a recorded log — the pure
+/// single-threaded reference the sharded replay is checked against.
+/// Each valid event feeds its table's own window; invalid lines are
+/// skipped, `shutdown` stops, other controls are no-ops.
+pub fn offline_group_snapshots<R: BufRead>(
+    input: R,
+    schema: &Schema,
+    config: &ServiceConfig,
+) -> Result<BTreeMap<u16, Vec<Workload>>, String> {
+    config.validate()?;
+    let mut windows: BTreeMap<u16, EpochWindow> = BTreeMap::new();
+    let mut out: BTreeMap<u16, Vec<Workload>> = BTreeMap::new();
+    for line in input.lines() {
+        let line = line.map_err(|e| format!("read log: {e}"))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match parse_line(trimmed, schema) {
+            Ok(InputLine::Query(q)) => {
+                let t = q.table().0;
+                let window = windows.entry(t).or_insert_with(|| {
+                    EpochWindow::new(
+                        schema.clone(),
+                        config.epoch_events,
+                        config.window_epochs,
+                        config.max_templates,
+                    )
+                });
+                if window.push(&q) {
+                    out.entry(t)
+                        .or_default()
+                        .push(window.snapshot().expect("sealed window has a snapshot"));
+                }
+            }
+            Ok(InputLine::Control(Control::Shutdown)) => break,
+            Ok(InputLine::Control(_)) | Err(_) => {}
+        }
+    }
+    Ok(out)
+}
+
+/// Offline reference loop for sharded replay: per table group,
+/// `dynamic::adapt` over the group's snapshots at the table's share of
+/// the budget — exactly what a group tuner computes under
+/// [`crate::DriftThresholds::always_adapt`].
+pub fn offline_group_adapt(
+    snapshots: &BTreeMap<u16, Vec<Workload>>,
+    config: &ServiceConfig,
+) -> BTreeMap<u16, Vec<Selection>> {
+    use isel_costmodel::WhatIfOptimizer;
+    snapshots
+        .iter()
+        .filter(|(_, snaps)| !snaps.is_empty())
+        .map(|(&t, snaps)| {
+            let ests: Vec<CachingWhatIf<AnalyticalWhatIf<'_>>> = snaps
+                .iter()
+                .map(|w| CachingWhatIf::new(AnalyticalWhatIf::new(w)))
+                .collect();
+            let refs: Vec<&dyn WhatIfOptimizer> =
+                ests.iter().map(|e| e as &dyn WhatIfOptimizer).collect();
+            let a = budget::table_relative_budget(&ests[0], config.budget_share, TableId(t));
+            let selections = isel_core::dynamic::adapt(&refs, a, config.transition)
+                .epochs
+                .into_iter()
+                .map(|e| e.selection)
+                .collect();
+            (t, selections)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DriftThresholds;
+    use isel_workload::synthetic::{self, SyntheticConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::io::Cursor;
+
+    fn workload() -> Workload {
+        synthetic::generate(&SyntheticConfig {
+            tables: 3,
+            attrs_per_table: 8,
+            queries_per_table: 10,
+            rows_base: 40_000,
+            max_query_width: 3,
+            update_fraction: 0.1,
+            seed: 77,
+        })
+    }
+
+    fn config(shards: u32) -> ServiceConfig {
+        ServiceConfig {
+            epoch_events: 8,
+            window_epochs: 2,
+            max_templates: 64,
+            drift: DriftThresholds::always_adapt(),
+            shards,
+            ..ServiceConfig::default()
+        }
+    }
+
+    fn sample_log(w: &Workload, n: usize, seed: u64) -> String {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let total = w.total_frequency();
+        let mut out = String::new();
+        for _ in 0..n {
+            let mut pick = rng.gen_range(0..total);
+            let q = w
+                .queries()
+                .iter()
+                .find(|q| {
+                    if pick < q.frequency() {
+                        true
+                    } else {
+                        pick -= q.frequency();
+                        false
+                    }
+                })
+                .expect("pick < total");
+            let attrs: Vec<String> = q.attrs().iter().map(|a| a.0.to_string()).collect();
+            let kind = if q.is_update() { r#","kind":"Update""# } else { "" };
+            out.push_str(&format!(
+                "{{\"table\":{},\"attrs\":[{}]{kind}}}\n",
+                q.table().0,
+                attrs.join(",")
+            ));
+        }
+        out
+    }
+
+    fn replay(w: &Workload, log: &str, shards: u32) -> ServiceReport {
+        let mut router = Router::new(w.schema().clone(), config(shards)).unwrap();
+        router
+            .run_reader(Cursor::new(log.to_owned()), OverloadPolicy::Block, None, &[])
+            .unwrap()
+    }
+
+    #[test]
+    fn sharded_replay_matches_the_offline_group_reference() {
+        let w = workload();
+        let log = sample_log(&w, 96, 3);
+        let report = replay(&w, &log, 2);
+        assert_eq!(report.ingested, 96);
+        assert_eq!(report.invalid, 0);
+        assert!(!report.epochs.is_empty());
+
+        let cfg = config(2);
+        let snaps = offline_group_snapshots(Cursor::new(log), w.schema(), &cfg).unwrap();
+        let offline = offline_group_adapt(&snaps, &cfg);
+        let total: usize = offline.values().map(Vec::len).sum();
+        assert_eq!(report.epochs.len(), total);
+        for out in &report.epochs {
+            let t = out.table.expect("router epochs are table-scoped").0;
+            let want = &offline[&t][out.epoch as usize];
+            assert_eq!(&out.selection, want, "table t{t} epoch {}", out.epoch);
+        }
+    }
+
+    #[test]
+    fn shard_count_does_not_change_outcomes() {
+        let w = workload();
+        let log = sample_log(&w, 96, 9);
+        let one = replay(&w, &log, 1);
+        let four = replay(&w, &log, 4);
+        assert_eq!(one.epochs.len(), four.epochs.len());
+        for (a, b) in one.epochs.iter().zip(&four.epochs) {
+            assert_eq!(a.table, b.table);
+            assert_eq!(a.epoch, b.epoch);
+            assert_eq!(a.selection, b.selection);
+            assert_eq!(a.workload_cost.to_bits(), b.workload_cost.to_bits());
+            assert_eq!(a.reconfig_paid.to_bits(), b.reconfig_paid.to_bits());
+        }
+        assert_eq!(one.final_selection, four.final_selection);
+    }
+
+    #[test]
+    fn invalid_and_unknown_table_lines_are_counted_once() {
+        let w = workload();
+        let mut log = sample_log(&w, 8, 1);
+        log.push_str("garbage\n");
+        log.push_str("{\"table\":999,\"attrs\":[0]}\n"); // unknown: rendezvous-routed
+        log.push_str("{\"control\":\"reboot\"}\n"); // bad control: opaque-routed
+        let report = replay(&w, &log, 3);
+        assert_eq!(report.ingested, 8);
+        assert_eq!(report.invalid, 3);
+    }
+
+    #[test]
+    fn shutdown_stops_routing() {
+        let w = workload();
+        let mut log = sample_log(&w, 4, 2);
+        log.push_str("{\"control\":\"shutdown\"}\n");
+        log.push_str(&sample_log(&w, 4, 5));
+        let report = replay(&w, &log, 2);
+        assert_eq!(report.ingested, 4, "events after shutdown are not read");
+    }
+
+    #[test]
+    fn checkpoint_manifest_commits_and_resumes_at_any_shard_count() {
+        let w = workload();
+        let log = sample_log(&w, 96, 11);
+        let dir = std::env::temp_dir().join(format!("isel-router-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("checkpoint.json");
+
+        let full = replay(&w, &log, 2);
+
+        // First half under 2 shards, checkpointed.
+        let lines: Vec<&str> = log.lines().collect();
+        let first: String = lines[..48].join("\n") + "\n";
+        let second: String = lines[48..].join("\n") + "\n";
+        let mut router = Router::new(w.schema().clone(), config(2)).unwrap();
+        router
+            .run_reader(Cursor::new(first), OverloadPolicy::Block, Some(&manifest), &[])
+            .unwrap();
+        assert!(manifest.exists());
+
+        // Second half resumed under 3 shards from the manifest.
+        let mut resumed = Router::resume(w.schema().clone(), config(3), &manifest).unwrap();
+        let report = resumed
+            .run_reader(Cursor::new(second), OverloadPolicy::Block, Some(&manifest), &[])
+            .unwrap();
+        assert_eq!(report.ingested, 96, "lifetime counters survive the resume");
+
+        // The resumed run's epochs continue the uninterrupted sequence.
+        let tail: Vec<_> = full
+            .epochs
+            .iter()
+            .filter(|o| {
+                report
+                    .epochs
+                    .iter()
+                    .any(|r| r.table == o.table && r.epoch == o.epoch)
+            })
+            .collect();
+        assert_eq!(tail.len(), report.epochs.len());
+        for (got, want) in report.epochs.iter().zip(tail) {
+            assert_eq!(got.selection, want.selection, "t{:?} epoch {}", got.table, got.epoch);
+            assert_eq!(got.workload_cost.to_bits(), want.workload_cost.to_bits());
+        }
+        assert_eq!(report.final_selection, full.final_selection);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merged_selection_respects_the_global_budget() {
+        let w = workload();
+        let log = sample_log(&w, 96, 13);
+        let report = replay(&w, &log, 3);
+        assert!(!report.final_selection.is_empty());
+        // Recompute the global budget and check the union's memory.
+        let cfg = config(3);
+        let snaps = offline_group_snapshots(
+            Cursor::new(log),
+            w.schema(),
+            &cfg,
+        )
+        .unwrap();
+        let any = snaps.values().next().unwrap().last().unwrap();
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(any));
+        let global = budget::relative_budget(&est, cfg.budget_share);
+        use isel_costmodel::WhatIfOptimizer;
+        let memory: u64 = report
+            .final_selection
+            .indexes()
+            .iter()
+            .map(|k| est.index_memory_of(k))
+            .sum();
+        assert!(
+            memory <= global,
+            "merged selection uses {memory} B of a {global} B budget"
+        );
+    }
+}

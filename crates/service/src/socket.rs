@@ -8,26 +8,59 @@
 //! on *any* connection stops the accept loop, closes the queue, and the
 //! daemon drains and checkpoints as usual.
 //!
+//! # Deterministic cross-client order
+//!
 //! Event order across concurrent connections is arrival order, which is
-//! inherently racy — deterministic replay is the job of
-//! [`crate::Daemon::run_reader`] over a recorded log, not of the live
-//! socket path.
+//! inherently racy. To make a live run *auditable*, every accepted
+//! connection is assigned a monotone connection id and each of its
+//! lines a per-connection sequence number. When a journal path is
+//! given, every line is rewritten as
+//! `{"conn":C,"seq":S,...original fields...}` and appended to the
+//! journal *in the exact order the daemon consumed it* — the journal
+//! lock is held across both the journal write and the queue push, so
+//! journal order is queue order. Replaying the journal through
+//! [`crate::Daemon::run_reader`] (or the sharded
+//! [`crate::Router`](crate::router::Router)) reproduces the live run
+//! bit-for-bit: the event parser ignores the `conn`/`seq` fields, so
+//! the journal parses exactly like the original stream.
+//!
+//! A `{"control":"status"}` line is answered out of band: the daemon
+//! writes one JSON status line back on the same connection without
+//! queuing anything.
 
-use crate::daemon::{ingest_one, Daemon, OverloadPolicy, ServiceReport, WorkItem};
+use crate::daemon::{ingest_one, Daemon, Ingest, OverloadPolicy, ServiceReport, WorkItem};
 use crate::queue::BoundedQueue;
+use crate::status::{take_status_signal, StatusBoard};
 use isel_core::Trace;
-use std::io::{BufRead, BufReader};
+use isel_workload::Schema;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Accept-loop poll interval while waiting for connections.
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
 
+/// Shared state handed to every connection handler.
+struct ConnCtx<'a> {
+    schema: &'a Schema,
+    queue: &'a BoundedQueue<WorkItem>,
+    stop: &'a AtomicBool,
+    board: &'a StatusBoard,
+    journal: Option<&'a Mutex<BufWriter<File>>>,
+    base_dropped: u64,
+}
+
 /// Serve `daemon` on a Unix-domain socket at `path` until a `shutdown`
 /// control arrives, then drain, checkpoint and report. A stale socket
 /// file at `path` is replaced.
+///
+/// When `journal` is given, every accepted line is appended there
+/// tagged with its connection id and per-connection sequence number, in
+/// consumption order (see the module docs for the replay contract).
 ///
 /// Connection handlers read until their peer disconnects, so the final
 /// drain completes once every client has hung up — clients should close
@@ -36,6 +69,7 @@ pub fn run_socket(
     daemon: &mut Daemon,
     path: &Path,
     checkpoint: Option<&Path>,
+    journal: Option<&Path>,
     trace: Trace<'_>,
 ) -> Result<ServiceReport, String> {
     if path.exists() {
@@ -47,67 +81,135 @@ pub fn run_socket(
         .set_nonblocking(true)
         .map_err(|e| format!("set_nonblocking: {e}"))?;
 
+    let journal = match journal {
+        Some(p) => {
+            let f = File::create(p).map_err(|e| format!("create {}: {e}", p.display()))?;
+            Some(Mutex::new(BufWriter::new(f)))
+        }
+        None => None,
+    };
     let queue = BoundedQueue::new(daemon.config().queue_capacity);
-    let ingested = AtomicU64::new(0);
-    let invalid = AtomicU64::new(0);
+    let board = daemon.status_board();
     let stop = AtomicBool::new(false);
     let schema = daemon.schema().clone();
+    let base_dropped = daemon.base_dropped();
+    let ctx = ConnCtx {
+        schema: &schema,
+        queue: &queue,
+        stop: &stop,
+        board: &board,
+        journal: journal.as_ref(),
+        base_dropped,
+    };
 
     let result = std::thread::scope(|s| {
-        let queue_ref = &queue;
-        let stop_ref = &stop;
-        let schema_ref = &schema;
-        let ingested_ref = &ingested;
-        let invalid_ref = &invalid;
+        let ctx_ref = &ctx;
         s.spawn(move || {
-            while !stop_ref.load(Ordering::Relaxed) {
+            let conn_ids = AtomicU64::new(0);
+            while !ctx_ref.stop.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _)) => {
-                        s.spawn(move || {
-                            serve_connection(
-                                stream, schema_ref, queue_ref, stop_ref, ingested_ref,
-                                invalid_ref,
-                            );
-                        });
+                        let conn = conn_ids.fetch_add(1, Ordering::Relaxed) + 1;
+                        s.spawn(move || serve_connection(ctx_ref, stream, conn));
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        if take_status_signal() {
+                            eprintln!(
+                                "{}",
+                                ctx_ref
+                                    .board
+                                    .line(ctx_ref.base_dropped + ctx_ref.queue.dropped())
+                            );
+                        }
                         std::thread::sleep(ACCEPT_POLL);
                     }
                     Err(_) => break,
                 }
             }
-            queue_ref.close();
+            ctx_ref.queue.close();
         });
-        daemon.consume(&queue, &ingested, &invalid, checkpoint, trace)
+        daemon.consume(&queue, &board, checkpoint, trace)
     });
+    if let Some(j) = &journal {
+        if let Ok(mut g) = j.lock() {
+            g.flush().map_err(|e| format!("flush journal: {e}"))?;
+        }
+    }
     std::fs::remove_file(path).ok();
     let (outcomes, written) = result?;
-    Ok(daemon.report(outcomes, &queue, &ingested, &invalid, written))
+    Ok(daemon.report(outcomes, &queue, &board, written))
 }
 
 /// Per-connection reader: ingest lines with the drop-oldest policy until
-/// the peer disconnects or a shutdown control arrives.
-fn serve_connection(
-    stream: UnixStream,
-    schema: &isel_workload::Schema,
-    queue: &BoundedQueue<WorkItem>,
-    stop: &AtomicBool,
-    ingested: &AtomicU64,
-    invalid: &AtomicU64,
-) {
+/// the peer disconnects or a shutdown control arrives. `conn` is the
+/// monotone connection id used for journal tagging.
+fn serve_connection(ctx: &ConnCtx<'_>, stream: UnixStream, conn: u64) {
+    let mut writer = stream.try_clone().ok();
     let reader = BufReader::new(stream);
+    let mut seq = 0u64;
     for line in reader.lines() {
         let Ok(line) = line else { break };
-        if stop.load(Ordering::Relaxed) {
+        if ctx.stop.load(Ordering::Relaxed) {
             break;
         }
-        if !ingest_one(&line, schema, queue, OverloadPolicy::DropOldest, ingested, invalid) {
-            // Shutdown control: stop accepting and let the daemon drain.
-            stop.store(true, Ordering::Relaxed);
-            queue.close();
-            break;
+        seq += 1;
+        let verdict = match ctx.journal {
+            Some(j) => {
+                // Hold the lock across journal-write AND queue-push so the
+                // journal records the exact order events entered the queue.
+                let mut g = match j.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                write_journal_line(&mut g, conn, seq, &line);
+                ingest_one(&line, ctx.schema, ctx.queue, OverloadPolicy::DropOldest, ctx.board)
+            }
+            None => {
+                ingest_one(&line, ctx.schema, ctx.queue, OverloadPolicy::DropOldest, ctx.board)
+            }
+        };
+        match verdict {
+            Ingest::Continue => {}
+            Ingest::Status => {
+                if let Some(w) = writer.as_mut() {
+                    let _ = writeln!(
+                        w,
+                        "{}",
+                        ctx.board.line(ctx.base_dropped + ctx.queue.dropped())
+                    );
+                }
+            }
+            Ingest::Shutdown => {
+                // Shutdown control: stop accepting and let the daemon drain.
+                ctx.stop.store(true, Ordering::Relaxed);
+                ctx.queue.close();
+                break;
+            }
         }
     }
+}
+
+/// Append one journal line tagged `{"conn":C,"seq":S,...}`. JSON object
+/// lines get the tags spliced in after the opening brace so the original
+/// fields survive verbatim; non-JSON lines (which the parser counts as
+/// invalid on replay, exactly as it did live) are written unchanged.
+fn write_journal_line(out: &mut BufWriter<File>, conn: u64, seq: u64, line: &str) {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return;
+    }
+    let tagged = match trimmed.strip_prefix('{') {
+        Some(rest) => {
+            let rest = rest.trim_start();
+            if rest == "}" {
+                format!("{{\"conn\":{conn},\"seq\":{seq}}}")
+            } else {
+                format!("{{\"conn\":{conn},\"seq\":{seq},{rest}")
+            }
+        }
+        None => trimmed.to_string(),
+    };
+    let _ = writeln!(out, "{tagged}");
 }
 
 #[cfg(test)]
@@ -115,10 +217,9 @@ mod tests {
     use super::*;
     use crate::config::{DriftThresholds, ServiceConfig};
     use isel_workload::synthetic::{self, SyntheticConfig};
-    use std::io::Write;
+    use std::io::Read;
 
-    #[test]
-    fn socket_round_trip_with_shutdown() {
+    fn test_setup() -> (isel_workload::Workload, ServiceConfig, std::path::PathBuf) {
         let w = synthetic::generate(&SyntheticConfig {
             tables: 1,
             attrs_per_table: 8,
@@ -137,19 +238,29 @@ mod tests {
         };
         let dir = std::env::temp_dir().join("isel-service-socket-test");
         std::fs::create_dir_all(&dir).unwrap();
-        let sock = dir.join(format!("isel-{}.sock", std::process::id()));
+        (w, cfg, dir)
+    }
 
-        let mut daemon = Daemon::new(w.schema().clone(), cfg).unwrap();
-        let events: Vec<String> = w.queries()[..8]
+    fn event_lines(w: &isel_workload::Workload, n: usize) -> Vec<String> {
+        w.queries()[..n]
             .iter()
             .map(|q| {
                 let attrs: Vec<String> = q.attrs().iter().map(|a| a.0.to_string()).collect();
                 format!("{{\"table\":{},\"attrs\":[{}]}}", q.table().0, attrs.join(","))
             })
-            .collect();
+            .collect()
+    }
+
+    #[test]
+    fn socket_round_trip_with_shutdown() {
+        let (w, cfg, dir) = test_setup();
+        let sock = dir.join(format!("isel-{}.sock", std::process::id()));
+        let mut daemon = Daemon::new(w.schema().clone(), cfg).unwrap();
+        let events = event_lines(&w, 8);
 
         let report = std::thread::scope(|s| {
             let sock_path = sock.clone();
+            let events = &events;
             s.spawn(move || {
                 // Wait for the listener to come up, then stream events.
                 let mut stream = loop {
@@ -158,16 +269,91 @@ mod tests {
                         Err(_) => std::thread::sleep(Duration::from_millis(10)),
                     }
                 };
-                for e in &events {
+                for e in events {
                     writeln!(stream, "{e}").unwrap();
                 }
                 stream.write_all(b"{\"control\":\"shutdown\"}\n").unwrap();
             });
-            run_socket(&mut daemon, &sock, None, Trace::disabled()).unwrap()
+            run_socket(&mut daemon, &sock, None, None, Trace::disabled()).unwrap()
         });
         assert_eq!(report.ingested, 8);
         assert_eq!(report.epochs.len(), 1, "8 events seal one epoch");
         assert!(!report.final_selection.is_empty());
         assert!(!sock.exists(), "socket file cleaned up");
+    }
+
+    #[test]
+    fn journal_records_arrival_order_and_status_replies() {
+        let (w, cfg, dir) = test_setup();
+        let sock = dir.join(format!("isel-journal-{}.sock", std::process::id()));
+        let journal = dir.join(format!("isel-journal-{}.jsonl", std::process::id()));
+        let mut daemon = Daemon::new(w.schema().clone(), cfg.clone()).unwrap();
+        let events = event_lines(&w, 8);
+
+        let report = std::thread::scope(|s| {
+            let sock_path = sock.clone();
+            let events = &events;
+            s.spawn(move || {
+                let mut stream = loop {
+                    match UnixStream::connect(&sock_path) {
+                        Ok(s) => break s,
+                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                };
+                for e in events {
+                    writeln!(stream, "{e}").unwrap();
+                }
+                stream.write_all(b"{\"control\":\"status\"}\n").unwrap();
+                // The status reply comes back on this connection as one
+                // JSON line before anything else is written to it.
+                let mut reply = Vec::new();
+                let mut byte = [0u8; 1];
+                loop {
+                    stream.read_exact(&mut byte).unwrap();
+                    if byte[0] == b'\n' {
+                        break;
+                    }
+                    reply.push(byte[0]);
+                }
+                let reply = String::from_utf8(reply).unwrap();
+                assert!(reply.contains("\"ingested\":8"), "status reply: {reply}");
+                stream.write_all(b"{\"control\":\"shutdown\"}\n").unwrap();
+            });
+            run_socket(&mut daemon, &sock, None, Some(&journal), Trace::disabled()).unwrap()
+        });
+        assert_eq!(report.ingested, 8);
+
+        // Journal lines carry conn/seq tags in increasing per-connection
+        // order, and the control lines are journaled too.
+        let text = std::fs::read_to_string(&journal).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 10, "8 events + status + shutdown journaled");
+        let mut last_seq = 0u64;
+        for l in &lines {
+            let v: serde_json::Value = serde_json::from_str(l).unwrap();
+            assert_eq!(v.get("conn").and_then(|c| c.as_u64()), Some(1));
+            let seq = v.get("seq").and_then(|s| s.as_u64()).unwrap();
+            assert!(seq > last_seq, "sequence numbers strictly increase");
+            last_seq = seq;
+        }
+
+        // Replaying the journal through the deterministic reader
+        // reproduces the live outcome: RawLine ignores conn/seq.
+        let mut replay = Daemon::new(w.schema().clone(), cfg).unwrap();
+        let rep = replay
+            .run_reader(
+                std::io::Cursor::new(text),
+                OverloadPolicy::Block,
+                None,
+                Trace::disabled(),
+            )
+            .unwrap();
+        assert_eq!(rep.ingested, report.ingested);
+        assert_eq!(rep.epochs.len(), report.epochs.len());
+        assert_eq!(
+            rep.final_selection.indexes(),
+            report.final_selection.indexes()
+        );
+        std::fs::remove_file(&journal).ok();
     }
 }

@@ -1,0 +1,136 @@
+//! Live service status: shared counters plus a single-JSON-line
+//! rendering for scraping.
+//!
+//! A [`StatusBoard`] is a set of relaxed atomics the ingestion and
+//! tuning paths bump as they go; [`StatusBoard::line`] renders the
+//! aggregated [`crate::ServiceReport`]-style counters as one JSON
+//! object. Two triggers emit the line while the service runs:
+//!
+//! * `SIGUSR1` — [`install_status_signal`] registers an
+//!   async-signal-safe handler that only sets a flag; the consume loops
+//!   poll [`take_status_signal`] and print the line to stderr,
+//! * a `{"control":"status"}` line — the socket path writes the line
+//!   back on the requesting connection; stdin paths print to stderr.
+//!
+//! Status is out of band by design: it is never queued with events and
+//! therefore cannot perturb replay determinism.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Shared live counters of one service run.
+#[derive(Debug, Default)]
+pub struct StatusBoard {
+    /// Valid query events ingested (this run).
+    pub ingested: AtomicU64,
+    /// Invalid lines skipped (this run).
+    pub invalid: AtomicU64,
+    /// Epochs sealed and tuned (this run).
+    pub epochs: AtomicU64,
+    /// Checkpoints committed (this run).
+    pub checkpoints: AtomicU64,
+    /// Number of shards serving (0 = unsharded daemon).
+    pub shards: u32,
+}
+
+impl StatusBoard {
+    /// Fresh board for an `shards`-way run (0 = unsharded).
+    pub fn new(shards: u32) -> Self {
+        Self { shards, ..Self::default() }
+    }
+
+    /// Render the aggregated counters as a single JSON status line.
+    /// `dropped` is passed in because queue eviction counts live in the
+    /// queues themselves.
+    pub fn line(&self, dropped: u64) -> String {
+        format!(
+            "{{\"status\":{{\"shards\":{},\"ingested\":{},\"invalid\":{},\"dropped\":{},\
+             \"epochs\":{},\"checkpoints\":{}}}}}",
+            self.shards,
+            self.ingested.load(Ordering::Relaxed),
+            self.invalid.load(Ordering::Relaxed),
+            dropped,
+            self.epochs.load(Ordering::Relaxed),
+            self.checkpoints.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Set by the `SIGUSR1` handler, consumed by [`take_status_signal`].
+static STATUS_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// `SIGUSR1` on Linux and most Unixes. Kept local instead of pulling in
+/// a libc dependency for one constant.
+#[cfg(unix)]
+const SIGUSR1: i32 = 10;
+
+#[cfg(unix)]
+extern "C" {
+    /// `signal(2)` from the platform libc (which std already links).
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+#[cfg(unix)]
+extern "C" fn on_sigusr1(_sig: i32) {
+    // Only async-signal-safe work here: set the flag, nothing else.
+    STATUS_REQUESTED.store(true, Ordering::Relaxed);
+}
+
+/// Install the `SIGUSR1` status handler (idempotent). On non-Unix
+/// targets this is a no-op and status lines are only reachable via the
+/// `{"control":"status"}` event.
+pub fn install_status_signal() {
+    #[cfg(unix)]
+    // SAFETY: `on_sigusr1` is an async-signal-safe extern "C" fn and
+    // `signal` is the C standard registration call.
+    unsafe {
+        signal(SIGUSR1, on_sigusr1 as extern "C" fn(i32) as usize);
+    }
+}
+
+/// Consume a pending `SIGUSR1` status request, if one arrived since the
+/// last call.
+pub fn take_status_signal() -> bool {
+    STATUS_REQUESTED.swap(false, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_is_valid_json_with_all_counters() {
+        let board = StatusBoard::new(4);
+        board.ingested.store(10, Ordering::Relaxed);
+        board.invalid.store(2, Ordering::Relaxed);
+        board.epochs.store(3, Ordering::Relaxed);
+        board.checkpoints.store(1, Ordering::Relaxed);
+        let line = board.line(7);
+        let v: serde_json::Value = serde_json::from_str(&line).unwrap();
+        let s = v.get("status").expect("status object");
+        let field = |key: &str| s.get(key).and_then(|f| f.as_u64());
+        assert_eq!(field("shards"), Some(4));
+        assert_eq!(field("ingested"), Some(10));
+        assert_eq!(field("invalid"), Some(2));
+        assert_eq!(field("dropped"), Some(7));
+        assert_eq!(field("epochs"), Some(3));
+        assert_eq!(field("checkpoints"), Some(1));
+        assert!(!line.contains('\n'), "one line, scrape-friendly");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn sigusr1_sets_and_take_clears_the_flag() {
+        install_status_signal();
+        assert!(!take_status_signal());
+        // SAFETY: raising a signal at our own process whose handler only
+        // sets an AtomicBool.
+        unsafe {
+            extern "C" {
+                fn raise(sig: i32) -> i32;
+            }
+            raise(SIGUSR1);
+        }
+        assert!(take_status_signal());
+        assert!(!take_status_signal(), "take consumes the request");
+    }
+}

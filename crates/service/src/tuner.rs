@@ -30,7 +30,7 @@ use isel_core::trace::{Trace, TraceEvent};
 use isel_core::{budget, Parallelism, Selection};
 use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
 use isel_workload::drift;
-use isel_workload::{IndexPool, Schema, Workload};
+use isel_workload::{IndexPool, Schema, TableId, Workload};
 
 /// Tuning policy chosen for one epoch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,6 +74,11 @@ pub struct EpochOutcome {
     pub reconfig_paid: f64,
     /// Memory budget `A(w)` the run was bounded by.
     pub budget: u64,
+    /// Table group the epoch belongs to (`None` for the unsharded
+    /// daemon, whose epochs span the whole schema).
+    pub table: Option<TableId>,
+    /// Shard the epoch was tuned on (`None` outside the sharded router).
+    pub shard: Option<u32>,
 }
 
 /// Stateful per-epoch tuner: current selection, drift baseline, and the
@@ -85,6 +90,10 @@ pub struct Tuner {
     selection: Selection,
     prev_snapshot: Option<Workload>,
     epoch: u64,
+    /// When set, budgets are computed over this table's attributes only
+    /// (the table-separable split of Eq. 10 a sharded group runs under);
+    /// `None` budgets over the full schema.
+    scope: Option<TableId>,
 }
 
 impl std::fmt::Debug for Tuner {
@@ -98,7 +107,8 @@ impl std::fmt::Debug for Tuner {
 }
 
 impl Tuner {
-    /// Fresh tuner with an empty selection.
+    /// Fresh tuner with an empty selection, budgeting over the full
+    /// schema.
     pub fn new(schema: &Schema, config: ServiceConfig) -> Self {
         Self {
             config,
@@ -106,7 +116,16 @@ impl Tuner {
             selection: Selection::empty(),
             prev_snapshot: None,
             epoch: 0,
+            scope: None,
         }
+    }
+
+    /// Fresh tuner for one table group: budgets use only `table`'s share
+    /// of the single-attribute memory, so per-group budgets sum to the
+    /// global one (the table-separable split the sharded router relies
+    /// on).
+    pub fn for_table(schema: &Schema, config: ServiceConfig, table: TableId) -> Self {
+        Self { scope: Some(table), ..Self::new(schema, config) }
     }
 
     /// Restore internal state from a checkpoint (see
@@ -117,8 +136,9 @@ impl Tuner {
         selection: Selection,
         prev_snapshot: Option<Workload>,
         epoch: u64,
+        scope: Option<TableId>,
     ) -> Self {
-        Self { config, pool, selection, prev_snapshot, epoch }
+        Self { config, pool, selection, prev_snapshot, epoch, scope }
     }
 
     /// Number of sealed epochs tuned so far.
@@ -141,6 +161,24 @@ impl Tuner {
         self.prev_snapshot.as_ref()
     }
 
+    /// Table group this tuner budgets over, if scoped.
+    pub fn scope(&self) -> Option<TableId> {
+        self.scope
+    }
+
+    /// Compact the interning pool down to the current selection (plus
+    /// prefix closure), returning how many dead entries were dropped.
+    ///
+    /// Tuning decisions never read old pool ids, so compaction at a
+    /// quiescent point (just before a checkpoint is captured) changes no
+    /// observable other than checkpoint size.
+    pub fn compact_pool(&mut self) -> usize {
+        let before = self.pool.len();
+        let live: Vec<_> = self.selection.indexes().iter().map(|k| self.pool.intern(k)).collect();
+        let remap = self.pool.compact(&live);
+        before - remap.retained()
+    }
+
     /// Tune one sealed epoch against its window `snapshot`.
     ///
     /// Emits the full Algorithm-1 event stream of any run it performs
@@ -148,7 +186,10 @@ impl Tuner {
     /// observable (the strategies' zero-cost trace contract).
     pub fn tune(&mut self, snapshot: &Workload, par: Parallelism, trace: Trace<'_>) -> EpochOutcome {
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(snapshot));
-        let budget = budget::relative_budget(&est, self.config.budget_share);
+        let budget = match self.scope {
+            Some(t) => budget::table_relative_budget(&est, self.config.budget_share, t),
+            None => budget::relative_budget(&est, self.config.budget_share),
+        };
         let overlap = self
             .prev_snapshot
             .as_ref()
@@ -200,7 +241,17 @@ impl Tuner {
         }
         self.selection = selection.clone();
         self.epoch += 1;
-        EpochOutcome { epoch, policy, overlap, selection, workload_cost, reconfig_paid, budget }
+        EpochOutcome {
+            epoch,
+            policy,
+            overlap,
+            selection,
+            workload_cost,
+            reconfig_paid,
+            budget,
+            table: self.scope,
+            shard: None,
+        }
     }
 }
 
@@ -303,6 +354,59 @@ mod tests {
         let baseline = tuner.drift_baseline().unwrap().clone();
         tuner.tune(&snaps[0], Parallelism::serial(), Trace::disabled());
         assert_eq!(tuner.drift_baseline().unwrap(), &baseline);
+    }
+
+    /// Compaction keeps exactly the current selection's prefix closure
+    /// and leaves tuning behavior untouched.
+    #[test]
+    fn compact_pool_drops_dead_entries_only() {
+        let snaps = epochs();
+        let cfg = config(DriftThresholds::always_adapt());
+        let mut tuner = Tuner::new(snaps[0].schema(), cfg.clone());
+        for w in &snaps {
+            tuner.tune(w, Parallelism::serial(), Trace::disabled());
+        }
+        let selection = tuner.selection().clone();
+        let live_before: Vec<_> =
+            selection.indexes().iter().map(|k| tuner.pool().intern(k)).collect();
+        let dropped = tuner.compact_pool();
+        assert_eq!(tuner.pool().len() + dropped, {
+            // Re-derive the pre-compaction size: closure + dropped.
+            let mut probe = Tuner::new(snaps[0].schema(), cfg.clone());
+            for w in &snaps {
+                probe.tune(w, Parallelism::serial(), Trace::disabled());
+            }
+            probe.pool().len()
+        });
+        assert_eq!(live_before.len(), selection.len());
+        for k in selection.indexes() {
+            // Every live index still resolves through the compacted pool.
+            let id = tuner.pool().intern(k);
+            assert_eq!(tuner.pool().resolve(id).attrs(), k.attrs());
+        }
+        // Tuning continues to match an uncompacted twin bit-for-bit.
+        let mut twin = Tuner::new(snaps[0].schema(), cfg);
+        for w in &snaps {
+            twin.tune(w, Parallelism::serial(), Trace::disabled());
+        }
+        let a = tuner.tune(&snaps[0], Parallelism::serial(), Trace::disabled());
+        let b = twin.tune(&snaps[0], Parallelism::serial(), Trace::disabled());
+        assert_eq!(a.selection, b.selection);
+        assert_eq!(a.workload_cost.to_bits(), b.workload_cost.to_bits());
+    }
+
+    /// A table-scoped tuner budgets over that table's attributes only.
+    #[test]
+    fn table_scope_narrows_the_budget() {
+        let snaps = epochs();
+        let cfg = config(DriftThresholds::always_adapt());
+        let mut global = Tuner::new(snaps[0].schema(), cfg.clone());
+        let mut scoped = Tuner::for_table(snaps[0].schema(), cfg, TableId(0));
+        let g = global.tune(&snaps[0], Parallelism::serial(), Trace::disabled());
+        let s = scoped.tune(&snaps[0], Parallelism::serial(), Trace::disabled());
+        assert!(s.budget < g.budget, "2-table schema: one table's share is smaller");
+        assert_eq!(s.table, Some(TableId(0)));
+        assert_eq!(g.table, None);
     }
 
     /// Every selected index (and its prefixes) lands in the

@@ -39,7 +39,7 @@ pub mod tpcc;
 
 pub use ids::{AttrId, IndexId, QueryId, TableId};
 pub use index::Index;
-pub use pool::IndexPool;
+pub use pool::{IdRemap, IndexPool};
 pub use query::{Query, QueryKind, Workload};
 pub use schema::{Attribute, Schema, SchemaBuilder, Table};
 pub use stats::WorkloadStats;

@@ -355,6 +355,98 @@ impl IndexPool {
     }
 }
 
+/// Old-id → new-id mapping produced by [`IndexPool::compact`].
+#[derive(Clone, Debug, Default)]
+pub struct IdRemap {
+    /// Indexed by pre-compaction id; `None` for entries that were dropped.
+    map: Vec<Option<IndexId>>,
+}
+
+impl IdRemap {
+    /// The post-compaction id of `old`, or `None` if the entry was
+    /// dropped (or `old` never existed).
+    pub fn get(&self, old: IndexId) -> Option<IndexId> {
+        self.map.get(old.idx()).copied().flatten()
+    }
+
+    /// Number of pre-compaction ids covered by the map.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the pre-compaction pool was empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of entries that survived compaction.
+    pub fn retained(&self) -> usize {
+        self.map.iter().flatten().count()
+    }
+}
+
+impl IndexPool {
+    /// An empty pool over the same attribute/table layout.
+    fn fresh_like(&self) -> Self {
+        Self {
+            attr_table: self.attr_table.clone(),
+            inner: RwLock::new(PoolInner { entries: Vec::new(), children: HashMap::new() }),
+            published: std::array::from_fn(|_| AtomicPtr::new(ptr::null_mut())),
+        }
+    }
+
+    /// Drop every entry not reachable from `live`, re-numbering the
+    /// survivors densely.
+    ///
+    /// The pool is append-only by design, so a long-lived tuner's pool
+    /// grows without bound as selections churn; compaction is the
+    /// counterpart for quiescent points (e.g. when a checkpoint is
+    /// captured). The keep-set is `live` closed under parent links —
+    /// every prefix of a live index survives, preserving the invariant
+    /// that prefix chains are fully interned. Survivors are re-interned
+    /// in attribute-lexicographic order, which keeps ids dense and
+    /// parents below children (a prefix sorts before every extension),
+    /// and makes the compacted pool *canonical*: it depends only on the
+    /// live set, not on the intern history — so two runs that converged
+    /// to the same selection produce byte-identical checkpoints after
+    /// compaction.
+    ///
+    /// All previously issued [`IndexId`]s are invalidated; translate any
+    /// that must survive through the returned [`IdRemap`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id in `live` was never interned in this pool.
+    pub fn compact(&mut self, live: &[IndexId]) -> IdRemap {
+        let old_len = self.len();
+        let mut keep = vec![false; old_len];
+        for &id in live {
+            assert!(id.idx() < old_len, "IndexId {id} was never interned in this pool");
+            let mut at = Some(id);
+            while let Some(i) = at {
+                if keep[i.idx()] {
+                    break; // the rest of the chain is already kept
+                }
+                keep[i.idx()] = true;
+                at = self.parent(i);
+            }
+        }
+        let mut kept: Vec<u32> = (0..old_len as u32).filter(|&i| keep[i as usize]).collect();
+        kept.sort_by(|&x, &y| self.attrs(IndexId(x)).cmp(self.attrs(IndexId(y))));
+        let fresh = self.fresh_like();
+        for &old in &kept {
+            fresh.intern_attrs(self.attrs(IndexId(old)));
+        }
+        let mut map = vec![None; old_len];
+        for &old in &kept {
+            // Idempotent second intern: a pure id lookup by now.
+            map[old as usize] = Some(fresh.intern_attrs(self.attrs(IndexId(old))));
+        }
+        *self = fresh;
+        IdRemap { map }
+    }
+}
+
 impl Drop for IndexPool {
     fn drop(&mut self) {
         for (bucket, cell) in self.published.iter().enumerate() {
@@ -492,6 +584,44 @@ mod tests {
         });
         // 6 roots + 30 ordered pairs.
         assert_eq!(pool.len(), 36);
+    }
+
+    #[test]
+    fn compact_keeps_live_closure_and_renumbers_densely() {
+        let s = schema_with(&[6]);
+        let mut pool = IndexPool::new(&s);
+        let _dead = pool.intern_attrs(&[AttrId(4), AttrId(5)]);
+        let live = pool.intern_attrs(&[AttrId(0), AttrId(1), AttrId(2)]);
+        let live_attrs = pool.attrs(live).to_vec();
+        assert_eq!(pool.len(), 5); // a4, a4a5, a0, a0a1, a0a1a2
+        let remap = pool.compact(&[live]);
+        // Live index + its two prefixes survive; the dead chain is gone.
+        assert_eq!(pool.len(), 3);
+        assert_eq!(remap.retained(), 3);
+        assert_eq!(remap.len(), 5);
+        let new_id = remap.get(live).unwrap();
+        assert_eq!(pool.attrs(new_id), &live_attrs[..]);
+        // Prefix chain is intact and the child-edge map was rebuilt.
+        let p = pool.parent(new_id).unwrap();
+        assert_eq!(pool.attrs(p), &live_attrs[..2]);
+        assert_eq!(pool.child(p, AttrId(2)), Some(new_id));
+        assert_eq!(pool.intern_attrs(&live_attrs), new_id);
+        // Dead ids map to nothing.
+        assert_eq!(remap.get(IndexId(0)), None);
+        assert_eq!(remap.get(IndexId(1)), None);
+    }
+
+    #[test]
+    fn compact_with_no_live_ids_empties_the_pool() {
+        let s = schema_with(&[3]);
+        let mut pool = IndexPool::new(&s);
+        pool.intern_attrs(&[AttrId(0), AttrId(1)]);
+        let remap = pool.compact(&[]);
+        assert!(pool.is_empty());
+        assert_eq!(remap.retained(), 0);
+        // The pool is still usable after compaction.
+        let id = pool.intern_single(AttrId(2));
+        assert_eq!(pool.attrs(id), &[AttrId(2)]);
     }
 
     #[test]

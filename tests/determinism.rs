@@ -184,17 +184,18 @@ fn scrub_timings(events: Vec<isel_core::TraceEvent>) -> Vec<isel_core::TraceEven
             TraceEvent::SolverPhase { phase, detail, .. } => {
                 TraceEvent::SolverPhase { phase, detail, micros: 0 }
             }
-            TraceEvent::RunEnd { strategy, steps, issued, cached, initial_cost, final_cost, .. } => {
-                TraceEvent::RunEnd {
-                    strategy,
-                    steps,
-                    issued,
-                    cached,
-                    initial_cost,
-                    final_cost,
-                    micros: 0,
-                }
-            }
+            TraceEvent::RunEnd {
+                strategy, steps, issued, cached, initial_cost, final_cost, shard, ..
+            } => TraceEvent::RunEnd {
+                strategy,
+                steps,
+                issued,
+                cached,
+                initial_cost,
+                final_cost,
+                micros: 0,
+                shard,
+            },
             other => other,
         })
         .collect()

@@ -103,3 +103,123 @@ proptest! {
         prop_assert_eq!(pool.parent(child), Some(parent));
     }
 }
+
+// ------------------------------------------------------------- compaction
+
+use isel_workload::IndexId;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `compact(live)` keeps exactly the prefix closure of the live set:
+    /// every live id round-trips through the remap to identical content,
+    /// every dropped id maps to `None`, and the surviving pool is the
+    /// closure — no more, no less.
+    #[test]
+    fn compaction_round_trips_the_live_closure(
+        indexes in prop::collection::vec(arb_attrs(), 1..24),
+        live_picks in prop::collection::vec(0usize..1000, 0..12),
+    ) {
+        let s = schema();
+        let mut pool = IndexPool::new(&s);
+        let ids: Vec<_> = indexes.iter().map(|a| pool.intern_attrs(a)).collect();
+        let live: Vec<IndexId> = live_picks.iter().map(|&p| ids[p % ids.len()]).collect();
+
+        // Independent expected closure: every prefix of every live index.
+        let mut closure = std::collections::BTreeSet::new();
+        for &id in &live {
+            let attrs = pool.attrs(id).to_vec();
+            for width in 1..=attrs.len() {
+                closure.insert(attrs[..width].to_vec());
+            }
+        }
+        let old_contents: Vec<Vec<_>> = ids.iter().map(|&i| pool.attrs(i).to_vec()).collect();
+        // Interning an index interns its whole prefix chain, so the pool
+        // (and the remap domain) covers more ids than were asked for.
+        let old_len = pool.len();
+
+        let remap = pool.compact(&live);
+        prop_assert_eq!(remap.len(), old_len);
+        prop_assert_eq!(remap.retained(), closure.len());
+        prop_assert_eq!(pool.len(), closure.len());
+        for (old, content) in ids.iter().zip(&old_contents) {
+            match remap.get(*old) {
+                Some(new) => {
+                    prop_assert!(closure.contains(content), "kept ids are in the closure");
+                    prop_assert_eq!(pool.attrs(new), &content[..]);
+                }
+                None => prop_assert!(!closure.contains(content)),
+            }
+        }
+    }
+
+    /// Parent links survive compaction: the compacted entry of a live
+    /// index still walks its full prefix chain, and each link agrees
+    /// with the remap of the pre-compaction chain.
+    #[test]
+    fn compaction_preserves_parent_links(
+        indexes in prop::collection::vec(arb_attrs(), 1..16),
+        pick in 0usize..1000,
+    ) {
+        let s = schema();
+        let mut pool = IndexPool::new(&s);
+        let ids: Vec<_> = indexes.iter().map(|a| pool.intern_attrs(a)).collect();
+        let live = ids[pick % ids.len()];
+
+        // Pre-compaction chain, top down.
+        let mut old_chain = vec![live];
+        while let Some(p) = pool.parent(*old_chain.last().unwrap()) {
+            old_chain.push(p);
+        }
+
+        let remap = pool.compact(&[live]);
+        let mut at = remap.get(live).expect("live id survives");
+        for &old in &old_chain {
+            // The chain maps link-for-link through the remap.
+            prop_assert_eq!(Some(at), remap.get(old));
+            prop_assert_eq!(pool.attrs(at).len(), pool.width(at));
+            match pool.parent(at) {
+                Some(p) => at = p,
+                None => prop_assert_eq!(pool.width(at), 1),
+            }
+        }
+    }
+
+    /// Compaction is canonical: pools that hold the same live content —
+    /// however different their intern histories — compact to identical
+    /// id assignments. (This is what makes post-compaction checkpoints
+    /// byte-stable across daemon lifetimes.)
+    #[test]
+    fn compaction_is_history_independent(
+        indexes in prop::collection::vec(arb_attrs(), 2..16),
+        churn in prop::collection::vec(arb_attrs(), 0..16),
+        reorder_seed in 0u64..1000,
+    ) {
+        let s = schema();
+
+        // Pool A: interleave churn entries (which will die), then live.
+        let mut a = IndexPool::new(&s);
+        for attrs in &churn {
+            a.intern_attrs(attrs);
+        }
+        let live_a: Vec<IndexId> = indexes.iter().map(|x| a.intern_attrs(x)).collect();
+
+        // Pool B: live entries only, interned in a shuffled order.
+        let mut order: Vec<usize> = (0..indexes.len()).collect();
+        let mut state = reorder_seed | 1;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let mut b = IndexPool::new(&s);
+        let live_b: Vec<IndexId> = order.iter().map(|&i| b.intern_attrs(&indexes[i])).collect();
+
+        a.compact(&live_a);
+        b.compact(&live_b);
+        prop_assert_eq!(a.len(), b.len());
+        for raw in 0..a.len() as u32 {
+            // Each slot holds the same content in both pools.
+            prop_assert_eq!(a.attrs(IndexId(raw)), b.attrs(IndexId(raw)));
+        }
+    }
+}

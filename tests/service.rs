@@ -336,3 +336,248 @@ fn daemon_trace_passes_accounting_checks() {
         }
     }
 }
+
+// --------------------------------------------------------------- sharding
+
+use isel_service::{
+    classify_line, offline_group_adapt, offline_group_snapshots, parse_line, InputLine, LineClass,
+    Router,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn sharded_config(shards: u32) -> ServiceConfig {
+    ServiceConfig {
+        epoch_events: 8,
+        window_epochs: 2,
+        max_templates: 64,
+        drift: DriftThresholds::always_adapt(),
+        shards,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Render template picks `(index, frequency)` as JSONL event lines.
+fn render_log(w: &Workload, picks: &[(usize, u64)]) -> String {
+    let qs = w.queries();
+    picks
+        .iter()
+        .map(|&(i, f)| {
+            let q = &qs[i % qs.len()];
+            let attrs: Vec<String> = q.attrs().iter().map(|a| a.0.to_string()).collect();
+            format!(
+                "{{\"table\":{},\"attrs\":[{}],\"frequency\":{f}}}\n",
+                q.table().0,
+                attrs.join(",")
+            )
+        })
+        .collect()
+}
+
+/// A fresh scratch directory per proptest case, so checkpoint manifests
+/// from one case never leak into the next.
+fn case_dir(prefix: &str) -> PathBuf {
+    static CASE: AtomicU64 = AtomicU64::new(0);
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join("isel_service_integration")
+        .join(format!("{prefix}-{}-{n}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The headline sharding guarantee (DESIGN.md §13): the same random
+    /// multi-table log replayed at 1, 2 and 4 shards yields bit-identical
+    /// per-group selection sequences and final merged selections, all
+    /// matching the pure single-threaded per-group offline reference.
+    #[test]
+    fn sharded_replay_is_bit_identical_at_every_shard_count(
+        picks in prop::collection::vec((0usize..10_000, 1u64..40), 24..72),
+    ) {
+        let w = workload();
+        let log = render_log(&w, &picks);
+        let reports: Vec<_> = [1u32, 2, 4]
+            .iter()
+            .map(|&shards| {
+                let mut router =
+                    Router::new(w.schema().clone(), sharded_config(shards)).unwrap();
+                router
+                    .run_reader(Cursor::new(log.clone()), OverloadPolicy::Block, None, &[])
+                    .unwrap()
+            })
+            .collect();
+        let baseline = &reports[0];
+        for other in &reports[1..] {
+            prop_assert_eq!(baseline.epochs.len(), other.epochs.len());
+            for (a, b) in baseline.epochs.iter().zip(&other.epochs) {
+                prop_assert_eq!(a.table, b.table);
+                prop_assert_eq!(a.epoch, b.epoch);
+                prop_assert_eq!(&a.selection, &b.selection);
+                prop_assert_eq!(a.workload_cost.to_bits(), b.workload_cost.to_bits());
+                prop_assert_eq!(a.reconfig_paid.to_bits(), b.reconfig_paid.to_bits());
+            }
+            prop_assert_eq!(&baseline.final_selection, &other.final_selection);
+        }
+        // The offline per-group reference agrees epoch by epoch.
+        let cfg = sharded_config(1);
+        let snaps = offline_group_snapshots(Cursor::new(log), w.schema(), &cfg).unwrap();
+        let offline = offline_group_adapt(&snaps, &cfg);
+        let total: usize = offline.values().map(Vec::len).sum();
+        prop_assert_eq!(baseline.epochs.len(), total);
+        for out in &baseline.epochs {
+            let t = out.table.expect("sharded outcomes are table-scoped").0;
+            prop_assert_eq!(&out.selection, &offline[&t][out.epoch as usize]);
+        }
+    }
+
+    /// Kill a sharded run mid-stream, restore from its committed
+    /// manifest at a *different* shard count, feed the remainder: the
+    /// post-restore epochs and the final merged selection equal the
+    /// uninterrupted single-shard run's.
+    #[test]
+    fn sharded_kill_then_restore_converges(
+        picks in prop::collection::vec((0usize..10_000, 1u64..40), 48..80),
+        resume_shards in 1u32..4,
+    ) {
+        let w = workload();
+        let log = render_log(&w, &picks);
+        let lines: Vec<&str> = log.lines().collect();
+        let cut = lines.len() / 2;
+
+        let mut reference = Router::new(w.schema().clone(), sharded_config(1)).unwrap();
+        let ref_report = reference
+            .run_reader(Cursor::new(log.clone()), OverloadPolicy::Block, None, &[])
+            .unwrap();
+
+        let dir = case_dir("kill-restore");
+        let manifest = dir.join("manifest.json");
+        let head = format!("{}\n", lines[..cut].join("\n"));
+        let mut first = Router::new(w.schema().clone(), sharded_config(2)).unwrap();
+        first
+            .run_reader(Cursor::new(head), OverloadPolicy::Block, Some(&manifest), &[])
+            .unwrap();
+        drop(first); // the "kill"
+
+        let mut resumed =
+            Router::resume(w.schema().clone(), sharded_config(resume_shards), &manifest)
+                .unwrap();
+        let tail = format!("{}\n", lines[cut..].join("\n"));
+        let tail_report = resumed
+            .run_reader(Cursor::new(tail), OverloadPolicy::Block, Some(&manifest), &[])
+            .unwrap();
+        prop_assert_eq!(tail_report.ingested, lines.len() as u64);
+
+        // Post-cut epochs match the uninterrupted run per (table, epoch).
+        let reference_by_key: std::collections::BTreeMap<_, _> = ref_report
+            .epochs
+            .iter()
+            .map(|o| ((o.table, o.epoch), o))
+            .collect();
+        for out in &tail_report.epochs {
+            let want = reference_by_key[&(out.table, out.epoch)];
+            prop_assert_eq!(&out.selection, &want.selection);
+            prop_assert_eq!(out.workload_cost.to_bits(), want.workload_cost.to_bits());
+        }
+        prop_assert_eq!(&tail_report.final_selection, &ref_report.final_selection);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// An arbitrary single line of ASCII (newlines swapped for spaces so the
+/// value stays one line) — deliberately brace/quote-heavy garbage for
+/// wire-fuzzing the parser and classifier.
+fn arb_ascii_line(max: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(0u32..128, 0..max).prop_map(|codes| {
+        codes
+            .into_iter()
+            .map(|b| match char::from_u32(b).unwrap() {
+                '\n' | '\r' => ' ',
+                c => c,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Satellite guarantee: the JSONL parser and the routing classifier
+    /// never panic, whatever bytes arrive on the wire.
+    #[test]
+    fn parser_and_classifier_never_panic(line in arb_ascii_line(200)) {
+        let schema = small_schema(6);
+        let _ = classify_line(&line);
+        let _ = parse_line(&line, &schema);
+    }
+
+    /// The byte-scanning classifier agrees with the full parser on every
+    /// line the parser accepts: a parsed query's table is exactly the
+    /// classifier's routing key, however the fields are ordered and
+    /// whatever decoy `"table"` keys hide inside strings or nested
+    /// objects.
+    #[test]
+    fn classifier_agrees_with_the_parser(
+        t in 0u16..6,
+        attr in 0u32..6,
+        freq in 1u64..100,
+        table_first in 0u32..2,
+        noise in arb_ascii_line(20),
+    ) {
+        let schema = small_schema(6);
+        let noise_json = serde_json::to_string(&noise).unwrap();
+        let line = if table_first == 1 {
+            format!(
+                "{{\"table\":{t},\"attrs\":[{attr}],\"note\":{noise_json},\
+                 \"nested\":{{\"table\":9}},\"frequency\":{freq}}}"
+            )
+        } else {
+            format!(
+                "{{\"note\":{noise_json},\"nested\":{{\"table\":9}},\
+                 \"frequency\":{freq},\"attrs\":[{attr}],\"table\":{t}}}"
+            )
+        };
+        prop_assert_eq!(classify_line(&line), LineClass::Table(t));
+        // On the single-table schema only t == 0 validates, but whenever
+        // the parser does accept, the tables must agree.
+        if let Ok(InputLine::Query(q)) = parse_line(&line, &schema) {
+            prop_assert_eq!(q.table().0, t);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A whole garbage stream through the sharded router: never panics,
+    /// never errors, and every non-empty line is accounted exactly once
+    /// as ingested or invalid.
+    #[test]
+    fn router_survives_garbage_streams(
+        lines in prop::collection::vec(arb_ascii_line(60), 0..40),
+        shards in 1u32..4,
+    ) {
+        let w = workload();
+        let log: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        let mut router = Router::new(w.schema().clone(), sharded_config(shards)).unwrap();
+        let report = router
+            .run_reader(Cursor::new(log), OverloadPolicy::Block, None, &[])
+            .unwrap();
+        let shutdown = lines
+            .iter()
+            .position(|l| matches!(parse_line(l.trim(), w.schema()),
+                Ok(InputLine::Control(isel_service::Control::Shutdown))));
+        let in_scope = shutdown.unwrap_or(lines.len());
+        let nonempty = lines[..in_scope]
+            .iter()
+            .filter(|l| !l.trim().is_empty())
+            .count() as u64;
+        let controls = lines[..in_scope]
+            .iter()
+            .filter(|l| matches!(parse_line(l.trim(), w.schema()), Ok(InputLine::Control(_))))
+            .count() as u64;
+        prop_assert_eq!(report.ingested + report.invalid, nonempty - controls);
+    }
+}
