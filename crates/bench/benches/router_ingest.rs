@@ -15,9 +15,18 @@
 //!   must shed nothing. Same ≥ 4 core gate: the pacing source occupies a
 //!   core, so a single-core host cannot arbitrate the arrival rate and
 //!   the workers fairly.
+//! * **Binary lane** — decoding dictionary-compressed binary frames
+//!   must be ≥ 5× faster per event than the JSONL parse and sustain
+//!   ≥ 5M events/s over an in-memory slice (the mmap replay path), and
+//!   the binary journal must come out ≥ 10× smaller than JSONL on the
+//!   checked-in TPC-C fixture. Single-threaded, so enforced on every
+//!   host.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use isel_service::{classify_line, LineClass, OverloadPolicy, Router, ServiceConfig};
+use isel_service::{
+    classify_line, convert, parse_line, InputLine, LineClass, OverloadPolicy, Record, RecordIter,
+    Router, ServiceConfig, WireFormat,
+};
 use isel_workload::synthetic::{self, SyntheticConfig};
 use isel_workload::Workload;
 use std::io::{BufRead, Cursor, Read};
@@ -216,10 +225,102 @@ fn paced_per_shard_overload_check(_c: &mut Criterion) {
     }
 }
 
+/// Criterion lane for the binary frame decoder: one frame holding 1024
+/// dictionary-compressed events, decoded through the same `RecordIter`
+/// the replay path uses.
+fn bench_binary_decode(c: &mut Criterion) {
+    let w = workload();
+    let log = event_log(&w, 1024);
+    let bytes = convert(log.as_bytes(), WireFormat::Binary);
+    c.bench_function("binary_decode_1k_events", |b| {
+        b.iter(|| {
+            let mut events = 0u64;
+            for record in RecordIter::new(Cursor::new(&bytes[..])) {
+                match record {
+                    Record::Item(isel_service::WireItem::Event { frequency, .. }) => {
+                        events += frequency;
+                    }
+                    Record::Item(_) => {}
+                    other => unreachable!("valid frame decoded as {other:?}"),
+                }
+            }
+            assert_eq!(events, 1024);
+            events
+        })
+    });
+}
+
+/// The binary-lane acceptance contract: per-event decode ≥ 5× faster
+/// than the JSONL parse, slice decode ≥ 5M events/s, and the binary
+/// journal ≥ 10× smaller than JSONL on the checked-in TPC-C fixture.
+/// Single-threaded, so enforced on every host.
+fn binary_lane_check(_c: &mut Criterion) {
+    let w = workload();
+    let log = event_log(&w, EVENTS);
+    let lines: Vec<&str> = log.lines().collect();
+    let bytes = convert(log.as_bytes(), WireFormat::Binary);
+
+    // JSONL parse cost per event (the router's per-shard worker path).
+    let start = Instant::now();
+    let mut parsed = 0usize;
+    for line in &lines {
+        if let Ok(InputLine::Query(_)) = parse_line(line, w.schema()) {
+            parsed += 1;
+        }
+    }
+    let parse_ns = start.elapsed().as_nanos() as f64 / parsed as f64;
+    assert_eq!(parsed, EVENTS);
+
+    // Binary decode cost per event over the in-memory slice — the same
+    // zero-copy path `replay` runs over an mmapped journal.
+    let (decode_ns, throughput) = (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            let mut events = 0u64;
+            for record in RecordIter::new(Cursor::new(&bytes[..])) {
+                if let Record::Item(isel_service::WireItem::Event { frequency, .. }) = record {
+                    events += frequency;
+                }
+            }
+            let secs = start.elapsed().as_secs_f64();
+            assert_eq!(events as usize, EVENTS);
+            (secs * 1e9 / events as f64, events as f64 / secs)
+        })
+        .fold((f64::INFINITY, 0.0), |(n, t): (f64, f64), (n2, t2)| (n.min(n2), t.max(t2)));
+
+    let speedup = parse_ns / decode_ns;
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/tpcc_events.jsonl");
+    let tpcc_jsonl = std::fs::read(fixture).expect("checked-in TPC-C fixture");
+    let tpcc_bin = convert(&tpcc_jsonl, WireFormat::Binary);
+    let shrink = tpcc_jsonl.len() as f64 / tpcc_bin.len() as f64;
+    println!(
+        "binary_lane: jsonl parse {parse_ns:.0} ns/event, binary decode {decode_ns:.1} ns/event \
+         ({speedup:.1}x), slice decode {:.1}M events/s, tpcc journal {} -> {} bytes ({shrink:.1}x)",
+        throughput / 1e6,
+        tpcc_jsonl.len(),
+        tpcc_bin.len()
+    );
+    assert!(
+        speedup >= 5.0,
+        "binary decode must be >= 5x faster per event than JSONL parse (measured {speedup:.1}x)"
+    );
+    assert!(
+        throughput >= 5e6,
+        "binary slice decode must sustain >= 5M events/s per shard (measured {throughput:.0}/s)"
+    );
+    assert!(
+        shrink >= 10.0,
+        "binary journal must be >= 10x smaller than JSONL on the TPC-C fixture \
+         (measured {shrink:.1}x)"
+    );
+}
+
 criterion_group!(
     benches,
     bench_classify,
+    bench_binary_decode,
     router_scaling_check,
-    paced_per_shard_overload_check
+    paced_per_shard_overload_check,
+    binary_lane_check
 );
 criterion_main!(benches);

@@ -8,6 +8,9 @@ use std::collections::HashMap;
 pub struct Args {
     /// First positional token (the subcommand).
     pub command: Option<String>,
+    /// Second positional token (the action of two-level commands like
+    /// `journal convert`).
+    pub subcommand: Option<String>,
     options: HashMap<String, String>,
     flags: Vec<String>,
 }
@@ -32,6 +35,8 @@ impl Args {
                 }
             } else if args.command.is_none() {
                 args.command = Some(tok);
+            } else if args.subcommand.is_none() {
+                args.subcommand = Some(tok);
             }
         }
         args
@@ -74,10 +79,22 @@ mod tests {
     fn parses_command_options_and_flags() {
         let a = parse("recommend --workload w.json --budget 0.2 --json");
         assert_eq!(a.command.as_deref(), Some("recommend"));
+        assert_eq!(a.subcommand, None);
         assert_eq!(a.get("workload"), Some("w.json"));
         assert_eq!(a.get_parsed("budget", 0.0), Ok(0.2));
         assert!(a.flag("json"));
         assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn second_positional_is_the_subcommand() {
+        let a = parse("journal convert --to binary --log in.jsonl");
+        assert_eq!(a.command.as_deref(), Some("journal"));
+        assert_eq!(a.subcommand.as_deref(), Some("convert"));
+        assert_eq!(a.get("to"), Some("binary"));
+        // A third positional is ignored, as extra positionals always were.
+        let a = parse("journal convert extra");
+        assert_eq!(a.subcommand.as_deref(), Some("convert"));
     }
 
     #[test]

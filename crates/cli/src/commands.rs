@@ -2,32 +2,74 @@
 
 use crate::args::Args;
 use isel_core::{
-    algorithm1, budget, interaction, Advisor, JsonLinesSink, Parallelism, RunReport, Strategy,
-    Trace,
+    algorithm1, budget, interaction, Advisor, BinaryTraceSink, JsonLinesSink, Parallelism,
+    RunReport, Strategy, Trace, TraceEvent, TraceSink,
 };
 use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf, WhatIfOptimizer};
 use isel_workload::erp::{self, ErpConfig};
 use isel_workload::synthetic::{self, SyntheticConfig};
 use isel_workload::{io, tpcc, Workload};
 
-pub(crate) type FileSink = JsonLinesSink<std::io::BufWriter<std::fs::File>>;
+type BufFile = std::io::BufWriter<std::fs::File>;
 
-/// `--trace FILE` — stream structured run events to FILE as JSON lines.
+/// A `--trace FILE` sink in the encoding picked by `--trace-format`:
+/// JSON lines (the default) or the compact binary stream. `isel report`
+/// auto-detects either when reading back.
+pub(crate) enum FileSink {
+    Json(JsonLinesSink<BufFile>),
+    Binary(BinaryTraceSink<BufFile>),
+}
+
+impl TraceSink for FileSink {
+    fn record(&self, event: TraceEvent) {
+        match self {
+            Self::Json(s) => s.record(event),
+            Self::Binary(s) => s.record(event),
+        }
+    }
+}
+
+/// `--trace FILE` — stream structured run events to FILE, as JSON lines
+/// or (`--trace-format binary`) the compact binary encoding.
 pub(crate) fn trace_sink(args: &Args) -> Result<Option<FileSink>, String> {
     match args.get("trace") {
         None => Ok(None),
-        Some(path) => JsonLinesSink::create(path)
-            .map(Some)
-            .map_err(|e| format!("cannot create trace file: {e}")),
+        Some(path) => create_trace_sink(args, path).map(Some),
     }
+}
+
+/// Create one trace sink at `path` in the `--trace-format` encoding.
+pub(crate) fn create_trace_sink(args: &Args, path: &str) -> Result<FileSink, String> {
+    let sink = match args.get("trace-format").unwrap_or("jsonl") {
+        "jsonl" => FileSink::Json(
+            JsonLinesSink::create(path)
+                .map_err(|e| format!("cannot create trace file {path}: {e}"))?,
+        ),
+        "binary" => FileSink::Binary(
+            BinaryTraceSink::create(path)
+                .map_err(|e| format!("cannot create trace file {path}: {e}"))?,
+        ),
+        other => {
+            return Err(format!(
+                "unknown --trace-format {other:?} (expected jsonl or binary)"
+            ))
+        }
+    };
+    Ok(sink)
 }
 
 /// Flush the trace file and surface any dropped events as an error.
 pub(crate) fn finish_trace(sink: Option<FileSink>) -> Result<(), String> {
     let Some(sink) = sink else { return Ok(()) };
-    let dropped = sink.write_errors();
-    sink.finish()
-        .map_err(|e| format!("cannot flush trace file: {e}"))?;
+    let dropped = match &sink {
+        FileSink::Json(s) => s.write_errors(),
+        FileSink::Binary(s) => s.write_errors(),
+    };
+    match sink {
+        FileSink::Json(s) => s.finish().map(drop),
+        FileSink::Binary(s) => s.finish().map(drop),
+    }
+    .map_err(|e| format!("cannot flush trace file: {e}"))?;
     if dropped > 0 {
         return Err(format!("trace: {dropped} events dropped by write errors"));
     }
@@ -250,15 +292,15 @@ pub fn frontier(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `isel report` — summarize a `--trace` JSON-lines file, one section per
-/// strategy run (a `compare` or daemon trace holds many); `--check`
-/// additionally verifies the accounting invariant for every run and the
-/// what-if call-bound invariant for the Algorithm-1 (`H6`) runs.
+/// `isel report` — summarize a `--trace` file (JSON lines or the binary
+/// encoding, auto-detected), one section per strategy run (a `compare`
+/// or daemon trace holds many); `--check` additionally verifies the
+/// accounting invariant for every run and the what-if call-bound
+/// invariant for the Algorithm-1 (`H6`) runs.
 pub fn report(args: &Args) -> Result<(), String> {
     let path = args.get("trace").ok_or("missing --trace FILE")?;
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace file: {e}"))?;
-    let events = RunReport::parse_jsonl(&text)?;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read trace file: {e}"))?;
+    let events = RunReport::parse_trace(&bytes)?;
     if events.is_empty() {
         return Err("trace file holds no events".into());
     }
@@ -451,6 +493,30 @@ mod tests {
         let empty = tmp("empty.jsonl");
         std::fs::write(&empty, "").unwrap();
         assert!(report(&argv(&format!("report --trace {empty}"))).is_err());
+    }
+
+    #[test]
+    fn binary_traces_round_trip_through_report() {
+        let out = tmp("w_btrace.json");
+        generate(&argv(&format!(
+            "generate --kind synthetic --tables 2 --attrs 8 --queries 8 --rows 50000 --out {out}"
+        )))
+        .unwrap();
+        let trace = tmp("recommend.bin");
+        recommend(&argv(&format!(
+            "recommend --workload {out} --strategy h6 --budget 0.3 \
+             --trace {trace} --trace-format binary"
+        )))
+        .unwrap();
+        let bytes = std::fs::read(&trace).unwrap();
+        assert_eq!(bytes.first(), Some(&isel_core::TRACE_MAGIC));
+        report(&argv(&format!("report --trace {trace} --check"))).unwrap();
+        // Unknown formats are rejected up front.
+        let err = recommend(&argv(&format!(
+            "recommend --workload {out} --trace {trace} --trace-format nope"
+        )))
+        .unwrap_err();
+        assert!(err.contains("trace-format"), "{err}");
     }
 
     #[test]

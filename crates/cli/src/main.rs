@@ -39,20 +39,33 @@ USAGE:
   isel stats         --workload FILE
   isel record        --kind tpcc|erp|synthetic --out FILE [--events N]
                      [--seed N] [--segments N] [--warehouses N]
+                     [--format jsonl|binary]
   isel replay        --workload FILE --log FILE [--offline-check]
-                     [--checkpoint FILE] [--resume] [--trace FILE]
-                     [--epoch-events N] [--window N] [--templates N]
-                     [--budget SHARE] [--threads N] [--shards N]
-                     [--shard-map T:S,T:S]
+                     [--format jsonl|binary] [--checkpoint FILE]
+                     [--resume] [--trace FILE] [--epoch-events N]
+                     [--window N] [--templates N] [--budget SHARE]
+                     [--threads N] [--shards N] [--shard-map T:S,T:S]
   isel serve         --workload FILE [--socket PATH] [--checkpoint FILE]
                      [--resume] [--trace FILE] [--journal FILE]
+                     [--format jsonl|binary] [--journal-max-bytes N]
                      [--shards N] [--shard-map T:S,T:S] [same tuning knobs]
+  isel journal       convert --log FILE --to jsonl|binary --out FILE
 
-  The service commands drive the continuous-tuning daemon: record a
-  JSONL event log, replay it losslessly (--offline-check verifies the
+  The service commands drive the continuous-tuning daemon: record an
+  event log, replay it losslessly (--offline-check verifies the
   selection sequence is bit-identical to the offline dynamic::adapt
   loop), or serve live on stdin / a Unix socket with counted drop-oldest
   overload shedding.
+
+  Event streams come in two peer encodings, auto-detected per record by
+  a magic byte and mixable on one stream: JSONL (one JSON object per
+  line) and binary (length-prefixed checksummed frames with dictionary-
+  compressed events, ~10x smaller). --format picks the encoding record
+  writes and serve journals; replay auto-detects and mmaps its input
+  (--format only asserts what the log should be). journal convert
+  transcodes losslessly in both directions. --journal-max-bytes rotates
+  the journal into size-bounded segments behind a manifest that replay
+  reads transparently.
 
   --shards N routes events by table group onto N worker shards; the
   selection sequence is bit-identical at every shard count, per-shard
@@ -66,9 +79,10 @@ USAGE:
   --threads N fans candidate evaluation over N workers (0 = all cores);
   recommendations are identical at every setting.
   --trace FILE streams structured run events (construction steps,
-  candidate scans, solver phases) as JSON lines; summarize with
-  `isel report --trace FILE`, or add --check to verify the what-if
-  accounting and call-bound invariants.
+  candidate scans, solver phases) as JSON lines, or as a compact binary
+  stream with --trace-format binary; summarize with `isel report
+  --trace FILE` (either encoding, auto-detected), or add --check to
+  verify the what-if accounting and call-bound invariants.
 ";
 
 fn main() -> ExitCode {
@@ -84,6 +98,7 @@ fn main() -> ExitCode {
         Some("record") => service_cmd::record(&args),
         Some("replay") => service_cmd::replay(&args),
         Some("serve") => service_cmd::serve(&args),
+        Some("journal") => service_cmd::journal(&args),
         Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
         None => Err(USAGE.to_owned()),
     };

@@ -55,4 +55,7 @@ pub use parallel::Parallelism;
 pub use algorithm1::{Options as Algorithm1Options, RunResult as Algorithm1Result};
 pub use reconfig::ReconfigCosts;
 pub use selection::{merge_frontiers, Frontier, FrontierMerge, FrontierPoint, Selection};
-pub use trace::{JsonLinesSink, RunReport, Trace, TraceEvent, TraceSink, VecSink};
+pub use trace::{
+    BinaryTraceSink, JsonLinesSink, RunReport, Trace, TraceEvent, TraceSink, VecSink, TRACE_MAGIC,
+    TRACE_VERSION,
+};

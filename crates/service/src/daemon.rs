@@ -18,7 +18,9 @@
 use crate::checkpoint::Checkpoint;
 use crate::config::ServiceConfig;
 use crate::event::{parse_line, Control, InputLine};
+use crate::frame::WireItem;
 use crate::queue::BoundedQueue;
+use crate::records::{DecodeDict, Record, RecordIter};
 use crate::status::{take_status_signal, StatusBoard};
 use crate::tuner::{EpochOutcome, Tuner};
 use crate::window::EpochWindow;
@@ -213,7 +215,10 @@ impl Daemon {
         let mut written = 0u64;
         while let Some(item) = queue.pop() {
             if take_status_signal() {
-                eprintln!("{}", board.line(self.base_dropped + queue.dropped()));
+                eprintln!(
+                    "{}",
+                    board.line(self.base_dropped + queue.dropped(), &[queue.len() as u64])
+                );
             }
             match item {
                 WorkItem::Query(q) => {
@@ -305,9 +310,10 @@ impl Drop for CloseOnExit<'_> {
     }
 }
 
-/// Reader loop: parse lines, validate, push. Returns when the input ends
-/// or a `shutdown` control arrives; always closes the queue on the way
-/// out — including by panic — so the consumer can drain and finish.
+/// Reader loop: decode records (JSONL lines or binary frames, detected
+/// per record), validate, push. Returns when the input ends or a
+/// `shutdown` control arrives; always closes the queue on the way out —
+/// including by panic — so the consumer can drain and finish.
 pub(crate) fn ingest_lines<R: BufRead>(
     input: R,
     schema: &Schema,
@@ -317,21 +323,76 @@ pub(crate) fn ingest_lines<R: BufRead>(
     base_dropped: u64,
 ) {
     let _close = CloseOnExit(queue);
-    for line in input.lines() {
-        let line = match line {
-            Ok(l) => l,
-            Err(_) => break, // treat an IO error as end-of-stream
-        };
+    let mut dict = DecodeDict::new();
+    for record in RecordIter::new(input) {
         if take_status_signal() {
-            eprintln!("{}", board.line(base_dropped + queue.dropped()));
+            eprintln!("{}", board.line(base_dropped + queue.dropped(), &[queue.len() as u64]));
         }
-        match ingest_one(&line, schema, queue, policy, board) {
+        let verdict = match record {
+            Record::Line(line) => ingest_one(&line, schema, queue, policy, board),
+            Record::Item(item) => ingest_item(&item, &mut dict, schema, queue, policy, board),
+            Record::Corrupt => {
+                board.invalid.fetch_add(1, Ordering::Relaxed);
+                Ingest::Continue
+            }
+        };
+        match verdict {
             Ingest::Continue => {}
             Ingest::Status => {
-                eprintln!("{}", board.line(base_dropped + queue.dropped()));
+                eprintln!("{}", board.line(base_dropped + queue.dropped(), &[queue.len() as u64]));
             }
             Ingest::Shutdown => break,
         }
+    }
+}
+
+/// Interpret one decoded binary item exactly as [`ingest_one`] would its
+/// JSONL rendering: defines extend the dictionary silently, events
+/// resolve (or count invalid), controls act, raw payloads go through the
+/// line parser, journal tags are transparent.
+pub(crate) fn ingest_item(
+    item: &WireItem,
+    dict: &mut DecodeDict,
+    schema: &Schema,
+    queue: &BoundedQueue<WorkItem>,
+    policy: OverloadPolicy,
+    board: &StatusBoard,
+) -> Ingest {
+    match item {
+        WireItem::Define { table, kind, attrs } => {
+            dict.define(schema, *table, *kind, attrs.clone());
+            Ingest::Continue
+        }
+        WireItem::Event { template, frequency } => match dict.resolve(*template, *frequency) {
+            Some(q) => {
+                board.ingested.fetch_add(1, Ordering::Relaxed);
+                let _ = match policy {
+                    OverloadPolicy::Block => queue.push_blocking(WorkItem::Query(q.into_owned())),
+                    OverloadPolicy::DropOldest => {
+                        queue.push_drop_oldest(WorkItem::Query(q.into_owned()))
+                    }
+                };
+                Ingest::Continue
+            }
+            None => {
+                board.invalid.fetch_add(1, Ordering::Relaxed);
+                Ingest::Continue
+            }
+        },
+        WireItem::Control(Control::Checkpoint) => {
+            let _ = match policy {
+                OverloadPolicy::Block => queue.push_blocking(WorkItem::Checkpoint),
+                OverloadPolicy::DropOldest => queue.push_drop_oldest(WorkItem::Checkpoint),
+            };
+            Ingest::Continue
+        }
+        WireItem::Control(Control::Status) => Ingest::Status,
+        WireItem::Control(Control::Shutdown) => Ingest::Shutdown,
+        WireItem::Raw(bytes) => {
+            let line = String::from_utf8_lossy(bytes).into_owned();
+            ingest_one(&line, schema, queue, policy, board)
+        }
+        WireItem::Tagged { item, .. } => ingest_item(item, dict, schema, queue, policy, board),
     }
 }
 
@@ -374,9 +435,9 @@ pub(crate) fn ingest_one(
 }
 
 /// The epoch snapshots the window aggregator seals for a recorded log —
-/// the pure single-threaded reference for replay checks. Invalid lines
-/// are skipped (as the daemon does), `shutdown` stops, `checkpoint` is a
-/// no-op.
+/// the pure single-threaded reference for replay checks. Works on both
+/// encodings (and mixtures). Invalid records are skipped (as the daemon
+/// does), `shutdown` stops, `checkpoint` is a no-op.
 pub fn offline_snapshots<R: BufRead>(
     input: R,
     schema: &Schema,
@@ -389,24 +450,76 @@ pub fn offline_snapshots<R: BufRead>(
         config.window_epochs,
         config.max_templates,
     );
+    let mut dict = DecodeDict::new();
     let mut out = Vec::new();
-    for line in input.lines() {
-        let line = line.map_err(|e| format!("read log: {e}"))?;
+    let push_line = |line: &str, window: &mut EpochWindow, out: &mut Vec<Workload>| -> bool {
         let trimmed = line.trim();
         if trimmed.is_empty() {
-            continue;
+            return true;
         }
         match parse_line(trimmed, schema) {
             Ok(InputLine::Query(q)) => {
                 if window.push(&q) {
                     out.push(window.snapshot().expect("sealed window has a snapshot"));
                 }
+                true
             }
-            Ok(InputLine::Control(Control::Shutdown)) => break,
-            Ok(InputLine::Control(_)) | Err(_) => {}
+            Ok(InputLine::Control(Control::Shutdown)) => false,
+            Ok(InputLine::Control(_)) | Err(_) => true,
+        }
+    };
+    for record in RecordIter::new(input) {
+        let keep_going = match record {
+            Record::Line(line) => push_line(&line, &mut window, &mut out),
+            Record::Corrupt => true,
+            Record::Item(item) => {
+                match flatten_item(&item, &mut dict, schema) {
+                    FlatItem::Query(q) => {
+                        if window.push(&q) {
+                            out.push(window.snapshot().expect("sealed window has a snapshot"));
+                        }
+                        true
+                    }
+                    FlatItem::RawLine(line) => push_line(&line, &mut window, &mut out),
+                    FlatItem::Control(Control::Shutdown) => false,
+                    FlatItem::Control(_) | FlatItem::Skip => true,
+                }
+            }
+        };
+        if !keep_going {
+            break;
         }
     }
     Ok(out)
+}
+
+/// A [`WireItem`] reduced to the cases an offline replay cares about.
+pub(crate) enum FlatItem {
+    /// A resolved, schema-valid query.
+    Query(Query),
+    /// A raw payload to feed through the line parser.
+    RawLine(String),
+    /// A control command.
+    Control(Control),
+    /// Nothing to replay (a define, or an invalid event).
+    Skip,
+}
+
+/// Resolve one item against the dictionary, unwrapping journal tags.
+pub(crate) fn flatten_item(item: &WireItem, dict: &mut DecodeDict, schema: &Schema) -> FlatItem {
+    match item {
+        WireItem::Define { table, kind, attrs } => {
+            dict.define(schema, *table, *kind, attrs.clone());
+            FlatItem::Skip
+        }
+        WireItem::Event { template, frequency } => match dict.resolve(*template, *frequency) {
+            Some(q) => FlatItem::Query(q.into_owned()),
+            None => FlatItem::Skip,
+        },
+        WireItem::Control(c) => FlatItem::Control(*c),
+        WireItem::Raw(bytes) => FlatItem::RawLine(String::from_utf8_lossy(bytes).into_owned()),
+        WireItem::Tagged { item, .. } => flatten_item(item, dict, schema),
+    }
 }
 
 /// Offline reference loop: `dynamic::adapt` over per-epoch snapshots,

@@ -5,11 +5,18 @@
 //! Section-VII "workloads that change over time" scenario as a
 //! long-running advisor built from the existing layers:
 //!
-//! 1. **Ingestion** ([`event`], [`queue`], [`socket`]) — JSONL query
-//!    events from stdin, a file, or a Unix-domain socket flow through a
-//!    bounded queue. Replay uses blocking pushes (lossless); live serving
-//!    uses a drop-oldest overload policy whose every drop is *counted*,
-//!    never silent.
+//! 1. **Ingestion** ([`event`], [`queue`], [`socket`]) — query events
+//!    from stdin, a file, or a Unix-domain socket flow through a bounded
+//!    queue. Replay uses blocking pushes (lossless); live serving uses a
+//!    drop-oldest overload policy whose every drop is *counted*, never
+//!    silent. Events arrive in either of two peer encodings, mixed
+//!    freely on one stream and auto-detected per record by a magic byte
+//!    ([`records`]): JSONL lines, or the length-prefixed checksummed
+//!    binary frames of [`frame`] (interned query templates, varint ids —
+//!    DESIGN.md §14). Journals ([`journal`]) write either encoding,
+//!    optionally rotating into size-bounded segments behind a manifest,
+//!    and `convert` translates between them losslessly; replay can mmap
+//!    a journal ([`mmap`]) and decode with zero per-event allocation.
 //! 2. **Aggregation** ([`window`]) — events are batched into fixed-size
 //!    *epochs*; a sliding window of the last `window_epochs` epochs is
 //!    merged, deterministically ordered, and compressed with
@@ -41,7 +48,8 @@
 //!
 //! For multi-table workloads the daemon scales out across worker threads
 //! ([`router`], [`shard`]): a [`Router`] classifies raw JSONL lines by
-//! table group with a byte-scanning fast path, fans them out over
+//! table group with a byte-scanning fast path (binary events route by
+//! their template's table without any parse at all), fans them out over
 //! per-shard bounded queues, and each shard tunes its table groups
 //! independently — per-group windows, drift baselines and index pools.
 //! Because the unit of tuning state is always a single table group, the
@@ -64,7 +72,11 @@ pub mod checkpoint;
 pub mod config;
 pub mod daemon;
 pub mod event;
+pub mod frame;
+pub mod journal;
+pub mod mmap;
 pub mod queue;
+pub mod records;
 pub mod router;
 pub mod shard;
 pub mod socket;
@@ -78,6 +90,10 @@ pub use checkpoint::{
 pub use config::{DriftThresholds, ServiceConfig};
 pub use daemon::{offline_adapt, offline_snapshots, Daemon, OverloadPolicy, ServiceReport};
 pub use event::{parse_line, Control, InputLine};
+pub use frame::{FrameEncoder, WireItem, FORMAT_VERSION, MAGIC, MAX_PAYLOAD};
+pub use journal::{convert, read_journal_bytes, JournalConfig, JournalWriter, WireFormat};
+pub use mmap::MappedFile;
+pub use records::{DecodeDict, Record, RecordIter};
 pub use queue::BoundedQueue;
 pub use router::{offline_group_adapt, offline_group_snapshots, Router};
 pub use shard::{classify_line, LineClass, ShardMap, ShardTagSink};

@@ -1,0 +1,456 @@
+//! Unified record stream: JSONL lines and binary frames on one input.
+//!
+//! [`RecordIter`] reads any `BufRead` and yields [`Record`]s, deciding
+//! per record from a single leading byte whether the next bytes are a
+//! binary frame ([`crate::frame::MAGIC`], which no UTF-8 line can start
+//! with) or a text line. Both the streaming paths (stdin, sockets) and
+//! the mmap replay path (`Cursor<&[u8]>` over a mapped journal) run
+//! through this one implementation, so a corrupt byte surfaces as an
+//! invalid record at the **same deterministic stream position** no
+//! matter how the bytes arrived.
+//!
+//! Corruption never panics and never kills the stream: a frame with a
+//! bad version, oversized or truncated length, or checksum mismatch
+//! yields one [`Record::Corrupt`] and the reader resyncs at the next
+//! [`MAGIC`] byte or just past the next newline. Text lines that are
+//! not valid UTF-8 are converted lossily and surface as parse failures
+//! downstream instead of silently ending the stream (which is what
+//! `BufRead::lines` would do).
+//!
+//! [`DecodeDict`] is the consumer-side template dictionary: it
+//! validates [`WireItem::Define`]s against the schema once — the same
+//! checks [`crate::event::parse_line`] applies per line — and
+//! pre-builds a frequency-1 [`Query`] per valid template, so resolving
+//! a frequency-1 event is an array lookup that allocates nothing.
+
+use crate::event::Control;
+use crate::frame::{get_item, WireItem, FORMAT_VERSION, MAGIC, MAX_PAYLOAD};
+use isel_workload::wire::crc32;
+use isel_workload::{AttrId, Query, QueryKind, Schema, TableId};
+use std::borrow::Cow;
+use std::collections::VecDeque;
+use std::io::BufRead;
+
+/// One record from a mixed-encoding input stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Record {
+    /// A text line (newline stripped, invalid UTF-8 replaced lossily).
+    Line(String),
+    /// One decoded item from a valid binary frame.
+    Item(WireItem),
+    /// An undecodable region: corrupt frame header, checksum mismatch,
+    /// or a malformed item inside an otherwise-valid frame. Exactly one
+    /// `Corrupt` is emitted per undecodable region.
+    Corrupt,
+}
+
+/// Iterator over [`Record`]s. Works over any `BufRead`; for mmap replay
+/// wrap the mapped bytes in a `std::io::Cursor`.
+pub struct RecordIter<R: BufRead> {
+    input: R,
+    /// Items of the frame currently being drained; `None` marks the
+    /// corrupt remainder of a frame whose payload went bad mid-way.
+    pending: VecDeque<Option<WireItem>>,
+}
+
+impl<R: BufRead> RecordIter<R> {
+    /// Wrap an input stream.
+    pub fn new(input: R) -> Self {
+        Self { input, pending: VecDeque::new() }
+    }
+
+    /// Next byte without consuming it; `None` at EOF. I/O errors end
+    /// the stream (matching line-based ingestion, which stops at the
+    /// first read error).
+    fn peek(&mut self) -> Option<u8> {
+        match self.input.fill_buf() {
+            Ok(buf) => buf.first().copied(),
+            Err(_) => None,
+        }
+    }
+
+    fn read_byte(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.input.consume(1);
+        Some(b)
+    }
+
+    /// Skip forward to the next plausible record start: the next
+    /// [`MAGIC`] byte (left unconsumed) or just past the next newline.
+    fn resync(&mut self) {
+        while let Some(b) = self.peek() {
+            if b == MAGIC {
+                return;
+            }
+            self.input.consume(1);
+            if b == b'\n' {
+                return;
+            }
+        }
+    }
+
+    /// Decode the frame at the current position (first byte is known to
+    /// be [`MAGIC`]) into `pending`. On any header, checksum or payload
+    /// error, queues one corrupt marker; when the error leaves the
+    /// stream position unknown (bad header, truncation), also resyncs.
+    fn read_frame(&mut self) {
+        self.input.consume(1); // MAGIC
+        match self.try_read_frame() {
+            Ok(()) => {}
+            Err(resync) => {
+                self.pending.push_back(None);
+                if resync {
+                    self.resync();
+                }
+            }
+        }
+    }
+
+    /// `Err(true)` = corrupt with unknown extent (resync needed);
+    /// `Err(false)` = corrupt but fully consumed (a checksum mismatch
+    /// after reading the declared length — the next record starts right
+    /// here, so skipping would eat it).
+    fn try_read_frame(&mut self) -> Result<(), bool> {
+        if self.read_byte() != Some(FORMAT_VERSION) {
+            return Err(true);
+        }
+        // Varint payload length, byte at a time (it may straddle the
+        // underlying reader's buffer boundary).
+        let mut len: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let Some(byte) = self.read_byte() else { return Err(true) };
+            len |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+            if shift > 28 {
+                // > MAX_PAYLOAD needs at most 4 varint bytes; anything
+                // longer is corrupt by construction.
+                return Err(true);
+            }
+        }
+        let Ok(len) = usize::try_from(len) else { return Err(true) };
+        if len > MAX_PAYLOAD {
+            return Err(true);
+        }
+        let mut crc_bytes = [0u8; 4];
+        if self.input.read_exact(&mut crc_bytes).is_err() {
+            return Err(true);
+        }
+        let mut payload = vec![0u8; len];
+        if self.input.read_exact(&mut payload).is_err() {
+            return Err(true);
+        }
+        if crc32(&payload) != u32::from_le_bytes(crc_bytes) {
+            return Err(false);
+        }
+        let mut pos = 0;
+        while pos < payload.len() {
+            match get_item(&payload, &mut pos) {
+                Some(item) => self.pending.push_back(Some(item)),
+                None => {
+                    // The frame checksummed clean but an item is
+                    // malformed — count the remainder invalid once.
+                    self.pending.push_back(None);
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn read_line(&mut self) -> Option<String> {
+        let mut raw = Vec::new();
+        match self.input.read_until(b'\n', &mut raw) {
+            Ok(0) | Err(_) => None,
+            Ok(_) => {
+                if raw.last() == Some(&b'\n') {
+                    raw.pop();
+                }
+                if raw.last() == Some(&b'\r') {
+                    raw.pop();
+                }
+                Some(String::from_utf8_lossy(&raw).into_owned())
+            }
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for RecordIter<R> {
+    type Item = Record;
+
+    fn next(&mut self) -> Option<Record> {
+        loop {
+            if let Some(slot) = self.pending.pop_front() {
+                return Some(match slot {
+                    Some(item) => Record::Item(item),
+                    None => Record::Corrupt,
+                });
+            }
+            match self.peek()? {
+                MAGIC => self.read_frame(), // refills `pending`; loop
+                _ => return self.read_line().map(Record::Line),
+            }
+        }
+    }
+}
+
+/// One defined template on the consumer side.
+struct TemplateEntry {
+    table: u16,
+    kind: QueryKind,
+    /// Attribute ids in written order (for lossless re-rendering).
+    attrs: Vec<u32>,
+    /// Pre-built frequency-1 query, `None` if the definition failed
+    /// schema validation (events referencing it count as invalid).
+    query: Option<Query>,
+}
+
+/// Consumer-side template dictionary: validates `Define` items against
+/// the schema once, then resolves events by id.
+#[derive(Default)]
+pub struct DecodeDict {
+    templates: Vec<TemplateEntry>,
+}
+
+impl DecodeDict {
+    /// Empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of templates defined so far.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// True when no template has been defined.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    /// Register the next template. Returns the assigned id; whether the
+    /// definition validated is visible only when an event resolves it
+    /// (mirroring how an invalid JSONL line is counted where it occurs,
+    /// not where its shape first appeared).
+    pub fn define(&mut self, schema: &Schema, table: u16, kind: QueryKind, attrs: Vec<u32>) -> u64 {
+        let query = validate_define(schema, table, &attrs)
+            .then(|| Query::with_kind(TableId(table), attrs.iter().map(|&a| AttrId(a)).collect(), 1, kind));
+        self.templates.push(TemplateEntry { table, kind, attrs, query });
+        (self.templates.len() - 1) as u64
+    }
+
+    /// Register a template without schema validation, for render-only
+    /// consumers (conversion, socket transcoding) that use [`raw`]
+    /// and never [`resolve`].
+    ///
+    /// [`raw`]: Self::raw
+    /// [`resolve`]: Self::resolve
+    pub fn define_raw(&mut self, table: u16, kind: QueryKind, attrs: Vec<u32>) -> u64 {
+        self.templates.push(TemplateEntry { table, kind, attrs, query: None });
+        (self.templates.len() - 1) as u64
+    }
+
+    /// Table of a defined template (valid or not), for routing.
+    pub fn table_of(&self, template: u64) -> Option<u16> {
+        usize::try_from(template).ok().and_then(|t| self.templates.get(t)).map(|e| e.table)
+    }
+
+    /// Resolve an event to a validated [`Query`]. Frequency-1 events —
+    /// the common case — borrow the pre-built query and allocate
+    /// nothing. `None` for unknown or schema-invalid templates and for
+    /// zero frequencies.
+    pub fn resolve(&self, template: u64, frequency: u64) -> Option<Cow<'_, Query>> {
+        let entry = self.templates.get(usize::try_from(template).ok()?)?;
+        let base = entry.query.as_ref()?;
+        if frequency == 1 {
+            Some(Cow::Borrowed(base))
+        } else if frequency == 0 {
+            None
+        } else {
+            Some(Cow::Owned(Query::with_kind(
+                base.table(),
+                base.attrs().to_vec(),
+                frequency,
+                entry.kind,
+            )))
+        }
+    }
+
+    /// Raw shape of a template (written-order attrs), for rendering a
+    /// decoded event back to canonical JSONL. Available even for
+    /// schema-invalid templates, so conversion needs no schema.
+    pub fn raw(&self, template: u64) -> Option<(u16, &[u32], QueryKind)> {
+        let e = self.templates.get(usize::try_from(template).ok()?)?;
+        Some((e.table, &e.attrs, e.kind))
+    }
+}
+
+/// The schema checks [`crate::event::parse_line`] applies, on raw ids.
+pub(crate) fn validate_define(schema: &Schema, table: u16, attrs: &[u32]) -> bool {
+    if table as usize >= schema.tables().len() || attrs.is_empty() {
+        return false;
+    }
+    attrs.iter().all(|&a| {
+        (a as usize) < schema.attr_count() && schema.attribute(AttrId(a)).table == TableId(table)
+    })
+}
+
+/// Convenience: interpret one decoded [`WireItem`] against a dictionary
+/// the way [`parse_line`](crate::event::parse_line) interprets a line.
+/// `Define`s mutate the dictionary and yield `Ok(None)`; `Tagged`
+/// wrappers are transparent (conn/seq are journal metadata, exactly as
+/// the JSONL parser ignores those keys).
+pub fn interpret<'d>(
+    dict: &'d mut DecodeDict,
+    schema: &Schema,
+    item: &WireItem,
+) -> Result<Option<DecodedEvent<'d>>, InvalidTemplate> {
+    match item {
+        WireItem::Define { table, kind, attrs } => {
+            dict.define(schema, *table, *kind, attrs.clone());
+            Ok(None)
+        }
+        WireItem::Event { template, frequency } => match dict.resolve(*template, *frequency) {
+            Some(q) => Ok(Some(DecodedEvent::Query(q))),
+            None => Err(InvalidTemplate),
+        },
+        WireItem::Control(c) => Ok(Some(DecodedEvent::Control(*c))),
+        WireItem::Raw(bytes) => Ok(Some(DecodedEvent::RawLine(
+            String::from_utf8_lossy(bytes).into_owned(),
+        ))),
+        WireItem::Tagged { item, .. } => interpret(dict, schema, item),
+    }
+}
+
+/// An event referenced a template that was never validly defined —
+/// counted as one invalid input, like an unparseable JSONL line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvalidTemplate;
+
+/// A [`WireItem`] interpreted against the schema and dictionary.
+pub enum DecodedEvent<'d> {
+    /// A validated query (borrowed for frequency-1 events).
+    Query(Cow<'d, Query>),
+    /// A control command.
+    Control(Control),
+    /// A raw line to be fed through the JSONL parser.
+    RawLine(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameEncoder;
+    use isel_workload::SchemaBuilder;
+    use std::io::Cursor;
+
+    fn schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        let t0 = b.table("t0", 1_000);
+        b.attribute(t0, "a", 10, 4);
+        b.attribute(t0, "b", 10, 4);
+        let t1 = b.table("t1", 1_000);
+        b.attribute(t1, "c", 10, 4);
+        b.finish()
+    }
+
+    fn records(bytes: &[u8]) -> Vec<Record> {
+        RecordIter::new(Cursor::new(bytes)).collect()
+    }
+
+    #[test]
+    fn mixed_text_and_frames_interleave() {
+        let mut enc = FrameEncoder::new();
+        enc.push_query(0, &[0, 1], 1, QueryKind::Select);
+        let mut bytes = b"{\"table\":0,\"attrs\":[0]}\n".to_vec();
+        enc.flush_into(&mut bytes);
+        bytes.extend_from_slice(b"tail line\n");
+        let recs = records(&bytes);
+        assert_eq!(recs.len(), 4);
+        assert_eq!(recs[0], Record::Line("{\"table\":0,\"attrs\":[0]}".into()));
+        assert!(matches!(recs[1], Record::Item(WireItem::Define { .. })));
+        assert!(matches!(recs[2], Record::Item(WireItem::Event { template: 0, frequency: 1 })));
+        assert_eq!(recs[3], Record::Line("tail line".into()));
+    }
+
+    #[test]
+    fn final_line_without_newline_is_kept() {
+        assert_eq!(records(b"abc"), vec![Record::Line("abc".into())]);
+        assert_eq!(records(b"abc\r\n"), vec![Record::Line("abc".into())]);
+    }
+
+    #[test]
+    fn corrupt_frame_resyncs_to_next_record() {
+        let mut good = Vec::new();
+        let mut enc = FrameEncoder::new();
+        enc.push_control(Control::Status, None);
+        enc.flush_into(&mut good);
+        // Bad version byte, then garbage, then newline, then a good
+        // frame and a text line.
+        let mut bytes = vec![MAGIC, 0x7F, 0xde, 0xad, b'\n'];
+        bytes.extend_from_slice(&good);
+        bytes.extend_from_slice(b"after\n");
+        let recs = records(&bytes);
+        assert_eq!(recs[0], Record::Corrupt);
+        assert!(matches!(recs[1], Record::Item(WireItem::Control(_))));
+        assert_eq!(recs[2], Record::Line("after".into()));
+        assert_eq!(recs.len(), 3);
+    }
+
+    #[test]
+    fn checksum_mismatch_is_one_corrupt_record() {
+        let mut bytes = Vec::new();
+        let mut enc = FrameEncoder::new();
+        enc.push_query(0, &[0], 1, QueryKind::Select);
+        enc.flush_into(&mut bytes);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01; // flip a payload bit
+        bytes.extend_from_slice(b"next\n");
+        let recs = records(&bytes);
+        assert_eq!(recs[0], Record::Corrupt);
+        assert_eq!(recs[1], Record::Line("next".into()));
+    }
+
+    #[test]
+    fn truncated_frame_at_eof_is_corrupt() {
+        let mut bytes = Vec::new();
+        let mut enc = FrameEncoder::new();
+        enc.push_query(0, &[0], 7, QueryKind::Update);
+        enc.flush_into(&mut bytes);
+        for cut in 1..bytes.len() {
+            let recs = records(&bytes[..cut]);
+            assert_eq!(recs, vec![Record::Corrupt], "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_quickly() {
+        // Length prefix claims ~2^34 bytes; decoder must not allocate.
+        let bytes = [MAGIC, FORMAT_VERSION, 0xFF, 0xFF, 0xFF, 0xFF, 0x3F];
+        assert_eq!(records(&bytes), vec![Record::Corrupt]);
+    }
+
+    #[test]
+    fn dict_validates_and_resolves() {
+        let s = schema();
+        let mut d = DecodeDict::new();
+        let ok = d.define(&s, 0, QueryKind::Select, vec![1, 0]);
+        let bad_table = d.define(&s, 9, QueryKind::Select, vec![0]);
+        let cross = d.define(&s, 0, QueryKind::Select, vec![2]);
+        assert_eq!((ok, bad_table, cross), (0, 1, 2));
+        let q = d.resolve(0, 1).expect("valid template");
+        assert!(matches!(q, Cow::Borrowed(_)), "frequency-1 borrows");
+        assert_eq!(q.frequency(), 1);
+        let q5 = d.resolve(0, 5).unwrap();
+        assert_eq!(q5.frequency(), 5);
+        assert!(d.resolve(1, 1).is_none(), "unknown table");
+        assert!(d.resolve(2, 1).is_none(), "cross-table attr");
+        assert!(d.resolve(7, 1).is_none(), "never defined");
+        assert!(d.resolve(0, 0).is_none(), "zero frequency");
+        assert_eq!(d.table_of(1), Some(9), "invalid templates still route");
+        assert_eq!(d.raw(2), Some((0u16, &[2u32][..], QueryKind::Select)));
+    }
+}

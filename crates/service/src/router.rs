@@ -48,9 +48,11 @@ use crate::checkpoint::{
     shard_file, GroupCheckpoint, Manifest, ShardCheckpoint, CHECKPOINT_VERSION,
 };
 use crate::config::ServiceConfig;
-use crate::daemon::{OverloadPolicy, ServiceReport};
+use crate::daemon::{flatten_item, FlatItem, OverloadPolicy, ServiceReport};
 use crate::event::{parse_line, Control, InputLine};
+use crate::frame::WireItem;
 use crate::queue::BoundedQueue;
+use crate::records::{validate_define, DecodeDict, Record, RecordIter};
 use crate::shard::{classify_line, LineClass, ShardMap, ShardTagSink};
 use crate::status::{take_status_signal, StatusBoard};
 use crate::tuner::{EpochOutcome, Tuner};
@@ -58,8 +60,8 @@ use crate::window::EpochWindow;
 use isel_core::algorithm1::{self, Options, RunResult};
 use isel_core::{budget, merge_frontiers, Frontier, Parallelism, Selection, Trace, TraceSink};
 use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
-use isel_workload::{Schema, TableId, Workload};
-use std::collections::BTreeMap;
+use isel_workload::{Query, QueryKind, Schema, TableId, Workload};
+use std::collections::{BTreeMap, HashMap};
 use std::io::BufRead;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering;
@@ -69,6 +71,22 @@ use std::sync::Mutex;
 enum ShardItem {
     /// A raw input line; the worker parses and validates it.
     Line(String),
+    /// A binary template definition, carrying its stream-global id. The
+    /// router sends it to the owning table's shard; the worker validates
+    /// it against the schema once.
+    Define {
+        id: u64,
+        table: u16,
+        kind: QueryKind,
+        attrs: Vec<u32>,
+    },
+    /// A decoded binary event referencing a previously routed `Define`.
+    Event { template: u64, frequency: u64 },
+    /// A record with no valid interpretation (corrupt frame region or an
+    /// event whose template the router never saw); counted invalid by
+    /// the receiving worker so the count lands at a deterministic
+    /// position in that shard's stream.
+    Invalid,
     /// Checkpoint barrier of one generation.
     Barrier(u64),
 }
@@ -415,42 +433,115 @@ impl Router {
                         }
                     }
                 };
-                for line in input.lines() {
-                    let Ok(line) = line else { break };
+                let depths = || -> Vec<u64> {
+                    queues_ref.iter().map(|q| q.len() as u64).collect()
+                };
+                // Tables of every `Define` routed so far, indexed by the
+                // stream-global template id, so events route by table
+                // without re-reading their definition.
+                let mut template_tables: Vec<u16> = Vec::new();
+                for record in RecordIter::new(input) {
                     if take_status_signal() {
-                        status(&board_ref.line(dropped()));
+                        status(&board_ref.line(dropped(), &depths()));
                     }
-                    let trimmed = line.trim();
-                    if trimmed.is_empty() {
-                        continue;
-                    }
-                    let mut did_route = false;
-                    match classify_line(trimmed) {
-                        LineClass::Table(t) => {
-                            push(map_ref.shard_of(t), ShardItem::Line(trimmed.to_owned()));
-                            did_route = true;
+                    // Journal conn/seq tags and raw-carried lines reduce
+                    // to the plain record they wrap.
+                    let record = match record {
+                        Record::Item(WireItem::Tagged { item, .. }) => Record::Item(*item),
+                        r => r,
+                    };
+                    let record = match record {
+                        Record::Item(WireItem::Raw(bytes)) => {
+                            Record::Line(String::from_utf8_lossy(&bytes).into_owned())
                         }
-                        LineClass::Control => match parse_line(trimmed, schema_ref) {
-                            Ok(InputLine::Control(Control::Shutdown)) => break,
-                            Ok(InputLine::Control(Control::Checkpoint)) => {
-                                if committer_ref.is_some() {
-                                    barrier(next_gen, routed);
-                                    next_gen += 1;
+                        r => r,
+                    };
+                    let mut did_route = false;
+                    match record {
+                        Record::Line(line) => {
+                            let trimmed = line.trim();
+                            if trimmed.is_empty() {
+                                continue;
+                            }
+                            match classify_line(trimmed) {
+                                LineClass::Table(t) => {
+                                    push(map_ref.shard_of(t), ShardItem::Line(trimmed.to_owned()));
+                                    did_route = true;
+                                }
+                                LineClass::Control => match parse_line(trimmed, schema_ref) {
+                                    Ok(InputLine::Control(Control::Shutdown)) => break,
+                                    Ok(InputLine::Control(Control::Checkpoint)) => {
+                                        if committer_ref.is_some() {
+                                            barrier(next_gen, routed);
+                                            next_gen += 1;
+                                        }
+                                    }
+                                    Ok(InputLine::Control(Control::Status)) => {
+                                        status(&board_ref.line(dropped(), &depths()));
+                                    }
+                                    // A malformed control line is counted
+                                    // as invalid by a worker at its stream
+                                    // position (deterministic), not by the
+                                    // router.
+                                    Ok(InputLine::Query(_)) | Err(_) => {
+                                        push(
+                                            map_ref.opaque_shard(),
+                                            ShardItem::Line(trimmed.to_owned()),
+                                        );
+                                        did_route = true;
+                                    }
+                                },
+                                LineClass::Opaque => {
+                                    push(map_ref.opaque_shard(), ShardItem::Line(trimmed.to_owned()));
+                                    did_route = true;
                                 }
                             }
-                            Ok(InputLine::Control(Control::Status)) => {
-                                status(&board_ref.line(dropped()));
+                        }
+                        Record::Item(WireItem::Define { table, kind, attrs }) => {
+                            // Defines ride to the owning shard but do NOT
+                            // count as routed: a JSONL stream has no
+                            // define lines, and barrier generations must
+                            // land at identical event positions in both
+                            // encodings.
+                            let id = template_tables.len() as u64;
+                            template_tables.push(table);
+                            push(
+                                map_ref.shard_of(table),
+                                ShardItem::Define { id, table, kind, attrs },
+                            );
+                        }
+                        Record::Item(WireItem::Event { template, frequency }) => {
+                            match usize::try_from(template)
+                                .ok()
+                                .and_then(|t| template_tables.get(t).copied())
+                            {
+                                Some(t) => push(
+                                    map_ref.shard_of(t),
+                                    ShardItem::Event { template, frequency },
+                                ),
+                                None => push(map_ref.opaque_shard(), ShardItem::Invalid),
                             }
-                            // A malformed control line is counted as
-                            // invalid by a worker at its stream position
-                            // (deterministic), not by the router.
-                            Ok(InputLine::Query(_)) | Err(_) => {
-                                push(map_ref.opaque_shard(), ShardItem::Line(trimmed.to_owned()));
-                                did_route = true;
+                            did_route = true;
+                        }
+                        Record::Item(WireItem::Control(Control::Shutdown)) => break,
+                        Record::Item(WireItem::Control(Control::Checkpoint)) => {
+                            if committer_ref.is_some() {
+                                barrier(next_gen, routed);
+                                next_gen += 1;
                             }
-                        },
-                        LineClass::Opaque => {
-                            push(map_ref.opaque_shard(), ShardItem::Line(trimmed.to_owned()));
+                        }
+                        Record::Item(WireItem::Control(Control::Status)) => {
+                            status(&board_ref.line(dropped(), &depths()));
+                        }
+                        // Tagged/Raw were unwrapped above; anything else
+                        // would be a decoder invariant violation — count
+                        // it invalid rather than trust it.
+                        Record::Item(_) => {
+                            push(map_ref.opaque_shard(), ShardItem::Invalid);
+                            did_route = true;
+                        }
+                        Record::Corrupt => {
+                            push(map_ref.opaque_shard(), ShardItem::Invalid);
                             did_route = true;
                         }
                     }
@@ -609,26 +700,37 @@ fn shard_worker(
     let mut ingested = 0u64;
     let mut invalid = 0u64;
     let mut failure: Option<String> = None;
+    // Pre-validated frequency-1 queries per stream-global template id;
+    // `None` records a define that failed schema validation, so events
+    // referencing it count invalid (at their own position, exactly like
+    // an invalid JSONL line).
+    let mut dict: HashMap<u64, Option<Query>> = HashMap::new();
+    let ingest = |q: &Query,
+                  groups: &mut BTreeMap<u16, GroupState>,
+                  outcomes: &mut Vec<EpochOutcome>,
+                  ingested: &mut u64| {
+        *ingested += 1;
+        ctx.board.ingested.fetch_add(1, Ordering::Relaxed);
+        let table = q.table();
+        let group = groups
+            .entry(table.0)
+            .or_insert_with(|| GroupState::fresh(ctx.schema, ctx.config, table));
+        if group.window.push(q) {
+            let snap = group
+                .window
+                .snapshot()
+                .expect("snapshot exists after an epoch seals");
+            let mut out = group.tuner.tune(&snap, ctx.par, trace);
+            out.shard = Some(ctx.shard);
+            outcomes.push(out);
+            ctx.board.epochs.fetch_add(1, Ordering::Relaxed);
+        }
+    };
     while let Some(item) = queue.pop() {
         match item {
             ShardItem::Line(line) => match parse_line(&line, ctx.schema) {
                 Ok(InputLine::Query(q)) => {
-                    ingested += 1;
-                    ctx.board.ingested.fetch_add(1, Ordering::Relaxed);
-                    let table = q.table();
-                    let group = groups
-                        .entry(table.0)
-                        .or_insert_with(|| GroupState::fresh(ctx.schema, ctx.config, table));
-                    if group.window.push(&q) {
-                        let snap = group
-                            .window
-                            .snapshot()
-                            .expect("snapshot exists after an epoch seals");
-                        let mut out = group.tuner.tune(&snap, ctx.par, trace);
-                        out.shard = Some(ctx.shard);
-                        outcomes.push(out);
-                        ctx.board.epochs.fetch_add(1, Ordering::Relaxed);
-                    }
+                    ingest(&q, &mut groups, &mut outcomes, &mut ingested);
                 }
                 // A line carrying both a top-level "table" and "control"
                 // key routes as a table line but parses as a control; the
@@ -640,6 +742,43 @@ fn shard_worker(
                     ctx.board.invalid.fetch_add(1, Ordering::Relaxed);
                 }
             },
+            ShardItem::Define { id, table, kind, attrs } => {
+                let query = validate_define(ctx.schema, table, &attrs).then(|| {
+                    Query::with_kind(
+                        TableId(table),
+                        attrs.iter().map(|&a| isel_workload::AttrId(a)).collect(),
+                        1,
+                        kind,
+                    )
+                });
+                dict.insert(id, query);
+            }
+            ShardItem::Event { template, frequency } => {
+                match dict.get(&template) {
+                    Some(Some(base)) if frequency == 1 => {
+                        // The hot path: borrow the pre-built query, no
+                        // allocation per event.
+                        ingest(base, &mut groups, &mut outcomes, &mut ingested);
+                    }
+                    Some(Some(base)) if frequency > 1 => {
+                        let q = Query::with_kind(
+                            base.table(),
+                            base.attrs().to_vec(),
+                            frequency,
+                            base.kind(),
+                        );
+                        ingest(&q, &mut groups, &mut outcomes, &mut ingested);
+                    }
+                    _ => {
+                        invalid += 1;
+                        ctx.board.invalid.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            ShardItem::Invalid => {
+                invalid += 1;
+                ctx.board.invalid.fetch_add(1, Ordering::Relaxed);
+            }
             ShardItem::Barrier(generation) => {
                 if failure.is_some() {
                     continue; // keep draining; the run already failed
@@ -676,8 +815,9 @@ fn shard_worker(
 
 /// Per-table-group epoch snapshots of a recorded log — the pure
 /// single-threaded reference the sharded replay is checked against.
-/// Each valid event feeds its table's own window; invalid lines are
-/// skipped, `shutdown` stops, other controls are no-ops.
+/// Works on both encodings (and mixtures). Each valid event feeds its
+/// table's own window; invalid records are skipped, `shutdown` stops,
+/// other controls are no-ops.
 pub fn offline_group_snapshots<R: BufRead>(
     input: R,
     schema: &Schema,
@@ -686,31 +826,46 @@ pub fn offline_group_snapshots<R: BufRead>(
     config.validate()?;
     let mut windows: BTreeMap<u16, EpochWindow> = BTreeMap::new();
     let mut out: BTreeMap<u16, Vec<Workload>> = BTreeMap::new();
-    for line in input.lines() {
-        let line = line.map_err(|e| format!("read log: {e}"))?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
+    let mut dict = DecodeDict::new();
+    let feed = |q: &Query,
+                windows: &mut BTreeMap<u16, EpochWindow>,
+                out: &mut BTreeMap<u16, Vec<Workload>>| {
+        let t = q.table().0;
+        let window = windows.entry(t).or_insert_with(|| {
+            EpochWindow::new(
+                schema.clone(),
+                config.epoch_events,
+                config.window_epochs,
+                config.max_templates,
+            )
+        });
+        if window.push(q) {
+            out.entry(t)
+                .or_default()
+                .push(window.snapshot().expect("sealed window has a snapshot"));
         }
-        match parse_line(trimmed, schema) {
-            Ok(InputLine::Query(q)) => {
-                let t = q.table().0;
-                let window = windows.entry(t).or_insert_with(|| {
-                    EpochWindow::new(
-                        schema.clone(),
-                        config.epoch_events,
-                        config.window_epochs,
-                        config.max_templates,
-                    )
-                });
-                if window.push(&q) {
-                    out.entry(t)
-                        .or_default()
-                        .push(window.snapshot().expect("sealed window has a snapshot"));
+    };
+    for record in RecordIter::new(input) {
+        let flat = match record {
+            Record::Line(line) => FlatItem::RawLine(line),
+            Record::Item(item) => flatten_item(&item, &mut dict, schema),
+            Record::Corrupt => FlatItem::Skip,
+        };
+        match flat {
+            FlatItem::Query(q) => feed(&q, &mut windows, &mut out),
+            FlatItem::RawLine(line) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                match parse_line(trimmed, schema) {
+                    Ok(InputLine::Query(q)) => feed(&q, &mut windows, &mut out),
+                    Ok(InputLine::Control(Control::Shutdown)) => break,
+                    Ok(InputLine::Control(_)) | Err(_) => {}
                 }
             }
-            Ok(InputLine::Control(Control::Shutdown)) => break,
-            Ok(InputLine::Control(_)) | Err(_) => {}
+            FlatItem::Control(Control::Shutdown) => break,
+            FlatItem::Control(_) | FlatItem::Skip => {}
         }
     }
     Ok(out)

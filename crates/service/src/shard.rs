@@ -13,6 +13,12 @@
 //! table group at every shard count, so moving a group between shards
 //! (including resuming a checkpoint at a different `--shards`) changes
 //! scheduling only.
+//!
+//! Binary-framed input (see [`crate::frame`]) never reaches
+//! [`classify_line`]: frames start with a magic byte that is invalid as
+//! a UTF-8 lead, so [`crate::records::RecordIter`] splits the stream
+//! first and the router routes decoded items by their template's table —
+//! cheaper still than the byte scan.
 
 use isel_core::{TraceEvent, TraceSink};
 use std::collections::BTreeMap;

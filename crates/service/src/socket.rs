@@ -29,12 +29,14 @@
 //! queuing anything.
 
 use crate::daemon::{ingest_one, Daemon, Ingest, OverloadPolicy, ServiceReport, WorkItem};
+use crate::frame::WireItem;
+use crate::journal::{render_item_line, JournalConfig, JournalWriter};
 use crate::queue::BoundedQueue;
+use crate::records::{DecodeDict, Record, RecordIter};
 use crate::status::{take_status_signal, StatusBoard};
 use isel_core::Trace;
 use isel_workload::Schema;
-use std::fs::File;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -50,7 +52,7 @@ struct ConnCtx<'a> {
     queue: &'a BoundedQueue<WorkItem>,
     stop: &'a AtomicBool,
     board: &'a StatusBoard,
-    journal: Option<&'a Mutex<BufWriter<File>>>,
+    journal: Option<&'a Mutex<JournalWriter>>,
     base_dropped: u64,
 }
 
@@ -58,9 +60,16 @@ struct ConnCtx<'a> {
 /// control arrives, then drain, checkpoint and report. A stale socket
 /// file at `path` is replaced.
 ///
-/// When `journal` is given, every accepted line is appended there
+/// When `journal` is given, every accepted event is appended there
 /// tagged with its connection id and per-connection sequence number, in
-/// consumption order (see the module docs for the replay contract).
+/// consumption order (see the module docs for the replay contract). The
+/// journal may be JSONL or binary and may rotate into segments — see
+/// [`JournalConfig`]; both encodings replay identically.
+///
+/// Clients may likewise send either encoding (even mixed on one
+/// connection): binary items are rendered back to their canonical line
+/// form and fed through the same ingest path, so journaling and replay
+/// semantics are identical no matter how an event arrived.
 ///
 /// Connection handlers read until their peer disconnects, so the final
 /// drain completes once every client has hung up — clients should close
@@ -69,7 +78,7 @@ pub fn run_socket(
     daemon: &mut Daemon,
     path: &Path,
     checkpoint: Option<&Path>,
-    journal: Option<&Path>,
+    journal: Option<&JournalConfig>,
     trace: Trace<'_>,
 ) -> Result<ServiceReport, String> {
     if path.exists() {
@@ -82,10 +91,7 @@ pub fn run_socket(
         .map_err(|e| format!("set_nonblocking: {e}"))?;
 
     let journal = match journal {
-        Some(p) => {
-            let f = File::create(p).map_err(|e| format!("create {}: {e}", p.display()))?;
-            Some(Mutex::new(BufWriter::new(f)))
-        }
+        Some(cfg) => Some(Mutex::new(JournalWriter::create(cfg.clone())?)),
         None => None,
     };
     let queue = BoundedQueue::new(daemon.config().queue_capacity);
@@ -116,9 +122,10 @@ pub fn run_socket(
                         if take_status_signal() {
                             eprintln!(
                                 "{}",
-                                ctx_ref
-                                    .board
-                                    .line(ctx_ref.base_dropped + ctx_ref.queue.dropped())
+                                ctx_ref.board.line(
+                                    ctx_ref.base_dropped + ctx_ref.queue.dropped(),
+                                    &[ctx_ref.queue.len() as u64],
+                                )
                             );
                         }
                         std::thread::sleep(ACCEPT_POLL);
@@ -130,9 +137,14 @@ pub fn run_socket(
         });
         daemon.consume(&queue, &board, checkpoint, trace)
     });
-    if let Some(j) = &journal {
-        if let Ok(mut g) = j.lock() {
-            g.flush().map_err(|e| format!("flush journal: {e}"))?;
+    if let Some(j) = journal {
+        let writer = match j.into_inner() {
+            Ok(w) => w,
+            Err(p) => p.into_inner(),
+        };
+        let errors = writer.finish();
+        if errors > 0 {
+            return Err(format!("journal write errors: {errors}"));
         }
     }
     std::fs::remove_file(path).ok();
@@ -140,17 +152,50 @@ pub fn run_socket(
     Ok(daemon.report(outcomes, &queue, &board, written))
 }
 
-/// Per-connection reader: ingest lines with the drop-oldest policy until
-/// the peer disconnects or a shutdown control arrives. `conn` is the
-/// monotone connection id used for journal tagging.
+/// Per-connection reader: ingest records with the drop-oldest policy
+/// until the peer disconnects or a shutdown control arrives. `conn` is
+/// the monotone connection id used for journal tagging.
+///
+/// Records may be JSONL lines or binary frames (auto-detected per record
+/// by the magic byte). Binary items are rendered to their canonical line
+/// form through a per-connection template dictionary, then flow through
+/// the exact same journal/ingest path as lines — so the journal is
+/// encoding-agnostic and replay matches live behaviour either way.
 fn serve_connection(ctx: &ConnCtx<'_>, stream: UnixStream, conn: u64) {
     let mut writer = stream.try_clone().ok();
-    let reader = BufReader::new(stream);
+    let mut dict = DecodeDict::new();
     let mut seq = 0u64;
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    for record in RecordIter::new(BufReader::new(stream)) {
         if ctx.stop.load(Ordering::Relaxed) {
             break;
+        }
+        let line = match record {
+            Record::Line(line) => line,
+            Record::Item(item) => {
+                if let WireItem::Define { .. } = item {
+                    // Defines only update the connection's dictionary;
+                    // events re-render as self-contained lines, so the
+                    // journal stays definition-free.
+                    render_item_line(&mut dict, &item);
+                    continue;
+                }
+                match render_item_line(&mut dict, &item) {
+                    Some(line) => line,
+                    None => {
+                        // Undecodable item (e.g. unknown template id):
+                        // counted invalid exactly like a bad line.
+                        ctx.board.invalid.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                }
+            }
+            Record::Corrupt => {
+                ctx.board.invalid.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
         }
         seq += 1;
         let verdict = match ctx.journal {
@@ -161,7 +206,7 @@ fn serve_connection(ctx: &ConnCtx<'_>, stream: UnixStream, conn: u64) {
                     Ok(g) => g,
                     Err(p) => p.into_inner(),
                 };
-                write_journal_line(&mut g, conn, seq, &line);
+                g.write_line(conn, seq, &line);
                 ingest_one(&line, ctx.schema, ctx.queue, OverloadPolicy::DropOldest, ctx.board)
             }
             None => {
@@ -175,7 +220,10 @@ fn serve_connection(ctx: &ConnCtx<'_>, stream: UnixStream, conn: u64) {
                     let _ = writeln!(
                         w,
                         "{}",
-                        ctx.board.line(ctx.base_dropped + ctx.queue.dropped())
+                        ctx.board.line(
+                            ctx.base_dropped + ctx.queue.dropped(),
+                            &[ctx.queue.len() as u64],
+                        )
                     );
                 }
             }
@@ -187,29 +235,6 @@ fn serve_connection(ctx: &ConnCtx<'_>, stream: UnixStream, conn: u64) {
             }
         }
     }
-}
-
-/// Append one journal line tagged `{"conn":C,"seq":S,...}`. JSON object
-/// lines get the tags spliced in after the opening brace so the original
-/// fields survive verbatim; non-JSON lines (which the parser counts as
-/// invalid on replay, exactly as it did live) are written unchanged.
-fn write_journal_line(out: &mut BufWriter<File>, conn: u64, seq: u64, line: &str) {
-    let trimmed = line.trim();
-    if trimmed.is_empty() {
-        return;
-    }
-    let tagged = match trimmed.strip_prefix('{') {
-        Some(rest) => {
-            let rest = rest.trim_start();
-            if rest == "}" {
-                format!("{{\"conn\":{conn},\"seq\":{seq}}}")
-            } else {
-                format!("{{\"conn\":{conn},\"seq\":{seq},{rest}")
-            }
-        }
-        None => trimmed.to_string(),
-    };
-    let _ = writeln!(out, "{tagged}");
 }
 
 #[cfg(test)]
@@ -319,7 +344,12 @@ mod tests {
                 assert!(reply.contains("\"ingested\":8"), "status reply: {reply}");
                 stream.write_all(b"{\"control\":\"shutdown\"}\n").unwrap();
             });
-            run_socket(&mut daemon, &sock, None, Some(&journal), Trace::disabled()).unwrap()
+            let jcfg = JournalConfig {
+                path: journal.clone(),
+                format: crate::journal::WireFormat::Jsonl,
+                max_bytes: None,
+            };
+            run_socket(&mut daemon, &sock, None, Some(&jcfg), Trace::disabled()).unwrap()
         });
         assert_eq!(report.ingested, 8);
 

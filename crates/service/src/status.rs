@@ -40,11 +40,22 @@ impl StatusBoard {
 
     /// Render the aggregated counters as a single JSON status line.
     /// `dropped` is passed in because queue eviction counts live in the
-    /// queues themselves.
-    pub fn line(&self, dropped: u64) -> String {
+    /// queues themselves, and `queue_depths` (one entry per shard queue,
+    /// in shard order; a single entry for the unsharded daemon) is a
+    /// point-in-time backlog sample — the live observability signal for
+    /// a shard falling behind.
+    pub fn line(&self, dropped: u64, queue_depths: &[u64]) -> String {
+        use std::fmt::Write as _;
+        let mut queues = String::new();
+        for (i, d) in queue_depths.iter().enumerate() {
+            if i > 0 {
+                queues.push(',');
+            }
+            let _ = write!(queues, "{d}");
+        }
         format!(
             "{{\"status\":{{\"shards\":{},\"ingested\":{},\"invalid\":{},\"dropped\":{},\
-             \"epochs\":{},\"checkpoints\":{}}}}}",
+             \"epochs\":{},\"checkpoints\":{},\"queues\":[{queues}]}}}}",
             self.shards,
             self.ingested.load(Ordering::Relaxed),
             self.invalid.load(Ordering::Relaxed),
@@ -104,7 +115,7 @@ mod tests {
         board.invalid.store(2, Ordering::Relaxed);
         board.epochs.store(3, Ordering::Relaxed);
         board.checkpoints.store(1, Ordering::Relaxed);
-        let line = board.line(7);
+        let line = board.line(7, &[5, 0, 12, 3]);
         let v: serde_json::Value = serde_json::from_str(&line).unwrap();
         let s = v.get("status").expect("status object");
         let field = |key: &str| s.get(key).and_then(|f| f.as_u64());
@@ -114,6 +125,14 @@ mod tests {
         assert_eq!(field("dropped"), Some(7));
         assert_eq!(field("epochs"), Some(3));
         assert_eq!(field("checkpoints"), Some(1));
+        let queues: Vec<u64> = s
+            .get("queues")
+            .and_then(|q| q.as_array())
+            .expect("queues array")
+            .iter()
+            .map(|d| d.as_u64().unwrap())
+            .collect();
+        assert_eq!(queues, vec![5, 0, 12, 3], "one depth per shard, in shard order");
         assert!(!line.contains('\n'), "one line, scrape-friendly");
     }
 

@@ -36,6 +36,7 @@ pub mod schema;
 pub mod stats;
 pub mod synthetic;
 pub mod tpcc;
+pub mod wire;
 
 pub use ids::{AttrId, IndexId, QueryId, TableId};
 pub use index::Index;

@@ -581,3 +581,307 @@ proptest! {
         prop_assert_eq!(report.ingested + report.invalid, nonempty - controls);
     }
 }
+
+// ------------------------------------------------- binary wire format
+
+use isel_service::journal::{is_manifest, tag_line};
+use isel_service::{
+    convert, read_journal_bytes, Control, FrameEncoder, JournalConfig, JournalWriter, Record,
+    RecordIter, WireFormat, FORMAT_VERSION, MAGIC,
+};
+use isel_workload::{tpcc, QueryKind};
+use std::path::Path;
+
+/// Run a router over `bytes` with a checkpoint manifest in a private
+/// scratch directory; return the report plus every checkpoint file the
+/// run committed, as sorted `(file name, bytes)` pairs. File names are
+/// relative to the manifest, so two runs over equivalent streams must
+/// produce identical pair lists.
+fn run_with_checkpoints(
+    w: &Workload,
+    shards: u32,
+    bytes: Vec<u8>,
+    tag: &str,
+) -> (isel_service::ServiceReport, Vec<(String, Vec<u8>)>) {
+    let dir = case_dir(tag);
+    let manifest = dir.join("cp.json");
+    let mut router = Router::new(w.schema().clone(), sharded_config(shards)).unwrap();
+    let report = router
+        .run_reader(Cursor::new(bytes), OverloadPolicy::Block, Some(&manifest), &[])
+        .unwrap();
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| {
+            let e = e.unwrap();
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                std::fs::read(e.path()).unwrap(),
+            )
+        })
+        .collect();
+    files.sort();
+    std::fs::remove_dir_all(&dir).ok();
+    (report, files)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The tentpole cross-encoding guarantee: the same random event
+    /// stream replayed as JSONL and as its binary transcoding yields
+    /// bit-identical epoch outcomes, final selections, ingest counters
+    /// and checkpoint files at 1, 2 and 4 shards.
+    #[test]
+    fn binary_and_jsonl_replays_are_bit_identical(
+        picks in prop::collection::vec((0usize..10_000, 1u64..40), 24..72),
+    ) {
+        let w = workload();
+        let jsonl = render_log(&w, &picks);
+        let binary = convert(jsonl.as_bytes(), WireFormat::Binary);
+        prop_assert_eq!(binary.first(), Some(&MAGIC));
+        for shards in [1u32, 2, 4] {
+            let (a, cp_a) =
+                run_with_checkpoints(&w, shards, jsonl.clone().into_bytes(), "xenc-jsonl");
+            let (b, cp_b) = run_with_checkpoints(&w, shards, binary.clone(), "xenc-binary");
+            prop_assert_eq!(a.ingested, b.ingested);
+            prop_assert_eq!(a.invalid, b.invalid);
+            prop_assert_eq!(a.epochs.len(), b.epochs.len());
+            for (x, y) in a.epochs.iter().zip(&b.epochs) {
+                prop_assert_eq!(x.table, y.table);
+                prop_assert_eq!(x.epoch, y.epoch);
+                prop_assert_eq!(&x.selection, &y.selection);
+                prop_assert_eq!(x.workload_cost.to_bits(), y.workload_cost.to_bits());
+                prop_assert_eq!(x.reconfig_paid.to_bits(), y.reconfig_paid.to_bits());
+            }
+            prop_assert_eq!(&a.final_selection, &b.final_selection);
+            prop_assert_eq!(cp_a, cp_b);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `convert` is lossless in both directions on mixed logs: canonical
+    /// events, tagged events, controls and arbitrary garbage lines all
+    /// survive jsonl → binary → jsonl byte-for-byte, and re-encoding the
+    /// round-tripped text reproduces the binary bytes exactly.
+    #[test]
+    fn convert_round_trips_mixed_logs_losslessly(
+        picks in prop::collection::vec((0usize..10_000, 1u64..40), 0..32),
+        garbage in prop::collection::vec(arb_ascii_line(40), 0..8),
+        seed in 0u64..1000,
+    ) {
+        let w = workload();
+        let mut lines: Vec<String> =
+            render_log(&w, &picks).lines().map(str::to_owned).collect();
+        for g in garbage {
+            if !g.trim().is_empty() {
+                lines.push(g);
+            }
+        }
+        lines.push("{\"control\":\"checkpoint\"}".to_owned());
+        lines.push("{\"control\":\"status\"}".to_owned());
+        lines.push("{\"conn\":3,\"seq\":9,\"table\":0,\"attrs\":[1,4]}".to_owned());
+        lines.push("{\"conn\":3,\"seq\":10,\"table\":1,\"attrs\":[2],\"frequency\":5}".to_owned());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..lines.len()).rev() {
+            let j = rng.gen_range(0..(i as u64 + 1)) as usize;
+            lines.swap(i, j);
+        }
+        let log: String = lines.iter().map(|l| format!("{l}\n")).collect();
+
+        let bin = convert(log.as_bytes(), WireFormat::Binary);
+        let back = convert(&bin, WireFormat::Jsonl);
+        prop_assert_eq!(std::str::from_utf8(&back).unwrap(), log.as_str());
+        // Both directions are idempotent fixed points.
+        prop_assert_eq!(convert(&back, WireFormat::Binary), bin);
+        prop_assert_eq!(convert(log.as_bytes(), WireFormat::Jsonl), log.as_bytes());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Satellite guarantee, binary edition: whatever bytes arrive, the
+    /// record decoder never panics and decodes deterministically, and
+    /// `convert` stays total in both directions.
+    #[test]
+    fn binary_decoder_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(0u8..=255, 0..512),
+    ) {
+        let a: Vec<Record> = RecordIter::new(Cursor::new(bytes.clone())).collect();
+        let b: Vec<Record> = RecordIter::new(Cursor::new(bytes.clone())).collect();
+        prop_assert_eq!(a, b);
+        let _ = convert(&bytes, WireFormat::Binary);
+        let _ = convert(&bytes, WireFormat::Jsonl);
+    }
+}
+
+/// Systematic corruption of a known-good two-frame stream: truncation at
+/// every byte, every single-byte flip, an unknown version byte, a CRC
+/// mismatch and an oversized length prefix all decode without panicking,
+/// count invalid regions at deterministic positions, and never take the
+/// healthy neighbouring frame down with them.
+#[test]
+fn binary_decoder_handles_truncation_and_corruption_deterministically() {
+    let mut enc = FrameEncoder::new();
+    enc.push_query(0, &[1, 2, 3], 7, QueryKind::Select);
+    enc.push_query(1, &[0], 1, QueryKind::Update);
+    enc.push_control(Control::Checkpoint, None);
+    let mut frame1 = Vec::new();
+    enc.flush_into(&mut frame1);
+    enc.push_query(0, &[2], 3, QueryKind::Select);
+    enc.push_raw(b"not json");
+    let mut frame2 = Vec::new();
+    enc.flush_into(&mut frame2);
+    let stream = [frame1.clone(), frame2.clone()].concat();
+
+    let full: Vec<Record> = RecordIter::new(Cursor::new(stream.clone())).collect();
+    assert!(full.iter().all(|r| matches!(r, Record::Item(_))));
+    assert!(full.len() >= 6, "defines + events + control + raw");
+    let frame2_records: Vec<Record> =
+        RecordIter::new(Cursor::new(frame2.clone())).collect();
+
+    // Truncation at every byte: no panic, and a second pass agrees.
+    for cut in 0..stream.len() {
+        let a: Vec<Record> = RecordIter::new(Cursor::new(stream[..cut].to_vec())).collect();
+        let b: Vec<Record> = RecordIter::new(Cursor::new(stream[..cut].to_vec())).collect();
+        assert_eq!(a, b, "truncation at byte {cut} is nondeterministic");
+    }
+
+    // Every single-byte flip: no panic, deterministic.
+    for i in 0..stream.len() {
+        let mut bad = stream.clone();
+        bad[i] ^= 0xFF;
+        let a: Vec<Record> = RecordIter::new(Cursor::new(bad.clone())).collect();
+        let b: Vec<Record> = RecordIter::new(Cursor::new(bad)).collect();
+        assert_eq!(a, b, "flip at byte {i} is nondeterministic");
+    }
+
+    // Unknown version byte: the corrupt frame is counted and the decoder
+    // resyncs; frame 2's raw item still comes through.
+    let mut bad = stream.clone();
+    assert_eq!(bad[0], MAGIC);
+    assert_eq!(bad[1], FORMAT_VERSION);
+    bad[1] = 0xEE;
+    let recs: Vec<Record> = RecordIter::new(Cursor::new(bad)).collect();
+    assert!(recs.contains(&Record::Corrupt));
+    assert_eq!(
+        recs.iter()
+            .filter(|r| matches!(r, Record::Item(i) if *i == isel_service::WireItem::Raw(b"not json".to_vec())))
+            .count(),
+        1,
+        "frame 2 must survive a frame 1 version error"
+    );
+
+    // CRC mismatch: exactly one corrupt marker, no resync, and frame 2
+    // decodes bit-identically to its standalone decode.
+    assert!(frame1[2] < 0x80, "payload length fits one varint byte");
+    let mut bad = stream.clone();
+    bad[7] ^= 0x01; // first payload byte of frame 1
+    let recs: Vec<Record> = RecordIter::new(Cursor::new(bad)).collect();
+    assert_eq!(recs[0], Record::Corrupt);
+    assert_eq!(&recs[1..], &frame2_records[..]);
+
+    // Oversized length prefix: corrupt header, then clean resync onto the
+    // next magic byte.
+    let mut bad = vec![MAGIC, FORMAT_VERSION, 0xFF, 0xFF, 0xFF, 0x7F];
+    bad.extend_from_slice(&frame2);
+    let recs: Vec<Record> = RecordIter::new(Cursor::new(bad)).collect();
+    assert_eq!(recs[0], Record::Corrupt);
+    assert_eq!(&recs[1..], &frame2_records[..]);
+}
+
+/// The checked-in binary fixture is frozen against its JSONL twin:
+/// `journal convert` regenerates it byte-identically, converts it back
+/// losslessly, it keeps the ≥10x size edge, and the daemon replays both
+/// encodings to bit-identical epoch outcomes.
+#[test]
+fn golden_tpcc_fixture_matches_its_jsonl_twin() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../examples");
+    let jsonl = std::fs::read(dir.join("tpcc_events.jsonl")).unwrap();
+    let bin = std::fs::read(dir.join("tpcc_events.bin")).unwrap();
+    assert_eq!(
+        convert(&jsonl, WireFormat::Binary),
+        bin,
+        "examples/tpcc_events.bin is stale; regenerate with \
+         `isel journal convert --log examples/tpcc_events.jsonl --to binary \
+         --out examples/tpcc_events.bin`"
+    );
+    assert_eq!(convert(&bin, WireFormat::Jsonl), jsonl);
+    assert!(
+        bin.len() * 10 <= jsonl.len(),
+        "binary fixture lost its 10x size edge: {} vs {} bytes",
+        bin.len(),
+        jsonl.len()
+    );
+
+    let w = tpcc::generate(50).0;
+    let run = |bytes: &[u8]| {
+        let mut daemon = Daemon::new(w.schema().clone(), service_config(1)).unwrap();
+        daemon
+            .run_reader(
+                Cursor::new(bytes.to_vec()),
+                OverloadPolicy::Block,
+                None,
+                Trace::disabled(),
+            )
+            .unwrap()
+    };
+    let a = run(&jsonl);
+    let b = run(&bin);
+    assert_eq!(a.ingested, b.ingested);
+    assert_eq!(a.invalid, b.invalid);
+    assert_eq!(a.epochs.len(), b.epochs.len());
+    for (x, y) in a.epochs.iter().zip(&b.epochs) {
+        assert_eq!(x.epoch, y.epoch);
+        assert_eq!(x.selection, y.selection);
+        assert_eq!(x.workload_cost.to_bits(), y.workload_cost.to_bits());
+        assert_eq!(x.reconfig_paid.to_bits(), y.reconfig_paid.to_bits());
+    }
+    assert_eq!(a.final_selection, b.final_selection);
+}
+
+/// Kill a rotating journal mid-segment (the final manifest commit never
+/// lands) and recover: every acknowledged line comes back, in order,
+/// with its connection/sequence tag — in both encodings, across the
+/// shared-dictionary segment boundary.
+#[test]
+fn rotated_journal_survives_a_mid_segment_kill() {
+    for format in [WireFormat::Jsonl, WireFormat::Binary] {
+        let dir = case_dir("rotate-kill");
+        let path = dir.join("journal");
+        let config = JournalConfig { path: path.clone(), format, max_bytes: Some(96) };
+        let mut writer = JournalWriter::create(config).unwrap();
+        let mut lines = Vec::new();
+        for i in 0..40u64 {
+            let line = format!(
+                "{{\"table\":{},\"attrs\":[{}],\"frequency\":{}}}",
+                i % 2,
+                i % 6,
+                i % 5 + 2
+            );
+            writer.write_line(1, i + 1, &line);
+            lines.push(line);
+        }
+        assert_eq!(writer.errors(), 0);
+        writer.abandon(); // the "kill": data flushed, manifest not committed
+
+        let manifest = std::fs::read(&path).unwrap();
+        assert!(is_manifest(&manifest), "{format:?}: base path holds the manifest");
+        assert!(
+            dir.join("journal.seg-000001").exists(),
+            "{format:?}: 40 events across 96-byte segments must rotate at least once"
+        );
+
+        let bytes = read_journal_bytes(&path).unwrap();
+        let text = String::from_utf8(convert(&bytes, WireFormat::Jsonl)).unwrap();
+        let got: Vec<&str> = text.lines().collect();
+        assert_eq!(got.len(), lines.len(), "{format:?}: no acknowledged line may be lost");
+        for (i, (g, want)) in got.iter().zip(&lines).enumerate() {
+            assert_eq!(*g, tag_line(1, i as u64 + 1, want), "{format:?}: line {i}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
