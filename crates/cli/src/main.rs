@@ -48,7 +48,12 @@ USAGE:
   isel serve         --workload FILE [--socket PATH] [--checkpoint FILE]
                      [--resume] [--trace FILE] [--journal FILE]
                      [--format jsonl|binary] [--journal-max-bytes N]
-                     [--shards N] [--shard-map T:S,T:S] [same tuning knobs]
+                     [--shards N] [--shard-map T:S,T:S] [--weights T:W,T:W]
+                     [same tuning knobs]
+  isel budget        --workload FILE --log FILE --at B1,B2,... [--tenant T]
+                     [--shards N] [--weights T:W,T:W] [same tuning knobs]
+  isel budget        --socket PATH --at B1,B2,... [--log FILE] [--tenant T]
+                     [--shutdown]
   isel journal       convert --log FILE --to jsonl|binary --out FILE
 
   The service commands drive the continuous-tuning daemon: record an
@@ -76,6 +81,17 @@ USAGE:
   deterministically. SIGUSR1 or a status control line prints live JSON
   counters.
 
+  The global-budget merge is maintained live: each table group publishes
+  its tuned frontier as epochs complete and changed groups re-merge
+  incrementally, so budget questions are cheap reads. isel budget
+  replays a log and prints the allocation table at each --at budget
+  (whatif), or one group's allocation and cost with --tenant T; with
+  --socket it asks a serving daemon the same questions over the wire
+  ({\"control\":\"whatif\",...} / {\"control\":\"tenant\",...} lines,
+  answered in stream order) and the replies are byte-identical to the
+  offline answers over the same events. --weights T:W biases the split
+  toward high-priority tenants deterministically.
+
   --threads N fans candidate evaluation over N workers (0 = all cores);
   recommendations are identical at every setting.
   --trace FILE streams structured run events (construction steps,
@@ -98,6 +114,7 @@ fn main() -> ExitCode {
         Some("record") => service_cmd::record(&args),
         Some("replay") => service_cmd::replay(&args),
         Some("serve") => service_cmd::serve(&args),
+        Some("budget") => service_cmd::budget(&args),
         Some("journal") => service_cmd::journal(&args),
         Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
         None => Err(USAGE.to_owned()),

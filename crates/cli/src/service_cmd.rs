@@ -20,9 +20,9 @@ use crate::commands::{create_trace_sink, finish_trace, load_workload, trace_sink
 use isel_core::{Trace, TraceSink};
 use isel_service::{
     install_status_signal, journal::is_manifest, offline_adapt, offline_group_adapt,
-    offline_group_snapshots, offline_snapshots, read_journal_bytes, run_socket, Checkpoint,
-    Daemon, EpochOutcome, FrameEncoder, JournalConfig, MappedFile, OverloadPolicy, Router,
-    ServiceConfig, ServiceReport, WireFormat, MAGIC,
+    offline_group_snapshots, offline_snapshots, read_journal_bytes, run_socket,
+    run_socket_router, Checkpoint, Daemon, EpochOutcome, FrameEncoder, JournalConfig,
+    MappedFile, OverloadPolicy, Router, ServiceConfig, ServiceReport, WireFormat, MAGIC,
 };
 use isel_workload::erp::{self, ErpConfig};
 use isel_workload::synthetic::{self, SyntheticConfig};
@@ -89,11 +89,34 @@ fn parse_shard_map(spec: &str) -> Result<BTreeMap<u16, u32>, String> {
     Ok(map)
 }
 
+/// Parse a `--weights "TABLE:WEIGHT,TABLE:WEIGHT,..."` spec into the
+/// per-tenant SLO weight map biasing the arbiter's budget split.
+fn parse_weights(spec: &str) -> Result<BTreeMap<u16, f64>, String> {
+    let mut map = BTreeMap::new();
+    for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+        let (t, w) = part
+            .split_once(':')
+            .ok_or_else(|| format!("--weights entry {part:?} is not TABLE:WEIGHT"))?;
+        let table: u16 = t
+            .trim()
+            .parse()
+            .map_err(|e| format!("--weights table {:?}: {e}", t.trim()))?;
+        let weight: f64 = w
+            .trim()
+            .parse()
+            .map_err(|e| format!("--weights weight {:?}: {e}", w.trim()))?;
+        if map.insert(table, weight).is_some() {
+            return Err(format!("--weights lists table {table} twice"));
+        }
+    }
+    Ok(map)
+}
+
 /// Service configuration assembled from the shared `--epoch-events`,
 /// `--window`, `--templates`, `--budget`, `--create-cost`, `--drop-cost`,
 /// `--noop-above`, `--scratch-below`, `--queue`, `--threads`,
-/// `--checkpoint-every`, `--shards` and `--shard-map` options, defaulting
-/// to [`ServiceConfig::default`].
+/// `--checkpoint-every`, `--shards`, `--shard-map` and `--weights`
+/// options, defaulting to [`ServiceConfig::default`].
 fn service_config(args: &Args) -> Result<ServiceConfig, String> {
     let d = ServiceConfig::default();
     let cfg = ServiceConfig {
@@ -118,6 +141,10 @@ fn service_config(args: &Args) -> Result<ServiceConfig, String> {
         shard_map: match args.get("shard-map") {
             Some(spec) => parse_shard_map(spec)?,
             None => d.shard_map,
+        },
+        tenant_weights: match args.get("weights") {
+            Some(spec) => parse_weights(spec)?,
+            None => d.tenant_weights,
         },
     };
     cfg.validate()?;
@@ -256,26 +283,64 @@ fn print_report(report: &ServiceReport, workload: &Workload) {
     }
 }
 
+/// The `--journal FILE` / `--journal-max-bytes N` journal configuration
+/// for socket serving, if requested.
+fn journal_config(args: &Args) -> Result<Option<JournalConfig>, String> {
+    match args.get("journal") {
+        Some(path) => Ok(Some(JournalConfig {
+            path: PathBuf::from(path),
+            format: wire_format(args)?,
+            max_bytes: args
+                .get("journal-max-bytes")
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|e| format!("invalid --journal-max-bytes {v:?}: {e}"))
+                })
+                .transpose()?,
+        })),
+        None => Ok(None),
+    }
+}
+
 /// `isel serve` — run the daemon on stdin (default) or `--socket PATH`
 /// with the drop-oldest overload policy until EOF or a
 /// `{"control":"shutdown"}` line, then drain, checkpoint and report.
-/// `--shards N` serves stdin through the sharded router; `--journal
-/// FILE` (socket mode) records every accepted line with connection/
-/// sequence tags for deterministic replay. `SIGUSR1` or a
-/// `{"control":"status"}` line renders a live JSON status line.
+/// `--shards N` serves through the sharded router (stdin or socket);
+/// `--journal FILE` (socket mode) records every accepted line with
+/// connection/sequence tags for deterministic replay. `SIGUSR1` or a
+/// `{"control":"status"}` line renders a live JSON status line, and
+/// `whatif`/`tenant` control lines are answered from the live arbiter
+/// on the issuing connection.
 pub fn serve(args: &Args) -> Result<(), String> {
     let workload = load_workload(args)?;
     let config = service_config(args)?;
     let checkpoint = args.get("checkpoint").map(PathBuf::from);
     install_status_signal();
+    let journal = journal_config(args)?;
+    if journal.is_some() && args.get("socket").is_none() {
+        return Err("--journal requires --socket (stdin input is already a replayable log)".into());
+    }
     if config.shards > 0 {
-        if args.get("socket").is_some() {
-            return Err(
-                "--socket is not available with --shards: sharded serving reads stdin; \
-                 journal a socket run with the unsharded daemon, then replay the journal \
-                 with --shards"
-                    .into(),
-            );
+        if let Some(path) = args.get("socket") {
+            let mut router =
+                make_router(&workload, config, checkpoint.as_deref(), args.flag("resume"))?;
+            let sinks = shard_trace_sinks(args, router.shards())?;
+            let report = {
+                let refs: Vec<&dyn TraceSink> =
+                    sinks.iter().map(|s| s as &dyn TraceSink).collect();
+                run_socket_router(
+                    &mut router,
+                    Path::new(path),
+                    checkpoint.as_deref(),
+                    journal.as_ref(),
+                    &refs,
+                )?
+            };
+            for sink in sinks {
+                finish_trace(Some(sink))?;
+            }
+            print_report(&report, &workload);
+            return Ok(());
         }
         let report = run_router(
             args,
@@ -287,23 +352,6 @@ pub fn serve(args: &Args) -> Result<(), String> {
         )?;
         print_report(&report, &workload);
         return Ok(());
-    }
-    let journal = match args.get("journal") {
-        Some(path) => Some(JournalConfig {
-            path: PathBuf::from(path),
-            format: wire_format(args)?,
-            max_bytes: args
-                .get("journal-max-bytes")
-                .map(|v| {
-                    v.parse::<u64>()
-                        .map_err(|e| format!("invalid --journal-max-bytes {v:?}: {e}"))
-                })
-                .transpose()?,
-        }),
-        None => None,
-    };
-    if journal.is_some() && args.get("socket").is_none() {
-        return Err("--journal requires --socket (stdin input is already a replayable log)".into());
     }
     let mut daemon =
         make_daemon(&workload, config, checkpoint.as_deref(), args.flag("resume"))?;
@@ -571,6 +619,113 @@ pub fn journal(args: &Args) -> Result<(), String> {
     }
 }
 
+/// `isel budget` — interactive budget-arbitration queries answered from
+/// maintained frontier state, never by re-running selection.
+///
+/// Offline mode (`--log FILE`): replay the recorded log, then print the
+/// allocation table at each `--at` budget (a `whatif` read; `--tenant T`
+/// asks one group's allocation and cost instead — requires `--shards`).
+/// Live mode (`--socket PATH`): stream `--log` (if given) into a serving
+/// socket, then issue the same queries over the wire and print the
+/// replies — byte-identical to the offline answers over the same events.
+pub fn budget(args: &Args) -> Result<(), String> {
+    let at = args.get("at").ok_or("missing --at B1,B2,... (budgets in bytes)")?;
+    let budgets: Vec<u64> = at
+        .split(',')
+        .filter(|p| !p.trim().is_empty())
+        .map(|p| {
+            p.trim()
+                .parse::<u64>()
+                .map_err(|e| format!("invalid --at budget {:?}: {e}", p.trim()))
+        })
+        .collect::<Result<_, _>>()?;
+    if budgets.is_empty() {
+        return Err("--at lists no budgets".into());
+    }
+    let tenant: Option<u16> = match args.get("tenant") {
+        Some(t) => Some(t.parse().map_err(|e| format!("invalid --tenant {t:?}: {e}"))?),
+        None => None,
+    };
+    if let Some(sock) = args.get("socket") {
+        return budget_over_socket(args, sock, &budgets, tenant);
+    }
+    let workload = load_workload(args)?;
+    let log = args.get("log").ok_or("missing --log FILE (or --socket PATH)")?;
+    let config = service_config(args)?;
+    let data = open_log(log)?;
+    if config.shards > 0 {
+        let mut router = make_router(&workload, config, None, false)?;
+        router.run_reader(Cursor::new(data.bytes()), OverloadPolicy::Block, None, &[])?;
+        let arbiter = router.arbiter();
+        for &b in &budgets {
+            println!(
+                "{}",
+                match tenant {
+                    Some(t) => arbiter.tenant(t, b),
+                    None => arbiter.whatif(b),
+                }
+            );
+        }
+        return Ok(());
+    }
+    if tenant.is_some() {
+        return Err("--tenant requires --shards N (the unsharded daemon is one tenant)".into());
+    }
+    let mut daemon = make_daemon(&workload, config, None, false)?;
+    daemon.run_reader(
+        Cursor::new(data.bytes()),
+        OverloadPolicy::Block,
+        None,
+        Trace::disabled(),
+    )?;
+    for &b in &budgets {
+        println!("{}", daemon.arbiter().whatif(b));
+    }
+    Ok(())
+}
+
+/// Live `isel budget --socket`: stream the optional `--log`, then query
+/// over the wire, print each reply line, and optionally `--shutdown` the
+/// server.
+fn budget_over_socket(
+    args: &Args,
+    sock: &str,
+    budgets: &[u64],
+    tenant: Option<u16>,
+) -> Result<(), String> {
+    use std::os::unix::net::UnixStream;
+    let mut stream =
+        UnixStream::connect(sock).map_err(|e| format!("connect {sock}: {e}"))?;
+    if let Some(log) = args.get("log") {
+        let data = open_log(log)?;
+        stream
+            .write_all(data.bytes())
+            .map_err(|e| format!("stream {log} to {sock}: {e}"))?;
+    }
+    let mut reader = BufReader::new(
+        stream.try_clone().map_err(|e| format!("clone socket stream: {e}"))?,
+    );
+    for &b in budgets {
+        let line = match tenant {
+            Some(t) => format!("{{\"control\":\"tenant\",\"table_group\":{t},\"budget\":{b}}}"),
+            None => format!("{{\"control\":\"whatif\",\"budget\":{b}}}"),
+        };
+        writeln!(stream, "{line}").map_err(|e| format!("send query to {sock}: {e}"))?;
+        let mut reply = String::new();
+        reader
+            .read_line(&mut reply)
+            .map_err(|e| format!("read reply from {sock}: {e}"))?;
+        if reply.is_empty() {
+            return Err("server closed the connection before answering".into());
+        }
+        print!("{reply}");
+    }
+    if args.flag("shutdown") {
+        let _ = stream.write_all(b"{\"control\":\"shutdown\"}\n");
+    }
+    Ok(())
+}
+
 fn journal_convert(args: &Args) -> Result<(), String> {
     let input = args.get("log").ok_or("missing --log FILE")?;
     let out = args.get("out").ok_or("missing --out FILE")?;
@@ -676,6 +831,58 @@ mod tests {
             service_config(&argv("serve --shards 2 --shard-map 0:5")).is_err(),
             "shard out of range"
         );
+    }
+
+    #[test]
+    fn weight_knobs_parse_and_validate() {
+        let cfg = service_config(&argv("serve --weights 0:2.5,3:10")).unwrap();
+        assert_eq!(cfg.tenant_weights.get(&0), Some(&2.5));
+        assert_eq!(cfg.tenant_weights.get(&3), Some(&10.0));
+        assert!(parse_weights("0:1,0:2").is_err(), "duplicate table");
+        assert!(parse_weights("0=1").is_err(), "bad separator");
+        assert!(parse_weights("x:1").is_err(), "bad table");
+        assert!(
+            service_config(&argv("serve --weights 0:-1")).is_err(),
+            "weights must be positive"
+        );
+    }
+
+    #[test]
+    fn budget_replays_and_prints_allocation_tables() {
+        let w = tmp("budget_w.json");
+        crate::commands::generate(&argv(&format!(
+            "generate --kind synthetic --tables 3 --attrs 8 --queries 8 --rows 50000 --seed 9 --out {w}"
+        )))
+        .unwrap();
+        let log = tmp("budget_events.jsonl");
+        record(&argv(&format!(
+            "record --kind synthetic --tables 3 --attrs 8 --queries 8 --rows 50000 --seed 9 --events 64 --out {log}"
+        )))
+        .unwrap();
+        // Offline whatif tables: unsharded and sharded, one or many budgets.
+        budget(&argv(&format!(
+            "budget --workload {w} --log {log} --epoch-events 16 --at 4096,1048576"
+        )))
+        .unwrap();
+        budget(&argv(&format!(
+            "budget --workload {w} --log {log} --epoch-events 16 --shards 2 --at 1048576"
+        )))
+        .unwrap();
+        // Per-tenant reads need the sharded router.
+        budget(&argv(&format!(
+            "budget --workload {w} --log {log} --epoch-events 16 --shards 2 --tenant 1 --at 1048576"
+        )))
+        .unwrap();
+        assert!(
+            budget(&argv(&format!(
+                "budget --workload {w} --log {log} --epoch-events 16 --tenant 1 --at 4096"
+            )))
+            .is_err(),
+            "--tenant without --shards is rejected"
+        );
+        assert!(budget(&argv(&format!("budget --workload {w} --log {log}"))).is_err());
+        assert!(budget(&argv(&format!("budget --workload {w} --log {log} --at ,"))).is_err());
+        assert!(budget(&argv(&format!("budget --workload {w} --at 4096"))).is_err());
     }
 
     #[test]

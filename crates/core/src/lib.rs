@@ -54,7 +54,10 @@ pub use advisor::{Advisor, Recommendation, Strategy};
 pub use parallel::Parallelism;
 pub use algorithm1::{Options as Algorithm1Options, RunResult as Algorithm1Result};
 pub use reconfig::ReconfigCosts;
-pub use selection::{merge_frontiers, Frontier, FrontierMerge, FrontierPoint, Selection};
+pub use selection::{
+    merge_frontiers, merge_frontiers_weighted, Frontier, FrontierMerge, FrontierPoint, FrontierSet,
+    MergeOutcome, Selection,
+};
 pub use trace::{
     BinaryTraceSink, JsonLinesSink, RunReport, Trace, TraceEvent, TraceSink, VecSink, TRACE_MAGIC,
     TRACE_VERSION,

@@ -1,8 +1,10 @@
-//! Selections and performance/memory frontiers.
+//! Selections, performance/memory frontiers, and the incremental
+//! multi-part frontier merge ([`FrontierSet`]).
 
 use isel_costmodel::WhatIfOptimizer;
 use isel_workload::Index;
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// An index selection `I*`: a duplicate-free set of multi-attribute
 /// indexes.
@@ -195,70 +197,442 @@ pub struct FrontierMerge {
     pub total_cost: f64,
 }
 
-/// Deterministic cap on the pareto state list carried between parts of
+/// Deterministic cap on the pareto state list carried at every node of
 /// the [`merge_frontiers`] DP. Real frontiers have tens of points, so
 /// this only engages for adversarial inputs; thinning keeps an evenly
 /// spaced subset including both endpoints.
 const MERGE_STATE_CAP: usize = 4096;
 
-/// Split a global memory `budget` across independent per-part frontiers
-/// (the multiple-choice knapsack of a sharded merge).
+/// One pareto state of the merge DP: a combined `(memory, cost)` choice
+/// plus backpointers into the child state lists it was combined from
+/// (for a leaf, `memory` *is* the part's allocation and the backpointers
+/// are unused).
+#[derive(Clone, Copy, Debug)]
+struct MergeState {
+    memory: u64,
+    cost: f64,
+    left: u32,
+    right: u32,
+}
+
+/// The shape of the canonical balanced merge tree over `n` parts:
+/// children always precede their parent in `nodes`, the root is last.
+#[derive(Clone, Debug, Default)]
+struct TreeShape {
+    nodes: Vec<TreeNode>,
+    /// Part position → index of its leaf node.
+    leaf_of: Vec<usize>,
+    /// Node index → parent node index (`None` for the root).
+    parent: Vec<Option<usize>>,
+}
+
+#[derive(Clone, Debug)]
+struct TreeNode {
+    /// First part position this node covers (for a leaf, *the* part).
+    lo: usize,
+    /// Child node indexes; `None` marks a leaf.
+    children: Option<(usize, usize)>,
+}
+
+impl TreeShape {
+    /// Canonical balanced tree over `n ≥ 1` parts: split at
+    /// `lo + (hi - lo) / 2`, left subtree first.
+    fn build(n: usize) -> Self {
+        let mut shape = TreeShape {
+            nodes: Vec::with_capacity(2 * n - 1),
+            leaf_of: vec![0; n],
+            parent: Vec::with_capacity(2 * n - 1),
+        };
+        shape.build_range(0, n);
+        for (i, node) in shape.nodes.iter().enumerate() {
+            if let Some((l, r)) = node.children {
+                shape.parent[l] = Some(i);
+                shape.parent[r] = Some(i);
+            }
+        }
+        shape
+    }
+
+    fn build_range(&mut self, lo: usize, hi: usize) -> usize {
+        let children = if hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            let left = self.build_range(lo, mid);
+            let right = self.build_range(mid, hi);
+            Some((left, right))
+        } else {
+            None
+        };
+        let idx = self.nodes.len();
+        self.nodes.push(TreeNode { lo, children });
+        self.parent.push(None);
+        if children.is_none() {
+            self.leaf_of[lo] = idx;
+        }
+        idx
+    }
+}
+
+/// Pareto-prune a combined state list: sort by `(memory, cost)` and keep
+/// strictly decreasing cost, then thin deterministically at
+/// [`MERGE_STATE_CAP`]. f64 totals here are sums of finite costs, so
+/// `total_cmp` is a total order consistent with `<`; the stable sort
+/// makes every tie-break deterministic (earlier-listed parts win).
+fn prune_states(mut next: Vec<MergeState>) -> Vec<MergeState> {
+    next.sort_by(|a, b| a.memory.cmp(&b.memory).then(a.cost.total_cmp(&b.cost)));
+    let mut pruned: Vec<MergeState> = Vec::with_capacity(next.len());
+    for s in next {
+        match pruned.last() {
+            Some(last) if s.cost >= last.cost => continue,
+            _ => pruned.push(s),
+        }
+    }
+    if pruned.len() > MERGE_STATE_CAP {
+        let n = pruned.len();
+        let mut thin = Vec::with_capacity(MERGE_STATE_CAP);
+        for i in 0..MERGE_STATE_CAP {
+            thin.push(pruned[i * (n - 1) / (MERGE_STATE_CAP - 1)]);
+        }
+        pruned = thin;
+    }
+    pruned
+}
+
+/// The choice list of one part: "nothing" at `(0, weight·base_cost)`
+/// plus every frontier point within `budget`, costs scaled by the
+/// part's weight. The memory-0 choice survives pruning, so a leaf's
+/// state list is never empty.
+fn leaf_states(weight: f64, base_cost: f64, frontier: &Frontier, budget: u64) -> Vec<MergeState> {
+    let mut states = Vec::with_capacity(1 + frontier.points().len());
+    states.push(MergeState { memory: 0, cost: weight * base_cost, left: 0, right: 0 });
+    for p in frontier.points() {
+        if p.memory > budget {
+            break; // points are sorted by memory
+        }
+        states.push(MergeState { memory: p.memory, cost: weight * p.cost, left: 0, right: 0 });
+    }
+    prune_states(states)
+}
+
+/// Cross-product of two child state lists under `budget`, with
+/// backpointers recorded for allocation reconstruction. Both inputs are
+/// memory-ascending, so the inner loop breaks at the first overflow.
+fn combine_states(left: &[MergeState], right: &[MergeState], budget: u64) -> Vec<MergeState> {
+    let mut next = Vec::with_capacity(left.len() * right.len().min(64));
+    for (li, l) in left.iter().enumerate() {
+        for (ri, r) in right.iter().enumerate() {
+            let memory = l.memory.saturating_add(r.memory);
+            if memory > budget {
+                break;
+            }
+            next.push(MergeState {
+                memory,
+                cost: l.cost + r.cost,
+                left: li as u32,
+                right: ri as u32,
+            });
+        }
+    }
+    prune_states(next)
+}
+
+/// Walk the root's cheapest state back down to the leaves, filling one
+/// allocation per part.
+fn extract_merge(shape: &TreeShape, states: &[Vec<MergeState>], n_parts: usize) -> FrontierMerge {
+    let root = shape.nodes.len() - 1;
+    let top = *states[root].last().expect("merge state lists never empty");
+    let mut allocations = vec![0u64; n_parts];
+    let mut stack = vec![(root, states[root].len() - 1)];
+    while let Some((ni, si)) = stack.pop() {
+        let s = states[ni][si];
+        match shape.nodes[ni].children {
+            None => allocations[shape.nodes[ni].lo] = s.memory,
+            Some((l, r)) => {
+                stack.push((l, s.left as usize));
+                stack.push((r, s.right as usize));
+            }
+        }
+    }
+    FrontierMerge { allocations, total_memory: top.memory, total_cost: top.cost }
+}
+
+/// Split a global memory `budget` across independent weighted per-part
+/// frontiers (the multiple-choice knapsack of a multi-tenant merge).
 ///
-/// Each part is `(base_cost, frontier)`: the part's cost with no memory
+/// Each part is `(weight, base_cost, frontier)`: a deterministic tenant
+/// weight/SLO priority scaling the part's costs in the shared objective
+/// (higher weight ⇒ that part's cost reduction counts for more, so hot
+/// tenants win contested memory), the part's cost with no memory
 /// granted, and its performance/memory frontier. Exactly one choice is
 /// made per part — either "nothing" at `(0, base_cost)` or one frontier
-/// point — maximizing total cost reduction subject to
-/// `Σ memory ≤ budget`. The DP carries a pareto set of
-/// `(memory, cost, allocations)` states, pruned to strictly decreasing
-/// cost in memory order, so the result is exact whenever the state list
-/// stays under `MERGE_STATE_CAP`. All tie-breaks are deterministic
-/// (first-listed part, smallest memory wins), which the sharded
-/// service's bit-identical replay guarantee relies on.
-pub fn merge_frontiers(parts: &[(f64, &Frontier)], budget: u64) -> FrontierMerge {
-    let mut states: Vec<(u64, f64, Vec<u64>)> = vec![(0, 0.0, Vec::new())];
-    for (base_cost, frontier) in parts {
-        let mut next: Vec<(u64, f64, Vec<u64>)> =
-            Vec::with_capacity(states.len() * (1 + frontier.points().len()));
-        for (mem, cost, allocs) in &states {
-            // Choice 0: grant nothing, pay the base cost.
-            let mut keep = allocs.clone();
-            keep.push(0);
-            next.push((*mem, cost + base_cost, keep));
-            for p in frontier.points() {
-                let total = mem.saturating_add(p.memory);
-                if total > budget {
-                    break; // points are sorted by memory
-                }
-                let mut chosen = allocs.clone();
-                chosen.push(p.memory);
-                next.push((total, cost + p.cost, chosen));
-            }
-        }
-        // Pareto-prune: sort by (memory, cost) and keep strictly
-        // decreasing cost. f64 totals here are sums of finite costs, so
-        // total_cmp is a total order consistent with `<`.
-        next.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
-        let mut pruned: Vec<(u64, f64, Vec<u64>)> = Vec::with_capacity(next.len());
-        for s in next {
-            match pruned.last() {
-                Some(last) if s.1 >= last.1 => continue,
-                _ => pruned.push(s),
-            }
-        }
-        if pruned.len() > MERGE_STATE_CAP {
-            let n = pruned.len();
-            let mut thin = Vec::with_capacity(MERGE_STATE_CAP);
-            for i in 0..MERGE_STATE_CAP {
-                thin.push(pruned[i * (n - 1) / (MERGE_STATE_CAP - 1)].clone());
-            }
-            pruned = thin;
-        }
-        states = pruned;
+/// point — minimizing `Σ weightᵢ·costᵢ` subject to `Σ memory ≤ budget`.
+///
+/// The DP evaluates a canonical balanced binary tree over the parts
+/// (split at `lo + (hi-lo)/2`); every node carries a pareto state list
+/// pruned to strictly decreasing cost in memory order, so the result is
+/// exact whenever state lists stay under `MERGE_STATE_CAP`. All
+/// tie-breaks are deterministic, which the sharded service's
+/// bit-identical replay guarantee relies on. [`FrontierSet`] memoizes
+/// exactly this tree, which is what makes its incremental re-merge
+/// bit-identical to a full merge by construction.
+///
+/// # Panics
+///
+/// Panics if any weight is non-finite or not strictly positive.
+pub fn merge_frontiers_weighted(parts: &[(f64, f64, &Frontier)], budget: u64) -> FrontierMerge {
+    for &(weight, _, _) in parts {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "merge weights must be finite and positive, got {weight}"
+        );
     }
-    // Strictly decreasing cost means the last state is the cheapest.
-    let (total_memory, total_cost, allocations) =
-        states.pop().expect("state list never empties");
-    FrontierMerge { allocations, total_memory, total_cost }
+    if parts.is_empty() {
+        return FrontierMerge { allocations: Vec::new(), total_memory: 0, total_cost: 0.0 };
+    }
+    let shape = TreeShape::build(parts.len());
+    let mut states: Vec<Vec<MergeState>> = Vec::with_capacity(shape.nodes.len());
+    for node in &shape.nodes {
+        let s = match node.children {
+            None => {
+                let (weight, base_cost, frontier) = parts[node.lo];
+                leaf_states(weight, base_cost, frontier, budget)
+            }
+            Some((l, r)) => combine_states(&states[l], &states[r], budget),
+        };
+        states.push(s);
+    }
+    extract_merge(&shape, &states, parts.len())
+}
+
+/// [`merge_frontiers_weighted`] with every part at weight 1 — the
+/// unweighted multi-shard merge. Multiplying by 1.0 is bit-exact, so
+/// the weighted and unweighted paths share one implementation.
+pub fn merge_frontiers(parts: &[(f64, &Frontier)], budget: u64) -> FrontierMerge {
+    let weighted: Vec<(f64, f64, &Frontier)> =
+        parts.iter().map(|&(base_cost, frontier)| (1.0, base_cost, frontier)).collect();
+    merge_frontiers_weighted(&weighted, budget)
+}
+
+/// One cached part of a [`FrontierSet`].
+#[derive(Clone, Debug)]
+struct PartEntry {
+    weight: f64,
+    base_cost: f64,
+    frontier: Frontier,
+}
+
+/// Counters describing one incremental [`FrontierSet::merge`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct MergeOutcome {
+    /// The merged allocation, aligned with the set's sorted key order
+    /// (see [`FrontierSet::keys`]).
+    pub merge: FrontierMerge,
+    /// Parts in the set at merge time.
+    pub parts: u64,
+    /// Parts whose frontier/weight/base cost changed since the previous
+    /// merge (the dirty-set ledger, cleared by the merge).
+    pub dirty: u64,
+    /// DP tree nodes actually recombined — `2·parts − 1` for a full
+    /// (re)build, `O(dirty · log parts)` for an incremental one.
+    pub recombined: u64,
+}
+
+/// An incrementally maintained multi-part frontier merge.
+///
+/// The set caches one weighted `(base_cost, frontier)` part per `u64`
+/// key and memoizes the state lists of the canonical
+/// [`merge_frontiers_weighted`] DP tree over the parts in sorted key
+/// order. Upserting a part marks only its leaf-to-root path stale, so
+/// [`FrontierSet::merge`] recombines `O(log n)` nodes per dirty part
+/// instead of re-running the whole DP — and, because full and
+/// incremental evaluation walk the *same* tree, the incremental result
+/// is bit-identical to [`merge_frontiers_weighted`] over the current
+/// parts (pinned by proptest in the workspace test suite).
+///
+/// Key-set changes (insert/remove) change the tree shape and trigger a
+/// full rebuild on the next merge; republshing an *identical* part is
+/// detected and skipped entirely, keeping clean parts out of the dirty
+/// ledger.
+#[derive(Clone, Debug, Default)]
+pub struct FrontierSet {
+    budget: u64,
+    parts: BTreeMap<u64, PartEntry>,
+    /// Sorted keys, index-aligned with `shape.leaf_of`; rebuilt with the
+    /// shape.
+    keys: Vec<u64>,
+    shape: TreeShape,
+    states: Vec<Vec<MergeState>>,
+    stale: Vec<bool>,
+    dirty: BTreeSet<u64>,
+    /// The key set (or budget) changed: rebuild the whole tree on the
+    /// next merge.
+    stale_shape: bool,
+}
+
+impl FrontierSet {
+    /// Empty set arbitrating `budget` bytes.
+    pub fn new(budget: u64) -> Self {
+        Self { budget, ..Self::default() }
+    }
+
+    /// The maintained global budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Change the maintained budget; every node's state list depends on
+    /// it, so the next merge rebuilds from scratch.
+    pub fn set_budget(&mut self, budget: u64) {
+        if self.budget != budget {
+            self.budget = budget;
+            self.stale_shape = true;
+        }
+    }
+
+    /// Number of cached parts.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Whether the set has no parts.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// The part keys in sorted order — the order
+    /// [`FrontierMerge::allocations`] is aligned with.
+    pub fn keys(&self) -> Vec<u64> {
+        self.parts.keys().copied().collect()
+    }
+
+    /// Parts changed since the last merge.
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Insert or update the part at `key`. Returns whether the set
+    /// changed: republishing a bit-identical part is a no-op and does
+    /// not dirty anything (the clean-part skip).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is non-finite or not strictly positive, or if
+    /// `base_cost` is non-finite.
+    pub fn upsert(&mut self, key: u64, weight: f64, base_cost: f64, frontier: Frontier) -> bool {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "merge weights must be finite and positive, got {weight}"
+        );
+        assert!(base_cost.is_finite(), "base cost must be finite, got {base_cost}");
+        match self.parts.get(&key) {
+            Some(e)
+                if e.weight.to_bits() == weight.to_bits()
+                    && e.base_cost.to_bits() == base_cost.to_bits()
+                    && e.frontier == frontier =>
+            {
+                return false;
+            }
+            Some(_) => {
+                if !self.stale_shape {
+                    let pos = self
+                        .keys
+                        .binary_search(&key)
+                        .expect("existing key is in the key list");
+                    self.mark_path_stale(self.shape.leaf_of[pos]);
+                }
+            }
+            None => self.stale_shape = true,
+        }
+        self.parts.insert(key, PartEntry { weight, base_cost, frontier });
+        self.dirty.insert(key);
+        true
+    }
+
+    /// Remove the part at `key`; returns whether it was present. A
+    /// removal changes the tree shape, so the next merge rebuilds.
+    pub fn remove(&mut self, key: u64) -> bool {
+        if self.parts.remove(&key).is_some() {
+            self.dirty.remove(&key);
+            self.stale_shape = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn mark_path_stale(&mut self, leaf: usize) {
+        let mut at = Some(leaf);
+        while let Some(i) = at {
+            if self.stale[i] {
+                break; // the rest of the path is already stale
+            }
+            self.stale[i] = true;
+            at = self.shape.parent[i];
+        }
+    }
+
+    /// Re-merge, recombining only stale DP nodes, and clear the dirty
+    /// ledger. Bit-identical to [`merge_frontiers_weighted`] over the
+    /// current parts at the maintained budget.
+    pub fn merge(&mut self) -> MergeOutcome {
+        let parts = self.parts.len() as u64;
+        let dirty = self.dirty.len() as u64;
+        self.dirty.clear();
+        if self.parts.is_empty() {
+            self.keys.clear();
+            self.shape = TreeShape::default();
+            self.states.clear();
+            self.stale.clear();
+            self.stale_shape = false;
+            return MergeOutcome {
+                merge: FrontierMerge { allocations: Vec::new(), total_memory: 0, total_cost: 0.0 },
+                parts,
+                dirty,
+                recombined: 0,
+            };
+        }
+        if self.stale_shape {
+            self.keys = self.parts.keys().copied().collect();
+            self.shape = TreeShape::build(self.keys.len());
+            self.states = vec![Vec::new(); self.shape.nodes.len()];
+            self.stale = vec![true; self.shape.nodes.len()];
+            self.stale_shape = false;
+        }
+        let mut recombined = 0u64;
+        for i in 0..self.shape.nodes.len() {
+            if !self.stale[i] {
+                continue;
+            }
+            // Children precede parents, so any stale child is already
+            // fresh by the time its parent recombines.
+            let fresh = match self.shape.nodes[i].children {
+                None => {
+                    let key = self.keys[self.shape.nodes[i].lo];
+                    let e = &self.parts[&key];
+                    leaf_states(e.weight, e.base_cost, &e.frontier, self.budget)
+                }
+                Some((l, r)) => combine_states(&self.states[l], &self.states[r], self.budget),
+            };
+            self.states[i] = fresh;
+            self.stale[i] = false;
+            recombined += 1;
+        }
+        let merge = extract_merge(&self.shape, &self.states, self.keys.len());
+        MergeOutcome { merge, parts, dirty, recombined }
+    }
+
+    /// A fresh full merge of the cached parts at an arbitrary `budget`
+    /// (the interactive what-if path). Does not touch the memoized
+    /// state, so it answers from precomputed frontiers without
+    /// perturbing the incremental ledger; at the maintained budget the
+    /// answer is bit-identical to [`FrontierSet::merge`].
+    pub fn merge_at(&self, budget: u64) -> FrontierMerge {
+        let parts: Vec<(f64, f64, &Frontier)> = self
+            .parts
+            .values()
+            .map(|e| (e.weight, e.base_cost, &e.frontier))
+            .collect();
+        merge_frontiers_weighted(&parts, budget)
+    }
 }
 
 #[cfg(test)]
@@ -396,6 +770,155 @@ mod tests {
         assert!(m.allocations.is_empty());
         assert_eq!(m.total_memory, 0);
         assert_eq!(m.total_cost, 0.0);
+    }
+
+    #[test]
+    fn merge_with_zero_budget_pays_every_base_cost() {
+        let f0 = Frontier::new(vec![FrontierPoint { memory: 5, cost: 1.0 }]);
+        let f1 = Frontier::new(vec![FrontierPoint { memory: 7, cost: 2.0 }]);
+        let f2 = Frontier::new(vec![]);
+        let m = merge_frontiers(&[(10.0, &f0), (20.0, &f1), (30.0, &f2)], 0);
+        assert_eq!(m.allocations, vec![0, 0, 0]);
+        assert_eq!(m.total_memory, 0);
+        assert!((m.total_cost - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_of_single_point_frontiers_is_a_knapsack() {
+        // Three parts, one point each; budget fits exactly two. The best
+        // pair is picked, not the greedy first-listed one.
+        let f0 = Frontier::new(vec![FrontierPoint { memory: 10, cost: 90.0 }]);
+        let f1 = Frontier::new(vec![FrontierPoint { memory: 10, cost: 10.0 }]);
+        let f2 = Frontier::new(vec![FrontierPoint { memory: 10, cost: 5.0 }]);
+        let m = merge_frontiers(&[(100.0, &f0), (100.0, &f1), (100.0, &f2)], 20);
+        assert_eq!(m.allocations, vec![0, 10, 10]);
+        assert_eq!(m.total_memory, 20);
+        assert!((m.total_cost - 115.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_ties_break_deterministically() {
+        // Two bit-identical parts contending for one upgrade slot: the
+        // tie must resolve the same way on every run (pinned: the
+        // later-listed part wins, matching the stable-sort order).
+        let f = Frontier::new(vec![FrontierPoint { memory: 10, cost: 40.0 }]);
+        for _ in 0..8 {
+            let m = merge_frontiers(&[(100.0, &f), (100.0, &f)], 10);
+            assert_eq!(m.allocations, vec![0, 10]);
+            assert!((m.total_cost - 140.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn weights_prioritize_hot_tenants_deterministically() {
+        // Identical frontiers, different weights: the heavier tenant's
+        // cost reduction counts for more, so it wins contested memory.
+        let f = Frontier::new(vec![FrontierPoint { memory: 10, cost: 40.0 }]);
+        let m = merge_frontiers_weighted(&[(1.0, 100.0, &f), (2.0, 100.0, &f)], 10);
+        assert_eq!(m.allocations, vec![0, 10]);
+        let m = merge_frontiers_weighted(&[(2.0, 100.0, &f), (1.0, 100.0, &f)], 10);
+        assert_eq!(m.allocations, vec![10, 0]);
+        // Weight 1.0 everywhere is bit-identical to the unweighted path.
+        let w = merge_frontiers_weighted(&[(1.0, 100.0, &f), (1.0, 100.0, &f)], 10);
+        let u = merge_frontiers(&[(100.0, &f), (100.0, &f)], 10);
+        assert_eq!(w, u);
+    }
+
+    fn part_fixture(i: u64) -> (f64, Frontier) {
+        let base = 100.0 + i as f64;
+        let pts = (1..=4)
+            .map(|k| FrontierPoint {
+                memory: 8 * k + i % 3,
+                cost: base / (1.0 + k as f64) + i as f64 * 0.01,
+            })
+            .collect();
+        (base, Frontier::new(pts))
+    }
+
+    #[test]
+    fn frontier_set_merge_matches_full_weighted_merge() {
+        let mut set = FrontierSet::new(64);
+        for i in 0..9u64 {
+            let (base, f) = part_fixture(i);
+            set.upsert(i, 1.0 + (i % 4) as f64, base, f);
+        }
+        let out = set.merge();
+        assert_eq!(out.parts, 9);
+        assert_eq!(out.dirty, 9);
+        assert_eq!(out.recombined, 17, "full build recombines 2n-1 nodes");
+        let parts: Vec<(f64, f64, Frontier)> = (0..9u64)
+            .map(|i| {
+                let (base, f) = part_fixture(i);
+                (1.0 + (i % 4) as f64, base, f)
+            })
+            .collect();
+        let refs: Vec<(f64, f64, &Frontier)> =
+            parts.iter().map(|(w, b, f)| (*w, *b, f)).collect();
+        let full = merge_frontiers_weighted(&refs, 64);
+        assert_eq!(out.merge, full);
+        // merge_at at the maintained budget is the same answer, and a
+        // clean re-merge recombines nothing.
+        assert_eq!(set.merge_at(64), full);
+        let again = set.merge();
+        assert_eq!(again.merge, full);
+        assert_eq!(again.dirty, 0);
+        assert_eq!(again.recombined, 0);
+    }
+
+    #[test]
+    fn incremental_remerge_touches_only_the_dirty_path() {
+        let mut set = FrontierSet::new(64);
+        for i in 0..8u64 {
+            let (base, f) = part_fixture(i);
+            set.upsert(i, 1.0, base, f);
+        }
+        set.merge();
+        // Republishing an identical part is a clean no-op.
+        let (base, f) = part_fixture(3);
+        assert!(!set.upsert(3, 1.0, base, f));
+        assert_eq!(set.dirty_len(), 0);
+        // A real change re-merges one leaf-to-root path (4 nodes for 8
+        // parts), bit-identical to the full merge.
+        let changed = Frontier::new(vec![FrontierPoint { memory: 4, cost: 1.0 }]);
+        assert!(set.upsert(3, 1.0, base, changed.clone()));
+        let out = set.merge();
+        assert_eq!(out.dirty, 1);
+        assert_eq!(out.recombined, 4);
+        let parts: Vec<(f64, f64, Frontier)> = (0..8u64)
+            .map(|i| {
+                let (b, f) = part_fixture(i);
+                if i == 3 {
+                    (1.0, b, changed.clone())
+                } else {
+                    (1.0, b, f)
+                }
+            })
+            .collect();
+        let refs: Vec<(f64, f64, &Frontier)> =
+            parts.iter().map(|(w, b, f)| (*w, *b, f)).collect();
+        assert_eq!(out.merge, merge_frontiers_weighted(&refs, 64));
+    }
+
+    #[test]
+    fn frontier_set_handles_shape_and_budget_changes() {
+        let mut set = FrontierSet::new(64);
+        assert!(set.is_empty());
+        let empty = set.merge();
+        assert!(empty.merge.allocations.is_empty());
+        let (base, f) = part_fixture(0);
+        set.upsert(7, 1.0, base, f.clone());
+        let one = set.merge();
+        assert_eq!(one.merge, merge_frontiers(&[(base, &f)], 64));
+        assert_eq!(set.keys(), vec![7]);
+        // Removing flips back to the empty merge; a budget change forces
+        // a rebuild at the new budget.
+        set.upsert(9, 1.0, base, f.clone());
+        assert!(set.remove(7));
+        assert!(!set.remove(7));
+        set.set_budget(16);
+        let out = set.merge();
+        assert_eq!(out.merge, merge_frontiers(&[(base, &f)], 16));
+        assert_eq!(out.recombined, 1, "one part, one leaf/root node");
     }
 
     #[test]

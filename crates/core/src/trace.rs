@@ -146,6 +146,30 @@ pub enum TraceEvent {
         /// Reconfiguration cost paid entering the epoch.
         reconfig_paid: f64,
     },
+    /// The multi-tenant frontier arbiter re-merged its
+    /// [`FrontierSet`](crate::selection::FrontierSet) after one or more
+    /// group frontiers changed. Emitted by the service layer, never by
+    /// the strategies.
+    Merge {
+        /// Table groups participating in the merge.
+        parts: u64,
+        /// Groups whose frontier changed since the previous merge.
+        dirty: u64,
+        /// DP tree nodes recomputed by the incremental merge (≤ the
+        /// full-tree node count; equal on a from-scratch merge).
+        recombined: u64,
+        /// Global memory budget arbitrated, in bytes.
+        budget: u64,
+        /// Total memory allocated across groups by the new merge.
+        total_memory: u64,
+        /// Total weighted workload cost of the new merge.
+        total_cost: f64,
+        /// Groups whose budget allocation changed vs. the previous
+        /// merge (allocation delta count).
+        reallocated: u64,
+        /// Wall time of the re-merge in microseconds.
+        micros: u64,
+    },
     /// A strategy run finished. `issued`/`cached` are totals over the
     /// whole run, measured from the same origin as the scans.
     RunEnd {
@@ -273,6 +297,7 @@ const BT_STEP: u8 = 2;
 const BT_SOLVER_PHASE: u8 = 3;
 const BT_EPOCH: u8 = 4;
 const BT_RUN_END: u8 = 5;
+const BT_MERGE: u8 = 6;
 
 /// Encode one event in the tagged-varint binary form (no header).
 fn put_event(out: &mut Vec<u8>, event: &TraceEvent) {
@@ -342,6 +367,26 @@ fn put_event(out: &mut Vec<u8>, event: &TraceEvent) {
             put_varint(out, *indexes);
             put_f64(out, *workload_cost);
             put_f64(out, *reconfig_paid);
+        }
+        TraceEvent::Merge {
+            parts,
+            dirty,
+            recombined,
+            budget,
+            total_memory,
+            total_cost,
+            reallocated,
+            micros,
+        } => {
+            out.push(BT_MERGE);
+            put_varint(out, *parts);
+            put_varint(out, *dirty);
+            put_varint(out, *recombined);
+            put_varint(out, *budget);
+            put_varint(out, *total_memory);
+            put_f64(out, *total_cost);
+            put_varint(out, *reallocated);
+            put_varint(out, *micros);
         }
         TraceEvent::RunEnd {
             strategy,
@@ -431,6 +476,16 @@ fn get_event(b: &[u8], pos: &mut usize) -> Option<TraceEvent> {
             indexes: get_varint(b, pos)?,
             workload_cost: get_f64(b, pos)?,
             reconfig_paid: get_f64(b, pos)?,
+        },
+        BT_MERGE => TraceEvent::Merge {
+            parts: get_varint(b, pos)?,
+            dirty: get_varint(b, pos)?,
+            recombined: get_varint(b, pos)?,
+            budget: get_varint(b, pos)?,
+            total_memory: get_varint(b, pos)?,
+            total_cost: get_f64(b, pos)?,
+            reallocated: get_varint(b, pos)?,
+            micros: get_varint(b, pos)?,
         },
         BT_RUN_END => TraceEvent::RunEnd {
             strategy: get_str(b, pos)?,
@@ -638,6 +693,8 @@ pub struct RunReport {
     pub solver_phases: Vec<(String, u64, u64, u64)>,
     /// Dynamic-policy epochs observed.
     pub epochs: u64,
+    /// Frontier-arbiter re-merges observed.
+    pub merges: u64,
     /// Totals from [`TraceEvent::RunEnd`], when present:
     /// `(steps, issued, cached, initial_cost, final_cost, micros)`.
     pub run_end: Option<(u64, u64, u64, f64, f64, u64)>,
@@ -678,6 +735,7 @@ impl RunReport {
                     }
                 }
                 TraceEvent::Epoch { .. } => r.epochs += 1,
+                TraceEvent::Merge { .. } => r.merges += 1,
                 TraceEvent::RunEnd {
                     strategy,
                     steps,
@@ -900,6 +958,9 @@ impl RunReport {
         if self.epochs > 0 {
             let _ = writeln!(s, "epochs: {}", self.epochs);
         }
+        if self.merges > 0 {
+            let _ = writeln!(s, "merges: {}", self.merges);
+        }
         s
     }
 }
@@ -1016,6 +1077,16 @@ mod tests {
             ratio: 2.2250738585072014e-308,
             total_memory: 0,
             total_cost: 6.0,
+        });
+        events.push(TraceEvent::Merge {
+            parts: 7,
+            dirty: 2,
+            recombined: 9,
+            budget: 1 << 20,
+            total_memory: 900_000,
+            total_cost: 123.456,
+            reallocated: 3,
+            micros: 42,
         });
         if let TraceEvent::RunEnd { shard, .. } = &mut events[4] {
             *shard = Some(3);

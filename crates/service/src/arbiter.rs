@@ -1,0 +1,502 @@
+//! Live multi-tenant frontier arbitration.
+//!
+//! The [`Arbiter`] turns the global-budget merge from a one-shot
+//! shutdown computation into a maintained subsystem: every table group
+//! *publishes* its tuned frontier (plus the construction steps needed to
+//! materialize a selection at any allocation) whenever an epoch actually
+//! re-selects, and the arbiter folds the publication into an incremental
+//! [`FrontierSet`]. Re-publishing an unchanged frontier is skipped
+//! outright, and a changed one re-merges only the `O(log n)` DP nodes on
+//! its leaf-to-root path — bit-identical to a full
+//! [`isel_core::merge_frontiers_weighted`] over the current parts.
+//!
+//! Because the merged state is maintained continuously, interactive
+//! questions are cheap reads answered **without re-running selection**:
+//!
+//! * `{"control":"whatif","budget":B}` — the per-group allocation split
+//!   at a hypothetical global budget `B`,
+//! * `{"control":"tenant","table_group":T,"budget":B}` — one group's
+//!   allocation and resulting cost at `B`.
+//!
+//! Both are answered from the published frontiers via
+//! [`FrontierSet::merge_at`]; the canonical reply lines are rendered
+//! here so a served socket reply and an offline replay
+//! (`isel budget`) produce byte-identical output.
+//!
+//! Per-tenant weights ([`crate::config::ServiceConfig::tenant_weights`])
+//! scale each group's cost axis in the merge, deterministically biasing
+//! allocations toward high-priority tenants; unlisted groups weigh 1.
+
+use crate::event::Control;
+use isel_core::algorithm1::{selection_at, StepRecord};
+use isel_core::trace::{Trace, TraceEvent};
+use isel_core::{budget, Frontier, FrontierMerge, FrontierSet, Selection};
+use isel_costmodel::AnalyticalWhatIf;
+use isel_workload::{Schema, Workload};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One table group's frontier as published to the [`Arbiter`]: enough
+/// precomputed state to materialize the group's selection at *any*
+/// allocation without re-running Algorithm 1.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PublishedFrontier {
+    /// Workload cost of the group's snapshot with no indexes.
+    pub initial_cost: f64,
+    /// The group's memory/cost frontier at its table budget.
+    pub frontier: Frontier,
+    /// Construction steps backing
+    /// [`selection_at`].
+    pub steps: Vec<StepRecord>,
+    /// Zero-based tuning epoch the publication came from.
+    pub epoch: u64,
+}
+
+struct ArbiterInner {
+    set: FrontierSet,
+    /// Latest publication per table group, keyed like `set`.
+    parts: BTreeMap<u16, Arc<PublishedFrontier>>,
+    /// Current allocation per group at the maintained budget.
+    allocations: BTreeMap<u16, u64>,
+    merges: u64,
+}
+
+/// The shared frontier-arbitration engine: an incrementally maintained
+/// [`FrontierSet`] over the latest publication of every table group,
+/// answering merge and interactive-query reads from precomputed state.
+pub struct Arbiter {
+    weights: BTreeMap<u16, f64>,
+    inner: Mutex<ArbiterInner>,
+}
+
+impl std::fmt::Debug for Arbiter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = self.lock();
+        f.debug_struct("Arbiter")
+            .field("budget", &g.set.budget())
+            .field("parts", &g.parts.len())
+            .field("merges", &g.merges)
+            .finish()
+    }
+}
+
+impl Arbiter {
+    /// Empty arbiter maintaining `budget` bytes with the given
+    /// per-tenant weights (unlisted tenants weigh 1).
+    pub fn new(budget: u64, weights: BTreeMap<u16, f64>) -> Self {
+        Self {
+            weights,
+            inner: Mutex::new(ArbiterInner {
+                set: FrontierSet::new(budget),
+                parts: BTreeMap::new(),
+                allocations: BTreeMap::new(),
+                merges: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ArbiterInner> {
+        self.inner.lock().expect("arbiter lock poisoned")
+    }
+
+    /// The maintained global budget.
+    pub fn budget(&self) -> u64 {
+        self.lock().set.budget()
+    }
+
+    /// Incremental re-merges performed so far (clean republishes are
+    /// skipped and do not count).
+    pub fn merges(&self) -> u64 {
+        self.lock().merges
+    }
+
+    /// Table groups holding a publication.
+    pub fn parts(&self) -> usize {
+        self.lock().parts.len()
+    }
+
+    /// Fold `table`'s publication into the maintained merge. Returns
+    /// whether anything changed: republishing a bit-identical frontier
+    /// is a no-op (the clean-group skip) and triggers no re-merge.
+    ///
+    /// Emits one [`TraceEvent::Merge`] per actual re-merge, carrying the
+    /// dirty count, recombined-node count, allocation-change count and
+    /// latency.
+    pub fn publish(&self, table: u16, pf: Arc<PublishedFrontier>, trace: Trace<'_>) -> bool {
+        let weight = self.weights.get(&table).copied().unwrap_or(1.0);
+        let mut g = self.lock();
+        let start = trace.is_enabled().then(Instant::now);
+        if !g.set.upsert(u64::from(table), weight, pf.initial_cost, pf.frontier.clone()) {
+            return false;
+        }
+        g.parts.insert(table, pf);
+        let outcome = g.set.merge();
+        let keys = g.set.keys();
+        let new_allocations: BTreeMap<u16, u64> = keys
+            .iter()
+            .zip(&outcome.merge.allocations)
+            .map(|(&k, &a)| (k as u16, a))
+            .collect();
+        let reallocated = new_allocations
+            .iter()
+            .filter(|(t, a)| g.allocations.get(t) != Some(a))
+            .count() as u64
+            + g.allocations.keys().filter(|t| !new_allocations.contains_key(t)).count() as u64;
+        g.allocations = new_allocations;
+        g.merges += 1;
+        let budget = g.set.budget();
+        drop(g);
+        trace.emit(|| TraceEvent::Merge {
+            parts: outcome.parts,
+            dirty: outcome.dirty,
+            recombined: outcome.recombined,
+            budget,
+            total_memory: outcome.merge.total_memory,
+            total_cost: outcome.merge.total_cost,
+            reallocated,
+            micros: start.map_or(0, |t| t.elapsed().as_micros() as u64),
+        });
+        true
+    }
+
+    /// Current per-group allocations at the maintained budget, sorted by
+    /// table id.
+    pub fn allocations(&self) -> Vec<(u16, u64)> {
+        self.lock().allocations.iter().map(|(&t, &a)| (t, a)).collect()
+    }
+
+    /// Latest publication of `table`, if any.
+    pub fn published(&self, table: u16) -> Option<Arc<PublishedFrontier>> {
+        self.lock().parts.get(&table).cloned()
+    }
+
+    /// Union of every group's selection materialized at its maintained
+    /// allocation — a cheap read of maintained state, no selection run.
+    pub fn merged_selection(&self) -> Selection {
+        let g = self.lock();
+        let mut union = Vec::new();
+        for (t, pf) in &g.parts {
+            let alloc = g.allocations.get(t).copied().unwrap_or(0);
+            union.extend(selection_at(&pf.steps, alloc).indexes().iter().cloned());
+        }
+        Selection::from_indexes(union)
+    }
+
+    /// Answer a `whatif` query: the allocation split over the published
+    /// frontiers at a hypothetical global `budget`, rendered as the
+    /// canonical reply line. Never re-runs selection.
+    pub fn whatif(&self, budget: u64) -> String {
+        let g = self.lock();
+        let merge = g.set.merge_at(budget);
+        let allocations: Vec<(u16, u64)> = g
+            .set
+            .keys()
+            .iter()
+            .zip(&merge.allocations)
+            .map(|(&k, &a)| (k as u16, a))
+            .collect();
+        render_whatif_line(budget, &merge, &allocations)
+    }
+
+    /// Answer a `tenant` query: `table`'s allocation and resulting cost
+    /// at a hypothetical global `budget`, rendered as the canonical
+    /// reply line. Never re-runs selection.
+    pub fn tenant(&self, table: u16, budget: u64) -> String {
+        let g = self.lock();
+        let Some(pf) = g.parts.get(&table) else {
+            return format!(
+                "{{\"table_group\":{table},\"budget\":{budget},\"allocation\":0,\"cost\":null}}"
+            );
+        };
+        let merge = g.set.merge_at(budget);
+        let pos = g
+            .set
+            .keys()
+            .iter()
+            .position(|&k| k == u64::from(table))
+            .expect("published part is in the set");
+        let alloc = merge.allocations[pos];
+        let cost = pf.frontier.cost_at(alloc).unwrap_or(pf.initial_cost);
+        format!(
+            "{{\"table_group\":{table},\"budget\":{budget},\"allocation\":{alloc},\"cost\":{}}}",
+            render_f64(cost)
+        )
+    }
+
+    /// Answer an interactive control from maintained state, or `None`
+    /// for non-interactive controls.
+    pub fn answer(&self, control: Control) -> Option<String> {
+        match control {
+            Control::Whatif { budget } => Some(self.whatif(budget)),
+            Control::Tenant { table, budget } => Some(self.tenant(table, budget)),
+            _ => None,
+        }
+    }
+}
+
+/// Render an `f64` exactly as `serde_json` would (shortest round-trip
+/// form), so socket replies and offline replay output are byte-equal.
+fn render_f64(v: f64) -> String {
+    serde_json::to_string(&v).expect("finite f64 renders")
+}
+
+/// The canonical `whatif` reply line over a computed merge.
+pub fn render_whatif_line(budget: u64, merge: &FrontierMerge, allocations: &[(u16, u64)]) -> String {
+    let allocs: Vec<String> = allocations.iter().map(|(t, a)| format!("[{t},{a}]")).collect();
+    format!(
+        "{{\"budget\":{budget},\"total_memory\":{},\"total_cost\":{},\"allocations\":[{}]}}",
+        merge.total_memory,
+        render_f64(merge.total_cost),
+        allocs.join(",")
+    )
+}
+
+/// The schema-derived global memory budget at `share` — Eq. (10) over
+/// the full schema. Depends only on the schema (row counts and widths),
+/// so every component computes the identical figure without consulting
+/// any workload.
+pub fn global_budget(schema: &Schema, share: f64) -> u64 {
+    let empty = Workload::new(schema.clone(), Vec::new());
+    budget::relative_budget(&AnalyticalWhatIf::new(&empty), share)
+}
+
+/// An interactive query traveling the shard queues as an in-band
+/// barrier: the router pushes one clone into *every* queue, each worker
+/// [`arrive`](PendingQuery::arrive)s after consuming everything queued
+/// before it, and the last worker in answers from the [`Arbiter`] —
+/// so the reply deterministically reflects exactly the events that
+/// preceded the query in the input stream.
+pub struct PendingQuery {
+    control: Control,
+    remaining: AtomicU32,
+    reply: Mutex<Option<Sender<String>>>,
+}
+
+impl PendingQuery {
+    /// A query awaiting `workers` arrivals. `reply` carries the answer
+    /// back to the issuing connection; `None` prints it to stderr (the
+    /// non-socket replay path).
+    pub fn new(control: Control, workers: u32, reply: Option<Sender<String>>) -> Arc<Self> {
+        Arc::new(Self {
+            control,
+            remaining: AtomicU32::new(workers),
+            reply: Mutex::new(reply),
+        })
+    }
+
+    /// The query being asked.
+    pub fn control(&self) -> Control {
+        self.control
+    }
+
+    /// One worker reached the query in its queue; returns whether it was
+    /// the last one (and must answer).
+    pub fn arrive(&self) -> bool {
+        self.remaining.fetch_sub(1, Ordering::AcqRel) == 1
+    }
+
+    /// Deliver the reply line to the issuer (or stderr without one). A
+    /// hung-up issuer is ignored — the service never dies on a client.
+    pub fn respond(&self, line: String) {
+        match self.reply.lock().expect("reply lock poisoned").take() {
+            Some(tx) => {
+                let _ = tx.send(line);
+            }
+            None => eprintln!("{line}"),
+        }
+    }
+}
+
+/// Reply routing for interactive queries arriving over the socket: the
+/// connection handler registers a sender, stamps the line with the
+/// returned `"token":N`, and the router routes the answer back through
+/// [`take`](InteractiveRegistry::take).
+#[derive(Default)]
+pub struct InteractiveRegistry {
+    next: AtomicU64,
+    map: Mutex<HashMap<u64, Sender<String>>>,
+}
+
+impl InteractiveRegistry {
+    /// Fresh empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a reply channel; returns the token to stamp the line
+    /// with.
+    pub fn register(&self, tx: Sender<String>) -> u64 {
+        let token = self.next.fetch_add(1, Ordering::Relaxed);
+        self.map.lock().expect("registry lock poisoned").insert(token, tx);
+        token
+    }
+
+    /// Claim the reply channel for `token`, if still registered.
+    pub fn take(&self, token: u64) -> Option<Sender<String>> {
+        self.map.lock().expect("registry lock poisoned").remove(&token)
+    }
+
+    /// Drop every registered reply channel, waking any connection still
+    /// blocked on an answer that will never come (e.g. a query sent
+    /// after the shutdown control was consumed).
+    pub fn drain(&self) {
+        self.map.lock().expect("registry lock poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isel_core::algorithm1::{self, Options};
+    use isel_core::VecSink;
+    use isel_costmodel::CachingWhatIf;
+    use isel_workload::synthetic::{self, SyntheticConfig};
+    use isel_workload::TableId;
+
+    fn publication(w: &Workload, table: u16, budget_b: u64) -> Arc<PublishedFrontier> {
+        let queries: Vec<_> = w
+            .queries()
+            .iter()
+            .filter(|q| q.table() == TableId(table))
+            .cloned()
+            .collect();
+        let scoped = Workload::new(w.schema().clone(), queries);
+        let est = CachingWhatIf::new(AnalyticalWhatIf::new(&scoped));
+        let run = algorithm1::run(&est, &Options::new(budget_b));
+        Arc::new(PublishedFrontier {
+            initial_cost: run.initial_cost,
+            frontier: run.frontier,
+            steps: run.steps,
+            epoch: 0,
+        })
+    }
+
+    fn workload() -> Workload {
+        synthetic::generate(&SyntheticConfig {
+            tables: 3,
+            attrs_per_table: 6,
+            queries_per_table: 8,
+            rows_base: 30_000,
+            max_query_width: 3,
+            update_fraction: 0.0,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn publish_maintains_allocations_and_skips_clean_republish() {
+        let w = workload();
+        let global = global_budget(w.schema(), 0.3);
+        let arbiter = Arbiter::new(global, BTreeMap::new());
+        let sink = VecSink::new();
+        for t in 0..3u16 {
+            let pf = publication(&w, t, global / 3);
+            assert!(arbiter.publish(t, pf, Trace::to(&sink)));
+        }
+        assert_eq!(arbiter.merges(), 3);
+        let allocs = arbiter.allocations();
+        assert_eq!(allocs.len(), 3);
+        assert!(allocs.iter().map(|&(_, a)| a).sum::<u64>() <= global);
+
+        // A bit-identical republish is skipped: no merge, no trace event.
+        let pf = publication(&w, 1, global / 3);
+        assert!(!arbiter.publish(1, pf, Trace::to(&sink)));
+        assert_eq!(arbiter.merges(), 3);
+        let merge_events = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Merge { .. }))
+            .count();
+        assert_eq!(merge_events, 3);
+    }
+
+    #[test]
+    fn whatif_matches_offline_merge_and_runs_nothing() {
+        let w = workload();
+        let global = global_budget(w.schema(), 0.3);
+        let arbiter = Arbiter::new(global, BTreeMap::new());
+        let parts: Vec<Arc<PublishedFrontier>> =
+            (0..3u16).map(|t| publication(&w, t, global / 3)).collect();
+        for (t, pf) in parts.iter().enumerate() {
+            arbiter.publish(t as u16, pf.clone(), Trace::disabled());
+        }
+        let probe = global / 2;
+        let offline_parts: Vec<(f64, &Frontier)> =
+            parts.iter().map(|p| (p.initial_cost, &p.frontier)).collect();
+        let offline = isel_core::merge_frontiers(&offline_parts, probe);
+        let allocations: Vec<(u16, u64)> = offline
+            .allocations
+            .iter()
+            .enumerate()
+            .map(|(t, &a)| (t as u16, a))
+            .collect();
+        assert_eq!(
+            arbiter.answer(Control::Whatif { budget: probe }).unwrap(),
+            render_whatif_line(probe, &offline, &allocations)
+        );
+    }
+
+    #[test]
+    fn tenant_reports_allocation_and_cost() {
+        let w = workload();
+        let global = global_budget(w.schema(), 0.3);
+        let arbiter = Arbiter::new(global, BTreeMap::new());
+        for t in 0..3u16 {
+            arbiter.publish(t, publication(&w, t, global / 3), Trace::disabled());
+        }
+        let line = arbiter.tenant(1, global);
+        assert!(line.starts_with("{\"table_group\":1,\"budget\":"), "{line}");
+        assert!(line.contains("\"allocation\":"), "{line}");
+        // An unpublished group answers with a null cost, not an error.
+        assert!(arbiter.tenant(9, global).contains("\"cost\":null"));
+    }
+
+    #[test]
+    fn weights_bias_allocations_toward_heavy_tenants() {
+        let w = workload();
+        let global = global_budget(w.schema(), 0.2);
+        let flat = Arbiter::new(global, BTreeMap::new());
+        let mut weights = BTreeMap::new();
+        weights.insert(2u16, 1000.0);
+        let biased = Arbiter::new(global, weights);
+        for t in 0..3u16 {
+            let pf = publication(&w, t, global / 3);
+            flat.publish(t, pf.clone(), Trace::disabled());
+            biased.publish(t, pf, Trace::disabled());
+        }
+        let fa = flat.allocations();
+        let ba = biased.allocations();
+        assert!(
+            ba[2].1 >= fa[2].1,
+            "a 1000x weight must not shrink t2's allocation ({} -> {})",
+            fa[2].1,
+            ba[2].1
+        );
+    }
+
+    #[test]
+    fn pending_query_barrier_and_reply_routing() {
+        let pq = PendingQuery::new(Control::Whatif { budget: 7 }, 3, None);
+        assert!(!pq.arrive());
+        assert!(!pq.arrive());
+        assert!(pq.arrive(), "third worker is last in");
+
+        let (tx, rx) = std::sync::mpsc::channel();
+        let pq = PendingQuery::new(Control::Status, 1, Some(tx));
+        assert!(pq.arrive());
+        pq.respond("hello".into());
+        assert_eq!(rx.recv().unwrap(), "hello");
+
+        let reg = InteractiveRegistry::new();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let token = reg.register(tx);
+        assert!(reg.take(token + 1).is_none());
+        reg.take(token).unwrap().send("routed".into()).unwrap();
+        assert_eq!(rx.recv().unwrap(), "routed");
+        assert!(reg.take(token).is_none(), "a token is claimed once");
+    }
+}

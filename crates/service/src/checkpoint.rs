@@ -31,6 +31,7 @@
 //! from growing with selection churn — the legacy single-daemon
 //! [`Checkpoint`] format is unchanged.
 
+use crate::arbiter::PublishedFrontier;
 use crate::config::ServiceConfig;
 use crate::tuner::Tuner;
 use crate::window::{kind_rank, rank_kind, EpochBatch, EpochWindow};
@@ -92,6 +93,12 @@ pub struct Checkpoint {
     pub window: Vec<SavedBatch>,
     /// The partially-filled current epoch.
     pub current: SavedBatch,
+    /// Frontier published to the arbiter by the last re-selecting epoch,
+    /// if any. Absent in pre-arbitration checkpoints (`serde` default),
+    /// which restore with no publication and simply re-publish on their
+    /// next re-selection.
+    #[serde(default)]
+    pub published: Option<PublishedFrontier>,
 }
 
 fn save_batch(batch: &EpochBatch) -> SavedBatch {
@@ -243,6 +250,7 @@ impl Checkpoint {
             baseline: tuner.drift_baseline().map(save_workload),
             window: window.window.iter().map(save_batch).collect(),
             current: save_batch(&window.current),
+            published: tuner.published().map(|p| (**p).clone()),
         }
     }
 
@@ -266,8 +274,15 @@ impl Checkpoint {
             .map(|t| load_workload(schema, t))
             .transpose()?;
         let window = restore_window(schema, &self.config, &self.window, &self.current)?;
-        let tuner =
-            Tuner::restore(self.config.clone(), pool, selection, baseline, self.epoch, None);
+        let tuner = Tuner::restore(
+            self.config.clone(),
+            pool,
+            selection,
+            baseline,
+            self.epoch,
+            None,
+            self.published.clone().map(std::sync::Arc::new),
+        );
         Ok((tuner, window))
     }
 
@@ -321,6 +336,13 @@ pub struct GroupCheckpoint {
     pub window: Vec<SavedBatch>,
     /// The partially-filled current epoch.
     pub current: SavedBatch,
+    /// Frontier published to the arbiter by the group's last
+    /// re-selecting epoch, if any (absent in pre-arbitration
+    /// checkpoints). Restoring it lets a resumed run answer `whatif`
+    /// queries — and compute the merged selection — without re-running
+    /// any group from scratch.
+    #[serde(default)]
+    pub published: Option<PublishedFrontier>,
 }
 
 impl GroupCheckpoint {
@@ -344,6 +366,7 @@ impl GroupCheckpoint {
             baseline: tuner.drift_baseline().map(save_workload),
             window: window.window.iter().map(save_batch).collect(),
             current: save_batch(&window.current),
+            published: tuner.published().map(|p| (**p).clone()),
         }
     }
 
@@ -367,6 +390,7 @@ impl GroupCheckpoint {
             baseline,
             self.epoch,
             Some(TableId(self.table)),
+            self.published.clone().map(std::sync::Arc::new),
         );
         Ok((tuner, window))
     }

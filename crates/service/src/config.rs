@@ -73,6 +73,12 @@ pub struct ServiceConfig {
     /// rendezvous hash; see [`crate::shard::ShardMap`]).
     #[serde(default)]
     pub shard_map: BTreeMap<u16, u32>,
+    /// Per-tenant SLO weights biasing the global-budget frontier merge:
+    /// table group → weight scaling its cost axis in the
+    /// [`crate::arbiter::Arbiter`] (deterministically favoring heavier
+    /// tenants when splitting the budget). Unlisted groups weigh 1.
+    #[serde(default)]
+    pub tenant_weights: BTreeMap<u16, f64>,
 }
 
 impl Default for ServiceConfig {
@@ -89,6 +95,7 @@ impl Default for ServiceConfig {
             checkpoint_every_epochs: 0,
             shards: 0,
             shard_map: BTreeMap::new(),
+            tenant_weights: BTreeMap::new(),
         }
     }
 }
@@ -110,6 +117,14 @@ impl ServiceConfig {
         }
         if self.queue_capacity == 0 {
             return Err("queue_capacity must be at least 1".into());
+        }
+        for (&table, &weight) in &self.tenant_weights {
+            if !weight.is_finite() || weight <= 0.0 {
+                return Err(format!(
+                    "tenant_weights gives table {table} weight {weight}; weights must be \
+                     finite and positive"
+                ));
+            }
         }
         for (&table, &shard) in &self.shard_map {
             if self.shards == 0 {
@@ -160,7 +175,19 @@ mod tests {
         let cfg: ServiceConfig = serde_json::from_str(legacy).unwrap();
         assert_eq!(cfg.shards, 0);
         assert!(cfg.shard_map.is_empty());
+        assert!(cfg.tenant_weights.is_empty());
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn tenant_weights_must_be_finite_and_positive() {
+        let mut cfg = ServiceConfig::default();
+        cfg.tenant_weights.insert(0, 2.5);
+        cfg.validate().unwrap();
+        cfg.tenant_weights.insert(1, 0.0);
+        assert!(cfg.validate().is_err(), "zero weight rejected");
+        cfg.tenant_weights.insert(1, f64::NAN);
+        assert!(cfg.validate().is_err(), "NaN weight rejected");
     }
 
     #[test]

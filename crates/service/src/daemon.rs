@@ -3,10 +3,13 @@
 //!
 //! The reader thread parses and validates lines, counting invalid ones,
 //! and pushes valid events and `checkpoint` controls onto the queue so
-//! they stay ordered with the surrounding events. EOF or a `shutdown`
-//! control closes the queue; the consumer then drains every remaining
-//! event, tunes any epochs that seal while draining, writes a final
-//! checkpoint, and returns a [`ServiceReport`].
+//! they stay ordered with the surrounding events. Interactive `whatif`
+//! and `tenant` controls ride the queue the same way — as barrier items
+//! answered from the live [`crate::Arbiter`] once every event queued
+//! before them has been consumed. EOF or a `shutdown` control closes the
+//! queue; the consumer then drains every remaining event, tunes any
+//! epochs that seal while draining, writes a final checkpoint, and
+//! returns a [`ServiceReport`].
 //!
 //! [`offline_snapshots`] + [`offline_adapt`] are the pure reference
 //! implementations the replay determinism contract is checked against:
@@ -15,6 +18,7 @@
 //! selection sequence of `dynamic::adapt` over [`offline_snapshots`] of
 //! the same log.
 
+use crate::arbiter::{global_budget, Arbiter, PendingQuery};
 use crate::checkpoint::Checkpoint;
 use crate::config::ServiceConfig;
 use crate::event::{parse_line, Control, InputLine};
@@ -30,6 +34,7 @@ use isel_workload::{Query, Schema, Workload};
 use std::io::BufRead;
 use std::path::Path;
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// What happens when the ingestion queue is full.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,6 +49,9 @@ pub enum OverloadPolicy {
 pub(crate) enum WorkItem {
     Query(Query),
     Checkpoint,
+    /// An interactive query queued as an in-band barrier: answered once
+    /// every event queued before it has been consumed.
+    Interactive(Arc<PendingQuery>),
 }
 
 /// Verdict of ingesting one line.
@@ -56,6 +64,9 @@ pub(crate) enum Ingest {
     /// board line (stderr for stdin readers, back on the wire for
     /// socket connections) without queuing anything.
     Status,
+    /// An interactive `whatif`/`tenant` control arrived — the caller
+    /// queues it as an in-band barrier item and routes the reply.
+    Interactive(Control),
 }
 
 /// Summary of one daemon run.
@@ -86,6 +97,10 @@ pub struct Daemon {
     config: ServiceConfig,
     tuner: Tuner,
     window: EpochWindow,
+    /// Live frontier arbitration. The unsharded daemon is one tenant —
+    /// everything publishes under part key 0 — so `whatif` queries work
+    /// but per-group `tenant` queries need the sharded router.
+    arbiter: Arc<Arbiter>,
     /// Lifetime counters restored from a checkpoint (zero for a fresh
     /// daemon); this run's deltas are added on top.
     base_ingested: u64,
@@ -108,11 +123,16 @@ impl Daemon {
             config.window_epochs,
             config.max_templates,
         );
+        let arbiter = Arc::new(Arbiter::new(
+            global_budget(&schema, config.budget_share),
+            config.tenant_weights.clone(),
+        ));
         Ok(Self {
             schema,
             config,
             tuner,
             window,
+            arbiter,
             base_ingested: 0,
             base_invalid: 0,
             base_dropped: 0,
@@ -136,11 +156,21 @@ impl Daemon {
             ));
         }
         let (tuner, window) = cp.restore(&schema)?;
+        let arbiter = Arc::new(Arbiter::new(
+            global_budget(&schema, config.budget_share),
+            config.tenant_weights.clone(),
+        ));
+        // Re-seat the restored publication so interactive queries are
+        // answerable before the first post-restore epoch seals.
+        if let Some(pf) = tuner.published() {
+            arbiter.publish(0, Arc::clone(pf), Trace::disabled());
+        }
         Ok(Self {
             schema,
             config,
             tuner,
             window,
+            arbiter,
             base_ingested: cp.ingested,
             base_invalid: cp.invalid,
             base_dropped: cp.dropped,
@@ -155,6 +185,12 @@ impl Daemon {
     /// Selection currently in force.
     pub fn selection(&self) -> &Selection {
         self.tuner.selection()
+    }
+
+    /// The live frontier arbiter: maintained allocations and
+    /// interactive `whatif` answers over the daemon's single part.
+    pub fn arbiter(&self) -> &Arbiter {
+        &self.arbiter
     }
 
     fn parallelism(&self) -> Parallelism {
@@ -178,8 +214,9 @@ impl Daemon {
         let board = self.status_board();
         let schema = self.schema.clone();
         let base_dropped = self.base_dropped;
+        let arbiter = Arc::clone(&self.arbiter);
         let (outcomes, checkpoints_written) = std::thread::scope(|s| {
-            s.spawn(|| ingest_lines(input, &schema, &queue, policy, &board, base_dropped));
+            s.spawn(|| ingest_lines(input, &schema, &queue, policy, &board, base_dropped, &arbiter));
             self.consume(&queue, &board, checkpoint, trace)
         })?;
         Ok(self.report(outcomes, &queue, &board, checkpoints_written))
@@ -200,6 +237,12 @@ impl Daemon {
         self.base_dropped
     }
 
+    /// A shared handle to the daemon's arbiter (for socket connection
+    /// handlers that outlive a `&self` borrow).
+    pub(crate) fn arbiter_handle(&self) -> Arc<Arbiter> {
+        Arc::clone(&self.arbiter)
+    }
+
     /// Pop until the queue closes and drains; tune every epoch that
     /// seals; honor checkpoint items; write the final checkpoint.
     pub(crate) fn consume(
@@ -217,7 +260,11 @@ impl Daemon {
             if take_status_signal() {
                 eprintln!(
                     "{}",
-                    board.line(self.base_dropped + queue.dropped(), &[queue.len() as u64])
+                    board.line(
+                        self.base_dropped + queue.dropped(),
+                        &[queue.len() as u64],
+                        &self.arbiter.allocations(),
+                    )
                 );
             }
             match item {
@@ -229,6 +276,11 @@ impl Daemon {
                             .expect("snapshot exists after an epoch seals");
                         outcomes.push(self.tuner.tune(&snap, par, trace));
                         board.epochs.fetch_add(1, Ordering::Relaxed);
+                        if self.tuner.take_published_dirty() {
+                            if let Some(pf) = self.tuner.published() {
+                                self.arbiter.publish(0, Arc::clone(pf), trace);
+                            }
+                        }
                         if every > 0 && self.tuner.epoch().is_multiple_of(every) {
                             if let Some(path) = checkpoint {
                                 self.write_checkpoint(path, queue, board)?;
@@ -243,6 +295,21 @@ impl Daemon {
                         self.write_checkpoint(path, queue, board)?;
                         written += 1;
                         board.checkpoints.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                WorkItem::Interactive(pq) => {
+                    if pq.arrive() {
+                        let answer = match pq.control() {
+                            // One unsharded group: per-tenant splits only
+                            // exist under the sharded router.
+                            Control::Tenant { .. } => Some(
+                                "{\"error\":\"tenant queries require --shards\"}".to_owned(),
+                            ),
+                            c => self.arbiter.answer(c),
+                        };
+                        if let Some(line) = answer {
+                            pq.respond(line);
+                        }
                     }
                 }
             }
@@ -321,12 +388,15 @@ pub(crate) fn ingest_lines<R: BufRead>(
     policy: OverloadPolicy,
     board: &StatusBoard,
     base_dropped: u64,
+    arbiter: &Arbiter,
 ) {
     let _close = CloseOnExit(queue);
     let mut dict = DecodeDict::new();
+    let status_line =
+        || board.line(base_dropped + queue.dropped(), &[queue.len() as u64], &arbiter.allocations());
     for record in RecordIter::new(input) {
         if take_status_signal() {
-            eprintln!("{}", board.line(base_dropped + queue.dropped(), &[queue.len() as u64]));
+            eprintln!("{}", status_line());
         }
         let verdict = match record {
             Record::Line(line) => ingest_one(&line, schema, queue, policy, board),
@@ -339,7 +409,13 @@ pub(crate) fn ingest_lines<R: BufRead>(
         match verdict {
             Ingest::Continue => {}
             Ingest::Status => {
-                eprintln!("{}", board.line(base_dropped + queue.dropped(), &[queue.len() as u64]));
+                eprintln!("{}", status_line());
+            }
+            Ingest::Interactive(c) => {
+                // No reply channel on the reader path: the consumer
+                // prints the answer to stderr. Interactive items are
+                // never shed — a dropped question is a hung client.
+                let _ = queue.push_blocking(WorkItem::Interactive(PendingQuery::new(c, 1, None)));
             }
             Ingest::Shutdown => break,
         }
@@ -388,6 +464,9 @@ pub(crate) fn ingest_item(
         }
         WireItem::Control(Control::Status) => Ingest::Status,
         WireItem::Control(Control::Shutdown) => Ingest::Shutdown,
+        WireItem::Control(c @ (Control::Whatif { .. } | Control::Tenant { .. })) => {
+            Ingest::Interactive(*c)
+        }
         WireItem::Raw(bytes) => {
             let line = String::from_utf8_lossy(bytes).into_owned();
             ingest_one(&line, schema, queue, policy, board)
@@ -427,6 +506,9 @@ pub(crate) fn ingest_one(
         }
         Ok(InputLine::Control(Control::Status)) => Ingest::Status,
         Ok(InputLine::Control(Control::Shutdown)) => Ingest::Shutdown,
+        Ok(InputLine::Control(c @ (Control::Whatif { .. } | Control::Tenant { .. }))) => {
+            Ingest::Interactive(c)
+        }
         Err(_) => {
             board.invalid.fetch_add(1, Ordering::Relaxed);
             Ingest::Continue
@@ -632,6 +714,48 @@ mod tests {
             assert_eq!(&got.selection, want);
         }
         assert_eq!(&report.final_selection, offline.last().unwrap());
+    }
+
+    #[test]
+    fn interactive_queries_are_answered_behind_preceding_events() {
+        let w = workload();
+        let cfg = config();
+        let mut daemon = Daemon::new(w.schema().clone(), cfg.clone()).unwrap();
+        let queue = BoundedQueue::new(cfg.queue_capacity);
+        let board = daemon.status_board();
+        // 16 events seal one epoch, so the tuned frontier is published
+        // before the barrier queries queued behind them are answered.
+        let log = sample_log(&w, 16, 7);
+        for line in log.lines() {
+            let _ = ingest_one(line, w.schema(), &queue, OverloadPolicy::Block, &board);
+        }
+        let budget = daemon.arbiter.budget();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let pq = PendingQuery::new(Control::Whatif { budget }, 1, Some(tx));
+        let _ = queue.push_blocking(WorkItem::Interactive(pq));
+        let (tx, tenant_rx) = std::sync::mpsc::channel();
+        let pq = PendingQuery::new(Control::Tenant { table: 0, budget }, 1, Some(tx));
+        let _ = queue.push_blocking(WorkItem::Interactive(pq));
+        queue.close();
+        daemon.consume(&queue, &board, None, Trace::disabled()).unwrap();
+
+        let reply = rx.recv().unwrap();
+        let v: serde_json::Value = serde_json::from_str(&reply).unwrap();
+        assert_eq!(v.get("budget").and_then(|b| b.as_u64()), Some(budget));
+        let total = v.get("total_memory").and_then(|m| m.as_u64()).unwrap();
+        assert!(total <= budget, "merged memory {total} within budget {budget}");
+        assert_eq!(
+            v.get("allocations").and_then(|a| a.as_array()).map(Vec::len),
+            Some(1),
+            "the unsharded daemon is one tenant"
+        );
+        // The same question asked again is answered from maintained
+        // state, byte-identically.
+        assert_eq!(reply, daemon.arbiter.whatif(budget));
+        assert!(
+            tenant_rx.recv().unwrap().contains("tenant queries require --shards"),
+            "per-tenant splits need the sharded router"
+        );
     }
 
     #[test]

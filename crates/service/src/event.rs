@@ -5,7 +5,13 @@
 //! with `frequency` defaulting to 1 and `kind` to `Select`), so a
 //! recorded log is readable by the same tooling as a workload file.
 //! Control lines are `{"control":"shutdown"}`,
-//! `{"control":"checkpoint"}` and `{"control":"status"}`.
+//! `{"control":"checkpoint"}` and `{"control":"status"}`, plus the
+//! interactive arbitration queries `{"control":"whatif","budget":B}`
+//! and `{"control":"tenant","table_group":T,"budget":B}` answered from
+//! the maintained frontier state (see `crate::arbiter`). Any control
+//! line may additionally carry a `"token":N` field — a socket-serving
+//! implementation detail routing the reply back to the issuing
+//! connection ([`parse_token`]); parsing ignores it.
 //!
 //! Parsing validates against the schema: unknown tables, out-of-range or
 //! cross-table attributes, empty attribute lists and zero frequencies are
@@ -25,6 +31,21 @@ pub enum Control {
     /// Emit the aggregated status line (out of band: never queued, so it
     /// does not perturb replay determinism).
     Status,
+    /// Interactive query: what would every group be allocated at global
+    /// budget `budget`? Answered from the maintained frontiers without
+    /// re-running selection.
+    Whatif {
+        /// Hypothetical global memory budget in bytes.
+        budget: u64,
+    },
+    /// Interactive query: what does table group `table` get at global
+    /// budget `budget`?
+    Tenant {
+        /// Table group being asked about.
+        table: u16,
+        /// Hypothetical global memory budget in bytes.
+        budget: u64,
+    },
 }
 
 /// One successfully parsed input line.
@@ -45,6 +66,8 @@ struct RawLine {
     attrs: Option<Vec<u32>>,
     frequency: Option<u64>,
     kind: Option<QueryKind>,
+    budget: Option<u64>,
+    table_group: Option<u16>,
 }
 
 /// Parse and validate one JSONL line against `schema`.
@@ -55,6 +78,18 @@ pub fn parse_line(line: &str, schema: &Schema) -> Result<InputLine, String> {
             "shutdown" => Ok(InputLine::Control(Control::Shutdown)),
             "checkpoint" => Ok(InputLine::Control(Control::Checkpoint)),
             "status" => Ok(InputLine::Control(Control::Status)),
+            "whatif" => {
+                let budget = raw.budget.ok_or("whatif requires \"budget\"")?;
+                Ok(InputLine::Control(Control::Whatif { budget }))
+            }
+            "tenant" => {
+                let table = raw.table_group.ok_or("tenant requires \"table_group\"")?;
+                if table as usize >= schema.tables().len() {
+                    return Err(format!("unknown table group t{table}"));
+                }
+                let budget = raw.budget.ok_or("tenant requires \"budget\"")?;
+                Ok(InputLine::Control(Control::Tenant { table, budget }))
+            }
             other => Err(format!("unknown control command {other:?}")),
         };
     }
@@ -86,6 +121,18 @@ pub fn parse_line(line: &str, schema: &Schema) -> Result<InputLine, String> {
         frequency,
         raw.kind.unwrap_or_default(),
     )))
+}
+
+/// Extract the `"token":N` reply-routing field of a control line, if
+/// present. A separate micro-parse so the hot event path never looks at
+/// it; malformed lines simply yield `None` (they are counted invalid
+/// downstream as usual).
+pub fn parse_token(line: &str) -> Option<u64> {
+    #[derive(Deserialize)]
+    struct TokenOnly {
+        token: Option<u64>,
+    }
+    serde_json::from_str::<TokenOnly>(line).ok()?.token
 }
 
 #[cfg(test)]
@@ -145,6 +192,37 @@ mod tests {
             InputLine::Control(Control::Status)
         );
         assert!(parse_line(r#"{"control":"reboot"}"#, &s).is_err());
+    }
+
+    #[test]
+    fn parses_interactive_queries() {
+        let s = schema();
+        assert_eq!(
+            parse_line(r#"{"control":"whatif","budget":4096}"#, &s).unwrap(),
+            InputLine::Control(Control::Whatif { budget: 4096 })
+        );
+        assert_eq!(
+            parse_line(r#"{"control":"tenant","table_group":1,"budget":512}"#, &s).unwrap(),
+            InputLine::Control(Control::Tenant { table: 1, budget: 512 })
+        );
+        // A reply-routing token is tolerated and ignored by the parser.
+        assert_eq!(
+            parse_line(r#"{"control":"whatif","budget":7,"token":3}"#, &s).unwrap(),
+            InputLine::Control(Control::Whatif { budget: 7 })
+        );
+        assert!(parse_line(r#"{"control":"whatif"}"#, &s).is_err(), "budget required");
+        assert!(parse_line(r#"{"control":"tenant","budget":1}"#, &s).is_err());
+        assert!(
+            parse_line(r#"{"control":"tenant","table_group":9,"budget":1}"#, &s).is_err(),
+            "unknown group rejected"
+        );
+    }
+
+    #[test]
+    fn token_micro_parse_is_lenient() {
+        assert_eq!(parse_token(r#"{"control":"whatif","budget":7,"token":3}"#), Some(3));
+        assert_eq!(parse_token(r#"{"control":"status"}"#), None);
+        assert_eq!(parse_token("not json"), None);
     }
 
     #[test]

@@ -34,7 +34,7 @@
 //! | `0` | `Define`  | table varint, kind u8, attr count varint, attr deltas varints |
 //! | `1` | `Event` (frequency 1) | template varint |
 //! | `2` | `Event` | template varint, frequency varint |
-//! | `3` | `Control` | code u8 (0 shutdown, 1 checkpoint, 2 status) |
+//! | `3` | `Control` | code u8 (0 shutdown, 1 checkpoint, 2 status, 3 whatif + budget varint, 4 tenant + table varint + budget varint) |
 //! | `4` | `Raw` | length varint, verbatim line bytes |
 //! | `5` | `Tagged` | conn varint, seq varint, one inner item (tags 1–3) |
 //!
@@ -110,21 +110,37 @@ pub enum WireItem {
     },
 }
 
-fn control_code(c: Control) -> u8 {
+fn put_control(out: &mut Vec<u8>, c: Control) {
     match c {
-        Control::Shutdown => 0,
-        Control::Checkpoint => 1,
-        Control::Status => 2,
+        Control::Shutdown => out.push(0),
+        Control::Checkpoint => out.push(1),
+        Control::Status => out.push(2),
+        Control::Whatif { budget } => {
+            out.push(3);
+            put_varint(out, budget);
+        }
+        Control::Tenant { table, budget } => {
+            out.push(4);
+            put_varint(out, u64::from(table));
+            put_varint(out, budget);
+        }
     }
 }
 
-fn control_of(code: u8) -> Option<Control> {
-    match code {
-        0 => Some(Control::Shutdown),
-        1 => Some(Control::Checkpoint),
-        2 => Some(Control::Status),
-        _ => None,
-    }
+fn get_control(b: &[u8], pos: &mut usize) -> Option<Control> {
+    let code = *b.get(*pos)?;
+    *pos += 1;
+    Some(match code {
+        0 => Control::Shutdown,
+        1 => Control::Checkpoint,
+        2 => Control::Status,
+        3 => Control::Whatif { budget: get_varint(b, pos)? },
+        4 => Control::Tenant {
+            table: u16::try_from(get_varint(b, pos)?).ok()?,
+            budget: get_varint(b, pos)?,
+        },
+        _ => return None,
+    })
 }
 
 fn put_item(out: &mut Vec<u8>, item: &WireItem) {
@@ -161,7 +177,7 @@ fn put_item(out: &mut Vec<u8>, item: &WireItem) {
         }
         WireItem::Control(c) => {
             out.push(TAG_CONTROL);
-            out.push(control_code(*c));
+            put_control(out, *c);
         }
         WireItem::Raw(bytes) => {
             out.push(TAG_RAW);
@@ -225,11 +241,7 @@ fn get_item_inner(b: &[u8], pos: &mut usize, allow_tag: bool) -> Option<WireItem
             }
             Some(WireItem::Event { template, frequency })
         }
-        TAG_CONTROL => {
-            let code = *b.get(*pos)?;
-            *pos += 1;
-            Some(WireItem::Control(control_of(code)?))
-        }
+        TAG_CONTROL => Some(WireItem::Control(get_control(b, pos)?)),
         TAG_RAW => {
             let len = usize::try_from(get_varint(b, pos)?).ok()?;
             if len > MAX_PAYLOAD {
@@ -419,6 +431,8 @@ struct CanonRaw {
     attrs: Option<Vec<u32>>,
     frequency: Option<u64>,
     kind: Option<QueryKind>,
+    budget: Option<u64>,
+    table_group: Option<u16>,
 }
 
 /// Render the canonical text of a query event, with an optional
@@ -457,14 +471,18 @@ pub fn render_query(
 /// Render the canonical text of a control line, with an optional
 /// conn/seq prefix.
 pub fn render_control(tag: Option<(u64, u64)>, control: Control) -> String {
-    let name = match control {
-        Control::Shutdown => "shutdown",
-        Control::Checkpoint => "checkpoint",
-        Control::Status => "status",
+    let body = match control {
+        Control::Shutdown => "\"control\":\"shutdown\"".to_owned(),
+        Control::Checkpoint => "\"control\":\"checkpoint\"".to_owned(),
+        Control::Status => "\"control\":\"status\"".to_owned(),
+        Control::Whatif { budget } => format!("\"control\":\"whatif\",\"budget\":{budget}"),
+        Control::Tenant { table, budget } => {
+            format!("\"control\":\"tenant\",\"table_group\":{table},\"budget\":{budget}")
+        }
     };
     match tag {
-        Some((conn, seq)) => format!("{{\"conn\":{conn},\"seq\":{seq},\"control\":\"{name}\"}}"),
-        None => format!("{{\"control\":\"{name}\"}}"),
+        Some((conn, seq)) => format!("{{\"conn\":{conn},\"seq\":{seq},{body}}}"),
+        None => format!("{{{body}}}"),
     }
 }
 
@@ -486,6 +504,8 @@ pub fn parse_canonical(line: &str) -> Option<(Option<(u64, u64)>, CanonicalBody)
             "shutdown" => Control::Shutdown,
             "checkpoint" => Control::Checkpoint,
             "status" => Control::Status,
+            "whatif" => Control::Whatif { budget: raw.budget? },
+            "tenant" => Control::Tenant { table: raw.table_group?, budget: raw.budget? },
             _ => return None,
         };
         (CanonicalBody::Control(control), render_control(tag, control))
@@ -541,6 +561,13 @@ mod tests {
                 conn: 1,
                 seq: 1,
                 item: Box::new(WireItem::Control(Control::Shutdown)),
+            },
+            WireItem::Control(Control::Whatif { budget: 1 << 40 }),
+            WireItem::Control(Control::Tenant { table: 513, budget: 0 }),
+            WireItem::Tagged {
+                conn: 4,
+                seq: 2,
+                item: Box::new(WireItem::Control(Control::Whatif { budget: 9 })),
             },
         ];
         assert_eq!(round_trip(&items), items);
@@ -610,6 +637,8 @@ mod tests {
             r#"{"conn":1,"seq":4,"table":2,"attrs":[6]}"#,
             r#"{"control":"shutdown"}"#,
             r#"{"conn":3,"seq":9,"control":"status"}"#,
+            r#"{"control":"whatif","budget":4096}"#,
+            r#"{"control":"tenant","table_group":2,"budget":77}"#,
         ] {
             let (tag, body) = parse_canonical(line).unwrap_or_else(|| panic!("rejected {line}"));
             let back = match body {

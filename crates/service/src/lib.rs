@@ -62,12 +62,24 @@
 //! aggregates live counters across shards; `SIGUSR1` or a
 //! `{"control":"status"}` line renders them as one JSON status line.
 //!
+//! # Frontier arbitration
+//!
+//! The global-budget merge is a *live* subsystem ([`arbiter`]): each
+//! group publishes its tuned frontier as epochs complete, the
+//! [`Arbiter`] folds changed frontiers incrementally into a maintained
+//! [`isel_core::FrontierSet`], and the final merged selection is a cheap
+//! read of that state. Interactive `{"control":"whatif","budget":B}` and
+//! `{"control":"tenant","table_group":T,"budget":B}` queries — over the
+//! socket or in a replayed stream — are answered from the precomputed
+//! frontiers without re-running selection.
+//!
 //! [`Workload`]: isel_workload::Workload
 //! [`IndexPool`]: isel_workload::IndexPool
 //! [`Manifest`]: checkpoint::Manifest
 
 #![warn(missing_docs)]
 
+pub mod arbiter;
 pub mod checkpoint;
 pub mod config;
 pub mod daemon;
@@ -84,12 +96,15 @@ pub mod status;
 pub mod tuner;
 pub mod window;
 
+pub use arbiter::{
+    global_budget, Arbiter, InteractiveRegistry, PendingQuery, PublishedFrontier,
+};
 pub use checkpoint::{
     shard_file, Checkpoint, GroupCheckpoint, Manifest, ShardCheckpoint, CHECKPOINT_VERSION,
 };
 pub use config::{DriftThresholds, ServiceConfig};
 pub use daemon::{offline_adapt, offline_snapshots, Daemon, OverloadPolicy, ServiceReport};
-pub use event::{parse_line, Control, InputLine};
+pub use event::{parse_line, parse_token, Control, InputLine};
 pub use frame::{FrameEncoder, WireItem, FORMAT_VERSION, MAGIC, MAX_PAYLOAD};
 pub use journal::{convert, read_journal_bytes, JournalConfig, JournalWriter, WireFormat};
 pub use mmap::MappedFile;
@@ -97,7 +112,7 @@ pub use records::{DecodeDict, Record, RecordIter};
 pub use queue::BoundedQueue;
 pub use router::{offline_group_adapt, offline_group_snapshots, Router};
 pub use shard::{classify_line, LineClass, ShardMap, ShardTagSink};
-pub use socket::run_socket;
+pub use socket::{run_socket, run_socket_router};
 pub use status::{install_status_signal, take_status_signal, StatusBoard};
 pub use tuner::{EpochOutcome, TunePolicy, Tuner};
 pub use window::EpochWindow;

@@ -34,22 +34,31 @@
 //! **different** shard count ([`Router::resume`] re-packs groups under
 //! the current map).
 //!
-//! ## Merge
+//! ## Arbitration
 //!
-//! At shutdown the per-group selections are unioned under the *global*
-//! memory budget: each group's final snapshot is re-run from scratch at
-//! the global budget, the per-group memory/cost frontiers are combined
-//! with the [`isel_core::merge_frontiers`] knapsack, and each group
-//! materializes its selection at its allocated share
-//! ([`isel_core::algorithm1::selection_at`]). The union is the
-//! [`ServiceReport::final_selection`].
+//! The global-budget merge is *live* ([`crate::arbiter::Arbiter`]):
+//! whenever a group's epoch actually re-selects, the worker publishes
+//! the group's new frontier (plus the construction steps needed to
+//! materialize a selection at any allocation) and the arbiter folds it
+//! incrementally into a maintained [`isel_core::FrontierSet`] — only
+//! the changed group's DP path is recombined, and republished
+//! identical frontiers are skipped outright. The
+//! [`ServiceReport::final_selection`] is then a cheap read of that
+//! state: no group is ever re-run at shutdown. Interactive
+//! `{"control":"whatif","budget":B}` and
+//! `{"control":"tenant","table_group":T,"budget":B}` lines ride every
+//! shard queue as an in-band barrier; the last worker to reach the
+//! query answers from the arbiter, so the reply deterministically
+//! reflects exactly the events preceding the query — again without
+//! re-running selection (asserted via trace events in the tests).
 
+use crate::arbiter::{global_budget, Arbiter, InteractiveRegistry, PendingQuery};
 use crate::checkpoint::{
     shard_file, GroupCheckpoint, Manifest, ShardCheckpoint, CHECKPOINT_VERSION,
 };
 use crate::config::ServiceConfig;
 use crate::daemon::{flatten_item, FlatItem, OverloadPolicy, ServiceReport};
-use crate::event::{parse_line, Control, InputLine};
+use crate::event::{parse_line, parse_token, Control, InputLine};
 use crate::frame::WireItem;
 use crate::queue::BoundedQueue;
 use crate::records::{validate_define, DecodeDict, Record, RecordIter};
@@ -57,15 +66,14 @@ use crate::shard::{classify_line, LineClass, ShardMap, ShardTagSink};
 use crate::status::{take_status_signal, StatusBoard};
 use crate::tuner::{EpochOutcome, Tuner};
 use crate::window::EpochWindow;
-use isel_core::algorithm1::{self, Options, RunResult};
-use isel_core::{budget, merge_frontiers, Frontier, Parallelism, Selection, Trace, TraceSink};
+use isel_core::{budget, Parallelism, Selection, Trace, TraceSink};
 use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
 use isel_workload::{Query, QueryKind, Schema, TableId, Workload};
 use std::collections::{BTreeMap, HashMap};
 use std::io::BufRead;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Items flowing through one shard's queue.
 enum ShardItem {
@@ -89,6 +97,9 @@ enum ShardItem {
     Invalid,
     /// Checkpoint barrier of one generation.
     Barrier(u64),
+    /// An interactive arbitration query riding every queue as an in-band
+    /// barrier; the last worker to reach it answers from the arbiter.
+    Query(Arc<PendingQuery>),
 }
 
 /// One table group's live tuning state.
@@ -240,6 +251,7 @@ struct WorkerCtx<'a> {
     base_invalid: u64,
     base_dropped: u64,
     sink: Option<&'a dyn TraceSink>,
+    arbiter: &'a Arbiter,
 }
 
 /// What one worker hands back when its queue drains.
@@ -262,6 +274,8 @@ pub struct Router {
     base_dropped: u64,
     routed_lines: u64,
     next_generation: u64,
+    arbiter: Arbiter,
+    interactive: Option<Arc<InteractiveRegistry>>,
 }
 
 impl Router {
@@ -276,6 +290,10 @@ impl Router {
             return Err("the router requires shards >= 1 (0 selects the unsharded daemon)".into());
         }
         let map = ShardMap::new(config.shards, config.shard_map.clone(), schema.tables().len())?;
+        let arbiter = Arbiter::new(
+            global_budget(&schema, config.budget_share),
+            config.tenant_weights.clone(),
+        );
         Ok(Self {
             schema,
             config,
@@ -286,6 +304,8 @@ impl Router {
             base_dropped: 0,
             routed_lines: 0,
             next_generation: 1,
+            arbiter,
+            interactive: None,
         })
     }
 
@@ -327,12 +347,37 @@ impl Router {
         }
         router.routed_lines = manifest.routed_lines;
         router.next_generation = manifest.generation + 1;
+        // Re-publish the checkpointed frontiers so the resumed arbiter
+        // answers queries — and computes the merged selection — without
+        // any group having to re-run from scratch.
+        for (t, g) in &router.groups {
+            if let Some(pf) = g.tuner.published() {
+                router.arbiter.publish(*t, Arc::clone(pf), Trace::disabled());
+            }
+        }
         Ok(router)
+    }
+
+    /// The live frontier arbiter: maintained allocations, interactive
+    /// `whatif`/`tenant` answers, and the merged selection.
+    pub fn arbiter(&self) -> &Arbiter {
+        &self.arbiter
+    }
+
+    /// Attach the reply registry interactive socket queries route
+    /// through (see [`InteractiveRegistry`]); without one, in-stream
+    /// query answers print to stderr.
+    pub fn set_interactive(&mut self, registry: Arc<InteractiveRegistry>) {
+        self.interactive = Some(registry);
     }
 
     /// Number of shards the router fans out to.
     pub fn shards(&self) -> u32 {
         self.map.shards()
+    }
+
+    pub(crate) fn schema(&self) -> &Schema {
+        &self.schema
     }
 
     /// Number of table groups holding state.
@@ -399,6 +444,7 @@ impl Router {
         let mut routed = self.routed_lines;
         let mut next_gen = self.next_generation;
         let base_dropped = self.base_dropped;
+        let interactive = self.interactive.clone();
 
         let result: Result<(Vec<WorkerOut>, u64, u64), String> = std::thread::scope(|s| {
             let queues_ref = &queues;
@@ -407,6 +453,7 @@ impl Router {
             let schema_ref = &self.schema;
             let config_ref = &self.config;
             let committer_ref = committer.as_ref();
+            let arbiter_ref = &self.arbiter;
 
             let router_thread = s.spawn(move || {
                 let status = |line: &str| eprintln!("{line}");
@@ -436,13 +483,23 @@ impl Router {
                 let depths = || -> Vec<u64> {
                     queues_ref.iter().map(|q| q.len() as u64).collect()
                 };
+                // Interactive queries barrier every queue so the answer
+                // reflects exactly the events preceding the query. They
+                // never count as routed lines: barrier cadence stays
+                // identical with and without queries in the stream.
+                let enqueue_query = |c: Control, reply| {
+                    let pq = PendingQuery::new(c, queues_ref.len() as u32, reply);
+                    for q in queues_ref {
+                        q.push_blocking(ShardItem::Query(Arc::clone(&pq)));
+                    }
+                };
                 // Tables of every `Define` routed so far, indexed by the
                 // stream-global template id, so events route by table
                 // without re-reading their definition.
                 let mut template_tables: Vec<u16> = Vec::new();
                 for record in RecordIter::new(input) {
                     if take_status_signal() {
-                        status(&board_ref.line(dropped(), &depths()));
+                        status(&board_ref.line(dropped(), &depths(), &arbiter_ref.allocations()));
                     }
                     // Journal conn/seq tags and raw-carried lines reduce
                     // to the plain record they wrap.
@@ -477,7 +534,28 @@ impl Router {
                                         }
                                     }
                                     Ok(InputLine::Control(Control::Status)) => {
-                                        status(&board_ref.line(dropped(), &depths()));
+                                        let line = board_ref.line(
+                                            dropped(),
+                                            &depths(),
+                                            &arbiter_ref.allocations(),
+                                        );
+                                        let reply = interactive.as_ref().and_then(|reg| {
+                                            parse_token(trimmed).and_then(|t| reg.take(t))
+                                        });
+                                        match reply {
+                                            Some(tx) => {
+                                                let _ = tx.send(line);
+                                            }
+                                            None => status(&line),
+                                        }
+                                    }
+                                    Ok(InputLine::Control(
+                                        c @ (Control::Whatif { .. } | Control::Tenant { .. }),
+                                    )) => {
+                                        let reply = interactive.as_ref().and_then(|reg| {
+                                            parse_token(trimmed).and_then(|t| reg.take(t))
+                                        });
+                                        enqueue_query(c, reply);
                                     }
                                     // A malformed control line is counted
                                     // as invalid by a worker at its stream
@@ -531,8 +609,11 @@ impl Router {
                             }
                         }
                         Record::Item(WireItem::Control(Control::Status)) => {
-                            status(&board_ref.line(dropped(), &depths()));
+                            status(&board_ref.line(dropped(), &depths(), &arbiter_ref.allocations()));
                         }
+                        Record::Item(WireItem::Control(
+                            c @ (Control::Whatif { .. } | Control::Tenant { .. }),
+                        )) => enqueue_query(c, None),
                         // Tagged/Raw were unwrapped above; anything else
                         // would be a decoder invariant violation — count
                         // it invalid rather than trust it.
@@ -581,6 +662,7 @@ impl Router {
                         base_invalid: if k == 0 { self.base_invalid } else { 0 },
                         base_dropped: if k == 0 { base_dropped } else { 0 },
                         sink,
+                        arbiter: arbiter_ref,
                     };
                     s.spawn(move || shard_worker(ctx, groups, queue))
                 })
@@ -634,53 +716,18 @@ impl Router {
             dropped: base_dropped + queues.iter().map(BoundedQueue::dropped).sum::<u64>(),
             queue_high_water: queues.iter().map(BoundedQueue::high_water).max().unwrap_or(0),
             checkpoints_written: committer.as_ref().map_or(0, Committer::commits),
-            final_selection: self.merged_selection(par),
+            final_selection: self.merged_selection(),
         })
     }
 
-    /// Union the per-group selections under the global memory budget:
-    /// re-run each group's final snapshot from scratch at the global
-    /// budget, split the budget across groups with the
-    /// [`merge_frontiers`] knapsack over the per-group frontiers, and
-    /// materialize each group's selection at its allocated share.
-    fn merged_selection(&self, par: Parallelism) -> Selection {
-        let snaps: Vec<Workload> = self
-            .groups
-            .values()
-            .filter(|g| g.tuner.epoch() > 0)
-            .filter_map(|g| g.window.snapshot())
-            .collect();
-        if snaps.is_empty() {
-            return Selection::empty();
-        }
-        let ests: Vec<CachingWhatIf<AnalyticalWhatIf<'_>>> = snaps
-            .iter()
-            .map(|w| CachingWhatIf::new(AnalyticalWhatIf::new(w)))
-            .collect();
-        // The budget is schema-derived, so any group's estimator yields
-        // the same global figure.
-        let global = budget::relative_budget(&ests[0], self.config.budget_share);
-        let runs: Vec<RunResult> = ests
-            .iter()
-            .map(|est| {
-                let mut options = Options::new(global);
-                options.parallelism = par;
-                algorithm1::run_traced(est, &options, Trace::disabled())
-            })
-            .collect();
-        let parts: Vec<(f64, &Frontier)> =
-            runs.iter().map(|r| (r.initial_cost, &r.frontier)).collect();
-        let merge = merge_frontiers(&parts, global);
-        let mut union = Vec::new();
-        for (run, &alloc) in runs.iter().zip(&merge.allocations) {
-            union.extend(
-                algorithm1::selection_at(&run.steps, alloc)
-                    .indexes()
-                    .iter()
-                    .cloned(),
-            );
-        }
-        Selection::from_indexes(union)
+    /// Union the per-group selections under the global memory budget — a
+    /// cheap read of the arbiter's maintained merge. No group is re-run:
+    /// each materializes its selection from its published construction
+    /// steps at its maintained allocation, and groups whose frontier
+    /// never changed since their last publication were never even
+    /// re-merged (the clean-group skip).
+    fn merged_selection(&self) -> Selection {
+        self.arbiter.merged_selection()
     }
 }
 
@@ -724,6 +771,14 @@ fn shard_worker(
             out.shard = Some(ctx.shard);
             outcomes.push(out);
             ctx.board.epochs.fetch_add(1, Ordering::Relaxed);
+            // Publish the group's frontier only when re-selection
+            // actually changed it; no-op epochs leave the arbiter's
+            // merge untouched.
+            if group.tuner.take_published_dirty() {
+                if let Some(pf) = group.tuner.published() {
+                    ctx.arbiter.publish(table.0, Arc::clone(pf), trace);
+                }
+            }
         }
     };
     while let Some(item) = queue.pop() {
@@ -778,6 +833,16 @@ fn shard_worker(
             ShardItem::Invalid => {
                 invalid += 1;
                 ctx.board.invalid.fetch_add(1, Ordering::Relaxed);
+            }
+            ShardItem::Query(pq) => {
+                // In-band barrier: everything queued before the query on
+                // this shard has been consumed. The last worker in
+                // answers from the arbiter's maintained state.
+                if pq.arrive() {
+                    if let Some(answer) = ctx.arbiter.answer(pq.control()) {
+                        pq.respond(answer);
+                    }
+                }
             }
             ShardItem::Barrier(generation) => {
                 if failure.is_some() {
@@ -1104,5 +1169,79 @@ mod tests {
             memory <= global,
             "merged selection uses {memory} B of a {global} B budget"
         );
+    }
+
+    #[test]
+    fn whatif_queries_do_not_rerun_selection() {
+        use isel_core::{TraceEvent, VecSink};
+        let w = workload();
+        let base = sample_log(&w, 96, 17);
+        // Interleave budget questions between event batches.
+        let mut probed = String::new();
+        for (i, l) in base.lines().enumerate() {
+            probed.push_str(l);
+            probed.push('\n');
+            if i % 24 == 23 {
+                probed.push_str("{\"control\":\"whatif\",\"budget\":1048576}\n");
+                probed.push_str("{\"control\":\"tenant\",\"table_group\":0,\"budget\":1048576}\n");
+            }
+        }
+
+        let run = |log: &str| {
+            let sinks = [VecSink::new(), VecSink::new()];
+            let mut router = Router::new(w.schema().clone(), config(2)).unwrap();
+            let refs: Vec<&dyn isel_core::TraceSink> = sinks.iter().map(|s| s as _).collect();
+            let report = router
+                .run_reader(Cursor::new(log.to_owned()), OverloadPolicy::Block, None, &refs)
+                .unwrap();
+            let events: Vec<TraceEvent> =
+                sinks.iter().flat_map(|s| s.events()).collect();
+            let runs = events
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::RunStart { .. }))
+                .count();
+            let merges = events
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::Merge { .. }))
+                .count();
+            (report, runs, merges)
+        };
+        let (plain, plain_runs, plain_merges) = run(&base);
+        let (asked, asked_runs, asked_merges) = run(&probed);
+        assert_eq!(asked.ingested, plain.ingested, "queries are not events");
+        assert_eq!(
+            asked_runs, plain_runs,
+            "interactive queries must not trigger selection runs"
+        );
+        assert_eq!(asked_merges, plain_merges, "queries read, never re-merge");
+        assert!(asked_merges > 0, "epoch publishes re-merge incrementally");
+        assert_eq!(asked.final_selection, plain.final_selection);
+    }
+
+    #[test]
+    fn shutdown_reads_the_maintained_merge_without_rework() {
+        let w = workload();
+        let log = sample_log(&w, 96, 19);
+        let mut router = Router::new(w.schema().clone(), config(2)).unwrap();
+        let report = router
+            .run_reader(Cursor::new(log), OverloadPolicy::Block, None, &[])
+            .unwrap();
+        let arbiter = router.arbiter();
+        let merges = arbiter.merges();
+        assert!(merges > 0, "epoch publishes were merged during the run");
+        // The final selection is a cheap read of the maintained state.
+        assert_eq!(arbiter.merged_selection(), report.final_selection);
+        assert_eq!(arbiter.merges(), merges, "reads never re-merge");
+        // Republishing an unchanged frontier (a group that saw no events
+        // since its last epoch) is a clean skip, not a re-merge.
+        for t in 0..w.schema().tables().len() as u16 {
+            if let Some(pf) = arbiter.published(t) {
+                assert!(
+                    !arbiter.publish(t, pf, isel_core::Trace::disabled()),
+                    "clean republish of t{t} must be skipped"
+                );
+            }
+        }
+        assert_eq!(arbiter.merges(), merges);
     }
 }

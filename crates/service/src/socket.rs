@@ -26,21 +26,32 @@
 //!
 //! A `{"control":"status"}` line is answered out of band: the daemon
 //! writes one JSON status line back on the same connection without
-//! queuing anything.
+//! queuing anything. Interactive `{"control":"whatif","budget":B}` and
+//! `{"control":"tenant","table_group":T,"budget":B}` lines are answered
+//! *in* band — queued as barrier items so the reply reflects exactly
+//! the events that preceded the query on the stream — from the live
+//! [`crate::Arbiter`], never by re-running selection.
+//!
+//! [`run_socket_router`] is the sharded peer: connections feed one
+//! ordered line channel the [`Router`] consumes, with identical journal
+//! and reply semantics plus per-group `tenant` answers.
 
+use crate::arbiter::{Arbiter, InteractiveRegistry, PendingQuery};
 use crate::daemon::{ingest_one, Daemon, Ingest, OverloadPolicy, ServiceReport, WorkItem};
+use crate::event::{parse_line, Control, InputLine};
 use crate::frame::WireItem;
 use crate::journal::{render_item_line, JournalConfig, JournalWriter};
 use crate::queue::BoundedQueue;
 use crate::records::{DecodeDict, Record, RecordIter};
+use crate::router::Router;
 use crate::status::{take_status_signal, StatusBoard};
-use isel_core::Trace;
+use isel_core::{Trace, TraceSink};
 use isel_workload::Schema;
 use std::io::{BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Accept-loop poll interval while waiting for connections.
@@ -54,6 +65,7 @@ struct ConnCtx<'a> {
     board: &'a StatusBoard,
     journal: Option<&'a Mutex<JournalWriter>>,
     base_dropped: u64,
+    arbiter: &'a Arbiter,
 }
 
 /// Serve `daemon` on a Unix-domain socket at `path` until a `shutdown`
@@ -99,6 +111,7 @@ pub fn run_socket(
     let stop = AtomicBool::new(false);
     let schema = daemon.schema().clone();
     let base_dropped = daemon.base_dropped();
+    let arbiter = daemon.arbiter_handle();
     let ctx = ConnCtx {
         schema: &schema,
         queue: &queue,
@@ -106,6 +119,7 @@ pub fn run_socket(
         board: &board,
         journal: journal.as_ref(),
         base_dropped,
+        arbiter: &arbiter,
     };
 
     let result = std::thread::scope(|s| {
@@ -125,6 +139,7 @@ pub fn run_socket(
                                 ctx_ref.board.line(
                                     ctx_ref.base_dropped + ctx_ref.queue.dropped(),
                                     &[ctx_ref.queue.len() as u64],
+                                    &ctx_ref.arbiter.allocations(),
                                 )
                             );
                         }
@@ -198,20 +213,31 @@ fn serve_connection(ctx: &ConnCtx<'_>, stream: UnixStream, conn: u64) {
             continue;
         }
         seq += 1;
-        let verdict = match ctx.journal {
-            Some(j) => {
-                // Hold the lock across journal-write AND queue-push so the
-                // journal records the exact order events entered the queue.
-                let mut g = match j.lock() {
-                    Ok(g) => g,
-                    Err(p) => p.into_inner(),
-                };
+        let mut pending = None;
+        let verdict = {
+            // Hold the lock across journal-write AND queue-push so the
+            // journal records the exact order events entered the queue —
+            // including the barrier position of interactive queries,
+            // which a replay must answer after the same events.
+            let mut guard = ctx.journal.map(|j| match j.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            });
+            if let Some(g) = guard.as_mut() {
                 g.write_line(conn, seq, &line);
-                ingest_one(&line, ctx.schema, ctx.queue, OverloadPolicy::DropOldest, ctx.board)
             }
-            None => {
-                ingest_one(&line, ctx.schema, ctx.queue, OverloadPolicy::DropOldest, ctx.board)
+            let verdict =
+                ingest_one(&line, ctx.schema, ctx.queue, OverloadPolicy::DropOldest, ctx.board);
+            if let Ingest::Interactive(c) = &verdict {
+                // Interactive items are never shed — a dropped question
+                // is a hung client — so they block instead.
+                let (tx, rx) = std::sync::mpsc::channel();
+                let _ = ctx
+                    .queue
+                    .push_blocking(WorkItem::Interactive(PendingQuery::new(*c, 1, Some(tx))));
+                pending = Some(rx);
             }
+            verdict
         };
         match verdict {
             Ingest::Continue => {}
@@ -223,8 +249,21 @@ fn serve_connection(ctx: &ConnCtx<'_>, stream: UnixStream, conn: u64) {
                         ctx.board.line(
                             ctx.base_dropped + ctx.queue.dropped(),
                             &[ctx.queue.len() as u64],
+                            &ctx.arbiter.allocations(),
                         )
                     );
+                }
+            }
+            Ingest::Interactive(_) => {
+                // Block this connection until the consumer reaches the
+                // barrier; a query outliving the run goes unanswered
+                // (the sender is dropped with the queue) and is skipped.
+                if let Some(rx) = pending {
+                    if let Ok(reply) = rx.recv() {
+                        if let Some(w) = writer.as_mut() {
+                            let _ = writeln!(w, "{reply}");
+                        }
+                    }
                 }
             }
             Ingest::Shutdown => {
@@ -233,6 +272,230 @@ fn serve_connection(ctx: &ConnCtx<'_>, stream: UnixStream, conn: u64) {
                 ctx.queue.close();
                 break;
             }
+        }
+    }
+}
+
+/// A line channel presented as [`std::io::BufRead`] input for
+/// [`Router::run_reader`]: connection handlers send canonical lines in
+/// arrival order, and the channel hanging up reads as EOF.
+struct ChannelReader {
+    rx: std::sync::mpsc::Receiver<String>,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl std::io::Read for ChannelReader {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        let available = std::io::BufRead::fill_buf(self)?;
+        let n = available.len().min(out.len());
+        out[..n].copy_from_slice(&available[..n]);
+        std::io::BufRead::consume(self, n);
+        Ok(n)
+    }
+}
+
+impl std::io::BufRead for ChannelReader {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        if self.pos >= self.buf.len() {
+            match self.rx.recv() {
+                Ok(line) => {
+                    self.buf.clear();
+                    self.buf.extend_from_slice(line.as_bytes());
+                    self.buf.push(b'\n');
+                    self.pos = 0;
+                }
+                // Every sender hung up: the stream is over.
+                Err(_) => return Ok(&[]),
+            }
+        }
+        Ok(&self.buf[self.pos..])
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.pos += amt;
+    }
+}
+
+/// Serve the sharded [`Router`] on a Unix-domain socket at `path` until
+/// a `shutdown` control arrives, then drain every shard, commit a final
+/// checkpoint generation and report — the sharded peer of
+/// [`run_socket`].
+///
+/// Connections feed a single ordered line channel the router reads as
+/// its input stream (journal semantics are identical to the unsharded
+/// path: when `journal` is given, every line is tagged with its
+/// connection/sequence ids in consumption order). Interactive `whatif`,
+/// `tenant` and `status` lines are stamped with a reply-routing token
+/// ([`InteractiveRegistry`]); the answer — computed from the live
+/// [`crate::Arbiter`] after every event that preceded the query, never
+/// by re-running selection — is written back on the issuing connection
+/// as one JSON line. `sinks` carries one trace sink per shard, as in
+/// [`Router::run_reader`].
+pub fn run_socket_router(
+    router: &mut Router,
+    path: &Path,
+    checkpoint: Option<&Path>,
+    journal: Option<&JournalConfig>,
+    sinks: &[&dyn TraceSink],
+) -> Result<ServiceReport, String> {
+    if path.exists() {
+        std::fs::remove_file(path).map_err(|e| format!("remove stale socket: {e}"))?;
+    }
+    let listener =
+        UnixListener::bind(path).map_err(|e| format!("bind {}: {e}", path.display()))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("set_nonblocking: {e}"))?;
+
+    let journal = match journal {
+        Some(cfg) => Some(Mutex::new(JournalWriter::create(cfg.clone())?)),
+        None => None,
+    };
+    let registry = Arc::new(InteractiveRegistry::new());
+    router.set_interactive(Arc::clone(&registry));
+    let schema = router.schema().clone();
+    let stop = AtomicBool::new(false);
+    let (tx, rx) = std::sync::mpsc::channel::<String>();
+
+    let result = std::thread::scope(|s| {
+        let stop_ref = &stop;
+        let registry_ref = &*registry;
+        let journal_ref = journal.as_ref();
+        let schema_ref = &schema;
+        s.spawn(move || {
+            let conn_ids = AtomicU64::new(0);
+            while !stop_ref.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let conn = conn_ids.fetch_add(1, Ordering::Relaxed) + 1;
+                        let tx = tx.clone();
+                        s.spawn(move || {
+                            serve_router_connection(
+                                schema_ref,
+                                &tx,
+                                registry_ref,
+                                journal_ref,
+                                stop_ref,
+                                stream,
+                                conn,
+                            );
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => break,
+                }
+            }
+            // Dropping the accept loop's sender lets the router read EOF
+            // once every connection handler has also hung up.
+        });
+        let reader = ChannelReader { rx, buf: Vec::new(), pos: 0 };
+        let result =
+            router.run_reader(reader, OverloadPolicy::DropOldest, checkpoint, sinks);
+        stop.store(true, Ordering::Relaxed);
+        // Queries still in flight were either answered during the drain
+        // or never reached the router; wake any connection waiting on
+        // the latter.
+        registry.drain();
+        result
+    });
+    if let Some(j) = journal {
+        let writer = match j.into_inner() {
+            Ok(w) => w,
+            Err(p) => p.into_inner(),
+        };
+        let errors = writer.finish();
+        if errors > 0 {
+            return Err(format!("journal write errors: {errors}"));
+        }
+    }
+    std::fs::remove_file(path).ok();
+    result
+}
+
+/// Per-connection reader for the sharded socket: render records to
+/// canonical lines, journal + forward them in one locked step (so
+/// journal order is the router's consumption order), stamp interactive
+/// lines with a reply token and relay the answer back.
+fn serve_router_connection(
+    schema: &Schema,
+    tx: &std::sync::mpsc::Sender<String>,
+    registry: &InteractiveRegistry,
+    journal: Option<&Mutex<JournalWriter>>,
+    stop: &AtomicBool,
+    stream: UnixStream,
+    conn: u64,
+) {
+    let mut writer = stream.try_clone().ok();
+    let mut dict = DecodeDict::new();
+    let mut seq = 0u64;
+    for record in RecordIter::new(BufReader::new(stream)) {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let line = match record {
+            Record::Line(line) => line,
+            Record::Item(item) => {
+                if let WireItem::Define { .. } = item {
+                    render_item_line(&mut dict, &item);
+                    continue;
+                }
+                match render_item_line(&mut dict, &item) {
+                    Some(line) => line,
+                    // Forwarded as a line the parser rejects, so live
+                    // and journal-replay invalid counts agree.
+                    None => "{\"invalid\":\"undecodable binary item\"}".to_owned(),
+                }
+            }
+            Record::Corrupt => "{\"invalid\":\"corrupt record\"}".to_owned(),
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        seq += 1;
+        let control = match parse_line(trimmed, schema) {
+            Ok(InputLine::Control(c)) => Some(c),
+            _ => None,
+        };
+        let interactive = matches!(
+            control,
+            Some(Control::Status | Control::Whatif { .. } | Control::Tenant { .. })
+        );
+        let mut pending = None;
+        {
+            // Journal-write and channel-send under one lock so journal
+            // order is consumption order — the replay contract of the
+            // unsharded socket path, unchanged.
+            let mut guard = journal.map(|j| match j.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            });
+            if let Some(g) = guard.as_mut() {
+                g.write_line(conn, seq, &line);
+            }
+            if interactive {
+                let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+                let token = registry.register(reply_tx);
+                let body = &trimmed[..trimmed.len() - 1];
+                let _ = tx.send(format!("{body},\"token\":{token}}}"));
+                pending = Some(reply_rx);
+            } else {
+                let _ = tx.send(trimmed.to_owned());
+            }
+        }
+        if let Some(reply_rx) = pending {
+            if let Ok(reply) = reply_rx.recv() {
+                if let Some(w) = writer.as_mut() {
+                    let _ = writeln!(w, "{reply}");
+                }
+            }
+        }
+        if matches!(control, Some(Control::Shutdown)) {
+            stop.store(true, Ordering::Relaxed);
+            break;
         }
     }
 }
@@ -305,6 +568,141 @@ mod tests {
         assert_eq!(report.epochs.len(), 1, "8 events seal one epoch");
         assert!(!report.final_selection.is_empty());
         assert!(!sock.exists(), "socket file cleaned up");
+    }
+
+    #[test]
+    fn whatif_queries_are_answered_on_the_connection() {
+        let (w, cfg, dir) = test_setup();
+        let sock = dir.join(format!("isel-whatif-{}.sock", std::process::id()));
+        let mut daemon = Daemon::new(w.schema().clone(), cfg).unwrap();
+        let events = event_lines(&w, 8);
+        let probe = 1u64 << 20;
+
+        let (report, reply) = std::thread::scope(|s| {
+            let sock_path = sock.clone();
+            let events = &events;
+            let client = s.spawn(move || {
+                let mut stream = loop {
+                    match UnixStream::connect(&sock_path) {
+                        Ok(s) => break s,
+                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                };
+                for e in events {
+                    writeln!(stream, "{e}").unwrap();
+                }
+                // The whatif barrier is answered only after the 8 events
+                // before it sealed and tuned an epoch.
+                writeln!(stream, "{{\"control\":\"whatif\",\"budget\":{probe}}}").unwrap();
+                let mut reply = Vec::new();
+                let mut byte = [0u8; 1];
+                loop {
+                    stream.read_exact(&mut byte).unwrap();
+                    if byte[0] == b'\n' {
+                        break;
+                    }
+                    reply.push(byte[0]);
+                }
+                stream.write_all(b"{\"control\":\"shutdown\"}\n").unwrap();
+                String::from_utf8(reply).unwrap()
+            });
+            let report = run_socket(&mut daemon, &sock, None, None, Trace::disabled()).unwrap();
+            (report, client.join().unwrap())
+        });
+        assert_eq!(report.ingested, 8);
+        assert_eq!(report.epochs.len(), 1);
+        let v: serde_json::Value = serde_json::from_str(&reply).unwrap();
+        assert_eq!(v.get("budget").and_then(|b| b.as_u64()), Some(probe));
+        assert!(v.get("total_memory").and_then(|m| m.as_u64()).unwrap() <= probe);
+        // Served answer is byte-identical to an offline read of the same
+        // maintained state.
+        assert_eq!(reply, daemon.arbiter_handle().whatif(probe));
+    }
+
+    #[test]
+    fn sharded_socket_answers_whatif_and_tenant_queries() {
+        let w = synthetic::generate(&SyntheticConfig {
+            tables: 3,
+            attrs_per_table: 8,
+            queries_per_table: 10,
+            rows_base: 20_000,
+            max_query_width: 3,
+            update_fraction: 0.0,
+            seed: 44,
+        });
+        let cfg = ServiceConfig {
+            epoch_events: 8,
+            window_epochs: 2,
+            max_templates: 32,
+            drift: DriftThresholds::always_adapt(),
+            shards: 2,
+            ..ServiceConfig::default()
+        };
+        let dir = std::env::temp_dir().join("isel-service-socket-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join(format!("isel-router-{}.sock", std::process::id()));
+        let mut router = Router::new(w.schema().clone(), cfg).unwrap();
+        // 16 events over table 0's templates: two sealed epochs for
+        // group 0 before the queries arrive.
+        let events: Vec<String> = w
+            .queries()
+            .iter()
+            .filter(|q| q.table().0 == 0)
+            .cycle()
+            .take(16)
+            .map(|q| {
+                let attrs: Vec<String> = q.attrs().iter().map(|a| a.0.to_string()).collect();
+                format!("{{\"table\":{},\"attrs\":[{}]}}", q.table().0, attrs.join(","))
+            })
+            .collect();
+        let probe = 1u64 << 22;
+
+        let (report, replies) = std::thread::scope(|s| {
+            let sock_path = sock.clone();
+            let events = &events;
+            let client = s.spawn(move || {
+                let mut stream = loop {
+                    match UnixStream::connect(&sock_path) {
+                        Ok(s) => break s,
+                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                };
+                for e in events {
+                    writeln!(stream, "{e}").unwrap();
+                }
+                writeln!(stream, "{{\"control\":\"whatif\",\"budget\":{probe}}}").unwrap();
+                writeln!(stream, "{{\"control\":\"tenant\",\"table_group\":0,\"budget\":{probe}}}")
+                    .unwrap();
+                let mut replies = Vec::new();
+                let mut byte = [0u8; 1];
+                for _ in 0..2 {
+                    let mut reply = Vec::new();
+                    loop {
+                        stream.read_exact(&mut byte).unwrap();
+                        if byte[0] == b'\n' {
+                            break;
+                        }
+                        reply.push(byte[0]);
+                    }
+                    replies.push(String::from_utf8(reply).unwrap());
+                }
+                stream.write_all(b"{\"control\":\"shutdown\"}\n").unwrap();
+                replies
+            });
+            let report =
+                run_socket_router(&mut router, &sock, None, None, &[]).unwrap();
+            (report, client.join().unwrap())
+        });
+        assert_eq!(report.ingested, 16);
+        // The served answers are byte-identical to offline reads of the
+        // same maintained state.
+        assert_eq!(replies[0], router.arbiter().whatif(probe));
+        assert_eq!(replies[1], router.arbiter().tenant(0, probe));
+        let v: serde_json::Value = serde_json::from_str(&replies[0]).unwrap();
+        assert!(v.get("total_memory").and_then(|m| m.as_u64()).unwrap() <= probe);
+        let v: serde_json::Value = serde_json::from_str(&replies[1]).unwrap();
+        assert_eq!(v.get("table_group").and_then(|t| t.as_u64()), Some(0));
+        assert!(v.get("cost").and_then(|c| c.as_f64()).is_some(), "published group has a cost");
     }
 
     #[test]

@@ -40,11 +40,13 @@ impl StatusBoard {
 
     /// Render the aggregated counters as a single JSON status line.
     /// `dropped` is passed in because queue eviction counts live in the
-    /// queues themselves, and `queue_depths` (one entry per shard queue,
-    /// in shard order; a single entry for the unsharded daemon) is a
+    /// queues themselves; `queue_depths` (one entry per shard queue, in
+    /// shard order; a single entry for the unsharded daemon) is a
     /// point-in-time backlog sample — the live observability signal for
-    /// a shard falling behind.
-    pub fn line(&self, dropped: u64, queue_depths: &[u64]) -> String {
+    /// a shard falling behind; `allocations` is the arbiter's current
+    /// per-group budget split (`[table, bytes]` pairs, sorted by table;
+    /// empty before anything was published).
+    pub fn line(&self, dropped: u64, queue_depths: &[u64], allocations: &[(u16, u64)]) -> String {
         use std::fmt::Write as _;
         let mut queues = String::new();
         for (i, d) in queue_depths.iter().enumerate() {
@@ -53,9 +55,17 @@ impl StatusBoard {
             }
             let _ = write!(queues, "{d}");
         }
+        let mut allocs = String::new();
+        for (i, (t, a)) in allocations.iter().enumerate() {
+            if i > 0 {
+                allocs.push(',');
+            }
+            let _ = write!(allocs, "[{t},{a}]");
+        }
         format!(
             "{{\"status\":{{\"shards\":{},\"ingested\":{},\"invalid\":{},\"dropped\":{},\
-             \"epochs\":{},\"checkpoints\":{},\"queues\":[{queues}]}}}}",
+             \"epochs\":{},\"checkpoints\":{},\"queues\":[{queues}],\
+             \"allocations\":[{allocs}]}}}}",
             self.shards,
             self.ingested.load(Ordering::Relaxed),
             self.invalid.load(Ordering::Relaxed),
@@ -115,7 +125,7 @@ mod tests {
         board.invalid.store(2, Ordering::Relaxed);
         board.epochs.store(3, Ordering::Relaxed);
         board.checkpoints.store(1, Ordering::Relaxed);
-        let line = board.line(7, &[5, 0, 12, 3]);
+        let line = board.line(7, &[5, 0, 12, 3], &[(0, 4096), (2, 1024)]);
         let v: serde_json::Value = serde_json::from_str(&line).unwrap();
         let s = v.get("status").expect("status object");
         let field = |key: &str| s.get(key).and_then(|f| f.as_u64());
@@ -133,6 +143,16 @@ mod tests {
             .map(|d| d.as_u64().unwrap())
             .collect();
         assert_eq!(queues, vec![5, 0, 12, 3], "one depth per shard, in shard order");
+        let allocs: Vec<Vec<u64>> = s
+            .get("allocations")
+            .and_then(|a| a.as_array())
+            .expect("allocations array")
+            .iter()
+            .map(|pair| {
+                pair.as_array().unwrap().iter().map(|v| v.as_u64().unwrap()).collect()
+            })
+            .collect();
+        assert_eq!(allocs, vec![vec![0, 4096], vec![2, 1024]], "per-group budget split");
         assert!(!line.contains('\n'), "one line, scrape-friendly");
     }
 

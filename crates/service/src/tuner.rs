@@ -21,6 +21,7 @@
 //! [`isel_core::dynamic::adapt`] over the same snapshots — the service's
 //! replay determinism contract (DESIGN.md §12).
 
+use crate::arbiter::PublishedFrontier;
 use crate::config::ServiceConfig;
 #[cfg(doc)]
 use crate::config::DriftThresholds;
@@ -31,6 +32,7 @@ use isel_core::{budget, Parallelism, Selection};
 use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
 use isel_workload::drift;
 use isel_workload::{IndexPool, Schema, TableId, Workload};
+use std::sync::Arc;
 
 /// Tuning policy chosen for one epoch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -94,6 +96,14 @@ pub struct Tuner {
     /// (the table-separable split of Eq. 10 a sharded group runs under);
     /// `None` budgets over the full schema.
     scope: Option<TableId>,
+    /// Frontier of the last epoch that actually re-selected, as handed
+    /// to the [`crate::arbiter::Arbiter`]. No-op epochs leave it
+    /// untouched (and clean).
+    published: Option<Arc<PublishedFrontier>>,
+    /// Whether `published` changed since it was last taken — the
+    /// clean-group skip: a group that saw only no-op epochs (or none)
+    /// is never re-published.
+    published_dirty: bool,
 }
 
 impl std::fmt::Debug for Tuner {
@@ -117,6 +127,8 @@ impl Tuner {
             prev_snapshot: None,
             epoch: 0,
             scope: None,
+            published: None,
+            published_dirty: false,
         }
     }
 
@@ -137,8 +149,10 @@ impl Tuner {
         prev_snapshot: Option<Workload>,
         epoch: u64,
         scope: Option<TableId>,
+        published: Option<Arc<PublishedFrontier>>,
     ) -> Self {
-        Self { config, pool, selection, prev_snapshot, epoch, scope }
+        let published_dirty = published.is_some();
+        Self { config, pool, selection, prev_snapshot, epoch, scope, published, published_dirty }
     }
 
     /// Number of sealed epochs tuned so far.
@@ -164,6 +178,18 @@ impl Tuner {
     /// Table group this tuner budgets over, if scoped.
     pub fn scope(&self) -> Option<TableId> {
         self.scope
+    }
+
+    /// Frontier of the last epoch that re-selected, if any.
+    pub fn published(&self) -> Option<&Arc<PublishedFrontier>> {
+        self.published.as_ref()
+    }
+
+    /// Whether the publication changed since the last take, clearing
+    /// the flag. Drives the clean-group skip: callers re-publish to the
+    /// arbiter only when this returns `true`.
+    pub fn take_published_dirty(&mut self) -> bool {
+        std::mem::take(&mut self.published_dirty)
     }
 
     /// Compact the interning pool down to the current selection (plus
@@ -200,8 +226,8 @@ impl Tuner {
             _ => TunePolicy::Adapt,
         };
         let transition = self.config.transition;
-        let selection = match policy {
-            TunePolicy::NoOp => self.selection.clone(),
+        let run = match policy {
+            TunePolicy::NoOp => None,
             TunePolicy::Adapt => {
                 let mut options = Options::new(budget);
                 options.parallelism = par;
@@ -210,13 +236,17 @@ impl Tuner {
                     create_cost_per_byte: transition.create_cost_per_byte,
                     drop_cost: transition.drop_cost,
                 };
-                algorithm1::run_traced(&est, &options, trace).selection
+                Some(algorithm1::run_traced(&est, &options, trace))
             }
             TunePolicy::FromScratch => {
                 let mut options = Options::new(budget);
                 options.parallelism = par;
-                algorithm1::run_traced(&est, &options, trace).selection
+                Some(algorithm1::run_traced(&est, &options, trace))
             }
+        };
+        let selection = match &run {
+            Some(r) => r.selection.clone(),
+            None => self.selection.clone(),
         };
         let reconfig_paid = ReconfigCosts {
             current: self.selection.clone(),
@@ -238,6 +268,15 @@ impl Tuner {
         }
         if policy != TunePolicy::NoOp {
             self.prev_snapshot = Some(snapshot.clone());
+        }
+        if let Some(r) = run {
+            self.published = Some(Arc::new(PublishedFrontier {
+                initial_cost: r.initial_cost,
+                frontier: r.frontier,
+                steps: r.steps,
+                epoch,
+            }));
+            self.published_dirty = true;
         }
         self.selection = selection.clone();
         self.epoch += 1;
