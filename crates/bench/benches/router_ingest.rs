@@ -22,11 +22,11 @@
 //!   checked-in TPC-C fixture. Single-threaded, so enforced on every
 //!   host.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use isel_core::{merge_frontiers_weighted, Frontier, FrontierPoint, FrontierSet};
 use isel_service::{
     classify_line, convert, parse_line, InputLine, LineClass, OverloadPolicy, Record, RecordIter,
-    Router, ServiceConfig, WireFormat,
+    Router, ServiceConfig, Supervisor, WireFormat,
 };
 use isel_workload::synthetic::{self, SyntheticConfig};
 use isel_workload::Workload;
@@ -399,6 +399,37 @@ fn frontier_merge_check(_c: &mut Criterion) {
     }
 }
 
+/// Multi-process lane: the same flat-out stream, supervised over
+/// worker child processes. The supervisor re-executes *this* binary
+/// with a `worker` argv (see `main`), so the lane pays the real spawn,
+/// binary-frame pipe, and JSON collect path end to end. Throughput is
+/// reported, not enforced — the pipe round trip and per-event reparse
+/// price the process boundary, and the contract that matters (the
+/// selection is identical to in-process serving) is asserted in
+/// `crates/cli/tests/failover.rs`.
+fn supervised_pipe_check(_c: &mut Criterion) {
+    const WORKERS: u32 = 2;
+    let w = workload();
+    let log = event_log(&w, EVENTS);
+    let cfg = ServiceConfig { workers: WORKERS, ..config(4) };
+    let best = (0..3)
+        .map(|_| {
+            let mut sup =
+                Supervisor::new(w.schema().clone(), cfg.clone()).expect("valid config");
+            let start = Instant::now();
+            let report = sup
+                .run_reader(Cursor::new(log.as_bytes()), None, None)
+                .expect("supervised run");
+            assert_eq!(report.ingested as usize, EVENTS);
+            assert_eq!(report.dropped, 0, "pipes apply backpressure, never drop");
+            EVENTS as f64 / start.elapsed().as_secs_f64()
+        })
+        .fold(0.0, f64::max);
+    println!(
+        "supervised_pipe: {EVENTS} events over {WORKERS} worker processes, {best:.0} events/s"
+    );
+}
+
 criterion_group!(
     benches,
     bench_classify,
@@ -406,6 +437,20 @@ criterion_group!(
     router_scaling_check,
     paced_per_shard_overload_check,
     binary_lane_check,
-    frontier_merge_check
+    frontier_merge_check,
+    supervised_pipe_check
 );
-criterion_main!(benches);
+
+/// Hand-rolled `criterion_main!` with one twist: when the supervisor
+/// lane re-executes this binary as a worker child, divert into the
+/// worker loop instead of the harness.
+fn main() {
+    if std::env::args().nth(1).as_deref() == Some("worker") {
+        if let Err(e) = isel_service::run_worker() {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    benches();
+}

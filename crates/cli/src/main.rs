@@ -49,11 +49,12 @@ USAGE:
                      [--resume] [--trace FILE] [--journal FILE]
                      [--format jsonl|binary] [--journal-max-bytes N]
                      [--shards N] [--shard-map T:S,T:S] [--weights T:W,T:W]
+                     [--workers N] [--respawn] [same tuning knobs]
+  isel budget        --workload FILE --log FILE --at B1,B2,... [--set B]
+                     [--tenant T] [--shards N] [--weights T:W,T:W]
                      [same tuning knobs]
-  isel budget        --workload FILE --log FILE --at B1,B2,... [--tenant T]
-                     [--shards N] [--weights T:W,T:W] [same tuning knobs]
-  isel budget        --socket PATH --at B1,B2,... [--log FILE] [--tenant T]
-                     [--shutdown]
+  isel budget        --socket PATH --at B1,B2,... [--set B] [--log FILE]
+                     [--tenant T] [--shutdown]
   isel journal       convert --log FILE --to jsonl|binary --out FILE
 
   The service commands drive the continuous-tuning daemon: record an
@@ -80,6 +81,17 @@ USAGE:
   line with connection/sequence ids so a racy live run replays
   deterministically. SIGUSR1 or a status control line prints live JSON
   counters.
+
+  serve --workers N splits the daemon across processes: a supervisor
+  owns the socket, journal, checkpoints and the budget arbiter, and N
+  worker child processes host the shards over binary-framed pipes. A
+  killed worker is detected (pipe EOF / SIGCHLD), its shards restore on
+  a survivor (or a respawned replacement with --respawn) from the last
+  committed checkpoint generation, and the journal tail since that
+  generation replays — the final selection is byte-identical to a
+  failure-free run no matter when a worker dies. Requires --shards N
+  (>= 1). Failovers show up in the status counters and the --trace
+  stream.
 
   The global-budget merge is maintained live: each table group publishes
   its tuned frontier as epochs complete and changed groups re-merge
@@ -116,6 +128,9 @@ fn main() -> ExitCode {
         Some("serve") => service_cmd::serve(&args),
         Some("budget") => service_cmd::budget(&args),
         Some("journal") => service_cmd::journal(&args),
+        // Hidden: the multi-process worker entrypoint the supervisor
+        // spawns from its own executable (`serve --workers N`).
+        Some("worker") => service_cmd::worker(&args),
         Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
         None => Err(USAGE.to_owned()),
     };

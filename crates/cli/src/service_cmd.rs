@@ -21,8 +21,9 @@ use isel_core::{Trace, TraceSink};
 use isel_service::{
     install_status_signal, journal::is_manifest, offline_adapt, offline_group_adapt,
     offline_group_snapshots, offline_snapshots, read_journal_bytes, run_socket,
-    run_socket_router, Checkpoint, Daemon, EpochOutcome, FrameEncoder, JournalConfig,
-    MappedFile, OverloadPolicy, Router, ServiceConfig, ServiceReport, WireFormat, MAGIC,
+    run_socket_router, run_socket_supervisor, Checkpoint, Daemon, EpochOutcome,
+    FrameEncoder, JournalConfig, MappedFile, OverloadPolicy, Router, ServiceConfig,
+    ServiceReport, Supervisor, WireFormat, MAGIC,
 };
 use isel_workload::erp::{self, ErpConfig};
 use isel_workload::synthetic::{self, SyntheticConfig};
@@ -115,8 +116,9 @@ fn parse_weights(spec: &str) -> Result<BTreeMap<u16, f64>, String> {
 /// Service configuration assembled from the shared `--epoch-events`,
 /// `--window`, `--templates`, `--budget`, `--create-cost`, `--drop-cost`,
 /// `--noop-above`, `--scratch-below`, `--queue`, `--threads`,
-/// `--checkpoint-every`, `--shards`, `--shard-map` and `--weights`
-/// options, defaulting to [`ServiceConfig::default`].
+/// `--checkpoint-every`, `--shards`, `--shard-map`, `--weights`,
+/// `--workers` and `--respawn` options, defaulting to
+/// [`ServiceConfig::default`].
 fn service_config(args: &Args) -> Result<ServiceConfig, String> {
     let d = ServiceConfig::default();
     let cfg = ServiceConfig {
@@ -146,6 +148,8 @@ fn service_config(args: &Args) -> Result<ServiceConfig, String> {
             Some(spec) => parse_weights(spec)?,
             None => d.tenant_weights,
         },
+        workers: args.get_parsed("workers", d.workers)?,
+        respawn: args.flag("respawn"),
     };
     cfg.validate()?;
     Ok(cfg)
@@ -202,6 +206,75 @@ fn make_router(
         eprintln!("no checkpoint manifest at {}; starting fresh", path.display());
     }
     Router::new(workload.schema().clone(), config)
+}
+
+/// Build the multi-process supervisor: fresh, or resumed from the
+/// checkpoint manifest at `--checkpoint FILE` when `--resume` is set and
+/// the manifest exists (the shard count must match the manifest —
+/// re-packing shard files is an in-process `replay --resume` feature).
+fn make_supervisor(
+    workload: &Workload,
+    config: ServiceConfig,
+    checkpoint: Option<&Path>,
+    resume: bool,
+) -> Result<Supervisor, String> {
+    if resume {
+        let path = checkpoint.ok_or("--resume requires --checkpoint FILE")?;
+        if path.exists() {
+            let sup = Supervisor::resume(workload.schema().clone(), config, path)?;
+            eprintln!(
+                "resuming {} shards across {} worker processes from {}",
+                sup.shards(),
+                sup.workers(),
+                path.display()
+            );
+            return Ok(sup);
+        }
+        eprintln!("no checkpoint manifest at {}; starting fresh", path.display());
+    }
+    Supervisor::new(workload.schema().clone(), config)
+}
+
+/// Serve through the multi-process supervisor (`--workers N`): stdin or
+/// `--socket PATH`, with the single supervisor-side `--trace` sink
+/// carrying arbiter merges and failover events.
+fn serve_supervised(
+    args: &Args,
+    workload: &Workload,
+    config: ServiceConfig,
+    checkpoint: Option<&Path>,
+    journal: Option<&JournalConfig>,
+) -> Result<(), String> {
+    let mut sup =
+        make_supervisor(workload, config, checkpoint, args.flag("resume"))?;
+    let sink = trace_sink(args)?;
+    let report = {
+        let sink_ref = sink.as_ref().map(|s| s as &dyn TraceSink);
+        match args.get("socket") {
+            Some(path) => run_socket_supervisor(
+                &mut sup,
+                Path::new(path),
+                checkpoint,
+                journal,
+                sink_ref,
+            )?,
+            None => sup.run_reader(
+                BufReader::new(std::io::stdin()),
+                checkpoint,
+                sink_ref,
+            )?,
+        }
+    };
+    finish_trace(sink)?;
+    print_report(&report, workload);
+    Ok(())
+}
+
+/// `isel worker` — the hidden multi-process worker entrypoint. Spawned
+/// by the supervisor with the pipe protocol on stdin/stdout; never
+/// useful to invoke by hand.
+pub fn worker(_args: &Args) -> Result<(), String> {
+    isel_service::run_worker()
 }
 
 /// `--trace FILE` under `--shards N`: one trace file per shard, named
@@ -319,6 +392,15 @@ pub fn serve(args: &Args) -> Result<(), String> {
     let journal = journal_config(args)?;
     if journal.is_some() && args.get("socket").is_none() {
         return Err("--journal requires --socket (stdin input is already a replayable log)".into());
+    }
+    if config.workers > 0 {
+        return serve_supervised(
+            args,
+            &workload,
+            config,
+            checkpoint.as_deref(),
+            journal.as_ref(),
+        );
     }
     if config.shards > 0 {
         if let Some(path) = args.get("socket") {
@@ -629,8 +711,9 @@ pub fn journal(args: &Args) -> Result<(), String> {
 /// socket, then issue the same queries over the wire and print the
 /// replies — byte-identical to the offline answers over the same events.
 pub fn budget(args: &Args) -> Result<(), String> {
-    let at = args.get("at").ok_or("missing --at B1,B2,... (budgets in bytes)")?;
-    let budgets: Vec<u64> = at
+    let budgets: Vec<u64> = args
+        .get("at")
+        .unwrap_or("")
         .split(',')
         .filter(|p| !p.trim().is_empty())
         .map(|p| {
@@ -639,15 +722,19 @@ pub fn budget(args: &Args) -> Result<(), String> {
                 .map_err(|e| format!("invalid --at budget {:?}: {e}", p.trim()))
         })
         .collect::<Result<_, _>>()?;
-    if budgets.is_empty() {
-        return Err("--at lists no budgets".into());
+    if budgets.is_empty() && args.get("set").is_none() {
+        return Err("missing --at B1,B2,... (budgets in bytes) or --set B".into());
     }
     let tenant: Option<u16> = match args.get("tenant") {
         Some(t) => Some(t.parse().map_err(|e| format!("invalid --tenant {t:?}: {e}"))?),
         None => None,
     };
+    let set: Option<u64> = match args.get("set") {
+        Some(b) => Some(b.parse().map_err(|e| format!("invalid --set {b:?}: {e}"))?),
+        None => None,
+    };
     if let Some(sock) = args.get("socket") {
-        return budget_over_socket(args, sock, &budgets, tenant);
+        return budget_over_socket(args, sock, &budgets, tenant, set);
     }
     let workload = load_workload(args)?;
     let log = args.get("log").ok_or("missing --log FILE (or --socket PATH)")?;
@@ -657,6 +744,9 @@ pub fn budget(args: &Args) -> Result<(), String> {
         let mut router = make_router(&workload, config, None, false)?;
         router.run_reader(Cursor::new(data.bytes()), OverloadPolicy::Block, None, &[])?;
         let arbiter = router.arbiter();
+        if let Some(b) = set {
+            println!("{}", arbiter.set_budget(b));
+        }
         for &b in &budgets {
             println!(
                 "{}",
@@ -678,20 +768,24 @@ pub fn budget(args: &Args) -> Result<(), String> {
         None,
         Trace::disabled(),
     )?;
+    if let Some(b) = set {
+        println!("{}", daemon.arbiter().set_budget(b));
+    }
     for &b in &budgets {
         println!("{}", daemon.arbiter().whatif(b));
     }
     Ok(())
 }
 
-/// Live `isel budget --socket`: stream the optional `--log`, then query
-/// over the wire, print each reply line, and optionally `--shutdown` the
-/// server.
+/// Live `isel budget --socket`: stream the optional `--log`, apply an
+/// optional `--set` global-budget change, then query over the wire,
+/// print each reply line, and optionally `--shutdown` the server.
 fn budget_over_socket(
     args: &Args,
     sock: &str,
     budgets: &[u64],
     tenant: Option<u16>,
+    set: Option<u64>,
 ) -> Result<(), String> {
     use std::os::unix::net::UnixStream;
     let mut stream =
@@ -705,11 +799,7 @@ fn budget_over_socket(
     let mut reader = BufReader::new(
         stream.try_clone().map_err(|e| format!("clone socket stream: {e}"))?,
     );
-    for &b in budgets {
-        let line = match tenant {
-            Some(t) => format!("{{\"control\":\"tenant\",\"table_group\":{t},\"budget\":{b}}}"),
-            None => format!("{{\"control\":\"whatif\",\"budget\":{b}}}"),
-        };
+    let mut ask = |stream: &mut UnixStream, line: String| -> Result<(), String> {
         writeln!(stream, "{line}").map_err(|e| format!("send query to {sock}: {e}"))?;
         let mut reply = String::new();
         reader
@@ -719,6 +809,20 @@ fn budget_over_socket(
             return Err("server closed the connection before answering".into());
         }
         print!("{reply}");
+        Ok(())
+    };
+    if let Some(b) = set {
+        // The budget change is an in-band barrier like any other
+        // interactive control: applied after every event that preceded
+        // it on this stream, acknowledged with the new allocations.
+        ask(&mut stream, format!("{{\"control\":\"budget\",\"budget\":{b}}}"))?;
+    }
+    for &b in budgets {
+        let line = match tenant {
+            Some(t) => format!("{{\"control\":\"tenant\",\"table_group\":{t},\"budget\":{b}}}"),
+            None => format!("{{\"control\":\"whatif\",\"budget\":{b}}}"),
+        };
+        ask(&mut stream, line)?;
     }
     if args.flag("shutdown") {
         let _ = stream.write_all(b"{\"control\":\"shutdown\"}\n");

@@ -1,0 +1,254 @@
+//! End-to-end failover tests for `serve --workers N`.
+//!
+//! Each test drives the real `isel` binary: the supervisor spawns real
+//! worker child processes, a fault-injection variable makes exactly one
+//! worker SIGKILL itself at a chosen event position, and the final
+//! merged selection must come out **byte-identical** to a failure-free
+//! run — the DESIGN.md §16 contract. The fault hooks:
+//!
+//! - `ISEL_FAULT_KILL_AFTER=shard:N` — the worker hosting `shard`
+//!   SIGKILLs itself after ingesting its `N`-th event on that shard.
+//! - `ISEL_FAULT_KILL_AT_CHECKPOINT=shard:G` — the worker writes the
+//!   shard's generation-`G` checkpoint file, then SIGKILLs itself
+//!   *before* reporting it — a torn checkpoint attempt.
+
+use std::fs::File;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_isel");
+
+/// Fresh per-test scratch directory with a recorded workload + log.
+fn setup(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("isel_failover_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let common = [
+        "--kind",
+        "synthetic",
+        "--tables",
+        "3",
+        "--attrs",
+        "8",
+        "--queries",
+        "8",
+        "--rows",
+        "50000",
+        "--seed",
+        "9",
+    ];
+    let w = dir.join("w.json");
+    let mut gen: Vec<&str> = vec!["generate", "--out", w.to_str().unwrap()];
+    gen.extend(common);
+    assert_ok(&run(&gen, None, &[]));
+    let ev = dir.join("ev.jsonl");
+    let mut rec: Vec<&str> = vec!["record", "--out", ev.to_str().unwrap(), "--events", "96"];
+    rec.extend(common);
+    assert_ok(&run(&rec, None, &[]));
+    dir
+}
+
+fn run(args: &[&str], stdin: Option<&Path>, envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(BIN);
+    cmd.args(args);
+    match stdin {
+        Some(p) => cmd.stdin(Stdio::from(File::open(p).unwrap())),
+        None => cmd.stdin(Stdio::null()),
+    };
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn isel")
+}
+
+fn assert_ok(out: &Output) {
+    assert!(
+        out.status.success(),
+        "isel failed: {}\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// The report's `final selection` block: what failover must preserve.
+fn final_selection(report: &str) -> String {
+    let at = report.find("final selection").expect("report has a final selection block");
+    report[at..].to_owned()
+}
+
+fn serve_args(dir: &Path) -> Vec<String> {
+    vec![
+        "serve".into(),
+        "--workload".into(),
+        dir.join("w.json").display().to_string(),
+        "--epoch-events".into(),
+        "16".into(),
+        "--shards".into(),
+        "2".into(),
+        "--workers".into(),
+        "2".into(),
+    ]
+}
+
+fn serve(dir: &Path, extra: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut args = serve_args(dir);
+    args.extend(extra.iter().map(|s| s.to_string()));
+    let args: Vec<&str> = args.iter().map(String::as_str).collect();
+    run(&args, Some(&dir.join("ev.jsonl")), envs)
+}
+
+/// SIGKILL one worker at a sweep of event positions, without any
+/// checkpointing: the survivor must rebuild the dead worker's shards
+/// purely from the supervisor's journal tails, and every run must
+/// report byte-identically to the failure-free one.
+#[test]
+fn sigkill_at_any_position_is_selection_invariant() {
+    let dir = setup("sweep");
+    let clean = serve(&dir, &[], &[]);
+    assert_ok(&clean);
+    let baseline = stdout(&clean);
+    assert!(baseline.contains("final selection"), "baseline report:\n{baseline}");
+
+    for fault in ["0:1", "0:25", "0:60", "1:1", "1:13"] {
+        let out = serve(&dir, &[], &[("ISEL_FAULT_KILL_AFTER", fault)]);
+        assert_ok(&out);
+        assert_eq!(
+            stdout(&out),
+            baseline,
+            "kill-after {fault} changed the report"
+        );
+    }
+}
+
+/// The supervisor report's final selection matches the in-process
+/// sharded replay over the same log — crossing the process boundary
+/// changes nothing about what gets selected.
+#[test]
+fn supervised_selection_matches_in_process_replay() {
+    let dir = setup("parity");
+    let sup = serve(&dir, &[], &[]);
+    assert_ok(&sup);
+    let rep = run(
+        &[
+            "replay",
+            "--workload",
+            dir.join("w.json").to_str().unwrap(),
+            "--log",
+            dir.join("ev.jsonl").to_str().unwrap(),
+            "--epoch-events",
+            "16",
+            "--shards",
+            "2",
+        ],
+        None,
+        &[],
+    );
+    assert_ok(&rep);
+    assert_eq!(final_selection(&stdout(&sup)), final_selection(&stdout(&rep)));
+}
+
+/// With checkpointing on, a killed worker restores from the last
+/// committed generation plus the journal tail; the report stays
+/// byte-identical and the failover is visible in the trace, which
+/// `report --check` still validates.
+#[test]
+fn checkpointed_failover_is_byte_identical_and_traced() {
+    let dir = setup("checkpointed");
+    let cp = |n: &str| {
+        let d = dir.join(n);
+        std::fs::create_dir_all(&d).unwrap();
+        d.join("manifest.json").display().to_string()
+    };
+    let clean = serve(&dir, &["--checkpoint", &cp("clean"), "--checkpoint-every", "1"], &[]);
+    assert_ok(&clean);
+    let baseline = stdout(&clean);
+
+    let trace = dir.join("t.jsonl");
+    let faulted = serve(
+        &dir,
+        &[
+            "--checkpoint",
+            &cp("fault"),
+            "--checkpoint-every",
+            "1",
+            "--trace",
+            trace.to_str().unwrap(),
+        ],
+        &[("ISEL_FAULT_KILL_AFTER", "1:13")],
+    );
+    assert_ok(&faulted);
+    assert_eq!(stdout(&faulted), baseline, "failover changed the report");
+
+    let traced = std::fs::read_to_string(&trace).unwrap();
+    assert!(traced.contains("\"Failover\""), "no failover event in trace:\n{traced}");
+    let checked = run(&["report", "--trace", trace.to_str().unwrap(), "--check"], None, &[]);
+    assert_ok(&checked);
+    let summary = stdout(&checked);
+    assert!(summary.contains("failover"), "report summary:\n{summary}");
+}
+
+/// A worker killed *between* writing a shard checkpoint file and
+/// reporting it leaves a torn generation; the restore path must ignore
+/// it and the run must still report byte-identically.
+#[test]
+fn kill_during_checkpoint_write_is_byte_identical() {
+    let dir = setup("torncp");
+    let cp = |n: &str| {
+        let d = dir.join(n);
+        std::fs::create_dir_all(&d).unwrap();
+        d.join("manifest.json").display().to_string()
+    };
+    let clean = serve(&dir, &["--checkpoint", &cp("clean"), "--checkpoint-every", "1"], &[]);
+    assert_ok(&clean);
+    let faulted = serve(
+        &dir,
+        &["--checkpoint", &cp("fault"), "--checkpoint-every", "1"],
+        &[("ISEL_FAULT_KILL_AT_CHECKPOINT", "0:2")],
+    );
+    assert_ok(&faulted);
+    assert_eq!(stdout(&faulted), stdout(&clean));
+}
+
+/// `--respawn` replaces the dead worker with a fresh child instead of
+/// piling its shards onto a survivor; the fault variables must not leak
+/// into the replacement (it would just die again), and the report is
+/// unchanged.
+#[test]
+fn respawn_restores_on_a_fresh_worker() {
+    let dir = setup("respawn");
+    let cp = |n: &str| {
+        let d = dir.join(n);
+        std::fs::create_dir_all(&d).unwrap();
+        d.join("manifest.json").display().to_string()
+    };
+    let clean = serve(&dir, &["--checkpoint", &cp("clean"), "--checkpoint-every", "1"], &[]);
+    assert_ok(&clean);
+    let faulted = serve(
+        &dir,
+        &["--respawn", "--checkpoint", &cp("fault"), "--checkpoint-every", "1"],
+        &[("ISEL_FAULT_KILL_AFTER", "1:13")],
+    );
+    assert_ok(&faulted);
+    assert_eq!(stdout(&faulted), stdout(&clean));
+}
+
+/// A checkpoint directory nobody can write to must fail the run fast
+/// with the underlying I/O error — not cycle the doomed shard through
+/// adopt → die failovers forever.
+#[test]
+fn unwritable_checkpoint_directory_fails_fast() {
+    let dir = setup("badcp");
+    let missing = dir.join("nonexistent").join("manifest.json");
+    let out = serve(
+        &dir,
+        &["--checkpoint", missing.to_str().unwrap(), "--checkpoint-every", "1"],
+        &[],
+    );
+    assert!(!out.status.success(), "run with an unwritable checkpoint dir succeeded");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("No such file"), "stderr:\n{err}");
+}

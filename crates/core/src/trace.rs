@@ -170,6 +170,25 @@ pub enum TraceEvent {
         /// Wall time of the re-merge in microseconds.
         micros: u64,
     },
+    /// The multi-process supervisor absorbed a worker crash: the dead
+    /// worker's shard state was restored from the last committed
+    /// checkpoint generation and its journal tail replayed. Emitted by
+    /// the service layer, never by the strategies; one event per shard
+    /// failed over.
+    Failover {
+        /// Shard whose state was restored.
+        shard: u32,
+        /// Checkpoint generation the restore started from (0 = fresh,
+        /// no committed generation existed).
+        generation: u64,
+        /// Journal-tail lines replayed after the restore.
+        replayed: u64,
+        /// Worker slot the shard now lives on (the respawned slot under
+        /// `--respawn`, otherwise a surviving adopter).
+        adopted_by: u32,
+        /// Wall time of restore + replay in microseconds.
+        micros: u64,
+    },
     /// A strategy run finished. `issued`/`cached` are totals over the
     /// whole run, measured from the same origin as the scans.
     RunEnd {
@@ -298,6 +317,7 @@ const BT_SOLVER_PHASE: u8 = 3;
 const BT_EPOCH: u8 = 4;
 const BT_RUN_END: u8 = 5;
 const BT_MERGE: u8 = 6;
+const BT_FAILOVER: u8 = 7;
 
 /// Encode one event in the tagged-varint binary form (no header).
 fn put_event(out: &mut Vec<u8>, event: &TraceEvent) {
@@ -386,6 +406,14 @@ fn put_event(out: &mut Vec<u8>, event: &TraceEvent) {
             put_varint(out, *total_memory);
             put_f64(out, *total_cost);
             put_varint(out, *reallocated);
+            put_varint(out, *micros);
+        }
+        TraceEvent::Failover { shard, generation, replayed, adopted_by, micros } => {
+            out.push(BT_FAILOVER);
+            put_varint(out, u64::from(*shard));
+            put_varint(out, *generation);
+            put_varint(out, *replayed);
+            put_varint(out, u64::from(*adopted_by));
             put_varint(out, *micros);
         }
         TraceEvent::RunEnd {
@@ -485,6 +513,13 @@ fn get_event(b: &[u8], pos: &mut usize) -> Option<TraceEvent> {
             total_memory: get_varint(b, pos)?,
             total_cost: get_f64(b, pos)?,
             reallocated: get_varint(b, pos)?,
+            micros: get_varint(b, pos)?,
+        },
+        BT_FAILOVER => TraceEvent::Failover {
+            shard: u32::try_from(get_varint(b, pos)?).ok()?,
+            generation: get_varint(b, pos)?,
+            replayed: get_varint(b, pos)?,
+            adopted_by: u32::try_from(get_varint(b, pos)?).ok()?,
             micros: get_varint(b, pos)?,
         },
         BT_RUN_END => TraceEvent::RunEnd {
@@ -695,6 +730,8 @@ pub struct RunReport {
     pub epochs: u64,
     /// Frontier-arbiter re-merges observed.
     pub merges: u64,
+    /// Worker failovers observed (supervisor mode).
+    pub failovers: u64,
     /// Totals from [`TraceEvent::RunEnd`], when present:
     /// `(steps, issued, cached, initial_cost, final_cost, micros)`.
     pub run_end: Option<(u64, u64, u64, f64, f64, u64)>,
@@ -736,6 +773,7 @@ impl RunReport {
                 }
                 TraceEvent::Epoch { .. } => r.epochs += 1,
                 TraceEvent::Merge { .. } => r.merges += 1,
+                TraceEvent::Failover { .. } => r.failovers += 1,
                 TraceEvent::RunEnd {
                     strategy,
                     steps,
@@ -961,6 +999,9 @@ impl RunReport {
         if self.merges > 0 {
             let _ = writeln!(s, "merges: {}", self.merges);
         }
+        if self.failovers > 0 {
+            let _ = writeln!(s, "failovers: {}", self.failovers);
+        }
         s
     }
 }
@@ -1087,6 +1128,13 @@ mod tests {
             total_cost: 123.456,
             reallocated: 3,
             micros: 42,
+        });
+        events.push(TraceEvent::Failover {
+            shard: 2,
+            generation: 5,
+            replayed: 1_234,
+            adopted_by: 0,
+            micros: 777,
         });
         if let TraceEvent::RunEnd { shard, .. } = &mut events[4] {
             *shard = Some(3);

@@ -16,7 +16,10 @@
 //! * `{"control":"whatif","budget":B}` — the per-group allocation split
 //!   at a hypothetical global budget `B`,
 //! * `{"control":"tenant","table_group":T,"budget":B}` — one group's
-//!   allocation and resulting cost at `B`.
+//!   allocation and resulting cost at `B`,
+//! * `{"control":"budget","budget":B}` — the mutating form: re-anchor
+//!   the *maintained* merge at `B` ([`FrontierSet::set_budget`]), so
+//!   selections re-materialize live under the new budget.
 //!
 //! Both are answered from the published frontiers via
 //! [`FrontierSet::merge_at`]; the canonical reply lines are rendered
@@ -227,12 +230,36 @@ impl Arbiter {
         )
     }
 
+    /// Re-anchor the maintained merge at a new global `budget` (the
+    /// mutating `{"control":"budget",...}` line): every published
+    /// group's selection re-materializes under the new budget and all
+    /// later answers, status allocations and `merged_selection` reads
+    /// use it. Returns the canonical reply line — the allocation split
+    /// at the new budget, same shape as a `whatif` answer.
+    pub fn set_budget(&self, budget: u64) -> String {
+        let mut g = self.lock();
+        g.set.set_budget(budget);
+        let outcome = g.set.merge();
+        let new_allocations: BTreeMap<u16, u64> = g
+            .set
+            .keys()
+            .iter()
+            .zip(&outcome.merge.allocations)
+            .map(|(&k, &a)| (k as u16, a))
+            .collect();
+        g.allocations = new_allocations;
+        g.merges += 1;
+        let allocations: Vec<(u16, u64)> = g.allocations.iter().map(|(&t, &a)| (t, a)).collect();
+        render_whatif_line(budget, &outcome.merge, &allocations)
+    }
+
     /// Answer an interactive control from maintained state, or `None`
     /// for non-interactive controls.
     pub fn answer(&self, control: Control) -> Option<String> {
         match control {
             Control::Whatif { budget } => Some(self.whatif(budget)),
             Control::Tenant { table, budget } => Some(self.tenant(table, budget)),
+            Control::Budget { budget } => Some(self.set_budget(budget)),
             _ => None,
         }
     }
@@ -438,6 +465,38 @@ mod tests {
             arbiter.answer(Control::Whatif { budget: probe }).unwrap(),
             render_whatif_line(probe, &offline, &allocations)
         );
+    }
+
+    #[test]
+    fn set_budget_re_anchors_the_maintained_merge() {
+        let w = workload();
+        let global = global_budget(w.schema(), 0.3);
+        let arbiter = Arbiter::new(global, BTreeMap::new());
+        for t in 0..3u16 {
+            arbiter.publish(t, publication(&w, t, global / 3), Trace::disabled());
+        }
+        let before = arbiter.allocations();
+        let merges_before = arbiter.merges();
+        // Re-anchoring answers like a whatif at the new budget...
+        let reply = arbiter.answer(Control::Budget { budget: global / 2 }).unwrap();
+        assert_eq!(reply, {
+            // ...and the whatif at the same figure agrees byte-for-byte.
+            let fresh = Arbiter::new(global, BTreeMap::new());
+            for t in 0..3u16 {
+                fresh.publish(t, publication(&w, t, global / 3), Trace::disabled());
+            }
+            fresh.whatif(global / 2)
+        });
+        // ...but unlike a whatif it mutates: budget, allocations and the
+        // merge counter all move.
+        assert_eq!(arbiter.budget(), global / 2);
+        assert_eq!(arbiter.merges(), merges_before + 1);
+        let after = arbiter.allocations();
+        assert!(after.iter().map(|&(_, a)| a).sum::<u64>() <= global / 2);
+        assert_ne!(before, after, "halving the budget must move allocations");
+        // Restoring the original budget restores the original split.
+        arbiter.set_budget(global);
+        assert_eq!(arbiter.allocations(), before);
     }
 
     #[test]

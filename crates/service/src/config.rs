@@ -73,6 +73,16 @@ pub struct ServiceConfig {
     /// rendezvous hash; see [`crate::shard::ShardMap`]).
     #[serde(default)]
     pub shard_map: BTreeMap<u16, u32>,
+    /// Worker *processes* under the multi-process supervisor (0 = run
+    /// in-process; see [`crate::process`]). Like shards, worker count
+    /// never changes selections — workers only decide which process
+    /// hosts which shard.
+    #[serde(default)]
+    pub workers: u32,
+    /// Respawn a crashed worker process in place (supervisor mode).
+    /// When false, a dead worker's shards are adopted by a survivor.
+    #[serde(default)]
+    pub respawn: bool,
     /// Per-tenant SLO weights biasing the global-budget frontier merge:
     /// table group → weight scaling its cost axis in the
     /// [`crate::arbiter::Arbiter`] (deterministically favoring heavier
@@ -94,6 +104,8 @@ impl Default for ServiceConfig {
             threads: 1,
             checkpoint_every_epochs: 0,
             shards: 0,
+            workers: 0,
+            respawn: false,
             shard_map: BTreeMap::new(),
             tenant_weights: BTreeMap::new(),
         }

@@ -464,14 +464,19 @@ pub(crate) fn ingest_item(
         }
         WireItem::Control(Control::Status) => Ingest::Status,
         WireItem::Control(Control::Shutdown) => Ingest::Shutdown,
-        WireItem::Control(c @ (Control::Whatif { .. } | Control::Tenant { .. })) => {
-            Ingest::Interactive(*c)
-        }
+        WireItem::Control(
+            c @ (Control::Whatif { .. } | Control::Tenant { .. } | Control::Budget { .. }),
+        ) => Ingest::Interactive(*c),
         WireItem::Raw(bytes) => {
             let line = String::from_utf8_lossy(bytes).into_owned();
             ingest_one(&line, schema, queue, policy, board)
         }
         WireItem::Tagged { item, .. } => ingest_item(item, dict, schema, queue, policy, board),
+        // Supervisor messages never belong in an event stream.
+        WireItem::Sup(_) => {
+            board.invalid.fetch_add(1, Ordering::Relaxed);
+            Ingest::Continue
+        }
     }
 }
 
@@ -506,9 +511,9 @@ pub(crate) fn ingest_one(
         }
         Ok(InputLine::Control(Control::Status)) => Ingest::Status,
         Ok(InputLine::Control(Control::Shutdown)) => Ingest::Shutdown,
-        Ok(InputLine::Control(c @ (Control::Whatif { .. } | Control::Tenant { .. }))) => {
-            Ingest::Interactive(c)
-        }
+        Ok(InputLine::Control(
+            c @ (Control::Whatif { .. } | Control::Tenant { .. } | Control::Budget { .. }),
+        )) => Ingest::Interactive(c),
         Err(_) => {
             board.invalid.fetch_add(1, Ordering::Relaxed);
             Ingest::Continue
@@ -601,6 +606,7 @@ pub(crate) fn flatten_item(item: &WireItem, dict: &mut DecodeDict, schema: &Sche
         WireItem::Control(c) => FlatItem::Control(*c),
         WireItem::Raw(bytes) => FlatItem::RawLine(String::from_utf8_lossy(bytes).into_owned()),
         WireItem::Tagged { item, .. } => flatten_item(item, dict, schema),
+        WireItem::Sup(_) => FlatItem::Skip,
     }
 }
 

@@ -8,7 +8,9 @@
 //! `{"control":"checkpoint"}` and `{"control":"status"}`, plus the
 //! interactive arbitration queries `{"control":"whatif","budget":B}`
 //! and `{"control":"tenant","table_group":T,"budget":B}` answered from
-//! the maintained frontier state (see `crate::arbiter`). Any control
+//! the maintained frontier state (see `crate::arbiter`), and the
+//! mutating `{"control":"budget","budget":B}` re-anchoring that state
+//! at a new global budget. Any control
 //! line may additionally carry a `"token":N` field — a socket-serving
 //! implementation detail routing the reply back to the issuing
 //! connection ([`parse_token`]); parsing ignores it.
@@ -44,6 +46,14 @@ pub enum Control {
         /// Table group being asked about.
         table: u16,
         /// Hypothetical global memory budget in bytes.
+        budget: u64,
+    },
+    /// Re-anchor the maintained global-budget merge at `budget` bytes:
+    /// unlike [`Control::Whatif`] this *mutates* the arbiter — the
+    /// maintained merge re-materializes every group's selection under
+    /// the new budget and all later answers use it.
+    Budget {
+        /// New global memory budget in bytes.
         budget: u64,
     },
 }
@@ -89,6 +99,10 @@ pub fn parse_line(line: &str, schema: &Schema) -> Result<InputLine, String> {
                 }
                 let budget = raw.budget.ok_or("tenant requires \"budget\"")?;
                 Ok(InputLine::Control(Control::Tenant { table, budget }))
+            }
+            "budget" => {
+                let budget = raw.budget.ok_or("budget requires \"budget\"")?;
+                Ok(InputLine::Control(Control::Budget { budget }))
             }
             other => Err(format!("unknown control command {other:?}")),
         };
@@ -210,7 +224,12 @@ mod tests {
             parse_line(r#"{"control":"whatif","budget":7,"token":3}"#, &s).unwrap(),
             InputLine::Control(Control::Whatif { budget: 7 })
         );
+        assert_eq!(
+            parse_line(r#"{"control":"budget","budget":2048}"#, &s).unwrap(),
+            InputLine::Control(Control::Budget { budget: 2048 })
+        );
         assert!(parse_line(r#"{"control":"whatif"}"#, &s).is_err(), "budget required");
+        assert!(parse_line(r#"{"control":"budget"}"#, &s).is_err(), "budget field required");
         assert!(parse_line(r#"{"control":"tenant","budget":1}"#, &s).is_err());
         assert!(
             parse_line(r#"{"control":"tenant","table_group":9,"budget":1}"#, &s).is_err(),

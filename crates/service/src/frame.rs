@@ -34,15 +34,19 @@
 //! | `0` | `Define`  | table varint, kind u8, attr count varint, attr deltas varints |
 //! | `1` | `Event` (frequency 1) | template varint |
 //! | `2` | `Event` | template varint, frequency varint |
-//! | `3` | `Control` | code u8 (0 shutdown, 1 checkpoint, 2 status, 3 whatif + budget varint, 4 tenant + table varint + budget varint) |
+//! | `3` | `Control` | code u8 (0 shutdown, 1 checkpoint, 2 status, 3 whatif + budget varint, 4 tenant + table varint + budget varint, 5 budget + budget varint) |
 //! | `4` | `Raw` | length varint, verbatim line bytes |
 //! | `5` | `Tagged` | conn varint, seq varint, one inner item (tags 1–3) |
+//! | `6` | `Sup` | length varint, supervisor JSON bytes |
 //!
 //! `Raw` carries a line that has no structured encoding (malformed
 //! input, non-canonical field order); it is what makes
 //! `journal convert` lossless in both directions. `Tagged` wraps an
 //! event or control with the connection/sequence ids a live socket
-//! journal records.
+//! journal records. `Sup` carries a supervisor→worker message on the
+//! multi-process control channel (`crate::process`); it has its own tag
+//! — rather than riding in `Raw` — so a hostile client line can never
+//! forge one, and every event-stream consumer counts it invalid.
 
 use crate::event::Control;
 use isel_workload::wire::{crc32, get_varint, put_varint, MAX_VARINT_LEN};
@@ -71,6 +75,7 @@ const TAG_EVENT: u8 = 2;
 const TAG_CONTROL: u8 = 3;
 const TAG_RAW: u8 = 4;
 const TAG_TAGGED: u8 = 5;
+const TAG_SUP: u8 = 6;
 
 /// One decoded item of a binary frame payload.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -104,10 +109,14 @@ pub enum WireItem {
         conn: u64,
         /// Per-connection sequence number.
         seq: u64,
-        /// The wrapped event or control (never `Define`, `Raw` or
-        /// another `Tagged`).
+        /// The wrapped event or control (never `Define`, `Raw`, `Sup`
+        /// or another `Tagged`).
         item: Box<WireItem>,
     },
+    /// A supervisor→worker message (JSON bytes) on the multi-process
+    /// control channel. Never valid in an event stream: every ingestion
+    /// consumer counts it as one invalid record.
+    Sup(Vec<u8>),
 }
 
 fn put_control(out: &mut Vec<u8>, c: Control) {
@@ -122,6 +131,10 @@ fn put_control(out: &mut Vec<u8>, c: Control) {
         Control::Tenant { table, budget } => {
             out.push(4);
             put_varint(out, u64::from(table));
+            put_varint(out, budget);
+        }
+        Control::Budget { budget } => {
+            out.push(5);
             put_varint(out, budget);
         }
     }
@@ -139,11 +152,12 @@ fn get_control(b: &[u8], pos: &mut usize) -> Option<Control> {
             table: u16::try_from(get_varint(b, pos)?).ok()?,
             budget: get_varint(b, pos)?,
         },
+        5 => Control::Budget { budget: get_varint(b, pos)? },
         _ => return None,
     })
 }
 
-fn put_item(out: &mut Vec<u8>, item: &WireItem) {
+pub(crate) fn put_item(out: &mut Vec<u8>, item: &WireItem) {
     match item {
         WireItem::Define { table, kind, attrs } => {
             out.push(TAG_DEFINE);
@@ -189,6 +203,11 @@ fn put_item(out: &mut Vec<u8>, item: &WireItem) {
             put_varint(out, *conn);
             put_varint(out, *seq);
             put_item(out, item);
+        }
+        WireItem::Sup(bytes) => {
+            out.push(TAG_SUP);
+            put_varint(out, bytes.len() as u64);
+            out.extend_from_slice(bytes);
         }
     }
 }
@@ -255,10 +274,19 @@ fn get_item_inner(b: &[u8], pos: &mut usize, allow_tag: bool) -> Option<WireItem
             let conn = get_varint(b, pos)?;
             let seq = get_varint(b, pos)?;
             let item = get_item_inner(b, pos, false)?;
-            if matches!(item, WireItem::Define { .. } | WireItem::Raw(_)) {
+            if matches!(item, WireItem::Define { .. } | WireItem::Raw(_) | WireItem::Sup(_)) {
                 return None;
             }
             Some(WireItem::Tagged { conn, seq, item: Box::new(item) })
+        }
+        TAG_SUP => {
+            let len = usize::try_from(get_varint(b, pos)?).ok()?;
+            if len > MAX_PAYLOAD {
+                return None;
+            }
+            let bytes = b.get(*pos..*pos + len)?;
+            *pos += len;
+            Some(WireItem::Sup(bytes.to_vec()))
         }
         _ => None,
     }
@@ -479,6 +507,7 @@ pub fn render_control(tag: Option<(u64, u64)>, control: Control) -> String {
         Control::Tenant { table, budget } => {
             format!("\"control\":\"tenant\",\"table_group\":{table},\"budget\":{budget}")
         }
+        Control::Budget { budget } => format!("\"control\":\"budget\",\"budget\":{budget}"),
     };
     match tag {
         Some((conn, seq)) => format!("{{\"conn\":{conn},\"seq\":{seq},{body}}}"),
@@ -506,6 +535,7 @@ pub fn parse_canonical(line: &str) -> Option<(Option<(u64, u64)>, CanonicalBody)
             "status" => Control::Status,
             "whatif" => Control::Whatif { budget: raw.budget? },
             "tenant" => Control::Tenant { table: raw.table_group?, budget: raw.budget? },
+            "budget" => Control::Budget { budget: raw.budget? },
             _ => return None,
         };
         (CanonicalBody::Control(control), render_control(tag, control))
@@ -569,6 +599,8 @@ mod tests {
                 seq: 2,
                 item: Box::new(WireItem::Control(Control::Whatif { budget: 9 })),
             },
+            WireItem::Control(Control::Budget { budget: 1 << 33 }),
+            WireItem::Sup(br#"{"hello":true}"#.to_vec()),
         ];
         assert_eq!(round_trip(&items), items);
     }
@@ -592,6 +624,8 @@ mod tests {
             &[TAG_RAW, 0x20][..],             // raw length past the end
             &[TAG_TAGGED, 1, 1, TAG_RAW, 0][..], // raw inside a tag
             &[TAG_TAGGED, 1, 1, TAG_TAGGED][..], // nested tags
+            &[TAG_TAGGED, 1, 1, TAG_SUP, 0][..], // sup inside a tag
+            &[TAG_SUP, 0x20][..],             // sup length past the end
             &[][..],                          // empty
         ] {
             let mut pos = 0;
@@ -639,6 +673,7 @@ mod tests {
             r#"{"conn":3,"seq":9,"control":"status"}"#,
             r#"{"control":"whatif","budget":4096}"#,
             r#"{"control":"tenant","table_group":2,"budget":77}"#,
+            r#"{"control":"budget","budget":65536}"#,
         ] {
             let (tag, body) = parse_canonical(line).unwrap_or_else(|| panic!("rejected {line}"));
             let back = match body {

@@ -405,6 +405,9 @@ fn render_item(dict: &mut DecodeDict, item: &WireItem, tag: Option<(u64, u64)>) 
             Some(render_query(tag, table, attrs, *frequency, kind))
         }
         WireItem::Control(c) => Some(render_control(tag, *c)),
+        // Supervisor-pipe frames never belong in a journal; they have
+        // no canonical text form.
+        WireItem::Sup(_) => None,
         WireItem::Raw(bytes) => Some(String::from_utf8_lossy(bytes).into_owned()),
         WireItem::Tagged { conn, seq, item } => render_item(dict, item, Some((*conn, *seq))),
     }

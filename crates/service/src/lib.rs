@@ -73,9 +73,25 @@
 //! socket or in a replayed stream — are answered from the precomputed
 //! frontiers without re-running selection.
 //!
+//! # Multi-process serving
+//!
+//! Past one process, the same topology splits across process
+//! boundaries ([`process`]): a **supervisor** owns the listening
+//! socket, the journal, the checkpoint [`Manifest`] and the live
+//! [`Arbiter`], and routes events over per-worker stdin pipes (binary
+//! frames) to `N` **worker child processes**, each hosting shards with
+//! exactly the in-process [`GroupState`] tuning machinery. The
+//! supervisor detects a dead worker (pipe EOF, `SIGCHLD`), restores its
+//! shards onto a survivor or respawned replacement from the last
+//! committed checkpoint generation, and replays the journal tail since
+//! that generation — so a `SIGKILL` of any worker at any event position
+//! leaves the final merged selection **byte-identical** to a
+//! failure-free run (DESIGN.md §16).
+//!
 //! [`Workload`]: isel_workload::Workload
 //! [`IndexPool`]: isel_workload::IndexPool
 //! [`Manifest`]: checkpoint::Manifest
+//! [`GroupState`]: crate::router
 
 #![warn(missing_docs)]
 
@@ -87,6 +103,7 @@ pub mod event;
 pub mod frame;
 pub mod journal;
 pub mod mmap;
+pub mod process;
 pub mod queue;
 pub mod records;
 pub mod router;
@@ -108,11 +125,12 @@ pub use event::{parse_line, parse_token, Control, InputLine};
 pub use frame::{FrameEncoder, WireItem, FORMAT_VERSION, MAGIC, MAX_PAYLOAD};
 pub use journal::{convert, read_journal_bytes, JournalConfig, JournalWriter, WireFormat};
 pub use mmap::MappedFile;
+pub use process::{run_worker, SupMsg, Supervisor, WorkerMsg};
 pub use records::{DecodeDict, Record, RecordIter};
 pub use queue::BoundedQueue;
 pub use router::{offline_group_adapt, offline_group_snapshots, Router};
 pub use shard::{classify_line, LineClass, ShardMap, ShardTagSink};
-pub use socket::{run_socket, run_socket_router};
+pub use socket::{run_socket, run_socket_router, run_socket_supervisor};
 pub use status::{install_status_signal, take_status_signal, StatusBoard};
 pub use tuner::{EpochOutcome, TunePolicy, Tuner};
 pub use window::EpochWindow;

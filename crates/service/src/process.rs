@@ -1,0 +1,1833 @@
+//! Multi-process serving: a router/supervisor process fronting `N`
+//! worker child processes, failure-invariant by construction.
+//!
+//! ## Topology
+//!
+//! The **supervisor** owns everything shared: the input (stdin or the
+//! listening socket), the journal, the [`Arbiter`] and its maintained
+//! global-budget merge, the checkpoint `Committer`, the
+//! [`StatusBoard`] and the trace sink. Each **worker** is a child
+//! process (`isel worker`, spawned from the supervisor's own
+//! executable) hosting one or more *shards* — the same per-table-group
+//! tuning state a [`crate::router::Router`] shard thread holds, behind
+//! the same `GroupState` type.
+//!
+//! The wire between them is the binary frame protocol of
+//! [`crate::frame`]: the supervisor writes frames onto each worker's
+//! stdin pipe, carrying either a [`SupMsg`] (JSON inside a
+//! [`WireItem::Sup`] item) or one event line (a [`WireItem::Raw`]
+//! item); the worker answers with [`WorkerMsg`] JSON lines on stdout.
+//! Events always travel as **canonical JSONL lines** — binary input is
+//! re-rendered by the supervisor through its template dictionary
+//! ([`render_query`]) — so a worker's stream is self-contained: no
+//! dictionary state spans the pipe, which is what makes a journal tail
+//! replayable to a *different* worker after a crash.
+//!
+//! ## Liveness and failover
+//!
+//! The supervisor keeps a per-shard **tail**: every line routed to a
+//! shard since the last committed checkpoint generation (appended
+//! *before* the pipe write, so a line lost in a dying worker's pipe
+//! buffer is always still in the tail). Worker death is observed as
+//! EOF on the worker's stdout (the collector thread drains every
+//! buffered message first — ordering matters for arbiter publishes),
+//! prompted by `SIGCHLD` ([`crate::status::install_child_signal`]) or
+//! an `EPIPE` on the stdin pipe. Failover then, per dead shard:
+//!
+//! 1. restores the shard onto a survivor (or a respawned replacement,
+//!    under [`ServiceConfig::respawn`]) from the last *committed*
+//!    `manifest.shard-{k}.g{g}.json` checkpoint, whose contents ride
+//!    inside the [`SupMsg::Adopt`] itself;
+//! 2. replays the shard's journal tail — checkpoint barriers inside
+//!    the tail are re-sent **scoped to that shard only**, so an
+//!    adopter's other shards never re-checkpoint at advanced state;
+//! 3. emits one [`TraceEvent::Failover`] and bumps the board's
+//!    `failovers` (and `restarts`, when a replacement was spawned).
+//!
+//! ## Why selections are failure-invariant
+//!
+//! Group state is deterministic in the event prefix: a shard restored
+//! from generation `g` and fed the tail since `g` reaches exactly the
+//! state the dead worker had, then continues identically. Re-reported
+//! epoch outcomes are bit-identical, so the supervisor deduplicates
+//! them by `(table, epoch)`; re-published frontiers fold into the
+//! arbiter idempotently (clean republish is skipped, and the tail
+//! replay always ends at the same last-published frontier per table).
+//! The final merged selection depends only on those last publications
+//! and the global budget — hence byte-identical with and without a
+//! `SIGKILL` at *any* event position, the invariant pinned by the CLI
+//! failover tests.
+
+use crate::arbiter::{global_budget, Arbiter, InteractiveRegistry, PublishedFrontier};
+use crate::checkpoint::{
+    shard_file, GroupCheckpoint, Manifest, ShardCheckpoint, CHECKPOINT_VERSION,
+};
+use crate::config::ServiceConfig;
+use crate::daemon::ServiceReport;
+use crate::event::{parse_line, parse_token, Control, InputLine};
+use crate::frame::{put_frame, put_item, render_query, WireItem, MAX_PAYLOAD};
+use crate::records::{Record, RecordIter};
+use crate::router::{Committer, GroupState};
+use crate::shard::{classify_line, LineClass, ShardMap};
+use crate::status::{take_child_signal, take_status_signal, StatusBoard};
+use crate::tuner::EpochOutcome;
+use isel_core::{Parallelism, Trace, TraceEvent, TraceSink};
+use isel_workload::{Query, QueryKind, Schema};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Supervisor → worker messages, carried as [`WireItem::Sup`] frames on
+/// the worker's stdin pipe (interleaved with [`WireItem::Raw`] event
+/// lines).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SupMsg {
+    /// First message of every spawn: the schema and configuration the
+    /// worker tunes under, plus the shards it initially hosts (each
+    /// starts fresh; restores arrive as separate [`SupMsg::Adopt`]s).
+    Hello {
+        /// Workload schema (shared by every shard; boxed to keep the
+        /// enum small — every other variant is a few words).
+        schema: Box<Schema>,
+        /// Service configuration (shared by every shard).
+        config: Box<ServiceConfig>,
+        /// Shards this worker hosts from the start.
+        shards: Vec<u32>,
+        /// Checkpoint manifest path, when checkpointing is on; shard
+        /// files are derived from it exactly as the in-process router
+        /// derives them ([`shard_file`]).
+        manifest: Option<String>,
+    },
+    /// Switch the *current shard*: subsequent raw event lines ingest
+    /// into this shard until the next `Shard` message.
+    Shard {
+        /// The shard now receiving raw lines.
+        shard: u32,
+    },
+    /// Checkpoint barrier: serialize each targeted hosted shard as a
+    /// [`ShardCheckpoint`] and report [`WorkerMsg::CheckpointDone`].
+    Barrier {
+        /// Barrier generation (monotonic, supervisor-assigned).
+        generation: u64,
+        /// Shards to checkpoint; `None` means every hosted shard. Tail
+        /// replays scope this to the failed-over shard so an adopter's
+        /// other shards never re-checkpoint at advanced state.
+        shards: Option<Vec<u32>>,
+    },
+    /// In-band interactive-query barrier: acknowledge with
+    /// [`WorkerMsg::Ack`] once every line queued before this point has
+    /// been consumed. The supervisor answers from the arbiter when all
+    /// live workers have acknowledged.
+    Query {
+        /// Query id matching the acknowledgement to the waiter.
+        id: u64,
+    },
+    /// Host (or re-host) a shard: restore it from a shard checkpoint
+    /// document, or create it fresh when no committed generation
+    /// exists.
+    Adopt {
+        /// The shard to host.
+        shard: u32,
+        /// Serialized [`ShardCheckpoint`] to restore from (`None` =
+        /// fresh). Contents, not a path: the supervisor snapshots the
+        /// document under its committer lock, so the file GC that runs
+        /// when later generations commit can never race the adoption.
+        data: Option<String>,
+    },
+    /// Drain, report one [`WorkerMsg::Final`] per hosted shard, exit.
+    Shutdown,
+}
+
+/// Worker → supervisor messages, one JSON object per stdout line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum WorkerMsg {
+    /// The worker is up and parsed its [`SupMsg::Hello`].
+    Ready,
+    /// A sealed epoch was tuned. Carries the shard's cumulative
+    /// absolute counters so the supervisor's status line stays fresh
+    /// without extra round trips.
+    Outcome {
+        /// Shard the epoch sealed on.
+        shard: u32,
+        /// The tuning outcome (bit-identical on re-report after a
+        /// failover replay; the supervisor deduplicates by
+        /// `(table, epoch)`).
+        outcome: EpochOutcome,
+        /// Valid events ingested by this shard so far (absolute).
+        ingested: u64,
+        /// Invalid lines counted by this shard so far (absolute).
+        invalid: u64,
+        /// Dropped-event count carried by this shard (absolute; only
+        /// non-zero when restored from a checkpoint that had drops).
+        dropped: u64,
+    },
+    /// A group re-selected and published a new frontier for the
+    /// supervisor's arbiter to fold into the global-budget merge.
+    Publish {
+        /// Table group that re-selected.
+        table: u16,
+        /// The published frontier (construction steps included).
+        pf: PublishedFrontier,
+    },
+    /// One shard's checkpoint file for a barrier generation is on disk.
+    CheckpointDone {
+        /// Shard that wrote the file.
+        shard: u32,
+        /// Barrier generation the file belongs to.
+        generation: u64,
+        /// Path of the shard file (supervisor-side `Committer` input).
+        file: String,
+    },
+    /// Acknowledge an in-band [`SupMsg::Query`] barrier.
+    Ack {
+        /// The acknowledged query id.
+        id: u64,
+        /// Cumulative `(shard, ingested, invalid, dropped)` counters
+        /// for every hosted shard at the barrier point. Ingest counters
+        /// otherwise refresh only when an epoch seals; riding them on
+        /// the ack keeps the in-band contract — an interactive status
+        /// reply reflects exactly the events that precede the query.
+        counts: Vec<(u32, u64, u64, u64)>,
+    },
+    /// Final absolute counters for one hosted shard, sent at shutdown.
+    Final {
+        /// The shard reported on.
+        shard: u32,
+        /// Valid events ingested (absolute).
+        ingested: u64,
+        /// Invalid lines counted (absolute).
+        invalid: u64,
+        /// Dropped-event count carried (absolute).
+        dropped: u64,
+    },
+    /// The worker hit an unrecoverable error (checkpoint I/O, restore
+    /// failure) and is about to exit. The supervisor fails the whole
+    /// run with this message instead of cycling a doomed shard through
+    /// adopt → die failovers that can never succeed.
+    Fatal {
+        /// Human-readable cause, verbatim from the failing operation.
+        message: String,
+    },
+}
+
+/// Encode one [`SupMsg`] as a binary frame.
+fn sup_frame(msg: &SupMsg) -> Result<Vec<u8>, String> {
+    let json = serde_json::to_string(msg).map_err(|e| format!("serialize SupMsg: {e}"))?;
+    let mut payload = Vec::new();
+    put_item(&mut payload, &WireItem::Sup(json.into_bytes()));
+    if payload.len() > MAX_PAYLOAD {
+        return Err(format!(
+            "supervisor message over the {MAX_PAYLOAD}-byte frame payload limit"
+        ));
+    }
+    let mut frame = Vec::new();
+    put_frame(&mut frame, &payload);
+    Ok(frame)
+}
+
+/// Best-effort [`WorkerMsg::Fatal`] report, sent right before the
+/// worker exits with an error. A dead supervisor pipe is ignored —
+/// there is nobody left to tell.
+fn send_fatal<W: Write>(out: &mut W, message: &str) {
+    let msg = WorkerMsg::Fatal { message: message.to_owned() };
+    if let Ok(json) = serde_json::to_string(&msg) {
+        let _ = writeln!(out, "{json}").and_then(|()| out.flush());
+    }
+}
+
+/// Encode one raw event line as a binary frame.
+fn raw_frame(line: &str) -> Vec<u8> {
+    let mut payload = Vec::new();
+    put_item(&mut payload, &WireItem::Raw(line.as_bytes().to_vec()));
+    let mut frame = Vec::new();
+    put_frame(&mut frame, &payload);
+    frame
+}
+
+// ---------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------
+
+/// Fault-injection hooks for the failover tests, parsed from the
+/// environment the *supervisor* scopes to exactly one worker (every
+/// other child and every respawn gets the variables stripped, so a
+/// fault fires once, never in a loop).
+struct FaultPlan {
+    /// `ISEL_FAULT_KILL_AFTER="shard:N"`: `SIGKILL` self immediately
+    /// after ingesting the `N`-th valid event on that shard.
+    kill_after: Option<(u32, u64)>,
+    /// `ISEL_FAULT_KILL_AT_CHECKPOINT="shard:G"`: write the shard file
+    /// for generation `G`, then `SIGKILL` self *before* reporting
+    /// [`WorkerMsg::CheckpointDone`] — a torn checkpoint attempt.
+    kill_at_checkpoint: Option<(u32, u64)>,
+}
+
+impl FaultPlan {
+    fn from_env() -> Self {
+        let parse = |name: &str| -> Option<(u32, u64)> {
+            let v = std::env::var(name).ok()?;
+            let (s, n) = v.split_once(':')?;
+            Some((s.trim().parse().ok()?, n.trim().parse().ok()?))
+        };
+        Self {
+            kill_after: parse("ISEL_FAULT_KILL_AFTER"),
+            kill_at_checkpoint: parse("ISEL_FAULT_KILL_AT_CHECKPOINT"),
+        }
+    }
+}
+
+/// `SIGKILL` the current process — the fault-injection crash. Never
+/// returns control to the tuning loop.
+#[cfg(unix)]
+fn kill_self() {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+        fn getpid() -> i32;
+    }
+    const SIGKILL: i32 = 9;
+    // SAFETY: signalling our own pid with SIGKILL; the process dies
+    // before the call returns.
+    unsafe {
+        kill(getpid(), SIGKILL);
+    }
+    unreachable!("survived SIGKILL");
+}
+
+#[cfg(not(unix))]
+fn kill_self() {
+    std::process::exit(137);
+}
+
+/// One hosted shard inside a worker process: its table groups plus the
+/// shard's absolute lifetime counters (checkpoint-exact — they restore
+/// from [`SupMsg::Adopt`] and serialize into every [`ShardCheckpoint`]).
+struct ShardCtx {
+    groups: BTreeMap<u16, GroupState>,
+    ingested: u64,
+    invalid: u64,
+    dropped: u64,
+}
+
+impl ShardCtx {
+    fn fresh() -> Self {
+        Self { groups: BTreeMap::new(), ingested: 0, invalid: 0, dropped: 0 }
+    }
+}
+
+/// The `isel worker` entrypoint: host shards over the stdin/stdout pipe
+/// protocol until [`SupMsg::Shutdown`] or EOF. Never called directly by
+/// users — the supervisor spawns it from its own executable.
+///
+/// Worker runs do not write their own trace files (the supervisor owns
+/// the single trace, carrying [`TraceEvent::Merge`] and
+/// [`TraceEvent::Failover`] events); per-run tuning traces remain an
+/// in-process (`--shards`) feature.
+///
+/// # Errors
+///
+/// Returns protocol violations (first message not `Hello`, corrupt
+/// frame) and checkpoint I/O failures. A failed stdout write means the
+/// supervisor is gone; the worker exits quietly.
+pub fn run_worker() -> Result<(), String> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    run_worker_io(stdin.lock(), stdout.lock())
+}
+
+/// [`run_worker`] over explicit streams, so unit tests can drive the
+/// full protocol through in-memory buffers.
+pub fn run_worker_io<R: BufRead, W: Write>(input: R, mut out: W) -> Result<(), String> {
+    let fault = FaultPlan::from_env();
+    let mut records = RecordIter::new(input);
+
+    // Protocol: the first record must be the Hello.
+    let (schema, config, initial_shards, manifest) = match records.next() {
+        Some(Record::Item(WireItem::Sup(json))) => {
+            match std::str::from_utf8(&json)
+                .map_err(|e| format!("{e}"))
+                .and_then(|s| serde_json::from_str::<SupMsg>(s).map_err(|e| format!("{e}")))
+            {
+                Ok(SupMsg::Hello { schema, config, shards, manifest }) => {
+                    (*schema, *config, shards, manifest.map(PathBuf::from))
+                }
+                Ok(other) => {
+                    return Err(format!("worker protocol: expected Hello, got {other:?}"))
+                }
+                Err(e) => return Err(format!("worker protocol: bad Hello: {e}")),
+            }
+        }
+        other => return Err(format!("worker protocol: expected Hello frame, got {other:?}")),
+    };
+    let par = match config.threads {
+        0 => Parallelism::available(),
+        n => Parallelism::new(n),
+    };
+    let mut ctxs: BTreeMap<u32, ShardCtx> =
+        initial_shards.into_iter().map(|k| (k, ShardCtx::fresh())).collect();
+    let mut current: Option<u32> = None;
+
+    // A stdout write fails only when the supervisor died; exit quietly
+    // (the replacement supervisor story is "restart the service"), and
+    // signal the loop via `gone`.
+    let mut gone = false;
+    macro_rules! send {
+        ($msg:expr) => {{
+            let json = serde_json::to_string(&$msg)
+                .map_err(|e| format!("serialize WorkerMsg: {e}"))?;
+            if writeln!(out, "{json}").and_then(|()| out.flush()).is_err() {
+                gone = true;
+            }
+        }};
+    }
+    send!(WorkerMsg::Ready);
+
+    // Mirrors the in-process shard worker's ingest closure
+    // (`router::shard_worker`): push into the group's window, tune on
+    // sealed epochs, publish dirty frontiers — here over the pipe.
+    let ingest = |q: &Query,
+                  shard: u32,
+                  ctx: &mut ShardCtx,
+                  out: &mut W,
+                  gone: &mut bool|
+     -> Result<(), String> {
+        ctx.ingested += 1;
+        if fault.kill_after == Some((shard, ctx.ingested)) {
+            kill_self();
+        }
+        let table = q.table();
+        let group = ctx
+            .groups
+            .entry(table.0)
+            .or_insert_with(|| GroupState::fresh(&schema, &config, table));
+        if group.window.push(q) {
+            let snap = group
+                .window
+                .snapshot()
+                .expect("snapshot exists after an epoch seals");
+            let mut outcome = group.tuner.tune(&snap, par, Trace::disabled());
+            outcome.shard = Some(shard);
+            let msg = WorkerMsg::Outcome {
+                shard,
+                outcome,
+                ingested: ctx.ingested,
+                invalid: ctx.invalid,
+                dropped: ctx.dropped,
+            };
+            let json =
+                serde_json::to_string(&msg).map_err(|e| format!("serialize WorkerMsg: {e}"))?;
+            if writeln!(out, "{json}").and_then(|()| out.flush()).is_err() {
+                *gone = true;
+            }
+            if group.tuner.take_published_dirty() {
+                if let Some(pf) = group.tuner.published() {
+                    let msg = WorkerMsg::Publish { table: table.0, pf: (**pf).clone() };
+                    let json = serde_json::to_string(&msg)
+                        .map_err(|e| format!("serialize WorkerMsg: {e}"))?;
+                    if writeln!(out, "{json}").and_then(|()| out.flush()).is_err() {
+                        *gone = true;
+                    }
+                }
+            }
+        }
+        Ok(())
+    };
+
+    for record in records {
+        if gone {
+            return Ok(());
+        }
+        match record {
+            Record::Item(WireItem::Sup(json)) => {
+                let msg: SupMsg = std::str::from_utf8(&json)
+                    .map_err(|e| format!("worker protocol: bad SupMsg: {e}"))
+                    .and_then(|s| {
+                        serde_json::from_str(s)
+                            .map_err(|e| format!("worker protocol: bad SupMsg: {e}"))
+                    })?;
+                match msg {
+                    SupMsg::Hello { .. } => {
+                        return Err("worker protocol: duplicate Hello".into())
+                    }
+                    SupMsg::Shard { shard } => current = Some(shard),
+                    SupMsg::Query { id } => {
+                        let counts = ctxs
+                            .iter()
+                            .map(|(k, c)| (*k, c.ingested, c.invalid, c.dropped))
+                            .collect();
+                        send!(WorkerMsg::Ack { id, counts });
+                    }
+                    SupMsg::Adopt { shard, data } => {
+                        let restore = || -> Result<ShardCtx, String> {
+                            let Some(text) = &data else { return Ok(ShardCtx::fresh()) };
+                            let cp = ShardCheckpoint::from_json(text)?;
+                            let mut ctx = ShardCtx {
+                                groups: BTreeMap::new(),
+                                ingested: cp.ingested,
+                                invalid: cp.invalid,
+                                dropped: cp.dropped,
+                            };
+                            for gc in &cp.groups {
+                                let (tuner, window) = gc.restore(&schema, &config)?;
+                                ctx.groups.insert(gc.table, GroupState { tuner, window });
+                            }
+                            Ok(ctx)
+                        };
+                        let ctx = match restore() {
+                            Ok(ctx) => ctx,
+                            Err(e) => {
+                                send_fatal(&mut out, &e);
+                                return Err(e);
+                            }
+                        };
+                        // Re-publish restored frontiers so the
+                        // supervisor's arbiter reflects the adopted
+                        // state (idempotent: a clean republish is
+                        // skipped arbiter-side, and the tail replay
+                        // converges to the same last publication per
+                        // table).
+                        for (t, g) in &ctx.groups {
+                            if let Some(pf) = g.tuner.published() {
+                                send!(WorkerMsg::Publish {
+                                    table: *t,
+                                    pf: (**pf).clone()
+                                });
+                            }
+                        }
+                        ctxs.insert(shard, ctx);
+                    }
+                    SupMsg::Barrier { generation, shards } => {
+                        let targets: Vec<u32> = match shards {
+                            Some(list) => list,
+                            None => ctxs.keys().copied().collect(),
+                        };
+                        let Some(manifest) = &manifest else {
+                            // No checkpoint path: barriers are no-ops,
+                            // exactly like the in-process worker's.
+                            continue;
+                        };
+                        for k in targets {
+                            let Some(ctx) = ctxs.get_mut(&k) else { continue };
+                            let cp = ShardCheckpoint {
+                                version: CHECKPOINT_VERSION,
+                                config: config.clone(),
+                                shard: k,
+                                generation,
+                                ingested: ctx.ingested,
+                                invalid: ctx.invalid,
+                                dropped: ctx.dropped,
+                                groups: ctx
+                                    .groups
+                                    .values_mut()
+                                    .map(|g| GroupCheckpoint::capture(&mut g.tuner, &g.window))
+                                    .collect(),
+                            };
+                            let file = shard_file(manifest, k, generation);
+                            // A failed save (unwritable directory, full
+                            // disk) would fail every adopter the same
+                            // way — report it so the supervisor aborts
+                            // instead of failing over in circles.
+                            if let Err(e) = cp.save(&file) {
+                                send_fatal(&mut out, &e);
+                                return Err(e);
+                            }
+                            if fault.kill_at_checkpoint == Some((k, generation)) {
+                                kill_self();
+                            }
+                            send!(WorkerMsg::CheckpointDone {
+                                shard: k,
+                                generation,
+                                file: file.to_string_lossy().into_owned(),
+                            });
+                        }
+                    }
+                    SupMsg::Shutdown => break,
+                }
+            }
+            Record::Item(WireItem::Raw(bytes)) => {
+                let line = String::from_utf8_lossy(&bytes);
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                let Some(shard) = current else {
+                    // Protocol: a line before any Shard message has no
+                    // home; the supervisor never does this.
+                    continue;
+                };
+                let Some(ctx) = ctxs.get_mut(&shard) else { continue };
+                match parse_line(trimmed, &schema) {
+                    Ok(InputLine::Query(q)) => {
+                        ingest(&q, shard, ctx, &mut out, &mut gone)?;
+                    }
+                    // Mirror the in-process worker: a line that routed
+                    // as a table line but parses as a control is
+                    // dropped, never half-applied.
+                    Ok(InputLine::Control(_)) => {}
+                    Err(_) => ctx.invalid += 1,
+                }
+            }
+            // The supervisor sends only Sup and Raw frames; anything
+            // else is a protocol violation worth failing loudly on.
+            other => return Err(format!("worker protocol: unexpected record {other:?}")),
+        }
+    }
+    for (k, ctx) in &ctxs {
+        send!(WorkerMsg::Final {
+            shard: *k,
+            ingested: ctx.ingested,
+            invalid: ctx.invalid,
+            dropped: ctx.dropped,
+        });
+    }
+    let _ = gone;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Supervisor side
+// ---------------------------------------------------------------------
+
+/// One journal-tail entry of a shard: an event line, or a checkpoint
+/// barrier at its exact stream position.
+enum TailEntry {
+    Line(String),
+    Barrier(u64),
+}
+
+/// Drop everything up to and including the barrier of `generation` —
+/// that prefix is durable once the generation's manifest commits.
+fn truncate_tail(tail: &mut VecDeque<TailEntry>, generation: u64) {
+    if let Some(pos) = tail
+        .iter()
+        .position(|e| matches!(e, TailEntry::Barrier(g) if *g == generation))
+    {
+        tail.drain(..=pos);
+    }
+}
+
+/// An interactive query waiting for every live worker to pass its
+/// in-band barrier.
+struct PendingInteractive {
+    control: Control,
+    waiting: std::collections::HashSet<usize>,
+    reply: Option<Sender<String>>,
+}
+
+/// State shared between the supervisor's routing loop and the
+/// per-worker collector threads.
+struct Shared<'a> {
+    /// Epoch outcomes keyed by `(table, epoch)` — the key under which a
+    /// failover replay's re-reported (bit-identical) outcomes dedupe.
+    outcomes: Mutex<BTreeMap<(u16, u64), EpochOutcome>>,
+    /// Per-shard absolute counters `(ingested, invalid, dropped)` as
+    /// last reported by the hosting worker.
+    counts: Mutex<BTreeMap<u32, (u64, u64, u64)>>,
+    /// Outstanding interactive queries by id.
+    pending: Mutex<HashMap<u64, PendingInteractive>>,
+    /// Per-shard journal tails since the last committed generation.
+    tails: Mutex<BTreeMap<u32, VecDeque<TailEntry>>>,
+    /// First hard failure reported by a collector (checkpoint I/O).
+    failure: Mutex<Option<String>>,
+    board: &'a StatusBoard,
+    committer: Option<&'a Committer<'a>>,
+    arbiter: &'a Arbiter,
+    sink: Option<&'a dyn TraceSink>,
+}
+
+impl Shared<'_> {
+    fn set_counts(&self, shard: u32, ingested: u64, invalid: u64, dropped: u64) {
+        let mut c = self.counts.lock().expect("counts lock poisoned");
+        c.insert(shard, (ingested, invalid, dropped));
+        let (i, v) = c
+            .values()
+            .fold((0u64, 0u64), |(i, v), &(ci, cv, _)| (i + ci, v + cv));
+        self.board.ingested.store(i, Ordering::Relaxed);
+        self.board.invalid.store(v, Ordering::Relaxed);
+    }
+
+    fn dropped_total(&self) -> u64 {
+        self.counts
+            .lock()
+            .expect("counts lock poisoned")
+            .values()
+            .map(|c| c.2)
+            .sum()
+    }
+
+    fn fail(&self, e: String) {
+        self.failure
+            .lock()
+            .expect("failure lock poisoned")
+            .get_or_insert(e);
+    }
+
+    fn take_failure(&self) -> Option<String> {
+        self.failure.lock().expect("failure lock poisoned").take()
+    }
+
+    /// All live workers acked query `id`? Then answer — status from the
+    /// board (the acks just refreshed its counters, so the reply covers
+    /// exactly the events routed before the query), everything else
+    /// from the arbiter.
+    fn ack(&self, slot: usize, id: u64) {
+        let mut pending = self.pending.lock().expect("pending lock poisoned");
+        let Some(p) = pending.get_mut(&id) else { return };
+        p.waiting.remove(&slot);
+        if !p.waiting.is_empty() {
+            return;
+        }
+        let p = pending.remove(&id).expect("entry just seen");
+        drop(pending);
+        let answer = match p.control {
+            Control::Status => {
+                let shards = self.tails.lock().expect("tails lock poisoned").len();
+                Some(self.board.line(
+                    self.dropped_total(),
+                    &vec![0; shards],
+                    &self.arbiter.allocations(),
+                ))
+            }
+            c => self.arbiter.answer(c),
+        };
+        if let Some(answer) = answer {
+            match p.reply {
+                Some(tx) => {
+                    let _ = tx.send(answer);
+                }
+                None => eprintln!("{answer}"),
+            }
+        }
+    }
+}
+
+/// One collector: drain a worker's stdout, folding its messages into
+/// the shared state, and flag EOF **after** the drain — failover must
+/// never race a dying worker's buffered publishes.
+fn collect(slot: usize, out: ChildStdout, shared: &Shared<'_>, eof: &AtomicBool) {
+    let reader = BufReader::new(out);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        // A worker killed mid-write leaves a partial last line; skip it
+        // (the tail replay recovers whatever it was reporting).
+        let Ok(msg) = serde_json::from_str::<WorkerMsg>(&line) else { continue };
+        match msg {
+            WorkerMsg::Ready => {}
+            WorkerMsg::Outcome { shard, outcome, ingested, invalid, dropped } => {
+                let key = (outcome.table.map_or(u16::MAX, |t| t.0), outcome.epoch);
+                {
+                    let mut map = shared.outcomes.lock().expect("outcomes lock poisoned");
+                    if let std::collections::btree_map::Entry::Vacant(slot) = map.entry(key) {
+                        slot.insert(outcome);
+                        shared.board.epochs.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                shared.set_counts(shard, ingested, invalid, dropped);
+            }
+            WorkerMsg::Publish { table, pf } => {
+                let trace = shared.sink.map_or(Trace::disabled(), Trace::to);
+                shared.arbiter.publish(table, Arc::new(pf), trace);
+            }
+            WorkerMsg::CheckpointDone { shard, generation, file } => {
+                if let Some(c) = shared.committer {
+                    match c.done(shard, generation, PathBuf::from(file)) {
+                        Ok(true) => {
+                            let mut tails = shared.tails.lock().expect("tails lock poisoned");
+                            for tail in tails.values_mut() {
+                                truncate_tail(tail, generation);
+                            }
+                        }
+                        Ok(false) => {}
+                        Err(e) => shared.fail(e),
+                    }
+                }
+            }
+            WorkerMsg::Ack { id, counts } => {
+                for (shard, ingested, invalid, dropped) in counts {
+                    shared.set_counts(shard, ingested, invalid, dropped);
+                }
+                shared.ack(slot, id);
+            }
+            WorkerMsg::Final { shard, ingested, invalid, dropped } => {
+                shared.set_counts(shard, ingested, invalid, dropped);
+            }
+            WorkerMsg::Fatal { message } => {
+                shared.fail(format!("worker {slot}: {message}"));
+            }
+        }
+    }
+    eof.store(true, Ordering::Release);
+}
+
+/// One worker slot: the child process, its pipe, and liveness state.
+/// The `eof` flag belongs to this *spawn instance* — a respawn installs
+/// a fresh slot with a fresh flag and collector.
+struct Slot {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    eof: Arc<AtomicBool>,
+    current_shard: Option<u32>,
+    alive: bool,
+}
+
+fn write_slot(slot: &mut Slot, bytes: &[u8]) -> bool {
+    match &mut slot.stdin {
+        Some(w) => w.write_all(bytes).is_ok(),
+        None => false,
+    }
+}
+
+/// The multi-process supervisor: routes events to worker processes,
+/// arbitrates budgets, commits checkpoints, and absorbs worker crashes
+/// without changing any selection (see the module docs).
+pub struct Supervisor {
+    schema: Schema,
+    config: ServiceConfig,
+    map: ShardMap,
+    arbiter: Arbiter,
+    interactive: Option<Arc<InteractiveRegistry>>,
+    routed_lines: u64,
+    next_generation: u64,
+    resume_generation: Option<u64>,
+    resume_manifest: Option<PathBuf>,
+}
+
+impl Supervisor {
+    /// Fresh supervisor. Requires `config.shards >= 1` and
+    /// `config.workers >= 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first configuration problem, if any.
+    pub fn new(schema: Schema, config: ServiceConfig) -> Result<Self, String> {
+        config.validate()?;
+        if config.shards == 0 {
+            return Err("the supervisor requires shards >= 1".into());
+        }
+        if config.workers == 0 {
+            return Err(
+                "the supervisor requires workers >= 1 (0 selects in-process serving)".into()
+            );
+        }
+        let map = ShardMap::new(config.shards, config.shard_map.clone(), schema.tables().len())?;
+        let arbiter = Arbiter::new(
+            global_budget(&schema, config.budget_share),
+            config.tenant_weights.clone(),
+        );
+        Ok(Self {
+            schema,
+            config,
+            map,
+            arbiter,
+            interactive: None,
+            routed_lines: 0,
+            next_generation: 1,
+            resume_generation: None,
+            resume_manifest: None,
+        })
+    }
+
+    /// Resume from a checkpoint manifest: each worker restores its
+    /// shards from the committed shard files (via [`SupMsg::Adopt`])
+    /// when the run starts. Unlike [`crate::router::Router::resume`],
+    /// the shard count must match the manifest — shard state lives in
+    /// child processes, and re-packing table groups across shard files
+    /// is an in-process feature (resume there once, checkpoint, then
+    /// serve multi-process).
+    ///
+    /// # Errors
+    ///
+    /// Returns manifest/shard-file problems and config mismatches.
+    pub fn resume(
+        schema: Schema,
+        config: ServiceConfig,
+        manifest_path: &Path,
+    ) -> Result<Self, String> {
+        let mut sup = Self::new(schema, config)?;
+        let manifest = Manifest::load(manifest_path)?;
+        if manifest.shards != sup.config.shards {
+            return Err(format!(
+                "manifest was written at {} shards but --shards is {}; the multi-process \
+                 supervisor cannot re-pack shard files (resume in-process at the new count, \
+                 checkpoint, then serve with --workers)",
+                manifest.shards, sup.config.shards
+            ));
+        }
+        for cp in manifest.load_shards(manifest_path)? {
+            if cp.config.epoch_events != sup.config.epoch_events
+                || cp.config.window_epochs != sup.config.window_epochs
+                || cp.config.max_templates != sup.config.max_templates
+            {
+                return Err(format!(
+                    "checkpoint aggregation config (epoch_events={}, window_epochs={}, \
+                     max_templates={}) does not match the requested configuration",
+                    cp.config.epoch_events, cp.config.window_epochs, cp.config.max_templates
+                ));
+            }
+        }
+        sup.routed_lines = manifest.routed_lines;
+        sup.next_generation = manifest.generation + 1;
+        sup.resume_generation = Some(manifest.generation);
+        sup.resume_manifest = Some(manifest_path.to_path_buf());
+        Ok(sup)
+    }
+
+    /// The live frontier arbiter (maintained allocations, interactive
+    /// answers, merged selection).
+    pub fn arbiter(&self) -> &Arbiter {
+        &self.arbiter
+    }
+
+    /// Attach the reply registry interactive socket queries route
+    /// through; without one, in-stream query answers print to stderr.
+    pub fn set_interactive(&mut self, registry: Arc<InteractiveRegistry>) {
+        self.interactive = Some(registry);
+    }
+
+    /// Number of shards routed across the worker processes.
+    pub fn shards(&self) -> u32 {
+        self.map.shards()
+    }
+
+    /// Number of worker processes spawned per run.
+    pub fn workers(&self) -> u32 {
+        self.config.workers
+    }
+
+    pub(crate) fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Run the supervisor over a line-based input until EOF or a
+    /// `shutdown` control: spawn the workers, route every event to its
+    /// shard's hosting process, commit checkpoint generations, fail
+    /// over dead workers, and at the end drain the children and report
+    /// — with a `final_selection` byte-identical to the in-process
+    /// router's over the same events, crashes or not.
+    ///
+    /// `sink` receives the supervisor-side trace:
+    /// [`TraceEvent::Merge`] per arbiter fold and one
+    /// [`TraceEvent::Failover`] per restored shard. (Workers do not
+    /// trace their tuning runs — see [`run_worker`].)
+    ///
+    /// # Errors
+    ///
+    /// Returns spawn/protocol/checkpoint failures, and gives up when
+    /// repeated worker deaths exhaust the failover attempt budget.
+    pub fn run_reader<R: BufRead>(
+        &mut self,
+        input: R,
+        checkpoint: Option<&Path>,
+        sink: Option<&dyn TraceSink>,
+    ) -> Result<ServiceReport, String> {
+        let shards = self.map.shards();
+        let workers = self.config.workers as usize;
+        let board = StatusBoard::new(shards);
+        let committer =
+            checkpoint.map(|p| Committer::new(p, shards, &board));
+        crate::status::install_child_signal();
+
+        let shared = Shared {
+            outcomes: Mutex::new(BTreeMap::new()),
+            counts: Mutex::new(BTreeMap::new()),
+            pending: Mutex::new(HashMap::new()),
+            tails: Mutex::new((0..shards).map(|k| (k, VecDeque::new())).collect()),
+            failure: Mutex::new(None),
+            board: &board,
+            committer: committer.as_ref(),
+            arbiter: &self.arbiter,
+            sink,
+        };
+
+        // Fault-injection scoping: the supervisor reads the variables
+        // itself and passes them to exactly ONE child — the initial
+        // owner of the targeted shard. Every other child and every
+        // respawned replacement gets them stripped, otherwise the
+        // adopting survivor would inherit the fault and die in a loop.
+        let fault_kill_after = std::env::var("ISEL_FAULT_KILL_AFTER").ok();
+        let fault_kill_cp = std::env::var("ISEL_FAULT_KILL_AT_CHECKPOINT").ok();
+        let fault_shard: Option<u32> = [&fault_kill_after, &fault_kill_cp]
+            .into_iter()
+            .flatten()
+            .filter_map(|v| v.split_once(':').and_then(|(s, _)| s.trim().parse().ok()))
+            .next();
+        let fault_slot: Option<usize> = fault_shard.map(|k| (k as usize) % workers);
+
+        let schema = &self.schema;
+        let config = &self.config;
+        let map = &self.map;
+        let arbiter = &self.arbiter;
+        let interactive = self.interactive.clone();
+        let respawn = self.config.respawn;
+        let resume_generation = self.resume_generation;
+        let resume_manifest = self.resume_manifest.clone();
+        let barrier_every = self
+            .config
+            .checkpoint_every_epochs
+            .saturating_mul(self.config.epoch_events);
+        let start_routed = self.routed_lines;
+        let start_gen = self.next_generation;
+
+        let scope_result: Result<(u64, u64, Option<u64>), String> =
+            std::thread::scope(|s| {
+                let spawn_worker = |slot_idx: usize,
+                                   hello_shards: Vec<u32>,
+                                   with_fault: bool|
+                 -> Result<Slot, String> {
+                    let exe = std::env::current_exe()
+                        .map_err(|e| format!("locate worker executable: {e}"))?;
+                    let mut cmd = Command::new(exe);
+                    cmd.arg("worker")
+                        .stdin(Stdio::piped())
+                        .stdout(Stdio::piped())
+                        .env_remove("ISEL_FAULT_KILL_AFTER")
+                        .env_remove("ISEL_FAULT_KILL_AT_CHECKPOINT");
+                    if with_fault {
+                        if let Some(v) = &fault_kill_after {
+                            cmd.env("ISEL_FAULT_KILL_AFTER", v);
+                        }
+                        if let Some(v) = &fault_kill_cp {
+                            cmd.env("ISEL_FAULT_KILL_AT_CHECKPOINT", v);
+                        }
+                    }
+                    let mut child =
+                        cmd.spawn().map_err(|e| format!("spawn worker: {e}"))?;
+                    let mut stdin = child.stdin.take().expect("piped stdin");
+                    let stdout = child.stdout.take().expect("piped stdout");
+                    let eof = Arc::new(AtomicBool::new(false));
+                    {
+                        let eof = Arc::clone(&eof);
+                        let shared = &shared;
+                        s.spawn(move || collect(slot_idx, stdout, shared, &eof));
+                    }
+                    let hello = SupMsg::Hello {
+                        schema: Box::new(schema.clone()),
+                        config: Box::new(config.clone()),
+                        shards: hello_shards,
+                        manifest: checkpoint.map(|p| p.to_string_lossy().into_owned()),
+                    };
+                    if stdin.write_all(&sup_frame(&hello)?).is_err() {
+                        return Err("worker died during handshake".into());
+                    }
+                    Ok(Slot { child, stdin: Some(stdin), eof, current_shard: None, alive: true })
+                };
+
+                // Where a failed-over shard restores from: the last
+                // generation committed THIS run, else the resumed one.
+                // Returns the checkpoint *document*, not a path —
+                // [`Committer::read_committed`] snapshots generation
+                // and contents under one lock, because the file behind
+                // any path handed out here can be garbage-collected by
+                // a later commit before the adopter opens it.
+                let restore_source = |k: u32| -> Result<(u64, Option<String>), String> {
+                    if let (Some(c), Some(m)) = (committer.as_ref(), checkpoint) {
+                        if let Some((g, text)) = c.read_committed(|g| shard_file(m, k, g))? {
+                            return Ok((g, Some(text)));
+                        }
+                    }
+                    if let (Some(g), Some(m)) = (resume_generation, &resume_manifest) {
+                        // Resumed files predate this run; its committer
+                        // never deletes them, so a plain read is safe.
+                        let path = shard_file(m, k, g);
+                        let text = std::fs::read_to_string(&path)
+                            .map_err(|e| format!("read {}: {e}", path.display()))?;
+                        return Ok((g, Some(text)));
+                    }
+                    Ok((0, None))
+                };
+
+                // The failover budget is shared across *every*
+                // `do_failover` call and resets only on real progress
+                // (a fresh epoch outcome or a committed generation).
+                // A per-call counter would let a persistent fault — a
+                // worker that dies the same way every time it adopts a
+                // shard — cycle adopt → die forever, one death per
+                // call; consecutive deaths with nothing committed in
+                // between must instead exhaust the budget and abort.
+                let progress = || {
+                    board.epochs.load(Ordering::Relaxed)
+                        + committer.as_ref().map_or(0, |c| c.commits())
+                };
+                let death_streak = std::cell::Cell::new((progress(), 0usize));
+
+                // Restore every shard owned by a dead slot onto a
+                // survivor (or respawned replacement), replay its tail,
+                // then re-arm pending interactive queries. Loops until
+                // the topology is quiet; nested deaths re-enter the
+                // worklist, bounded by the attempt budget.
+                let do_failover = |slots: &mut Vec<Slot>,
+                                   owners: &mut Vec<usize>,
+                                   mut dead: Vec<usize>|
+                 -> Result<(), String> {
+                    loop {
+                        while let Some(d) = dead.pop() {
+                            let now = progress();
+                            let (seen, n) = death_streak.get();
+                            let n = if now != seen { 1 } else { n + 1 };
+                            death_streak.set((now, n));
+                            if n > 3 * slots.len() + 3 {
+                                return Err(
+                                    "giving up after repeated worker deaths without progress \
+                                     during failover"
+                                        .into(),
+                                );
+                            }
+                            if !slots[d].alive && !owners.contains(&d) {
+                                continue;
+                            }
+                            slots[d].alive = false;
+                            slots[d].stdin = None;
+                            slots[d].child.kill().ok();
+                            // Let the collector drain every buffered
+                            // message first: adopter publishes must not
+                            // overtake the dead worker's.
+                            let deadline = Instant::now() + Duration::from_secs(10);
+                            while !slots[d].eof.load(Ordering::Acquire)
+                                && Instant::now() < deadline
+                            {
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                            slots[d].child.wait().ok();
+
+                            let moved: Vec<u32> = owners
+                                .iter()
+                                .enumerate()
+                                .filter(|&(_, &o)| o == d)
+                                .map(|(k, _)| k as u32)
+                                .collect();
+                            if moved.is_empty() {
+                                continue;
+                            }
+                            let survivor = slots.iter().position(|s| s.alive);
+                            let target = match survivor {
+                                Some(t) if !respawn => t,
+                                _ => match spawn_worker(d, Vec::new(), false) {
+                                    Ok(slot) => {
+                                        slots[d] = slot;
+                                        board.restarts.fetch_add(1, Ordering::Relaxed);
+                                        d
+                                    }
+                                    Err(e) => match survivor {
+                                        Some(t) => t,
+                                        None => return Err(e),
+                                    },
+                                },
+                            };
+                            // Reassign ownership up front: if the target
+                            // dies mid-restore, its own failover re-moves
+                            // every shard, including not-yet-restored ones.
+                            for &k in &moved {
+                                owners[k as usize] = target;
+                            }
+                            let mut target_down = false;
+                            for &k in &moved {
+                                let t0 = Instant::now();
+                                let mut replayed = 0u64;
+                                let (generation, bytes) = {
+                                    // The restore snapshot and the tail
+                                    // must be read under ONE tails lock:
+                                    // a commit completes first and
+                                    // truncates the tails second, and
+                                    // landing between the two would pair
+                                    // a generation-g checkpoint with a
+                                    // pre-g tail — replaying events the
+                                    // checkpoint already contains. (The
+                                    // committer lock nests inside; its
+                                    // callers never hold it while taking
+                                    // the tails lock.)
+                                    let tails =
+                                        shared.tails.lock().expect("tails lock poisoned");
+                                    let (generation, data) = restore_source(k)?;
+                                    let mut bytes =
+                                        sup_frame(&SupMsg::Adopt { shard: k, data })?;
+                                    bytes.extend(sup_frame(&SupMsg::Shard { shard: k })?);
+                                    let tail = &tails[&k];
+                                    // If that race did hit, generation g's
+                                    // barrier entry is still in the tail;
+                                    // skip through it ourselves.
+                                    let skip = tail
+                                        .iter()
+                                        .position(|e| {
+                                            matches!(e, TailEntry::Barrier(g) if *g == generation)
+                                        })
+                                        .map_or(0, |p| p + 1);
+                                    for entry in tail.iter().skip(skip) {
+                                        match entry {
+                                            TailEntry::Line(l) => {
+                                                bytes.extend(raw_frame(l));
+                                                replayed += 1;
+                                            }
+                                            TailEntry::Barrier(g) => {
+                                                bytes.extend(sup_frame(&SupMsg::Barrier {
+                                                    generation: *g,
+                                                    shards: Some(vec![k]),
+                                                })?);
+                                            }
+                                        }
+                                    }
+                                    (generation, bytes)
+                                };
+                                if !write_slot(&mut slots[target], &bytes) {
+                                    target_down = true;
+                                    break;
+                                }
+                                slots[target].current_shard = Some(k);
+                                board.failovers.fetch_add(1, Ordering::Relaxed);
+                                if let Some(sink) = sink {
+                                    sink.record(TraceEvent::Failover {
+                                        shard: k,
+                                        generation,
+                                        replayed,
+                                        adopted_by: target as u32,
+                                        micros: t0.elapsed().as_micros() as u64,
+                                    });
+                                }
+                            }
+                            if target_down {
+                                dead.push(target);
+                            }
+                        }
+                        // Re-arm pending interactive queries under the
+                        // new topology: every live worker must ack again
+                        // (workers ack every Query they see, so the
+                        // at-least-once re-send is safe).
+                        let live: std::collections::HashSet<usize> = slots
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, s)| s.alive)
+                            .map(|(i, _)| i)
+                            .collect();
+                        let ids: Vec<u64> = {
+                            let mut pending =
+                                shared.pending.lock().expect("pending lock poisoned");
+                            for p in pending.values_mut() {
+                                p.waiting.clone_from(&live);
+                            }
+                            pending.keys().copied().collect()
+                        };
+                        for id in &ids {
+                            let frame = sup_frame(&SupMsg::Query { id: *id })?;
+                            for (i, slot) in slots.iter_mut().enumerate() {
+                                if slot.alive && !write_slot(slot, &frame) {
+                                    dead.push(i);
+                                }
+                            }
+                        }
+                        if dead.is_empty() {
+                            return Ok(());
+                        }
+                    }
+                };
+
+                let sweep = |slots: &mut Vec<Slot>,
+                             owners: &mut Vec<usize>|
+                 -> Result<(), String> {
+                    let dead: Vec<usize> = slots
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, sl)| sl.alive && sl.eof.load(Ordering::Acquire))
+                        .map(|(i, _)| i)
+                        .collect();
+                    if dead.is_empty() {
+                        Ok(())
+                    } else {
+                        do_failover(slots, owners, dead)
+                    }
+                };
+
+                // Route one event line: append to the shard's tail
+                // FIRST (a line lost in a dying pipe is then still
+                // replayed), switch the worker's current shard if
+                // needed, write, and fail over on a broken pipe.
+                let route = |slots: &mut Vec<Slot>,
+                             owners: &mut Vec<usize>,
+                             shard: u32,
+                             line: &str|
+                 -> Result<(), String> {
+                    shared
+                        .tails
+                        .lock()
+                        .expect("tails lock poisoned")
+                        .get_mut(&shard)
+                        .expect("tail exists for every shard")
+                        .push_back(TailEntry::Line(line.to_owned()));
+                    let idx = owners[shard as usize];
+                    let slot = &mut slots[idx];
+                    let mut bytes = Vec::new();
+                    if slot.current_shard != Some(shard) {
+                        bytes.extend(sup_frame(&SupMsg::Shard { shard })?);
+                        slot.current_shard = Some(shard);
+                    }
+                    bytes.extend(raw_frame(line));
+                    if slot.alive && write_slot(slot, &bytes) {
+                        Ok(())
+                    } else {
+                        // Do NOT retry the write: the line is in the
+                        // tail, and the failover replay delivers it.
+                        do_failover(slots, owners, vec![idx])
+                    }
+                };
+
+                let barrier = |slots: &mut Vec<Slot>,
+                               owners: &mut Vec<usize>,
+                               gen: u64,
+                               routed: u64|
+                 -> Result<(), String> {
+                    let Some(c) = committer.as_ref() else { return Ok(()) };
+                    c.open(gen, routed);
+                    {
+                        let mut tails = shared.tails.lock().expect("tails lock poisoned");
+                        for tail in tails.values_mut() {
+                            tail.push_back(TailEntry::Barrier(gen));
+                        }
+                    }
+                    let frame = sup_frame(&SupMsg::Barrier { generation: gen, shards: None })?;
+                    let mut dead = Vec::new();
+                    for (i, slot) in slots.iter_mut().enumerate() {
+                        if slot.alive && !write_slot(slot, &frame) {
+                            dead.push(i);
+                        }
+                    }
+                    if dead.is_empty() {
+                        Ok(())
+                    } else {
+                        do_failover(slots, owners, dead)
+                    }
+                };
+
+                let enqueue_query = |slots: &mut Vec<Slot>,
+                                     owners: &mut Vec<usize>,
+                                     id: u64,
+                                     c: Control,
+                                     reply: Option<Sender<String>>|
+                 -> Result<(), String> {
+                    let waiting: std::collections::HashSet<usize> = slots
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, sl)| sl.alive)
+                        .map(|(i, _)| i)
+                        .collect();
+                    shared
+                        .pending
+                        .lock()
+                        .expect("pending lock poisoned")
+                        .insert(id, PendingInteractive { control: c, waiting, reply });
+                    let frame = sup_frame(&SupMsg::Query { id })?;
+                    let mut dead = Vec::new();
+                    for (i, slot) in slots.iter_mut().enumerate() {
+                        if slot.alive && !write_slot(slot, &frame) {
+                            dead.push(i);
+                        }
+                    }
+                    if dead.is_empty() {
+                        Ok(())
+                    } else {
+                        do_failover(slots, owners, dead)
+                    }
+                };
+
+                // --- Spawn the fleet and restore resumed state.
+                let mut slots: Vec<Slot> = Vec::with_capacity(workers);
+                for w in 0..workers {
+                    let hosted: Vec<u32> =
+                        (0..shards).filter(|k| (*k as usize) % workers == w).collect();
+                    slots.push(spawn_worker(w, hosted, fault_slot == Some(w))?);
+                }
+                let mut owners: Vec<usize> =
+                    (0..shards).map(|k| (k as usize) % workers).collect();
+                if let (Some(gen), Some(m)) = (resume_generation, &resume_manifest) {
+                    for k in 0..shards {
+                        let path = shard_file(m, k, gen);
+                        let text = std::fs::read_to_string(&path)
+                            .map_err(|e| format!("read {}: {e}", path.display()))?;
+                        let frame =
+                            sup_frame(&SupMsg::Adopt { shard: k, data: Some(text) })?;
+                        let idx = owners[k as usize];
+                        if !write_slot(&mut slots[idx], &frame) {
+                            do_failover(&mut slots, &mut owners, vec![idx])?;
+                        }
+                    }
+                }
+
+                let mut routed = start_routed;
+                let mut next_gen = start_gen;
+                let mut next_query_id = 0u64;
+                // Tables of every binary `Define` seen, by stream-global
+                // template id: events re-render as canonical JSONL
+                // through this dictionary, so worker streams (and
+                // therefore failover tails) carry no dictionary state.
+                let mut templates: Vec<(u16, QueryKind, Vec<u32>)> = Vec::new();
+                const INVALID_LINE: &str = "{\"invalid\":\"undecodable binary item\"}";
+
+                for record in RecordIter::new(input) {
+                    if let Some(e) = shared.take_failure() {
+                        return Err(e);
+                    }
+                    if take_child_signal() {
+                        // Reaping happens inside the failover; the
+                        // signal just prompts the sweep.
+                    }
+                    sweep(&mut slots, &mut owners)?;
+                    if take_status_signal() {
+                        eprintln!(
+                            "{}",
+                            board.line(
+                                shared.dropped_total(),
+                                &vec![0; shards as usize],
+                                &arbiter.allocations()
+                            )
+                        );
+                    }
+                    let record = match record {
+                        Record::Item(WireItem::Tagged { item, .. }) => Record::Item(*item),
+                        r => r,
+                    };
+                    let record = match record {
+                        Record::Item(WireItem::Raw(bytes)) => {
+                            Record::Line(String::from_utf8_lossy(&bytes).into_owned())
+                        }
+                        r => r,
+                    };
+                    let mut did_route = false;
+                    match record {
+                        Record::Line(line) => {
+                            let trimmed = line.trim();
+                            if trimmed.is_empty() {
+                                continue;
+                            }
+                            match classify_line(trimmed) {
+                                LineClass::Table(t) => {
+                                    route(&mut slots, &mut owners, map.shard_of(t), trimmed)?;
+                                    did_route = true;
+                                }
+                                LineClass::Control => match parse_line(trimmed, schema) {
+                                    Ok(InputLine::Control(Control::Shutdown)) => break,
+                                    Ok(InputLine::Control(Control::Checkpoint)) => {
+                                        if committer.is_some() {
+                                            barrier(&mut slots, &mut owners, next_gen, routed)?;
+                                            next_gen += 1;
+                                        }
+                                    }
+                                    Ok(InputLine::Control(
+                                        c @ (Control::Status
+                                        | Control::Whatif { .. }
+                                        | Control::Tenant { .. }
+                                        | Control::Budget { .. }),
+                                    )) => {
+                                        let reply = interactive.as_ref().and_then(|reg| {
+                                            parse_token(trimmed).and_then(|t| reg.take(t))
+                                        });
+                                        let id = next_query_id;
+                                        next_query_id += 1;
+                                        enqueue_query(
+                                            &mut slots,
+                                            &mut owners,
+                                            id,
+                                            c,
+                                            reply,
+                                        )?;
+                                    }
+                                    Ok(InputLine::Query(_)) | Err(_) => {
+                                        route(
+                                            &mut slots,
+                                            &mut owners,
+                                            map.opaque_shard(),
+                                            trimmed,
+                                        )?;
+                                        did_route = true;
+                                    }
+                                },
+                                LineClass::Opaque => {
+                                    route(&mut slots, &mut owners, map.opaque_shard(), trimmed)?;
+                                    did_route = true;
+                                }
+                            }
+                        }
+                        Record::Item(WireItem::Define { table, kind, attrs }) => {
+                            // Defines never route or count (mirrors the
+                            // in-process router): the dictionary lives
+                            // here, and events re-render through it.
+                            templates.push((table, kind, attrs));
+                        }
+                        Record::Item(WireItem::Event { template, frequency }) => {
+                            match usize::try_from(template)
+                                .ok()
+                                .and_then(|t| templates.get(t))
+                            {
+                                Some((t, kind, attrs)) => {
+                                    let line =
+                                        render_query(None, *t, attrs, frequency, *kind);
+                                    route(&mut slots, &mut owners, map.shard_of(*t), &line)?;
+                                }
+                                None => {
+                                    route(
+                                        &mut slots,
+                                        &mut owners,
+                                        map.opaque_shard(),
+                                        INVALID_LINE,
+                                    )?;
+                                }
+                            }
+                            did_route = true;
+                        }
+                        Record::Item(WireItem::Control(Control::Shutdown)) => break,
+                        Record::Item(WireItem::Control(Control::Checkpoint)) => {
+                            if committer.is_some() {
+                                barrier(&mut slots, &mut owners, next_gen, routed)?;
+                                next_gen += 1;
+                            }
+                        }
+                        Record::Item(WireItem::Control(
+                            c @ (Control::Status
+                            | Control::Whatif { .. }
+                            | Control::Tenant { .. }
+                            | Control::Budget { .. }),
+                        )) => {
+                            let id = next_query_id;
+                            next_query_id += 1;
+                            enqueue_query(&mut slots, &mut owners, id, c, None)?;
+                        }
+                        Record::Item(_) => {
+                            route(&mut slots, &mut owners, map.opaque_shard(), INVALID_LINE)?;
+                            did_route = true;
+                        }
+                        Record::Corrupt => {
+                            route(&mut slots, &mut owners, map.opaque_shard(), INVALID_LINE)?;
+                            did_route = true;
+                        }
+                    }
+                    if did_route {
+                        routed += 1;
+                        if barrier_every > 0 && routed.is_multiple_of(barrier_every) {
+                            barrier(&mut slots, &mut owners, next_gen, routed)?;
+                            next_gen += 1;
+                        }
+                    }
+                }
+
+                // --- Quiesce: an in-band liveness barrier. The routing
+                // loop only notices a death while it still has bytes to
+                // write, and a small stream fits whole into the pipe
+                // buffers — so a worker can die holding routed events it
+                // never ingested, strictly *after* routing ends. Every
+                // live worker must ack a final Query (acks are in-band,
+                // so an ack proves everything routed before it was
+                // consumed) before the fleet may retire; a worker that
+                // dies instead is failed over here, and its tail replay
+                // re-feeds exactly the unacked events. `Shutdown` is the
+                // sentinel control the arbiter answers with silence.
+                {
+                    // The last id ever issued — no increment needed.
+                    let qid = next_query_id;
+                    enqueue_query(&mut slots, &mut owners, qid, Control::Shutdown, None)?;
+                    let deadline = Instant::now() + Duration::from_secs(600);
+                    loop {
+                        if let Some(e) = shared.take_failure() {
+                            return Err(e);
+                        }
+                        let done = !shared
+                            .pending
+                            .lock()
+                            .expect("pending lock poisoned")
+                            .contains_key(&qid);
+                        if done {
+                            break;
+                        }
+                        sweep(&mut slots, &mut owners)?;
+                        if Instant::now() > deadline {
+                            return Err(
+                                "timed out waiting for workers to quiesce at shutdown".into()
+                            );
+                        }
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                }
+
+                // --- Shutdown: final generation, then drain the fleet.
+                let mut final_committed = None;
+                if committer.is_some() {
+                    barrier(&mut slots, &mut owners, next_gen, routed)?;
+                    let final_gen = next_gen;
+                    next_gen += 1;
+                    // Wait out the final commit, absorbing deaths: a
+                    // dead worker's tail ends with the scoped final
+                    // barrier, so its adopter completes the generation.
+                    let deadline = Instant::now() + Duration::from_secs(600);
+                    loop {
+                        if let Some(e) = shared.take_failure() {
+                            return Err(e);
+                        }
+                        if committer.as_ref().and_then(|c| c.committed()) == Some(final_gen)
+                        {
+                            break;
+                        }
+                        sweep(&mut slots, &mut owners)?;
+                        if Instant::now() > deadline {
+                            return Err(
+                                "timed out waiting for the final checkpoint generation"
+                                    .into(),
+                            );
+                        }
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    final_committed = Some(final_gen);
+                }
+                // Everything reportable is already in: outcomes and
+                // publishes stream ahead of the final barrier, and with
+                // checkpointing the final shard files carry exact
+                // counters. Shutdown is therefore best-effort.
+                let bye = sup_frame(&SupMsg::Shutdown)?;
+                for slot in &mut slots {
+                    if slot.alive {
+                        let _ = write_slot(slot, &bye);
+                    }
+                    slot.stdin = None;
+                }
+                for slot in &mut slots {
+                    slot.child.wait().ok();
+                }
+                Ok((routed, next_gen, final_committed))
+            });
+
+        let (routed, next_gen, final_committed) = scope_result?;
+        self.routed_lines = routed;
+        self.next_generation = next_gen;
+        if let Some(e) = shared.take_failure() {
+            return Err(e);
+        }
+        // With a committed final generation, the shard files carry
+        // exact counters — authoritative even if a worker died between
+        // the commit and its Final report.
+        if let (Some(gen), Some(m)) = (final_committed, checkpoint) {
+            for k in 0..shards {
+                if let Ok(cp) = ShardCheckpoint::load(&shard_file(m, k, gen)) {
+                    shared.set_counts(k, cp.ingested, cp.invalid, cp.dropped);
+                }
+            }
+        }
+        let epochs: Vec<EpochOutcome> = shared
+            .outcomes
+            .into_inner()
+            .expect("outcomes lock poisoned")
+            .into_values()
+            .collect();
+        let counts = shared.counts.into_inner().expect("counts lock poisoned");
+        let (ingested, invalid, dropped) = counts
+            .values()
+            .fold((0u64, 0u64, 0u64), |(i, v, d), &(ci, cv, cd)| {
+                (i + ci, v + cv, d + cd)
+            });
+        Ok(ServiceReport {
+            epochs,
+            ingested,
+            invalid,
+            dropped,
+            queue_high_water: 0,
+            checkpoints_written: committer.as_ref().map_or(0, Committer::commits),
+            final_selection: self.arbiter.merged_selection(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DriftThresholds;
+    use isel_workload::synthetic::{self, SyntheticConfig};
+    use isel_workload::Workload;
+    use std::io::Cursor;
+
+    fn workload() -> Workload {
+        synthetic::generate(&SyntheticConfig {
+            tables: 2,
+            attrs_per_table: 6,
+            queries_per_table: 6,
+            rows_base: 40_000,
+            max_query_width: 3,
+            update_fraction: 0.1,
+            seed: 41,
+        })
+    }
+
+    fn config() -> ServiceConfig {
+        ServiceConfig {
+            epoch_events: 8,
+            window_epochs: 2,
+            max_templates: 64,
+            drift: DriftThresholds::always_adapt(),
+            shards: 1,
+            workers: 1,
+            ..ServiceConfig::default()
+        }
+    }
+
+    /// `n` copies of one table-0 query as canonical event lines, so
+    /// exactly `n / epoch_events` epochs seal on that group.
+    fn table0_lines(w: &Workload, n: usize) -> Vec<String> {
+        let q = w
+            .queries()
+            .iter()
+            .find(|q| q.table().0 == 0 && !q.is_update())
+            .expect("synthetic workload has table-0 selects");
+        let attrs: Vec<String> = q.attrs().iter().map(|a| a.0.to_string()).collect();
+        let line = format!("{{\"table\":0,\"attrs\":[{}]}}", attrs.join(","));
+        vec![line; n]
+    }
+
+    fn hello(w: &Workload, shards: Vec<u32>, manifest: Option<String>) -> Vec<u8> {
+        sup_frame(&SupMsg::Hello {
+            schema: Box::new(w.schema().clone()),
+            config: Box::new(config()),
+            shards,
+            manifest,
+        })
+        .unwrap()
+    }
+
+    /// Drive `run_worker_io` over an in-memory stream and parse its
+    /// replies.
+    fn drive(frames: &[Vec<u8>]) -> Result<Vec<WorkerMsg>, String> {
+        let input: Vec<u8> = frames.concat();
+        let mut out = Vec::new();
+        run_worker_io(Cursor::new(input), &mut out)?;
+        String::from_utf8(out)
+            .map_err(|e| e.to_string())?
+            .lines()
+            .map(|l| serde_json::from_str::<WorkerMsg>(l).map_err(|e| e.to_string()))
+            .collect()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("isel_process_tests").join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn sup_and_worker_msgs_round_trip() {
+        let msgs = [
+            SupMsg::Shard { shard: 3 },
+            SupMsg::Barrier { generation: 7, shards: Some(vec![1, 2]) },
+            SupMsg::Query { id: 11 },
+            SupMsg::Adopt { shard: 0, data: Some("{\"v\":1}".into()) },
+            SupMsg::Shutdown,
+        ];
+        for m in msgs {
+            let json = serde_json::to_string(&m).unwrap();
+            let back: SupMsg = serde_json::from_str(&json).unwrap();
+            assert_eq!(format!("{m:?}"), format!("{back:?}"));
+        }
+        let m = WorkerMsg::Final { shard: 2, ingested: 5, invalid: 1, dropped: 0 };
+        let json = serde_json::to_string(&m).unwrap();
+        let back: WorkerMsg = serde_json::from_str(&json).unwrap();
+        assert_eq!(format!("{m:?}"), format!("{back:?}"));
+    }
+
+    #[test]
+    fn tail_truncates_through_the_committed_barrier() {
+        let mut tail: VecDeque<TailEntry> = VecDeque::new();
+        tail.push_back(TailEntry::Line("a".into()));
+        tail.push_back(TailEntry::Barrier(0));
+        tail.push_back(TailEntry::Line("b".into()));
+        tail.push_back(TailEntry::Barrier(1));
+        tail.push_back(TailEntry::Line("c".into()));
+        truncate_tail(&mut tail, 99); // unknown generation: no-op
+        assert_eq!(tail.len(), 5);
+        truncate_tail(&mut tail, 1);
+        assert_eq!(tail.len(), 1);
+        assert!(matches!(&tail[0], TailEntry::Line(l) if l == "c"));
+    }
+
+    #[test]
+    fn worker_requires_hello_first() {
+        let frames = [sup_frame(&SupMsg::Shard { shard: 0 }).unwrap()];
+        let err = drive(&frames).unwrap_err();
+        assert!(err.contains("expected Hello"), "{err}");
+    }
+
+    #[test]
+    fn worker_seals_epochs_and_reports_final_counters() {
+        let w = workload();
+        let mut frames = vec![hello(&w, vec![0], None)];
+        frames.push(sup_frame(&SupMsg::Shard { shard: 0 }).unwrap());
+        for line in table0_lines(&w, 16) {
+            frames.push(raw_frame(&line));
+        }
+        frames.push(raw_frame("garbage"));
+        frames.push(sup_frame(&SupMsg::Query { id: 4 }).unwrap());
+        frames.push(sup_frame(&SupMsg::Shutdown).unwrap());
+        let msgs = drive(&frames).unwrap();
+        assert!(matches!(msgs[0], WorkerMsg::Ready));
+        let outcomes: Vec<_> = msgs
+            .iter()
+            .filter(|m| matches!(m, WorkerMsg::Outcome { .. }))
+            .collect();
+        assert_eq!(outcomes.len(), 2, "16 events / 8 per epoch on one group");
+        assert!(
+            msgs.iter().any(|m| matches!(m, WorkerMsg::Ack { id: 4, .. })),
+            "query barrier acknowledged"
+        );
+        assert!(
+            msgs.iter().any(
+                |m| matches!(m, WorkerMsg::Final { shard: 0, ingested: 16, invalid: 1, .. })
+            ),
+            "final counters: {msgs:?}"
+        );
+    }
+
+    #[test]
+    fn adopted_checkpoint_continues_counts() {
+        let w = workload();
+        let manifest = tmp("adopt").join("manifest.json");
+        let manifest_s = manifest.to_string_lossy().into_owned();
+
+        let mut frames = vec![hello(&w, vec![0], Some(manifest_s))];
+        frames.push(sup_frame(&SupMsg::Shard { shard: 0 }).unwrap());
+        for line in table0_lines(&w, 8) {
+            frames.push(raw_frame(&line));
+        }
+        frames.push(sup_frame(&SupMsg::Barrier { generation: 0, shards: None }).unwrap());
+        frames.push(sup_frame(&SupMsg::Shutdown).unwrap());
+        let msgs = drive(&frames).unwrap();
+        let file = msgs
+            .iter()
+            .find_map(|m| match m {
+                WorkerMsg::CheckpointDone { shard: 0, generation: 0, file } => {
+                    Some(file.clone())
+                }
+                _ => None,
+            })
+            .expect("checkpoint written");
+
+        // A second worker adopts the checkpoint document and continues
+        // where the first one stopped: absolute counters carry over.
+        let text = std::fs::read_to_string(&file).unwrap();
+        let mut frames = vec![hello(&w, vec![], None)];
+        frames.push(sup_frame(&SupMsg::Adopt { shard: 0, data: Some(text) }).unwrap());
+        frames.push(sup_frame(&SupMsg::Shard { shard: 0 }).unwrap());
+        for line in table0_lines(&w, 8) {
+            frames.push(raw_frame(&line));
+        }
+        frames.push(sup_frame(&SupMsg::Shutdown).unwrap());
+        let msgs = drive(&frames).unwrap();
+        assert!(
+            msgs.iter().any(
+                |m| matches!(m, WorkerMsg::Final { shard: 0, ingested: 16, invalid: 0, .. })
+            ),
+            "adopted shard continued the count: {msgs:?}"
+        );
+        let outcomes: Vec<_> = msgs
+            .iter()
+            .filter_map(|m| match m {
+                WorkerMsg::Outcome { outcome, .. } => Some(outcome.epoch),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(outcomes, vec![1], "second epoch seals on the adopted window");
+    }
+}

@@ -322,6 +322,9 @@ pub fn interpret<'d>(
             String::from_utf8_lossy(bytes).into_owned(),
         ))),
         WireItem::Tagged { item, .. } => interpret(dict, schema, item),
+        // Supervisor messages are not events; in an event stream one
+        // counts as a single invalid input.
+        WireItem::Sup(_) => Err(InvalidTemplate),
     }
 }
 

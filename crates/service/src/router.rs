@@ -51,6 +51,9 @@
 //! query answers from the arbiter, so the reply deterministically
 //! reflects exactly the events preceding the query — again without
 //! re-running selection (asserted via trace events in the tests).
+//! `{"control":"budget","budget":B}` rides the same barrier but
+//! *mutates*: it re-anchors the maintained merge at the new global
+//! budget, so every later publish folds into allocations under `B`.
 
 use crate::arbiter::{global_budget, Arbiter, InteractiveRegistry, PendingQuery};
 use crate::checkpoint::{
@@ -102,14 +105,16 @@ enum ShardItem {
     Query(Arc<PendingQuery>),
 }
 
-/// One table group's live tuning state.
-struct GroupState {
-    tuner: Tuner,
-    window: EpochWindow,
+/// One table group's live tuning state. Shared with the multi-process
+/// supervisor's worker loop ([`crate::process`]), which hosts groups in
+/// child processes exactly as a shard thread does here.
+pub(crate) struct GroupState {
+    pub(crate) tuner: Tuner,
+    pub(crate) window: EpochWindow,
 }
 
 impl GroupState {
-    fn fresh(schema: &Schema, config: &ServiceConfig, table: TableId) -> Self {
+    pub(crate) fn fresh(schema: &Schema, config: &ServiceConfig, table: TableId) -> Self {
         Self {
             tuner: Tuner::for_table(schema, config.clone(), table),
             window: EpochWindow::new(
@@ -139,8 +144,10 @@ struct CommitterInner {
 }
 
 /// Counts per-generation shard-file completions and commits the
-/// manifest once a generation is complete on every shard.
-struct Committer<'a> {
+/// manifest once a generation is complete on every shard. Also used by
+/// the multi-process supervisor ([`crate::process`]), which reports
+/// `done` on behalf of worker processes.
+pub(crate) struct Committer<'a> {
     manifest_path: &'a Path,
     shards: u32,
     board: &'a StatusBoard,
@@ -148,7 +155,7 @@ struct Committer<'a> {
 }
 
 impl<'a> Committer<'a> {
-    fn new(manifest_path: &'a Path, shards: u32, board: &'a StatusBoard) -> Self {
+    pub(crate) fn new(manifest_path: &'a Path, shards: u32, board: &'a StatusBoard) -> Self {
         Self {
             manifest_path,
             shards,
@@ -164,7 +171,7 @@ impl<'a> Committer<'a> {
 
     /// Register a generation the router is about to inject barriers for.
     /// Must be called before any worker can report it done.
-    fn open(&self, generation: u64, routed_lines: u64) {
+    pub(crate) fn open(&self, generation: u64, routed_lines: u64) {
         self.inner
             .lock()
             .expect("committer lock poisoned")
@@ -173,15 +180,23 @@ impl<'a> Committer<'a> {
     }
 
     /// A worker finished writing its shard file for `generation`. The
-    /// last worker in triggers the manifest commit.
-    fn done(&self, shard: u32, generation: u64, file: PathBuf) -> Result<(), String> {
+    /// last worker in triggers the manifest commit; returns `true` iff
+    /// this call committed the generation's manifest (the supervisor
+    /// truncates journal tails on that edge). Idempotent for unknown
+    /// and superseded generations.
+    pub(crate) fn done(
+        &self,
+        shard: u32,
+        generation: u64,
+        file: PathBuf,
+    ) -> Result<bool, String> {
         let mut g = self.inner.lock().expect("committer lock poisoned");
         let Some(pending) = g.pending.get_mut(&generation) else {
-            return Ok(()); // unknown generation: nothing to commit
+            return Ok(false); // unknown generation: nothing to commit
         };
         pending.files.insert(shard, file);
         if pending.files.len() as u32 != self.shards {
-            return Ok(());
+            return Ok(false);
         }
         let complete = g.pending.remove(&generation).expect("entry just updated");
         if g.committed.is_some_and(|c| generation <= c) {
@@ -189,7 +204,7 @@ impl<'a> Committer<'a> {
             for f in complete.files.values() {
                 std::fs::remove_file(f).ok();
             }
-            return Ok(());
+            return Ok(false);
         }
         let manifest = Manifest {
             version: CHECKPOINT_VERSION,
@@ -208,9 +223,9 @@ impl<'a> Committer<'a> {
                 .collect(),
         };
         manifest.save(self.manifest_path)?;
-        // The new generation is durable; older files are now garbage.
-        // This includes generations whose barrier was evicted on some
-        // shard (drop-oldest overload) and that can never complete.
+        // The new generation is durable; older files are now garbage —
+        // including generations whose barrier was evicted on some shard
+        // (drop-oldest overload) and that can never complete.
         let stale: Vec<PathBuf> = std::mem::take(&mut g.live_files);
         let dead_gens: Vec<u64> =
             g.pending.range(..generation).map(|(&gen, _)| gen).collect();
@@ -228,11 +243,38 @@ impl<'a> Committer<'a> {
         g.committed = Some(generation);
         g.commits += 1;
         self.board.checkpoints.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        Ok(true)
     }
 
-    fn commits(&self) -> u64 {
+    pub(crate) fn commits(&self) -> u64 {
         self.inner.lock().expect("committer lock poisoned").commits
+    }
+
+    /// Highest committed generation so far, if any.
+    pub(crate) fn committed(&self) -> Option<u64> {
+        self.inner.lock().expect("committer lock poisoned").committed
+    }
+
+    /// Snapshot one shard's checkpoint *document* at the committed
+    /// generation: both the generation and the file contents are read
+    /// under the committer lock, so a concurrent [`Committer::done`]
+    /// cannot delete the file between choosing it and reading it. The
+    /// multi-process supervisor restores failed-over shards from this
+    /// snapshot — a dead worker may have pre-reported enough future
+    /// generations for *several* commits to land while an adoption is
+    /// in flight, so any path handed out here could be garbage by the
+    /// time a worker opened it. `file` maps the committed generation to
+    /// the shard's file path.
+    pub(crate) fn read_committed(
+        &self,
+        file: impl FnOnce(u64) -> PathBuf,
+    ) -> Result<Option<(u64, String)>, String> {
+        let g = self.inner.lock().expect("committer lock poisoned");
+        let Some(generation) = g.committed else { return Ok(None) };
+        let path = file(generation);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("read {}: {e}", path.display()))?;
+        Ok(Some((generation, text)))
     }
 }
 
@@ -550,7 +592,9 @@ impl Router {
                                         }
                                     }
                                     Ok(InputLine::Control(
-                                        c @ (Control::Whatif { .. } | Control::Tenant { .. }),
+                                        c @ (Control::Whatif { .. }
+                                        | Control::Tenant { .. }
+                                        | Control::Budget { .. }),
                                     )) => {
                                         let reply = interactive.as_ref().and_then(|reg| {
                                             parse_token(trimmed).and_then(|t| reg.take(t))
@@ -612,7 +656,9 @@ impl Router {
                             status(&board_ref.line(dropped(), &depths(), &arbiter_ref.allocations()));
                         }
                         Record::Item(WireItem::Control(
-                            c @ (Control::Whatif { .. } | Control::Tenant { .. }),
+                            c @ (Control::Whatif { .. }
+                            | Control::Tenant { .. }
+                            | Control::Budget { .. }),
                         )) => enqueue_query(c, None),
                         // Tagged/Raw were unwrapped above; anything else
                         // would be a decoder invariant violation — count
@@ -866,7 +912,7 @@ fn shard_worker(
                 };
                 let file = shard_file(path, ctx.shard, generation);
                 match cp.save(&file).and_then(|()| committer.done(ctx.shard, generation, file)) {
-                    Ok(()) => {}
+                    Ok(_) => {}
                     Err(e) => failure = Some(e),
                 }
             }

@@ -41,6 +41,7 @@ use crate::daemon::{ingest_one, Daemon, Ingest, OverloadPolicy, ServiceReport, W
 use crate::event::{parse_line, Control, InputLine};
 use crate::frame::WireItem;
 use crate::journal::{render_item_line, JournalConfig, JournalWriter};
+use crate::process::Supervisor;
 use crate::queue::BoundedQueue;
 use crate::records::{DecodeDict, Record, RecordIter};
 use crate::router::Router;
@@ -242,8 +243,10 @@ fn serve_connection(ctx: &ConnCtx<'_>, stream: UnixStream, conn: u64) {
         match verdict {
             Ingest::Continue => {}
             Ingest::Status => {
-                if let Some(w) = writer.as_mut() {
-                    let _ = writeln!(
+                // A peer that hung up mid-reply is counted, never fatal:
+                // the next read sees the disconnect and ends the handler.
+                let sent = writer.as_mut().is_some_and(|w| {
+                    writeln!(
                         w,
                         "{}",
                         ctx.board.line(
@@ -251,7 +254,11 @@ fn serve_connection(ctx: &ConnCtx<'_>, stream: UnixStream, conn: u64) {
                             &[ctx.queue.len() as u64],
                             &ctx.arbiter.allocations(),
                         )
-                    );
+                    )
+                    .is_ok()
+                });
+                if !sent {
+                    ctx.board.reply_errors.fetch_add(1, Ordering::Relaxed);
                 }
             }
             Ingest::Interactive(_) => {
@@ -260,8 +267,14 @@ fn serve_connection(ctx: &ConnCtx<'_>, stream: UnixStream, conn: u64) {
                 // (the sender is dropped with the queue) and is skipped.
                 if let Some(rx) = pending {
                     if let Ok(reply) = rx.recv() {
-                        if let Some(w) = writer.as_mut() {
-                            let _ = writeln!(w, "{reply}");
+                        let sent = writer
+                            .as_mut()
+                            .is_some_and(|w| writeln!(w, "{reply}").is_ok());
+                        if !sent {
+                            // The client asked and left: count it, keep
+                            // serving (the daemon's answer already
+                            // reflects the stream — nothing to undo).
+                            ctx.board.reply_errors.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                 }
@@ -356,13 +369,19 @@ pub fn run_socket_router(
     router.set_interactive(Arc::clone(&registry));
     let schema = router.schema().clone();
     let stop = AtomicBool::new(false);
+    let reply_errors = AtomicU64::new(0);
     let (tx, rx) = std::sync::mpsc::channel::<String>();
+    let conn_shared = ConnShared {
+        schema: &schema,
+        registry: &registry,
+        journal: journal.as_ref(),
+        stop: &stop,
+        reply_errors: &reply_errors,
+    };
 
     let result = std::thread::scope(|s| {
         let stop_ref = &stop;
-        let registry_ref = &*registry;
-        let journal_ref = journal.as_ref();
-        let schema_ref = &schema;
+        let shared_ref = &conn_shared;
         s.spawn(move || {
             let conn_ids = AtomicU64::new(0);
             while !stop_ref.load(Ordering::Relaxed) {
@@ -371,15 +390,7 @@ pub fn run_socket_router(
                         let conn = conn_ids.fetch_add(1, Ordering::Relaxed) + 1;
                         let tx = tx.clone();
                         s.spawn(move || {
-                            serve_router_connection(
-                                schema_ref,
-                                &tx,
-                                registry_ref,
-                                journal_ref,
-                                stop_ref,
-                                stream,
-                                conn,
-                            );
+                            serve_router_connection(shared_ref, &tx, stream, conn);
                         });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -412,7 +423,106 @@ pub fn run_socket_router(
         }
     }
     std::fs::remove_file(path).ok();
+    let dropped_replies = reply_errors.load(Ordering::Relaxed);
+    if dropped_replies > 0 {
+        eprintln!("{dropped_replies} interactive replies lost to disconnected clients");
+    }
     result
+}
+
+/// Serve the multi-process [`Supervisor`] on a Unix-domain socket at
+/// `path` until a `shutdown` control arrives — the process-topology
+/// peer of [`run_socket_router`], with identical connection, journal
+/// and interactive-reply semantics. The supervisor routes every line to
+/// its worker processes, and `sink` receives the supervisor-side trace
+/// (arbiter merges and failovers).
+pub fn run_socket_supervisor(
+    supervisor: &mut Supervisor,
+    path: &Path,
+    checkpoint: Option<&Path>,
+    journal: Option<&JournalConfig>,
+    sink: Option<&dyn TraceSink>,
+) -> Result<ServiceReport, String> {
+    if path.exists() {
+        std::fs::remove_file(path).map_err(|e| format!("remove stale socket: {e}"))?;
+    }
+    let listener =
+        UnixListener::bind(path).map_err(|e| format!("bind {}: {e}", path.display()))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("set_nonblocking: {e}"))?;
+
+    let journal = match journal {
+        Some(cfg) => Some(Mutex::new(JournalWriter::create(cfg.clone())?)),
+        None => None,
+    };
+    let registry = Arc::new(InteractiveRegistry::new());
+    supervisor.set_interactive(Arc::clone(&registry));
+    let schema = supervisor.schema().clone();
+    let stop = AtomicBool::new(false);
+    let reply_errors = AtomicU64::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<String>();
+    let conn_shared = ConnShared {
+        schema: &schema,
+        registry: &registry,
+        journal: journal.as_ref(),
+        stop: &stop,
+        reply_errors: &reply_errors,
+    };
+
+    let result = std::thread::scope(|s| {
+        let stop_ref = &stop;
+        let shared_ref = &conn_shared;
+        s.spawn(move || {
+            let conn_ids = AtomicU64::new(0);
+            while !stop_ref.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let conn = conn_ids.fetch_add(1, Ordering::Relaxed) + 1;
+                        let tx = tx.clone();
+                        s.spawn(move || {
+                            serve_router_connection(shared_ref, &tx, stream, conn);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        let reader = ChannelReader { rx, buf: Vec::new(), pos: 0 };
+        let result = supervisor.run_reader(reader, checkpoint, sink);
+        stop.store(true, Ordering::Relaxed);
+        registry.drain();
+        result
+    });
+    if let Some(j) = journal {
+        let writer = match j.into_inner() {
+            Ok(w) => w,
+            Err(p) => p.into_inner(),
+        };
+        let errors = writer.finish();
+        if errors > 0 {
+            return Err(format!("journal write errors: {errors}"));
+        }
+    }
+    std::fs::remove_file(path).ok();
+    let dropped_replies = reply_errors.load(Ordering::Relaxed);
+    if dropped_replies > 0 {
+        eprintln!("{dropped_replies} interactive replies lost to disconnected clients");
+    }
+    result
+}
+
+/// Context the accept loop shares with every connection handler.
+#[derive(Clone, Copy)]
+struct ConnShared<'a> {
+    schema: &'a Schema,
+    registry: &'a InteractiveRegistry,
+    journal: Option<&'a Mutex<JournalWriter>>,
+    stop: &'a AtomicBool,
+    reply_errors: &'a AtomicU64,
 }
 
 /// Per-connection reader for the sharded socket: render records to
@@ -420,14 +530,12 @@ pub fn run_socket_router(
 /// journal order is the router's consumption order), stamp interactive
 /// lines with a reply token and relay the answer back.
 fn serve_router_connection(
-    schema: &Schema,
+    shared: &ConnShared<'_>,
     tx: &std::sync::mpsc::Sender<String>,
-    registry: &InteractiveRegistry,
-    journal: Option<&Mutex<JournalWriter>>,
-    stop: &AtomicBool,
     stream: UnixStream,
     conn: u64,
 ) {
+    let ConnShared { schema, registry, journal, stop, reply_errors } = *shared;
     let mut writer = stream.try_clone().ok();
     let mut dict = DecodeDict::new();
     let mut seq = 0u64;
@@ -462,7 +570,12 @@ fn serve_router_connection(
         };
         let interactive = matches!(
             control,
-            Some(Control::Status | Control::Whatif { .. } | Control::Tenant { .. })
+            Some(
+                Control::Status
+                    | Control::Whatif { .. }
+                    | Control::Tenant { .. }
+                    | Control::Budget { .. }
+            )
         );
         let mut pending = None;
         {
@@ -488,8 +601,13 @@ fn serve_router_connection(
         }
         if let Some(reply_rx) = pending {
             if let Ok(reply) = reply_rx.recv() {
-                if let Some(w) = writer.as_mut() {
-                    let _ = writeln!(w, "{reply}");
+                // Count a peer that hung up mid-reply; never abort the
+                // handler (the stream keeps draining until disconnect).
+                let sent = writer
+                    .as_mut()
+                    .is_some_and(|w| writeln!(w, "{reply}").is_ok());
+                if !sent {
+                    reply_errors.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -703,6 +821,113 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&replies[1]).unwrap();
         assert_eq!(v.get("table_group").and_then(|t| t.as_u64()), Some(0));
         assert!(v.get("cost").and_then(|c| c.as_f64()).is_some(), "published group has a cost");
+    }
+
+    /// Poll `{"control":"status"}` on `stream` until the reply shows at
+    /// least `n` ingested events. Controls sent on this connection
+    /// afterwards are then ordered after those events — connections are
+    /// served concurrently, so a `shutdown` would otherwise race
+    /// another connection's unread tail.
+    fn await_ingested(stream: &mut UnixStream, n: u64) {
+        use std::io::Read;
+        loop {
+            stream.write_all(b"{\"control\":\"status\"}\n").unwrap();
+            let mut reply = Vec::new();
+            let mut byte = [0u8; 1];
+            loop {
+                stream.read_exact(&mut byte).unwrap();
+                if byte[0] == b'\n' {
+                    break;
+                }
+                reply.push(byte[0]);
+            }
+            let reply = String::from_utf8(reply).unwrap();
+            let got: u64 = reply
+                .split("\"ingested\":")
+                .nth(1)
+                .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+                .expect("status reply carries an ingested counter")
+                .parse()
+                .unwrap();
+            if got >= n {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn disconnect_mid_query_does_not_abort_serving() {
+        // Regression: a client that asks `whatif` and hangs up before
+        // reading the reply used to risk tearing down the serving loop;
+        // the failed reply write must be absorbed (and counted) while
+        // other connections keep being served.
+        let (w, cfg, dir) = test_setup();
+        let sock = dir.join(format!("isel-gone-{}.sock", std::process::id()));
+        let mut daemon = Daemon::new(w.schema().clone(), cfg).unwrap();
+        let events = event_lines(&w, 8);
+
+        let report = std::thread::scope(|s| {
+            let sock_path = sock.clone();
+            let events = &events;
+            s.spawn(move || {
+                let mut stream = loop {
+                    match UnixStream::connect(&sock_path) {
+                        Ok(s) => break s,
+                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                };
+                for e in events {
+                    writeln!(stream, "{e}").unwrap();
+                }
+                // Ask, then vanish without reading the answer.
+                writeln!(stream, "{{\"control\":\"whatif\",\"budget\":1048576}}").unwrap();
+                stream.shutdown(std::net::Shutdown::Both).unwrap();
+                drop(stream);
+                // A second client is still served and can end the run —
+                // once everything above has actually been ingested.
+                let mut stream = UnixStream::connect(&sock_path).unwrap();
+                writeln!(stream, "{}", events[0]).unwrap();
+                await_ingested(&mut stream, 9);
+                stream.write_all(b"{\"control\":\"shutdown\"}\n").unwrap();
+            });
+            run_socket(&mut daemon, &sock, None, None, Trace::disabled()).unwrap()
+        });
+        assert_eq!(report.ingested, 9, "both connections fully served");
+    }
+
+    #[test]
+    fn router_survives_disconnect_mid_query() {
+        let (w, cfg, dir) = test_setup();
+        let cfg = ServiceConfig { shards: 2, ..cfg };
+        let sock = dir.join(format!("isel-router-gone-{}.sock", std::process::id()));
+        let mut router = Router::new(w.schema().clone(), cfg).unwrap();
+        let events = event_lines(&w, 8);
+
+        let report = std::thread::scope(|s| {
+            let sock_path = sock.clone();
+            let events = &events;
+            s.spawn(move || {
+                let mut stream = loop {
+                    match UnixStream::connect(&sock_path) {
+                        Ok(s) => break s,
+                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                };
+                for e in events {
+                    writeln!(stream, "{e}").unwrap();
+                }
+                writeln!(stream, "{{\"control\":\"whatif\",\"budget\":1048576}}").unwrap();
+                stream.shutdown(std::net::Shutdown::Both).unwrap();
+                drop(stream);
+                let mut stream = UnixStream::connect(&sock_path).unwrap();
+                writeln!(stream, "{}", events[0]).unwrap();
+                await_ingested(&mut stream, 9);
+                stream.write_all(b"{\"control\":\"shutdown\"}\n").unwrap();
+            });
+            run_socket_router(&mut router, &sock, None, None, &[]).unwrap()
+        });
+        assert_eq!(report.ingested, 9, "both connections fully served");
     }
 
     #[test]

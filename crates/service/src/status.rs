@@ -12,6 +12,13 @@
 //! * a `{"control":"status"}` line — the socket path writes the line
 //!   back on the requesting connection; stdin paths print to stderr.
 //!
+//! Both handlers ([`install_status_signal`], [`install_child_signal`])
+//! are installed via `sigaction(2)` with `SA_RESTART` — not the legacy
+//! `signal(2)`, whose one-shot/`EINTR` semantics are
+//! implementation-defined — and the handler bodies do exactly one
+//! async-signal-safe thing: store to a static `AtomicBool`. Everything
+//! else (formatting, I/O, `waitpid`) happens on the polling thread.
+//!
 //! Status is out of band by design: it is never queued with events and
 //! therefore cannot perturb replay determinism.
 
@@ -28,6 +35,17 @@ pub struct StatusBoard {
     pub epochs: AtomicU64,
     /// Checkpoints committed (this run).
     pub checkpoints: AtomicU64,
+    /// Worker-process failovers absorbed (shard state restored from the
+    /// last committed manifest generation and its journal tail
+    /// replayed; 0 outside supervisor mode).
+    pub failovers: AtomicU64,
+    /// Worker processes respawned after a crash (≤ `failovers`; a
+    /// failover without `--respawn` adopts onto a survivor instead).
+    pub restarts: AtomicU64,
+    /// Socket replies lost to a client that disconnected mid-reply
+    /// (EPIPE/partial write on a whatif/tenant/status response; the
+    /// serving loop keeps going).
+    pub reply_errors: AtomicU64,
     /// Number of shards serving (0 = unsharded daemon).
     pub shards: u32,
 }
@@ -64,7 +82,8 @@ impl StatusBoard {
         }
         format!(
             "{{\"status\":{{\"shards\":{},\"ingested\":{},\"invalid\":{},\"dropped\":{},\
-             \"epochs\":{},\"checkpoints\":{},\"queues\":[{queues}],\
+             \"epochs\":{},\"checkpoints\":{},\"failovers\":{},\"restarts\":{},\
+             \"reply_errors\":{},\"queues\":[{queues}],\
              \"allocations\":[{allocs}]}}}}",
             self.shards,
             self.ingested.load(Ordering::Relaxed),
@@ -72,6 +91,9 @@ impl StatusBoard {
             dropped,
             self.epochs.load(Ordering::Relaxed),
             self.checkpoints.load(Ordering::Relaxed),
+            self.failovers.load(Ordering::Relaxed),
+            self.restarts.load(Ordering::Relaxed),
+            self.reply_errors.load(Ordering::Relaxed),
         )
     }
 }
@@ -79,15 +101,42 @@ impl StatusBoard {
 /// Set by the `SIGUSR1` handler, consumed by [`take_status_signal`].
 static STATUS_REQUESTED: AtomicBool = AtomicBool::new(false);
 
+/// Set by the `SIGCHLD` handler, consumed by [`take_child_signal`].
+static CHILD_EXITED: AtomicBool = AtomicBool::new(false);
+
 /// `SIGUSR1` on Linux and most Unixes. Kept local instead of pulling in
 /// a libc dependency for one constant.
 #[cfg(unix)]
 const SIGUSR1: i32 = 10;
 
+/// `SIGCHLD` on Linux and most Unixes.
+#[cfg(unix)]
+const SIGCHLD: i32 = 17;
+
+/// Restart interrupted syscalls instead of surfacing `EINTR` to every
+/// blocking read in the service (`SA_RESTART`).
+#[cfg(unix)]
+const SA_RESTART: i32 = 0x1000_0000;
+
+/// Subset of `struct sigaction` (Linux x86-64/aarch64 layout): handler
+/// pointer, blocked-signal mask, flags, legacy restorer slot. The mask
+/// is zeroed — the handlers only store to an atomic, so nothing needs
+/// blocking while they run.
+#[cfg(unix)]
+#[repr(C)]
+struct SigAction {
+    handler: usize,
+    mask: [u64; 16],
+    flags: i32,
+    restorer: usize,
+}
+
 #[cfg(unix)]
 extern "C" {
-    /// `signal(2)` from the platform libc (which std already links).
-    fn signal(signum: i32, handler: usize) -> usize;
+    /// `sigaction(2)` from the platform libc (which std already links).
+    /// Used instead of `signal(2)`, whose reset-to-default and
+    /// syscall-interruption semantics are implementation-defined.
+    fn sigaction(signum: i32, act: *const SigAction, old: *mut SigAction) -> i32;
 }
 
 #[cfg(unix)]
@@ -96,22 +145,55 @@ extern "C" fn on_sigusr1(_sig: i32) {
     STATUS_REQUESTED.store(true, Ordering::Relaxed);
 }
 
+#[cfg(unix)]
+extern "C" fn on_sigchld(_sig: i32) {
+    // waitpid happens on the supervisor thread, not here.
+    CHILD_EXITED.store(true, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+fn install_flag_handler(signum: i32, handler: extern "C" fn(i32)) {
+    let act = SigAction {
+        handler: handler as usize,
+        mask: [0; 16],
+        flags: SA_RESTART,
+        restorer: 0,
+    };
+    // SAFETY: `act` is a valid sigaction for this platform ABI and the
+    // handler only stores to a static atomic (async-signal-safe).
+    unsafe {
+        sigaction(signum, &act, std::ptr::null_mut());
+    }
+}
+
 /// Install the `SIGUSR1` status handler (idempotent). On non-Unix
 /// targets this is a no-op and status lines are only reachable via the
 /// `{"control":"status"}` event.
 pub fn install_status_signal() {
     #[cfg(unix)]
-    // SAFETY: `on_sigusr1` is an async-signal-safe extern "C" fn and
-    // `signal` is the C standard registration call.
-    unsafe {
-        signal(SIGUSR1, on_sigusr1 as extern "C" fn(i32) as usize);
-    }
+    install_flag_handler(SIGUSR1, on_sigusr1);
+}
+
+/// Install the `SIGCHLD` child-exit handler the multi-process
+/// supervisor polls via [`take_child_signal`] (idempotent; no-op off
+/// Unix). Flag-only: reaping with `waitpid` happens on the supervisor
+/// thread.
+pub fn install_child_signal() {
+    #[cfg(unix)]
+    install_flag_handler(SIGCHLD, on_sigchld);
 }
 
 /// Consume a pending `SIGUSR1` status request, if one arrived since the
 /// last call.
 pub fn take_status_signal() -> bool {
     STATUS_REQUESTED.swap(false, Ordering::Relaxed)
+}
+
+/// Consume a pending `SIGCHLD` notification, if one arrived since the
+/// last call. Signals coalesce, so a `true` means "at least one child
+/// changed state" — the supervisor sweeps all children.
+pub fn take_child_signal() -> bool {
+    CHILD_EXITED.swap(false, Ordering::Relaxed)
 }
 
 #[cfg(test)]
@@ -135,6 +217,16 @@ mod tests {
         assert_eq!(field("dropped"), Some(7));
         assert_eq!(field("epochs"), Some(3));
         assert_eq!(field("checkpoints"), Some(1));
+        board.failovers.store(2, Ordering::Relaxed);
+        board.restarts.store(1, Ordering::Relaxed);
+        board.reply_errors.store(4, Ordering::Relaxed);
+        let line2 = board.line(7, &[0], &[]);
+        let v2: serde_json::Value = serde_json::from_str(&line2).unwrap();
+        let s2 = v2.get("status").unwrap();
+        let field2 = |key: &str| s2.get(key).and_then(|f| f.as_u64());
+        assert_eq!(field2("failovers"), Some(2));
+        assert_eq!(field2("restarts"), Some(1));
+        assert_eq!(field2("reply_errors"), Some(4));
         let queues: Vec<u64> = s
             .get("queues")
             .and_then(|q| q.as_array())
@@ -171,5 +263,24 @@ mod tests {
         }
         assert!(take_status_signal());
         assert!(!take_status_signal(), "take consumes the request");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn sigchld_sets_and_take_clears_the_flag() {
+        install_child_signal();
+        // Drain any notification from an unrelated child of the test
+        // harness before asserting.
+        take_child_signal();
+        // SAFETY: raising a signal at our own process whose handler only
+        // sets an AtomicBool.
+        unsafe {
+            extern "C" {
+                fn raise(sig: i32) -> i32;
+            }
+            raise(SIGCHLD);
+        }
+        assert!(take_child_signal());
+        assert!(!take_child_signal(), "take consumes the notification");
     }
 }

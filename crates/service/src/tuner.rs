@@ -34,8 +34,9 @@ use isel_workload::drift;
 use isel_workload::{IndexPool, Schema, TableId, Workload};
 use std::sync::Arc;
 
-/// Tuning policy chosen for one epoch.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Tuning policy chosen for one epoch. Serde so a worker process can
+/// report its outcomes to the supervisor (see [`crate::process`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum TunePolicy {
     /// Selection kept unchanged.
     NoOp,
@@ -58,8 +59,9 @@ impl TunePolicy {
     }
 }
 
-/// Outcome of tuning one sealed epoch.
-#[derive(Clone, Debug)]
+/// Outcome of tuning one sealed epoch. Serde so a worker process can
+/// report its outcomes to the supervisor (see [`crate::process`]).
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct EpochOutcome {
     /// Zero-based epoch number.
     pub epoch: u64,
