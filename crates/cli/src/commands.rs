@@ -325,6 +325,9 @@ pub fn report(args: &Args) -> Result<(), String> {
             report
                 .check_accounting()
                 .map_err(|e| format!("run {} ({label}): {e}", n + 1))?;
+            report
+                .check_deploy_accounting()
+                .map_err(|e| format!("run {} ({label}): {e}", n + 1))?;
             // The ≈2·Q·q̄ bound is Algorithm 1's property; candidate-set
             // strategies issue per-candidate probes far beyond it.
             if label == "H6" {
@@ -334,8 +337,10 @@ pub fn report(args: &Args) -> Result<(), String> {
                 bounds += 1;
             }
         }
+        let deploys: u64 = reports.iter().map(|r| r.deploy_candidates).sum();
         println!(
-            "invariants: accounting ok ({} runs), call bound ok ({bounds} H6 runs)",
+            "invariants: accounting ok ({} runs), call bound ok ({bounds} H6 runs), \
+             deploy accounting ok ({deploys} candidates)",
             reports.len()
         );
     }

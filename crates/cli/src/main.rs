@@ -39,7 +39,8 @@ USAGE:
   isel stats         --workload FILE
   isel record        --kind tpcc|erp|synthetic --out FILE [--events N]
                      [--seed N] [--segments N] [--warehouses N]
-                     [--format jsonl|binary]
+                     [--format jsonl|binary] [--observed N]
+                     [--observed-drift F]
   isel replay        --workload FILE --log FILE [--offline-check]
                      [--format jsonl|binary] [--checkpoint FILE]
                      [--resume] [--trace FILE] [--epoch-events N]
@@ -55,6 +56,9 @@ USAGE:
                      [same tuning knobs]
   isel budget        --socket PATH --at B1,B2,... [--set B] [--log FILE]
                      [--tenant T] [--shutdown]
+  isel calibrate     --workload FILE --log FILE [--shards N]
+                     [same tuning knobs]
+  isel calibrate     --socket PATH [--log FILE] [--shutdown]
   isel journal       convert --log FILE --to jsonl|binary --out FILE
 
   The service commands drive the continuous-tuning daemon: record an
@@ -104,6 +108,18 @@ USAGE:
   offline answers over the same events. --weights T:W biases the split
   toward high-priority tenants deterministically.
 
+  Observed-cost feedback closes the loop between estimates and reality:
+  {\"table\":T,\"attrs\":[..],\"observed_cost\":C} lines (record --observed N
+  emits one every N events; --observed-drift F scales them away from the
+  model) feed a per-template ratio tracker. --calibrate turns on
+  calibrated what-if costing plus the deployment gate: a drift-triggered
+  re-selection runs on probation against the incumbent inside a safety
+  envelope (--cal-envelope R, --cal-probation E) and either promotes or
+  rolls back to the last-good checkpoint, byte-identically. isel
+  calibrate prints the learned ratio table — offline from a log, or live
+  over a socket ({\"control\":\"calibration\"}) — and report --check
+  verifies the promote/rollback accounting from a trace.
+
   --threads N fans candidate evaluation over N workers (0 = all cores);
   recommendations are identical at every setting.
   --trace FILE streams structured run events (construction steps,
@@ -127,6 +143,7 @@ fn main() -> ExitCode {
         Some("replay") => service_cmd::replay(&args),
         Some("serve") => service_cmd::serve(&args),
         Some("budget") => service_cmd::budget(&args),
+        Some("calibrate") => service_cmd::calibrate(&args),
         Some("journal") => service_cmd::journal(&args),
         // Hidden: the multi-process worker entrypoint the supervisor
         // spawns from its own executable (`serve --workers N`).

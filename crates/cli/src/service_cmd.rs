@@ -27,7 +27,8 @@ use isel_service::{
 };
 use isel_workload::erp::{self, ErpConfig};
 use isel_workload::synthetic::{self, SyntheticConfig};
-use isel_workload::{tpcc, QueryKind, Workload};
+use isel_costmodel::{AnalyticalWhatIf, WhatIfOptimizer};
+use isel_workload::{tpcc, QueryId, QueryKind, Workload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -117,8 +118,9 @@ fn parse_weights(spec: &str) -> Result<BTreeMap<u16, f64>, String> {
 /// `--window`, `--templates`, `--budget`, `--create-cost`, `--drop-cost`,
 /// `--noop-above`, `--scratch-below`, `--queue`, `--threads`,
 /// `--checkpoint-every`, `--shards`, `--shard-map`, `--weights`,
-/// `--workers` and `--respawn` options, defaulting to
-/// [`ServiceConfig::default`].
+/// `--workers`, `--respawn`, `--calibrate`, `--cal-decay`,
+/// `--cal-min-probes`, `--cal-envelope` and `--cal-probation` options,
+/// defaulting to [`ServiceConfig::default`].
 fn service_config(args: &Args) -> Result<ServiceConfig, String> {
     let d = ServiceConfig::default();
     let cfg = ServiceConfig {
@@ -150,6 +152,14 @@ fn service_config(args: &Args) -> Result<ServiceConfig, String> {
         },
         workers: args.get_parsed("workers", d.workers)?,
         respawn: args.flag("respawn"),
+        calibration: isel_service::CalibrationConfig {
+            enabled: args.flag("calibrate") || d.calibration.enabled,
+            decay: args.get_parsed("cal-decay", d.calibration.decay)?,
+            min_probes: args.get_parsed("cal-min-probes", d.calibration.min_probes)?,
+            envelope_ratio: args.get_parsed("cal-envelope", d.calibration.envelope_ratio)?,
+            probation_epochs: args
+                .get_parsed("cal-probation", d.calibration.probation_epochs)?,
+        },
     };
     cfg.validate()?;
     Ok(cfg)
@@ -595,6 +605,11 @@ pub fn record(args: &Args) -> Result<(), String> {
     let events = args.get_parsed("events", 4096usize)?;
     let seed = args.get_parsed("seed", 0x15E1u64)?;
     let segments = args.get_parsed("segments", 1usize)?.max(1);
+    let observed = args.get_parsed("observed", 0usize)?;
+    let drift = args.get_parsed("observed-drift", 1.0f64)?;
+    if !(drift.is_finite() && drift > 0.0) {
+        return Err(format!("--observed-drift must be finite and positive, got {drift}"));
+    }
     let format = wire_format(args)?;
     let workload = match kind {
         "tpcc" => tpcc::generate(args.get_parsed("warehouses", 100u64)?).0,
@@ -617,6 +632,11 @@ pub fn record(args: &Args) -> Result<(), String> {
     let mut frames = Vec::new();
     let q = workload.query_count();
     let per_segment = events.div_ceil(segments);
+    // Observed-cost probes are priced off the analytical model so a
+    // calibrated daemon sees ratios near `--observed-drift` (1.0 means
+    // the estimates are honest; far from 1.0 injects contradiction).
+    let est = (observed > 0).then(|| AnalyticalWhatIf::new(&workload));
+    let mut probes = 0usize;
     let mut written = 0usize;
     for s in 0..segments {
         // One segment draws from a contiguous (circular) slice of the
@@ -635,18 +655,20 @@ pub fn record(args: &Args) -> Result<(), String> {
             .sum();
         for _ in 0..per_segment.min(events - written) {
             let mut pick = rng.gen_range(0..total);
-            let query = slice
+            let qi = slice
                 .iter()
-                .map(|&i| &workload.queries()[i])
-                .find(|query| {
-                    if pick < query.frequency() {
+                .copied()
+                .find(|&i| {
+                    let f = workload.queries()[i].frequency();
+                    if pick < f {
                         true
                     } else {
-                        pick -= query.frequency();
+                        pick -= f;
                         false
                     }
                 })
                 .expect("pick < total");
+            let query = &workload.queries()[qi];
             match &mut encoder {
                 None => {
                     let attrs: Vec<String> =
@@ -673,6 +695,38 @@ pub fn record(args: &Args) -> Result<(), String> {
                 }
             }
             written += 1;
+            if let Some(est) = &est {
+                if written.is_multiple_of(observed) {
+                    // Every Nth event is followed by an observed-cost
+                    // probe for the template just sampled. Probes ride
+                    // binary output as raw-framed lines (they have no
+                    // structured item type), which `journal convert`
+                    // round-trips verbatim.
+                    let jitter = rng.gen_range(0.95..1.05);
+                    let cost = est.unindexed_cost(QueryId(qi as u32)) * drift * jitter;
+                    let attrs: Vec<String> =
+                        query.attrs().iter().map(|a| a.0.to_string()).collect();
+                    let kind = if query.is_update() { ",\"kind\":\"Update\"" } else { "" };
+                    let line = format!(
+                        "{{\"table\":{},\"attrs\":[{}]{kind},\"observed_cost\":{cost}}}",
+                        query.table().0,
+                        attrs.join(",")
+                    );
+                    match &mut encoder {
+                        None => writeln!(w, "{line}").map_err(|e| format!("write {out}: {e}"))?,
+                        Some(enc) => {
+                            enc.push_raw(line.as_bytes());
+                            enc.auto_flush_into(&mut frames);
+                            if !frames.is_empty() {
+                                w.write_all(&frames)
+                                    .map_err(|e| format!("write {out}: {e}"))?;
+                                frames.clear();
+                            }
+                        }
+                    }
+                    probes += 1;
+                }
+            }
         }
     }
     if let Some(enc) = &mut encoder {
@@ -680,8 +734,10 @@ pub fn record(args: &Args) -> Result<(), String> {
         w.write_all(&frames).map_err(|e| format!("write {out}: {e}"))?;
     }
     w.flush().map_err(|e| format!("write {out}: {e}"))?;
+    let probe_note =
+        if probes > 0 { format!(" + {probes} observed-cost probe(s)") } else { String::new() };
     println!(
-        "recorded {written} {kind} {} events over {segments} segment(s) \
+        "recorded {written} {kind} {} events{probe_note} over {segments} segment(s) \
          ({} templates) -> {out}",
         format.name(),
         q
@@ -824,6 +880,75 @@ fn budget_over_socket(
         };
         ask(&mut stream, line)?;
     }
+    if args.flag("shutdown") {
+        let _ = stream.write_all(b"{\"control\":\"shutdown\"}\n");
+    }
+    Ok(())
+}
+
+/// `isel calibrate` — inspect the observed-cost calibration table.
+///
+/// Offline mode (`--log FILE`): replay the recorded log with calibration
+/// forced on and print the canonical `{"calibration":{...}}` snapshot
+/// line (`--shards N` routes through the sharded router and sums the
+/// per-group tables). Live mode (`--socket PATH`): stream `--log` (if
+/// given) into a serving socket, then issue the in-band
+/// `{"control":"calibration"}` barrier query and print the reply —
+/// byte-identical to the offline answer over the same events.
+pub fn calibrate(args: &Args) -> Result<(), String> {
+    if let Some(sock) = args.get("socket") {
+        return calibrate_over_socket(args, sock);
+    }
+    let workload = load_workload(args)?;
+    let log = args.get("log").ok_or("missing --log FILE (or --socket PATH)")?;
+    let mut config = service_config(args)?;
+    // The whole point of the offline mode is to see what the tracker
+    // would learn, so calibration is on unless explicitly configured.
+    config.calibration.enabled = true;
+    let data = open_log(log)?;
+    if config.shards > 0 {
+        let mut router = make_router(&workload, config, None, false)?;
+        router.run_reader(Cursor::new(data.bytes()), OverloadPolicy::Block, None, &[])?;
+        println!("{}", router.calibration());
+        return Ok(());
+    }
+    let mut daemon = make_daemon(&workload, config, None, false)?;
+    daemon.run_reader(
+        Cursor::new(data.bytes()),
+        OverloadPolicy::Block,
+        None,
+        Trace::disabled(),
+    )?;
+    println!("{}", daemon.calibration());
+    Ok(())
+}
+
+/// Live `isel calibrate --socket`: stream the optional `--log`, issue
+/// the in-band calibration query, print the reply line, and optionally
+/// `--shutdown` the server.
+fn calibrate_over_socket(args: &Args, sock: &str) -> Result<(), String> {
+    use std::os::unix::net::UnixStream;
+    let mut stream =
+        UnixStream::connect(sock).map_err(|e| format!("connect {sock}: {e}"))?;
+    if let Some(log) = args.get("log") {
+        let data = open_log(log)?;
+        stream
+            .write_all(data.bytes())
+            .map_err(|e| format!("stream {log} to {sock}: {e}"))?;
+    }
+    let mut reader = BufReader::new(
+        stream.try_clone().map_err(|e| format!("clone socket stream: {e}"))?,
+    );
+    writeln!(stream, "{{\"control\":\"calibration\"}}")
+        .map_err(|e| format!("send query to {sock}: {e}"))?;
+    let mut reply = String::new();
+    reader
+        .read_line(&mut reply)
+        .map_err(|e| format!("read reply from {sock}: {e}"))?;
+    if reply.is_empty() {
+        return Err("server closed the connection before answering".into());
+    }
+    print!("{reply}");
     if args.flag("shutdown") {
         let _ = stream.write_all(b"{\"control\":\"shutdown\"}\n");
     }

@@ -189,6 +189,48 @@ pub enum TraceEvent {
         /// Wall time of restore + replay in microseconds.
         micros: u64,
     },
+    /// One observed-cost probe reached the feedback tracker. Emitted by
+    /// the service layer, never by the strategies; `accepted` is false
+    /// when the probe was rejected (non-finite or non-positive cost)
+    /// and left the calibration state untouched.
+    ObservedCost {
+        /// Table the probed query template belongs to.
+        table: u16,
+        /// Observed execution cost carried by the probe.
+        cost: f64,
+        /// Whether the tracker folded the probe into its statistics.
+        accepted: bool,
+    },
+    /// A calibrated tuning pass applied learned estimate/observed
+    /// ratios. Emitted by the service layer once per tune that used a
+    /// non-empty ratio table.
+    Calibration {
+        /// Accepted probes folded into the tracker so far.
+        probes: u64,
+        /// Rejected probes so far.
+        rejected: u64,
+        /// Warm templates whose ratios were applied by this pass.
+        templates: u64,
+    },
+    /// The deployment gate acted on a candidate selection: opened one
+    /// for probation (`"candidate"`), promoted it to incumbent
+    /// (`"promote"`), or rolled back to the last-good checkpoint
+    /// (`"rollback"`). Emitted by the service layer, never by the
+    /// strategies.
+    Deploy {
+        /// Gate action: `"candidate"`, `"promote"` or `"rollback"`.
+        action: String,
+        /// Table group the gate acted on.
+        table: u16,
+        /// Tuner epoch at which the action was taken.
+        epoch: u64,
+        /// Incumbent selection's workload cost under the calibrated
+        /// estimator at decision time.
+        incumbent_cost: f64,
+        /// Candidate selection's workload cost under the same
+        /// estimator.
+        candidate_cost: f64,
+    },
     /// A strategy run finished. `issued`/`cached` are totals over the
     /// whole run, measured from the same origin as the scans.
     RunEnd {
@@ -318,6 +360,9 @@ const BT_EPOCH: u8 = 4;
 const BT_RUN_END: u8 = 5;
 const BT_MERGE: u8 = 6;
 const BT_FAILOVER: u8 = 7;
+const BT_OBSERVED_COST: u8 = 8;
+const BT_CALIBRATION: u8 = 9;
+const BT_DEPLOY: u8 = 10;
 
 /// Encode one event in the tagged-varint binary form (no header).
 fn put_event(out: &mut Vec<u8>, event: &TraceEvent) {
@@ -415,6 +460,26 @@ fn put_event(out: &mut Vec<u8>, event: &TraceEvent) {
             put_varint(out, *replayed);
             put_varint(out, u64::from(*adopted_by));
             put_varint(out, *micros);
+        }
+        TraceEvent::ObservedCost { table, cost, accepted } => {
+            out.push(BT_OBSERVED_COST);
+            put_varint(out, u64::from(*table));
+            put_f64(out, *cost);
+            out.push(u8::from(*accepted));
+        }
+        TraceEvent::Calibration { probes, rejected, templates } => {
+            out.push(BT_CALIBRATION);
+            put_varint(out, *probes);
+            put_varint(out, *rejected);
+            put_varint(out, *templates);
+        }
+        TraceEvent::Deploy { action, table, epoch, incumbent_cost, candidate_cost } => {
+            out.push(BT_DEPLOY);
+            put_str(out, action);
+            put_varint(out, u64::from(*table));
+            put_varint(out, *epoch);
+            put_f64(out, *incumbent_cost);
+            put_f64(out, *candidate_cost);
         }
         TraceEvent::RunEnd {
             strategy,
@@ -521,6 +586,29 @@ fn get_event(b: &[u8], pos: &mut usize) -> Option<TraceEvent> {
             replayed: get_varint(b, pos)?,
             adopted_by: u32::try_from(get_varint(b, pos)?).ok()?,
             micros: get_varint(b, pos)?,
+        },
+        BT_OBSERVED_COST => TraceEvent::ObservedCost {
+            table: u16::try_from(get_varint(b, pos)?).ok()?,
+            cost: get_f64(b, pos)?,
+            accepted: match *b.get(*pos)? {
+                v @ (0 | 1) => {
+                    *pos += 1;
+                    v == 1
+                }
+                _ => return None,
+            },
+        },
+        BT_CALIBRATION => TraceEvent::Calibration {
+            probes: get_varint(b, pos)?,
+            rejected: get_varint(b, pos)?,
+            templates: get_varint(b, pos)?,
+        },
+        BT_DEPLOY => TraceEvent::Deploy {
+            action: get_str(b, pos)?,
+            table: u16::try_from(get_varint(b, pos)?).ok()?,
+            epoch: get_varint(b, pos)?,
+            incumbent_cost: get_f64(b, pos)?,
+            candidate_cost: get_f64(b, pos)?,
         },
         BT_RUN_END => TraceEvent::RunEnd {
             strategy: get_str(b, pos)?,
@@ -732,6 +820,18 @@ pub struct RunReport {
     pub merges: u64,
     /// Worker failovers observed (supervisor mode).
     pub failovers: u64,
+    /// Observed-cost probes accepted by the feedback tracker.
+    pub observed_accepted: u64,
+    /// Observed-cost probes rejected (non-finite / non-positive cost).
+    pub observed_rejected: u64,
+    /// Calibrated tuning passes (with a non-empty ratio table).
+    pub calibrations: u64,
+    /// Deployment candidates opened by the gate.
+    pub deploy_candidates: u64,
+    /// Candidates promoted to incumbent.
+    pub deploy_promotes: u64,
+    /// Candidates rolled back to the last-good checkpoint.
+    pub deploy_rollbacks: u64,
     /// Totals from [`TraceEvent::RunEnd`], when present:
     /// `(steps, issued, cached, initial_cost, final_cost, micros)`.
     pub run_end: Option<(u64, u64, u64, f64, f64, u64)>,
@@ -774,6 +874,19 @@ impl RunReport {
                 TraceEvent::Epoch { .. } => r.epochs += 1,
                 TraceEvent::Merge { .. } => r.merges += 1,
                 TraceEvent::Failover { .. } => r.failovers += 1,
+                TraceEvent::ObservedCost { accepted, .. } => {
+                    if *accepted {
+                        r.observed_accepted += 1;
+                    } else {
+                        r.observed_rejected += 1;
+                    }
+                }
+                TraceEvent::Calibration { .. } => r.calibrations += 1,
+                TraceEvent::Deploy { action, .. } => match action.as_str() {
+                    "promote" => r.deploy_promotes += 1,
+                    "rollback" => r.deploy_rollbacks += 1,
+                    _ => r.deploy_candidates += 1,
+                },
                 TraceEvent::RunEnd {
                     strategy,
                     steps,
@@ -946,6 +1059,26 @@ impl RunReport {
         Ok(())
     }
 
+    /// Verify the deployment-gate accounting invariant: every promote
+    /// or rollback closes a previously opened candidate, so `promotes +
+    /// rollbacks <= candidates opened` (the difference is the
+    /// in-flight probation count).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the imbalance.
+    pub fn check_deploy_accounting(&self) -> Result<(), String> {
+        let closed = self.deploy_promotes + self.deploy_rollbacks;
+        if closed > self.deploy_candidates {
+            return Err(format!(
+                "deploy gate closed {closed} candidates ({} promoted + {} rolled back) \
+                 but only {} were opened",
+                self.deploy_promotes, self.deploy_rollbacks, self.deploy_candidates
+            ));
+        }
+        Ok(())
+    }
+
     /// Human-readable summary table.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
@@ -1001,6 +1134,23 @@ impl RunReport {
         }
         if self.failovers > 0 {
             let _ = writeln!(s, "failovers: {}", self.failovers);
+        }
+        if self.observed_accepted + self.observed_rejected > 0 || self.calibrations > 0 {
+            let _ = writeln!(
+                s,
+                "observed-cost probes: {} accepted + {} rejected, {} calibrated tunes",
+                self.observed_accepted, self.observed_rejected, self.calibrations
+            );
+        }
+        if self.deploy_candidates > 0 {
+            let _ = writeln!(
+                s,
+                "deploy gate: {} candidates -> {} promoted / {} rolled back / {} in flight",
+                self.deploy_candidates,
+                self.deploy_promotes,
+                self.deploy_rollbacks,
+                self.deploy_candidates - (self.deploy_promotes + self.deploy_rollbacks).min(self.deploy_candidates)
+            );
         }
         s
     }
@@ -1136,6 +1286,16 @@ mod tests {
             adopted_by: 0,
             micros: 777,
         });
+        events.push(TraceEvent::ObservedCost { table: 7, cost: 1.25, accepted: true });
+        events.push(TraceEvent::ObservedCost { table: 0, cost: 0.0, accepted: false });
+        events.push(TraceEvent::Calibration { probes: 40, rejected: 2, templates: 6 });
+        events.push(TraceEvent::Deploy {
+            action: "rollback".into(),
+            table: 3,
+            epoch: 11,
+            incumbent_cost: 100.0,
+            candidate_cost: 250.5,
+        });
         if let TraceEvent::RunEnd { shard, .. } = &mut events[4] {
             *shard = Some(3);
         }
@@ -1235,6 +1395,37 @@ mod tests {
         // Missing RunEnd is reported, not silently passed.
         let r = RunReport::from_events(&events[..4]);
         assert!(r.check_accounting().unwrap_err().contains("RunEnd"));
+    }
+
+    #[test]
+    fn deploy_accounting_balances_opened_against_closed() {
+        let deploy = |action: &str| TraceEvent::Deploy {
+            action: action.into(),
+            table: 1,
+            epoch: 4,
+            incumbent_cost: 10.0,
+            candidate_cost: 10.5,
+        };
+        let events = vec![
+            TraceEvent::ObservedCost { table: 1, cost: 2.0, accepted: true },
+            TraceEvent::ObservedCost { table: 1, cost: -1.0, accepted: false },
+            TraceEvent::Calibration { probes: 1, rejected: 1, templates: 1 },
+            deploy("candidate"),
+            deploy("promote"),
+            deploy("candidate"),
+        ];
+        let r = RunReport::from_events(&events);
+        assert_eq!((r.observed_accepted, r.observed_rejected), (1, 1));
+        assert_eq!(r.calibrations, 1);
+        assert_eq!((r.deploy_candidates, r.deploy_promotes, r.deploy_rollbacks), (2, 1, 0));
+        r.check_deploy_accounting().expect("one candidate still in flight");
+        let rendered = r.render();
+        assert!(rendered.contains("2 candidates"), "{rendered}");
+        assert!(rendered.contains("1 in flight"), "{rendered}");
+
+        // A promote or rollback without a matching candidate is flagged.
+        let broken = RunReport::from_events(&[deploy("rollback")]);
+        assert!(broken.check_deploy_accounting().unwrap_err().contains("opened"));
     }
 
     #[test]

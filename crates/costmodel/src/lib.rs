@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod calibrate;
 pub mod inum;
 pub mod model;
 pub mod multi;
@@ -24,6 +25,7 @@ pub mod tabular;
 pub mod whatif;
 
 pub use cache::{pack_key, CacheStats, CachingWhatIf, CACHE_SHARDS};
+pub use calibrate::{CalibratedWhatIf, RatioTable, TemplateProbe, RATIO_CLAMP};
 pub use inum::PrefixAwareWhatIf;
 pub use model::AnalyticalWhatIf;
 pub use tabular::TabularWhatIf;

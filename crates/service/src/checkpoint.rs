@@ -37,6 +37,7 @@ use crate::tuner::Tuner;
 use crate::window::{kind_rank, rank_kind, EpochBatch, EpochWindow};
 use isel_core::Selection;
 use isel_workload::{AttrId, IndexId, IndexPool, Query, Schema, TableId, Workload};
+use crate::feedback::FeedbackCheckpoint;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -99,6 +100,12 @@ pub struct Checkpoint {
     /// next re-selection.
     #[serde(default)]
     pub published: Option<PublishedFrontier>,
+    /// Observed-cost feedback state (see [`crate::feedback`]), present
+    /// only when calibration ran: absent in pre-calibration checkpoints
+    /// and with calibration disabled, so those documents stay
+    /// byte-identical to earlier releases.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub feedback: Option<FeedbackCheckpoint>,
 }
 
 fn save_batch(batch: &EpochBatch) -> SavedBatch {
@@ -251,7 +258,15 @@ impl Checkpoint {
             window: window.window.iter().map(save_batch).collect(),
             current: save_batch(&window.current),
             published: tuner.published().map(|p| (**p).clone()),
+            feedback: None,
         }
+    }
+
+    /// Attach observed-cost feedback state (see [`crate::feedback`]).
+    #[must_use]
+    pub fn with_feedback(mut self, feedback: Option<FeedbackCheckpoint>) -> Self {
+        self.feedback = feedback;
+        self
     }
 
     /// Rebuild tuner and window state over `schema`.
@@ -343,6 +358,14 @@ pub struct GroupCheckpoint {
     /// any group from scratch.
     #[serde(default)]
     pub published: Option<PublishedFrontier>,
+    /// Observed-cost feedback state of the group (see
+    /// [`crate::feedback`]); absent with calibration disabled so those
+    /// documents stay byte-identical to earlier releases. Also absent
+    /// inside the gate's own last-good snapshots — the rollback target
+    /// restores tuning state, never the counters that record the
+    /// rollback itself.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub feedback: Option<FeedbackCheckpoint>,
 }
 
 impl GroupCheckpoint {
@@ -367,7 +390,26 @@ impl GroupCheckpoint {
             window: window.window.iter().map(save_batch).collect(),
             current: save_batch(&window.current),
             published: tuner.published().map(|p| (**p).clone()),
+            feedback: None,
         }
+    }
+
+    /// Attach observed-cost feedback state (see [`crate::feedback`]).
+    #[must_use]
+    pub fn with_feedback(mut self, feedback: Option<FeedbackCheckpoint>) -> Self {
+        self.feedback = feedback;
+        self
+    }
+
+    /// Serialize to JSON text (one line) — the byte format the
+    /// deployment gate stores as its last-good rollback target.
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string(self).map_err(|e| format!("serialize group checkpoint: {e}"))
+    }
+
+    /// Parse a group checkpoint document.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("parse group checkpoint: {e}"))
     }
 
     /// Rebuild the group's tuner and window under `config`.

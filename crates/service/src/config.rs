@@ -33,6 +33,42 @@ impl Default for DriftThresholds {
     }
 }
 
+/// Observed-cost calibration and deployment-gate parameters (see
+/// `crate::feedback`). Disabled by default: with `enabled == false` the
+/// service never constructs a calibrated estimator or opens a
+/// deployment candidate, so selections are bit-identical to a build
+/// without the subsystem.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationConfig {
+    /// Master switch for the whole feedback loop.
+    pub enabled: bool,
+    /// Exponential forgetting factor applied to the per-template ratio
+    /// statistics before each new probe folds in (1.0 = never forget).
+    pub decay: f64,
+    /// Probes a template must accumulate before its ratio is applied —
+    /// the estimator stays identity until warm.
+    pub min_probes: u64,
+    /// Safety envelope: a candidate selection is rolled back when its
+    /// estimated workload cost exceeds `envelope_ratio ×` the
+    /// incumbent's under the same calibrated estimator.
+    pub envelope_ratio: f64,
+    /// Consecutive in-envelope epochs a candidate must survive before
+    /// it is promoted to incumbent.
+    pub probation_epochs: u64,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            decay: 0.9,
+            min_probes: 3,
+            envelope_ratio: 1.1,
+            probation_epochs: 2,
+        }
+    }
+}
+
 /// Static configuration of a daemon run. Serialized into every
 /// checkpoint so a restore can verify it resumes under the same
 /// aggregation parameters (changing them mid-run would silently change
@@ -89,6 +125,10 @@ pub struct ServiceConfig {
     /// tenants when splitting the budget). Unlisted groups weigh 1.
     #[serde(default)]
     pub tenant_weights: BTreeMap<u16, f64>,
+    /// Observed-cost calibration and deployment gating (disabled by
+    /// default; see `crate::feedback`).
+    #[serde(default)]
+    pub calibration: CalibrationConfig,
 }
 
 impl Default for ServiceConfig {
@@ -108,6 +148,7 @@ impl Default for ServiceConfig {
             respawn: false,
             shard_map: BTreeMap::new(),
             tenant_weights: BTreeMap::new(),
+            calibration: CalibrationConfig::default(),
         }
     }
 }
@@ -137,6 +178,22 @@ impl ServiceConfig {
                      finite and positive"
                 ));
             }
+        }
+        let cal = &self.calibration;
+        if !(cal.decay > 0.0 && cal.decay <= 1.0) {
+            return Err(format!("calibration decay {} must be in (0, 1]", cal.decay));
+        }
+        if cal.min_probes == 0 {
+            return Err("calibration min_probes must be at least 1".into());
+        }
+        if !cal.envelope_ratio.is_finite() || cal.envelope_ratio < 1.0 {
+            return Err(format!(
+                "calibration envelope_ratio {} must be finite and >= 1",
+                cal.envelope_ratio
+            ));
+        }
+        if cal.probation_epochs == 0 {
+            return Err("calibration probation_epochs must be at least 1".into());
         }
         for (&table, &shard) in &self.shard_map {
             if self.shards == 0 {
@@ -188,7 +245,25 @@ mod tests {
         assert_eq!(cfg.shards, 0);
         assert!(cfg.shard_map.is_empty());
         assert!(cfg.tenant_weights.is_empty());
+        assert_eq!(cfg.calibration, CalibrationConfig::default());
+        assert!(!cfg.calibration.enabled, "calibration defaults off");
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn calibration_parameters_are_range_checked() {
+        let check = |cal: CalibrationConfig| {
+            ServiceConfig { calibration: cal, ..ServiceConfig::default() }.validate()
+        };
+        check(CalibrationConfig { enabled: true, ..CalibrationConfig::default() }).unwrap();
+        let d = CalibrationConfig::default;
+        assert!(check(CalibrationConfig { decay: 0.0, ..d() }).is_err());
+        assert!(check(CalibrationConfig { decay: 1.5, ..d() }).is_err());
+        assert!(check(CalibrationConfig { decay: f64::NAN, ..d() }).is_err());
+        assert!(check(CalibrationConfig { min_probes: 0, ..d() }).is_err());
+        assert!(check(CalibrationConfig { envelope_ratio: 0.9, ..d() }).is_err());
+        assert!(check(CalibrationConfig { envelope_ratio: f64::INFINITY, ..d() }).is_err());
+        assert!(check(CalibrationConfig { probation_epochs: 0, ..d() }).is_err());
     }
 
     #[test]

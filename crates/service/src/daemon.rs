@@ -21,7 +21,8 @@
 use crate::arbiter::{global_budget, Arbiter, PendingQuery};
 use crate::checkpoint::Checkpoint;
 use crate::config::ServiceConfig;
-use crate::event::{parse_line, Control, InputLine};
+use crate::event::{parse_line, Control, InputLine, ObservedEvent};
+use crate::feedback::{self, GroupFeedback};
 use crate::frame::WireItem;
 use crate::queue::BoundedQueue;
 use crate::records::{DecodeDict, Record, RecordIter};
@@ -48,6 +49,8 @@ pub enum OverloadPolicy {
 /// Work items flowing through the queue.
 pub(crate) enum WorkItem {
     Query(Query),
+    /// An observed-cost probe for the feedback tracker.
+    Observed(ObservedEvent),
     Checkpoint,
     /// An interactive query queued as an in-band barrier: answered once
     /// every event queued before it has been consumed.
@@ -101,6 +104,11 @@ pub struct Daemon {
     /// everything publishes under part key 0 — so `whatif` queries work
     /// but per-group `tenant` queries need the sharded router.
     arbiter: Arc<Arbiter>,
+    /// Observed-cost feedback state. The unsharded daemon is one
+    /// whole-schema group: the tracker learns and calibrates tuning,
+    /// but the deployment gate stays idle (it needs table-scoped group
+    /// checkpoints as rollback targets; see [`crate::feedback`]).
+    feedback: GroupFeedback,
     /// Lifetime counters restored from a checkpoint (zero for a fresh
     /// daemon); this run's deltas are added on top.
     base_ingested: u64,
@@ -127,12 +135,14 @@ impl Daemon {
             global_budget(&schema, config.budget_share),
             config.tenant_weights.clone(),
         ));
+        let feedback = GroupFeedback::new(&config);
         Ok(Self {
             schema,
             config,
             tuner,
             window,
             arbiter,
+            feedback,
             base_ingested: 0,
             base_invalid: 0,
             base_dropped: 0,
@@ -165,12 +175,17 @@ impl Daemon {
         if let Some(pf) = tuner.published() {
             arbiter.publish(0, Arc::clone(pf), Trace::disabled());
         }
+        let feedback = match &cp.feedback {
+            Some(saved) => GroupFeedback::load(saved, &config)?,
+            None => GroupFeedback::new(&config),
+        };
         Ok(Self {
             schema,
             config,
             tuner,
             window,
             arbiter,
+            feedback,
             base_ingested: cp.ingested,
             base_invalid: cp.invalid,
             base_dropped: cp.dropped,
@@ -191,6 +206,13 @@ impl Daemon {
     /// interactive `whatif` answers over the daemon's single part.
     pub fn arbiter(&self) -> &Arbiter {
         &self.arbiter
+    }
+
+    /// Canonical calibration snapshot line — byte-identical to the
+    /// in-band `{"control":"calibration"}` answer at this point in the
+    /// stream.
+    pub fn calibration(&self) -> String {
+        self.feedback.snapshot().render()
     }
 
     fn parallelism(&self) -> Parallelism {
@@ -274,7 +296,17 @@ impl Daemon {
                             .window
                             .snapshot()
                             .expect("snapshot exists after an epoch seals");
-                        outcomes.push(self.tuner.tune(&snap, par, trace));
+                        outcomes.push(feedback::tune_group(
+                            &mut self.tuner,
+                            &mut self.window,
+                            &mut self.feedback,
+                            &snap,
+                            &self.schema,
+                            &self.config,
+                            par,
+                            trace,
+                            Some(&board.cal),
+                        ));
                         board.epochs.fetch_add(1, Ordering::Relaxed);
                         if self.tuner.take_published_dirty() {
                             if let Some(pf) = self.tuner.published() {
@@ -289,6 +321,9 @@ impl Daemon {
                             }
                         }
                     }
+                }
+                WorkItem::Observed(o) => {
+                    self.feedback.observe(&self.config, &o, Some(&board.cal), trace);
                 }
                 WorkItem::Checkpoint => {
                     if let Some(path) = checkpoint {
@@ -305,6 +340,9 @@ impl Daemon {
                             Control::Tenant { .. } => Some(
                                 "{\"error\":\"tenant queries require --shards\"}".to_owned(),
                             ),
+                            Control::Calibration => {
+                                Some(self.feedback.snapshot().render())
+                            }
                             c => self.arbiter.answer(c),
                         };
                         if let Some(line) = answer {
@@ -335,6 +373,12 @@ impl Daemon {
             board.ingested.load(Ordering::Relaxed),
             board.invalid.load(Ordering::Relaxed),
             self.base_dropped + queue.dropped(),
+        )
+        .with_feedback(
+            self.config
+                .calibration
+                .enabled
+                .then(|| self.feedback.save()),
         )
         .save(path)
     }
@@ -465,7 +509,10 @@ pub(crate) fn ingest_item(
         WireItem::Control(Control::Status) => Ingest::Status,
         WireItem::Control(Control::Shutdown) => Ingest::Shutdown,
         WireItem::Control(
-            c @ (Control::Whatif { .. } | Control::Tenant { .. } | Control::Budget { .. }),
+            c @ (Control::Whatif { .. }
+            | Control::Tenant { .. }
+            | Control::Budget { .. }
+            | Control::Calibration),
         ) => Ingest::Interactive(*c),
         WireItem::Raw(bytes) => {
             let line = String::from_utf8_lossy(bytes).into_owned();
@@ -509,10 +556,20 @@ pub(crate) fn ingest_one(
             };
             Ingest::Continue
         }
+        Ok(InputLine::Observed(o)) => {
+            let _ = match policy {
+                OverloadPolicy::Block => queue.push_blocking(WorkItem::Observed(o)),
+                OverloadPolicy::DropOldest => queue.push_drop_oldest(WorkItem::Observed(o)),
+            };
+            Ingest::Continue
+        }
         Ok(InputLine::Control(Control::Status)) => Ingest::Status,
         Ok(InputLine::Control(Control::Shutdown)) => Ingest::Shutdown,
         Ok(InputLine::Control(
-            c @ (Control::Whatif { .. } | Control::Tenant { .. } | Control::Budget { .. }),
+            c @ (Control::Whatif { .. }
+            | Control::Tenant { .. }
+            | Control::Budget { .. }
+            | Control::Calibration),
         )) => Ingest::Interactive(c),
         Err(_) => {
             board.invalid.fetch_add(1, Ordering::Relaxed);
@@ -552,7 +609,10 @@ pub fn offline_snapshots<R: BufRead>(
                 true
             }
             Ok(InputLine::Control(Control::Shutdown)) => false,
-            Ok(InputLine::Control(_)) | Err(_) => true,
+            // Observed-cost probes never shape the pure snapshot
+            // reference: with calibration disabled they are inert, and
+            // the daemon never folds them into epoch windows either.
+            Ok(InputLine::Observed(_)) | Ok(InputLine::Control(_)) | Err(_) => true,
         }
     };
     for record in RecordIter::new(input) {

@@ -56,6 +56,27 @@ pub enum Control {
         /// New global memory budget in bytes.
         budget: u64,
     },
+    /// Interactive query: the calibration subsystem's counters (probes
+    /// ingested, ratio histogram, deployment-gate accounting). Answered
+    /// in stream order like [`Control::Whatif`] so served and offline
+    /// replays render byte-identical tables (see `crate::feedback`).
+    Calibration,
+}
+
+/// One observed-cost probe: the measured execution cost of a template
+/// (optionally under a specific index), as produced by `dbsim::measure`
+/// or live instrumentation. `query` carries the validated template
+/// identity; its frequency is meaningless here and fixed at 1.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObservedEvent {
+    /// The template the cost was observed for.
+    pub query: Query,
+    /// The index the execution used (`None` = sequential scan).
+    pub index: Option<Vec<AttrId>>,
+    /// Measured execution cost. Always finite coming out of the parser
+    /// (JSON has no NaN); non-positive values are accepted here and
+    /// rejected — counted — by the feedback tracker.
+    pub cost: f64,
 }
 
 /// One successfully parsed input line.
@@ -63,6 +84,8 @@ pub enum Control {
 pub enum InputLine {
     /// A validated query event.
     Query(Query),
+    /// A validated observed-cost probe.
+    Observed(ObservedEvent),
     /// A control command.
     Control(Control),
 }
@@ -78,6 +101,8 @@ struct RawLine {
     kind: Option<QueryKind>,
     budget: Option<u64>,
     table_group: Option<u16>,
+    observed_cost: Option<f64>,
+    index: Option<Vec<u32>>,
 }
 
 /// Parse and validate one JSONL line against `schema`.
@@ -104,6 +129,7 @@ pub fn parse_line(line: &str, schema: &Schema) -> Result<InputLine, String> {
                 let budget = raw.budget.ok_or("budget requires \"budget\"")?;
                 Ok(InputLine::Control(Control::Budget { budget }))
             }
+            "calibration" => Ok(InputLine::Control(Control::Calibration)),
             other => Err(format!("unknown control command {other:?}")),
         };
     }
@@ -128,7 +154,31 @@ pub fn parse_line(line: &str, schema: &Schema) -> Result<InputLine, String> {
             return Err(format!("attribute a{a} does not belong to {table}"));
         }
     }
-    let attrs = attrs.into_iter().map(AttrId).collect();
+    let attrs: Vec<AttrId> = attrs.into_iter().map(AttrId).collect();
+    if let Some(cost) = raw.observed_cost {
+        if !cost.is_finite() {
+            return Err("observed_cost must be finite".into());
+        }
+        let query = Query::with_kind(table, attrs, 1, raw.kind.unwrap_or_default());
+        let index = match raw.index {
+            None => None,
+            Some(ix) => {
+                if ix.is_empty() {
+                    return Err("an observed index needs at least one attribute".into());
+                }
+                for &a in &ix {
+                    if a as usize >= schema.attr_count() {
+                        return Err(format!("unknown attribute a{a}"));
+                    }
+                    if schema.attribute(AttrId(a)).table != table {
+                        return Err(format!("attribute a{a} does not belong to {table}"));
+                    }
+                }
+                Some(ix.into_iter().map(AttrId).collect())
+            }
+        };
+        return Ok(InputLine::Observed(ObservedEvent { query, index, cost }));
+    }
     Ok(InputLine::Query(Query::with_kind(
         table,
         attrs,
@@ -234,6 +284,54 @@ mod tests {
         assert!(
             parse_line(r#"{"control":"tenant","table_group":9,"budget":1}"#, &s).is_err(),
             "unknown group rejected"
+        );
+    }
+
+    #[test]
+    fn parses_observed_cost_events() {
+        let s = schema();
+        match parse_line(r#"{"table":0,"attrs":[1,0],"observed_cost":12.5}"#, &s).unwrap() {
+            InputLine::Observed(o) => {
+                assert_eq!(o.query.table(), TableId(0));
+                assert_eq!(o.query.attrs(), &[AttrId(0), AttrId(1)]);
+                assert_eq!(o.cost, 12.5);
+                assert_eq!(o.index, None);
+            }
+            other => panic!("expected observed, got {other:?}"),
+        }
+        match parse_line(
+            r#"{"table":0,"attrs":[0],"kind":"Update","observed_cost":3.0,"index":[0,1]}"#,
+            &s,
+        )
+        .unwrap()
+        {
+            InputLine::Observed(o) => {
+                assert!(o.query.is_update());
+                assert_eq!(o.index, Some(vec![AttrId(0), AttrId(1)]));
+            }
+            other => panic!("expected observed, got {other:?}"),
+        }
+        // Non-positive costs parse (the tracker counts them rejected).
+        assert!(matches!(
+            parse_line(r#"{"table":0,"attrs":[0],"observed_cost":0.0}"#, &s).unwrap(),
+            InputLine::Observed(_)
+        ));
+        // Schema violations in the index are rejected like query attrs.
+        for bad in [
+            r#"{"table":0,"attrs":[0],"observed_cost":1.0,"index":[]}"#,
+            r#"{"table":0,"attrs":[0],"observed_cost":1.0,"index":[99]}"#,
+            r#"{"table":0,"attrs":[0],"observed_cost":1.0,"index":[2]}"#,
+            r#"{"table":9,"attrs":[0],"observed_cost":1.0}"#,
+        ] {
+            assert!(parse_line(bad, &s).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn parses_calibration_control() {
+        assert_eq!(
+            parse_line(r#"{"control":"calibration"}"#, &schema()).unwrap(),
+            InputLine::Control(Control::Calibration)
         );
     }
 

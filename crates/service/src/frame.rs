@@ -137,6 +137,7 @@ fn put_control(out: &mut Vec<u8>, c: Control) {
             out.push(5);
             put_varint(out, budget);
         }
+        Control::Calibration => out.push(6),
     }
 }
 
@@ -153,6 +154,7 @@ fn get_control(b: &[u8], pos: &mut usize) -> Option<Control> {
             budget: get_varint(b, pos)?,
         },
         5 => Control::Budget { budget: get_varint(b, pos)? },
+        6 => Control::Calibration,
         _ => return None,
     })
 }
@@ -508,6 +510,7 @@ pub fn render_control(tag: Option<(u64, u64)>, control: Control) -> String {
             format!("\"control\":\"tenant\",\"table_group\":{table},\"budget\":{budget}")
         }
         Control::Budget { budget } => format!("\"control\":\"budget\",\"budget\":{budget}"),
+        Control::Calibration => "\"control\":\"calibration\"".to_owned(),
     };
     match tag {
         Some((conn, seq)) => format!("{{\"conn\":{conn},\"seq\":{seq},{body}}}"),
@@ -536,6 +539,7 @@ pub fn parse_canonical(line: &str) -> Option<(Option<(u64, u64)>, CanonicalBody)
             "whatif" => Control::Whatif { budget: raw.budget? },
             "tenant" => Control::Tenant { table: raw.table_group?, budget: raw.budget? },
             "budget" => Control::Budget { budget: raw.budget? },
+            "calibration" => Control::Calibration,
             _ => return None,
         };
         (CanonicalBody::Control(control), render_control(tag, control))
@@ -600,6 +604,7 @@ mod tests {
                 item: Box::new(WireItem::Control(Control::Whatif { budget: 9 })),
             },
             WireItem::Control(Control::Budget { budget: 1 << 33 }),
+            WireItem::Control(Control::Calibration),
             WireItem::Sup(br#"{"hello":true}"#.to_vec()),
         ];
         assert_eq!(round_trip(&items), items);
@@ -674,6 +679,7 @@ mod tests {
             r#"{"control":"whatif","budget":4096}"#,
             r#"{"control":"tenant","table_group":2,"budget":77}"#,
             r#"{"control":"budget","budget":65536}"#,
+            r#"{"control":"calibration"}"#,
         ] {
             let (tag, body) = parse_canonical(line).unwrap_or_else(|| panic!("rejected {line}"));
             let back = match body {

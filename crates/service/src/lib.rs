@@ -100,6 +100,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod daemon;
 pub mod event;
+pub mod feedback;
 pub mod frame;
 pub mod journal;
 pub mod mmap;
@@ -119,9 +120,10 @@ pub use arbiter::{
 pub use checkpoint::{
     shard_file, Checkpoint, GroupCheckpoint, Manifest, ShardCheckpoint, CHECKPOINT_VERSION,
 };
-pub use config::{DriftThresholds, ServiceConfig};
+pub use config::{CalibrationConfig, DriftThresholds, ServiceConfig};
 pub use daemon::{offline_adapt, offline_snapshots, Daemon, OverloadPolicy, ServiceReport};
 pub use event::{parse_line, parse_token, Control, InputLine};
+pub use feedback::{CalCounters, CalSnapshot, FeedbackCheckpoint, GroupFeedback, RatioTracker};
 pub use frame::{FrameEncoder, WireItem, FORMAT_VERSION, MAGIC, MAX_PAYLOAD};
 pub use journal::{convert, read_journal_bytes, JournalConfig, JournalWriter, WireFormat};
 pub use mmap::MappedFile;

@@ -65,6 +65,7 @@ use crate::checkpoint::{
 use crate::config::ServiceConfig;
 use crate::daemon::ServiceReport;
 use crate::event::{parse_line, parse_token, Control, InputLine};
+use crate::feedback::{self, CalSnapshot};
 use crate::frame::{put_frame, put_item, render_query, WireItem, MAX_PAYLOAD};
 use crate::records::{Record, RecordIter};
 use crate::router::{Committer, GroupState};
@@ -194,6 +195,11 @@ pub enum WorkerMsg {
         /// the ack keeps the in-band contract — an interactive status
         /// reply reflects exactly the events that precede the query.
         counts: Vec<(u32, u64, u64, u64)>,
+        /// Per-shard absolute calibration counter sums at the barrier
+        /// point, summed over the shard's groups. Defaulted so streams
+        /// recorded before the feedback subsystem still parse.
+        #[serde(default)]
+        cal: Vec<(u32, CalSnapshot)>,
     },
     /// Final absolute counters for one hosted shard, sent at shutdown.
     Final {
@@ -410,7 +416,17 @@ pub fn run_worker_io<R: BufRead, W: Write>(input: R, mut out: W) -> Result<(), S
                 .window
                 .snapshot()
                 .expect("snapshot exists after an epoch seals");
-            let mut outcome = group.tuner.tune(&snap, par, Trace::disabled());
+            let mut outcome = feedback::tune_group(
+                &mut group.tuner,
+                &mut group.window,
+                &mut group.feedback,
+                &snap,
+                &schema,
+                &config,
+                par,
+                Trace::disabled(),
+                None,
+            );
             outcome.shard = Some(shard);
             let msg = WorkerMsg::Outcome {
                 shard,
@@ -460,7 +476,17 @@ pub fn run_worker_io<R: BufRead, W: Write>(input: R, mut out: W) -> Result<(), S
                             .iter()
                             .map(|(k, c)| (*k, c.ingested, c.invalid, c.dropped))
                             .collect();
-                        send!(WorkerMsg::Ack { id, counts });
+                        let cal = ctxs
+                            .iter()
+                            .map(|(k, c)| {
+                                let mut sum = CalSnapshot::default();
+                                for g in c.groups.values() {
+                                    sum.add(&g.feedback.snapshot());
+                                }
+                                (*k, sum)
+                            })
+                            .collect();
+                        send!(WorkerMsg::Ack { id, counts, cal });
                     }
                     SupMsg::Adopt { shard, data } => {
                         let restore = || -> Result<ShardCtx, String> {
@@ -473,8 +499,10 @@ pub fn run_worker_io<R: BufRead, W: Write>(input: R, mut out: W) -> Result<(), S
                                 dropped: cp.dropped,
                             };
                             for gc in &cp.groups {
-                                let (tuner, window) = gc.restore(&schema, &config)?;
-                                ctx.groups.insert(gc.table, GroupState { tuner, window });
+                                ctx.groups.insert(
+                                    gc.table,
+                                    GroupState::from_checkpoint(gc, &schema, &config)?,
+                                );
                             }
                             Ok(ctx)
                         };
@@ -524,7 +552,15 @@ pub fn run_worker_io<R: BufRead, W: Write>(input: R, mut out: W) -> Result<(), S
                                 groups: ctx
                                     .groups
                                     .values_mut()
-                                    .map(|g| GroupCheckpoint::capture(&mut g.tuner, &g.window))
+                                    .map(|g| {
+                                        GroupCheckpoint::capture(&mut g.tuner, &g.window)
+                                            .with_feedback(
+                                                config
+                                                    .calibration
+                                                    .enabled
+                                                    .then(|| g.feedback.save()),
+                                            )
+                                    })
                                     .collect(),
                             };
                             let file = shard_file(manifest, k, generation);
@@ -564,6 +600,16 @@ pub fn run_worker_io<R: BufRead, W: Write>(input: R, mut out: W) -> Result<(), S
                 match parse_line(trimmed, &schema) {
                     Ok(InputLine::Query(q)) => {
                         ingest(&q, shard, ctx, &mut out, &mut gone)?;
+                    }
+                    // Observed-cost probes feed the owning group's ratio
+                    // tracker; they never count as ingested events.
+                    Ok(InputLine::Observed(o)) => {
+                        let table = o.query.table();
+                        let group = ctx
+                            .groups
+                            .entry(table.0)
+                            .or_insert_with(|| GroupState::fresh(&schema, &config, table));
+                        group.feedback.observe(&config, &o, None, Trace::disabled());
                     }
                     // Mirror the in-process worker: a line that routed
                     // as a table line but parses as a control is
@@ -628,6 +674,9 @@ struct Shared<'a> {
     /// Per-shard absolute counters `(ingested, invalid, dropped)` as
     /// last reported by the hosting worker.
     counts: Mutex<BTreeMap<u32, (u64, u64, u64)>>,
+    /// Per-shard absolute calibration counter sums, as last reported on
+    /// a worker ack.
+    cal: Mutex<BTreeMap<u32, CalSnapshot>>,
     /// Outstanding interactive queries by id.
     pending: Mutex<HashMap<u64, PendingInteractive>>,
     /// Per-shard journal tails since the last committed generation.
@@ -649,6 +698,25 @@ impl Shared<'_> {
             .fold((0u64, 0u64), |(i, v), &(ci, cv, _)| (i + ci, v + cv));
         self.board.ingested.store(i, Ordering::Relaxed);
         self.board.invalid.store(v, Ordering::Relaxed);
+    }
+
+    fn set_cal(&self, shard: u32, snap: CalSnapshot) {
+        let mut cal = self.cal.lock().expect("cal lock poisoned");
+        cal.insert(shard, snap);
+        let mut total = CalSnapshot::default();
+        for s in cal.values() {
+            total.add(s);
+        }
+        self.board.cal.store(&total);
+    }
+
+    fn cal_total(&self) -> CalSnapshot {
+        let cal = self.cal.lock().expect("cal lock poisoned");
+        let mut total = CalSnapshot::default();
+        for s in cal.values() {
+            total.add(s);
+        }
+        total
     }
 
     fn dropped_total(&self) -> u64 {
@@ -693,6 +761,10 @@ impl Shared<'_> {
                     &self.arbiter.allocations(),
                 ))
             }
+            // The acks that released this answer carried each shard's
+            // calibration sums, so the total reflects exactly the
+            // events preceding the query.
+            Control::Calibration => Some(self.cal_total().render()),
             c => self.arbiter.answer(c),
         };
         if let Some(answer) = answer {
@@ -723,6 +795,18 @@ fn collect(slot: usize, out: ChildStdout, shared: &Shared<'_>, eof: &AtomicBool)
                 {
                     let mut map = shared.outcomes.lock().expect("outcomes lock poisoned");
                     if let std::collections::btree_map::Entry::Vacant(slot) = map.entry(key) {
+                        // Deploy-gate actions trace supervisor-side at
+                        // the dedupe point, so a failover replay's
+                        // re-reported outcome never double-counts.
+                        if let (Some(sink), Some(note)) = (shared.sink, &outcome.deploy) {
+                            sink.record(TraceEvent::Deploy {
+                                action: note.action.clone(),
+                                table: key.0,
+                                epoch: outcome.epoch,
+                                incumbent_cost: note.incumbent_cost,
+                                candidate_cost: note.candidate_cost,
+                            });
+                        }
                         slot.insert(outcome);
                         shared.board.epochs.fetch_add(1, Ordering::Relaxed);
                     }
@@ -747,9 +831,12 @@ fn collect(slot: usize, out: ChildStdout, shared: &Shared<'_>, eof: &AtomicBool)
                     }
                 }
             }
-            WorkerMsg::Ack { id, counts } => {
+            WorkerMsg::Ack { id, counts, cal } => {
                 for (shard, ingested, invalid, dropped) in counts {
                     shared.set_counts(shard, ingested, invalid, dropped);
+                }
+                for (shard, snap) in cal {
+                    shared.set_cal(shard, snap);
                 }
                 shared.ack(slot, id);
             }
@@ -935,6 +1022,7 @@ impl Supervisor {
         let shared = Shared {
             outcomes: Mutex::new(BTreeMap::new()),
             counts: Mutex::new(BTreeMap::new()),
+            cal: Mutex::new(BTreeMap::new()),
             pending: Mutex::new(HashMap::new()),
             tails: Mutex::new((0..shards).map(|k| (k, VecDeque::new())).collect()),
             failure: Mutex::new(None),
@@ -1417,7 +1505,8 @@ impl Supervisor {
                                         c @ (Control::Status
                                         | Control::Whatif { .. }
                                         | Control::Tenant { .. }
-                                        | Control::Budget { .. }),
+                                        | Control::Budget { .. }
+                                        | Control::Calibration),
                                     )) => {
                                         let reply = interactive.as_ref().and_then(|reg| {
                                             parse_token(trimmed).and_then(|t| reg.take(t))
@@ -1432,7 +1521,8 @@ impl Supervisor {
                                             reply,
                                         )?;
                                     }
-                                    Ok(InputLine::Query(_)) | Err(_) => {
+                                    Ok(InputLine::Query(_) | InputLine::Observed(_))
+                                    | Err(_) => {
                                         route(
                                             &mut slots,
                                             &mut owners,
@@ -1486,7 +1576,8 @@ impl Supervisor {
                             c @ (Control::Status
                             | Control::Whatif { .. }
                             | Control::Tenant { .. }
-                            | Control::Budget { .. }),
+                            | Control::Budget { .. }
+                            | Control::Calibration),
                         )) => {
                             let id = next_query_id;
                             next_query_id += 1;

@@ -62,6 +62,7 @@ use crate::checkpoint::{
 use crate::config::ServiceConfig;
 use crate::daemon::{flatten_item, FlatItem, OverloadPolicy, ServiceReport};
 use crate::event::{parse_line, parse_token, Control, InputLine};
+use crate::feedback::{self, GroupFeedback};
 use crate::frame::WireItem;
 use crate::queue::BoundedQueue;
 use crate::records::{validate_define, DecodeDict, Record, RecordIter};
@@ -111,6 +112,7 @@ enum ShardItem {
 pub(crate) struct GroupState {
     pub(crate) tuner: Tuner,
     pub(crate) window: EpochWindow,
+    pub(crate) feedback: GroupFeedback,
 }
 
 impl GroupState {
@@ -123,7 +125,23 @@ impl GroupState {
                 config.window_epochs,
                 config.max_templates,
             ),
+            feedback: GroupFeedback::new(config),
         }
+    }
+
+    /// Restore a group — tuning state and feedback state — from a
+    /// checkpoint document.
+    pub(crate) fn from_checkpoint(
+        gc: &GroupCheckpoint,
+        schema: &Schema,
+        config: &ServiceConfig,
+    ) -> Result<Self, String> {
+        let (tuner, window) = gc.restore(schema, config)?;
+        let feedback = match &gc.feedback {
+            Some(saved) => GroupFeedback::load(saved, config)?,
+            None => GroupFeedback::new(config),
+        };
+        Ok(Self { tuner, window, feedback })
     }
 }
 
@@ -383,8 +401,10 @@ impl Router {
                         gc.table
                     ));
                 }
-                let (tuner, window) = gc.restore(&router.schema, &router.config)?;
-                router.groups.insert(gc.table, GroupState { tuner, window });
+                router.groups.insert(
+                    gc.table,
+                    GroupState::from_checkpoint(gc, &router.schema, &router.config)?,
+                );
             }
         }
         router.routed_lines = manifest.routed_lines;
@@ -430,6 +450,17 @@ impl Router {
     /// Sealed epochs tuned across all groups (lifetime).
     pub fn epochs_tuned(&self) -> u64 {
         self.groups.values().map(|g| g.tuner.epoch()).sum()
+    }
+
+    /// Canonical calibration snapshot line summed over every table
+    /// group — byte-identical to the in-band `{"control":"calibration"}`
+    /// answer at this point in the stream.
+    pub fn calibration(&self) -> String {
+        let mut sum = crate::feedback::CalSnapshot::default();
+        for g in self.groups.values() {
+            sum.add(&g.feedback.snapshot());
+        }
+        sum.render()
     }
 
     fn parallelism(&self) -> Parallelism {
@@ -594,7 +625,8 @@ impl Router {
                                     Ok(InputLine::Control(
                                         c @ (Control::Whatif { .. }
                                         | Control::Tenant { .. }
-                                        | Control::Budget { .. }),
+                                        | Control::Budget { .. }
+                                        | Control::Calibration),
                                     )) => {
                                         let reply = interactive.as_ref().and_then(|reg| {
                                             parse_token(trimmed).and_then(|t| reg.take(t))
@@ -605,7 +637,8 @@ impl Router {
                                     // as invalid by a worker at its stream
                                     // position (deterministic), not by the
                                     // router.
-                                    Ok(InputLine::Query(_)) | Err(_) => {
+                                    Ok(InputLine::Query(_) | InputLine::Observed(_))
+                                    | Err(_) => {
                                         push(
                                             map_ref.opaque_shard(),
                                             ShardItem::Line(trimmed.to_owned()),
@@ -658,7 +691,8 @@ impl Router {
                         Record::Item(WireItem::Control(
                             c @ (Control::Whatif { .. }
                             | Control::Tenant { .. }
-                            | Control::Budget { .. }),
+                            | Control::Budget { .. }
+                            | Control::Calibration),
                         )) => enqueue_query(c, None),
                         // Tagged/Raw were unwrapped above; anything else
                         // would be a decoder invariant violation — count
@@ -813,7 +847,17 @@ fn shard_worker(
                 .window
                 .snapshot()
                 .expect("snapshot exists after an epoch seals");
-            let mut out = group.tuner.tune(&snap, ctx.par, trace);
+            let mut out = feedback::tune_group(
+                &mut group.tuner,
+                &mut group.window,
+                &mut group.feedback,
+                &snap,
+                ctx.schema,
+                ctx.config,
+                ctx.par,
+                trace,
+                Some(&ctx.board.cal),
+            );
             out.shard = Some(ctx.shard);
             outcomes.push(out);
             ctx.board.epochs.fetch_add(1, Ordering::Relaxed);
@@ -832,6 +876,15 @@ fn shard_worker(
             ShardItem::Line(line) => match parse_line(&line, ctx.schema) {
                 Ok(InputLine::Query(q)) => {
                     ingest(&q, &mut groups, &mut outcomes, &mut ingested);
+                }
+                // Observed-cost probes feed the owning group's ratio
+                // tracker; they never count as ingested events.
+                Ok(InputLine::Observed(o)) => {
+                    let table = o.query.table();
+                    let group = groups
+                        .entry(table.0)
+                        .or_insert_with(|| GroupState::fresh(ctx.schema, ctx.config, table));
+                    group.feedback.observe(ctx.config, &o, Some(&ctx.board.cal), trace);
                 }
                 // A line carrying both a top-level "table" and "control"
                 // key routes as a table line but parses as a control; the
@@ -885,7 +938,14 @@ fn shard_worker(
                 // this shard has been consumed. The last worker in
                 // answers from the arbiter's maintained state.
                 if pq.arrive() {
-                    if let Some(answer) = ctx.arbiter.answer(pq.control()) {
+                    let answer = match pq.control() {
+                        // The board's calibration counters are summed
+                        // across shards as they bump; at the barrier
+                        // every shard has consumed the preceding events.
+                        Control::Calibration => Some(ctx.board.cal.snapshot().render()),
+                        c => ctx.arbiter.answer(c),
+                    };
+                    if let Some(answer) = answer {
                         pq.respond(answer);
                     }
                 }
@@ -907,7 +967,11 @@ fn shard_worker(
                     dropped: ctx.base_dropped + queue.dropped(),
                     groups: groups
                         .values_mut()
-                        .map(|g| GroupCheckpoint::capture(&mut g.tuner, &g.window))
+                        .map(|g| {
+                            GroupCheckpoint::capture(&mut g.tuner, &g.window).with_feedback(
+                                ctx.config.calibration.enabled.then(|| g.feedback.save()),
+                            )
+                        })
                         .collect(),
                 };
                 let file = shard_file(path, ctx.shard, generation);
@@ -972,7 +1036,10 @@ pub fn offline_group_snapshots<R: BufRead>(
                 match parse_line(trimmed, schema) {
                     Ok(InputLine::Query(q)) => feed(&q, &mut windows, &mut out),
                     Ok(InputLine::Control(Control::Shutdown)) => break,
-                    Ok(InputLine::Control(_)) | Err(_) => {}
+                    // Observed-cost probes never shape the snapshot
+                    // reference: snapshots are a pure function of the
+                    // query events.
+                    Ok(InputLine::Control(_) | InputLine::Observed(_)) | Err(_) => {}
                 }
             }
             FlatItem::Control(Control::Shutdown) => break,

@@ -339,7 +339,8 @@ impl std::io::BufRead for ChannelReader {
 /// its input stream (journal semantics are identical to the unsharded
 /// path: when `journal` is given, every line is tagged with its
 /// connection/sequence ids in consumption order). Interactive `whatif`,
-/// `tenant` and `status` lines are stamped with a reply-routing token
+/// `tenant`, `calibration` and `status` lines are stamped with a
+/// reply-routing token
 /// ([`InteractiveRegistry`]); the answer — computed from the live
 /// [`crate::Arbiter`] after every event that preceded the query, never
 /// by re-running selection — is written back on the issuing connection
@@ -575,6 +576,7 @@ fn serve_router_connection(
                     | Control::Whatif { .. }
                     | Control::Tenant { .. }
                     | Control::Budget { .. }
+                    | Control::Calibration
             )
         );
         let mut pending = None;

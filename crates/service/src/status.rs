@@ -22,6 +22,7 @@
 //! Status is out of band by design: it is never queued with events and
 //! therefore cannot perturb replay determinism.
 
+use crate::feedback::CalCounters;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Shared live counters of one service run.
@@ -46,6 +47,9 @@ pub struct StatusBoard {
     /// (EPIPE/partial write on a whatif/tenant/status response; the
     /// serving loop keeps going).
     pub reply_errors: AtomicU64,
+    /// Observed-cost calibration counters (all zero with calibration
+    /// disabled; see [`crate::feedback`]).
+    pub cal: CalCounters,
     /// Number of shards serving (0 = unsharded daemon).
     pub shards: u32,
 }
@@ -84,7 +88,7 @@ impl StatusBoard {
             "{{\"status\":{{\"shards\":{},\"ingested\":{},\"invalid\":{},\"dropped\":{},\
              \"epochs\":{},\"checkpoints\":{},\"failovers\":{},\"restarts\":{},\
              \"reply_errors\":{},\"queues\":[{queues}],\
-             \"allocations\":[{allocs}]}}}}",
+             \"allocations\":[{allocs}],\"calibration\":{}}}}}",
             self.shards,
             self.ingested.load(Ordering::Relaxed),
             self.invalid.load(Ordering::Relaxed),
@@ -94,6 +98,7 @@ impl StatusBoard {
             self.failovers.load(Ordering::Relaxed),
             self.restarts.load(Ordering::Relaxed),
             self.reply_errors.load(Ordering::Relaxed),
+            self.cal.snapshot().render_inner(),
         )
     }
 }
@@ -245,6 +250,22 @@ mod tests {
             })
             .collect();
         assert_eq!(allocs, vec![vec![0, 4096], vec![2, 1024]], "per-group budget split");
+        board.cal.probes.store(9, Ordering::Relaxed);
+        board.cal.opened.store(2, Ordering::Relaxed);
+        board.cal.promoted.store(1, Ordering::Relaxed);
+        board.cal.hist[4].store(5, Ordering::Relaxed);
+        let line3 = board.line(0, &[0], &[]);
+        let v3: serde_json::Value = serde_json::from_str(&line3).unwrap();
+        let cal = v3
+            .get("status")
+            .and_then(|s| s.get("calibration"))
+            .expect("calibration object");
+        let cfield = |key: &str| cal.get(key).and_then(|f| f.as_u64());
+        assert_eq!(cfield("probes"), Some(9));
+        assert_eq!(cfield("opened"), Some(2));
+        assert_eq!(cfield("promoted"), Some(1));
+        assert_eq!(cfield("in_flight"), Some(1), "opened - promoted - rolled_back");
+        assert_eq!(cal.get("hist").and_then(|h| h.as_array()).unwrap().len(), 8);
         assert!(!line.contains('\n'), "one line, scrape-friendly");
     }
 

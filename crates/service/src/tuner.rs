@@ -29,7 +29,7 @@ use isel_core::algorithm1::{self, Options};
 use isel_core::reconfig::ReconfigCosts;
 use isel_core::trace::{Trace, TraceEvent};
 use isel_core::{budget, Parallelism, Selection};
-use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf};
+use isel_costmodel::{AnalyticalWhatIf, CachingWhatIf, WhatIfOptimizer};
 use isel_workload::drift;
 use isel_workload::{IndexPool, Schema, TableId, Workload};
 use std::sync::Arc;
@@ -83,6 +83,27 @@ pub struct EpochOutcome {
     pub table: Option<TableId>,
     /// Shard the epoch was tuned on (`None` outside the sharded router).
     pub shard: Option<u32>,
+    /// Deployment-gate action taken this epoch (`None` when the
+    /// calibration gate is disabled or idle — absent on the wire, so
+    /// uncalibrated outcome messages are byte-identical to earlier
+    /// releases). See [`crate::feedback`].
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub deploy: Option<DeployNote>,
+}
+
+/// Deployment-gate verdict attached to an [`EpochOutcome`] when the
+/// calibration subsystem opened, promoted, or rolled back a candidate
+/// selection this epoch (see [`crate::feedback`]).
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DeployNote {
+    /// `"candidate"`, `"promote"`, or `"rollback"`.
+    pub action: String,
+    /// Workload cost of the incumbent selection under this epoch's
+    /// estimator.
+    pub incumbent_cost: f64,
+    /// Workload cost of the candidate selection under this epoch's
+    /// estimator.
+    pub candidate_cost: f64,
 }
 
 /// Stateful per-epoch tuner: current selection, drift baseline, and the
@@ -207,6 +228,14 @@ impl Tuner {
         before - remap.retained()
     }
 
+    /// Set the lifetime epoch counter. Used by the deployment gate's
+    /// rollback path ([`crate::feedback`]): a restored tuner must keep
+    /// counting from the pre-rollback epoch so outcome streams stay
+    /// monotonic and supervisor-side dedup by `(table, epoch)` works.
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
     /// Tune one sealed epoch against its window `snapshot`.
     ///
     /// Emits the full Algorithm-1 event stream of any run it performs
@@ -214,6 +243,21 @@ impl Tuner {
     /// observable (the strategies' zero-cost trace contract).
     pub fn tune(&mut self, snapshot: &Workload, par: Parallelism, trace: Trace<'_>) -> EpochOutcome {
         let est = CachingWhatIf::new(AnalyticalWhatIf::new(snapshot));
+        self.tune_with(snapshot, &est, par, trace)
+    }
+
+    /// [`Self::tune`] against a caller-supplied estimator — the seam the
+    /// calibration subsystem uses to swap in a
+    /// [`isel_costmodel::CalibratedWhatIf`] stack. `tune` builds the
+    /// default `CachingWhatIf<AnalyticalWhatIf>` and delegates here, so
+    /// both paths are bit-identical when the estimator is.
+    pub fn tune_with<W: WhatIfOptimizer>(
+        &mut self,
+        snapshot: &Workload,
+        est: &W,
+        par: Parallelism,
+        trace: Trace<'_>,
+    ) -> EpochOutcome {
         let budget = match self.scope {
             Some(t) => budget::table_relative_budget(&est, self.config.budget_share, t),
             None => budget::relative_budget(&est, self.config.budget_share),
@@ -292,6 +336,7 @@ impl Tuner {
             budget,
             table: self.scope,
             shard: None,
+            deploy: None,
         }
     }
 }

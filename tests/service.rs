@@ -885,3 +885,130 @@ fn rotated_journal_survives_a_mid_segment_kill() {
         std::fs::remove_dir_all(&dir).ok();
     }
 }
+
+// --------------------------------------------- observed-cost feedback
+
+/// Interleave an observed-cost probe after every `every`-th query pick,
+/// re-stating the just-picked template with a synthetic measured cost.
+fn render_log_with_probes(w: &Workload, picks: &[(usize, u64)], every: usize) -> String {
+    let qs = w.queries();
+    let mut out = String::new();
+    for (n, &(i, f)) in picks.iter().enumerate() {
+        let q = &qs[i % qs.len()];
+        let attrs: Vec<String> = q.attrs().iter().map(|a| a.0.to_string()).collect();
+        out.push_str(&format!(
+            "{{\"table\":{},\"attrs\":[{}],\"frequency\":{f}}}\n",
+            q.table().0,
+            attrs.join(",")
+        ));
+        if (n + 1) % every == 0 {
+            out.push_str(&format!(
+                "{{\"table\":{},\"attrs\":[{}],\"observed_cost\":{}}}\n",
+                q.table().0,
+                attrs.join(","),
+                (n % 7 + 1) as f64 * 3.5
+            ));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The disabled-calibration contract (DESIGN.md §17): observed-cost
+    /// probes are invisible to selection when calibration is off. The
+    /// probe-interleaved log replays bit-identically to the probe-free
+    /// log at 1, 2 and 4 shards, and probes never count as ingested
+    /// events.
+    #[test]
+    fn disabled_calibration_ignores_observed_probes(
+        picks in prop::collection::vec((0usize..10_000, 1u64..40), 24..72),
+        every in 2usize..6,
+    ) {
+        let w = workload();
+        let plain = render_log(&w, &picks);
+        let with_probes = render_log_with_probes(&w, &picks, every);
+
+        let mut reference = Router::new(w.schema().clone(), sharded_config(1)).unwrap();
+        let baseline = reference
+            .run_reader(Cursor::new(plain), OverloadPolicy::Block, None, &[])
+            .unwrap();
+        for shards in [1u32, 2, 4] {
+            let mut router =
+                Router::new(w.schema().clone(), sharded_config(shards)).unwrap();
+            let report = router
+                .run_reader(Cursor::new(with_probes.clone()), OverloadPolicy::Block, None, &[])
+                .unwrap();
+            // Probes must never count as ingested events.
+            prop_assert_eq!(report.ingested, picks.len() as u64);
+            prop_assert_eq!(report.invalid, 0);
+            prop_assert_eq!(baseline.epochs.len(), report.epochs.len());
+            for (a, b) in baseline.epochs.iter().zip(&report.epochs) {
+                prop_assert_eq!(a.table, b.table);
+                prop_assert_eq!(a.epoch, b.epoch);
+                prop_assert_eq!(&a.selection, &b.selection);
+                prop_assert_eq!(a.workload_cost.to_bits(), b.workload_cost.to_bits());
+                prop_assert_eq!(a.reconfig_paid.to_bits(), b.reconfig_paid.to_bits());
+            }
+            prop_assert_eq!(&baseline.final_selection, &report.final_selection);
+        }
+    }
+}
+
+/// The observed-cost fixture pair is frozen like the plain TPC-C pair:
+/// `journal convert` regenerates the binary twin byte-identically and
+/// converts it back losslessly (probes ride as raw-framed lines), and a
+/// calibrated daemon replays both encodings to the same learned
+/// calibration table with every probe counted.
+#[test]
+fn golden_observed_fixture_matches_its_jsonl_twin() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../examples");
+    let jsonl = std::fs::read(dir.join("tpcc_observed.jsonl")).unwrap();
+    let bin = std::fs::read(dir.join("tpcc_observed.bin")).unwrap();
+    assert_eq!(
+        convert(&jsonl, WireFormat::Binary),
+        bin,
+        "examples/tpcc_observed.bin is stale; regenerate with \
+         `isel journal convert --log examples/tpcc_observed.jsonl --to binary \
+         --out examples/tpcc_observed.bin`"
+    );
+    assert_eq!(convert(&bin, WireFormat::Jsonl), jsonl);
+    assert!(
+        bin.len() * 3 <= jsonl.len(),
+        "binary twin lost its size edge: {} vs {} bytes",
+        bin.len(),
+        jsonl.len()
+    );
+
+    let w = tpcc::generate(50).0;
+    let run = |bytes: &[u8]| {
+        let mut config = service_config(1);
+        config.calibration.enabled = true;
+        let mut daemon = Daemon::new(w.schema().clone(), config).unwrap();
+        let report = daemon
+            .run_reader(
+                Cursor::new(bytes.to_vec()),
+                OverloadPolicy::Block,
+                None,
+                Trace::disabled(),
+            )
+            .unwrap();
+        (report, daemon.calibration())
+    };
+    let (a, cal_a) = run(&jsonl);
+    let (b, cal_b) = run(&bin);
+    assert_eq!(a.ingested, 640, "probes never count as ingested events");
+    assert_eq!(a.invalid, 0, "every probe line must parse");
+    assert_eq!(a.ingested, b.ingested);
+    assert_eq!(a.invalid, b.invalid);
+    assert_eq!(cal_a, cal_b, "both encodings learn the same table");
+    assert!(cal_a.contains("\"probes\":80"), "all 80 probes counted: {cal_a}");
+    assert_eq!(a.epochs.len(), b.epochs.len());
+    for (x, y) in a.epochs.iter().zip(&b.epochs) {
+        assert_eq!(x.epoch, y.epoch);
+        assert_eq!(x.selection, y.selection);
+        assert_eq!(x.workload_cost.to_bits(), y.workload_cost.to_bits());
+    }
+    assert_eq!(a.final_selection, b.final_selection);
+}
