@@ -23,7 +23,7 @@ use isel_service::{
     offline_group_snapshots, offline_snapshots, read_journal_bytes, run_socket,
     run_socket_router, run_socket_supervisor, Checkpoint, Daemon, EpochOutcome,
     FrameEncoder, JournalConfig, MappedFile, OverloadPolicy, Router, ServiceConfig,
-    ServiceReport, Supervisor, WireFormat, MAGIC,
+    ServiceReport, Supervisor, TeeReader, WireFormat, MAGIC,
 };
 use isel_workload::erp::{self, ErpConfig};
 use isel_workload::synthetic::{self, SyntheticConfig};
@@ -32,7 +32,7 @@ use isel_workload::{tpcc, QueryId, QueryKind, Workload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Cursor, Write};
+use std::io::{BufRead, BufReader, Cursor, Read, Write};
 use std::path::{Path, PathBuf};
 
 /// `--format jsonl|binary` (default jsonl) — the event-stream encoding
@@ -255,6 +255,15 @@ fn serve_supervised(
     checkpoint: Option<&Path>,
     journal: Option<&JournalConfig>,
 ) -> Result<(), String> {
+    if let Some(dir) = args.get("state-dir") {
+        if args.get("socket").is_some() {
+            return Err(
+                "--state-dir serves on stdin (socket serving records with --journal instead)"
+                    .into(),
+            );
+        }
+        return serve_recoverable(args, workload, config, checkpoint, Path::new(dir));
+    }
     let mut sup =
         make_supervisor(workload, config, checkpoint, args.flag("resume"))?;
     let sink = trace_sink(args)?;
@@ -274,6 +283,81 @@ fn serve_supervised(
                 sink_ref,
             )?,
         }
+    };
+    finish_trace(sink)?;
+    print_report(&report, workload);
+    Ok(())
+}
+
+/// `serve --workers N --state-dir DIR`: stdin serving with supervisor
+/// crash recovery (DESIGN.md §18). Every consumed input byte is teed
+/// into `DIR/journal.log` *before* it is acted on; checkpoints commit
+/// through `DIR/checkpoint.json` (unless `--checkpoint` overrides it),
+/// the failover/restart counters persist in `DIR/status.json`, and the
+/// committed epoch-outcome history in `DIR/outcomes.json`. On
+/// startup a prior incarnation is detected from those files: the
+/// committed manifest restores every shard, the whole journal replays
+/// (records the checkpoint already covers are counted but not
+/// re-routed, committed generations are counted but not re-fired), and
+/// serving resumes on live stdin — with the final merged selection and
+/// checkpoint documents byte-identical to an uninterrupted run over
+/// the same stream.
+fn serve_recoverable(
+    args: &Args,
+    workload: &Workload,
+    config: ServiceConfig,
+    checkpoint: Option<&Path>,
+    dir: &Path,
+) -> Result<(), String> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("cannot create state dir {}: {e}", dir.display()))?;
+    let manifest_path =
+        checkpoint.map_or_else(|| dir.join("checkpoint.json"), Path::to_path_buf);
+    let journal_path = dir.join("journal.log");
+    let prior = match std::fs::read(&journal_path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(format!("cannot read {}: {e}", journal_path.display())),
+    };
+    let mut sup = if manifest_path.exists() {
+        if prior.is_empty() {
+            // The journal must span the stream from byte 0 for replay
+            // positions to line up with the manifest's routed_lines; a
+            // manifest without its journal cannot be recovered from.
+            return Err(format!(
+                "state dir {} holds a checkpoint manifest but no journal; recovery needs \
+                 both (to adopt a foreign checkpoint, resume once with --resume \
+                 --checkpoint and a fresh state dir)",
+                dir.display()
+            ));
+        }
+        let sup = Supervisor::resume(workload.schema().clone(), config, &manifest_path)?;
+        eprintln!(
+            "recovering {} shards across {} workers from {}",
+            sup.shards(),
+            sup.workers(),
+            manifest_path.display()
+        );
+        sup
+    } else {
+        Supervisor::new(workload.schema().clone(), config)?
+    };
+    if !prior.is_empty() {
+        eprintln!(
+            "replaying {} journal bytes from {}",
+            prior.len(),
+            journal_path.display()
+        );
+        sup.set_recovery(prior.len() as u64);
+    }
+    sup.set_state_dir(dir.to_path_buf());
+    let sink = trace_sink(args)?;
+    let report = {
+        let sink_ref = sink.as_ref().map(|s| s as &dyn TraceSink);
+        let stdin = std::io::stdin();
+        let tee = TeeReader::create(BufReader::new(stdin.lock()), &journal_path)?;
+        let input = Cursor::new(prior).chain(tee);
+        sup.run_reader(input, Some(manifest_path.as_path()), sink_ref)?
     };
     finish_trace(sink)?;
     print_report(&report, workload);
@@ -393,7 +477,9 @@ fn journal_config(args: &Args) -> Result<Option<JournalConfig>, String> {
 /// connection/sequence tags for deterministic replay. `SIGUSR1` or a
 /// `{"control":"status"}` line renders a live JSON status line, and
 /// `whatif`/`tenant` control lines are answered from the live arbiter
-/// on the issuing connection.
+/// on the issuing connection. `--workers N --state-dir DIR` adds
+/// supervisor crash recovery: the input stream journals into DIR and a
+/// restarted supervisor replays it to a byte-identical state.
 pub fn serve(args: &Args) -> Result<(), String> {
     let workload = load_workload(args)?;
     let config = service_config(args)?;
@@ -402,6 +488,13 @@ pub fn serve(args: &Args) -> Result<(), String> {
     let journal = journal_config(args)?;
     if journal.is_some() && args.get("socket").is_none() {
         return Err("--journal requires --socket (stdin input is already a replayable log)".into());
+    }
+    if args.get("state-dir").is_some() && config.workers == 0 {
+        return Err(
+            "--state-dir requires --workers N (supervisor crash recovery; single-process \
+             restart is --resume --checkpoint)"
+                .into(),
+        );
     }
     if config.workers > 0 {
         return serve_supervised(

@@ -219,9 +219,10 @@ fn supervised_rollback_survives_sigkill_in_the_rollback_window() {
     assert!(baseline.contains("final selection"), "baseline report:\n{baseline}");
 
     for fault in ["0:25", "0:28", "0:31"] {
-        let out = serve_supervised(&dir, &[], &[("ISEL_FAULT_KILL_AFTER", fault)]);
+        let schedule = format!("worker.ingest@{fault}");
+        let out = serve_supervised(&dir, &[], &[("ISEL_FAULT_SCHEDULE", &schedule)]);
         assert_ok(&out);
-        assert_eq!(stdout(&out), baseline, "kill-after {fault} changed the report");
+        assert_eq!(stdout(&out), baseline, "kill at {schedule} changed the report");
     }
 
     // The supervised final selection equals the in-process replay's.
@@ -233,7 +234,7 @@ fn supervised_rollback_survives_sigkill_in_the_rollback_window() {
     let traced_run = serve_supervised(
         &dir,
         &["--trace", trace.to_str().unwrap()],
-        &[("ISEL_FAULT_KILL_AFTER", "0:28")],
+        &[("ISEL_FAULT_SCHEDULE", "worker.ingest@0:28")],
     );
     assert_ok(&traced_run);
     let traced = std::fs::read_to_string(&trace).unwrap();

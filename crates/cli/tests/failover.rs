@@ -1,16 +1,17 @@
 //! End-to-end failover tests for `serve --workers N`.
 //!
 //! Each test drives the real `isel` binary: the supervisor spawns real
-//! worker child processes, a fault-injection variable makes exactly one
-//! worker SIGKILL itself at a chosen event position, and the final
-//! merged selection must come out **byte-identical** to a failure-free
-//! run — the DESIGN.md §16 contract. The fault hooks:
+//! worker child processes, an `ISEL_FAULT_SCHEDULE` entry (DESIGN.md
+//! §18) makes exactly one worker SIGKILL itself at a chosen event
+//! position, and the final merged selection must come out
+//! **byte-identical** to a failure-free run — the DESIGN.md §16
+//! contract. The sites used here:
 //!
-//! - `ISEL_FAULT_KILL_AFTER=shard:N` — the worker hosting `shard`
-//!   SIGKILLs itself after ingesting its `N`-th event on that shard.
-//! - `ISEL_FAULT_KILL_AT_CHECKPOINT=shard:G` — the worker writes the
-//!   shard's generation-`G` checkpoint file, then SIGKILLs itself
-//!   *before* reporting it — a torn checkpoint attempt.
+//! - `worker.ingest@shard:N` — the worker hosting `shard` SIGKILLs
+//!   itself after ingesting its `N`-th event on that shard.
+//! - `worker.checkpoint@shard:G` — the worker writes the shard's
+//!   generation-`G` checkpoint file, then SIGKILLs itself *before*
+//!   reporting it — a torn checkpoint attempt.
 
 use std::fs::File;
 use std::path::{Path, PathBuf};
@@ -114,12 +115,13 @@ fn sigkill_at_any_position_is_selection_invariant() {
     assert!(baseline.contains("final selection"), "baseline report:\n{baseline}");
 
     for fault in ["0:1", "0:25", "0:60", "1:1", "1:13"] {
-        let out = serve(&dir, &[], &[("ISEL_FAULT_KILL_AFTER", fault)]);
+        let schedule = format!("worker.ingest@{fault}");
+        let out = serve(&dir, &[], &[("ISEL_FAULT_SCHEDULE", &schedule)]);
         assert_ok(&out);
         assert_eq!(
             stdout(&out),
             baseline,
-            "kill-after {fault} changed the report"
+            "kill at {schedule} changed the report"
         );
     }
 }
@@ -178,7 +180,7 @@ fn checkpointed_failover_is_byte_identical_and_traced() {
             "--trace",
             trace.to_str().unwrap(),
         ],
-        &[("ISEL_FAULT_KILL_AFTER", "1:13")],
+        &[("ISEL_FAULT_SCHEDULE", "worker.ingest@1:13")],
     );
     assert_ok(&faulted);
     assert_eq!(stdout(&faulted), baseline, "failover changed the report");
@@ -207,14 +209,14 @@ fn kill_during_checkpoint_write_is_byte_identical() {
     let faulted = serve(
         &dir,
         &["--checkpoint", &cp("fault"), "--checkpoint-every", "1"],
-        &[("ISEL_FAULT_KILL_AT_CHECKPOINT", "0:2")],
+        &[("ISEL_FAULT_SCHEDULE", "worker.checkpoint@0:2")],
     );
     assert_ok(&faulted);
     assert_eq!(stdout(&faulted), stdout(&clean));
 }
 
 /// `--respawn` replaces the dead worker with a fresh child instead of
-/// piling its shards onto a survivor; the fault variables must not leak
+/// piling its shards onto a survivor; the fault schedule must not leak
 /// into the replacement (it would just die again), and the report is
 /// unchanged.
 #[test]
@@ -230,7 +232,7 @@ fn respawn_restores_on_a_fresh_worker() {
     let faulted = serve(
         &dir,
         &["--respawn", "--checkpoint", &cp("fault"), "--checkpoint-every", "1"],
-        &[("ISEL_FAULT_KILL_AFTER", "1:13")],
+        &[("ISEL_FAULT_SCHEDULE", "worker.ingest@1:13")],
     );
     assert_ok(&faulted);
     assert_eq!(stdout(&faulted), stdout(&clean));

@@ -189,6 +189,22 @@ pub enum TraceEvent {
         /// Wall time of restore + replay in microseconds.
         micros: u64,
     },
+    /// A restarted supervisor recovered a prior incarnation's state
+    /// directory: committed checkpoints restored, the input journal
+    /// replayed past the last committed generation, serving resumed.
+    /// Emitted by the service layer once per recovery (DESIGN.md §18).
+    Recovery {
+        /// Checkpoint generation the recovery resumed from (0 = no
+        /// committed generation existed; the journal replays in full).
+        generation: u64,
+        /// Journal lines skipped because the committed generation
+        /// already covered them.
+        skipped: u64,
+        /// Total bytes of prior-incarnation journal replayed.
+        journal_bytes: u64,
+        /// Wall time from startup to resumed serving in microseconds.
+        micros: u64,
+    },
     /// One observed-cost probe reached the feedback tracker. Emitted by
     /// the service layer, never by the strategies; `accepted` is false
     /// when the probe was rejected (non-finite or non-positive cost)
@@ -363,6 +379,7 @@ const BT_FAILOVER: u8 = 7;
 const BT_OBSERVED_COST: u8 = 8;
 const BT_CALIBRATION: u8 = 9;
 const BT_DEPLOY: u8 = 10;
+const BT_RECOVERY: u8 = 11;
 
 /// Encode one event in the tagged-varint binary form (no header).
 fn put_event(out: &mut Vec<u8>, event: &TraceEvent) {
@@ -459,6 +476,13 @@ fn put_event(out: &mut Vec<u8>, event: &TraceEvent) {
             put_varint(out, *generation);
             put_varint(out, *replayed);
             put_varint(out, u64::from(*adopted_by));
+            put_varint(out, *micros);
+        }
+        TraceEvent::Recovery { generation, skipped, journal_bytes, micros } => {
+            out.push(BT_RECOVERY);
+            put_varint(out, *generation);
+            put_varint(out, *skipped);
+            put_varint(out, *journal_bytes);
             put_varint(out, *micros);
         }
         TraceEvent::ObservedCost { table, cost, accepted } => {
@@ -609,6 +633,12 @@ fn get_event(b: &[u8], pos: &mut usize) -> Option<TraceEvent> {
             epoch: get_varint(b, pos)?,
             incumbent_cost: get_f64(b, pos)?,
             candidate_cost: get_f64(b, pos)?,
+        },
+        BT_RECOVERY => TraceEvent::Recovery {
+            generation: get_varint(b, pos)?,
+            skipped: get_varint(b, pos)?,
+            journal_bytes: get_varint(b, pos)?,
+            micros: get_varint(b, pos)?,
         },
         BT_RUN_END => TraceEvent::RunEnd {
             strategy: get_str(b, pos)?,
@@ -820,6 +850,8 @@ pub struct RunReport {
     pub merges: u64,
     /// Worker failovers observed (supervisor mode).
     pub failovers: u64,
+    /// Supervisor recoveries observed (restart from a state directory).
+    pub recoveries: u64,
     /// Observed-cost probes accepted by the feedback tracker.
     pub observed_accepted: u64,
     /// Observed-cost probes rejected (non-finite / non-positive cost).
@@ -874,6 +906,7 @@ impl RunReport {
                 TraceEvent::Epoch { .. } => r.epochs += 1,
                 TraceEvent::Merge { .. } => r.merges += 1,
                 TraceEvent::Failover { .. } => r.failovers += 1,
+                TraceEvent::Recovery { .. } => r.recoveries += 1,
                 TraceEvent::ObservedCost { accepted, .. } => {
                     if *accepted {
                         r.observed_accepted += 1;
@@ -1135,6 +1168,9 @@ impl RunReport {
         if self.failovers > 0 {
             let _ = writeln!(s, "failovers: {}", self.failovers);
         }
+        if self.recoveries > 0 {
+            let _ = writeln!(s, "recoveries: {}", self.recoveries);
+        }
         if self.observed_accepted + self.observed_rejected > 0 || self.calibrations > 0 {
             let _ = writeln!(
                 s,
@@ -1285,6 +1321,12 @@ mod tests {
             replayed: 1_234,
             adopted_by: 0,
             micros: 777,
+        });
+        events.push(TraceEvent::Recovery {
+            generation: 4,
+            skipped: 96,
+            journal_bytes: 8_192,
+            micros: 555,
         });
         events.push(TraceEvent::ObservedCost { table: 7, cost: 1.25, accepted: true });
         events.push(TraceEvent::ObservedCost { table: 0, cost: 0.0, accepted: false });

@@ -509,7 +509,14 @@ impl Manifest {
     pub fn save(&self, path: &Path) -> Result<(), String> {
         let json =
             serde_json::to_string(self).map_err(|e| format!("serialize manifest: {e}"))?;
-        atomic_write(path, json.as_bytes())
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, json.as_bytes())
+            .map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        // The `.tmp` is on disk, the rename is not — a kill here is the
+        // exact torn-manifest window the crash-safe probe must survive.
+        crate::fault::fire(crate::fault::CHECKPOINT_MANIFEST, self.generation as u32)?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), path.display()))
     }
 
     /// Load a manifest from `path`.

@@ -366,6 +366,7 @@ impl Daemon {
         queue: &BoundedQueue<WorkItem>,
         board: &StatusBoard,
     ) -> Result<(), String> {
+        crate::fault::fire(crate::fault::DAEMON_CHECKPOINT, 0)?;
         Checkpoint::capture(
             &self.config,
             &self.tuner,

@@ -100,6 +100,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod daemon;
 pub mod event;
+pub mod fault;
 pub mod feedback;
 pub mod frame;
 pub mod journal;
@@ -123,9 +124,10 @@ pub use checkpoint::{
 pub use config::{CalibrationConfig, DriftThresholds, ServiceConfig};
 pub use daemon::{offline_adapt, offline_snapshots, Daemon, OverloadPolicy, ServiceReport};
 pub use event::{parse_line, parse_token, Control, InputLine};
+pub use fault::{Schedule as FaultSchedule, ENV_SCHEDULE as ENV_FAULT_SCHEDULE};
 pub use feedback::{CalCounters, CalSnapshot, FeedbackCheckpoint, GroupFeedback, RatioTracker};
 pub use frame::{FrameEncoder, WireItem, FORMAT_VERSION, MAGIC, MAX_PAYLOAD};
-pub use journal::{convert, read_journal_bytes, JournalConfig, JournalWriter, WireFormat};
+pub use journal::{convert, read_journal_bytes, JournalConfig, JournalWriter, TeeReader, WireFormat};
 pub use mmap::MappedFile;
 pub use process::{run_worker, SupMsg, Supervisor, WorkerMsg};
 pub use records::{DecodeDict, Record, RecordIter};
@@ -133,6 +135,6 @@ pub use queue::BoundedQueue;
 pub use router::{offline_group_adapt, offline_group_snapshots, Router};
 pub use shard::{classify_line, LineClass, ShardMap, ShardTagSink};
 pub use socket::{run_socket, run_socket_router, run_socket_supervisor};
-pub use status::{install_status_signal, take_status_signal, StatusBoard};
+pub use status::{install_status_signal, take_status_signal, PersistedStatus, StatusBoard};
 pub use tuner::{EpochOutcome, TunePolicy, Tuner};
 pub use window::EpochWindow;

@@ -65,6 +65,7 @@ use crate::checkpoint::{
 use crate::config::ServiceConfig;
 use crate::daemon::ServiceReport;
 use crate::event::{parse_line, parse_token, Control, InputLine};
+use crate::fault;
 use crate::feedback::{self, CalSnapshot};
 use crate::frame::{put_frame, put_item, render_query, WireItem, MAX_PAYLOAD};
 use crate::records::{Record, RecordIter};
@@ -260,56 +261,6 @@ fn raw_frame(line: &str) -> Vec<u8> {
 // Worker side
 // ---------------------------------------------------------------------
 
-/// Fault-injection hooks for the failover tests, parsed from the
-/// environment the *supervisor* scopes to exactly one worker (every
-/// other child and every respawn gets the variables stripped, so a
-/// fault fires once, never in a loop).
-struct FaultPlan {
-    /// `ISEL_FAULT_KILL_AFTER="shard:N"`: `SIGKILL` self immediately
-    /// after ingesting the `N`-th valid event on that shard.
-    kill_after: Option<(u32, u64)>,
-    /// `ISEL_FAULT_KILL_AT_CHECKPOINT="shard:G"`: write the shard file
-    /// for generation `G`, then `SIGKILL` self *before* reporting
-    /// [`WorkerMsg::CheckpointDone`] — a torn checkpoint attempt.
-    kill_at_checkpoint: Option<(u32, u64)>,
-}
-
-impl FaultPlan {
-    fn from_env() -> Self {
-        let parse = |name: &str| -> Option<(u32, u64)> {
-            let v = std::env::var(name).ok()?;
-            let (s, n) = v.split_once(':')?;
-            Some((s.trim().parse().ok()?, n.trim().parse().ok()?))
-        };
-        Self {
-            kill_after: parse("ISEL_FAULT_KILL_AFTER"),
-            kill_at_checkpoint: parse("ISEL_FAULT_KILL_AT_CHECKPOINT"),
-        }
-    }
-}
-
-/// `SIGKILL` the current process — the fault-injection crash. Never
-/// returns control to the tuning loop.
-#[cfg(unix)]
-fn kill_self() {
-    extern "C" {
-        fn kill(pid: i32, sig: i32) -> i32;
-        fn getpid() -> i32;
-    }
-    const SIGKILL: i32 = 9;
-    // SAFETY: signalling our own pid with SIGKILL; the process dies
-    // before the call returns.
-    unsafe {
-        kill(getpid(), SIGKILL);
-    }
-    unreachable!("survived SIGKILL");
-}
-
-#[cfg(not(unix))]
-fn kill_self() {
-    std::process::exit(137);
-}
-
 /// One hosted shard inside a worker process: its table groups plus the
 /// shard's absolute lifetime counters (checkpoint-exact — they restore
 /// from [`SupMsg::Adopt`] and serialize into every [`ShardCheckpoint`]).
@@ -349,7 +300,6 @@ pub fn run_worker() -> Result<(), String> {
 /// [`run_worker`] over explicit streams, so unit tests can drive the
 /// full protocol through in-memory buffers.
 pub fn run_worker_io<R: BufRead, W: Write>(input: R, mut out: W) -> Result<(), String> {
-    let fault = FaultPlan::from_env();
     let mut records = RecordIter::new(input);
 
     // Protocol: the first record must be the Hello.
@@ -403,9 +353,11 @@ pub fn run_worker_io<R: BufRead, W: Write>(input: R, mut out: W) -> Result<(), S
                   gone: &mut bool|
      -> Result<(), String> {
         ctx.ingested += 1;
-        if fault.kill_after == Some((shard, ctx.ingested)) {
-            kill_self();
-        }
+        // Fresh workers count from 0, so the hit count equals the
+        // shard's ingested count (the old KILL_AFTER contract). An
+        // injected error exits the worker like a crash: no Fatal
+        // report, so the supervisor fails the shard over.
+        fault::fire(fault::WORKER_INGEST, shard)?;
         let table = q.table();
         let group = ctx
             .groups
@@ -572,9 +524,12 @@ pub fn run_worker_io<R: BufRead, W: Write>(input: R, mut out: W) -> Result<(), S
                                 send_fatal(&mut out, &e);
                                 return Err(e);
                             }
-                            if fault.kill_at_checkpoint == Some((k, generation)) {
-                                kill_self();
-                            }
+                            // The file is written but CheckpointDone is
+                            // not sent — a kill here is a torn
+                            // checkpoint attempt. Saves are sequential
+                            // from generation 1 on an initially
+                            // scheduled worker, so hit ≡ generation.
+                            fault::fire(fault::WORKER_CHECKPOINT, k)?;
                             send!(WorkerMsg::CheckpointDone {
                                 shard: k,
                                 generation,
@@ -646,6 +601,30 @@ enum TailEntry {
     Barrier(u64),
 }
 
+/// One persisted epoch outcome: the `(table, epoch)` dedupe key plus
+/// the outcome the worker reported.
+type OutcomeEntry = (u16, u64, EpochOutcome);
+
+fn save_outcomes(path: &Path, entries: &Vec<OutcomeEntry>) -> Result<(), String> {
+    let json = serde_json::to_string(entries).map_err(|e| e.to_string())?;
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, json).map_err(|e| e.to_string())?;
+    std::fs::rename(&tmp, path).map_err(|e| e.to_string())
+}
+
+/// Load the outcome sidecar; a missing or unreadable file is an empty
+/// history (a fresh state directory, or a crash before the first
+/// commit edge).
+fn load_outcomes(path: &Path) -> BTreeMap<(u16, u64), EpochOutcome> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return BTreeMap::new();
+    };
+    let Ok(entries) = serde_json::from_str::<Vec<OutcomeEntry>>(&text) else {
+        return BTreeMap::new();
+    };
+    entries.into_iter().map(|(t, e, o)| ((t, e), o)).collect()
+}
+
 /// Drop everything up to and including the barrier of `generation` —
 /// that prefix is durable once the generation's manifest commits.
 fn truncate_tail(tail: &mut VecDeque<TailEntry>, generation: u64) {
@@ -687,6 +666,10 @@ struct Shared<'a> {
     committer: Option<&'a Committer<'a>>,
     arbiter: &'a Arbiter,
     sink: Option<&'a dyn TraceSink>,
+    /// Restart sidecar paths under `--state-dir`: persisted status
+    /// counters and the committed epoch-outcome history.
+    status_path: Option<PathBuf>,
+    outcomes_path: Option<PathBuf>,
 }
 
 impl Shared<'_> {
@@ -737,6 +720,24 @@ impl Shared<'_> {
 
     fn take_failure(&self) -> Option<String> {
         self.failure.lock().expect("failure lock poisoned").take()
+    }
+
+    /// Rewrite the restart sidecars (tmp + rename, best-effort). Called
+    /// on every commit edge — the exact point journal replay resumes
+    /// from — plus after each failover and at end of run, so a
+    /// restarted supervisor reloads counters and epoch history at least
+    /// as fresh as the checkpoint it restores.
+    fn persist_sidecars(&self) {
+        if let Some(p) = &self.status_path {
+            let _ = crate::status::PersistedStatus::capture(self.board).save(p);
+        }
+        if let Some(p) = &self.outcomes_path {
+            let snapshot: Vec<OutcomeEntry> = {
+                let map = self.outcomes.lock().expect("outcomes lock poisoned");
+                map.iter().map(|(&(t, e), o)| (t, e, o.clone())).collect()
+            };
+            let _ = save_outcomes(p, &snapshot);
+        }
     }
 
     /// All live workers acked query `id`? Then answer — status from the
@@ -821,10 +822,21 @@ fn collect(slot: usize, out: ChildStdout, shared: &Shared<'_>, eof: &AtomicBool)
                 if let Some(c) = shared.committer {
                     match c.done(shard, generation, PathBuf::from(file)) {
                         Ok(true) => {
-                            let mut tails = shared.tails.lock().expect("tails lock poisoned");
-                            for tail in tails.values_mut() {
-                                truncate_tail(tail, generation);
+                            // The generation is durable; a kill in this
+                            // window leaves committed state paired with
+                            // un-truncated tails, which the next
+                            // failover's skip-through-barrier absorbs.
+                            if let Err(e) = fault::fire(fault::SUP_TRUNCATE, generation as u32) {
+                                shared.fail(e);
                             }
+                            {
+                                let mut tails =
+                                    shared.tails.lock().expect("tails lock poisoned");
+                                for tail in tails.values_mut() {
+                                    truncate_tail(tail, generation);
+                                }
+                            }
+                            shared.persist_sidecars();
                         }
                         Ok(false) => {}
                         Err(e) => shared.fail(e),
@@ -882,6 +894,19 @@ pub struct Supervisor {
     next_generation: u64,
     resume_generation: Option<u64>,
     resume_manifest: Option<PathBuf>,
+    /// Journal-replay recovery (set by [`Supervisor::set_recovery`]):
+    /// route-able records at positions below this are already inside
+    /// the restored checkpoint state and replay without routing.
+    resume_skip: u64,
+    /// Barrier generations at or below this already committed in the
+    /// prior incarnation and replay without firing.
+    resume_skip_gen: u64,
+    /// Prior-incarnation journal size, when recovering (drives the
+    /// [`TraceEvent::Recovery`] emission).
+    recovered_bytes: Option<u64>,
+    /// State directory holding the restart sidecars (`status.json`
+    /// counters, `outcomes.json` epoch history).
+    state_dir: Option<PathBuf>,
 }
 
 impl Supervisor {
@@ -916,6 +941,10 @@ impl Supervisor {
             next_generation: 1,
             resume_generation: None,
             resume_manifest: None,
+            resume_skip: 0,
+            resume_skip_gen: 0,
+            recovered_bytes: None,
+            state_dir: None,
         })
     }
 
@@ -962,6 +991,36 @@ impl Supervisor {
         sup.resume_generation = Some(manifest.generation);
         sup.resume_manifest = Some(manifest_path.to_path_buf());
         Ok(sup)
+    }
+
+    /// Switch a (fresh or resumed) supervisor into **journal-replay
+    /// recovery**: the run's input opens with the prior incarnation's
+    /// complete journal (`journal_bytes` long), so `routed` and the
+    /// generation counter restart from zero and count through the
+    /// replay — but records the restored checkpoint already contains
+    /// are not re-routed, and generations it already committed are not
+    /// re-fired. Cadence positions and generation numbering therefore
+    /// land exactly where an uninterrupted run would put them, which is
+    /// what makes the final merged selection and the checkpoint
+    /// documents byte-identical to that run (DESIGN.md §18).
+    pub fn set_recovery(&mut self, journal_bytes: u64) {
+        self.resume_skip = self.routed_lines;
+        self.resume_skip_gen = self.next_generation - 1;
+        self.routed_lines = 0;
+        self.next_generation = 1;
+        self.recovered_bytes = Some(journal_bytes);
+    }
+
+    /// Persist restart sidecars into this state directory and restore
+    /// them at run start: `status.json` carries the
+    /// `failovers`/`restarts`/`reply_errors` counters (so a recovered
+    /// supervisor's `{"control":"status"}` reports lifetime history,
+    /// not just the current incarnation's), and `outcomes.json` carries
+    /// the epoch-outcome history already folded into committed
+    /// generations (so the recovered report's epoch lines match the
+    /// uninterrupted run's). Both rewrite on every commit edge.
+    pub fn set_state_dir(&mut self, dir: PathBuf) {
+        self.state_dir = Some(dir);
     }
 
     /// The live frontier arbiter (maintained allocations, interactive
@@ -1012,15 +1071,34 @@ impl Supervisor {
         checkpoint: Option<&Path>,
         sink: Option<&dyn TraceSink>,
     ) -> Result<ServiceReport, String> {
+        let t_start = Instant::now();
         let shards = self.map.shards();
         let workers = self.config.workers as usize;
         let board = StatusBoard::new(shards);
+        let status_path = self.state_dir.as_ref().map(|d| d.join("status.json"));
+        let outcomes_path = self.state_dir.as_ref().map(|d| d.join("outcomes.json"));
+        if let Some(p) = &status_path {
+            crate::status::PersistedStatus::load(p).apply(&board);
+        }
         let committer =
             checkpoint.map(|p| Committer::new(p, shards, &board));
+        // Epoch outcomes folded into committed generations by prior
+        // incarnations replay without re-tuning, so their report lines
+        // come from the sidecar, not from the workers.
+        let mut prior_outcomes: BTreeMap<(u16, u64), EpochOutcome> = BTreeMap::new();
+        if self.recovered_bytes.is_some() {
+            if let Some(c) = &committer {
+                c.prime(self.resume_skip_gen);
+            }
+            if let Some(p) = &outcomes_path {
+                prior_outcomes = load_outcomes(p);
+                board.epochs.store(prior_outcomes.len() as u64, Ordering::Relaxed);
+            }
+        }
         crate::status::install_child_signal();
 
         let shared = Shared {
-            outcomes: Mutex::new(BTreeMap::new()),
+            outcomes: Mutex::new(prior_outcomes),
             counts: Mutex::new(BTreeMap::new()),
             cal: Mutex::new(BTreeMap::new()),
             pending: Mutex::new(HashMap::new()),
@@ -1030,21 +1108,25 @@ impl Supervisor {
             committer: committer.as_ref(),
             arbiter: &self.arbiter,
             sink,
+            status_path,
+            outcomes_path,
         };
 
-        // Fault-injection scoping: the supervisor reads the variables
-        // itself and passes them to exactly ONE child — the initial
-        // owner of the targeted shard. Every other child and every
-        // respawned replacement gets them stripped, otherwise the
-        // adopting survivor would inherit the fault and die in a loop.
-        let fault_kill_after = std::env::var("ISEL_FAULT_KILL_AFTER").ok();
-        let fault_kill_cp = std::env::var("ISEL_FAULT_KILL_AT_CHECKPOINT").ok();
-        let fault_shard: Option<u32> = [&fault_kill_after, &fault_kill_cp]
-            .into_iter()
-            .flatten()
-            .filter_map(|v| v.split_once(':').and_then(|(s, _)| s.trim().parse().ok()))
-            .next();
-        let fault_slot: Option<usize> = fault_shard.map(|k| (k as usize) % workers);
+        // Fault-injection scoping: the supervisor parses the schedule
+        // itself (firing the sup.* sites in-process) and re-serializes
+        // each worker.* entry into the environment of exactly ONE
+        // child — the initial owner slot of the entry's scope shard.
+        // Every other child and every respawned replacement gets the
+        // variable stripped, otherwise the adopting survivor would
+        // inherit the fault and die in a loop. A malformed schedule
+        // disables injection (fault::fire warns once).
+        let worker_faults: Vec<Option<String>> = {
+            let sched = std::env::var(fault::ENV_SCHEDULE)
+                .ok()
+                .and_then(|spec| fault::Schedule::parse(&spec).ok())
+                .unwrap_or_default();
+            (0..workers).map(|w| sched.worker_spec(w as u32, workers as u32)).collect()
+        };
 
         let schema = &self.schema;
         let config = &self.config;
@@ -1054,6 +1136,9 @@ impl Supervisor {
         let respawn = self.config.respawn;
         let resume_generation = self.resume_generation;
         let resume_manifest = self.resume_manifest.clone();
+        let resume_skip = self.resume_skip;
+        let skip_gen = self.resume_skip_gen;
+        let recovered_bytes = self.recovered_bytes;
         let barrier_every = self
             .config
             .checkpoint_every_epochs
@@ -1065,7 +1150,7 @@ impl Supervisor {
             std::thread::scope(|s| {
                 let spawn_worker = |slot_idx: usize,
                                    hello_shards: Vec<u32>,
-                                   with_fault: bool|
+                                   initial: bool|
                  -> Result<Slot, String> {
                     let exe = std::env::current_exe()
                         .map_err(|e| format!("locate worker executable: {e}"))?;
@@ -1073,14 +1158,10 @@ impl Supervisor {
                     cmd.arg("worker")
                         .stdin(Stdio::piped())
                         .stdout(Stdio::piped())
-                        .env_remove("ISEL_FAULT_KILL_AFTER")
-                        .env_remove("ISEL_FAULT_KILL_AT_CHECKPOINT");
-                    if with_fault {
-                        if let Some(v) = &fault_kill_after {
-                            cmd.env("ISEL_FAULT_KILL_AFTER", v);
-                        }
-                        if let Some(v) = &fault_kill_cp {
-                            cmd.env("ISEL_FAULT_KILL_AT_CHECKPOINT", v);
+                        .env_remove(fault::ENV_SCHEDULE);
+                    if initial {
+                        if let Some(spec) = &worker_faults[slot_idx] {
+                            cmd.env(fault::ENV_SCHEDULE, spec);
                         }
                     }
                     let mut child =
@@ -1191,6 +1272,7 @@ impl Supervisor {
                             if moved.is_empty() {
                                 continue;
                             }
+                            fault::fire(fault::SUP_FAILOVER, d as u32)?;
                             let survivor = slots.iter().position(|s| s.alive);
                             let target = match survivor {
                                 Some(t) if !respawn => t,
@@ -1215,6 +1297,7 @@ impl Supervisor {
                             let mut target_down = false;
                             for &k in &moved {
                                 let t0 = Instant::now();
+                                fault::fire(fault::SUP_ADOPT, k)?;
                                 let mut replayed = 0u64;
                                 let (generation, bytes) = {
                                     // The restore snapshot and the tail
@@ -1307,6 +1390,9 @@ impl Supervisor {
                             }
                         }
                         if dead.is_empty() {
+                            // The failover/restart counters just moved;
+                            // make them durable for the next incarnation.
+                            shared.persist_sidecars();
                             return Ok(());
                         }
                     }
@@ -1337,6 +1423,10 @@ impl Supervisor {
                              shard: u32,
                              line: &str|
                  -> Result<(), String> {
+                    // Fires before the tail append: a kill here loses
+                    // nothing, because the input journal already holds
+                    // this line (teed at consume time).
+                    fault::fire(fault::SUP_ROUTE, shard)?;
                     shared
                         .tails
                         .lock()
@@ -1367,6 +1457,7 @@ impl Supervisor {
                                routed: u64|
                  -> Result<(), String> {
                     let Some(c) = committer.as_ref() else { return Ok(()) };
+                    fault::fire(fault::SUP_BARRIER_OPEN, gen as u32)?;
                     c.open(gen, routed);
                     {
                         let mut tails = shared.tails.lock().expect("tails lock poisoned");
@@ -1424,7 +1515,7 @@ impl Supervisor {
                 for w in 0..workers {
                     let hosted: Vec<u32> =
                         (0..shards).filter(|k| (*k as usize) % workers == w).collect();
-                    slots.push(spawn_worker(w, hosted, fault_slot == Some(w))?);
+                    slots.push(spawn_worker(w, hosted, true)?);
                 }
                 let mut owners: Vec<usize> =
                     (0..shards).map(|k| (k as usize) % workers).collect();
@@ -1440,6 +1531,14 @@ impl Supervisor {
                             do_failover(&mut slots, &mut owners, vec![idx])?;
                         }
                     }
+                }
+                if let (Some(journal_bytes), Some(sink)) = (recovered_bytes, sink) {
+                    sink.record(TraceEvent::Recovery {
+                        generation: skip_gen,
+                        skipped: resume_skip,
+                        journal_bytes,
+                        micros: t_start.elapsed().as_micros() as u64,
+                    });
                 }
 
                 let mut routed = start_routed;
@@ -1490,15 +1589,25 @@ impl Supervisor {
                             }
                             match classify_line(trimmed) {
                                 LineClass::Table(t) => {
-                                    route(&mut slots, &mut owners, map.shard_of(t), trimmed)?;
+                                    // Recovery: records below resume_skip
+                                    // are already inside the restored
+                                    // checkpoint state — count them (so
+                                    // cadence positions match the clean
+                                    // run) but do not re-route them.
+                                    if routed >= resume_skip {
+                                        route(&mut slots, &mut owners, map.shard_of(t), trimmed)?;
+                                    }
                                     did_route = true;
                                 }
                                 LineClass::Control => match parse_line(trimmed, schema) {
                                     Ok(InputLine::Control(Control::Shutdown)) => break,
                                     Ok(InputLine::Control(Control::Checkpoint)) => {
                                         if committer.is_some() {
-                                            barrier(&mut slots, &mut owners, next_gen, routed)?;
+                                            let gen = next_gen;
                                             next_gen += 1;
+                                            if gen > skip_gen {
+                                                barrier(&mut slots, &mut owners, gen, routed)?;
+                                            }
                                         }
                                     }
                                     Ok(InputLine::Control(
@@ -1523,17 +1632,26 @@ impl Supervisor {
                                     }
                                     Ok(InputLine::Query(_) | InputLine::Observed(_))
                                     | Err(_) => {
+                                        if routed >= resume_skip {
+                                            route(
+                                                &mut slots,
+                                                &mut owners,
+                                                map.opaque_shard(),
+                                                trimmed,
+                                            )?;
+                                        }
+                                        did_route = true;
+                                    }
+                                },
+                                LineClass::Opaque => {
+                                    if routed >= resume_skip {
                                         route(
                                             &mut slots,
                                             &mut owners,
                                             map.opaque_shard(),
                                             trimmed,
                                         )?;
-                                        did_route = true;
                                     }
-                                },
-                                LineClass::Opaque => {
-                                    route(&mut slots, &mut owners, map.opaque_shard(), trimmed)?;
                                     did_route = true;
                                 }
                             }
@@ -1550,17 +1668,21 @@ impl Supervisor {
                                 .and_then(|t| templates.get(t))
                             {
                                 Some((t, kind, attrs)) => {
-                                    let line =
-                                        render_query(None, *t, attrs, frequency, *kind);
-                                    route(&mut slots, &mut owners, map.shard_of(*t), &line)?;
+                                    if routed >= resume_skip {
+                                        let line =
+                                            render_query(None, *t, attrs, frequency, *kind);
+                                        route(&mut slots, &mut owners, map.shard_of(*t), &line)?;
+                                    }
                                 }
                                 None => {
-                                    route(
-                                        &mut slots,
-                                        &mut owners,
-                                        map.opaque_shard(),
-                                        INVALID_LINE,
-                                    )?;
+                                    if routed >= resume_skip {
+                                        route(
+                                            &mut slots,
+                                            &mut owners,
+                                            map.opaque_shard(),
+                                            INVALID_LINE,
+                                        )?;
+                                    }
                                 }
                             }
                             did_route = true;
@@ -1568,8 +1690,11 @@ impl Supervisor {
                         Record::Item(WireItem::Control(Control::Shutdown)) => break,
                         Record::Item(WireItem::Control(Control::Checkpoint)) => {
                             if committer.is_some() {
-                                barrier(&mut slots, &mut owners, next_gen, routed)?;
+                                let gen = next_gen;
                                 next_gen += 1;
+                                if gen > skip_gen {
+                                    barrier(&mut slots, &mut owners, gen, routed)?;
+                                }
                             }
                         }
                         Record::Item(WireItem::Control(
@@ -1584,19 +1709,30 @@ impl Supervisor {
                             enqueue_query(&mut slots, &mut owners, id, c, None)?;
                         }
                         Record::Item(_) => {
-                            route(&mut slots, &mut owners, map.opaque_shard(), INVALID_LINE)?;
+                            if routed >= resume_skip {
+                                route(&mut slots, &mut owners, map.opaque_shard(), INVALID_LINE)?;
+                            }
                             did_route = true;
                         }
                         Record::Corrupt => {
-                            route(&mut slots, &mut owners, map.opaque_shard(), INVALID_LINE)?;
+                            if routed >= resume_skip {
+                                route(&mut slots, &mut owners, map.opaque_shard(), INVALID_LINE)?;
+                            }
                             did_route = true;
                         }
                     }
                     if did_route {
                         routed += 1;
                         if barrier_every > 0 && routed.is_multiple_of(barrier_every) {
-                            barrier(&mut slots, &mut owners, next_gen, routed)?;
+                            let gen = next_gen;
                             next_gen += 1;
+                            // Recovery: the prior incarnation already
+                            // committed generations ≤ skip_gen; count
+                            // them (so numbering matches the clean run)
+                            // but do not re-fire them.
+                            if gen > skip_gen {
+                                barrier(&mut slots, &mut owners, gen, routed)?;
+                            }
                         }
                     }
                 }
@@ -1688,6 +1824,7 @@ impl Supervisor {
         let (routed, next_gen, final_committed) = scope_result?;
         self.routed_lines = routed;
         self.next_generation = next_gen;
+        shared.persist_sidecars();
         if let Some(e) = shared.take_failure() {
             return Err(e);
         }

@@ -187,6 +187,16 @@ impl<'a> Committer<'a> {
         }
     }
 
+    /// Credit `commits` manifests written by prior incarnations, so a
+    /// recovered supervisor's report counts commits across the whole
+    /// logical run — byte-identical to the uninterrupted one. Every
+    /// generation 1..=G commits exactly one manifest, so the committed
+    /// generation *is* the prior commit count.
+    pub(crate) fn prime(&self, commits: u64) {
+        self.inner.lock().expect("committer lock poisoned").commits += commits;
+        self.board.checkpoints.fetch_add(commits, Ordering::Relaxed);
+    }
+
     /// Register a generation the router is about to inject barriers for.
     /// Must be called before any worker can report it done.
     pub(crate) fn open(&self, generation: u64, routed_lines: u64) {
@@ -240,6 +250,9 @@ impl<'a> Committer<'a> {
                 })
                 .collect(),
         };
+        // Every shard file is on disk, the manifest is not — a kill in
+        // this window must recover to the *previous* generation.
+        crate::fault::fire(crate::fault::SUP_COMMIT, generation as u32)?;
         manifest.save(self.manifest_path)?;
         // The new generation is durable; older files are now garbage —
         // including generations whose barrier was evicted on some shard
